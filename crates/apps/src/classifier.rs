@@ -1,0 +1,466 @@
+//! The rate-coded digit classifier: float training → 4-level quantisation
+//! → chip deployment, with a floating-point LIF baseline.
+
+use brainsim_compiler::{compile, CompileOptions, CompiledNetwork};
+use brainsim_corelet::{Corelet, NodeRef};
+use brainsim_encoding::{Frame, FrameEncoder, RateCode};
+use brainsim_neuron::{Lfsr, NeuronConfig};
+use brainsim_snn::{LifParams, SnnBuilder, SnnNetwork, SnnSource};
+
+use crate::digits::{Sample, CLASSES, PIXELS};
+
+/// Floating-point class weights, `weights[class][pixel]`.
+pub type FloatWeights = Vec<Vec<f64>>;
+
+/// Trains an *averaged* multi-class perceptron on the samples.
+///
+/// Classic update — on a misprediction, add the image to the true class row
+/// and subtract it from the predicted row — but the returned weights are
+/// the average of the weight vector over all steps, which generalises far
+/// better than the final iterate. Deterministic (no shuffling).
+pub fn train_perceptron(train: &[Sample], epochs: usize) -> FloatWeights {
+    let mut weights = vec![vec![0.0f64; PIXELS]; CLASSES];
+    let mut sum = vec![vec![0.0f64; PIXELS]; CLASSES];
+    for _ in 0..epochs {
+        for sample in train {
+            let prediction = argmax(&scores(&weights, &sample.frame));
+            if prediction != sample.label {
+                for (p, &x) in sample.frame.pixels().iter().enumerate() {
+                    weights[sample.label][p] += x;
+                    weights[prediction][p] -= x;
+                }
+            }
+            for (avg_row, w_row) in sum.iter_mut().zip(&weights) {
+                for (a, &w) in avg_row.iter_mut().zip(w_row) {
+                    *a += w;
+                }
+            }
+        }
+    }
+    let steps = (epochs * train.len()).max(1) as f64;
+    for row in sum.iter_mut() {
+        for a in row.iter_mut() {
+            *a /= steps;
+        }
+    }
+    sum
+}
+
+/// Dot-product class scores of a frame.
+pub fn scores(weights: &FloatWeights, frame: &Frame) -> Vec<f64> {
+    weights
+        .iter()
+        .map(|row| row.iter().zip(frame.pixels()).map(|(w, x)| w * x).sum())
+        .collect()
+}
+
+/// Index of the maximum (first on ties).
+pub fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Float-reference accuracy (pure dot product, the upper bound).
+pub fn float_accuracy(weights: &FloatWeights, test: &[Sample]) -> f64 {
+    let correct = test
+        .iter()
+        .filter(|s| argmax(&scores(weights, &s.frame)) == s.label)
+        .count();
+    correct as f64 / test.len().max(1) as f64
+}
+
+/// Quantises one weight row to at most 4 signed integer levels via 1-D
+/// Lloyd (k-means) on the non-zero weights, scaled so the largest level
+/// magnitude is `max_level`.
+///
+/// The 4-level budget is exactly the axon-type constraint of the core:
+/// each neuron owns one signed 9-bit weight per axon type.
+pub fn quantize_row(row: &[f64], max_level: i32) -> Vec<i32> {
+    let max_abs = row.iter().fold(0.0f64, |m, &w| m.max(w.abs()));
+    if max_abs == 0.0 {
+        return vec![0; row.len()];
+    }
+    // Initialise 4 centroids spread over [-max, max].
+    let mut centroids = [-0.75 * max_abs, -0.25 * max_abs, 0.25 * max_abs, 0.75 * max_abs];
+    for _ in 0..12 {
+        let mut sums = [0.0f64; 4];
+        let mut counts = [0usize; 4];
+        for &w in row {
+            let k = nearest(&centroids, w);
+            sums[k] += w;
+            counts[k] += 1;
+        }
+        for k in 0..4 {
+            if counts[k] > 0 {
+                centroids[k] = sums[k] / counts[k] as f64;
+            }
+        }
+    }
+    let scale = max_level as f64 / max_abs;
+    let levels: Vec<i32> = centroids.iter().map(|&c| (c * scale).round() as i32).collect();
+    row.iter()
+        .map(|&w| levels[nearest(&centroids, w)])
+        .collect()
+}
+
+fn nearest(centroids: &[f64; 4], w: f64) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (k, &c) in centroids.iter().enumerate() {
+        let d = (w - c).abs();
+        if d < best_d {
+            best_d = d;
+            best = k;
+        }
+    }
+    best
+}
+
+/// A digit classifier deployed on the chip.
+#[derive(Debug)]
+pub struct ChipClassifier {
+    compiled: CompiledNetwork,
+    window: usize,
+}
+
+impl ChipClassifier {
+    /// Builds and compiles the classifier from quantised weights.
+    ///
+    /// `threshold` is the output neurons' firing threshold (linear reset, so
+    /// the spike count is proportional to the accumulated drive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors (e.g. more than 4 distinct levels, which
+    /// [`quantize_row`] rules out by construction).
+    pub fn build(
+        quantized: &[Vec<i32>],
+        threshold: u32,
+        window: usize,
+    ) -> Result<ChipClassifier, brainsim_compiler::CompileError> {
+        let mut corelet = Corelet::new("digit-classifier", PIXELS);
+        // No negative floor: the membrane must accumulate negative evidence
+        // so the spike count tracks the full signed dot product.
+        let template = NeuronConfig::builder()
+            .threshold(threshold)
+            .reset_mode(brainsim_neuron::ResetMode::Linear)
+            .build()
+            .expect("classifier template is valid");
+        let outputs = corelet.add_population(template, CLASSES);
+        for (class, row) in quantized.iter().enumerate() {
+            for (pixel, &w) in row.iter().enumerate() {
+                if w != 0 {
+                    corelet
+                        .connect(NodeRef::Input(pixel), outputs[class], w, 1)
+                        .expect("classifier wiring is valid");
+                }
+            }
+        }
+        for &o in &outputs {
+            corelet.mark_output(o).expect("output exists");
+        }
+        let compiled = compile(corelet.network(), &CompileOptions::default())?;
+        Ok(ChipClassifier { compiled, window })
+    }
+
+    /// The compiled network (for energy-census access).
+    pub fn compiled(&self) -> &CompiledNetwork {
+        &self.compiled
+    }
+
+    /// Mutable access to the compiled network.
+    pub fn compiled_mut(&mut self) -> &mut CompiledNetwork {
+        &mut self.compiled
+    }
+
+    /// The encoding window in ticks.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Classifies one frame: rate-encode over the window, run, take the
+    /// output population's argmax spike count.
+    pub fn classify(&mut self, frame: &Frame) -> usize {
+        self.compiled.reset();
+        let encoder = FrameEncoder::new(frame, self.window);
+        let mut counts = [0usize; CLASSES];
+        // Window ticks of stimulus plus drain time for the last events.
+        let total = self.window as u64 + 4;
+        for t in 0..total {
+            if t < self.window as u64 {
+                let spikes = encoder.tick_spikes(t as usize);
+                for (pixel, &s) in spikes.iter().enumerate() {
+                    if s {
+                        self.compiled.inject(pixel, t).expect("pixel port exists");
+                    }
+                }
+            }
+            for (class, fired) in self.compiled.tick().into_iter().enumerate() {
+                if fired {
+                    counts[class] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Accuracy over a test set.
+    pub fn accuracy(&mut self, test: &[Sample]) -> f64 {
+        let correct = test
+            .iter()
+            .filter(|s| {
+                let frame = s.frame.clone();
+                self.classify(&frame) == s.label
+            })
+            .count();
+        correct as f64 / test.len().max(1) as f64
+    }
+
+    /// Classifies one frame under *stochastic* rate coding: each pixel's
+    /// spikes are independent Bernoulli draws from a seeded LFSR, the
+    /// silicon's pseudo-random input mode. Noisier than the deterministic
+    /// error-diffusion code at equal window length.
+    pub fn classify_stochastic(&mut self, frame: &Frame, seed: u32) -> usize {
+        self.compiled.reset();
+        let code = RateCode::new(self.window);
+        let mut rng = Lfsr::new(seed);
+        let trains: Vec<Vec<bool>> = frame
+            .pixels()
+            .iter()
+            .map(|&p| code.encode_stochastic(p, &mut rng))
+            .collect();
+        let mut counts = vec![0usize; CLASSES];
+        for t in 0..(self.window as u64 + 4) {
+            if (t as usize) < self.window {
+                for (pixel, train) in trains.iter().enumerate() {
+                    if train[t as usize] {
+                        self.compiled.inject(pixel, t).expect("pixel port exists");
+                    }
+                }
+            }
+            for (class, fired) in self.compiled.tick().into_iter().enumerate() {
+                if fired {
+                    counts[class] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Accuracy under stochastic rate coding.
+    pub fn accuracy_stochastic(&mut self, test: &[Sample], seed: u32) -> f64 {
+        let correct = test
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                let frame = s.frame.clone();
+                self.classify_stochastic(&frame, seed.wrapping_add(*i as u32)) == s.label
+            })
+            .count();
+        correct as f64 / test.len().max(1) as f64
+    }
+}
+
+/// The floating-point LIF baseline: the same topology simulated by the
+/// clock-driven float simulator with unquantised weights.
+#[derive(Debug)]
+pub struct LifClassifier {
+    net: SnnNetwork,
+    window: usize,
+}
+
+impl LifClassifier {
+    /// Builds the baseline from float weights. `v_thresh` plays the role of
+    /// the chip threshold; weights are used at full precision.
+    pub fn build(weights: &FloatWeights, v_thresh: f64, window: usize) -> LifClassifier {
+        let mut builder = SnnBuilder::new(PIXELS);
+        let params = LifParams {
+            tau: 1e9, // effectively non-leaky, like the chip config
+            v_rest: 0.0,
+            v_thresh,
+            v_reset: 0.0,
+            refractory: 0,
+        };
+        let neurons: Vec<usize> = (0..CLASSES)
+            .map(|_| builder.neuron(params).expect("valid LIF params"))
+            .collect();
+        for (class, row) in weights.iter().enumerate() {
+            for (pixel, &w) in row.iter().enumerate() {
+                if w != 0.0 {
+                    builder
+                        .connect(SnnSource::Input(pixel), neurons[class], w, 1)
+                        .expect("valid wiring");
+                }
+            }
+        }
+        LifClassifier {
+            net: builder.build(),
+            window,
+        }
+    }
+
+    /// Classifies one frame by output spike counts.
+    pub fn classify(&mut self, frame: &Frame) -> usize {
+        self.net.reset();
+        let encoder = FrameEncoder::new(frame, self.window);
+        let mut counts = [0usize; CLASSES];
+        for t in 0..(self.window + 4) {
+            let input = if t < self.window {
+                encoder.tick_spikes(t)
+            } else {
+                vec![false; PIXELS]
+            };
+            for (class, &fired) in self.net.step(&input).iter().enumerate().take(CLASSES) {
+                if fired {
+                    counts[class] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Accuracy over a test set.
+    pub fn accuracy(&mut self, test: &[Sample]) -> f64 {
+        let correct = test
+            .iter()
+            .filter(|s| self.classify(&s.frame) == s.label)
+            .count();
+        correct as f64 / test.len().max(1) as f64
+    }
+}
+
+/// Suggests a chip threshold so the correct class fires roughly once per
+/// tick while weaker classes fire proportionally less.
+///
+/// Under rate coding a pixel with intensity 1 spikes every tick, so the
+/// per-tick drive of class `c` is the full dot product `w_c · x`; the
+/// linear-reset spike count over the window is `≈ window · (w_c·x) / θ`.
+/// Picking `θ` equal to the mean correct-class dot product places the
+/// correct class at the saturation knee and spreads the rest below it.
+pub fn suggest_threshold(quantized: &[Vec<i32>], samples: &[Sample], _window: usize) -> u32 {
+    let mut total = 0.0f64;
+    let mut n = 0usize;
+    for s in samples.iter().take(50) {
+        let row = &quantized[s.label];
+        let drive: f64 = row
+            .iter()
+            .zip(s.frame.pixels())
+            .map(|(&w, &x)| w as f64 * x)
+            .sum();
+        if drive > 0.0 {
+            total += drive;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1
+    } else {
+        (total / n as f64).max(1.0).round() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digits;
+
+    #[test]
+    fn perceptron_separates_clean_glyphs() {
+        let train = digits::generate(4, 0.0, 11);
+        let weights = train_perceptron(&train, 12);
+        let acc = float_accuracy(&weights, &train);
+        assert!(acc > 0.95, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn quantize_row_uses_at_most_four_levels() {
+        let row: Vec<f64> = (0..64).map(|i| (i as f64 - 32.0) / 7.0).collect();
+        let q = quantize_row(&row, 32);
+        let mut levels: Vec<i32> = q.clone();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.len() <= 4, "levels {levels:?}");
+        assert!(q.iter().all(|&w| w.abs() <= 32));
+        // Monotone: larger weights never map to smaller levels.
+        let mut pairs: Vec<(f64, i32)> = row.iter().copied().zip(q.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn quantize_zero_row_is_zero() {
+        assert_eq!(quantize_row(&[0.0; 8], 32), vec![0; 8]);
+    }
+
+    #[test]
+    fn chip_classifier_beats_chance_and_tracks_float() {
+        let train = digits::generate(20, 0.02, 21);
+        let test = digits::generate(4, 0.05, 99);
+        let weights = train_perceptron(&train, 15);
+        let float_acc = float_accuracy(&weights, &test);
+
+        let quantized: Vec<Vec<i32>> =
+            weights.iter().map(|row| quantize_row(row, 32)).collect();
+        let window = 16;
+        let threshold = suggest_threshold(&quantized, &train, window);
+        let mut chip = ChipClassifier::build(&quantized, threshold, window).expect("compiles");
+        let chip_acc = chip.accuracy(&test);
+
+        assert!(float_acc > 0.8, "float accuracy {float_acc}");
+        assert!(chip_acc > 0.5, "chip accuracy {chip_acc}");
+        assert!(
+            chip_acc <= float_acc + 0.1,
+            "quantised chip should not beat float by a margin: {chip_acc} vs {float_acc}"
+        );
+    }
+
+    #[test]
+    fn stochastic_rate_coding_tracks_deterministic() {
+        let train = digits::generate(12, 0.02, 21);
+        let test = digits::generate(3, 0.05, 99);
+        let weights = train_perceptron(&train, 10);
+        let quantized: Vec<Vec<i32>> =
+            weights.iter().map(|row| quantize_row(row, 32)).collect();
+        let window = 24;
+        let threshold = suggest_threshold(&quantized, &train, window);
+        let mut chip = ChipClassifier::build(&quantized, threshold, window).expect("compiles");
+        let det = chip.accuracy(&test);
+        let stoch = chip.accuracy_stochastic(&test, 0xFACE);
+        assert!(stoch > 0.4, "stochastic accuracy {stoch}");
+        assert!(
+            stoch <= det + 0.15,
+            "stochastic {stoch} should not beat deterministic {det} by a margin"
+        );
+    }
+
+    #[test]
+    fn lif_baseline_beats_chance() {
+        let train = digits::generate(6, 0.02, 31);
+        let test = digits::generate(3, 0.05, 77);
+        let weights = train_perceptron(&train, 10);
+        let mut lif = LifClassifier::build(&weights, 30.0, 16);
+        let acc = lif.accuracy(&test);
+        assert!(acc > 0.5, "LIF accuracy {acc}");
+    }
+}

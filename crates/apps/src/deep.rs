@@ -1,0 +1,321 @@
+//! A two-layer chip classifier: random-projection feature detectors
+//! feeding a trained readout layer.
+//!
+//! The canonical deployment pattern of the architecture: a fixed
+//! random-feature layer (binary ±1 weights, cheap on a binary crossbar)
+//! expands the input; only the small readout layer is trained, in floating
+//! point, against the *emulated* feature rates, then quantised to the
+//! 4-level axon-type scheme. This exercises the full compiler pipeline on
+//! a multi-layer network: hidden-layer fan-out, inter-layer delays,
+//! splitter insertion and multi-core placement.
+
+use brainsim_compiler::{compile, CompileError, CompileOptions, CompiledNetwork};
+use brainsim_corelet::{Corelet, NodeRef};
+use brainsim_encoding::{Frame, FrameEncoder};
+use brainsim_neuron::{Lfsr, NeuronConfig, ResetMode};
+
+use crate::classifier::{argmax, quantize_row};
+use crate::digits::{Sample, CLASSES, PIXELS};
+
+/// Fixed random ±1 patch features, `features × pixels` (zero outside the
+/// patch).
+///
+/// Each feature reads a random `patch × patch` receptive field rather than
+/// the whole frame — the EEDN deployment style, and what keeps one core's
+/// 256-axon budget shared across many features.
+#[derive(Debug, Clone)]
+pub struct FeatureBank {
+    weights: Vec<Vec<i32>>,
+    threshold: u32,
+}
+
+impl FeatureBank {
+    /// Draws `features` random ±1 patch projections with a deterministic
+    /// seed. `patch` is the receptive-field side (≤ 16); `threshold` is the
+    /// feature neurons' firing threshold (linear reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch` is zero or exceeds the frame side.
+    pub fn random(features: usize, patch: usize, threshold: u32, seed: u32) -> FeatureBank {
+        let side = (PIXELS as f64).sqrt() as usize;
+        assert!(patch > 0 && patch <= side, "patch must be in 1..=16");
+        let mut rng = Lfsr::new(seed);
+        let weights = (0..features)
+            .map(|_| {
+                let ox = rng.next_u32() as usize % (side - patch + 1);
+                let oy = rng.next_u32() as usize % (side - patch + 1);
+                let mut row = vec![0i32; PIXELS];
+                for py in 0..patch {
+                    for px in 0..patch {
+                        let p = (oy + py) * side + (ox + px);
+                        row[p] = if rng.bernoulli_256(128) { 1 } else { -1 };
+                    }
+                }
+                row
+            })
+            .collect();
+        FeatureBank { weights, threshold }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Emulated per-tick feature rates for a frame: the rectified projection
+    /// scaled by the threshold, clipped to one spike per tick — exactly the
+    /// steady-state rate the chip's linear-reset neuron produces under rate
+    /// coding.
+    pub fn rates(&self, frame: &Frame) -> Vec<f64> {
+        self.weights
+            .iter()
+            .map(|row| {
+                let drive: f64 = row
+                    .iter()
+                    .zip(frame.pixels())
+                    .map(|(&w, &x)| w as f64 * x)
+                    .sum();
+                (drive / self.threshold as f64).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+}
+
+/// Trains readout weights on emulated feature rates (averaged perceptron).
+pub fn train_readout(bank: &FeatureBank, train: &[Sample], epochs: usize) -> Vec<Vec<f64>> {
+    let features: Vec<(Vec<f64>, usize)> = train
+        .iter()
+        .map(|s| (bank.rates(&s.frame), s.label))
+        .collect();
+    let f = bank.len();
+    let mut weights = vec![vec![0.0f64; f]; CLASSES];
+    let mut sum = vec![vec![0.0f64; f]; CLASSES];
+    for _ in 0..epochs {
+        for (x, label) in &features {
+            let scores: Vec<f64> = weights
+                .iter()
+                .map(|row| row.iter().zip(x).map(|(w, v)| w * v).sum())
+                .collect();
+            let prediction = argmax(&scores);
+            if prediction != *label {
+                for (k, &v) in x.iter().enumerate() {
+                    weights[*label][k] += v;
+                    weights[prediction][k] -= v;
+                }
+            }
+            for (avg_row, w_row) in sum.iter_mut().zip(&weights) {
+                for (a, &w) in avg_row.iter_mut().zip(w_row) {
+                    *a += w;
+                }
+            }
+        }
+    }
+    let steps = (epochs * features.len()).max(1) as f64;
+    for row in sum.iter_mut() {
+        for a in row.iter_mut() {
+            *a /= steps;
+        }
+    }
+    sum
+}
+
+/// The two-layer network deployed on the chip.
+#[derive(Debug)]
+pub struct DeepClassifier {
+    compiled: CompiledNetwork,
+    window: usize,
+}
+
+impl DeepClassifier {
+    /// Builds and compiles the two-layer network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors.
+    pub fn build(
+        bank: &FeatureBank,
+        readout: &[Vec<f64>],
+        readout_threshold: u32,
+        window: usize,
+    ) -> Result<DeepClassifier, CompileError> {
+        let mut corelet = Corelet::new("deep-classifier", PIXELS);
+        let feature_template = NeuronConfig::builder()
+            .threshold(bank.threshold)
+            .reset_mode(ResetMode::Linear)
+            .negative_threshold(0)
+            .build()
+            .expect("feature template valid");
+        let readout_template = NeuronConfig::builder()
+            .threshold(readout_threshold)
+            .reset_mode(ResetMode::Linear)
+            .build()
+            .expect("readout template valid");
+
+        let features = corelet.add_population(feature_template, bank.len());
+        for (fi, row) in bank.weights.iter().enumerate() {
+            for (pixel, &w) in row.iter().enumerate() {
+                if w != 0 {
+                    corelet
+                        .connect(NodeRef::Input(pixel), features[fi], w, 1)
+                        .expect("feature wiring valid");
+                }
+            }
+        }
+        let outputs = corelet.add_population(readout_template, CLASSES);
+        let quantized: Vec<Vec<i32>> =
+            readout.iter().map(|row| quantize_row(row, 32)).collect();
+        for (class, row) in quantized.iter().enumerate() {
+            for (fi, &w) in row.iter().enumerate() {
+                if w != 0 {
+                    // Delay 4 leaves headroom for both a core-splitter hop
+                    // and a weight-role relay hop on the feature fan-out.
+                    corelet
+                        .connect(NodeRef::Neuron(features[fi]), outputs[class], w, 4)
+                        .expect("readout wiring valid");
+                }
+            }
+        }
+        for &o in &outputs {
+            corelet.mark_output(o).expect("output exists");
+        }
+        let compiled = compile(corelet.network(), &CompileOptions::default())?;
+        Ok(DeepClassifier { compiled, window })
+    }
+
+    /// The compiled network.
+    pub fn compiled(&self) -> &CompiledNetwork {
+        &self.compiled
+    }
+
+    /// Classifies one frame by output spike counts.
+    pub fn classify(&mut self, frame: &Frame) -> usize {
+        self.compiled.reset();
+        let encoder = FrameEncoder::new(frame, self.window);
+        let mut counts = [0usize; CLASSES];
+        for t in 0..(self.window as u64 + 8) {
+            if t < self.window as u64 {
+                for (pixel, &s) in encoder.tick_spikes(t as usize).iter().enumerate() {
+                    if s {
+                        self.compiled.inject(pixel, t).expect("pixel port exists");
+                    }
+                }
+            }
+            for (class, fired) in self.compiled.tick().into_iter().enumerate() {
+                if fired {
+                    counts[class] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Accuracy over a test set.
+    pub fn accuracy(&mut self, test: &[Sample]) -> f64 {
+        let correct = test
+            .iter()
+            .filter(|s| self.classify(&s.frame) == s.label)
+            .count();
+        correct as f64 / test.len().max(1) as f64
+    }
+}
+
+/// Float reference: accuracy of the readout on emulated feature rates.
+pub fn float_feature_accuracy(bank: &FeatureBank, readout: &[Vec<f64>], test: &[Sample]) -> f64 {
+    let correct = test
+        .iter()
+        .filter(|s| {
+            let x = bank.rates(&s.frame);
+            let scores: Vec<f64> = readout
+                .iter()
+                .map(|row| row.iter().zip(&x).map(|(w, v)| w * v).sum())
+                .collect();
+            argmax(&scores) == s.label
+        })
+        .count();
+    correct as f64 / test.len().max(1) as f64
+}
+
+/// Suggests the readout threshold: mean positive correct-class drive per
+/// tick over the training features.
+pub fn suggest_readout_threshold(
+    bank: &FeatureBank,
+    readout: &[Vec<f64>],
+    train: &[Sample],
+) -> u32 {
+    let quantized: Vec<Vec<i32>> = readout.iter().map(|row| quantize_row(row, 32)).collect();
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for s in train.iter().take(50) {
+        let x = bank.rates(&s.frame);
+        let drive: f64 = quantized[s.label]
+            .iter()
+            .zip(&x)
+            .map(|(&w, v)| w as f64 * v)
+            .sum();
+        if drive > 0.0 {
+            total += drive;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1
+    } else {
+        (total / n as f64).max(1.0).round() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digits;
+
+    #[test]
+    fn feature_bank_is_deterministic_and_balanced() {
+        let a = FeatureBank::random(16, 8, 16, 9);
+        let b = FeatureBank::random(16, 8, 16, 9);
+        assert_eq!(a.weights, b.weights);
+        let nonzero: Vec<i32> = a.weights.iter().flatten().copied().filter(|&w| w != 0).collect();
+        assert_eq!(nonzero.len(), 16 * 64, "each feature covers its 8x8 patch");
+        let positives = nonzero.iter().filter(|&&w| w == 1).count();
+        let fraction = positives as f64 / nonzero.len() as f64;
+        assert!((fraction - 0.5).abs() < 0.07, "fraction {fraction}");
+    }
+
+    #[test]
+    fn rates_are_clipped_to_unit() {
+        let bank = FeatureBank::random(8, 8, 10, 5);
+        let frame = digits::glyph(3);
+        for r in bank.rates(&frame) {
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn deep_classifier_beats_chance_on_chip() {
+        let train = digits::generate(15, 0.02, 41);
+        let test = digits::generate(3, 0.05, 77);
+        let bank = FeatureBank::random(80, 8, 8, 13);
+        let readout = train_readout(&bank, &train, 25);
+        let float_acc = float_feature_accuracy(&bank, &readout, &test);
+        let threshold = suggest_readout_threshold(&bank, &readout, &train);
+        let mut deep = DeepClassifier::build(&bank, &readout, threshold, 24).expect("compiles");
+        let chip_acc = deep.accuracy(&test);
+        assert!(float_acc > 0.55, "float feature accuracy {float_acc}");
+        assert!(chip_acc > 0.35, "chip accuracy {chip_acc}");
+        assert!(
+            deep.compiled().report().cores >= 2,
+            "two-layer net should span cores"
+        );
+    }
+}

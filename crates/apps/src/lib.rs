@@ -1,0 +1,34 @@
+//! # brainsim-apps
+//!
+//! Application kernels built on the full stack (encode → corelet →
+//! compile → chip → decode), mirroring the application classes the
+//! architecture's evaluation reports:
+//!
+//! * [`digits`] — a procedurally generated 16×16 digit-glyph dataset. The
+//!   published evaluations use camera/MNIST-class data that is unavailable
+//!   offline; the synthetic glyphs exercise the identical code path and
+//!   preserve the accuracy *shape* (quantised-on-chip vs floating-point
+//!   baseline), which is what table T2 reproduces.
+//! * [`classifier`] — a rate-coded 10-class image classifier: perceptron
+//!   training in floating point, 4-level weight quantisation onto the
+//!   axon-type scheme, deployment to the chip, plus a floating-point LIF
+//!   baseline (`brainsim-snn`) for the accuracy-gap measurement.
+//! * [`edge`] — an orientation-selective 3×3 filter bank (saliency
+//!   front-end), the canonical convolutional corelet.
+//! * [`coincidence`] — a delay-line coincidence detector estimating the
+//!   inter-channel time difference of paired pulses (sound-localisation
+//!   kernel).
+//! * [`deep`] — a two-layer network (random-feature expansion + trained
+//!   readout) exercising multi-layer compilation.
+//! * [`motion`] — a Reichardt direction-selective motion detector composed
+//!   entirely from standard-library corelets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod coincidence;
+pub mod deep;
+pub mod digits;
+pub mod edge;
+pub mod motion;

@@ -1,0 +1,161 @@
+//! Reichardt-style motion detection: direction-selective correlation of
+//! neighbouring photoreceptors through delay lines and coincidence gates.
+//!
+//! The classic neuromorphic kernel: for each pair of adjacent pixels
+//! `(p, p+1)`, a rightward detector correlates *delayed* `p` with *direct*
+//! `p+1` (an edge moving right arrives at `p` first), and a leftward
+//! detector the mirror image. Population votes over the detector rows give
+//! the perceived direction. Built entirely from the corelet standard
+//! library (delay lines + coincidence gates) composed with `embed`.
+
+use brainsim_compiler::{compile, CompileError, CompileOptions, CompiledNetwork};
+use brainsim_corelet::{library, Corelet, NodeRef};
+
+/// Perceived motion direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Stimulus sweeping toward larger pixel indices.
+    Rightward,
+    /// Stimulus sweeping toward smaller pixel indices.
+    Leftward,
+    /// No clear winner.
+    Ambiguous,
+}
+
+/// A compiled 1-D motion detector over `pixels` photoreceptors.
+#[derive(Debug)]
+pub struct MotionDetector {
+    compiled: CompiledNetwork,
+    pairs: usize,
+}
+
+impl MotionDetector {
+    /// Builds the detector array. `lag` is the pixel-to-pixel sweep delay
+    /// the detectors are tuned to (1–6 ticks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels < 2` or `lag` outside `1..=6`.
+    pub fn build(pixels: usize, lag: u32) -> Result<MotionDetector, CompileError> {
+        assert!(pixels >= 2, "need at least two photoreceptors");
+        assert!((1..=6).contains(&lag), "lag must be 1..=6");
+        let mut top = Corelet::new("motion-detector", pixels);
+        let pairs = pixels - 1;
+        for p in 0..pairs {
+            // Rightward detector: delayed(p) AND direct(p+1).
+            let delayed = library::delay_line(lag).expect("valid delay");
+            let d = top.embed(&delayed, &[NodeRef::Input(p)]).expect("embed");
+            let gate = library::coincidence(2);
+            // The direct branch needs a matching relay latency (the delay
+            // line adds `lag` plus its own 0-tick relay fire; the direct
+            // input reaches the gate through its synapse alone), so tune
+            // the gate wiring: delayed branch from the delay line's output
+            // neuron, direct branch straight from the input port.
+            let g = top
+                .embed(&gate, &[NodeRef::Neuron(d[0]), NodeRef::Input(p + 1)])
+                .expect("embed");
+            top.mark_output(g[0]).expect("output");
+
+            // Leftward detector: delayed(p+1) AND direct(p).
+            let delayed_l = library::delay_line(lag).expect("valid delay");
+            let dl = top.embed(&delayed_l, &[NodeRef::Input(p + 1)]).expect("embed");
+            let gate_l = library::coincidence(2);
+            let gl = top
+                .embed(&gate_l, &[NodeRef::Neuron(dl[0]), NodeRef::Input(p)])
+                .expect("embed");
+            top.mark_output(gl[0]).expect("output");
+        }
+        let compiled = compile(top.network(), &CompileOptions::default())?;
+        Ok(MotionDetector { compiled, pairs })
+    }
+
+    /// The compiled network.
+    pub fn compiled(&self) -> &CompiledNetwork {
+        &self.compiled
+    }
+
+    /// Presents a bright edge sweeping across the array with the given
+    /// per-pixel lag (positive = rightward) and returns the decoded
+    /// direction plus the two detector-population counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|sweep_lag|` is outside `1..=6`.
+    pub fn perceive(&mut self, sweep_lag: i32) -> (Direction, usize, usize) {
+        assert!((1..=6).contains(&sweep_lag.unsigned_abs()), "sweep lag 1..=6");
+        self.compiled.reset();
+        let pixels = self.pairs + 1;
+        let horizon = (pixels as u64) * sweep_lag.unsigned_abs() as u64 + 20;
+        let mut right_votes = 0usize;
+        let mut left_votes = 0usize;
+        for t in 0..horizon {
+            // A travelling flash: each photoreceptor fires once, in sweep
+            // order, one every |sweep_lag| ticks.
+            let lag = sweep_lag.unsigned_abs() as u64;
+            let step = (t / lag) as usize;
+            let active: Vec<usize> = if step < pixels && t % lag == 0 {
+                let p = if sweep_lag > 0 { step } else { pixels - 1 - step };
+                vec![p]
+            } else {
+                Vec::new()
+            };
+            for &p in &active {
+                self.compiled.inject(p, t).expect("pixel port");
+            }
+            for (port, fired) in self.compiled.tick().into_iter().enumerate() {
+                if fired {
+                    if port % 2 == 0 {
+                        right_votes += 1;
+                    } else {
+                        left_votes += 1;
+                    }
+                }
+            }
+        }
+        let direction = if right_votes > left_votes {
+            Direction::Rightward
+        } else if left_votes > right_votes {
+            Direction::Leftward
+        } else {
+            Direction::Ambiguous
+        };
+        (direction, right_votes, left_votes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_rightward_sweep() {
+        let mut detector = MotionDetector::build(6, 3).expect("compiles");
+        let (dir, right, left) = detector.perceive(3);
+        assert_eq!(dir, Direction::Rightward, "votes R{right}/L{left}");
+        assert!(right >= 3, "expected strong rightward response, got {right}");
+    }
+
+    #[test]
+    fn detects_leftward_sweep() {
+        let mut detector = MotionDetector::build(6, 3).expect("compiles");
+        let (dir, right, left) = detector.perceive(-3);
+        assert_eq!(dir, Direction::Leftward, "votes R{right}/L{left}");
+        assert!(left >= 3);
+    }
+
+    #[test]
+    fn direction_selectivity_is_tuned_to_lag() {
+        // A detector tuned to lag 2 should respond weakly to a lag-5 sweep.
+        let mut detector = MotionDetector::build(6, 2).expect("compiles");
+        let (_, tuned_right, _) = detector.perceive(2);
+        let (_, detuned_right, _) = detector.perceive(5);
+        assert!(
+            tuned_right > detuned_right,
+            "tuned {tuned_right} vs detuned {detuned_right}"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! T2 bench: per-image classification latency on the chip vs the float LIF
+//! baseline (accuracy numbers come from `figures t2`).
+
+use brainsim_apps::classifier::{
+    quantize_row, suggest_threshold, train_perceptron, ChipClassifier, LifClassifier,
+};
+use brainsim_apps::digits;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_classify(c: &mut Criterion) {
+    let train = digits::generate(10, 0.02, 21);
+    let test = digits::generate(1, 0.05, 99);
+    let weights = train_perceptron(&train, 8);
+    let quantized: Vec<Vec<i32>> = weights.iter().map(|row| quantize_row(row, 32)).collect();
+    let window = 16;
+    let threshold = suggest_threshold(&quantized, &train, window);
+
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(20);
+    group.bench_function("chip_per_image", |b| {
+        let mut chip = ChipClassifier::build(&quantized, threshold, window).unwrap();
+        let frame = test[0].frame.clone();
+        b.iter(|| chip.classify(&frame));
+    });
+    group.bench_function("lif_baseline_per_image", |b| {
+        let mut lif = LifClassifier::build(&weights, threshold as f64, window);
+        let frame = test[0].frame.clone();
+        b.iter(|| lif.classify(&frame));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

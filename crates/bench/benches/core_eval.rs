@@ -1,0 +1,58 @@
+//! Ablation bench: dense vs sparse (event-driven) core evaluation as a
+//! function of input activity. The event-driven path's cost tracks actual
+//! synaptic events while the dense column scan pays per axon×neuron pair,
+//! so sparse wins at every activity level — the quantitative argument for
+//! the event-driven default (DESIGN.md, ablation for F3).
+
+use brainsim_core::{AxonType, CoreBuilder, Destination, EvalStrategy, NeurosynapticCore};
+use brainsim_neuron::{Lfsr, NeuronConfig, Weight};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build_core(strategy: EvalStrategy) -> NeurosynapticCore {
+    let mut builder = CoreBuilder::new(256, 256);
+    builder.strategy(strategy);
+    let mut rng = Lfsr::new(0xC0DE);
+    let config = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(2))
+        .weight(AxonType::A3, Weight::saturating(-1))
+        .threshold(40)
+        .build()
+        .unwrap();
+    for n in 0..256 {
+        builder.neuron(n, config.clone(), Destination::Disabled).unwrap();
+        for a in 0..256 {
+            if rng.bernoulli_256(32) {
+                builder.synapse(a, n, true).unwrap();
+            }
+        }
+    }
+    builder.build()
+}
+
+fn bench_core_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_eval");
+    for active_axons in [2usize, 16, 64, 256] {
+        for (name, strategy) in [("dense", EvalStrategy::Dense), ("sparse", EvalStrategy::Sparse)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, active_axons),
+                &active_axons,
+                |b, &active| {
+                    let mut core = build_core(strategy);
+                    let mut tick = 0u64;
+                    b.iter(|| {
+                        for a in 0..active {
+                            core.deliver(a * (256 / active), tick).unwrap();
+                        }
+                        let fired = core.tick(tick);
+                        tick += 1;
+                        fired
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_eval);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! F4 bench: mesh cycle cost under increasing injection rates (the latency
+//! curve itself is produced by `figures f4`).
+
+use brainsim_neuron::Lfsr;
+use brainsim_noc::{MeshNoc, NocConfig, Packet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_noc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_saturation");
+    for rate_percent in [5u32, 25, 60] {
+        group.bench_with_input(
+            BenchmarkId::new("cycle", format!("{rate_percent}pct")),
+            &rate_percent,
+            |b, &rate| {
+                let mut noc = MeshNoc::new(NocConfig::default());
+                let mut rng = Lfsr::new(1);
+                let numerator = rate * 256 / 100;
+                b.iter(|| {
+                    for y in 0..8usize {
+                        for x in 0..8usize {
+                            if rng.bernoulli_256(numerator) {
+                                let tx = (rng.next_u32() % 8) as i16;
+                                let ty = (rng.next_u32() % 8) as i16;
+                                let packet =
+                                    Packet::new(tx - x as i16, ty - y as i16, 0, 0).unwrap();
+                                let _ = noc.inject(x, y, packet);
+                            }
+                        }
+                    }
+                    noc.cycle()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! T3 bench: compile-time cost of greedy-only vs annealed placement (the
+//! quality comparison is produced by `figures t3`).
+
+use brainsim_compiler::{compile, CompileOptions};
+use brainsim_corelet::{connectors, Corelet, NodeRef};
+use brainsim_neuron::NeuronConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn workload() -> Corelet {
+    let mut corelet = Corelet::new("placement-bench", 4);
+    let template = NeuronConfig::builder().threshold(4).build().unwrap();
+    let pop = corelet.add_population(template, 120);
+    let pres: Vec<NodeRef> = pop.iter().map(|&p| NodeRef::Neuron(p)).collect();
+    // Delay-3 links leave the splitter chains headroom on small cores.
+    connectors::random(&mut corelet, &pres, &pop, 2, 3, 24, 5).unwrap();
+    for i in 0..4 {
+        corelet.connect(NodeRef::Input(i), pop[i * 17], 4, 1).unwrap();
+    }
+    corelet
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let corelet = workload();
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    for (name, iters) in [("greedy_only", 0u32), ("annealed", 5_000)] {
+        group.bench_with_input(BenchmarkId::new("compile", name), &iters, |b, &iters| {
+            let options = CompileOptions {
+                core_axons: 64,
+                core_neurons: 24,
+                relay_reserve: 8,
+                anneal_iters: iters,
+                ..CompileOptions::default()
+            };
+            b.iter(|| compile(corelet.network(), &options).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

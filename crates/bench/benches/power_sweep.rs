@@ -1,0 +1,32 @@
+//! F2 workload bench: simulation cost of the power-vs-rate sweep point
+//! (the figure itself is produced by `figures f2`; this bench tracks the
+//! simulator's cost per tick at each activity level).
+
+use brainsim_bench::{drive_random, hz_to_numerator, random_chip, RandomChipSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_power_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_sweep");
+    group.sample_size(10);
+    for rate_hz in [10u32, 100] {
+        for density in [16u32, 64] {
+            let id = format!("{rate_hz}hz_d{density}");
+            group.bench_with_input(BenchmarkId::new("tick", id), &(), |b, _| {
+                let spec = RandomChipSpec {
+                    width: 2,
+                    height: 2,
+                    density,
+                    ..RandomChipSpec::default()
+                };
+                let mut chip = random_chip(&spec);
+                b.iter(|| {
+                    drive_random(&mut chip, 10, hz_to_numerator(rate_hz), 9);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_power_sweep);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! F3 bench: event-driven chip simulation vs the clock-driven float
+//! baseline at low and high activity — the event-driven advantage at low
+//! rates and the clock-driven cost floor are the figure's shape.
+
+use brainsim_bench::{
+    drive_float_baseline, drive_random, hz_to_numerator, random_chip, random_float_baseline,
+    RandomChipSpec,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    for cores in [1usize, 4, 16] {
+        for rate_hz in [10u32, 100] {
+            let spec = RandomChipSpec {
+                width: cores.min(4),
+                height: cores.div_ceil(4),
+                ..RandomChipSpec::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new("chip", format!("{cores}c_{rate_hz}hz")),
+                &(),
+                |b, _| {
+                    let mut chip = random_chip(&spec);
+                    b.iter(|| drive_random(&mut chip, 10, hz_to_numerator(rate_hz), 3));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("float_baseline", format!("{cores}c_{rate_hz}hz")),
+                &(),
+                |b, _| {
+                    let mut net = random_float_baseline(&spec);
+                    let inputs = spec.width * spec.height * spec.axons;
+                    b.iter(|| {
+                        drive_float_baseline(&mut net, 10, hz_to_numerator(rate_hz), 3, inputs)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

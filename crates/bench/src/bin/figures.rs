@@ -1,0 +1,653 @@
+//! Regenerates every reconstructed table and figure of the evaluation.
+//!
+//! Usage: `cargo run --release -p brainsim-bench --bin figures [id...]`
+//! where `id` is one of `t1 f1 f2 f3 f4 f5 t2 f6 t3 f7` or `all`
+//! (default). See DESIGN.md for the experiment index and EXPERIMENTS.md
+//! for recorded paper-vs-measured results.
+
+use std::time::Instant;
+
+use brainsim_apps::classifier::{
+    float_accuracy, quantize_row, suggest_threshold, train_perceptron, ChipClassifier,
+    LifClassifier,
+};
+use brainsim_apps::coincidence::ItdEstimator;
+use brainsim_apps::deep::{
+    self, suggest_readout_threshold, train_readout, DeepClassifier, FeatureBank,
+};
+use brainsim_apps::digits;
+use brainsim_apps::edge::{bar_frame, EdgeFilterBank, Orientation};
+use brainsim_bench::{
+    drive_float_baseline, drive_random, hz_to_numerator, random_chip, random_float_baseline,
+    RandomChipSpec,
+};
+use brainsim_chip::{ChipBuilder, ChipConfig, TickSemantics};
+use brainsim_core::{
+    AxonTarget, AxonType, CoreBuilder, CoreOffset, Destination, EvalStrategy, NeurosynapticCore,
+};
+use brainsim_corelet::{connectors, Corelet, NodeRef};
+use brainsim_energy::{EnergyModel, EventCensus};
+use brainsim_neuron::{behavior, Lfsr, NeuronConfig, Weight};
+use brainsim_noc::{MeshNoc, NocConfig, Packet};
+use brainsim_snn::golden::GoldenCore;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["t1", "f1", "f2", "f3", "f4", "f5", "t2", "f6", "t3", "f7", "f8"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match id {
+            "t1" => t1_architecture_parameters(),
+            "f1" => f1_neuron_behaviors(),
+            "f2" => f2_power_vs_rate(),
+            "f3" => f3_throughput_scaling(),
+            "f4" => f4_noc_saturation(),
+            "f5" => f5_determinism(),
+            "t2" => t2_application_accuracy(),
+            "f6" => f6_energy_accuracy_tradeoff(),
+            "t3" => t3_placement_quality(),
+            "f7" => f7_mixed_workload(),
+            "f8" => f8_multichip_tiling(),
+            other => eprintln!("unknown experiment id: {other}"),
+        }
+        println!();
+    }
+}
+
+fn header(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("==============================================================");
+}
+
+/// T1 — architecture parameter summary.
+fn t1_architecture_parameters() {
+    header("T1", "architecture parameters");
+    let full = ChipConfig {
+        width: 64,
+        height: 64,
+        core_axons: 256,
+        core_neurons: 256,
+        ..ChipConfig::default()
+    };
+    println!("{:<38} {:>16}", "parameter", "value");
+    println!("{:<38} {:>16}", "cores (full-scale grid)", format!("{}x{}", full.width, full.height));
+    println!("{:<38} {:>16}", "neurons per core", full.core_neurons);
+    println!("{:<38} {:>16}", "axons per core", full.core_axons);
+    println!("{:<38} {:>16}", "total neurons", full.neurons());
+    println!("{:<38} {:>16}", "total programmable synapses", full.synapses());
+    println!("{:<38} {:>16}", "tick period", "1 ms");
+    println!("{:<38} {:>16}", "axon types per core", 4);
+    println!("{:<38} {:>16}", "weight precision", "signed 9-bit");
+    println!("{:<38} {:>16}", "membrane precision", "signed 20-bit");
+    println!("{:<38} {:>16}", "axonal delay range", "1-15 ticks");
+    println!("{:<38} {:>16}", "scheduler depth", 16);
+    println!("{:<38} {:>16}", "routing", "DOR mesh");
+    println!("{:<38} {:>16}", "packet word", "38 bits");
+    println!("{:<38} {:>16}", "fan-in per neuron (max)", 256);
+    println!("{:<38} {:>16}", "fan-out per spike (in-core)", 256);
+}
+
+/// F1 — the canonical neuron behaviour catalogue.
+fn f1_neuron_behaviors() {
+    header("F1", "neuron behaviour catalogue");
+    let results = behavior::run_all();
+    println!("{:<34} {:>6}  measured signature", "behaviour", "ok");
+    for r in &results {
+        println!(
+            "{:<34} {:>6}  {}",
+            r.name,
+            if r.achieved { "yes" } else { "NO" },
+            r.metric
+        );
+    }
+    let achieved = results.iter().filter(|r| r.achieved).count();
+    println!("achieved: {achieved}/{}", results.len());
+}
+
+/// F2 — power vs mean firing rate and synaptic density.
+fn f2_power_vs_rate() {
+    header("F2", "power vs firing rate and synaptic density (64-core chip model)");
+    let model = EnergyModel::default();
+    let ticks = 300u64;
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "rate (Hz)", "d=6.25%", "d=12.5%", "d=25%", "d=50%"
+    );
+    println!("{:>10} {:>51}", "", "total mW (active + static)");
+    for rate_hz in [0u32, 10, 20, 50, 100, 200] {
+        let mut row = format!("{rate_hz:>10}");
+        for density in [16u32, 32, 64, 128] {
+            let spec = RandomChipSpec {
+                width: 8,
+                height: 8,
+                axons: 64,
+                neurons: 64,
+                density,
+                ..RandomChipSpec::default()
+            };
+            let mut chip = random_chip(&spec);
+            drive_random(&mut chip, ticks, hz_to_numerator(rate_hz), 17);
+            let report = model.report(&chip.census());
+            row.push_str(&format!(" {:>12.3}", report.total_mw));
+        }
+        println!("{row}");
+    }
+    println!("(active power is linear in event counts; the zero-rate row is the static floor)");
+}
+
+/// F3 — throughput scaling and the event-driven vs clock-driven baseline.
+fn f3_throughput_scaling() {
+    header("F3", "simulation throughput: event-driven chip vs clock-driven float baseline");
+    let ticks = 200u64;
+    println!(
+        "{:>6} {:>9} {:>14} {:>14} {:>14} {:>10}",
+        "cores", "rate(Hz)", "chip tick/s", "chip Msyn/s", "float tick/s", "syn/float"
+    );
+    for (w, h) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8)] {
+        for rate_hz in [10u32, 100] {
+            // Full-size 256x256 cores, as on the silicon.
+            let spec = RandomChipSpec {
+                width: w,
+                height: h,
+                axons: 256,
+                neurons: 256,
+                density: 32,
+                ..RandomChipSpec::default()
+            };
+            let mut chip = random_chip(&spec);
+            let start = Instant::now();
+            drive_random(&mut chip, ticks, hz_to_numerator(rate_hz), 5);
+            let chip_secs = start.elapsed().as_secs_f64();
+            let census = chip.census();
+            let chip_tps = ticks as f64 / chip_secs;
+            let msyn = census.synaptic_events as f64 / chip_secs / 1e6;
+
+            let mut net = random_float_baseline(&spec);
+            let inputs = w * h * spec.axons;
+            let start = Instant::now();
+            drive_float_baseline(&mut net, ticks, hz_to_numerator(rate_hz), 5, inputs);
+            let float_secs = start.elapsed().as_secs_f64();
+            let float_tps = ticks as f64 / float_secs;
+
+            let float_msyn =
+                net.stats().synaptic_events as f64 / float_secs / 1e6;
+            println!(
+                "{:>6} {:>9} {:>14.0} {:>14.2} {:>14.0} {:>10.2}",
+                w * h,
+                rate_hz,
+                chip_tps,
+                msyn,
+                float_tps,
+                msyn / float_msyn.max(1e-9)
+            );
+        }
+    }
+    println!("(syn/float = ratio of synaptic-event throughput, chip model vs plain");
+    println!(" float simulator. The hardware-faithful model pays a bounded 10-40%");
+    println!(" bookkeeping overhead in exchange for bit-exact hardware equivalence");
+    println!(" and event-level energy accounting; both scale linearly in cores, and");
+    println!(" chip cost is activity-proportional (tick/s grows ~5x when the rate");
+    println!(" drops 10x) while the clock-driven baseline has a rate-independent");
+    println!(" floor. The tick barrier also makes the sweep embarrassingly parallel");
+    println!(" — bit-identical across thread counts (tested); this host is 1-core.)");
+}
+
+/// F4 — NoC latency vs injection rate.
+fn f4_noc_saturation() {
+    header("F4", "mesh saturation: latency vs injection rate (8x8 DOR mesh)");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>10}",
+        "inj/core/cyc", "mean lat", "max lat", "delivered", "rejected"
+    );
+    for rate_percent in [2u32, 5, 10, 20, 30, 40, 50, 60, 80] {
+        let mut noc = MeshNoc::new(NocConfig::default());
+        let mut rng = Lfsr::new(11);
+        let numerator = rate_percent * 256 / 100;
+        let cycles = 3000u64;
+        for _ in 0..cycles {
+            for y in 0..8usize {
+                for x in 0..8usize {
+                    if rng.bernoulli_256(numerator) {
+                        let tx = (rng.next_u32() % 8) as i16;
+                        let ty = (rng.next_u32() % 8) as i16;
+                        let p = Packet::new(tx - x as i16, ty - y as i16, 0, 0).unwrap();
+                        let _ = noc.inject(x, y, p);
+                    }
+                }
+            }
+            noc.cycle();
+        }
+        noc.drain(10_000);
+        let stats = noc.stats();
+        println!(
+            "{:>11}% {:>12.2} {:>12} {:>12} {:>10}",
+            rate_percent,
+            stats.mean_latency(),
+            stats.max_latency,
+            stats.delivered,
+            stats.rejected
+        );
+    }
+    println!("(latency grows gracefully to the saturation knee; rejected counts are");
+    println!(" source-queue backpressure, not packet loss — conservation is exact)");
+
+    // Routing-order ablation: column-hotspot traffic (all destinations on
+    // one column). X-then-Y funnels every packet onto that column's
+    // vertical links early; Y-then-X spreads traffic across rows first.
+    use brainsim_noc::RoutingOrder;
+    println!("\nablation: routing order under column-hotspot traffic (20% injection)");
+    println!("{:>12} {:>12} {:>12} {:>12}", "order", "mean lat", "max lat", "delivered");
+    for (name, order) in [("X-then-Y", RoutingOrder::XThenY), ("Y-then-X", RoutingOrder::YThenX)] {
+        let mut noc = MeshNoc::new(NocConfig {
+            routing: order,
+            ..NocConfig::default()
+        });
+        let mut rng = Lfsr::new(31);
+        for _ in 0..2000u64 {
+            for y in 0..8usize {
+                for x in 0..8usize {
+                    if rng.bernoulli_256(51) {
+                        let ty = (rng.next_u32() % 8) as i16;
+                        let p = Packet::new(7 - x as i16, ty - y as i16, 0, 0).unwrap();
+                        let _ = noc.inject(x, y, p);
+                    }
+                }
+            }
+            noc.cycle();
+        }
+        noc.drain(10_000);
+        let stats = noc.stats();
+        println!(
+            "{:>12} {:>12.2} {:>12} {:>12}",
+            name,
+            stats.mean_latency(),
+            stats.max_latency,
+            stats.delivered
+        );
+    }
+    println!("(Y-then-X defers the hotspot-column merge to the last hop and so");
+    println!(" degrades less — the classic DOR asymmetry under skewed traffic)");
+}
+
+/// Builds a random core + golden twin for F5.
+fn f5_pair(seed: u32, strategy: EvalStrategy) -> (NeurosynapticCore, GoldenCore) {
+    let (axons, neurons) = (64, 64);
+    let mut rng = Lfsr::new(seed);
+    let mut builder = CoreBuilder::new(axons, neurons);
+    let mut golden = GoldenCore::new(axons, neurons, seed ^ 0x5A5A);
+    builder.seed(seed ^ 0x5A5A).strategy(strategy);
+    for a in 0..axons {
+        let ty = AxonType::from_index((rng.next_u32() % 4) as usize).unwrap();
+        builder.axon_type(a, ty).unwrap();
+        golden.set_axon_type(a, ty);
+    }
+    for n in 0..neurons {
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating((rng.next_u32() % 8) as i32))
+            .weight(AxonType::A1, Weight::saturating(3))
+            .weight(AxonType::A2, Weight::saturating(-2))
+            .weight(AxonType::A3, Weight::saturating(-4))
+            .threshold(2 + rng.next_u32() % 16)
+            .leak(((rng.next_u32() % 3) as i32) - 1)
+            .negative_threshold(0)
+            .build()
+            .unwrap();
+        builder.neuron(n, config.clone(), Destination::Disabled).unwrap();
+        golden.set_neuron(n, config);
+        for a in 0..axons {
+            let bit = rng.bernoulli_256(40);
+            builder.synapse(a, n, bit).unwrap();
+            golden.set_synapse(a, n, bit);
+        }
+    }
+    (builder.build(), golden)
+}
+
+/// F5 — one-to-one determinism and the relaxed ablation.
+fn f5_determinism() {
+    header("F5", "one-to-one determinism: optimised core vs golden model");
+    let seeds = 10u32;
+    let ticks = 500u64;
+    let mut identical = 0;
+    for seed in 1..=seeds {
+        for strategy in [EvalStrategy::Dense, EvalStrategy::Sparse] {
+            let (mut core, mut golden) = f5_pair(seed, strategy);
+            let mut stim = Lfsr::new(seed ^ 0xFFF);
+            let mut all_equal = true;
+            for t in 0..ticks {
+                for a in 0..core.axons() {
+                    if stim.bernoulli_256(32) {
+                        core.deliver(a, t).unwrap();
+                        golden.deliver(a, t);
+                    }
+                }
+                if core.tick(t) != golden.tick() {
+                    all_equal = false;
+                    break;
+                }
+            }
+            if all_equal {
+                identical += 1;
+            }
+        }
+    }
+    println!(
+        "{identical}/{} random-core runs bit-identical over {ticks} ticks (dense + sparse)",
+        seeds * 2
+    );
+
+    // Relaxed-semantics ablation on a relay chain.
+    println!("\nablation: relay-chain output tick under each semantics");
+    println!("{:>14} {:>18} {:>18}", "chain length", "deterministic", "relaxed");
+    for n in [2usize, 4, 8] {
+        let mut out = Vec::new();
+        for semantics in [TickSemantics::Deterministic, TickSemantics::Relaxed] {
+            let mut b = ChipBuilder::new(ChipConfig {
+                width: n,
+                height: 1,
+                core_axons: 2,
+                core_neurons: 2,
+                semantics,
+                ..ChipConfig::default()
+            });
+            let relay = NeuronConfig::builder()
+                .weight(AxonType::A0, Weight::saturating(1))
+                .threshold(1)
+                .build()
+                .unwrap();
+            for x in 0..n {
+                let dest = if x + 1 < n {
+                    Destination::Axon(AxonTarget {
+                        offset: CoreOffset::new(1, 0),
+                        axon: 0,
+                        delay: 1,
+                    })
+                } else {
+                    Destination::Output(0)
+                };
+                b.core_mut(x, 0).neuron(0, relay.clone(), dest).unwrap();
+                b.core_mut(x, 0).synapse(0, 0, true).unwrap();
+            }
+            let mut chip = b.build().unwrap();
+            chip.inject(0, 0, 0, 0).unwrap();
+            let (outputs, _) = chip.run(n as u64 + 2);
+            out.push(outputs.first().map(|&(t, _)| t as i64).unwrap_or(-1));
+        }
+        println!("{:>14} {:>18} {:>18}", n, out[0], out[1]);
+    }
+    println!("(relaxed delivery rides the sweep order: the chain collapses into one tick,");
+    println!(" i.e. behaviour depends on evaluation order — the hazard the barrier forbids)");
+}
+
+/// T2 — application accuracy: quantised chip vs float baselines.
+fn t2_application_accuracy() {
+    header("T2", "digit classification: float baselines vs quantised chip");
+    let train = digits::generate(20, 0.02, 21);
+    let test = digits::generate(10, 0.05, 99);
+    let weights = train_perceptron(&train, 15);
+    let quantized: Vec<Vec<i32>> = weights.iter().map(|row| quantize_row(row, 32)).collect();
+    let window = 16;
+    let threshold = suggest_threshold(&quantized, &train, window);
+
+    let float_acc = float_accuracy(&weights, &test);
+    let qf: Vec<Vec<f64>> = quantized
+        .iter()
+        .map(|r| r.iter().map(|&w| w as f64).collect())
+        .collect();
+    let q_dot_acc = float_accuracy(&qf, &test);
+    let mut lif = LifClassifier::build(&weights, threshold as f64, window);
+    let lif_acc = lif.accuracy(&test);
+    let mut chip = ChipClassifier::build(&quantized, threshold, window).unwrap();
+    let chip_acc = chip.accuracy(&test);
+    let report = EnergyModel::default().report(&chip.compiled().chip().census());
+    let per_image_uj = report.active_energy_j * 1e6 / test.len() as f64;
+    let stoch_acc = chip.accuracy_stochastic(&test, 0xFACE);
+
+    println!("{:<44} {:>10}", "model", "accuracy");
+    println!("{:<44} {:>10.3}", "float dot product (upper bound)", float_acc);
+    println!("{:<44} {:>10.3}", "float LIF simulator (brainsim-snn)", lif_acc);
+    println!("{:<44} {:>10.3}", "4-level quantised dot product", q_dot_acc);
+    println!("{:<44} {:>10.3}", "quantised, rate-coded, on chip", chip_acc);
+    println!("{:<44} {:>10.3}", "quantised, stochastic rate code, on chip", stoch_acc);
+
+    // Two-layer variant: random patch features + trained readout.
+    let bank = FeatureBank::random(80, 8, 8, 13);
+    let readout = train_readout(&bank, &train, 25);
+    let deep_float = deep::float_feature_accuracy(&bank, &readout, &test);
+    let deep_threshold = suggest_readout_threshold(&bank, &readout, &train);
+    let mut deep_chip = DeepClassifier::build(&bank, &readout, deep_threshold, 24).unwrap();
+    let deep_acc = deep_chip.accuracy(&test);
+    println!("{:<44} {:>10.3}", "two-layer float (feature rates)", deep_float);
+    println!("{:<44} {:>10.3}", "two-layer quantised, on chip", deep_acc);
+    println!();
+    println!(
+        "single-layer deployment: {} cores, {} axons, {:.3} uJ/classification",
+        chip.compiled().report().cores,
+        chip.compiled().report().axons_used,
+        per_image_uj
+    );
+    println!(
+        "two-layer deployment:    {} cores, {} axons, {} relay neurons",
+        deep_chip.compiled().report().cores,
+        deep_chip.compiled().report().axons_used,
+        deep_chip.compiled().report().relays
+    );
+}
+
+/// F6 — energy per classification vs accuracy (encoding-window sweep).
+fn f6_energy_accuracy_tradeoff() {
+    header("F6", "energy vs accuracy: encoding-window sweep");
+    let train = digits::generate(20, 0.02, 21);
+    let test = digits::generate(6, 0.05, 99);
+    let weights = train_perceptron(&train, 15);
+    let quantized: Vec<Vec<i32>> = weights.iter().map(|row| quantize_row(row, 32)).collect();
+    let model = EnergyModel::default();
+    println!(
+        "{:>8} {:>10} {:>16} {:>14}",
+        "window", "accuracy", "uJ/classif.", "ticks/classif."
+    );
+    for window in [4usize, 8, 16, 32, 64] {
+        let threshold = suggest_threshold(&quantized, &train, window);
+        let mut chip = ChipClassifier::build(&quantized, threshold, window).unwrap();
+        let acc = chip.accuracy(&test);
+        let report = model.report(&chip.compiled().chip().census());
+        let per_image = report.active_energy_j * 1e6 / test.len() as f64;
+        println!(
+            "{:>8} {:>10.3} {:>16.3} {:>14}",
+            window,
+            acc,
+            per_image,
+            window + 4
+        );
+    }
+    println!("(longer windows buy accuracy with linearly more spikes and energy)");
+}
+
+/// T3 — placement quality: greedy vs annealed.
+fn t3_placement_quality() {
+    header("T3", "compiler placement: greedy vs simulated annealing");
+    println!(
+        "{:>9} {:>7} {:>13} {:>13} {:>13} {:>11} {:>10} {:>11}",
+        "neurons", "cores", "random cost", "greedy cost", "annealed", "mean hops", "max link", "vs random"
+    );
+    for size in [30usize, 60, 120, 240] {
+        // Locality-structured workload: a ring of blocks where each block
+        // talks mostly to its neighbours — the class of network where
+        // placement actually matters (uniform-random traffic is placement-
+        // insensitive by symmetry).
+        let mut corelet = Corelet::new("t3", 4);
+        let template = NeuronConfig::builder().threshold(4).build().unwrap();
+        let pop = corelet.add_population(template, size);
+        let block = 10usize;
+        let blocks = size / block;
+        for b in 0..blocks {
+            let this: Vec<NodeRef> = (0..block)
+                .map(|i| NodeRef::Neuron(pop[b * block + i]))
+                .collect();
+            let next: Vec<_> = (0..block)
+                .map(|i| pop[((b + 1) % blocks) * block + i])
+                .collect();
+            // Dense local recurrence + a thinner link to the next block.
+            let local: Vec<_> = (0..block).map(|i| pop[b * block + i]).collect();
+            connectors::random(&mut corelet, &this, &local, 2, 3, 90, b as u32 + 1).unwrap();
+            connectors::random(&mut corelet, &this, &next, 2, 3, 30, b as u32 + 77).unwrap();
+        }
+        for i in 0..4 {
+            corelet
+                .connect(NodeRef::Input(i), pop[i * size / 4], 4, 1)
+                .unwrap();
+        }
+        let options = brainsim_compiler::CompileOptions {
+            core_axons: 64,
+            core_neurons: 24,
+            relay_reserve: 8,
+            anneal_iters: 20_000,
+            ..brainsim_compiler::CompileOptions::default()
+        };
+        let compiled = brainsim_compiler::compile(corelet.network(), &options).unwrap();
+        let r = compiled.report();
+        let vs_random = if r.random_cost > 0 {
+            100.0 * (r.random_cost.saturating_sub(r.annealed_cost)) as f64
+                / r.random_cost as f64
+        } else {
+            0.0
+        };
+        let link = brainsim_chip::trace::link_load(compiled.chip());
+        println!(
+            "{:>9} {:>7} {:>13} {:>13} {:>13} {:>11.2} {:>10} {:>10.1}%",
+            size,
+            r.cores,
+            r.random_cost,
+            r.greedy_cost,
+            r.annealed_cost,
+            r.mean_hops_annealed(),
+            link.max_load(),
+            vs_random
+        );
+    }
+}
+
+/// F7 — mixed application workload: combined census and efficiency.
+fn f7_mixed_workload() {
+    header("F7", "mixed workload: combined application suite census");
+    let model = EnergyModel::default();
+    let mut combined = EventCensus::default();
+
+    // Classifier over a small test set.
+    let train = digits::generate(10, 0.02, 21);
+    let test = digits::generate(3, 0.05, 99);
+    let weights = train_perceptron(&train, 8);
+    let quantized: Vec<Vec<i32>> = weights.iter().map(|row| quantize_row(row, 32)).collect();
+    let threshold = suggest_threshold(&quantized, &train, 16);
+    let mut chip = ChipClassifier::build(&quantized, threshold, 16).unwrap();
+    let acc = chip.accuracy(&test);
+    let classifier_census = chip.compiled().chip().census();
+    combined.merge(&classifier_census);
+    print_census_row("digit classifier", &classifier_census, &model, &format!("accuracy {acc:.2}"));
+
+    // Edge filter bank over oriented bars.
+    let mut bank = EdgeFilterBank::build(12, 6, 8).unwrap();
+    for orientation in Orientation::ALL {
+        let frame = bar_frame(12, orientation);
+        bank.respond(&frame);
+    }
+    let edge_census = bank.compiled().chip().census();
+    combined.merge(&edge_census);
+    print_census_row("edge filter bank", &edge_census, &model, "4 oriented bars");
+
+    // ITD estimation sweep.
+    let mut estimator = ItdEstimator::build(4).unwrap();
+    let mut correct = 0;
+    for itd in -4..=4 {
+        if estimator.estimate(itd) == Some(itd) {
+            correct += 1;
+        }
+    }
+    let itd_census = estimator.compiled().chip().census();
+    combined.merge(&itd_census);
+    print_census_row("ITD estimator", &itd_census, &model, &format!("{correct}/9 exact"));
+
+    println!();
+    let report = model.report(&combined);
+    println!(
+        "combined: {} synaptic events, {} spikes, {:.3} mW equivalent, {:.2} GSOPS/W",
+        combined.synaptic_events, combined.spikes, report.total_mw, report.gsops_per_watt
+    );
+
+    println!("\nclassifier core-activity map (spikes per core, log buckets):");
+    print!(
+        "{}",
+        brainsim_chip::trace::render_activity(&brainsim_chip::trace::activity_map(
+            chip.compiled().chip()
+        ))
+    );
+}
+
+/// F8 — multi-chip tiling: boundary-link energy and latency overhead.
+fn f8_multichip_tiling() {
+    header("F8", "multi-chip tiling: link-crossing overhead on a fixed workload");
+    use brainsim_chip::TileConfig;
+    let model = EnergyModel::default();
+    println!(
+        "{:>16} {:>10} {:>14} {:>12} {:>12}",
+        "tiling", "chips", "link events", "total mW", "overhead"
+    );
+    for long_range in [false, true] {
+        println!(
+            "-- {} traffic --",
+            if long_range { "long-range (uniform destinations)" } else { "local (nearest-neighbour)" }
+        );
+        let mut baseline_mw = 0.0;
+        for (name, tile) in [
+            ("monolithic", None),
+            ("2x2 chips", Some(TileConfig { width: 4, height: 4, link_latency: 2 })),
+            ("4x4 chips", Some(TileConfig { width: 2, height: 2, link_latency: 2 })),
+        ] {
+            // Same workload graph every time; only the tiling differs.
+            let spec = RandomChipSpec {
+                width: 8,
+                height: 8,
+                axons: 64,
+                neurons: 64,
+                density: 32,
+                long_range,
+                ..RandomChipSpec::default()
+            };
+            let mut chip = random_chip(&RandomChipSpec { tile, ..spec });
+            drive_random(&mut chip, 300, hz_to_numerator(50), 23);
+            let report = model.report(&chip.census());
+            let chips = tile
+                .map(|t| (8 / t.width) * (8 / t.height))
+                .unwrap_or(1);
+            if baseline_mw == 0.0 {
+                baseline_mw = report.total_mw;
+            }
+            let overhead = 100.0 * (report.total_mw - baseline_mw) / baseline_mw;
+            println!(
+                "{:>16} {:>10} {:>14} {:>12.3} {:>11.1}%",
+                name,
+                chips,
+                chip.census().link_crossings,
+                report.total_mw,
+                overhead
+            );
+        }
+    }
+    println!("(locality keeps tiling overhead negligible; long-range traffic pays");
+    println!(" the serialised boundary links at ~35x per-hop energy — the reason");
+    println!(" the compiler's placement stage optimises for locality. Spike timing");
+    println!(" stays exact: link latency is part of the delivery schedule and is");
+    println!(" validated against the 15-tick horizon at build time.)");
+}
+
+fn print_census_row(name: &str, census: &EventCensus, model: &EnergyModel, note: &str) {
+    let report = model.report(census);
+    println!(
+        "{:<20} cores {:>3}  ticks {:>6}  syn.events {:>9}  {:>8.3} mW  ({note})",
+        name, census.cores, census.ticks, census.synaptic_events, report.total_mw
+    );
+}

@@ -1,0 +1,297 @@
+//! # brainsim-bench
+//!
+//! Shared workload builders for the Criterion benches and the `figures`
+//! binary that regenerates every reconstructed table and figure (see
+//! DESIGN.md for the experiment index and EXPERIMENTS.md for the recorded
+//! results).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use brainsim_chip::{Chip, ChipBuilder, ChipConfig, TileConfig};
+use brainsim_core::{AxonTarget, AxonType, CoreOffset, Destination, EvalStrategy};
+use brainsim_neuron::{Lfsr, NeuronConfig, Weight};
+use brainsim_snn::{LifParams, SnnBuilder, SnnNetwork, SnnSource};
+
+/// Parameters of a random recurrent chip workload.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomChipSpec {
+    /// Grid width in cores.
+    pub width: usize,
+    /// Grid height in cores.
+    pub height: usize,
+    /// Axons per core.
+    pub axons: usize,
+    /// Neurons per core.
+    pub neurons: usize,
+    /// Crossbar density numerator (out of 256).
+    pub density: u32,
+    /// Build seed.
+    pub seed: u32,
+    /// Core evaluation strategy.
+    pub strategy: EvalStrategy,
+    /// Worker threads for the chip tick sweep.
+    pub threads: usize,
+    /// Multi-chip tiling (None = monolithic).
+    pub tile: Option<TileConfig>,
+    /// When true, neuron destinations are uniform over the whole grid
+    /// instead of nearest-neighbour (long-range traffic).
+    pub long_range: bool,
+}
+
+impl Default for RandomChipSpec {
+    fn default() -> Self {
+        RandomChipSpec {
+            width: 4,
+            height: 4,
+            axons: 64,
+            neurons: 64,
+            density: 32,
+            seed: 0xBEEF,
+            strategy: EvalStrategy::Sparse,
+            threads: 1,
+            tile: None,
+            long_range: false,
+        }
+    }
+}
+
+/// Builds a random recurrent chip: dense-random crossbars, each neuron
+/// forwarding to a random axon of a neighbouring core with a random delay.
+///
+/// # Panics
+///
+/// Panics on zero dimensions.
+pub fn random_chip(spec: &RandomChipSpec) -> Chip {
+    let mut builder = ChipBuilder::new(ChipConfig {
+        width: spec.width,
+        height: spec.height,
+        core_axons: spec.axons,
+        core_neurons: spec.neurons,
+        seed: spec.seed,
+        threads: spec.threads,
+        tile: spec.tile,
+        ..ChipConfig::default()
+    });
+    let mut rng = Lfsr::new(spec.seed);
+    let config = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(4))
+        .weight(AxonType::A1, Weight::saturating(2))
+        .weight(AxonType::A2, Weight::saturating(-2))
+        .weight(AxonType::A3, Weight::saturating(-4))
+        .threshold(24)
+        .leak(-1)
+        .leak_reversal(true)
+        .negative_threshold(0)
+        .build()
+        .expect("workload neuron config is valid");
+    for y in 0..spec.height {
+        for x in 0..spec.width {
+            let core = builder.core_mut(x, y);
+            core.strategy(spec.strategy);
+            for a in 0..spec.axons {
+                core.axon_type(a, AxonType::from_index(a % 4).unwrap()).unwrap();
+                for n in 0..spec.neurons {
+                    if rng.bernoulli_256(spec.density) {
+                        core.synapse(a, n, true).unwrap();
+                    }
+                }
+            }
+            for n in 0..spec.neurons {
+                let (dx, dy) = if spec.long_range {
+                    let tx = (rng.next_u32() as usize % spec.width) as i32;
+                    let ty = (rng.next_u32() as usize % spec.height) as i32;
+                    (tx - x as i32, ty - y as i32)
+                } else {
+                    let dx = if x + 1 < spec.width {
+                        1
+                    } else if x > 0 {
+                        -1
+                    } else {
+                        0
+                    };
+                    let dy = if dx == 0 && spec.height > 1 {
+                        if y + 1 < spec.height {
+                            1
+                        } else {
+                            -1
+                        }
+                    } else {
+                        0
+                    };
+                    (dx, dy)
+                };
+                let target = AxonTarget {
+                    offset: CoreOffset::new(dx, dy),
+                    axon: (rng.next_u32() as usize % spec.axons) as u16,
+                    delay: 1 + (rng.next_u32() % 4) as u8,
+                };
+                core.neuron(n, config.clone(), Destination::Axon(target)).unwrap();
+            }
+        }
+    }
+    builder.build().expect("random chip builds")
+}
+
+/// Drives every input axon of the chip with independent Bernoulli noise of
+/// probability `rate_numerator / 256` per tick, for `ticks` ticks.
+pub fn drive_random(chip: &mut Chip, ticks: u64, rate_numerator: u32, seed: u32) {
+    let mut noise = Lfsr::new(seed);
+    let width = chip.config().width;
+    let height = chip.config().height;
+    let axons = chip.config().core_axons;
+    for _ in 0..ticks {
+        // Use the chip's own cursor so repeated drives continue seamlessly
+        // (Criterion's b.iter() reuses one chip across iterations).
+        let t = chip.now();
+        for y in 0..height {
+            for x in 0..width {
+                for a in 0..axons {
+                    if noise.bernoulli_256(rate_numerator) {
+                        chip.inject(x, y, a, t).expect("axon exists");
+                    }
+                }
+            }
+        }
+        chip.tick();
+    }
+}
+
+/// Converts a mean firing rate in Hz (1 ms ticks) to the Bernoulli
+/// numerator out of 256.
+pub fn hz_to_numerator(rate_hz: u32) -> u32 {
+    (rate_hz * 256) / 1000
+}
+
+/// Builds the floating-point clock-driven equivalent of a [`random_chip`]
+/// workload (same neuron/synapse counts and topology class), used as the
+/// conventional-software baseline in the throughput experiment (F3).
+pub fn random_float_baseline(spec: &RandomChipSpec) -> SnnNetwork {
+    let total_neurons = spec.width * spec.height * spec.neurons;
+    let inputs = spec.width * spec.height * spec.axons;
+    let mut rng = Lfsr::new(spec.seed);
+    let mut builder = SnnBuilder::new(inputs);
+    let params = LifParams {
+        tau: 20.0,
+        v_rest: 0.0,
+        v_thresh: 24.0,
+        v_reset: 0.0,
+        refractory: 0,
+    };
+    for _ in 0..total_neurons {
+        builder.neuron(params).expect("valid params");
+    }
+    // Mirror the synapse statistics: each input connects to `density/256`
+    // of one core-sized block of neurons.
+    for i in 0..inputs {
+        let block = i / spec.axons;
+        for n in 0..spec.neurons {
+            if rng.bernoulli_256(spec.density) {
+                let target = (block * spec.neurons + n) % total_neurons;
+                let weight = match i % 4 {
+                    0 => 4.0,
+                    1 => 2.0,
+                    2 => -2.0,
+                    _ => -4.0,
+                };
+                builder
+                    .connect(SnnSource::Input(i), target, weight, 1)
+                    .expect("valid wiring");
+            }
+        }
+    }
+    // Recurrent forwarding, one outgoing synapse per neuron.
+    for n in 0..total_neurons {
+        let target = (n + spec.neurons) % total_neurons;
+        builder
+            .connect(SnnSource::Neuron(n), target, 4.0, 1 + (rng.next_u32() % 4) as u8)
+            .expect("valid wiring");
+    }
+    builder.build()
+}
+
+/// Drives the float baseline with the same Bernoulli input statistics.
+pub fn drive_float_baseline(
+    net: &mut SnnNetwork,
+    ticks: u64,
+    rate_numerator: u32,
+    seed: u32,
+    inputs: usize,
+) {
+    let mut noise = Lfsr::new(seed);
+    let mut buffer = vec![false; inputs];
+    for _ in 0..ticks {
+        for slot in buffer.iter_mut() {
+            *slot = noise.bernoulli_256(rate_numerator);
+        }
+        net.step(&buffer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_chip_is_active_under_drive() {
+        let spec = RandomChipSpec {
+            width: 2,
+            height: 2,
+            axons: 16,
+            neurons: 16,
+            density: 64,
+            ..RandomChipSpec::default()
+        };
+        let mut chip = random_chip(&spec);
+        drive_random(&mut chip, 100, 64, 42);
+        let census = chip.census();
+        assert!(census.spikes > 0, "no spikes under heavy drive");
+        assert!(census.synaptic_events > 0);
+        assert_eq!(census.ticks, 100);
+    }
+
+    #[test]
+    fn strategies_agree_on_random_workload() {
+        let base = RandomChipSpec {
+            width: 2,
+            height: 1,
+            axons: 16,
+            neurons: 16,
+            ..RandomChipSpec::default()
+        };
+        let mut a = random_chip(&RandomChipSpec {
+            strategy: EvalStrategy::Dense,
+            ..base
+        });
+        let mut b = random_chip(&RandomChipSpec {
+            strategy: EvalStrategy::Sparse,
+            ..base
+        });
+        drive_random(&mut a, 50, 32, 7);
+        drive_random(&mut b, 50, 32, 7);
+        assert_eq!(a.census(), b.census());
+    }
+
+    #[test]
+    fn hz_conversion() {
+        assert_eq!(hz_to_numerator(0), 0);
+        assert_eq!(hz_to_numerator(1000), 256);
+        assert_eq!(hz_to_numerator(100), 25);
+    }
+
+    #[test]
+    fn float_baseline_is_active() {
+        let spec = RandomChipSpec {
+            width: 2,
+            height: 1,
+            axons: 16,
+            neurons: 16,
+            density: 64,
+            ..RandomChipSpec::default()
+        };
+        let mut net = random_float_baseline(&spec);
+        let inputs = 2 * 16;
+        drive_float_baseline(&mut net, 100, 64, 42, inputs);
+        assert!(net.stats().spikes > 0);
+    }
+}

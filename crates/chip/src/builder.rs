@@ -1,0 +1,246 @@
+//! Chip assembly and cross-core wiring validation.
+
+use std::fmt;
+
+use brainsim_core::{CoreBuilder, Destination};
+
+use crate::chip::Chip;
+use crate::config::{ChipConfig, TickSemantics};
+
+/// Error from [`ChipBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChipBuildError {
+    /// A neuron targets a core outside the grid.
+    TargetOffGrid {
+        /// Source core coordinates.
+        from: (usize, usize),
+        /// Source neuron index.
+        neuron: usize,
+        /// Computed absolute target coordinates.
+        target: (i64, i64),
+    },
+    /// A neuron targets a non-existent axon of a valid core.
+    TargetAxonOutOfRange {
+        /// Source core coordinates.
+        from: (usize, usize),
+        /// Source neuron index.
+        neuron: usize,
+        /// Offending axon index.
+        axon: u16,
+    },
+    /// `threads > 1` combined with [`TickSemantics::Relaxed`]; the relaxed
+    /// sweep is order-dependent, so a parallel sweep would be racy.
+    RelaxedParallel,
+    /// A target's axonal delay plus the tile-link latency along its path
+    /// exceeds the 15-tick scheduler horizon.
+    LinkDelayBeyondHorizon {
+        /// Source core coordinates.
+        from: (usize, usize),
+        /// Source neuron index.
+        neuron: usize,
+        /// Total delivery offset (delay + link latency × crossings).
+        total: u64,
+    },
+}
+
+impl fmt::Display for ChipBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipBuildError::TargetOffGrid { from, neuron, target } => write!(
+                f,
+                "neuron {neuron} of core {from:?} targets off-grid core ({}, {})",
+                target.0, target.1
+            ),
+            ChipBuildError::TargetAxonOutOfRange { from, neuron, axon } => write!(
+                f,
+                "neuron {neuron} of core {from:?} targets axon {axon} beyond the core's axon count"
+            ),
+            ChipBuildError::RelaxedParallel => {
+                write!(f, "relaxed tick semantics cannot run with multiple threads")
+            }
+            ChipBuildError::LinkDelayBeyondHorizon { from, neuron, total } => write!(
+                f,
+                "neuron {neuron} of core {from:?}: delay + link latency = {total} exceeds the 15-tick horizon"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChipBuildError {}
+
+/// Assembles a [`Chip`] from per-core builders.
+#[derive(Debug, Clone)]
+pub struct ChipBuilder {
+    config: ChipConfig,
+    cores: Vec<CoreBuilder>,
+}
+
+impl ChipBuilder {
+    /// Starts a chip with every core empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any grid or core dimension is zero.
+    pub fn new(config: ChipConfig) -> ChipBuilder {
+        assert!(config.width > 0 && config.height > 0, "grid dimensions must be non-zero");
+        let cores = (0..config.cores())
+            .map(|i| {
+                let mut b = CoreBuilder::new(config.core_axons, config.core_neurons);
+                // Derive a distinct, deterministic seed per core.
+                b.seed(config.seed.wrapping_add(0x9E37_79B9u32.wrapping_mul(i as u32 + 1)));
+                b
+            })
+            .collect();
+        ChipBuilder { config, cores }
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// Mutable access to the builder of core `(x, y)` for wiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the grid.
+    pub fn core_mut(&mut self, x: usize, y: usize) -> &mut CoreBuilder {
+        assert!(
+            x < self.config.width && y < self.config.height,
+            "core ({x}, {y}) outside {}x{} grid",
+            self.config.width,
+            self.config.height
+        );
+        &mut self.cores[y * self.config.width + x]
+    }
+
+    /// Validates cross-core wiring and produces the chip.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChipBuildError`].
+    pub fn build(&self) -> Result<Chip, ChipBuildError> {
+        if self.config.semantics == TickSemantics::Relaxed && self.config.threads > 1 {
+            return Err(ChipBuildError::RelaxedParallel);
+        }
+        let cores: Vec<_> = self.cores.iter().map(CoreBuilder::build).collect();
+        // Validate every neuron destination against the grid.
+        for (index, core) in cores.iter().enumerate() {
+            let x = index % self.config.width;
+            let y = index / self.config.width;
+            for neuron in 0..core.neurons() {
+                if let Destination::Axon(target) = core.destination(neuron) {
+                    let tx = x as i64 + target.offset.dx as i64;
+                    let ty = y as i64 + target.offset.dy as i64;
+                    let off_grid = tx < 0
+                        || ty < 0
+                        || tx as usize >= self.config.width
+                        || ty as usize >= self.config.height;
+                    if off_grid {
+                        return Err(ChipBuildError::TargetOffGrid {
+                            from: (x, y),
+                            neuron,
+                            target: (tx, ty),
+                        });
+                    }
+                    if target.axon as usize >= self.config.core_axons {
+                        return Err(ChipBuildError::TargetAxonOutOfRange {
+                            from: (x, y),
+                            neuron,
+                            axon: target.axon,
+                        });
+                    }
+                    let crossings = self.config.crossings((x, y), (tx as usize, ty as usize));
+                    let link = self.config.tile.map(|t| t.link_latency as u64).unwrap_or(0);
+                    let total = target.delay as u64 + crossings as u64 * link;
+                    if total > 15 {
+                        return Err(ChipBuildError::LinkDelayBeyondHorizon {
+                            from: (x, y),
+                            neuron,
+                            total,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Chip::from_parts(self.config, cores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brainsim_core::{AxonTarget, CoreOffset, NeuronConfig};
+
+    fn small_config() -> ChipConfig {
+        ChipConfig {
+            width: 2,
+            height: 2,
+            core_axons: 4,
+            core_neurons: 4,
+            ..ChipConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_chip_builds() {
+        let chip = ChipBuilder::new(small_config()).build().unwrap();
+        assert_eq!(chip.config().cores(), 4);
+    }
+
+    #[test]
+    fn off_grid_target_rejected() {
+        let mut b = ChipBuilder::new(small_config());
+        let dest = Destination::Axon(AxonTarget {
+            offset: CoreOffset::new(5, 0),
+            axon: 0,
+            delay: 1,
+        });
+        b.core_mut(0, 0)
+            .neuron(0, NeuronConfig::default(), dest)
+            .unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ChipBuildError::TargetOffGrid { .. }));
+    }
+
+    #[test]
+    fn bad_target_axon_rejected() {
+        let mut b = ChipBuilder::new(small_config());
+        let dest = Destination::Axon(AxonTarget {
+            offset: CoreOffset::new(1, 0),
+            axon: 99,
+            delay: 1,
+        });
+        b.core_mut(0, 0)
+            .neuron(0, NeuronConfig::default(), dest)
+            .unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ChipBuildError::TargetAxonOutOfRange { axon: 99, .. }));
+    }
+
+    #[test]
+    fn relaxed_parallel_rejected() {
+        let config = ChipConfig {
+            semantics: TickSemantics::Relaxed,
+            threads: 4,
+            ..small_config()
+        };
+        let err = ChipBuilder::new(config).build().unwrap_err();
+        assert_eq!(err, ChipBuildError::RelaxedParallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn core_mut_out_of_grid_panics() {
+        let mut b = ChipBuilder::new(small_config());
+        b.core_mut(2, 0);
+    }
+
+    #[test]
+    fn per_core_seeds_differ() {
+        let b = ChipBuilder::new(small_config());
+        let chip = b.build().unwrap();
+        // Indirect check: distinct cores exist and the chip is functional.
+        assert_eq!(chip.config().cores(), 4);
+    }
+}

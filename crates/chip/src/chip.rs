@@ -1,0 +1,518 @@
+//! The chip runtime: tick barrier, spike routing, event accounting.
+
+use std::fmt;
+
+use brainsim_core::{Destination, NeurosynapticCore};
+use brainsim_energy::EventCensus;
+use brainsim_noc::route_hops;
+
+use crate::config::{ChipConfig, TickSemantics};
+
+/// What happened during one chip tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickSummary {
+    /// The tick that was evaluated.
+    pub tick: u64,
+    /// Total spikes produced by all cores.
+    pub spikes: u64,
+    /// External output events (port ids), in deterministic core/neuron order.
+    pub outputs: Vec<u32>,
+}
+
+/// Error from [`Chip::inject`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectError {
+    /// Core coordinates outside the grid.
+    OffGrid(usize, usize),
+    /// The core rejected the delivery (bad axon or timing horizon).
+    Deliver(brainsim_core::DeliverError),
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::OffGrid(x, y) => write!(f, "core ({x}, {y}) outside the grid"),
+            InjectError::Deliver(e) => write!(f, "delivery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+impl From<brainsim_core::DeliverError> for InjectError {
+    fn from(e: brainsim_core::DeliverError) -> Self {
+        InjectError::Deliver(e)
+    }
+}
+
+/// A configured chip; see the crate docs for the execution model.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    config: ChipConfig,
+    cores: Vec<NeurosynapticCore>,
+    now: u64,
+    hops: u64,
+    link_crossings: u64,
+    outputs_total: u64,
+}
+
+impl Chip {
+    pub(crate) fn from_parts(config: ChipConfig, cores: Vec<NeurosynapticCore>) -> Chip {
+        Chip {
+            config,
+            cores,
+            now: 0,
+            hops: 0,
+            link_crossings: 0,
+            outputs_total: 0,
+        }
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// The next tick to be evaluated.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total mesh hops charged so far.
+    pub fn hops(&self) -> u64 {
+        self.hops
+    }
+
+    /// Total inter-chip (tile boundary) link crossings so far.
+    pub fn link_crossings(&self) -> u64 {
+        self.link_crossings
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize) -> usize {
+        y * self.config.width + x
+    }
+
+    /// Read access to core `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the grid.
+    pub fn core(&self, x: usize, y: usize) -> &NeurosynapticCore {
+        assert!(x < self.config.width && y < self.config.height, "core off grid");
+        &self.cores[self.index(x, y)]
+    }
+
+    /// Injects an external spike onto axon `axon` of core `(x, y)`, due at
+    /// `target_tick`.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError::OffGrid`] for bad coordinates, otherwise the core's
+    /// own validation ([`brainsim_core::DeliverError`]).
+    pub fn inject(
+        &mut self,
+        x: usize,
+        y: usize,
+        axon: usize,
+        target_tick: u64,
+    ) -> Result<(), InjectError> {
+        if x >= self.config.width || y >= self.config.height {
+            return Err(InjectError::OffGrid(x, y));
+        }
+        let idx = self.index(x, y);
+        self.cores[idx].deliver(axon, target_tick)?;
+        Ok(())
+    }
+
+    /// Evaluates one global tick.
+    pub fn tick(&mut self) -> TickSummary {
+        let t = self.now;
+        match self.config.semantics {
+            TickSemantics::Deterministic => self.tick_deterministic(t),
+            TickSemantics::Relaxed => self.tick_relaxed(t),
+        }
+    }
+
+    fn tick_deterministic(&mut self, t: u64) -> TickSummary {
+        // Phase A: evaluate every core at tick t (parallel if configured).
+        let fired: Vec<Vec<u16>> = if self.config.threads > 1 && self.cores.len() > 1 {
+            let threads = self.config.threads.min(self.cores.len());
+            let chunk = self.cores.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .cores
+                    .chunks_mut(chunk)
+                    .map(|cores| {
+                        scope.spawn(move || {
+                            cores.iter_mut().map(|c| c.tick(t)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("core evaluation thread panicked"))
+                    .collect()
+            })
+        } else {
+            self.cores.iter_mut().map(|c| c.tick(t)).collect()
+        };
+
+        // Phase B: route every spike launched in tick t.
+        let mut outputs = Vec::new();
+        let mut spikes = 0u64;
+        for (core_index, fired_neurons) in fired.iter().enumerate() {
+            spikes += fired_neurons.len() as u64;
+            let x = core_index % self.config.width;
+            let y = core_index / self.config.width;
+            for &neuron in fired_neurons {
+                match self.cores[core_index].destination(neuron as usize) {
+                    Destination::Disabled => {}
+                    Destination::Output(port) => outputs.push(port),
+                    Destination::Axon(target) => {
+                        let tx = (x as i64 + target.offset.dx as i64) as usize;
+                        let ty = (y as i64 + target.offset.dy as i64) as usize;
+                        let tidx = ty * self.config.width + tx;
+                        self.hops += route_hops(target.offset.dx, target.offset.dy) as u64;
+                        let crossings = self.config.crossings((x, y), (tx, ty));
+                        let link_delay = crossings as u64
+                            * self.config.tile.map(|tc| tc.link_latency as u64).unwrap_or(0);
+                        self.link_crossings += crossings as u64;
+                        self.cores[tidx]
+                            .deliver(target.axon as usize, t + target.delay as u64 + link_delay)
+                            .expect("validated target failed to deliver");
+                    }
+                }
+            }
+        }
+
+        self.outputs_total += outputs.len() as u64;
+        self.now = t + 1;
+        TickSummary {
+            tick: t,
+            spikes,
+            outputs,
+        }
+    }
+
+    fn tick_relaxed(&mut self, t: u64) -> TickSummary {
+        // Interleaved sweep: each core is evaluated and its spikes delivered
+        // immediately with effective delay d − 1. Cores earlier in the sweep
+        // may thus receive same-tick events from cores later in the sweep
+        // only at t + 1 — the order dependence this mode exists to exhibit.
+        let mut outputs = Vec::new();
+        let mut spikes = 0u64;
+        for core_index in 0..self.cores.len() {
+            let fired = self.cores[core_index].tick(t);
+            spikes += fired.len() as u64;
+            let x = core_index % self.config.width;
+            let y = core_index / self.config.width;
+            for &neuron in &fired {
+                match self.cores[core_index].destination(neuron as usize) {
+                    Destination::Disabled => {}
+                    Destination::Output(port) => outputs.push(port),
+                    Destination::Axon(target) => {
+                        let tx = (x as i64 + target.offset.dx as i64) as usize;
+                        let ty = (y as i64 + target.offset.dy as i64) as usize;
+                        let tidx = ty * self.config.width + tx;
+                        self.hops += route_hops(target.offset.dx, target.offset.dy) as u64;
+                        let crossings = self.config.crossings((x, y), (tx, ty));
+                        let link_delay = crossings as u64
+                            * self.config.tile.map(|tc| tc.link_latency as u64).unwrap_or(0);
+                        self.link_crossings += crossings as u64;
+                        let eager = t + target.delay as u64 - 1 + link_delay;
+                        let delivery = eager.max(self.cores[tidx].now());
+                        self.cores[tidx]
+                            .deliver(target.axon as usize, delivery)
+                            .expect("validated target failed to deliver");
+                    }
+                }
+            }
+        }
+        self.outputs_total += outputs.len() as u64;
+        self.now = t + 1;
+        TickSummary {
+            tick: t,
+            spikes,
+            outputs,
+        }
+    }
+
+    /// Runs `ticks` ticks, returning the concatenated output events as
+    /// `(tick, port)` pairs and the total spike count.
+    pub fn run(&mut self, ticks: u64) -> (Vec<(u64, u32)>, u64) {
+        let mut outputs = Vec::new();
+        let mut spikes = 0;
+        for _ in 0..ticks {
+            let summary = self.tick();
+            spikes += summary.spikes;
+            outputs.extend(summary.outputs.iter().map(|&p| (summary.tick, p)));
+        }
+        (outputs, spikes)
+    }
+
+    /// The cumulative event census for the energy model.
+    pub fn census(&self) -> EventCensus {
+        let mut census = EventCensus {
+            cores: self.cores.len() as u64,
+            hops: self.hops,
+            link_crossings: self.link_crossings,
+            ..Default::default()
+        };
+        let mut ticks = 0;
+        for core in &self.cores {
+            let s = core.stats();
+            census.synaptic_events += s.synaptic_events;
+            census.neuron_updates += s.neuron_updates;
+            census.spikes += s.spikes;
+            census.axon_events += s.axon_events;
+            ticks = ticks.max(s.ticks);
+        }
+        census.ticks = ticks;
+        census
+    }
+
+    /// Resets all cores, the tick counter and the accounting; keeps wiring.
+    pub fn reset(&mut self) {
+        for core in &mut self.cores {
+            core.reset();
+        }
+        self.now = 0;
+        self.hops = 0;
+        self.link_crossings = 0;
+        self.outputs_total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ChipBuilder;
+    use brainsim_core::{AxonTarget, AxonType, CoreOffset, NeuronConfig, Weight};
+
+    fn relay_config() -> NeuronConfig {
+        NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(1))
+            .threshold(1)
+            .build()
+            .unwrap()
+    }
+
+    /// A 1×N chain of relay cores: input at core 0 axon 0, each core's
+    /// neuron 0 forwards east to the next core's axon 0; the last core
+    /// outputs to port 99.
+    fn relay_chain(n: usize, semantics: TickSemantics, threads: usize) -> Chip {
+        let mut b = ChipBuilder::new(ChipConfig {
+            width: n,
+            height: 1,
+            core_axons: 2,
+            core_neurons: 2,
+            semantics,
+            threads,
+            ..ChipConfig::default()
+        });
+        for x in 0..n {
+            let dest = if x + 1 < n {
+                Destination::Axon(AxonTarget {
+                    offset: CoreOffset::new(1, 0),
+                    axon: 0,
+                    delay: 1,
+                })
+            } else {
+                Destination::Output(99)
+            };
+            b.core_mut(x, 0).neuron(0, relay_config(), dest).unwrap();
+            b.core_mut(x, 0).synapse(0, 0, true).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spike_propagates_one_core_per_tick() {
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 1);
+        chip.inject(0, 0, 0, 0).unwrap();
+        // Core 0 fires at tick 0, core 1 at tick 1, ..., output at tick 3.
+        let (outputs, spikes) = chip.run(6);
+        assert_eq!(outputs, vec![(3, 99)]);
+        assert_eq!(spikes, 4);
+        assert_eq!(chip.hops(), 3);
+    }
+
+    #[test]
+    fn relaxed_semantics_propagates_same_tick_along_sweep_order() {
+        // With the relaxed ablation, a west→east chain rides the sweep
+        // order: the whole chain fires within a single tick.
+        let mut chip = relay_chain(4, TickSemantics::Relaxed, 1);
+        chip.inject(0, 0, 0, 0).unwrap();
+        let (outputs, _) = chip.run(2);
+        assert_eq!(outputs, vec![(0, 99)], "relaxed mode collapses the chain into one tick");
+    }
+
+    #[test]
+    fn deterministic_results_are_thread_count_invariant() {
+        let run = |threads: usize| {
+            let mut chip = relay_chain(8, TickSemantics::Deterministic, threads);
+            for t in 0..8 {
+                chip.inject(0, 0, 0, t).unwrap();
+            }
+            chip.run(20)
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn inject_validation() {
+        let mut chip = relay_chain(2, TickSemantics::Deterministic, 1);
+        assert!(matches!(chip.inject(5, 0, 0, 0), Err(InjectError::OffGrid(5, 0))));
+        assert!(matches!(chip.inject(0, 0, 9, 0), Err(InjectError::Deliver(_))));
+        assert!(matches!(chip.inject(0, 0, 0, 99), Err(InjectError::Deliver(_))));
+    }
+
+    #[test]
+    fn census_accumulates_all_cores() {
+        let mut chip = relay_chain(3, TickSemantics::Deterministic, 1);
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.run(5);
+        let census = chip.census();
+        assert_eq!(census.cores, 3);
+        assert_eq!(census.ticks, 5);
+        assert_eq!(census.spikes, 3);
+        assert_eq!(census.synaptic_events, 3);
+        assert_eq!(census.hops, 2);
+        // 2 neurons × 3 cores × 5 ticks.
+        assert_eq!(census.neuron_updates, 30);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut chip = relay_chain(2, TickSemantics::Deterministic, 1);
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.run(4);
+        chip.reset();
+        assert_eq!(chip.now(), 0);
+        assert_eq!(chip.hops(), 0);
+        assert_eq!(chip.census().spikes, 0);
+        // Still functional after reset.
+        chip.inject(0, 0, 0, 0).unwrap();
+        let (outputs, _) = chip.run(3);
+        assert_eq!(outputs, vec![(1, 99)]);
+    }
+
+    #[test]
+    fn tiled_chain_adds_link_latency_at_boundaries() {
+        use crate::config::TileConfig;
+        // 4 cores in a row, tiled 2×1: the boundary between cores 1 and 2
+        // is an inter-chip link with 3 ticks of latency.
+        let mut b = ChipBuilder::new(ChipConfig {
+            width: 4,
+            height: 1,
+            core_axons: 2,
+            core_neurons: 2,
+            tile: Some(TileConfig {
+                width: 2,
+                height: 1,
+                link_latency: 3,
+            }),
+            ..ChipConfig::default()
+        });
+        for x in 0..4 {
+            let dest = if x + 1 < 4 {
+                Destination::Axon(AxonTarget {
+                    offset: CoreOffset::new(1, 0),
+                    axon: 0,
+                    delay: 1,
+                })
+            } else {
+                Destination::Output(9)
+            };
+            b.core_mut(x, 0).neuron(0, relay_config(), dest).unwrap();
+            b.core_mut(x, 0).synapse(0, 0, true).unwrap();
+        }
+        let mut chip = b.build().unwrap();
+        chip.inject(0, 0, 0, 0).unwrap();
+        let (outputs, _) = chip.run(10);
+        // Hops 0→1 (1 tick), 1→2 (+1 +3 link), 2→3 (1): output at tick 6.
+        assert_eq!(outputs, vec![(6, 9)]);
+        assert_eq!(chip.link_crossings(), 1);
+        assert_eq!(chip.census().link_crossings, 1);
+    }
+
+    #[test]
+    fn link_latency_beyond_horizon_rejected() {
+        use crate::config::TileConfig;
+        let mut b = ChipBuilder::new(ChipConfig {
+            width: 4,
+            height: 1,
+            core_axons: 2,
+            core_neurons: 2,
+            tile: Some(TileConfig {
+                width: 1,
+                height: 1,
+                link_latency: 8,
+            }),
+            ..ChipConfig::default()
+        });
+        // Target 2 tiles away: delay 1 + 2 × 8 = 17 > 15.
+        b.core_mut(0, 0)
+            .neuron(
+                0,
+                relay_config(),
+                Destination::Axon(AxonTarget {
+                    offset: CoreOffset::new(2, 0),
+                    axon: 0,
+                    delay: 1,
+                }),
+            )
+            .unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(
+            err,
+            crate::builder::ChipBuildError::LinkDelayBeyondHorizon { total: 17, .. }
+        ));
+    }
+
+    #[test]
+    fn untiled_chip_has_no_link_crossings() {
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 1);
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.run(6);
+        assert_eq!(chip.link_crossings(), 0);
+    }
+
+    #[test]
+    fn westward_and_vertical_routing() {
+        // 2×2 grid: (1, 1) → (0, 0) via offset (−1, −1).
+        let mut b = ChipBuilder::new(ChipConfig {
+            width: 2,
+            height: 2,
+            core_axons: 2,
+            core_neurons: 2,
+            ..ChipConfig::default()
+        });
+        b.core_mut(1, 1)
+            .neuron(
+                0,
+                relay_config(),
+                Destination::Axon(AxonTarget {
+                    offset: CoreOffset::new(-1, -1),
+                    axon: 1,
+                    delay: 2,
+                }),
+            )
+            .unwrap();
+        b.core_mut(1, 1).synapse(0, 0, true).unwrap();
+        b.core_mut(0, 0)
+            .neuron(1, relay_config(), Destination::Output(5))
+            .unwrap();
+        b.core_mut(0, 0).axon_type(1, AxonType::A0).unwrap();
+        b.core_mut(0, 0).synapse(1, 1, true).unwrap();
+        let mut chip = b.build().unwrap();
+        chip.inject(1, 1, 0, 0).unwrap();
+        let (outputs, _) = chip.run(5);
+        // Fires at (1,1) tick 0; delay 2 → (0,0) integrates tick 2.
+        assert_eq!(outputs, vec![(2, 5)]);
+        assert_eq!(chip.hops(), 2);
+    }
+}

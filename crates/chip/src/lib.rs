@@ -1,0 +1,65 @@
+//! # brainsim-chip
+//!
+//! Whole-chip composition: an `R × C` array of neurosynaptic cores joined by
+//! the mesh, advancing under a **global 1 ms tick barrier**.
+//!
+//! The architecture's central contract is *deterministic tick semantics*:
+//! every spike launched during tick `t` is integrated no earlier than tick
+//! `t + 1` (axonal delay ≥ 1). Within a tick, cores are therefore free to
+//! evaluate in any order — sequentially, in parallel threads, or on real
+//! asynchronous silicon — and produce bit-identical results. This is the
+//! property that makes the software simulator one-to-one with the chip, and
+//! it is what the equivalence experiment (figure F5) checks.
+//!
+//! [`TickSemantics::Relaxed`] is the ablation: it delivers spikes with an
+//! effective delay of `delay − 1`, which makes results depend on the core
+//! sweep order and (on hardware) on arrival races. The divergence it causes
+//! is part of the F5 experiment.
+//!
+//! Functional routing: because in-tick network timing is unobservable under
+//! the barrier, the chip simulator delivers packets directly and charges
+//! `|dx| + |dy|` hops to the energy census ([`brainsim_noc::route_hops`]).
+//! Cycle-accurate contention studies use [`brainsim_noc::MeshNoc`] directly
+//! (figure F4).
+//!
+//! ## Example
+//!
+//! ```
+//! use brainsim_chip::{ChipBuilder, ChipConfig};
+//! use brainsim_core::{AxonType, Destination, NeuronConfig, Weight};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut builder = ChipBuilder::new(ChipConfig {
+//!     width: 1,
+//!     height: 1,
+//!     core_axons: 4,
+//!     core_neurons: 4,
+//!     ..ChipConfig::default()
+//! });
+//! let relay = NeuronConfig::builder()
+//!     .weight(AxonType::A0, Weight::new(1)?)
+//!     .threshold(1)
+//!     .build()?;
+//! builder.core_mut(0, 0).neuron(0, relay, Destination::Output(7))?;
+//! builder.core_mut(0, 0).synapse(0, 0, true)?;
+//! let mut chip = builder.build()?;
+//!
+//! chip.inject(0, 0, 0, 1)?; // external spike for tick 1
+//! chip.tick(); // tick 0: nothing due
+//! let summary = chip.tick(); // tick 1: relay fires
+//! assert_eq!(summary.outputs, vec![7]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod chip;
+mod config;
+pub mod trace;
+
+pub use builder::{ChipBuildError, ChipBuilder};
+pub use chip::{Chip, InjectError, TickSummary};
+pub use config::{ChipConfig, TickSemantics, TileConfig};

@@ -1,0 +1,308 @@
+//! Trace infrastructure: output-spike recording and per-core activity maps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chip::{Chip, TickSummary};
+
+/// Accumulates the chip's output events over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutputTrace {
+    events: Vec<(u64, u32)>,
+}
+
+impl OutputTrace {
+    /// An empty trace.
+    pub fn new() -> OutputTrace {
+        OutputTrace::default()
+    }
+
+    /// Records one tick's outputs.
+    pub fn record(&mut self, summary: &TickSummary) {
+        for &port in &summary.outputs {
+            self.events.push((summary.tick, port));
+        }
+    }
+
+    /// All `(tick, port)` events in emission order.
+    pub fn events(&self) -> &[(u64, u32)] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events on one port, as spike ticks.
+    pub fn port_ticks(&self, port: u32) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|&&(_, p)| p == port)
+            .map(|&(t, _)| t)
+            .collect()
+    }
+
+    /// Converts to a dense raster of `ticks × ports` booleans.
+    pub fn to_raster(&self, ticks: usize, ports: usize) -> Vec<Vec<bool>> {
+        let mut raster = vec![vec![false; ports]; ticks];
+        for &(t, p) in &self.events {
+            if (t as usize) < ticks && (p as usize) < ports {
+                raster[t as usize][p as usize] = true;
+            }
+        }
+        raster
+    }
+}
+
+/// Per-core cumulative spike counts, row-major over the grid — the
+/// utilisation map of the F7-style reports.
+pub fn activity_map(chip: &Chip) -> Vec<Vec<u64>> {
+    let config = chip.config();
+    (0..config.height)
+        .map(|y| {
+            (0..config.width)
+                .map(|x| chip.core(x, y).stats().spikes)
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders an activity map as compact ASCII (log-scale digits, `.` = 0).
+pub fn render_activity(map: &[Vec<u64>]) -> String {
+    let mut out = String::new();
+    for row in map {
+        for &count in row {
+            let ch = match count {
+                0 => '.',
+                1..=9 => char::from_digit(count as u32, 10).unwrap(),
+                10..=99 => 'x',
+                _ => 'X',
+            };
+            out.push(ch);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Static per-link wire loads of a configured chip under dimension-order
+/// routing — the congestion analysis the placement stage optimises for.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkLoadReport {
+    /// Wires crossing each directed link, keyed by `(from, to)` core pairs
+    /// of adjacent cores, sorted for determinism.
+    pub loads: Vec<(((usize, usize), (usize, usize)), u64)>,
+    /// Total wire-hops (Σ Manhattan distances).
+    pub total_wire_hops: u64,
+}
+
+impl LinkLoadReport {
+    /// Heaviest single-link load.
+    pub fn max_load(&self) -> u64 {
+        self.loads.iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+
+    /// Mean load over links that carry at least one wire.
+    pub fn mean_load(&self) -> f64 {
+        if self.loads.is_empty() {
+            0.0
+        } else {
+            self.total_wire_hops as f64 / self.loads.len() as f64
+        }
+    }
+
+    /// Number of links carrying at least one wire.
+    pub fn used_links(&self) -> usize {
+        self.loads.len()
+    }
+}
+
+/// Computes the static link loads: every neuron-to-axon wire is walked
+/// along its X-then-Y dimension-order path and each traversed link's count
+/// is incremented.
+pub fn link_load(chip: &Chip) -> LinkLoadReport {
+    use std::collections::BTreeMap;
+    let config = chip.config();
+    let mut loads: BTreeMap<((usize, usize), (usize, usize)), u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for y in 0..config.height {
+        for x in 0..config.width {
+            let core = chip.core(x, y);
+            for n in 0..core.neurons() {
+                if let brainsim_core::Destination::Axon(target) = core.destination(n) {
+                    // Walk the DOR path.
+                    let (mut cx, mut cy) = (x as i64, y as i64);
+                    let tx = cx + target.offset.dx as i64;
+                    let ty = cy + target.offset.dy as i64;
+                    while cx != tx {
+                        let nx = cx + (tx - cx).signum();
+                        *loads
+                            .entry(((cx as usize, cy as usize), (nx as usize, cy as usize)))
+                            .or_insert(0) += 1;
+                        total += 1;
+                        cx = nx;
+                    }
+                    while cy != ty {
+                        let ny = cy + (ty - cy).signum();
+                        *loads
+                            .entry(((cx as usize, cy as usize), (cx as usize, ny as usize)))
+                            .or_insert(0) += 1;
+                        total += 1;
+                        cy = ny;
+                    }
+                }
+            }
+        }
+    }
+    LinkLoadReport {
+        loads: loads.into_iter().collect(),
+        total_wire_hops: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ChipBuilder;
+    use crate::config::ChipConfig;
+    use brainsim_core::{AxonType, Destination, NeuronConfig, Weight};
+
+    fn tiny_chip() -> Chip {
+        let mut b = ChipBuilder::new(ChipConfig {
+            width: 2,
+            height: 1,
+            core_axons: 2,
+            core_neurons: 2,
+            ..ChipConfig::default()
+        });
+        let relay = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(1))
+            .threshold(1)
+            .build()
+            .unwrap();
+        b.core_mut(0, 0).neuron(0, relay.clone(), Destination::Output(3)).unwrap();
+        b.core_mut(0, 0).synapse(0, 0, true).unwrap();
+        b.core_mut(1, 0).neuron(0, relay, Destination::Output(7)).unwrap();
+        b.core_mut(1, 0).synapse(0, 0, true).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn trace_records_output_events() {
+        let mut chip = tiny_chip();
+        let mut trace = OutputTrace::new();
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.inject(1, 0, 0, 1).unwrap();
+        for _ in 0..4 {
+            let summary = chip.tick();
+            trace.record(&summary);
+        }
+        assert_eq!(trace.events(), &[(0, 3), (1, 7)]);
+        assert_eq!(trace.port_ticks(3), vec![0]);
+        assert_eq!(trace.port_ticks(7), vec![1]);
+        let raster = trace.to_raster(4, 8);
+        assert!(raster[0][3] && raster[1][7]);
+        assert_eq!(raster.iter().flatten().filter(|&&s| s).count(), 2);
+    }
+
+    #[test]
+    fn activity_map_counts_core_spikes() {
+        let mut chip = tiny_chip();
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.inject(0, 0, 0, 1).unwrap();
+        chip.inject(1, 0, 0, 2).unwrap();
+        for _ in 0..4 {
+            chip.tick();
+        }
+        let map = activity_map(&chip);
+        assert_eq!(map, vec![vec![2, 1]]);
+        let ascii = render_activity(&map);
+        assert!(ascii.contains('2') && ascii.contains('1'));
+    }
+
+    #[test]
+    fn render_uses_log_buckets() {
+        let ascii = render_activity(&[vec![0, 5, 42, 1000]]);
+        assert_eq!(ascii.trim(), ". 5 x X");
+    }
+
+    #[test]
+    fn link_load_walks_dor_paths() {
+        use brainsim_core::{AxonTarget, CoreOffset};
+        // 3×2 grid; one wire (0,0)→(2,1): DOR path E, E, N.
+        let mut b = ChipBuilder::new(ChipConfig {
+            width: 3,
+            height: 2,
+            core_axons: 2,
+            core_neurons: 2,
+            ..ChipConfig::default()
+        });
+        let relay = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(1))
+            .threshold(1)
+            .build()
+            .unwrap();
+        b.core_mut(0, 0)
+            .neuron(
+                0,
+                relay,
+                Destination::Axon(AxonTarget {
+                    offset: CoreOffset::new(2, 1),
+                    axon: 0,
+                    delay: 1,
+                }),
+            )
+            .unwrap();
+        let chip = b.build().unwrap();
+        let report = link_load(&chip);
+        assert_eq!(report.total_wire_hops, 3);
+        assert_eq!(report.used_links(), 3);
+        assert_eq!(report.max_load(), 1);
+        let links: Vec<_> = report.loads.iter().map(|&(l, _)| l).collect();
+        assert!(links.contains(&((0, 0), (1, 0))));
+        assert!(links.contains(&((1, 0), (2, 0))));
+        assert!(links.contains(&((2, 0), (2, 1))));
+    }
+
+    #[test]
+    fn link_load_accumulates_shared_links() {
+        use brainsim_core::{AxonTarget, CoreOffset};
+        // Two wires sharing the (0,0)→(1,0) link.
+        let mut b = ChipBuilder::new(ChipConfig {
+            width: 3,
+            height: 1,
+            core_axons: 2,
+            core_neurons: 2,
+            ..ChipConfig::default()
+        });
+        let relay = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(1))
+            .threshold(1)
+            .build()
+            .unwrap();
+        for n in 0..2 {
+            let reach = if n == 0 { 1 } else { 2 };
+            b.core_mut(0, 0)
+                .neuron(
+                    n,
+                    relay.clone(),
+                    Destination::Axon(AxonTarget {
+                        offset: CoreOffset::new(reach, 0),
+                        axon: 0,
+                        delay: 1,
+                    }),
+                )
+                .unwrap();
+        }
+        let chip = b.build().unwrap();
+        let report = link_load(&chip);
+        assert_eq!(report.max_load(), 2); // both wires cross (0,0)→(1,0)
+        assert_eq!(report.total_wire_hops, 3);
+    }
+}

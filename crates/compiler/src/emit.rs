@@ -1,0 +1,279 @@
+//! Back-end: chip emission and the compiled-network runtime.
+
+use std::fmt;
+
+use brainsim_chip::{Chip, ChipBuilder, ChipConfig, InjectError, TickSummary};
+use brainsim_core::{AxonTarget, CoreOffset, Destination};
+use brainsim_corelet::LogicalNetwork;
+use serde::{Deserialize, Serialize};
+
+use crate::passes::{Mapped, Typed};
+use crate::place::Placement;
+use crate::{CompileError, CompileOptions};
+
+/// What the mapping pipeline produced (the T3 experiment reads this).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompileReport {
+    /// Cores used.
+    pub cores: usize,
+    /// Grid dimensions.
+    pub grid: (usize, usize),
+    /// Physical neurons (logical + relays).
+    pub physical_neurons: usize,
+    /// Relay neurons inserted (splitters + output taps).
+    pub relays: usize,
+    /// Total axons used across cores.
+    pub axons_used: usize,
+    /// Placement cost (Σ traffic × hops) after greedy seeding.
+    pub greedy_cost: u64,
+    /// Placement cost after annealing.
+    pub annealed_cost: u64,
+    /// Placement cost of a seeded random permutation (oblivious baseline).
+    pub random_cost: u64,
+    /// Total inter-core traffic weight.
+    pub total_traffic: u64,
+}
+
+impl CompileReport {
+    /// Mean hops per unit of traffic after greedy placement.
+    pub fn mean_hops_greedy(&self) -> f64 {
+        if self.total_traffic == 0 {
+            0.0
+        } else {
+            self.greedy_cost as f64 / self.total_traffic as f64
+        }
+    }
+
+    /// Mean hops per unit of traffic after annealing.
+    pub fn mean_hops_annealed(&self) -> f64 {
+        if self.total_traffic == 0 {
+            0.0
+        } else {
+            self.annealed_cost as f64 / self.total_traffic as f64
+        }
+    }
+}
+
+/// I/O errors of the compiled-network runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoError {
+    /// The input port does not exist.
+    NoSuchInputPort(usize),
+    /// The chip rejected the injection.
+    Chip(InjectError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::NoSuchInputPort(p) => write!(f, "input port {p} does not exist"),
+            IoError::Chip(e) => write!(f, "chip rejected injection: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<InjectError> for IoError {
+    fn from(e: InjectError) -> Self {
+        IoError::Chip(e)
+    }
+}
+
+/// A logical network mapped onto a chip, with its I/O port tables.
+#[derive(Debug, Clone)]
+pub struct CompiledNetwork {
+    chip: Chip,
+    /// Input port → `(x, y, axon, delay)` taps.
+    input_taps: Vec<Vec<(usize, usize, usize, u8)>>,
+    output_ports: usize,
+    report: CompileReport,
+}
+
+impl CompiledNetwork {
+    /// The underlying chip (read-only).
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// The underlying chip (mutable, e.g. for energy-census access).
+    pub fn chip_mut(&mut self) -> &mut Chip {
+        &mut self.chip
+    }
+
+    /// The mapping report.
+    pub fn report(&self) -> &CompileReport {
+        &self.report
+    }
+
+    /// Number of input ports.
+    pub fn inputs(&self) -> usize {
+        self.input_taps.len()
+    }
+
+    /// Number of output ports.
+    pub fn outputs(&self) -> usize {
+        self.output_ports
+    }
+
+    /// Presents an input spike on `port` at tick `at_tick`; it reaches each
+    /// of the port's axon taps after the corresponding synaptic delay.
+    ///
+    /// # Errors
+    ///
+    /// See [`IoError`].
+    pub fn inject(&mut self, port: usize, at_tick: u64) -> Result<(), IoError> {
+        let taps = self
+            .input_taps
+            .get(port)
+            .ok_or(IoError::NoSuchInputPort(port))?
+            .clone();
+        for (x, y, axon, delay) in taps {
+            self.chip.inject(x, y, axon, at_tick + delay as u64)?;
+        }
+        Ok(())
+    }
+
+    /// Advances one tick, returning which output ports fired.
+    pub fn tick(&mut self) -> Vec<bool> {
+        let summary: TickSummary = self.chip.tick();
+        let mut fired = vec![false; self.output_ports];
+        for port in summary.outputs {
+            if let Some(slot) = fired.get_mut(port as usize) {
+                *slot = true;
+            }
+        }
+        fired
+    }
+
+    /// Resets all dynamic chip state (potentials, schedulers, tick counter,
+    /// statistics), keeping the mapping. Use between independent trials.
+    pub fn reset(&mut self) {
+        self.chip.reset();
+    }
+
+    /// Runs `ticks` ticks; `stimulus(t)` lists the input ports spiking at
+    /// tick `t`. Returns the output raster, one `Vec<bool>` per tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus names a non-existent port.
+    pub fn run<F>(&mut self, ticks: u64, mut stimulus: F) -> Vec<Vec<bool>>
+    where
+        F: FnMut(u64) -> Vec<usize>,
+    {
+        let mut raster = Vec::with_capacity(ticks as usize);
+        for _ in 0..ticks {
+            let t = self.chip.now();
+            for port in stimulus(t) {
+                self.inject(port, t).expect("stimulus named a bad port");
+            }
+            raster.push(self.tick());
+        }
+        raster
+    }
+}
+
+pub(crate) fn emit(
+    net: &LogicalNetwork,
+    mapped: Mapped,
+    typed: Typed,
+    placement: Placement,
+    options: &CompileOptions,
+) -> Result<CompiledNetwork, CompileError> {
+    let cores = mapped.cores.len();
+    let (w, h) = placement.grid;
+    if w * h < cores {
+        return Err(CompileError::GridTooSmall {
+            cores,
+            capacity: w * h,
+        });
+    }
+
+    // Local index of each physical neuron within its core.
+    let mut local_of = vec![usize::MAX; mapped.templates.len()];
+    for members in &mapped.cores {
+        for (local, &n) in members.iter().enumerate() {
+            local_of[n] = local;
+        }
+    }
+
+    let config = ChipConfig {
+        width: w,
+        height: h,
+        core_axons: options.core_axons,
+        core_neurons: options.core_neurons,
+        seed: options.seed,
+        semantics: options.semantics,
+        threads: options.threads,
+        tile: None,
+    };
+    let mut builder = ChipBuilder::new(config);
+
+    for (k, members) in mapped.cores.iter().enumerate() {
+        let (x, y) = placement.positions[k];
+        let core_builder = builder.core_mut(x, y);
+        for (i, record) in mapped.axons[k].iter().enumerate() {
+            core_builder
+                .axon_type(i, typed.axon_types[k][i])
+                .map_err(|e| CompileError::Emit(e.to_string()))?;
+            for &(post, _) in &record.posts {
+                core_builder
+                    .synapse(i, local_of[post], true)
+                    .map_err(|e| CompileError::Emit(e.to_string()))?;
+            }
+        }
+        for (local, &n) in members.iter().enumerate() {
+            let config = mapped.templates[n].with_weights(typed.weight_tables[n]);
+            let destination = if let Some(&port) = mapped.direct_output.get(&n) {
+                Destination::Output(port)
+            } else if let Some((tc, axon, delay)) = mapped.neuron_dest[n] {
+                let (tx, ty) = placement.positions[tc];
+                Destination::Axon(AxonTarget {
+                    offset: CoreOffset::new(tx as i32 - x as i32, ty as i32 - y as i32),
+                    axon: axon as u16,
+                    delay,
+                })
+            } else {
+                Destination::Disabled
+            };
+            core_builder
+                .neuron(local, config, destination)
+                .map_err(|e| CompileError::Emit(e.to_string()))?;
+        }
+    }
+
+    let chip = builder.build().map_err(|e| CompileError::Emit(e.to_string()))?;
+
+    let input_taps = mapped
+        .input_taps
+        .iter()
+        .map(|taps| {
+            taps.iter()
+                .map(|&(core, axon, delay)| {
+                    let (x, y) = placement.positions[core];
+                    (x, y, axon, delay)
+                })
+                .collect()
+        })
+        .collect();
+
+    let report = CompileReport {
+        cores,
+        grid: placement.grid,
+        physical_neurons: mapped.templates.len(),
+        relays: mapped.relays,
+        axons_used: mapped.axons.iter().map(Vec::len).sum(),
+        greedy_cost: placement.greedy_cost,
+        annealed_cost: placement.annealed_cost,
+        random_cost: placement.random_cost,
+        total_traffic: placement.total_traffic,
+    };
+
+    Ok(CompiledNetwork {
+        chip,
+        input_taps,
+        output_ports: net.outputs().len(),
+        report,
+    })
+}

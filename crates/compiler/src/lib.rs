@@ -1,0 +1,249 @@
+//! # brainsim-compiler
+//!
+//! The mapping toolchain: from a hardware-agnostic
+//! [`brainsim_corelet::LogicalNetwork`] to a configured, runnable
+//! [`brainsim_chip::Chip`].
+//!
+//! ## Pipeline
+//!
+//! 1. **Output taps** — a physical neuron has exactly one spike
+//!    destination, so an output-port neuron that also drives internal
+//!    synapses gets a relay tap (one extra tick of output latency).
+//! 2. **Partitioning** — BFS-ordered greedy packing of neurons into cores
+//!    under the neuron-count and axon-count budgets, with slack reserved
+//!    for splitter relays.
+//! 3. **Splitter insertion** — a spike packet addresses a single axon, so a
+//!    source whose targets span several `(core, delay)` groups drives a
+//!    hub axon (packet delay 1) whose crossbar row feeds relay neurons, one
+//!    per remaining group; each relay forwards with delay `d − 1`, keeping
+//!    every logical path's end-to-end delay exact. Relayed paths therefore
+//!    need `d ≥ 2` ([`CompileError::DelayTooSmallForFanout`]).
+//! 4. **Axon-type assignment** — each core offers four axon types; per
+//!    neuron, the weight applied is its table entry for the axon's type.
+//!    Greedy constraint-map colouring assigns types; an unsatisfiable core
+//!    reports [`CompileError::WeightPaletteOverflow`].
+//! 5. **Placement** — greedy seeding by traffic, then simulated annealing
+//!    minimising Σ(traffic × Manhattan distance); the improvement is the
+//!    T3 experiment.
+//! 6. **Emission** — a [`CompiledNetwork`]: the chip plus the input/output
+//!    port maps and a [`CompileReport`].
+//!
+//! The [`interp`] module provides the direct logical-network interpreter
+//! used as the functional oracle for compilation correctness.
+//!
+//! ## Example
+//!
+//! ```
+//! use brainsim_compiler::{compile, CompileOptions};
+//! use brainsim_corelet::{Corelet, NodeRef};
+//! use brainsim_neuron::NeuronConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut c = Corelet::new("relay", 1);
+//! let n = c.add_neuron(NeuronConfig::builder().threshold(1).build()?);
+//! c.connect(NodeRef::Input(0), n, 1, 1)?;
+//! c.mark_output(n)?;
+//!
+//! let mut compiled = compile(c.network(), &CompileOptions::default())?;
+//! compiled.inject(0, 0)?;
+//! let raster = compiled.run(3, |_| Vec::new());
+//! assert_eq!(raster[1], vec![true]); // input at t=0, delay 1 → output at t=1
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emit;
+pub mod interp;
+mod passes;
+mod place;
+
+use std::fmt;
+
+use brainsim_chip::TickSemantics;
+use brainsim_corelet::LogicalNetwork;
+use serde::{Deserialize, Serialize};
+
+pub use emit::{CompileReport, CompiledNetwork, IoError};
+
+/// Tunable knobs of the mapping pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Axons per physical core.
+    pub core_axons: usize,
+    /// Neurons per physical core.
+    pub core_neurons: usize,
+    /// Neuron slots per core reserved for splitter relays during packing.
+    pub relay_reserve: usize,
+    /// Explicit grid dimensions; `None` picks the smallest square.
+    pub grid: Option<(usize, usize)>,
+    /// Simulated-annealing iterations for placement (0 = greedy only).
+    pub anneal_iters: u32,
+    /// Seed for the placement annealer and per-core LFSRs.
+    pub seed: u32,
+    /// Tick semantics of the emitted chip.
+    pub semantics: TickSemantics,
+    /// Worker threads of the emitted chip.
+    pub threads: usize,
+    /// Grid cells that are known-defective and must not host a core —
+    /// the yield/defect-tolerance knob of the placement stage.
+    pub faulty_cells: Vec<(usize, usize)>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            core_axons: 256,
+            core_neurons: 256,
+            relay_reserve: 32,
+            grid: None,
+            anneal_iters: 10_000,
+            seed: 0xC0_FFEE,
+            semantics: TickSemantics::Deterministic,
+            threads: 1,
+            faulty_cells: Vec::new(),
+        }
+    }
+}
+
+/// Errors from the mapping pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A neuron has more than four distinct incoming weights; no axon-type
+    /// assignment can realise it.
+    TooManyWeights {
+        /// Logical neuron index.
+        neuron: usize,
+        /// Number of distinct weights found.
+        distinct: usize,
+    },
+    /// A multi-core (or multi-delay) fan-out path has logical delay 1;
+    /// the splitter relay needs at least 2 ticks end to end.
+    DelayTooSmallForFanout {
+        /// Logical source neuron index.
+        neuron: usize,
+    },
+    /// Splitter relays overflowed the reserved slack of a core.
+    CoreOverflow {
+        /// Core index that overflowed.
+        core: usize,
+    },
+    /// A core needs more axons than the hardware budget.
+    AxonOverflow {
+        /// Core index.
+        core: usize,
+        /// Axons required.
+        needed: usize,
+        /// Axon budget.
+        budget: usize,
+    },
+    /// No 4-type assignment satisfies a core's weight constraints.
+    WeightPaletteOverflow {
+        /// Core index.
+        core: usize,
+    },
+    /// Parallel same-delay synapses between one pair merged to a weight
+    /// outside the representable range.
+    MergedWeightOverflow {
+        /// Physical target neuron.
+        neuron: usize,
+        /// Merged weight value.
+        weight: i64,
+    },
+    /// The network does not fit the requested grid.
+    GridTooSmall {
+        /// Cores required.
+        cores: usize,
+        /// Grid capacity.
+        capacity: usize,
+    },
+    /// The grid assembly failed internal validation (a bug if it happens).
+    Emit(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::TooManyWeights { neuron, distinct } => write!(
+                f,
+                "neuron {neuron} has {distinct} distinct incoming weights (max 4)"
+            ),
+            CompileError::DelayTooSmallForFanout { neuron } => write!(
+                f,
+                "neuron {neuron} fans out across cores with delay 1; split paths need delay >= 2"
+            ),
+            CompileError::CoreOverflow { core } => {
+                write!(f, "splitter relays overflowed core {core}")
+            }
+            CompileError::AxonOverflow { core, needed, budget } => {
+                write!(f, "core {core} needs {needed} axons, budget {budget}")
+            }
+            CompileError::WeightPaletteOverflow { core } => {
+                write!(f, "core {core} cannot satisfy weights with 4 axon types")
+            }
+            CompileError::MergedWeightOverflow { neuron, weight } => write!(
+                f,
+                "merged parallel synapses into neuron {neuron} give weight {weight} out of range"
+            ),
+            CompileError::GridTooSmall { cores, capacity } => {
+                write!(f, "{cores} cores do not fit a grid of {capacity}")
+            }
+            CompileError::Emit(msg) => write!(f, "emission failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a logical network into a runnable chip.
+///
+/// # Errors
+///
+/// See [`CompileError`] for every way a network can fail to map.
+pub fn compile(
+    net: &LogicalNetwork,
+    options: &CompileOptions,
+) -> Result<CompiledNetwork, CompileError> {
+    // Iterative legalisation: if splitter relays overflow the packing
+    // slack, repack with a larger reserve (fewer logical neurons per core
+    // leaves more room for relays). The reserve is capped at half the core,
+    // after which the overflow is a genuine infeasibility.
+    let mut opts = options.clone();
+    loop {
+        match compile_once(net, &opts) {
+            Err(CompileError::CoreOverflow { .. })
+            | Err(CompileError::AxonOverflow { .. })
+            | Err(CompileError::DelayTooSmallForFanout { .. })
+                if opts.relay_reserve < opts.core_neurons / 2 =>
+            {
+                opts.relay_reserve =
+                    (opts.relay_reserve.max(1) * 2).min(opts.core_neurons / 2);
+            }
+            other => return other,
+        }
+    }
+}
+
+fn compile_once(
+    net: &LogicalNetwork,
+    options: &CompileOptions,
+) -> Result<CompiledNetwork, CompileError> {
+    let mut mapped = passes::map(net, options)?;
+    let typed = passes::assign_types(&mut mapped, options)?;
+    let grid = place::grid_for(mapped.cores.len(), options);
+    let faulty_in_grid = options
+        .faulty_cells
+        .iter()
+        .filter(|&&(x, y)| x < grid.0 && y < grid.1)
+        .count();
+    if grid.0 * grid.1 - faulty_in_grid < mapped.cores.len() {
+        return Err(CompileError::GridTooSmall {
+            cores: mapped.cores.len(),
+            capacity: grid.0 * grid.1 - faulty_in_grid,
+        });
+    }
+    let placement = place::place(&mapped, options);
+    emit::emit(net, mapped, typed, placement, options)
+}

@@ -1,0 +1,792 @@
+//! Front-end passes: output taps, partitioning, splitter insertion and
+//! axon-type assignment.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use brainsim_core::AxonType;
+use brainsim_corelet::{LogicalNetwork, LogicalSynapse, NeuronId, NodeRef};
+use brainsim_neuron::{NeuronConfig, Weight};
+
+use crate::{CompileError, CompileOptions};
+
+/// `(post, weight)` fan-out pairs of one axon.
+type Posts = Vec<(usize, i32)>;
+/// Groups of synapses keyed by `(target core, delay)`.
+type SourceGroups = BTreeMap<(usize, u8), Posts>;
+/// A pending splitter group: `(core, delay, posts)`.
+type PendingGroup = (usize, u8, Posts);
+
+/// Driver of a physical axon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Driver {
+    /// External input port.
+    Input(usize),
+    /// Physical neuron index.
+    Neuron(usize),
+}
+
+/// One physical axon of one core.
+#[derive(Debug, Clone)]
+pub(crate) struct AxonRecord {
+    pub driver: Driver,
+    /// Packet delay carried by spikes arriving on this axon.
+    pub delay: u8,
+    /// `(physical neuron, weight)` fan-out within the core.
+    pub posts: Vec<(usize, i32)>,
+}
+
+/// Result of partitioning + splitting.
+#[derive(Debug, Clone)]
+pub(crate) struct Mapped {
+    /// Behaviour templates of all physical neurons (logical + relays).
+    pub templates: Vec<NeuronConfig>,
+    /// Core index of each physical neuron.
+    pub core_of: Vec<usize>,
+    /// Members of each core, in local-index order.
+    pub cores: Vec<Vec<usize>>,
+    /// Axons of each core.
+    pub axons: Vec<Vec<AxonRecord>>,
+    /// Spike destination of each physical neuron:
+    /// `(core, axon index, packet delay)`.
+    pub neuron_dest: Vec<Option<(usize, usize, u8)>>,
+    /// Physical neuron → output port.
+    pub direct_output: HashMap<usize, u32>,
+    /// Input port → `(core, axon index, delay)` taps.
+    pub input_taps: Vec<Vec<(usize, usize, u8)>>,
+    /// Relay neurons inserted (splitters + output taps).
+    pub relays: usize,
+}
+
+/// Axon-type assignment and per-neuron weight tables.
+#[derive(Debug, Clone)]
+pub(crate) struct Typed {
+    /// Per core, per axon: the assigned type.
+    pub axon_types: Vec<Vec<AxonType>>,
+    /// Per physical neuron: the 4-entry weight table.
+    pub weight_tables: Vec<[Weight; 4]>,
+}
+
+fn relay_template() -> NeuronConfig {
+    NeuronConfig::builder()
+        .threshold(1)
+        .build()
+        .expect("relay template is valid")
+}
+
+/// Runs output taps, partitioning and splitter insertion.
+pub(crate) fn map(net: &LogicalNetwork, options: &CompileOptions) -> Result<Mapped, CompileError> {
+    // ---- Working copies -------------------------------------------------
+    let mut templates: Vec<NeuronConfig> = net.neurons().to_vec();
+    let mut synapses: Vec<LogicalSynapse> = net.synapses().to_vec();
+    let mut direct_output: HashMap<usize, u32> = HashMap::new();
+
+    // Validate the 4-distinct-weights-per-neuron precondition.
+    for i in 0..templates.len() {
+        let distinct = net.distinct_in_weights(NeuronId(i)).len();
+        if distinct > 4 {
+            return Err(CompileError::TooManyWeights { neuron: i, distinct });
+        }
+    }
+
+    // ---- Pass 1: output taps --------------------------------------------
+    let mut relays = 0usize;
+    for (port, &NeuronId(n)) in net.outputs().iter().enumerate() {
+        let has_fanout = synapses.iter().any(|s| s.pre == NodeRef::Neuron(NeuronId(n)));
+        if !has_fanout && !direct_output.contains_key(&n) {
+            direct_output.insert(n, port as u32);
+        } else {
+            // Tap synapses use delay 2, not 1: a tapped neuron by definition
+            // has other fan-out, and a delay-2 tap leaves the splitter free
+            // to start its chain in any core. Tapped ports therefore report
+            // with a fixed 2-tick latency.
+            let relay = templates.len();
+            templates.push(relay_template());
+            relays += 1;
+            synapses.push(LogicalSynapse {
+                pre: NodeRef::Neuron(NeuronId(n)),
+                post: NeuronId(relay),
+                weight: 1,
+                delay: 2,
+            });
+            direct_output.insert(relay, port as u32);
+        }
+    }
+
+    // ---- Pass 2: BFS ordering + greedy partitioning ----------------------
+    let n_neurons = templates.len();
+    let mut out_adj: Vec<Vec<usize>> = vec![Vec::new(); n_neurons];
+    let mut in_synapses: Vec<Vec<usize>> = vec![Vec::new(); n_neurons];
+    for (si, s) in synapses.iter().enumerate() {
+        in_synapses[s.post.0].push(si);
+        if let NodeRef::Neuron(NeuronId(p)) = s.pre {
+            out_adj[p].push(s.post.0);
+        }
+    }
+    let order = bfs_order(&synapses, &out_adj, n_neurons);
+
+    let usable = options.core_neurons.saturating_sub(options.relay_reserve).max(1);
+    // Axon slack scales with the relay reserve: splitter chains and relay
+    // target axons consume axon slots the raw synapse count cannot predict.
+    let axon_slack = ((options.relay_reserve * options.core_axons)
+        / options.core_neurons.max(1))
+    .max(options.core_axons / 8)
+    .min(options.core_axons / 2);
+    let axon_budget = options.core_axons.saturating_sub(axon_slack).max(1);
+    let mut cores: Vec<Vec<usize>> = Vec::new();
+    let mut core_of = vec![usize::MAX; n_neurons];
+    {
+        let mut current: Vec<usize> = Vec::new();
+        // Axon demand is counted per (source, delay, weight): input axons
+        // are replicated per weight value (role) at emission, so the finer
+        // key keeps the packing honest about the real axon consumption.
+        let mut axon_keys: BTreeSet<(NodeKey, u8, i32)> = BTreeSet::new();
+        for &n in &order {
+            // Keys this neuron's fan-in would add.
+            let mut added: BTreeSet<(NodeKey, u8, i32)> = BTreeSet::new();
+            for &si in &in_synapses[n] {
+                let s = &synapses[si];
+                added.insert((NodeKey::from(s.pre), s.delay, s.weight));
+            }
+            let new_axons = added.difference(&axon_keys).count();
+            let fits = current.len() < usable
+                && axon_keys.len() + new_axons <= axon_budget;
+            if !fits && !current.is_empty() {
+                cores.push(std::mem::take(&mut current));
+                axon_keys.clear();
+                for &si in &in_synapses[n] {
+                    let s = &synapses[si];
+                    axon_keys.insert((NodeKey::from(s.pre), s.delay, s.weight));
+                }
+            } else {
+                axon_keys.extend(added);
+            }
+            core_of[n] = cores.len();
+            current.push(n);
+        }
+        if !current.is_empty() {
+            cores.push(current);
+        }
+        if cores.is_empty() {
+            cores.push(Vec::new());
+        }
+    }
+
+    // ---- Pass 3: axon construction + splitter insertion -------------------
+    let mut axons: Vec<Vec<AxonRecord>> = vec![Vec::new(); cores.len()];
+    let mut neuron_dest: Vec<Option<(usize, usize, u8)>> = vec![None; n_neurons];
+    let mut input_taps: Vec<Vec<(usize, usize, u8)>> = vec![Vec::new(); net.inputs()];
+
+    // Group synapses by source.
+    let mut by_source: BTreeMap<NodeKey, SourceGroups> = BTreeMap::new();
+    for s in &synapses {
+        let key = NodeKey::from(s.pre);
+        let core = core_of[s.post.0];
+        by_source
+            .entry(key)
+            .or_default()
+            .entry((core, s.delay))
+            .or_default()
+            .push((s.post.0, s.weight));
+    }
+
+    let source_keys: Vec<NodeKey> = by_source.keys().copied().collect();
+    for key in source_keys {
+        let groups = by_source.get(&key).cloned().unwrap_or_default();
+        match key {
+            NodeKey::Input(port) => {
+                // External inputs reach any number of axons via the I/O
+                // periphery: one axon per (core, delay, weight) group — the
+                // per-weight replication gives every input axon a single
+                // role, which the type-assignment pass can always colour.
+                for ((core, delay), posts) in groups {
+                    let merged = merge_posts(&posts)?;
+                    let mut by_weight: BTreeMap<i32, Vec<(usize, i32)>> = BTreeMap::new();
+                    for (post, w) in merged {
+                        by_weight.entry(w).or_default().push((post, w));
+                    }
+                    for posts in by_weight.into_values() {
+                        let idx = axons[core].len();
+                        axons[core].push(AxonRecord {
+                            driver: Driver::Input(port),
+                            delay,
+                            posts,
+                        });
+                        input_taps[port].push((core, idx, delay));
+                    }
+                }
+            }
+            NodeKey::Neuron(n) => {
+                if groups.len() == 1 {
+                    let ((core, delay), posts) = groups.into_iter().next().expect("non-empty");
+                    let posts = merge_posts(&posts)?;
+                    let idx = axons[core].len();
+                    axons[core].push(AxonRecord {
+                        driver: Driver::Neuron(n),
+                        delay,
+                        posts,
+                    });
+                    neuron_dest[n] = Some((core, idx, delay));
+                } else {
+                    split_source(
+                        n,
+                        groups,
+                        options,
+                        &mut templates,
+                        &mut core_of,
+                        &mut cores,
+                        &mut axons,
+                        &mut neuron_dest,
+                        &mut relays,
+                    )?;
+                }
+            }
+        }
+    }
+
+    // ---- Capacity checks --------------------------------------------------
+    for (core, list) in axons.iter().enumerate() {
+        if list.len() > options.core_axons {
+            return Err(CompileError::AxonOverflow {
+                core,
+                needed: list.len(),
+                budget: options.core_axons,
+            });
+        }
+    }
+    for (core, members) in cores.iter().enumerate() {
+        if members.len() > options.core_neurons {
+            return Err(CompileError::CoreOverflow { core });
+        }
+    }
+
+    Ok(Mapped {
+        templates,
+        core_of,
+        cores,
+        axons,
+        neuron_dest,
+        direct_output,
+        input_taps,
+        relays,
+    })
+}
+
+/// Merges parallel `(post, weight)` pairs additively (same source, same
+/// delay, same target — a single crossbar bit must carry their sum).
+fn merge_posts(raw: &[(usize, i32)]) -> Result<Posts, CompileError> {
+    let mut merged: BTreeMap<usize, i64> = BTreeMap::new();
+    for &(post, w) in raw {
+        *merged.entry(post).or_insert(0) += w as i64;
+    }
+    merged
+        .into_iter()
+        .map(|(post, w)| {
+            if i32::try_from(w).is_err() || Weight::new(w as i32).is_err() {
+                Err(CompileError::MergedWeightOverflow { neuron: post, weight: w })
+            } else {
+                Ok((post, w as i32))
+            }
+        })
+        .collect()
+}
+
+/// Appends a fresh relay neuron to `core`.
+fn add_relay(
+    core: usize,
+    options: &CompileOptions,
+    templates: &mut Vec<NeuronConfig>,
+    neuron_dest: &mut Vec<Option<(usize, usize, u8)>>,
+    core_of: &mut Vec<usize>,
+    #[allow(clippy::ptr_arg)] cores: &mut Vec<Vec<usize>>,
+) -> Result<usize, CompileError> {
+    if cores[core].len() >= options.core_neurons {
+        return Err(CompileError::CoreOverflow { core });
+    }
+    let relay = templates.len();
+    templates.push(relay_template());
+    neuron_dest.push(None);
+    core_of.push(core);
+    cores[core].push(relay);
+    Ok(relay)
+}
+
+/// Maps a multi-group source through a *relay spill chain*.
+///
+/// The source drives a chain axon (packet delay 1) in the first chain core;
+/// the spike reaches the chain axon at depth `i` at offset `i + 1` ticks.
+/// At each chain core the axon's crossbar row feeds (a) targets of a local
+/// group whose delay equals the arrival offset, (b) relay neurons — one per
+/// remaining group, each forwarding to the group's own core with delay
+/// `d − arrival` — and (c) when capacity runs out, a forwarder relay that
+/// extends the chain into another core. End-to-end logical delays are
+/// preserved exactly; paths that cannot absorb the relay latency fail with
+/// [`CompileError::DelayTooSmallForFanout`].
+#[allow(clippy::too_many_arguments)]
+fn split_source(
+    n: usize,
+    groups: SourceGroups,
+    options: &CompileOptions,
+    templates: &mut Vec<NeuronConfig>,
+    core_of: &mut Vec<usize>,
+    cores: &mut Vec<Vec<usize>>,
+    axons: &mut Vec<Vec<AxonRecord>>,
+    neuron_dest: &mut Vec<Option<(usize, usize, u8)>>,
+    relays: &mut usize,
+) -> Result<(), CompileError> {
+    // Pending groups in ascending-delay (most urgent first) order.
+    let mut pending: VecDeque<PendingGroup> = {
+        let mut list = groups
+            .into_iter()
+            .map(|((core, delay), posts)| Ok((core, delay, merge_posts(&posts)?)))
+            .collect::<Result<Vec<_>, CompileError>>()?;
+        list.sort_by_key(|&(core, delay, _)| (delay, core));
+        list.into()
+    };
+
+    // Delay-1 groups must all live in the first chain core.
+    let d1_cores: BTreeSet<usize> = pending
+        .iter()
+        .filter(|g| g.1 == 1)
+        .map(|g| g.0)
+        .collect();
+    if d1_cores.len() > 1 {
+        return Err(CompileError::DelayTooSmallForFanout { neuron: n });
+    }
+    // First chain core: forced by a delay-1 group, else a capacity-aware
+    // pick (relays and the forwarder need neuron slots there).
+    let mut current = match d1_cores.iter().next() {
+        Some(&c) => c,
+        None => pick_next_core(&pending, cores, axons, options),
+    };
+
+    let mut chain_driver = n;
+    for depth in 0usize.. {
+        let arrival = (depth + 1) as u8;
+        let mut chain_posts: Vec<(usize, i32)> = Vec::new();
+
+        // Direct local groups at the exact arrival offset; anything whose
+        // delay has already been overtaken is unmappable.
+        let mut rest: VecDeque<PendingGroup> = VecDeque::with_capacity(pending.len());
+        while let Some(group) = pending.pop_front() {
+            if group.0 == current && group.1 == arrival {
+                chain_posts.extend(group.2);
+            } else if group.1 <= arrival {
+                return Err(CompileError::DelayTooSmallForFanout { neuron: n });
+            } else {
+                rest.push_back(group);
+            }
+        }
+        pending = rest;
+
+        // Local relays, urgent first, keeping one slot for a forwarder if
+        // groups would remain afterwards.
+        while let Some((gcore, gdelay, posts)) = pending.pop_front() {
+            let slots_left = options.core_neurons.saturating_sub(cores[current].len());
+            let reserve_forwarder = usize::from(!pending.is_empty());
+            if slots_left <= reserve_forwarder {
+                pending.push_front((gcore, gdelay, posts));
+                break;
+            }
+            let relay = add_relay(current, options, templates, neuron_dest, core_of, cores)?;
+            *relays += 1;
+            chain_posts.push((relay, 1));
+            let idx = axons[gcore].len();
+            axons[gcore].push(AxonRecord {
+                driver: Driver::Neuron(relay),
+                delay: gdelay - arrival,
+                posts,
+            });
+            neuron_dest[relay] = Some((gcore, idx, gdelay - arrival));
+        }
+
+        let forwarder = if pending.is_empty() {
+            None
+        } else {
+            let f = add_relay(current, options, templates, neuron_dest, core_of, cores)?;
+            *relays += 1;
+            chain_posts.push((f, 1));
+            Some(f)
+        };
+
+        let idx = axons[current].len();
+        axons[current].push(AxonRecord {
+            driver: Driver::Neuron(chain_driver),
+            delay: 1,
+            posts: chain_posts,
+        });
+        neuron_dest[chain_driver] = Some((current, idx, 1));
+
+        match forwarder {
+            None => break,
+            Some(f) => {
+                chain_driver = f;
+                current = pick_next_core(&pending, cores, axons, options);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Chooses the next chain core. Urgent groups (delay = arrival + 1) must be
+/// relayed immediately, so prefer a core with room for *all* pending
+/// relays: first among the pending groups' own cores, then any core, then a
+/// fresh core; failing that, the roomiest core (the forwarder chain absorbs
+/// the remainder when delays allow).
+fn pick_next_core(
+    pending: &VecDeque<PendingGroup>,
+    cores: &mut Vec<Vec<usize>>,
+    axons: &mut Vec<Vec<AxonRecord>>,
+    options: &CompileOptions,
+) -> usize {
+    let free = |cores: &[Vec<usize>], i: usize| options.core_neurons.saturating_sub(cores[i].len());
+    let need = pending.len();
+    for g in pending {
+        if free(cores, g.0) >= need {
+            return g.0;
+        }
+    }
+    if let Some(i) = (0..cores.len()).find(|&i| free(cores, i) >= need) {
+        return i;
+    }
+    if options.core_neurons >= need.max(2) {
+        cores.push(Vec::new());
+        axons.push(Vec::new());
+        return cores.len() - 1;
+    }
+    // No core can take everything: pick the roomiest.
+    (0..cores.len())
+        .max_by_key(|&i| free(cores, i))
+        .expect("at least one core exists")
+}
+
+/// Orderable mirror of `NodeRef` used as partitioning key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum NodeKey {
+    Input(usize),
+    Neuron(usize),
+}
+
+impl From<NodeRef> for NodeKey {
+    fn from(node: NodeRef) -> NodeKey {
+        match node {
+            NodeRef::Input(p) => NodeKey::Input(p),
+            NodeRef::Neuron(NeuronId(n)) => NodeKey::Neuron(n),
+        }
+    }
+}
+
+fn bfs_order(synapses: &[LogicalSynapse], out_adj: &[Vec<usize>], n: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    // Seed with input-driven neurons, in synapse order.
+    for s in synapses {
+        if matches!(s.pre, NodeRef::Input(_)) && !seen[s.post.0] {
+            seen[s.post.0] = true;
+            queue.push_back(s.post.0);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in &out_adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    // Unreached neurons (pure sources, isolated) appended in index order.
+    order.extend(seen.iter().enumerate().filter_map(|(v, &s)| (!s).then_some(v)));
+    order
+}
+
+/// Greedy axon-type assignment per core, with input-axon replication.
+///
+/// When greedy colouring of a core fails on an *input-driven* axon, that
+/// axon is split — first by weight value, then by post subsets — exactly
+/// as the silicon toolchain replicates input axons so that one pixel can
+/// play different roles (types) for different neurons. The I/O periphery
+/// can address many axons per input port, so replication is free apart
+/// from the axon budget; the split axons are appended to the port's tap
+/// list. Neuron-driven axons cannot be replicated (a spike packet has one
+/// destination), so an uncolourable neuron-driven axon is a hard
+/// [`CompileError::WeightPaletteOverflow`].
+pub(crate) fn assign_types(
+    mapped: &mut Mapped,
+    options: &CompileOptions,
+) -> Result<Typed, CompileError> {
+    // Structural changes (axon replication, relay splits) can touch cores
+    // in any position, so colouring runs as a fixpoint: colour every core;
+    // on a structural change, restart. Each change strictly increases the
+    // axon count under a hard budget, so the loop terminates.
+    'restart: loop {
+        let mut axon_types: Vec<Vec<AxonType>> = Vec::with_capacity(mapped.axons.len());
+        let mut weight_tables: Vec<[Weight; 4]> =
+            vec![[Weight::ZERO; 4]; mapped.templates.len()];
+
+        let mut core = 0;
+        while core < mapped.axons.len() {
+            // Conflict-driven priorities: an axon that failed colouring is
+            // retried earlier in the next round, which removes greedy
+            // ordering artifacts.
+            let mut priority: HashMap<usize, u32> = HashMap::new();
+            'retry: loop {
+                let list = &mapped.axons[core];
+                // Constraint map per type: physical neuron → required weight.
+                let mut maps: [HashMap<usize, i32>; 4] = Default::default();
+                // Previously failed axons first, then widest first.
+                let mut idx: Vec<usize> = (0..list.len()).collect();
+                idx.sort_by_key(|&i| {
+                    (
+                        u32::MAX - priority.get(&i).copied().unwrap_or(0),
+                        usize::MAX - list[i].posts.len(),
+                    )
+                });
+                let mut assigned = vec![AxonType::A0; list.len()];
+                let mut failed: Option<usize> = None;
+                for &i in &idx {
+                    let axon = &list[i];
+                    let mut placed = false;
+                    for ty in AxonType::ALL {
+                        let m = &maps[ty.index()];
+                        let compatible = axon.posts.iter().all(|&(post, w)| {
+                            m.get(&post).map(|&existing| existing == w).unwrap_or(true)
+                        });
+                        if compatible {
+                            for &(post, w) in &axon.posts {
+                                maps[ty.index()].insert(post, w);
+                            }
+                            assigned[i] = ty;
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        failed = Some(i);
+                        break;
+                    }
+                }
+
+                match failed {
+                    None => {
+                        for ty in AxonType::ALL {
+                            for (&post, &w) in &maps[ty.index()] {
+                                weight_tables[post][ty.index()] =
+                                    Weight::new(w).expect("weights validated earlier");
+                            }
+                        }
+                        axon_types.push(assigned);
+                        break 'retry;
+                    }
+                    Some(i) => {
+                        // First lever: retry with this axon prioritised.
+                        let bumps = priority.entry(i).or_insert(0);
+                        if *bumps < 12 {
+                            *bumps += 1;
+                            continue 'retry;
+                        }
+                        // If the failing axon is itself unsplittable (a
+                        // single weight role), the blockage comes from the
+                        // mixed-role axons pinning its posts: split the
+                        // widest such conflicting axon instead.
+                        let i = if split_axon_posts(&mapped.axons[core][i].posts).len() >= 2 {
+                            i
+                        } else {
+                            let failing_posts: std::collections::BTreeSet<usize> = mapped.axons
+                                [core][i]
+                                .posts
+                                .iter()
+                                .map(|&(p, _)| p)
+                                .collect();
+                            match (0..mapped.axons[core].len())
+                                .filter(|&j| j != i)
+                                .filter(|&j| {
+                                    let a = &mapped.axons[core][j];
+                                    a.posts.iter().any(|&(p, _)| failing_posts.contains(&p))
+                                        && split_axon_posts(&a.posts).len() >= 2
+                                })
+                                .max_by_key(|&j| mapped.axons[core][j].posts.len())
+                            {
+                                Some(j) => j,
+                                None => {
+                                    return Err(CompileError::WeightPaletteOverflow { core })
+                                }
+                            }
+                        };
+                        match mapped.axons[core][i].driver {
+                            // Second lever (input-driven): replicate the
+                            // axon — the I/O periphery can address many
+                            // axons per port.
+                            Driver::Input(port) => {
+                                let delay = mapped.axons[core][i].delay;
+                                let posts = mapped.axons[core][i].posts.clone();
+                                let parts = split_axon_posts(&posts);
+                                if parts.len() < 2 {
+                                    if std::env::var("BRAINSIM_DEBUG_TYPING").is_ok() {
+                                        eprintln!("palette overflow: core {core} input axon {i} posts {posts:?}");
+                                        for (j, ax) in mapped.axons[core].iter().enumerate() {
+                                            eprintln!("  axon {j}: {:?} d{} posts {:?}", ax.driver, ax.delay, ax.posts);
+                                        }
+                                    }
+                                    return Err(CompileError::WeightPaletteOverflow { core });
+                                }
+                                if mapped.axons[core].len() + parts.len() - 1
+                                    > options.core_axons
+                                {
+                                    return Err(CompileError::AxonOverflow {
+                                        core,
+                                        needed: mapped.axons[core].len() + parts.len() - 1,
+                                        budget: options.core_axons,
+                                    });
+                                }
+                                let mut parts = parts.into_iter();
+                                mapped.axons[core][i].posts =
+                                    parts.next().expect("non-empty split");
+                                for part in parts {
+                                    let idx = mapped.axons[core].len();
+                                    mapped.axons[core].push(AxonRecord {
+                                        driver: Driver::Input(port),
+                                        delay,
+                                        posts: part,
+                                    });
+                                    mapped.input_taps[port].push((core, idx, delay));
+                                }
+                            }
+                            // Third lever (neuron-driven): replicate through
+                            // relays — the EEDN deployment pattern, where
+                            // one source appears in a core as several
+                            // role-specific axons.
+                            Driver::Neuron(_) => {
+                                relay_split_axon(core, i, mapped, options)?;
+                            }
+                        }
+                        continue 'restart;
+                    }
+                }
+            }
+            core += 1;
+        }
+
+        return Ok(Typed {
+            axon_types,
+            weight_tables,
+        });
+    }
+}
+
+/// Replicates a neuron-driven axon through relays: the axon at
+/// `(core, index)` becomes a hub (packet delay 1) whose crossbar row feeds
+/// one relay per part; each relay drives a fresh axon carrying the
+/// residual delay and a uniform-role subset of the original posts.
+fn relay_split_axon(
+    core: usize,
+    index: usize,
+    mapped: &mut Mapped,
+    options: &CompileOptions,
+) -> Result<(), CompileError> {
+    let delay = mapped.axons[core][index].delay;
+    let posts = mapped.axons[core][index].posts.clone();
+    let parts = split_axon_posts(&posts);
+    if parts.len() < 2 {
+        if std::env::var("BRAINSIM_DEBUG_TYPING").is_ok() {
+            eprintln!("palette overflow: core {core} neuron axon {index} posts {posts:?}");
+            for (j, ax) in mapped.axons[core].iter().enumerate() {
+                eprintln!("  axon {j}: {:?} d{} posts {:?}", ax.driver, ax.delay, ax.posts);
+            }
+        }
+        return Err(CompileError::WeightPaletteOverflow { core });
+    }
+    // Find the neuron whose destination points at this axon (the true
+    // driver; the record's driver field is informational for chain axons).
+    let owner = mapped
+        .neuron_dest
+        .iter()
+        .position(|d| matches!(d, Some((c, a, _)) if *c == core && *a == index))
+        .ok_or(CompileError::WeightPaletteOverflow { core })?;
+    if delay < 2 {
+        // The extra relay hop cannot be absorbed.
+        return Err(CompileError::DelayTooSmallForFanout { neuron: owner });
+    }
+    // The role relays (and the hub axon feeding them) can live in any core
+    // with room; the role axons themselves stay in the conflicted core.
+    let need = parts.len();
+    let free = |cores: &[Vec<usize>], i: usize| options.core_neurons.saturating_sub(cores[i].len());
+    let host = if free(&mapped.cores, core) >= need {
+        core
+    } else if let Some(i) = (0..mapped.cores.len()).find(|&i| free(&mapped.cores, i) >= need) {
+        i
+    } else if options.core_neurons >= need {
+        mapped.cores.push(Vec::new());
+        mapped.axons.push(Vec::new());
+        mapped.cores.len() - 1
+    } else {
+        return Err(CompileError::CoreOverflow { core });
+    };
+    if mapped.axons[core].len() + need - 1 > options.core_axons {
+        return Err(CompileError::AxonOverflow {
+            core,
+            needed: mapped.axons[core].len() + need - 1,
+            budget: options.core_axons,
+        });
+    }
+    if host != core && mapped.axons[host].len() + 1 > options.core_axons {
+        return Err(CompileError::AxonOverflow {
+            core: host,
+            needed: mapped.axons[host].len() + 1,
+            budget: options.core_axons,
+        });
+    }
+
+    let mut hub_posts = Vec::with_capacity(need);
+    let mut parts = parts.into_iter();
+    // The original axon record is repurposed as the first role axon.
+    let first = parts.next().expect("at least two parts");
+    let r0 = add_relay(host, options, &mut mapped.templates, &mut mapped.neuron_dest,
+        &mut mapped.core_of, &mut mapped.cores)?;
+    mapped.relays += 1;
+    hub_posts.push((r0, 1));
+    mapped.axons[core][index] = AxonRecord {
+        driver: Driver::Neuron(r0),
+        delay: delay - 1,
+        posts: first,
+    };
+    mapped.neuron_dest[r0] = Some((core, index, delay - 1));
+    for part in parts {
+        let relay = add_relay(host, options, &mut mapped.templates, &mut mapped.neuron_dest,
+            &mut mapped.core_of, &mut mapped.cores)?;
+        mapped.relays += 1;
+        hub_posts.push((relay, 1));
+        let idx = mapped.axons[core].len();
+        mapped.axons[core].push(AxonRecord {
+            driver: Driver::Neuron(relay),
+            delay: delay - 1,
+            posts: part,
+        });
+        mapped.neuron_dest[relay] = Some((core, idx, delay - 1));
+    }
+    let hub_idx = mapped.axons[host].len();
+    mapped.axons[host].push(AxonRecord {
+        driver: Driver::Neuron(owner),
+        delay: 1,
+        posts: hub_posts,
+    });
+    mapped.neuron_dest[owner] = Some((host, hub_idx, 1));
+    Ok(())
+}
+
+/// Splits an axon's posts for replication: by weight value when several
+/// weights are present, otherwise into two halves by post.
+fn split_axon_posts(posts: &[(usize, i32)]) -> Vec<Posts> {
+    let mut by_weight: BTreeMap<i32, Vec<(usize, i32)>> = BTreeMap::new();
+    for &(post, w) in posts {
+        by_weight.entry(w).or_default().push((post, w));
+    }
+    if by_weight.len() > 1 {
+        return by_weight.into_values().collect();
+    }
+    if posts.len() < 2 {
+        return vec![posts.to_vec()];
+    }
+    let mid = posts.len() / 2;
+    vec![posts[..mid].to_vec(), posts[mid..].to_vec()]
+}

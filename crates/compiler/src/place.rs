@@ -1,0 +1,254 @@
+//! Core placement: greedy seeding + simulated annealing.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::passes::Mapped;
+use crate::CompileOptions;
+
+/// Result of placement.
+#[derive(Debug, Clone)]
+pub(crate) struct Placement {
+    /// Grid dimensions `(width, height)`.
+    pub grid: (usize, usize),
+    /// Position of each core.
+    pub positions: Vec<(usize, usize)>,
+    /// Σ traffic × Manhattan cost after greedy seeding.
+    pub greedy_cost: u64,
+    /// Cost after annealing.
+    pub annealed_cost: u64,
+    /// Cost of a seeded random permutation (placement-oblivious baseline).
+    pub random_cost: u64,
+    /// Total inter-core traffic weight (for mean-hop computation).
+    pub total_traffic: u64,
+}
+
+/// Traffic between core pairs: weight = wires + fan-out size.
+fn traffic(mapped: &Mapped) -> HashMap<(usize, usize), u64> {
+    let mut t: HashMap<(usize, usize), u64> = HashMap::new();
+    for (n, dest) in mapped.neuron_dest.iter().enumerate() {
+        if let Some((target_core, axon, _)) = dest {
+            let source_core = mapped.core_of[n];
+            if source_core != *target_core {
+                let key = (source_core.min(*target_core), source_core.max(*target_core));
+                let width = mapped.axons[*target_core][*axon].posts.len() as u64;
+                *t.entry(key).or_insert(0) += 1 + width;
+            }
+        }
+    }
+    t
+}
+
+fn cost(
+    traffic: &HashMap<(usize, usize), u64>,
+    positions: &[(usize, usize)],
+) -> u64 {
+    traffic
+        .iter()
+        .map(|(&(a, b), &w)| {
+            let (ax, ay) = positions[a];
+            let (bx, by) = positions[b];
+            w * ((ax.abs_diff(bx) + ay.abs_diff(by)) as u64)
+        })
+        .sum()
+}
+
+/// Places cores on the grid.
+///
+/// # Panics
+///
+/// Panics if the grid is too small (callers validate first via
+/// [`grid_for`]).
+pub(crate) fn place(mapped: &Mapped, options: &CompileOptions) -> Placement {
+    let cores = mapped.cores.len();
+    let grid = grid_for(cores, options);
+    let (w, h) = grid;
+    let usable_cells = w * h
+        - options
+            .faulty_cells
+            .iter()
+            .filter(|&&(x, y)| x < w && y < h)
+            .count();
+    assert!(usable_cells >= cores, "grid too small for {cores} cores");
+
+    let t = traffic(mapped);
+    let total_traffic: u64 = t.values().sum();
+    let is_faulty = |x: usize, y: usize| options.faulty_cells.contains(&(x, y));
+
+    // Greedy: order cores by total traffic weight, place each at the free
+    // cell minimising cost to already-placed neighbours.
+    let mut weight_of = vec![0u64; cores];
+    for (&(a, b), &wt) in &t {
+        weight_of[a] += wt;
+        weight_of[b] += wt;
+    }
+    let mut order: Vec<usize> = (0..cores).collect();
+    order.sort_by_key(|&c| u64::MAX - weight_of[c]);
+
+    let mut positions = vec![(usize::MAX, usize::MAX); cores];
+    let mut free: Vec<(usize, usize)> = (0..h)
+        .flat_map(|y| (0..w).map(move |x| (x, y)))
+        .filter(|&(x, y)| !is_faulty(x, y))
+        .collect();
+    // Neighbour lists for cost-to-placed evaluation.
+    let mut adjacency: Vec<Vec<(usize, u64)>> = vec![Vec::new(); cores];
+    for (&(a, b), &wt) in &t {
+        adjacency[a].push((b, wt));
+        adjacency[b].push((a, wt));
+    }
+
+    for &c in &order {
+        // Cost of placing core c at candidate cell.
+        let (best_i, _) = free
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                let mut cost = 0u64;
+                for &(other, wt) in &adjacency[c] {
+                    let (ox, oy) = positions[other];
+                    if ox != usize::MAX {
+                        cost += wt * ((x.abs_diff(ox) + y.abs_diff(oy)) as u64);
+                    }
+                }
+                // Prefer central cells as a tiebreak for isolated cores.
+                let centre_bias = (x.abs_diff(w / 2) + y.abs_diff(h / 2)) as u64;
+                (i, cost * 1000 + centre_bias)
+            })
+            .min_by_key(|&(_, c)| c)
+            .expect("free cell available");
+        positions[c] = free.swap_remove(best_i);
+    }
+
+    let greedy_cost = cost(&t, &positions);
+
+    // Random-permutation baseline: the cost a placement-oblivious mapper
+    // would pay (reported by the T3 experiment).
+    let random_cost = {
+        let mut rng = SmallRng::seed_from_u64(options.seed as u64 ^ 0xACE);
+        let mut cells: Vec<(usize, usize)> = (0..h)
+            .flat_map(|y| (0..w).map(move |x| (x, y)))
+            .filter(|&(x, y)| !is_faulty(x, y))
+            .collect();
+        // Fisher–Yates.
+        for i in (1..cells.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            cells.swap(i, j);
+        }
+        let random_positions: Vec<(usize, usize)> = (0..cores).map(|c| cells[c]).collect();
+        cost(&t, &random_positions)
+    };
+
+    // Simulated annealing over pairwise swaps (including empty cells) with
+    // incremental (delta) cost evaluation: only the edges incident to the
+    // moved cores are re-measured, so large placements get many effective
+    // proposals.
+    let mut rng = SmallRng::seed_from_u64(options.seed as u64);
+    let mut current = greedy_cost;
+    if options.anneal_iters > 0 && cores > 1 && total_traffic > 0 {
+        let incident = |positions: &[(usize, usize)], core: usize| -> u64 {
+            adjacency[core]
+                .iter()
+                .map(|&(other, wt)| {
+                    let (ax, ay) = positions[core];
+                    let (bx, by) = positions[other];
+                    wt * ((ax.abs_diff(bx) + ay.abs_diff(by)) as u64)
+                })
+                .sum()
+        };
+        let mut cell_of: HashMap<(usize, usize), usize> = positions
+            .iter()
+            .enumerate()
+            .map(|(c, &p)| (p, c))
+            .collect();
+        let start_t = (greedy_cost.max(1) as f64 / cores.max(1) as f64).max(1.0);
+        let mut best_cost = current;
+        let mut best_positions = positions.clone();
+        for iter in 0..options.anneal_iters {
+            let progress = iter as f64 / options.anneal_iters as f64;
+            let temperature = start_t * (1.0 - progress).powi(2) + 1e-9;
+            let a = rng.gen_range(0..cores);
+            let target = (rng.gen_range(0..w), rng.gen_range(0..h));
+            if is_faulty(target.0, target.1) {
+                continue;
+            }
+            let b = cell_of.get(&target).copied();
+            if b == Some(a) {
+                continue;
+            }
+            // Local cost before the move (the a–b edge, if any, is counted
+            // in both incident sums both before and after, so it cancels
+            // out of the delta).
+            let before = incident(&positions, a)
+                + b.map(|b| incident(&positions, b)).unwrap_or(0);
+            let old = positions[a];
+            positions[a] = target;
+            if let Some(b) = b {
+                positions[b] = old;
+            }
+            let after = incident(&positions, a)
+                + b.map(|b| incident(&positions, b)).unwrap_or(0);
+            let proposed = if after >= before {
+                current + (after - before)
+            } else {
+                current - (before - after)
+            };
+            let accept = proposed <= current || {
+                let delta = (proposed - current) as f64;
+                rng.gen::<f64>() < (-delta / temperature).exp()
+            };
+            if accept {
+                current = proposed;
+                cell_of.remove(&old);
+                cell_of.insert(target, a);
+                if let Some(b) = b {
+                    cell_of.insert(old, b);
+                }
+                if current < best_cost {
+                    best_cost = current;
+                    best_positions.clone_from(&positions);
+                }
+            } else {
+                positions[a] = old;
+                if let Some(b) = b {
+                    positions[b] = target;
+                }
+            }
+        }
+        positions = best_positions;
+        current = best_cost;
+        debug_assert_eq!(current, cost(&t, &positions), "delta-cost bookkeeping drifted");
+    }
+
+    Placement {
+        grid,
+        positions,
+        greedy_cost,
+        annealed_cost: current,
+        random_cost,
+        total_traffic,
+    }
+}
+
+/// Picks grid dimensions: explicit from options, else the smallest square
+/// whose non-faulty cells can host every core.
+pub(crate) fn grid_for(cores: usize, options: &CompileOptions) -> (usize, usize) {
+    match options.grid {
+        Some(g) => g,
+        None => {
+            let mut side = ((cores.max(1) as f64).sqrt().ceil() as usize).max(1);
+            loop {
+                let faulty = options
+                    .faulty_cells
+                    .iter()
+                    .filter(|&&(x, y)| x < side && y < side)
+                    .count();
+                if side * side - faulty >= cores {
+                    return (side, side);
+                }
+                side += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! # brainsim-corelet
+//!
+//! The programming model: *corelets* are composable, hardware-agnostic
+//! descriptions of spiking networks, compiled onto physical cores by
+//! `brainsim-compiler`.
+//!
+//! A [`Corelet`] owns a [`LogicalNetwork`]: neurons carry a behavioural
+//! template (a [`brainsim_neuron::NeuronConfig`] whose per-type weights are
+//! placeholders — actual weights live on the [`LogicalSynapse`]s and are
+//! mapped to axon types by the compiler), synapses carry `(weight, delay)`,
+//! and the corelet exposes named *input ports* and *output ports*.
+//!
+//! Corelets compose hierarchically with [`Corelet::embed`]: the child's
+//! input ports are spliced onto any nodes of the parent, and its output
+//! neurons become available to the parent — the composition mechanism of
+//! the original corelet language.
+//!
+//! ## Example
+//!
+//! ```
+//! use brainsim_corelet::{connectors, Corelet, NodeRef};
+//! use brainsim_neuron::NeuronConfig;
+//!
+//! # fn main() -> Result<(), brainsim_corelet::CoreletError> {
+//! let mut c = Corelet::new("relay-pair", 1);
+//! let template = NeuronConfig::builder().threshold(1).build().unwrap();
+//! let a = c.add_neuron(template.clone());
+//! let b = c.add_neuron(template);
+//! c.connect(NodeRef::Input(0), a, 1, 1)?;
+//! c.connect(NodeRef::Neuron(a), b, 1, 1)?;
+//! c.mark_output(b)?;
+//! assert_eq!(c.network().neurons().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod library;
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use brainsim_neuron::{Lfsr, NeuronConfig, Weight};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a logical neuron within one network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NeuronId(pub usize);
+
+/// A node that can source a synapse: an input port or a neuron.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// External input port.
+    Input(usize),
+    /// A neuron of the network.
+    Neuron(NeuronId),
+}
+
+/// One logical synapse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicalSynapse {
+    /// Source node.
+    pub pre: NodeRef,
+    /// Target neuron.
+    pub post: NeuronId,
+    /// Signed integer weight (must fit the 9-bit silicon field).
+    pub weight: i32,
+    /// Axonal delay in ticks, `1..=15`.
+    pub delay: u8,
+}
+
+/// Errors from corelet construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreletError {
+    /// Referenced neuron does not exist.
+    NoSuchNeuron(NeuronId),
+    /// Referenced input port does not exist.
+    NoSuchInput(usize),
+    /// Delay outside `1..=15`.
+    BadDelay(u8),
+    /// Weight outside the signed 9-bit range.
+    BadWeight(i32),
+    /// Embedding supplied the wrong number of input mappings.
+    InputArityMismatch {
+        /// Ports the child expects.
+        expected: usize,
+        /// Mappings supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CoreletError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreletError::NoSuchNeuron(id) => write!(f, "neuron {} does not exist", id.0),
+            CoreletError::NoSuchInput(c) => write!(f, "input port {c} does not exist"),
+            CoreletError::BadDelay(d) => write!(f, "delay {d} outside 1..=15"),
+            CoreletError::BadWeight(w) => write!(f, "weight {w} outside signed 9-bit range"),
+            CoreletError::InputArityMismatch { expected, got } => {
+                write!(f, "embed expected {expected} input mappings, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreletError {}
+
+/// A flat logical spiking network (the compiler's input).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LogicalNetwork {
+    templates: Vec<NeuronConfig>,
+    synapses: Vec<LogicalSynapse>,
+    inputs: usize,
+    outputs: Vec<NeuronId>,
+}
+
+impl LogicalNetwork {
+    /// Neuron behaviour templates (weights fields are placeholders).
+    pub fn neurons(&self) -> &[NeuronConfig] {
+        &self.templates
+    }
+
+    /// All synapses.
+    pub fn synapses(&self) -> &[LogicalSynapse] {
+        &self.synapses
+    }
+
+    /// Number of external input ports.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output ports, in declaration order.
+    pub fn outputs(&self) -> &[NeuronId] {
+        &self.outputs
+    }
+
+    /// Distinct synapse weights incoming to one neuron.
+    pub fn distinct_in_weights(&self, neuron: NeuronId) -> BTreeSet<i32> {
+        self.synapses
+            .iter()
+            .filter(|s| s.post == neuron)
+            .map(|s| s.weight)
+            .collect()
+    }
+
+    /// Fan-in (number of incoming synapses) of one neuron.
+    pub fn fan_in(&self, neuron: NeuronId) -> usize {
+        self.synapses.iter().filter(|s| s.post == neuron).count()
+    }
+
+    /// Fan-out (number of outgoing synapses) of one node.
+    pub fn fan_out(&self, node: NodeRef) -> usize {
+        self.synapses.iter().filter(|s| s.pre == node).count()
+    }
+
+    /// Summary statistics used by reports and the compiler.
+    pub fn stats(&self) -> NetworkStats {
+        let max_fan_in = (0..self.templates.len())
+            .map(|i| self.fan_in(NeuronId(i)))
+            .max()
+            .unwrap_or(0);
+        let max_fan_out = (0..self.templates.len())
+            .map(|i| self.fan_out(NodeRef::Neuron(NeuronId(i))))
+            .max()
+            .unwrap_or(0);
+        let max_distinct_weights = (0..self.templates.len())
+            .map(|i| self.distinct_in_weights(NeuronId(i)).len())
+            .max()
+            .unwrap_or(0);
+        NetworkStats {
+            neurons: self.templates.len(),
+            synapses: self.synapses.len(),
+            inputs: self.inputs,
+            outputs: self.outputs.len(),
+            max_fan_in,
+            max_fan_out,
+            max_distinct_weights,
+        }
+    }
+}
+
+/// Shape summary of a logical network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Neuron count.
+    pub neurons: usize,
+    /// Synapse count.
+    pub synapses: usize,
+    /// Input port count.
+    pub inputs: usize,
+    /// Output port count.
+    pub outputs: usize,
+    /// Largest fan-in.
+    pub max_fan_in: usize,
+    /// Largest neuron fan-out.
+    pub max_fan_out: usize,
+    /// Largest number of distinct incoming weights at one neuron.
+    pub max_distinct_weights: usize,
+}
+
+/// A named, composable network under construction.
+#[derive(Debug, Clone)]
+pub struct Corelet {
+    name: String,
+    net: LogicalNetwork,
+}
+
+impl Corelet {
+    /// Starts an empty corelet with `inputs` input ports.
+    pub fn new(name: impl Into<String>, inputs: usize) -> Corelet {
+        Corelet {
+            name: name.into(),
+            net: LogicalNetwork {
+                inputs,
+                ..LogicalNetwork::default()
+            },
+        }
+    }
+
+    /// The corelet's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The network built so far.
+    pub fn network(&self) -> &LogicalNetwork {
+        &self.net
+    }
+
+    /// Consumes the corelet, yielding its network.
+    pub fn into_network(self) -> LogicalNetwork {
+        self.net
+    }
+
+    /// Adds a neuron with the given behaviour template.
+    pub fn add_neuron(&mut self, template: NeuronConfig) -> NeuronId {
+        self.net.templates.push(template);
+        NeuronId(self.net.templates.len() - 1)
+    }
+
+    /// Adds `n` neurons sharing a template, returning their ids.
+    pub fn add_population(&mut self, template: NeuronConfig, n: usize) -> Vec<NeuronId> {
+        (0..n).map(|_| self.add_neuron(template.clone())).collect()
+    }
+
+    /// Wires `pre → post` with a weight and delay.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoreletError`].
+    pub fn connect(
+        &mut self,
+        pre: NodeRef,
+        post: NeuronId,
+        weight: i32,
+        delay: u8,
+    ) -> Result<(), CoreletError> {
+        self.check_node(pre)?;
+        if post.0 >= self.net.templates.len() {
+            return Err(CoreletError::NoSuchNeuron(post));
+        }
+        if delay == 0 || delay > 15 {
+            return Err(CoreletError::BadDelay(delay));
+        }
+        if Weight::new(weight).is_err() {
+            return Err(CoreletError::BadWeight(weight));
+        }
+        self.net.synapses.push(LogicalSynapse { pre, post, weight, delay });
+        Ok(())
+    }
+
+    /// Declares a neuron as an output port.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreletError::NoSuchNeuron`] for a bad id.
+    pub fn mark_output(&mut self, neuron: NeuronId) -> Result<(), CoreletError> {
+        if neuron.0 >= self.net.templates.len() {
+            return Err(CoreletError::NoSuchNeuron(neuron));
+        }
+        self.net.outputs.push(neuron);
+        Ok(())
+    }
+
+    /// Embeds `child` into this corelet.
+    ///
+    /// `input_map[i]` is the node of *this* corelet that feeds the child's
+    /// input port `i`. Returns the child's output neurons remapped into this
+    /// corelet's id space.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreletError::InputArityMismatch`] if the map length is wrong, or a
+    /// node-reference error if a mapping is invalid.
+    pub fn embed(
+        &mut self,
+        child: &Corelet,
+        input_map: &[NodeRef],
+    ) -> Result<Vec<NeuronId>, CoreletError> {
+        if input_map.len() != child.net.inputs {
+            return Err(CoreletError::InputArityMismatch {
+                expected: child.net.inputs,
+                got: input_map.len(),
+            });
+        }
+        for &node in input_map {
+            self.check_node(node)?;
+        }
+        let offset = self.net.templates.len();
+        self.net.templates.extend(child.net.templates.iter().cloned());
+        for s in &child.net.synapses {
+            let pre = match s.pre {
+                NodeRef::Input(port) => input_map[port],
+                NodeRef::Neuron(NeuronId(i)) => NodeRef::Neuron(NeuronId(i + offset)),
+            };
+            self.net.synapses.push(LogicalSynapse {
+                pre,
+                post: NeuronId(s.post.0 + offset),
+                weight: s.weight,
+                delay: s.delay,
+            });
+        }
+        Ok(child.net.outputs.iter().map(|id| NeuronId(id.0 + offset)).collect())
+    }
+
+    fn check_node(&self, node: NodeRef) -> Result<(), CoreletError> {
+        match node {
+            NodeRef::Input(c) if c >= self.net.inputs => Err(CoreletError::NoSuchInput(c)),
+            NodeRef::Neuron(id) if id.0 >= self.net.templates.len() => {
+                Err(CoreletError::NoSuchNeuron(id))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Bulk wiring patterns.
+pub mod connectors {
+    use super::*;
+
+    /// Connects every `pre` to every `post`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first wiring error.
+    pub fn all_to_all(
+        corelet: &mut Corelet,
+        pres: &[NodeRef],
+        posts: &[NeuronId],
+        weight: i32,
+        delay: u8,
+    ) -> Result<(), CoreletError> {
+        for &pre in pres {
+            for &post in posts {
+                corelet.connect(pre, post, weight, delay)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Connects `pres[i] → posts[i]` pairwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first wiring error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn one_to_one(
+        corelet: &mut Corelet,
+        pres: &[NodeRef],
+        posts: &[NeuronId],
+        weight: i32,
+        delay: u8,
+    ) -> Result<(), CoreletError> {
+        assert_eq!(pres.len(), posts.len(), "one_to_one requires equal lengths");
+        for (&pre, &post) in pres.iter().zip(posts) {
+            corelet.connect(pre, post, weight, delay)?;
+        }
+        Ok(())
+    }
+
+    /// Connects each `pre → post` pair independently with probability
+    /// `p_num / 256`, using a deterministic LFSR stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first wiring error.
+    pub fn random(
+        corelet: &mut Corelet,
+        pres: &[NodeRef],
+        posts: &[NeuronId],
+        weight: i32,
+        delay: u8,
+        p_num: u32,
+        seed: u32,
+    ) -> Result<usize, CoreletError> {
+        let mut rng = Lfsr::new(seed);
+        let mut made = 0;
+        for &pre in pres {
+            for &post in posts {
+                if rng.bernoulli_256(p_num) {
+                    corelet.connect(pre, post, weight, delay)?;
+                    made += 1;
+                }
+            }
+        }
+        Ok(made)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> NeuronConfig {
+        NeuronConfig::builder().threshold(2).build().unwrap()
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let mut c = Corelet::new("test", 2);
+        let a = c.add_neuron(template());
+        let b = c.add_neuron(template());
+        c.connect(NodeRef::Input(0), a, 3, 1).unwrap();
+        c.connect(NodeRef::Input(1), a, -2, 1).unwrap();
+        c.connect(NodeRef::Neuron(a), b, 5, 4).unwrap();
+        c.mark_output(b).unwrap();
+        let net = c.network();
+        let stats = net.stats();
+        assert_eq!(stats.neurons, 2);
+        assert_eq!(stats.synapses, 3);
+        assert_eq!(stats.inputs, 2);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.max_fan_in, 2);
+        assert_eq!(net.fan_out(NodeRef::Neuron(a)), 1);
+        assert_eq!(net.distinct_in_weights(a), [3, -2].into_iter().collect());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut c = Corelet::new("test", 1);
+        let a = c.add_neuron(template());
+        assert_eq!(
+            c.connect(NodeRef::Input(1), a, 1, 1),
+            Err(CoreletError::NoSuchInput(1))
+        );
+        assert_eq!(
+            c.connect(NodeRef::Neuron(NeuronId(5)), a, 1, 1),
+            Err(CoreletError::NoSuchNeuron(NeuronId(5)))
+        );
+        assert_eq!(
+            c.connect(NodeRef::Input(0), NeuronId(9), 1, 1),
+            Err(CoreletError::NoSuchNeuron(NeuronId(9)))
+        );
+        assert_eq!(c.connect(NodeRef::Input(0), a, 1, 0), Err(CoreletError::BadDelay(0)));
+        assert_eq!(c.connect(NodeRef::Input(0), a, 1, 16), Err(CoreletError::BadDelay(16)));
+        assert_eq!(c.connect(NodeRef::Input(0), a, 300, 1), Err(CoreletError::BadWeight(300)));
+        assert_eq!(c.mark_output(NeuronId(9)), Err(CoreletError::NoSuchNeuron(NeuronId(9))));
+    }
+
+    #[test]
+    fn embed_remaps_ids_and_inputs() {
+        // Child: input 0 → n0 → n1(out).
+        let mut child = Corelet::new("child", 1);
+        let n0 = child.add_neuron(template());
+        let n1 = child.add_neuron(template());
+        child.connect(NodeRef::Input(0), n0, 1, 1).unwrap();
+        child.connect(NodeRef::Neuron(n0), n1, 1, 1).unwrap();
+        child.mark_output(n1).unwrap();
+
+        // Parent: one neuron feeding two embedded children.
+        let mut parent = Corelet::new("parent", 1);
+        let hub = parent.add_neuron(template());
+        parent.connect(NodeRef::Input(0), hub, 1, 1).unwrap();
+        let out1 = parent.embed(&child, &[NodeRef::Neuron(hub)]).unwrap();
+        let out2 = parent.embed(&child, &[NodeRef::Input(0)]).unwrap();
+        assert_eq!(out1, vec![NeuronId(2)]);
+        assert_eq!(out2, vec![NeuronId(4)]);
+        let stats = parent.network().stats();
+        assert_eq!(stats.neurons, 5);
+        assert_eq!(stats.synapses, 5);
+        // The embedded synapse from child input 0 now sources from hub.
+        assert!(parent
+            .network()
+            .synapses()
+            .iter()
+            .any(|s| s.pre == NodeRef::Neuron(hub) && s.post == NeuronId(1)));
+    }
+
+    #[test]
+    fn embed_arity_checked() {
+        let child = Corelet::new("child", 2);
+        let mut parent = Corelet::new("parent", 1);
+        assert_eq!(
+            parent.embed(&child, &[NodeRef::Input(0)]),
+            Err(CoreletError::InputArityMismatch { expected: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn connectors_all_to_all_and_one_to_one() {
+        let mut c = Corelet::new("conn", 2);
+        let posts = c.add_population(template(), 3);
+        let pres = [NodeRef::Input(0), NodeRef::Input(1)];
+        connectors::all_to_all(&mut c, &pres, &posts, 2, 1).unwrap();
+        assert_eq!(c.network().synapses().len(), 6);
+        let pre_neurons: Vec<NodeRef> = posts.iter().map(|&p| NodeRef::Neuron(p)).collect();
+        let more = c.add_population(template(), 3);
+        connectors::one_to_one(&mut c, &pre_neurons, &more, -1, 2).unwrap();
+        assert_eq!(c.network().synapses().len(), 9);
+    }
+
+    #[test]
+    fn connectors_random_density_tracks_probability() {
+        let mut c = Corelet::new("rand", 1);
+        let posts = c.add_population(template(), 64);
+        let pres: Vec<NodeRef> = c
+            .add_population(template(), 64)
+            .into_iter()
+            .map(NodeRef::Neuron)
+            .collect();
+        let made = connectors::random(&mut c, &pres, &posts, 1, 1, 64, 42).unwrap();
+        let p = made as f64 / (64.0 * 64.0);
+        assert!((p - 0.25).abs() < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn random_connector_is_deterministic() {
+        let build = || {
+            let mut c = Corelet::new("rand", 0);
+            let posts = c.add_population(template(), 16);
+            let pres: Vec<NodeRef> = c
+                .add_population(template(), 16)
+                .into_iter()
+                .map(NodeRef::Neuron)
+                .collect();
+            connectors::random(&mut c, &pres, &posts, 1, 1, 128, 7).unwrap();
+            c.network().synapses().to_vec()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,541 @@
+//! The standard corelet library: reusable building-block networks in the
+//! spirit of the original corelet library — each returns a self-contained
+//! [`Corelet`] that composes into larger designs via [`Corelet::embed`].
+//!
+//! All corelets here are deterministic, use only compiler-mappable
+//! constructs (≤ 4 distinct weights per neuron, delays 1–15) and document
+//! their I/O contract and latency.
+//!
+//! ```
+//! use brainsim_corelet::{library, Corelet, NodeRef};
+//!
+//! // split → delay → AND: a delay-tuned coincidence circuit, composed
+//! // from three library corelets.
+//! let mut top = Corelet::new("tuned", 1);
+//! let outs = top.embed(&library::splitter(2), &[NodeRef::Input(0)]).unwrap();
+//! let d = top
+//!     .embed(&library::delay_line(5).unwrap(), &[NodeRef::Neuron(outs[0])])
+//!     .unwrap();
+//! let gate = top
+//!     .embed(
+//!         &library::coincidence(2),
+//!         &[NodeRef::Neuron(d[0]), NodeRef::Neuron(outs[1])],
+//!     )
+//!     .unwrap();
+//! top.mark_output(gate[0]).unwrap();
+//! assert_eq!(top.network().outputs().len(), 1);
+//! ```
+
+use brainsim_neuron::{NeuronConfig, ResetMode};
+
+use crate::{Corelet, CoreletError, NodeRef};
+
+fn relay_template() -> NeuronConfig {
+    NeuronConfig::builder().threshold(1).build().expect("valid")
+}
+
+/// A pure delay line: output = input delayed by exactly `ticks`.
+///
+/// Delays of 1–15 use a single synapse; longer delays chain relay neurons
+/// (each stage adds its synaptic delay plus the relay's same-tick fire).
+/// I/O: 1 input port, 1 output port. Latency: `ticks`.
+///
+/// # Errors
+///
+/// Returns [`CoreletError::BadDelay`] if `ticks` is zero.
+pub fn delay_line(ticks: u32) -> Result<Corelet, CoreletError> {
+    if ticks == 0 {
+        return Err(CoreletError::BadDelay(0));
+    }
+    let mut c = Corelet::new(format!("delay-{ticks}"), 1);
+    let mut remaining = ticks;
+    let mut source = NodeRef::Input(0);
+    let mut last = None;
+    while remaining > 0 {
+        let hop = remaining.min(15) as u8;
+        let n = c.add_neuron(relay_template());
+        c.connect(source, n, 1, hop)?;
+        source = NodeRef::Neuron(n);
+        last = Some(n);
+        remaining -= hop as u32;
+    }
+    c.mark_output(last.expect("at least one stage"))?;
+    Ok(c)
+}
+
+/// A splitter: one input port fanned out to `ways` output ports.
+///
+/// On hardware a spike addresses a single axon; this corelet provides the
+/// logical fan-out that the compiler then legalises. I/O: 1 input port,
+/// `ways` output ports, each a copy of the input delayed by 1 tick.
+///
+/// # Panics
+///
+/// Panics if `ways` is zero.
+pub fn splitter(ways: usize) -> Corelet {
+    assert!(ways > 0, "splitter needs at least one way");
+    let mut c = Corelet::new(format!("split-{ways}"), 1);
+    for _ in 0..ways {
+        let n = c.add_neuron(relay_template());
+        c.connect(NodeRef::Input(0), n, 1, 1).expect("valid wiring");
+        c.mark_output(n).expect("neuron exists");
+    }
+    c
+}
+
+/// A merger (logical OR): `ways` input ports merged onto one output that
+/// fires whenever at least one input fired, 1 tick later.
+///
+/// # Panics
+///
+/// Panics if `ways` is zero.
+pub fn merger(ways: usize) -> Corelet {
+    assert!(ways > 0, "merger needs at least one way");
+    let mut c = Corelet::new(format!("merge-{ways}"), ways);
+    // Threshold 1 with absolute reset: any number of simultaneous inputs
+    // produces exactly one output spike.
+    let n = c.add_neuron(relay_template());
+    for port in 0..ways {
+        c.connect(NodeRef::Input(port), n, 1, 1).expect("valid wiring");
+    }
+    c.mark_output(n).expect("neuron exists");
+    c
+}
+
+/// A coincidence (logical AND) gate over `ways` inputs: fires iff all
+/// inputs spike in the same tick. A fast decaying leak clears partial
+/// evidence, so staggered inputs do not accumulate.
+///
+/// # Panics
+///
+/// Panics if `ways < 2`.
+pub fn coincidence(ways: usize) -> Corelet {
+    assert!(ways >= 2, "coincidence needs at least two ways");
+    let mut c = Corelet::new(format!("and-{ways}"), ways);
+    let w = ways as i32;
+    let template = NeuronConfig::builder()
+        .threshold(1)
+        .leak(-(w - 1))
+        .leak_reversal(true)
+        .negative_threshold(0)
+        .build()
+        .expect("valid");
+    // Each input contributes 1; after the leak of −(w−1), only the
+    // all-present case (w − (w−1) = 1) reaches threshold 1.
+    let n = c.add_neuron(template);
+    for port in 0..ways {
+        c.connect(NodeRef::Input(port), n, 1, 1).expect("valid wiring");
+    }
+    c.mark_output(n).expect("neuron exists");
+    c
+}
+
+/// A majority gate: fires iff more than half of the `ways` inputs spike in
+/// the same tick.
+///
+/// # Panics
+///
+/// Panics if `ways < 2`.
+pub fn majority(ways: usize) -> Corelet {
+    assert!(ways >= 2, "majority needs at least two ways");
+    let mut c = Corelet::new(format!("majority-{ways}"), ways);
+    let need = (ways / 2 + 1) as i32;
+    let template = NeuronConfig::builder()
+        .threshold(1)
+        .leak(-(need - 1))
+        .leak_reversal(true)
+        .negative_threshold(0)
+        .build()
+        .expect("valid");
+    let n = c.add_neuron(template);
+    for port in 0..ways {
+        c.connect(NodeRef::Input(port), n, 1, 1).expect("valid wiring");
+    }
+    c.mark_output(n).expect("neuron exists");
+    c
+}
+
+/// A spike counter / rate divider: emits one output spike per `n` input
+/// spikes, with no rounding loss across time (linear reset).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn counter(n: u32) -> Corelet {
+    assert!(n > 0, "counter needs a non-zero divisor");
+    let mut c = Corelet::new(format!("div-{n}"), 1);
+    let template = NeuronConfig::builder()
+        .threshold(n)
+        .reset_mode(ResetMode::Linear)
+        .build()
+        .expect("valid");
+    let neuron = c.add_neuron(template);
+    c.connect(NodeRef::Input(0), neuron, 1, 1).expect("valid wiring");
+    c.mark_output(neuron).expect("neuron exists");
+    c
+}
+
+/// A winner-take-all stage over `channels` channels.
+///
+/// Each channel integrates its input; lateral inhibition (full cross
+/// inhibition with weight −`inhibition`) suppresses weaker channels, so
+/// under sustained rate-coded drive only the strongest channel keeps
+/// firing. I/O: `channels` input ports, `channels` output ports.
+///
+/// # Panics
+///
+/// Panics if `channels < 2`.
+pub fn winner_take_all(channels: usize, threshold: u32, inhibition: i32) -> Corelet {
+    assert!(channels >= 2, "WTA needs at least two channels");
+    let mut c = Corelet::new(format!("wta-{channels}"), channels);
+    let template = NeuronConfig::builder()
+        .threshold(threshold)
+        .negative_threshold(0)
+        .build()
+        .expect("valid");
+    let pop = c.add_population(template, channels);
+    for (i, &n) in pop.iter().enumerate() {
+        c.connect(NodeRef::Input(i), n, 2, 1).expect("valid wiring");
+        c.mark_output(n).expect("neuron exists");
+    }
+    for (i, &pre) in pop.iter().enumerate() {
+        for (j, &post) in pop.iter().enumerate() {
+            if i != j {
+                c.connect(NodeRef::Neuron(pre), post, -inhibition.abs(), 2)
+                    .expect("valid wiring");
+            }
+        }
+    }
+    c
+}
+
+/// A toggle (T flip-flop style gate): a spike on the `set` port (0) turns
+/// sustained firing on; a spike on the `reset` port (1) turns it off.
+/// I/O: 2 input ports, 1 output port.
+pub fn toggle() -> Corelet {
+    let mut c = Corelet::new("toggle", 2);
+    let template = NeuronConfig::builder()
+        .threshold(10)
+        .negative_threshold(0)
+        .build()
+        .expect("valid");
+    let n = c.add_neuron(template);
+    c.connect(NodeRef::Input(0), n, 10, 1).expect("valid wiring"); // set
+    c.connect(NodeRef::Input(1), n, -30, 1).expect("valid wiring"); // reset
+    c.connect(NodeRef::Neuron(n), n, 10, 1).expect("valid wiring"); // hold
+    c.mark_output(n).expect("neuron exists");
+    c
+}
+
+/// A synfire chain: `stages` relay stages in series, each forwarding after
+/// `stage_delay` ticks. Useful as a timing backbone and as a compiler
+/// stress pattern. I/O: 1 input, one output per stage (in order).
+///
+/// # Panics
+///
+/// Panics if `stages` is zero or `stage_delay` outside `1..=15`.
+pub fn synfire_chain(stages: usize, stage_delay: u8) -> Corelet {
+    assert!(stages > 0, "need at least one stage");
+    assert!((1..=15).contains(&stage_delay), "stage delay 1..=15");
+    let mut c = Corelet::new(format!("synfire-{stages}"), 1);
+    let mut source = NodeRef::Input(0);
+    for _ in 0..stages {
+        let n = c.add_neuron(relay_template());
+        c.connect(source, n, 1, stage_delay).expect("valid wiring");
+        c.mark_output(n).expect("neuron exists");
+        source = NodeRef::Neuron(n);
+    }
+    c
+}
+
+/// A two-pulse sequence detector: fires iff port 0 spikes and port 1
+/// spikes exactly `gap` ticks later (a delay-matched coincidence).
+///
+/// # Panics
+///
+/// Panics if `gap` outside `1..=14`.
+pub fn sequence_detector(gap: u8) -> Corelet {
+    assert!((1..=14).contains(&gap), "gap must be 1..=14");
+    let mut c = Corelet::new(format!("seq-{gap}"), 2);
+    let template = NeuronConfig::builder()
+        .threshold(1)
+        .leak(-1)
+        .leak_reversal(true)
+        .negative_threshold(0)
+        .build()
+        .expect("valid");
+    let n = c.add_neuron(template);
+    c.connect(NodeRef::Input(0), n, 1, gap + 1).expect("valid wiring");
+    c.connect(NodeRef::Input(1), n, 1, 1).expect("valid wiring");
+    c.mark_output(n).expect("neuron exists");
+    c
+}
+
+/// A pulse stretcher: one input spike produces `width` consecutive output
+/// spikes (a mono-stable / refresh element).
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds 15.
+pub fn pulse_stretcher(width: u8) -> Corelet {
+    assert!((1..=15).contains(&width), "width must be 1..=15");
+    let mut c = Corelet::new(format!("stretch-{width}"), 1);
+    // The input fans out to `width` delayed taps merged onto one neuron;
+    // threshold 1 + absolute reset gives one spike per covered tick.
+    let n = c.add_neuron(relay_template());
+    for d in 1..=width {
+        c.connect(NodeRef::Input(0), n, 1, d).expect("valid wiring");
+    }
+    c.mark_output(n).expect("neuron exists");
+    c
+}
+
+/// A rate comparator: fires while port 0's recent rate exceeds port 1's
+/// (excitation vs inhibition into a decaying integrator).
+pub fn rate_comparator(threshold: u32) -> Corelet {
+    let mut c = Corelet::new("rate-cmp", 2);
+    let template = NeuronConfig::builder()
+        .threshold(threshold.max(1))
+        .leak(-1)
+        .leak_reversal(true)
+        .negative_threshold(0)
+        .build()
+        .expect("valid");
+    let n = c.add_neuron(template);
+    c.connect(NodeRef::Input(0), n, 2, 1).expect("valid wiring");
+    c.connect(NodeRef::Input(1), n, -2, 1).expect("valid wiring");
+    c.mark_output(n).expect("neuron exists");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NeuronId;
+
+    /// Tiny direct executor for library tests (mirrors the compiler's
+    /// interpreter but lives here to keep the crate self-contained).
+    fn run(
+        corelet: &Corelet,
+        ticks: u64,
+        stimulus: impl Fn(u64) -> Vec<usize>,
+    ) -> Vec<Vec<bool>> {
+        use brainsim_neuron::{Lfsr, Neuron};
+        let net = corelet.network();
+        let mut neurons: Vec<Neuron> =
+            net.neurons().iter().cloned().map(Neuron::new).collect();
+        let mut wheel: Vec<Vec<(usize, i32)>> = vec![Vec::new(); 16];
+        let mut rng = Lfsr::new(9);
+        let mut raster = Vec::new();
+        for t in 0..ticks {
+            let due = std::mem::take(&mut wheel[(t % 16) as usize]);
+            for (post, w) in due {
+                neurons[post].inject_raw(w);
+            }
+            let fired: Vec<bool> = neurons
+                .iter_mut()
+                .map(|n| n.finish_tick(&mut rng).fired())
+                .collect();
+            let active = stimulus(t);
+            for s in net.synapses() {
+                let live = match s.pre {
+                    NodeRef::Input(p) => active.contains(&p),
+                    NodeRef::Neuron(NeuronId(i)) => fired[i],
+                };
+                if live {
+                    wheel[((t + s.delay as u64) % 16) as usize].push((s.post.0, s.weight));
+                }
+            }
+            raster.push(net.outputs().iter().map(|&NeuronId(o)| fired[o]).collect());
+        }
+        raster
+    }
+
+    fn spike_ticks(raster: &[Vec<bool>], port: usize) -> Vec<u64> {
+        raster
+            .iter()
+            .enumerate()
+            .filter_map(|(t, r)| r[port].then_some(t as u64))
+            .collect()
+    }
+
+    #[test]
+    fn delay_line_short_and_long() {
+        for ticks in [1u32, 7, 15, 16, 40] {
+            let c = delay_line(ticks).unwrap();
+            let raster = run(&c, ticks as u64 + 5, |t| if t == 0 { vec![0] } else { vec![] });
+            assert_eq!(
+                spike_ticks(&raster, 0),
+                vec![ticks as u64],
+                "delay {ticks}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_line_zero_rejected() {
+        assert_eq!(delay_line(0).unwrap_err(), CoreletError::BadDelay(0));
+    }
+
+    #[test]
+    fn splitter_copies_to_all_ways() {
+        let c = splitter(4);
+        let raster = run(&c, 4, |t| if t == 0 { vec![0] } else { vec![] });
+        for port in 0..4 {
+            assert_eq!(spike_ticks(&raster, port), vec![1], "port {port}");
+        }
+    }
+
+    #[test]
+    fn merger_fires_once_for_any_input_combination() {
+        let c = merger(3);
+        let raster = run(&c, 8, |t| match t {
+            0 => vec![0],
+            3 => vec![0, 1, 2],
+            _ => vec![],
+        });
+        assert_eq!(spike_ticks(&raster, 0), vec![1, 4]);
+    }
+
+    #[test]
+    fn coincidence_requires_all_inputs_same_tick() {
+        let c = coincidence(3);
+        let raster = run(&c, 16, |t| match t {
+            1 => vec![0, 1, 2],  // all → fire
+            5 => vec![0, 1],     // partial → no fire
+            8 => vec![2],        // staggered remainder → still no fire
+            12 => vec![0, 1, 2], // all again → fire
+            _ => vec![],
+        });
+        assert_eq!(spike_ticks(&raster, 0), vec![2, 13]);
+    }
+
+    #[test]
+    fn majority_fires_above_half() {
+        let c = majority(5);
+        let raster = run(&c, 12, |t| match t {
+            0 => vec![0, 1],          // 2 of 5 → no
+            3 => vec![0, 1, 2],       // 3 of 5 → yes
+            6 => vec![0, 1, 2, 3, 4], // 5 of 5 → yes
+            _ => vec![],
+        });
+        assert_eq!(spike_ticks(&raster, 0), vec![4, 7]);
+    }
+
+    #[test]
+    fn counter_divides_exactly() {
+        let c = counter(3);
+        let raster = run(&c, 20, |t| if t < 12 { vec![0] } else { vec![] });
+        assert_eq!(spike_ticks(&raster, 0).len(), 4); // 12 / 3
+    }
+
+    #[test]
+    fn winner_take_all_selects_strongest() {
+        let c = winner_take_all(3, 4, 8);
+        // Channel 1 driven every tick, channels 0/2 at one third the rate.
+        let raster = run(&c, 60, |t| {
+            let mut active = vec![1];
+            if t % 3 == 0 {
+                active.push(0);
+                active.push(2);
+            }
+            active
+        });
+        let counts: Vec<usize> = (0..3)
+            .map(|p| spike_ticks(&raster, p).len())
+            .collect();
+        assert!(
+            counts[1] > 3 * counts[0].max(counts[2]).max(1),
+            "winner must dominate: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn toggle_sets_and_resets() {
+        let c = toggle();
+        let raster = run(&c, 30, |t| match t {
+            5 => vec![0],  // set
+            20 => vec![1], // reset
+            _ => vec![],
+        });
+        let ticks = spike_ticks(&raster, 0);
+        assert!(ticks.contains(&6), "on after set: {ticks:?}");
+        assert!(ticks.iter().filter(|&&t| (7..=20).contains(&t)).count() >= 12);
+        assert!(ticks.iter().all(|&t| t <= 21), "off after reset: {ticks:?}");
+    }
+
+    #[test]
+    fn synfire_chain_propagates_stage_by_stage() {
+        let c = synfire_chain(4, 3);
+        let raster = run(&c, 16, |t| if t == 0 { vec![0] } else { vec![] });
+        for stage in 0..4 {
+            assert_eq!(
+                spike_ticks(&raster, stage),
+                vec![3 * (stage as u64 + 1)],
+                "stage {stage}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequence_detector_requires_exact_gap() {
+        let c = sequence_detector(4);
+        let raster = run(&c, 40, |t| match t {
+            2 => vec![0],
+            6 => vec![1],  // gap 4 ✓ → fire
+            20 => vec![0],
+            22 => vec![1], // gap 2 ✗
+            30 => vec![1],
+            31 => vec![0], // wrong order ✗
+            _ => vec![],
+        });
+        assert_eq!(spike_ticks(&raster, 0), vec![7]);
+    }
+
+    #[test]
+    fn pulse_stretcher_widens_single_spike() {
+        let c = pulse_stretcher(5);
+        let raster = run(&c, 12, |t| if t == 1 { vec![0] } else { vec![] });
+        assert_eq!(spike_ticks(&raster, 0), vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn rate_comparator_tracks_rate_difference() {
+        let c = rate_comparator(2);
+        // Phase 1: port 0 fast, port 1 slow → fires.
+        // Phase 2: rates swapped → silent.
+        let raster = run(&c, 60, |t| {
+            if t < 30 {
+                if t % 3 == 0 { vec![0, 1] } else { vec![0] }
+            } else if t % 3 == 0 {
+                vec![0, 1]
+            } else {
+                vec![1]
+            }
+        });
+        let fires_early = spike_ticks(&raster, 0).iter().filter(|&&t| t < 30).count();
+        let fires_late = spike_ticks(&raster, 0).iter().filter(|&&t| t >= 32).count();
+        assert!(fires_early >= 5, "early {fires_early}");
+        assert_eq!(fires_late, 0, "late fires: {fires_late}");
+    }
+
+    #[test]
+    fn library_corelets_compose_via_embed() {
+        // split → two different delays → merge: output fires twice.
+        let mut top = Corelet::new("compose", 1);
+        let split = splitter(2);
+        let outs = top.embed(&split, &[NodeRef::Input(0)]).unwrap();
+        let d3 = delay_line(3).unwrap();
+        let d7 = delay_line(7).unwrap();
+        let a = top.embed(&d3, &[NodeRef::Neuron(outs[0])]).unwrap();
+        let b = top.embed(&d7, &[NodeRef::Neuron(outs[1])]).unwrap();
+        let merge = merger(2);
+        let m = top
+            .embed(&merge, &[NodeRef::Neuron(a[0]), NodeRef::Neuron(b[0])])
+            .unwrap();
+        top.mark_output(m[0]).unwrap();
+        let raster = run(&top, 16, |t| if t == 0 { vec![0] } else { vec![] });
+        // input@0 → split@1 → delays(3, 7) land @4 and @8 → merge @5 and @9.
+        assert_eq!(spike_ticks(&raster, 0), vec![5, 9]);
+    }
+}

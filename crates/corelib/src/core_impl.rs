@@ -1,0 +1,568 @@
+//! The neurosynaptic core proper: builder, tick evaluation, statistics.
+
+use std::fmt;
+
+use brainsim_neuron::{AxonType, Lfsr, Neuron, NeuronConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::crossbar::Crossbar;
+use crate::scheduler::{bitmap_indices, Scheduler, SCHEDULER_SLOTS};
+use crate::spike::{DeliverError, Destination};
+
+/// How the per-tick synaptic integration is computed.
+///
+/// Both strategies implement the same canonical semantics — *per neuron, in
+/// axon-type order, integrate the number of active connected axons of that
+/// type* — and therefore produce bit-identical results, including in
+/// stochastic modes (the LFSR draw order is part of the canonical
+/// semantics). The event-driven sparse path is uniformly faster in this
+/// implementation (its cost follows actual synaptic events, while the
+/// dense column scan pays per axon×neuron pair regardless of density — see
+/// the `core_eval` benchmark); [`EvalStrategy::Dense`] is kept as an
+/// independent, obviously-correct reference whose bit-exact agreement with
+/// the sparse path is itself a verification artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalStrategy {
+    /// Column-oriented: for every neuron, scan the active axons and test
+    /// crossbar bits. Cost `O(neurons × active_axons)` independent of
+    /// density.
+    Dense,
+    /// Row-oriented (event-driven): for every active axon, scan its crossbar
+    /// row and bump per-neuron type counters. Cost proportional to the
+    /// number of actual synaptic events.
+    #[default]
+    Sparse,
+}
+
+/// Cumulative event counts for one core, the raw input to the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Ticks evaluated.
+    pub ticks: u64,
+    /// Synaptic events integrated (active axon × connected neuron pairs).
+    pub synaptic_events: u64,
+    /// Neuron leak/threshold evaluations (neurons × ticks).
+    pub neuron_updates: u64,
+    /// Spikes produced.
+    pub spikes: u64,
+    /// Axon events consumed from the scheduler.
+    pub axon_events: u64,
+}
+
+impl CoreStats {
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.ticks += other.ticks;
+        self.synaptic_events += other.synaptic_events;
+        self.neuron_updates += other.neuron_updates;
+        self.spikes += other.spikes;
+        self.axon_events += other.axon_events;
+    }
+}
+
+/// Error from [`CoreBuilder`] configuration calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreBuildError {
+    /// Axon index out of range.
+    NoSuchAxon(usize),
+    /// Neuron index out of range.
+    NoSuchNeuron(usize),
+    /// A neuron target delay outside `1..=15`.
+    BadDelay(u8),
+}
+
+impl fmt::Display for CoreBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreBuildError::NoSuchAxon(a) => write!(f, "axon {a} out of range"),
+            CoreBuildError::NoSuchNeuron(n) => write!(f, "neuron {n} out of range"),
+            CoreBuildError::BadDelay(d) => write!(f, "axonal delay {d} outside 1..=15"),
+        }
+    }
+}
+
+impl std::error::Error for CoreBuildError {}
+
+/// Builder for a [`NeurosynapticCore`].
+#[derive(Debug, Clone)]
+pub struct CoreBuilder {
+    axons: usize,
+    neurons: usize,
+    axon_types: Vec<AxonType>,
+    crossbar: Crossbar,
+    configs: Vec<NeuronConfig>,
+    destinations: Vec<Destination>,
+    seed: u32,
+    strategy: EvalStrategy,
+}
+
+impl CoreBuilder {
+    /// Starts a core with the given dimensions (a full-size core is
+    /// `256 × 256`; smaller cores are useful in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(axons: usize, neurons: usize) -> CoreBuilder {
+        assert!(axons > 0 && neurons > 0, "core dimensions must be non-zero");
+        CoreBuilder {
+            axons,
+            neurons,
+            axon_types: vec![AxonType::A0; axons],
+            crossbar: Crossbar::new(axons, neurons),
+            configs: vec![NeuronConfig::default(); neurons],
+            destinations: vec![Destination::Disabled; neurons],
+            seed: 1,
+            strategy: EvalStrategy::default(),
+        }
+    }
+
+    /// Sets the axon type of one axon.
+    pub fn axon_type(&mut self, axon: usize, ty: AxonType) -> Result<&mut Self, CoreBuildError> {
+        if axon >= self.axons {
+            return Err(CoreBuildError::NoSuchAxon(axon));
+        }
+        self.axon_types[axon] = ty;
+        Ok(self)
+    }
+
+    /// Configures one neuron: parameter block and spike destination.
+    pub fn neuron(
+        &mut self,
+        index: usize,
+        config: NeuronConfig,
+        destination: Destination,
+    ) -> Result<&mut Self, CoreBuildError> {
+        if index >= self.neurons {
+            return Err(CoreBuildError::NoSuchNeuron(index));
+        }
+        if let Destination::Axon(target) = destination {
+            if target.delay == 0 || target.delay as usize >= SCHEDULER_SLOTS {
+                return Err(CoreBuildError::BadDelay(target.delay));
+            }
+        }
+        self.configs[index] = config;
+        self.destinations[index] = destination;
+        Ok(self)
+    }
+
+    /// Sets or clears one crossbar bit.
+    pub fn synapse(
+        &mut self,
+        axon: usize,
+        neuron: usize,
+        connected: bool,
+    ) -> Result<&mut Self, CoreBuildError> {
+        if axon >= self.axons {
+            return Err(CoreBuildError::NoSuchAxon(axon));
+        }
+        if neuron >= self.neurons {
+            return Err(CoreBuildError::NoSuchNeuron(neuron));
+        }
+        self.crossbar.set(axon, neuron, connected);
+        Ok(self)
+    }
+
+    /// Seeds the core's LFSR (stochastic modes).
+    pub fn seed(&mut self, seed: u32) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the evaluation strategy.
+    pub fn strategy(&mut self, strategy: EvalStrategy) -> &mut Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Finalises the core.
+    pub fn build(&self) -> NeurosynapticCore {
+        NeurosynapticCore {
+            axon_types: self.axon_types.clone(),
+            crossbar: self.crossbar.clone(),
+            neurons: self.configs.iter().cloned().map(Neuron::new).collect(),
+            destinations: self.destinations.clone(),
+            scheduler: Scheduler::new(self.axons),
+            rng: Lfsr::new(self.seed),
+            strategy: self.strategy,
+            now: 0,
+            stats: CoreStats::default(),
+            counts: vec![0u32; self.neurons * 4],
+        }
+    }
+}
+
+/// One neurosynaptic core; see the crate-level docs.
+#[derive(Debug, Clone)]
+pub struct NeurosynapticCore {
+    axon_types: Vec<AxonType>,
+    crossbar: Crossbar,
+    neurons: Vec<Neuron>,
+    destinations: Vec<Destination>,
+    scheduler: Scheduler,
+    rng: Lfsr,
+    strategy: EvalStrategy,
+    now: u64,
+    stats: CoreStats,
+    /// Reusable per-neuron × type event counters (sparse path scratch).
+    counts: Vec<u32>,
+}
+
+impl NeurosynapticCore {
+    /// Number of axons.
+    #[inline]
+    pub fn axons(&self) -> usize {
+        self.axon_types.len()
+    }
+
+    /// Number of neurons.
+    #[inline]
+    pub fn neurons(&self) -> usize {
+        self.neurons.len()
+    }
+
+    /// The core's current tick cursor (the next tick it will evaluate).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The crossbar (read-only).
+    pub fn crossbar(&self) -> &Crossbar {
+        &self.crossbar
+    }
+
+    /// The spike destination of a neuron.
+    pub fn destination(&self, neuron: usize) -> Destination {
+        self.destinations[neuron]
+    }
+
+    /// The membrane potential of a neuron (for tracing and tests).
+    pub fn potential(&self, neuron: usize) -> i32 {
+        self.neurons[neuron].potential()
+    }
+
+    /// Cumulative event statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Switches the evaluation strategy at a tick boundary.
+    pub fn set_strategy(&mut self, strategy: EvalStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The current evaluation strategy.
+    pub fn strategy(&self) -> EvalStrategy {
+        self.strategy
+    }
+
+    /// Whether the scheduler has no pending events.
+    pub fn is_idle(&self) -> bool {
+        self.scheduler.is_idle()
+    }
+
+    /// Schedules an axon event for integration at `target_tick`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeliverError::NoSuchAxon`] if the axon does not exist.
+    /// * [`DeliverError::DelayTooLong`] if `target_tick` is more than 15
+    ///   ticks past the core's cursor, or in the past.
+    pub fn deliver(&mut self, axon: usize, target_tick: u64) -> Result<(), DeliverError> {
+        if axon >= self.axons() {
+            return Err(DeliverError::NoSuchAxon(axon));
+        }
+        if target_tick < self.now || target_tick >= self.now + SCHEDULER_SLOTS as u64 {
+            return Err(DeliverError::DelayTooLong(target_tick.saturating_sub(self.now)));
+        }
+        self.scheduler.schedule(axon, target_tick);
+        Ok(())
+    }
+
+    /// Evaluates one tick and returns the indices of the neurons that fired.
+    ///
+    /// `tick` must equal the core's cursor — the chip's global barrier keeps
+    /// all cores in lock-step, and the explicit argument makes desynchrony a
+    /// loud failure instead of silent corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick != self.now()`.
+    pub fn tick(&mut self, tick: u64) -> Vec<u16> {
+        assert_eq!(tick, self.now, "core evaluated out of tick order");
+        let bitmap = self.scheduler.take(tick);
+
+        // Phase 1: synaptic integration into per-neuron type counters.
+        self.counts.fill(0);
+        let mut axon_events = 0u64;
+        let mut synaptic_events = 0u64;
+        match self.strategy {
+            EvalStrategy::Sparse => {
+                for axon in bitmap_indices(&bitmap) {
+                    axon_events += 1;
+                    let ty = self.axon_types[axon].index();
+                    for neuron in self.crossbar.row_neurons(axon) {
+                        self.counts[neuron * 4 + ty] += 1;
+                        synaptic_events += 1;
+                    }
+                }
+            }
+            EvalStrategy::Dense => {
+                let active: Vec<(usize, usize)> = bitmap_indices(&bitmap)
+                    .map(|axon| (axon, self.axon_types[axon].index()))
+                    .collect();
+                axon_events = active.len() as u64;
+                for neuron in 0..self.neurons.len() {
+                    for &(axon, ty) in &active {
+                        if self.crossbar.get(axon, neuron) {
+                            self.counts[neuron * 4 + ty] += 1;
+                            synaptic_events += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: canonical neuron update order — neuron-major, type-major.
+        let mut fired = Vec::new();
+        for (index, neuron) in self.neurons.iter_mut().enumerate() {
+            for ty in AxonType::ALL {
+                let count = self.counts[index * 4 + ty.index()];
+                neuron.integrate_count(ty, count, &mut self.rng);
+            }
+            if neuron.finish_tick(&mut self.rng).fired() {
+                fired.push(index as u16);
+            }
+        }
+
+        self.stats.ticks += 1;
+        self.stats.axon_events += axon_events;
+        self.stats.synaptic_events += synaptic_events;
+        self.stats.neuron_updates += self.neurons.len() as u64;
+        self.stats.spikes += fired.len() as u64;
+        self.now += 1;
+        fired
+    }
+
+    /// Resets all neuron potentials, the scheduler, the tick cursor and the
+    /// statistics, keeping the configuration.
+    pub fn reset(&mut self) {
+        for neuron in &mut self.neurons {
+            neuron.reset_state();
+        }
+        self.scheduler = Scheduler::new(self.axons());
+        self.now = 0;
+        self.stats = CoreStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spike::AxonTarget;
+    use brainsim_neuron::Weight;
+
+    fn relay_config(weight: i32, threshold: u32) -> NeuronConfig {
+        NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(weight))
+            .weight(AxonType::A3, Weight::saturating(-weight))
+            .threshold(threshold)
+            .build()
+            .unwrap()
+    }
+
+    fn one_to_one_core(n: usize, strategy: EvalStrategy) -> NeurosynapticCore {
+        let mut b = CoreBuilder::new(n, n);
+        for i in 0..n {
+            b.neuron(i, relay_config(1, 1), Destination::Output(i as u32))
+                .unwrap();
+            b.synapse(i, i, true).unwrap();
+        }
+        b.strategy(strategy);
+        b.build()
+    }
+
+    #[test]
+    fn identity_core_relays_spikes() {
+        let mut core = one_to_one_core(8, EvalStrategy::Sparse);
+        core.deliver(3, 0).unwrap();
+        core.deliver(5, 1).unwrap();
+        assert_eq!(core.tick(0), vec![3]);
+        assert_eq!(core.tick(1), vec![5]);
+        assert_eq!(core.tick(2), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn deliver_validation() {
+        let mut core = one_to_one_core(4, EvalStrategy::Sparse);
+        assert_eq!(core.deliver(4, 0), Err(DeliverError::NoSuchAxon(4)));
+        assert_eq!(core.deliver(0, 16), Err(DeliverError::DelayTooLong(16)));
+        core.tick(0);
+        // Past ticks are rejected too.
+        assert!(matches!(core.deliver(0, 0), Err(DeliverError::DelayTooLong(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "tick order")]
+    fn out_of_order_tick_panics() {
+        let mut core = one_to_one_core(2, EvalStrategy::Sparse);
+        core.tick(1);
+    }
+
+    #[test]
+    fn fan_out_within_core() {
+        // One axon drives all neurons.
+        let n = 16;
+        let mut b = CoreBuilder::new(1, n);
+        for i in 0..n {
+            b.neuron(i, relay_config(1, 1), Destination::Disabled).unwrap();
+            b.synapse(0, i, true).unwrap();
+        }
+        let mut core = b.build();
+        core.deliver(0, 0).unwrap();
+        let fired = core.tick(0);
+        assert_eq!(fired.len(), n);
+        assert_eq!(core.stats().synaptic_events, n as u64);
+        assert_eq!(core.stats().axon_events, 1);
+    }
+
+    #[test]
+    fn axon_types_select_weights() {
+        let mut b = CoreBuilder::new(2, 1);
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(3))
+            .weight(AxonType::A1, Weight::saturating(10))
+            .threshold(13)
+            .build()
+            .unwrap();
+        b.axon_type(0, AxonType::A0).unwrap();
+        b.axon_type(1, AxonType::A1).unwrap();
+        b.neuron(0, config, Destination::Disabled).unwrap();
+        b.synapse(0, 0, true).unwrap();
+        b.synapse(1, 0, true).unwrap();
+        let mut core = b.build();
+        core.deliver(0, 0).unwrap();
+        core.deliver(1, 0).unwrap();
+        let fired = core.tick(0);
+        assert_eq!(fired, vec![0]); // 3 + 10 = 13 ≥ threshold
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_deterministic() {
+        let mut dense = one_to_one_core(32, EvalStrategy::Dense);
+        let mut sparse = one_to_one_core(32, EvalStrategy::Sparse);
+        for t in 0..20u64 {
+            for a in 0..32 {
+                if (a + t as usize).is_multiple_of(3) {
+                    dense.deliver(a, t).unwrap();
+                    sparse.deliver(a, t).unwrap();
+                }
+            }
+            assert_eq!(dense.tick(t), sparse.tick(t), "tick {t}");
+        }
+        assert_eq!(dense.stats(), sparse.stats());
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_stochastic() {
+        // Stochastic synapses + stochastic threshold, identical seeds.
+        let build = |strategy| {
+            let mut b = CoreBuilder::new(16, 16);
+            let config = NeuronConfig::builder()
+                .weight(AxonType::A0, Weight::saturating(128))
+                .stochastic_synapse(AxonType::A0, true)
+                .threshold(2)
+                .threshold_mask_bits(2)
+                .build()
+                .unwrap();
+            for i in 0..16 {
+                b.neuron(i, config.clone(), Destination::Disabled).unwrap();
+                for a in 0..16 {
+                    b.synapse(a, i, (a + i) % 2 == 0).unwrap();
+                }
+            }
+            b.seed(0xABCD).strategy(strategy);
+            b.build()
+        };
+        let mut dense = build(EvalStrategy::Dense);
+        let mut sparse = build(EvalStrategy::Sparse);
+        for t in 0..50u64 {
+            for a in 0..16 {
+                if a % 2 == 0 {
+                    dense.deliver(a, t).unwrap();
+                    sparse.deliver(a, t).unwrap();
+                }
+            }
+            assert_eq!(dense.tick(t), sparse.tick(t), "tick {t}");
+        }
+    }
+
+    #[test]
+    fn delayed_delivery_through_scheduler() {
+        let mut core = one_to_one_core(4, EvalStrategy::Sparse);
+        core.deliver(1, 7).unwrap();
+        for t in 0..7 {
+            assert!(core.tick(t).is_empty(), "tick {t}");
+        }
+        assert_eq!(core.tick(7), vec![1]);
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_wiring() {
+        let mut core = one_to_one_core(4, EvalStrategy::Sparse);
+        core.deliver(0, 0).unwrap();
+        core.tick(0);
+        assert_eq!(core.stats().spikes, 1);
+        core.reset();
+        assert_eq!(core.now(), 0);
+        assert_eq!(core.stats().spikes, 0);
+        assert!(core.is_idle());
+        core.deliver(0, 0).unwrap();
+        assert_eq!(core.tick(0), vec![0]);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut b = CoreBuilder::new(4, 4);
+        assert!(matches!(
+            b.axon_type(4, AxonType::A0),
+            Err(CoreBuildError::NoSuchAxon(4))
+        ));
+        assert!(matches!(
+            b.neuron(4, NeuronConfig::default(), Destination::Disabled),
+            Err(CoreBuildError::NoSuchNeuron(4))
+        ));
+        assert!(matches!(
+            b.synapse(0, 9, true),
+            Err(CoreBuildError::NoSuchNeuron(9))
+        ));
+        let bad = Destination::Axon(AxonTarget::local(0, 0));
+        assert!(matches!(
+            b.neuron(0, NeuronConfig::default(), bad),
+            Err(CoreBuildError::BadDelay(0))
+        ));
+        let bad16 = Destination::Axon(AxonTarget::local(0, 16));
+        assert!(matches!(
+            b.neuron(0, NeuronConfig::default(), bad16),
+            Err(CoreBuildError::BadDelay(16))
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate_and_merge() {
+        let mut core = one_to_one_core(4, EvalStrategy::Sparse);
+        core.deliver(0, 0).unwrap();
+        core.tick(0);
+        core.tick(1);
+        let s = *core.stats();
+        assert_eq!(s.ticks, 2);
+        assert_eq!(s.neuron_updates, 8);
+        assert_eq!(s.spikes, 1);
+        let mut total = CoreStats::default();
+        total.merge(&s);
+        total.merge(&s);
+        assert_eq!(total.spikes, 2);
+        assert_eq!(total.ticks, 4);
+    }
+}

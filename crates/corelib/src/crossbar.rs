@@ -1,0 +1,197 @@
+//! The binary synaptic crossbar.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary axon × neuron connectivity matrix, stored row-major as packed
+/// 64-bit words (one row per axon).
+///
+/// The crossbar answers two questions fast:
+///
+/// * dense path: "which axons drive neuron `i`?" — a column scan, and
+/// * sparse path: "which neurons does axon `j` drive?" — a row scan over
+///   set bits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crossbar {
+    axons: usize,
+    neurons: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Crossbar {
+    /// Creates an empty (all-zero) crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(axons: usize, neurons: usize) -> Crossbar {
+        assert!(axons > 0 && neurons > 0, "crossbar dimensions must be non-zero");
+        let words_per_row = neurons.div_ceil(64);
+        Crossbar {
+            axons,
+            neurons,
+            words_per_row,
+            bits: vec![0; axons * words_per_row],
+        }
+    }
+
+    /// Number of axon rows.
+    #[inline]
+    pub fn axons(&self) -> usize {
+        self.axons
+    }
+
+    /// Number of neuron columns.
+    #[inline]
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// Sets or clears the synapse `axon → neuron`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, axon: usize, neuron: usize, connected: bool) {
+        assert!(axon < self.axons, "axon {axon} out of range");
+        assert!(neuron < self.neurons, "neuron {neuron} out of range");
+        let word = axon * self.words_per_row + neuron / 64;
+        let mask = 1u64 << (neuron % 64);
+        if connected {
+            self.bits[word] |= mask;
+        } else {
+            self.bits[word] &= !mask;
+        }
+    }
+
+    /// Whether the synapse `axon → neuron` is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn get(&self, axon: usize, neuron: usize) -> bool {
+        assert!(axon < self.axons, "axon {axon} out of range");
+        assert!(neuron < self.neurons, "neuron {neuron} out of range");
+        let word = axon * self.words_per_row + neuron / 64;
+        (self.bits[word] >> (neuron % 64)) & 1 != 0
+    }
+
+    /// The packed words of one axon row.
+    #[inline]
+    pub fn row_words(&self, axon: usize) -> &[u64] {
+        let start = axon * self.words_per_row;
+        &self.bits[start..start + self.words_per_row]
+    }
+
+    /// Iterates over the neurons driven by `axon`.
+    pub fn row_neurons(&self, axon: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row_words(axon)
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter::new(word).map(move |b| wi * 64 + b))
+    }
+
+    /// Number of synapses present.
+    pub fn synapse_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of possible synapses present.
+    pub fn density(&self) -> f64 {
+        self.synapse_count() as f64 / (self.axons * self.neurons) as f64
+    }
+}
+
+/// Iterator over set-bit positions of a word.
+struct BitIter {
+    word: u64,
+}
+
+impl BitIter {
+    fn new(word: u64) -> BitIter {
+        BitIter { word }
+    }
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            None
+        } else {
+            let bit = self.word.trailing_zeros() as usize;
+            self.word &= self.word - 1;
+            Some(bit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let xb = Crossbar::new(256, 256);
+        assert_eq!(xb.synapse_count(), 0);
+        assert_eq!(xb.density(), 0.0);
+        assert!(!xb.get(0, 0));
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut xb = Crossbar::new(256, 256);
+        xb.set(3, 200, true);
+        xb.set(255, 0, true);
+        assert!(xb.get(3, 200));
+        assert!(xb.get(255, 0));
+        assert!(!xb.get(3, 201));
+        xb.set(3, 200, false);
+        assert!(!xb.get(3, 200));
+        assert_eq!(xb.synapse_count(), 1);
+    }
+
+    #[test]
+    fn row_neurons_yields_sorted_set_bits() {
+        let mut xb = Crossbar::new(4, 200);
+        for n in [0, 63, 64, 127, 128, 199] {
+            xb.set(2, n, true);
+        }
+        let row: Vec<usize> = xb.row_neurons(2).collect();
+        assert_eq!(row, vec![0, 63, 64, 127, 128, 199]);
+        assert_eq!(xb.row_neurons(0).count(), 0);
+    }
+
+    #[test]
+    fn non_multiple_of_64_dimensions() {
+        let mut xb = Crossbar::new(10, 70);
+        xb.set(9, 69, true);
+        assert!(xb.get(9, 69));
+        assert_eq!(xb.row_neurons(9).collect::<Vec<_>>(), vec![69]);
+    }
+
+    #[test]
+    fn density_counts_fraction() {
+        let mut xb = Crossbar::new(10, 10);
+        for i in 0..10 {
+            xb.set(i, i, true);
+        }
+        assert!((xb.density() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut xb = Crossbar::new(4, 4);
+        xb.set(4, 0, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = Crossbar::new(0, 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! # brainsim-core
+//!
+//! The neurosynaptic core: the unit of replication of a TrueNorth-class
+//! chip. One core couples
+//!
+//! * **256 axons** (inputs), each tagged with an [`AxonType`],
+//! * a **256 × 256 binary crossbar** ([`Crossbar`]) selecting which axon
+//!   drives which neuron,
+//! * **256 neurons** ([`brainsim_neuron::Neuron`]) with per-neuron parameter
+//!   blocks and spike destinations, and
+//! * a **16-slot scheduler** ([`Scheduler`]) implementing axonal delays of
+//!   1–15 ticks.
+//!
+//! Evaluation is tick-synchronous: [`NeurosynapticCore::tick`] consumes the
+//! axon events due this tick, integrates them through the crossbar, applies
+//! leak/threshold/reset to every neuron, and returns the spikes produced.
+//! Two evaluation strategies — [`EvalStrategy::Dense`] and
+//! [`EvalStrategy::Sparse`] — are bit-identical by construction (property
+//! tested), mirroring the one-to-one equivalence between the silicon and
+//! its simulator.
+//!
+//! ## Example
+//!
+//! ```
+//! use brainsim_core::{CoreBuilder, Destination};
+//! use brainsim_neuron::{AxonType, NeuronConfig, Weight};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut builder = CoreBuilder::new(16, 16); // small core for the example
+//! let config = NeuronConfig::builder()
+//!     .weight(AxonType::A0, Weight::new(10)?)
+//!     .threshold(10)
+//!     .build()?;
+//! builder.axon_type(0, AxonType::A0)?;
+//! builder.neuron(0, config, Destination::Output(0))?;
+//! builder.synapse(0, 0, true)?;
+//! let mut core = builder.build();
+//!
+//! core.deliver(0, 0)?; // axon event due at the next tick boundary
+//! let fired = core.tick(0);
+//! assert_eq!(fired, vec![0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_impl;
+mod crossbar;
+mod scheduler;
+mod spike;
+
+pub use core_impl::{CoreBuildError, CoreBuilder, CoreStats, EvalStrategy, NeurosynapticCore};
+pub use crossbar::Crossbar;
+pub use scheduler::{Scheduler, SCHEDULER_SLOTS};
+pub use spike::{AxonTarget, CoreOffset, DeliverError, Destination};
+
+// Re-export for downstream convenience: the core's axon/neuron vocabulary.
+pub use brainsim_neuron::{AxonType, Lfsr, NeuronConfig, Weight};
+
+/// Number of axons in a full-size core.
+pub const CORE_AXONS: usize = 256;
+/// Number of neurons in a full-size core.
+pub const CORE_NEURONS: usize = 256;

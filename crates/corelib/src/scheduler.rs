@@ -1,0 +1,166 @@
+//! The axonal-delay scheduler.
+
+use serde::{Deserialize, Serialize};
+
+/// Depth of the scheduler ring: axon events can be scheduled up to
+/// `SCHEDULER_SLOTS − 1` ticks into the future.
+pub const SCHEDULER_SLOTS: usize = 16;
+
+/// A 16-deep ring of axon-event bitmaps.
+///
+/// The silicon holds a 16 × 256-bit SRAM: slot `t mod 16` records which
+/// axons have an event due for integration at tick `t`. A spike packet
+/// carries a 4-bit delivery slot; writing a slot more than once is idempotent
+/// (axon events are binary, not counted).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scheduler {
+    axons: usize,
+    words: usize,
+    /// `slots[s]` is the bitmap of axons due at ticks ≡ s (mod 16).
+    slots: Vec<Vec<u64>>,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler for `axons` axons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axons` is zero.
+    pub fn new(axons: usize) -> Scheduler {
+        assert!(axons > 0, "scheduler needs at least one axon");
+        let words = axons.div_ceil(64);
+        Scheduler {
+            axons,
+            words,
+            slots: vec![vec![0; words]; SCHEDULER_SLOTS],
+        }
+    }
+
+    /// Number of axons covered.
+    #[inline]
+    pub fn axons(&self) -> usize {
+        self.axons
+    }
+
+    /// Records an event for `axon` in the slot for tick `target_tick`.
+    ///
+    /// The caller is responsible for ensuring `target_tick` is within the
+    /// next `SCHEDULER_SLOTS − 1` ticks; the ring cannot distinguish farther
+    /// targets (this invariant is enforced where packets are injected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axon` is out of range.
+    #[inline]
+    pub fn schedule(&mut self, axon: usize, target_tick: u64) {
+        assert!(axon < self.axons, "axon {axon} out of range");
+        let slot = (target_tick % SCHEDULER_SLOTS as u64) as usize;
+        self.slots[slot][axon / 64] |= 1u64 << (axon % 64);
+    }
+
+    /// Takes (and clears) the axon bitmap due at `tick`.
+    pub fn take(&mut self, tick: u64) -> Vec<u64> {
+        let slot = (tick % SCHEDULER_SLOTS as u64) as usize;
+        let mut empty = vec![0; self.words];
+        std::mem::swap(&mut self.slots[slot], &mut empty);
+        empty
+    }
+
+    /// Peeks at the axon bitmap due at `tick` without clearing it.
+    pub fn peek(&self, tick: u64) -> &[u64] {
+        let slot = (tick % SCHEDULER_SLOTS as u64) as usize;
+        &self.slots[slot]
+    }
+
+    /// Whether any event is pending in any slot.
+    pub fn is_idle(&self) -> bool {
+        self.slots.iter().all(|s| s.iter().all(|&w| w == 0))
+    }
+
+    /// Total number of pending axon events across all slots.
+    pub fn pending(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.iter().map(|w| w.count_ones() as usize).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Expands a bitmap into sorted axon indices.
+pub(crate) fn bitmap_indices(bitmap: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    bitmap.iter().enumerate().flat_map(|(wi, &word)| {
+        let mut w = word;
+        std::iter::from_fn(move || {
+            if w == 0 {
+                None
+            } else {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_and_take() {
+        let mut s = Scheduler::new(256);
+        s.schedule(3, 7);
+        s.schedule(130, 7);
+        s.schedule(3, 8);
+        let due7: Vec<usize> = bitmap_indices(&s.take(7)).collect();
+        assert_eq!(due7, vec![3, 130]);
+        let due7_again: Vec<usize> = bitmap_indices(&s.take(7)).collect();
+        assert!(due7_again.is_empty(), "take clears the slot");
+        let due8: Vec<usize> = bitmap_indices(&s.take(8)).collect();
+        assert_eq!(due8, vec![3]);
+    }
+
+    #[test]
+    fn duplicate_schedule_is_idempotent() {
+        let mut s = Scheduler::new(64);
+        s.schedule(5, 2);
+        s.schedule(5, 2);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn ring_wraps_mod_16() {
+        let mut s = Scheduler::new(8);
+        s.schedule(1, 20); // slot 4
+        let due: Vec<usize> = bitmap_indices(&s.take(4)).collect();
+        assert_eq!(due, vec![1]);
+    }
+
+    #[test]
+    fn idle_and_pending_track_events() {
+        let mut s = Scheduler::new(8);
+        assert!(s.is_idle());
+        s.schedule(0, 0);
+        s.schedule(7, 15);
+        assert!(!s.is_idle());
+        assert_eq!(s.pending(), 2);
+        s.take(0);
+        s.take(15);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn peek_does_not_clear() {
+        let mut s = Scheduler::new(8);
+        s.schedule(2, 1);
+        assert_eq!(bitmap_indices(s.peek(1)).count(), 1);
+        assert_eq!(bitmap_indices(s.peek(1)).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_axon_panics() {
+        let mut s = Scheduler::new(8);
+        s.schedule(8, 0);
+    }
+}

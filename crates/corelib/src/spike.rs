@@ -1,0 +1,126 @@
+//! Spike destinations and delivery errors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A relative core offset, as carried in a spike packet (`dx` east-positive,
+/// `dy` north-positive). `(0, 0)` addresses the local core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreOffset {
+    /// Horizontal hops (east positive).
+    pub dx: i32,
+    /// Vertical hops (north positive).
+    pub dy: i32,
+}
+
+impl CoreOffset {
+    /// The local core.
+    pub const LOCAL: CoreOffset = CoreOffset { dx: 0, dy: 0 };
+
+    /// Creates an offset.
+    pub const fn new(dx: i32, dy: i32) -> CoreOffset {
+        CoreOffset { dx, dy }
+    }
+
+    /// Manhattan distance of the offset — the number of mesh hops a packet
+    /// travels under dimension-order routing.
+    pub const fn hops(self) -> u32 {
+        self.dx.unsigned_abs() + self.dy.unsigned_abs()
+    }
+}
+
+impl fmt::Display for CoreOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:+}, {:+})", self.dx, self.dy)
+    }
+}
+
+/// The axon endpoint a neuron's spike is wired to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AxonTarget {
+    /// Relative offset to the destination core.
+    pub offset: CoreOffset,
+    /// Destination axon index within that core.
+    pub axon: u16,
+    /// Axonal delay in ticks (`1..=15`).
+    pub delay: u8,
+}
+
+impl AxonTarget {
+    /// Creates a target on the local core.
+    pub const fn local(axon: u16, delay: u8) -> AxonTarget {
+        AxonTarget {
+            offset: CoreOffset::LOCAL,
+            axon,
+            delay,
+        }
+    }
+}
+
+/// Where a neuron's output spike goes.
+///
+/// Each neuron has exactly one destination — multicast requires splitter
+/// neurons, as on the silicon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Destination {
+    /// The neuron's output is unused.
+    #[default]
+    Disabled,
+    /// An axon of some core (possibly this one).
+    Axon(AxonTarget),
+    /// An external output port of the chip.
+    Output(u32),
+}
+
+
+/// Error returned by [`crate::NeurosynapticCore::deliver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverError {
+    /// The axon index exceeds the core's axon count.
+    NoSuchAxon(usize),
+    /// The delay must be at most 15 ticks ahead (the scheduler ring depth).
+    DelayTooLong(u64),
+}
+
+impl fmt::Display for DeliverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeliverError::NoSuchAxon(a) => write!(f, "axon {a} does not exist"),
+            DeliverError::DelayTooLong(d) => {
+                write!(f, "delivery {d} ticks ahead exceeds the 15-tick scheduler horizon")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeliverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_hops_is_manhattan() {
+        assert_eq!(CoreOffset::new(3, -4).hops(), 7);
+        assert_eq!(CoreOffset::LOCAL.hops(), 0);
+    }
+
+    #[test]
+    fn offset_display_signs() {
+        assert_eq!(CoreOffset::new(-2, 5).to_string(), "(-2, +5)");
+    }
+
+    #[test]
+    fn local_target_has_zero_offset() {
+        let t = AxonTarget::local(7, 1);
+        assert_eq!(t.offset, CoreOffset::LOCAL);
+        assert_eq!(t.axon, 7);
+    }
+
+    #[test]
+    fn default_destination_is_disabled() {
+        assert_eq!(Destination::default(), Destination::Disabled);
+    }
+}

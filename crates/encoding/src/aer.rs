@@ -1,0 +1,213 @@
+//! Address-event representation (AER): the standard wire format for
+//! neuromorphic spike streams.
+//!
+//! An AER stream is a tick-ordered sequence of `(tick, port)` events. The
+//! binary layout here is a compact little header plus delta-encoded
+//! events, suitable for logging chip output, replaying recorded stimuli,
+//! and exchanging spike data between tools:
+//!
+//! ```text
+//! magic  "AER1"          4 bytes
+//! count  u32             number of events
+//! event  (delta: u32, port: u32) × count   tick delta from previous event
+//! ```
+//!
+//! ```
+//! use brainsim_encoding::aer::{self, AerEvent};
+//!
+//! let events = vec![AerEvent { tick: 3, port: 9 }, AerEvent { tick: 7, port: 1 }];
+//! let mut buf = bytes::BytesMut::new();
+//! aer::encode(&events, &mut buf).unwrap();
+//! assert_eq!(aer::decode(&mut buf).unwrap(), events);
+//! ```
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+
+/// One address event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AerEvent {
+    /// Global tick of the event.
+    pub tick: u64,
+    /// Port (address) that spiked.
+    pub port: u32,
+}
+
+/// Errors from AER decoding or stream validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AerError {
+    /// The magic header was missing or wrong.
+    BadMagic,
+    /// The buffer ended before `count` events were read.
+    Truncated,
+    /// Events were not in non-decreasing tick order at encode time.
+    NotSorted,
+}
+
+impl fmt::Display for AerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AerError::BadMagic => write!(f, "missing AER1 magic header"),
+            AerError::Truncated => write!(f, "truncated AER stream"),
+            AerError::NotSorted => write!(f, "events not in tick order"),
+        }
+    }
+}
+
+impl std::error::Error for AerError {}
+
+const MAGIC: &[u8; 4] = b"AER1";
+
+/// Encodes a tick-ordered event stream.
+///
+/// # Errors
+///
+/// Returns [`AerError::NotSorted`] if ticks ever decrease.
+pub fn encode<B: BufMut>(events: &[AerEvent], buf: &mut B) -> Result<(), AerError> {
+    buf.put_slice(MAGIC);
+    buf.put_u32(events.len() as u32);
+    let mut last = 0u64;
+    for event in events {
+        if event.tick < last {
+            return Err(AerError::NotSorted);
+        }
+        buf.put_u32((event.tick - last) as u32);
+        buf.put_u32(event.port);
+        last = event.tick;
+    }
+    Ok(())
+}
+
+/// Decodes an AER stream.
+///
+/// # Errors
+///
+/// See [`AerError`].
+pub fn decode<B: Buf>(buf: &mut B) -> Result<Vec<AerEvent>, AerError> {
+    if buf.remaining() < 8 {
+        return Err(AerError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(AerError::BadMagic);
+    }
+    let count = buf.get_u32() as usize;
+    let mut events = Vec::with_capacity(count);
+    let mut tick = 0u64;
+    for _ in 0..count {
+        if buf.remaining() < 8 {
+            return Err(AerError::Truncated);
+        }
+        tick += buf.get_u32() as u64;
+        let port = buf.get_u32();
+        events.push(AerEvent { tick, port });
+    }
+    Ok(events)
+}
+
+/// Converts a per-tick raster (`raster[t][p]`) into an event stream.
+pub fn from_raster(raster: &[Vec<bool>]) -> Vec<AerEvent> {
+    let mut events = Vec::new();
+    for (t, row) in raster.iter().enumerate() {
+        for (p, &spiked) in row.iter().enumerate() {
+            if spiked {
+                events.push(AerEvent {
+                    tick: t as u64,
+                    port: p as u32,
+                });
+            }
+        }
+    }
+    events
+}
+
+/// Converts an event stream back into a raster of `ticks × ports`; events
+/// outside the window are ignored.
+pub fn to_raster(events: &[AerEvent], ticks: usize, ports: usize) -> Vec<Vec<bool>> {
+    let mut raster = vec![vec![false; ports]; ticks];
+    for event in events {
+        if (event.tick as usize) < ticks && (event.port as usize) < ports {
+            raster[event.tick as usize][event.port as usize] = true;
+        }
+    }
+    raster
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn sample() -> Vec<AerEvent> {
+        vec![
+            AerEvent { tick: 0, port: 3 },
+            AerEvent { tick: 0, port: 7 },
+            AerEvent { tick: 2, port: 1 },
+            AerEvent { tick: 100_000, port: 0 },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let events = sample();
+        let mut buf = BytesMut::new();
+        encode(&events, &mut buf).unwrap();
+        let decoded = decode(&mut buf).unwrap();
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let mut buf = BytesMut::new();
+        encode(&[], &mut buf).unwrap();
+        assert_eq!(buf.len(), 8);
+        assert_eq!(decode(&mut buf).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn unsorted_events_rejected() {
+        let events = vec![
+            AerEvent { tick: 5, port: 0 },
+            AerEvent { tick: 3, port: 0 },
+        ];
+        let mut buf = BytesMut::new();
+        assert_eq!(encode(&events, &mut buf), Err(AerError::NotSorted));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"NOPE");
+        buf.put_u32(0);
+        assert_eq!(decode(&mut buf), Err(AerError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut buf = BytesMut::new();
+        encode(&sample(), &mut buf).unwrap();
+        let mut short = buf.split_to(buf.len() - 3);
+        assert_eq!(decode(&mut short), Err(AerError::Truncated));
+    }
+
+    #[test]
+    fn raster_round_trip() {
+        let raster = vec![
+            vec![true, false, true],
+            vec![false, false, false],
+            vec![false, true, false],
+        ];
+        let events = from_raster(&raster);
+        assert_eq!(events.len(), 3);
+        assert_eq!(to_raster(&events, 3, 3), raster);
+    }
+
+    #[test]
+    fn to_raster_ignores_out_of_window_events() {
+        let events = vec![AerEvent { tick: 99, port: 99 }];
+        let raster = to_raster(&events, 2, 2);
+        assert!(raster.iter().flatten().all(|&s| !s));
+    }
+}

@@ -1,0 +1,305 @@
+//! # brainsim-energy
+//!
+//! The event-census energy model.
+//!
+//! In an event-driven neurosynaptic architecture, active energy is — by
+//! design — linear in the number of discrete events: synaptic reads,
+//! neuron updates, spike generations, router hops and scheduler accesses.
+//! Static (leakage) power is proportional to the powered core count. The
+//! chip's published figures (≈26 pJ per synaptic event, tens of mW for a
+//! 4096-core chip at typical activity, tens of GSOPS/W) are therefore
+//! reproducible from pure event counts, which is exactly what this crate
+//! does: the simulator counts events ([`EventCensus`]) and
+//! [`EnergyModel::report`] turns the census into power and efficiency
+//! numbers.
+//!
+//! The default constants are calibrated to the published operating point of
+//! the silicon lineage; they are plain fields, so ablations can sweep them.
+//!
+//! ```
+//! use brainsim_energy::{EnergyModel, EventCensus};
+//!
+//! let model = EnergyModel::default();
+//! let census = EventCensus {
+//!     ticks: 1000,
+//!     cores: 4096,
+//!     synaptic_events: 500_000_000,
+//!     neuron_updates: 4096 * 256 * 1000,
+//!     spikes: 20_000_000,
+//!     axon_events: 20_000_000,
+//!     hops: 60_000_000,
+//!     link_crossings: 0,
+//! };
+//! let report = model.report(&census);
+//! assert!(report.total_mw > 0.0);
+//! assert!(report.gsops_per_watt > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Energy cost constants (all per-event costs in picojoules).
+///
+/// Defaults are calibrated to the published TrueNorth-lineage operating
+/// point: 26 pJ per synaptic event, sub-mW per-core budgets, ~1 ms tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per synaptic event (crossbar read + integration), pJ.
+    pub pj_per_synaptic_event: f64,
+    /// Energy per neuron leak/threshold evaluation, pJ.
+    pub pj_per_neuron_update: f64,
+    /// Energy per generated spike (neuron fire + packet launch), pJ.
+    pub pj_per_spike: f64,
+    /// Energy per router hop, pJ.
+    pub pj_per_hop: f64,
+    /// Energy per scheduler (axon-event) access, pJ.
+    pub pj_per_axon_event: f64,
+    /// Energy per inter-chip link crossing (serialised peripheral link), pJ.
+    pub pj_per_link_crossing: f64,
+    /// Static (leakage) power per powered core, mW.
+    pub static_mw_per_core: f64,
+    /// Wall-clock duration of one tick, seconds (1 ms on silicon).
+    pub tick_seconds: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            pj_per_synaptic_event: 26.0,
+            pj_per_neuron_update: 1.2,
+            pj_per_spike: 10.0,
+            pj_per_hop: 3.0,
+            pj_per_axon_event: 1.0,
+            pj_per_link_crossing: 900.0,
+            static_mw_per_core: 0.010,
+            tick_seconds: 1e-3,
+        }
+    }
+}
+
+/// Raw event counts accumulated by a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCensus {
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Powered cores.
+    pub cores: u64,
+    /// Synaptic events integrated.
+    pub synaptic_events: u64,
+    /// Neuron leak/threshold evaluations.
+    pub neuron_updates: u64,
+    /// Spikes generated.
+    pub spikes: u64,
+    /// Axon (scheduler) events consumed.
+    pub axon_events: u64,
+    /// Router hops traversed.
+    pub hops: u64,
+    /// Inter-chip (tile boundary) link crossings.
+    pub link_crossings: u64,
+}
+
+impl EventCensus {
+    /// Accumulates another census into this one (`cores` takes the maximum,
+    /// the rest add).
+    pub fn merge(&mut self, other: &EventCensus) {
+        self.ticks += other.ticks;
+        self.cores = self.cores.max(other.cores);
+        self.synaptic_events += other.synaptic_events;
+        self.neuron_updates += other.neuron_updates;
+        self.spikes += other.spikes;
+        self.axon_events += other.axon_events;
+        self.hops += other.hops;
+        self.link_crossings += other.link_crossings;
+    }
+}
+
+/// Derived power/efficiency figures for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Total active energy over the run, joules.
+    pub active_energy_j: f64,
+    /// Active power averaged over simulated time, mW.
+    pub active_mw: f64,
+    /// Static power, mW.
+    pub static_mw: f64,
+    /// Total power, mW.
+    pub total_mw: f64,
+    /// Synaptic operations per simulated second.
+    pub sops: f64,
+    /// Synaptic-operation efficiency, GSOPS per watt (total power).
+    pub gsops_per_watt: f64,
+    /// Effective energy per synaptic event including all overheads, pJ.
+    pub pj_per_synaptic_event_effective: f64,
+}
+
+impl EnergyModel {
+    /// Converts an event census into power and efficiency figures.
+    ///
+    /// Simulated time is `ticks × tick_seconds`; a zero-tick census yields a
+    /// report with zero power (no division by zero).
+    pub fn report(&self, census: &EventCensus) -> EnergyReport {
+        const PJ: f64 = 1e-12;
+        let active_energy_j = PJ
+            * (census.synaptic_events as f64 * self.pj_per_synaptic_event
+                + census.neuron_updates as f64 * self.pj_per_neuron_update
+                + census.spikes as f64 * self.pj_per_spike
+                + census.axon_events as f64 * self.pj_per_axon_event
+                + census.hops as f64 * self.pj_per_hop
+                + census.link_crossings as f64 * self.pj_per_link_crossing);
+        let seconds = census.ticks as f64 * self.tick_seconds;
+        let active_mw = if seconds > 0.0 {
+            active_energy_j / seconds * 1e3
+        } else {
+            0.0
+        };
+        let static_mw = census.cores as f64 * self.static_mw_per_core;
+        let total_mw = active_mw + static_mw;
+        let sops = if seconds > 0.0 {
+            census.synaptic_events as f64 / seconds
+        } else {
+            0.0
+        };
+        let gsops_per_watt = if total_mw > 0.0 {
+            sops / 1e9 / (total_mw / 1e3)
+        } else {
+            0.0
+        };
+        let pj_per_synaptic_event_effective = if census.synaptic_events > 0 {
+            (active_energy_j + static_mw / 1e3 * seconds) / PJ / census.synaptic_events as f64
+        } else {
+            0.0
+        };
+        EnergyReport {
+            active_energy_j,
+            active_mw,
+            static_mw,
+            total_mw,
+            sops,
+            gsops_per_watt,
+            pj_per_synaptic_event_effective,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn census(synaptic: u64, ticks: u64, cores: u64) -> EventCensus {
+        EventCensus {
+            ticks,
+            cores,
+            synaptic_events: synaptic,
+            neuron_updates: cores * 256 * ticks,
+            spikes: synaptic / 100,
+            axon_events: synaptic / 100,
+            hops: synaptic / 50,
+            link_crossings: 0,
+        }
+    }
+
+    #[test]
+    fn zero_activity_is_static_only() {
+        let model = EnergyModel::default();
+        let report = model.report(&EventCensus {
+            ticks: 100,
+            cores: 4096,
+            ..Default::default()
+        });
+        assert_eq!(report.active_energy_j, 0.0);
+        assert!((report.static_mw - 40.96).abs() < 1e-9);
+        assert_eq!(report.total_mw, report.static_mw + report.active_mw);
+    }
+
+    #[test]
+    fn empty_census_has_no_power() {
+        let report = EnergyModel::default().report(&EventCensus::default());
+        assert_eq!(report.total_mw, 0.0);
+        assert_eq!(report.gsops_per_watt, 0.0);
+        assert_eq!(report.pj_per_synaptic_event_effective, 0.0);
+    }
+
+    #[test]
+    fn active_power_is_linear_in_events() {
+        let model = EnergyModel::default();
+        let r1 = model.report(&census(1_000_000, 100, 64));
+        let r2 = model.report(&census(2_000_000, 100, 64));
+        // Subtract the neuron-update baseline, which is identical in both.
+        let baseline = EnergyModel {
+            pj_per_synaptic_event: 0.0,
+            pj_per_spike: 0.0,
+            pj_per_axon_event: 0.0,
+            pj_per_hop: 0.0,
+            ..model
+        }
+        .report(&census(1_000_000, 100, 64))
+        .active_mw;
+        let a1 = r1.active_mw - baseline;
+        let a2 = r2.active_mw - baseline;
+        assert!((a2 / a1 - 2.0).abs() < 1e-6, "a1={a1} a2={a2}");
+    }
+
+    #[test]
+    fn efficiency_approaches_synaptic_limit_at_high_activity() {
+        let model = EnergyModel::default();
+        // Extremely high activity: overheads amortise, effective pJ/event
+        // approaches the per-event constants (26 + small overheads).
+        let heavy = EventCensus {
+            ticks: 1000,
+            cores: 1,
+            synaptic_events: 10_000_000_000,
+            neuron_updates: 256_000,
+            spikes: 1_000_000,
+            axon_events: 1_000_000,
+            hops: 1_000_000,
+            link_crossings: 0,
+        };
+        let report = model.report(&heavy);
+        assert!(
+            (report.pj_per_synaptic_event_effective - 26.0).abs() < 0.5,
+            "effective = {}",
+            report.pj_per_synaptic_event_effective
+        );
+        // 26 pJ/op bounds efficiency near 38 GSOPS/W.
+        assert!(report.gsops_per_watt > 30.0 && report.gsops_per_watt < 40.0);
+    }
+
+    #[test]
+    fn census_merge_adds_and_maxes() {
+        let mut a = census(100, 10, 4);
+        let b = census(50, 5, 8);
+        a.merge(&b);
+        assert_eq!(a.synaptic_events, 150);
+        assert_eq!(a.ticks, 15);
+        assert_eq!(a.cores, 8);
+    }
+
+    #[test]
+    fn default_chip_scale_power_in_published_band() {
+        // 4096 cores at ~20 Hz mean rate, 128 synapses per neuron:
+        // the published chip reports total power of order 60–150 mW.
+        let model = EnergyModel::default();
+        let rate_hz = 20.0;
+        let synapses_per_neuron = 128.0;
+        let neurons = 4096.0 * 256.0;
+        let seconds = 1.0;
+        let census = EventCensus {
+            ticks: 1000,
+            cores: 4096,
+            synaptic_events: (neurons * rate_hz * synapses_per_neuron * seconds) as u64,
+            neuron_updates: (neurons * 1000.0) as u64,
+            spikes: (neurons * rate_hz) as u64,
+            axon_events: (neurons * rate_hz) as u64,
+            hops: (neurons * rate_hz * 10.0) as u64,
+            link_crossings: 0,
+        };
+        let report = model.report(&census);
+        assert!(
+            report.total_mw > 30.0 && report.total_mw < 300.0,
+            "total = {} mW",
+            report.total_mw
+        );
+    }
+}

@@ -1,0 +1,814 @@
+//! The canonical spiking-behaviour catalogue.
+//!
+//! A defining claim of the TrueNorth-lineage neuron is that one integer
+//! parameterisation — sometimes with one or two helper neurons and axonal
+//! delays, exactly as deployed on the silicon — reproduces the canonical
+//! repertoire of biological spiking behaviours. This module realises that
+//! repertoire on top of [`crate::micro::MicroNet`]: each function builds its
+//! circuit, drives it with the prescribed stimulus, and *checks* the
+//! qualitative signature, returning a [`BehaviorResult`].
+//!
+//! [`run_all`] powers the reconstructed figure **F1** and the behaviour test
+//! suite.
+
+use crate::config::NeuronConfig;
+use crate::micro::{MicroNet, Source};
+use crate::presets;
+use crate::weight::{AxonType, Weight};
+
+/// The outcome of one behaviour experiment.
+#[derive(Debug, Clone)]
+pub struct BehaviorResult {
+    /// Behaviour name, e.g. `"tonic spiking"`.
+    pub name: &'static str,
+    /// One-line description of the circuit and stimulus.
+    pub description: &'static str,
+    /// Spike raster of the observed neuron.
+    pub raster: Raster,
+    /// Whether the qualitative signature was achieved.
+    pub achieved: bool,
+    /// Human-readable summary of the measured signature.
+    pub metric: String,
+}
+
+/// A recorded spike train with basic statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Raster {
+    spikes: Vec<bool>,
+}
+
+impl Raster {
+    /// Wraps a boolean spike train.
+    pub fn new(spikes: Vec<bool>) -> Raster {
+        Raster { spikes }
+    }
+
+    /// Ticks at which spikes occurred.
+    pub fn spike_times(&self) -> Vec<u64> {
+        self.spikes
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &s)| s.then_some(t as u64))
+            .collect()
+    }
+
+    /// Total number of spikes.
+    pub fn count(&self) -> usize {
+        self.spikes.iter().filter(|&&s| s).count()
+    }
+
+    /// Number of spikes in `[from, to)`.
+    pub fn count_in(&self, from: u64, to: u64) -> usize {
+        self.spike_times()
+            .into_iter()
+            .filter(|&t| t >= from && t < to)
+            .count()
+    }
+
+    /// Inter-spike intervals.
+    pub fn isis(&self) -> Vec<u64> {
+        self.spike_times().windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Mean inter-spike interval, if at least two spikes exist.
+    pub fn mean_isi(&self) -> Option<f64> {
+        let isis = self.isis();
+        if isis.is_empty() {
+            None
+        } else {
+            Some(isis.iter().sum::<u64>() as f64 / isis.len() as f64)
+        }
+    }
+
+    /// Coefficient of variation of the ISIs (0 for perfectly regular trains).
+    pub fn isi_cv(&self) -> Option<f64> {
+        let isis = self.isis();
+        if isis.len() < 2 {
+            return None;
+        }
+        let mean = isis.iter().sum::<u64>() as f64 / isis.len() as f64;
+        let var = isis
+            .iter()
+            .map(|&i| (i as f64 - mean).powi(2))
+            .sum::<f64>()
+            / isis.len() as f64;
+        Some(var.sqrt() / mean)
+    }
+
+    /// Lengths of maximal runs of consecutive-tick spikes (bursts).
+    pub fn burst_lengths(&self) -> Vec<usize> {
+        let mut runs = Vec::new();
+        let mut current = 0usize;
+        let mut last: Option<u64> = None;
+        for t in self.spike_times() {
+            match last {
+                Some(prev) if t == prev + 1 => current += 1,
+                _ => {
+                    if current > 0 {
+                        runs.push(current);
+                    }
+                    current = 1;
+                }
+            }
+            last = Some(t);
+        }
+        if current > 0 {
+            runs.push(current);
+        }
+        runs
+    }
+
+    /// Length of the raster in ticks.
+    pub fn len(&self) -> usize {
+        self.spikes.len()
+    }
+
+    /// Whether the raster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spikes.is_empty()
+    }
+
+    /// A compact ASCII rendering (`|` spike, `.` silence), at most 80 columns.
+    pub fn ascii(&self) -> String {
+        self.spikes
+            .iter()
+            .take(80)
+            .map(|&s| if s { '|' } else { '.' })
+            .collect()
+    }
+}
+
+fn result(
+    name: &'static str,
+    description: &'static str,
+    raster: Vec<bool>,
+    achieved: bool,
+    metric: String,
+) -> BehaviorResult {
+    BehaviorResult {
+        name,
+        description,
+        raster: Raster::new(raster),
+        achieved,
+        metric,
+    }
+}
+
+/// Behaviour 1 — Tonic spiking: constant drive → perfectly regular firing.
+pub fn tonic_spiking() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let n = net.add_neuron(presets::relay(5, 20));
+    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    let raster = net.run(200, n, |_| vec![true]);
+    let r = Raster::new(raster.clone());
+    let regular = r.isi_cv().map(|cv| cv < 1e-9).unwrap_or(false);
+    let achieved = r.count() >= 40 && regular;
+    let metric = format!("{} spikes, CV {:.3}", r.count(), r.isi_cv().unwrap_or(f64::NAN));
+    result(
+        "tonic spiking",
+        "relay neuron, constant 1 spike/tick drive",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 2 — Integrator: coincident inputs fire, temporally separated ones decay away.
+pub fn integrator() -> BehaviorResult {
+    let mut net = MicroNet::new(2);
+    let n = net.add_neuron(presets::leaky_integrator(5, 8, 2));
+    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(1), n, AxonType::A0, 1).unwrap();
+    let raster = net.run(60, n, |t| match t {
+        10 => vec![true, true],         // coincident pair
+        30 => vec![true, false],        // separated pair
+        32 => vec![false, true],
+        _ => vec![false, false],
+    });
+    let r = Raster::new(raster.clone());
+    let achieved = r.count_in(10, 14) == 1 && r.count_in(29, 45) == 0;
+    let metric = format!(
+        "coincident→{} spike(s), separated→{}",
+        r.count_in(10, 14),
+        r.count_in(29, 45)
+    );
+    result(
+        "integrator",
+        "leaky integrator; fires for coincident, not separated, input pairs",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 3 — Phasic spiking: one spike at stimulus onset, then silence under
+/// sustained drive (delayed feed-forward inhibition cancels the input).
+pub fn phasic_spiking() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let n = net.add_neuron(presets::relay(5, 12));
+    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), n, AxonType::A3, 5).unwrap();
+    let raster = net.run(100, n, |_| vec![true]);
+    let r = Raster::new(raster.clone());
+    let achieved = r.count() == 1 && r.count_in(0, 8) == 1;
+    let metric = format!("{} spike(s), first at {:?}", r.count(), r.spike_times().first());
+    result(
+        "phasic spiking",
+        "excitation (delay 1) + matched inhibition (delay 5) from the same drive",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 4 — Phasic bursting: a short onset burst, then silence.
+pub fn phasic_bursting() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let n = net.add_neuron(presets::relay(5, 4));
+    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), n, AxonType::A3, 5).unwrap();
+    let raster = net.run(100, n, |_| vec![true]);
+    let r = Raster::new(raster.clone());
+    let achieved = (3..=6).contains(&r.count()) && r.count_in(8, 100) == 0;
+    let metric = format!("burst of {} then silence", r.count());
+    result(
+        "phasic bursting",
+        "as phasic spiking with a low threshold: onset burst only",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 5 — Tonic bursting: recurring bursts separated by quiet gaps, produced by a
+/// slow inhibitory integrator with a multi-delay inhibition volley.
+pub fn tonic_bursting() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let e = net.add_neuron(
+        NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(5))
+            .weight(AxonType::A3, Weight::saturating(-100))
+            .threshold(4)
+            .negative_threshold(0)
+            .build()
+            .unwrap(),
+    );
+    let i = net.add_neuron(
+        NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(2))
+            .threshold(7)
+            .build()
+            .unwrap(),
+    );
+    net.connect(Source::External(0), e, AxonType::A0, 1).unwrap();
+    net.connect(Source::Neuron(e), i, AxonType::A0, 1).unwrap();
+    for delay in 1..=6 {
+        net.connect(Source::Neuron(i), e, AxonType::A3, delay).unwrap();
+    }
+    let raster = net.run(120, e, |_| vec![true]);
+    let r = Raster::new(raster.clone());
+    let bursts = r.burst_lengths();
+    let long_bursts = bursts.iter().filter(|&&b| b >= 3).count();
+    let has_gaps = r.isis().iter().any(|&g| g >= 4);
+    let achieved = long_bursts >= 3 && has_gaps && r.count() >= 12;
+    let metric = format!("{} bursts (lengths {:?})", bursts.len(), bursts);
+    result(
+        "tonic bursting",
+        "slow inhibitory integrator fires a 6-tick inhibition volley after every 4th spike",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 6 — Spike-frequency adaptation: the firing rate declines under constant
+/// drive as latch interneurons accumulate and add persistent inhibition.
+pub fn spike_frequency_adaptation() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let e = net.add_neuron(
+        NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(6))
+            .weight(AxonType::A3, Weight::saturating(-2))
+            .threshold(12)
+            .negative_threshold(0)
+            .build()
+            .unwrap(),
+    );
+    let i1 = net.add_neuron(presets::latch(1, 4));
+    let i2 = net.add_neuron(presets::latch(1, 8));
+    net.connect(Source::External(0), e, AxonType::A0, 1).unwrap();
+    net.connect(Source::Neuron(e), i1, AxonType::A0, 1).unwrap();
+    net.connect(Source::Neuron(e), i2, AxonType::A0, 1).unwrap();
+    net.connect(Source::Neuron(i1), e, AxonType::A3, 1).unwrap();
+    net.connect(Source::Neuron(i2), e, AxonType::A3, 1).unwrap();
+    let raster = net.run(150, e, |_| vec![true]);
+    let r = Raster::new(raster.clone());
+    let isis = r.isis();
+    let achieved = isis.len() >= 6 && {
+        let head: f64 = isis[..3].iter().sum::<u64>() as f64 / 3.0;
+        let tail: f64 = isis[isis.len() - 3..].iter().sum::<u64>() as f64 / 3.0;
+        tail > head && r.count_in(100, 150) > 0
+    };
+    let metric = format!("ISIs {:?}", &isis[..isis.len().min(10)]);
+    result(
+        "spike-frequency adaptation",
+        "latch interneurons accumulate spikes and add stepwise persistent inhibition",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+fn rate_with_drive(config: &NeuronConfig, self_excite: Option<i32>, drive: usize, ticks: u64) -> f64 {
+    let mut net = MicroNet::new(drive.max(1));
+    let n = net.add_neuron(config.clone());
+    for c in 0..drive {
+        net.connect(Source::External(c), n, AxonType::A0, 1).unwrap();
+    }
+    if let Some(w) = self_excite {
+        // Self-excitation uses axon type A1.
+        let mut cfg = config.clone();
+        cfg.weights[AxonType::A1.index()] = Weight::saturating(w);
+        // Rebuild the net with the updated config.
+        let mut net2 = MicroNet::new(drive.max(1));
+        let n2 = net2.add_neuron(cfg);
+        for c in 0..drive {
+            net2.connect(Source::External(c), n2, AxonType::A0, 1).unwrap();
+        }
+        net2.connect(Source::Neuron(n2), n2, AxonType::A1, 1).unwrap();
+        let raster = net2.run(ticks, n2, |_| vec![true; drive.max(1)]);
+        return Raster::new(raster).count() as f64 / ticks as f64;
+    }
+    let raster = net.run(ticks, n, |_| vec![true; drive.max(1)]);
+    Raster::new(raster).count() as f64 / ticks as f64
+}
+
+/// Behaviour 7 — Class-1 excitability: firing rate proportional to drive strength,
+/// starting from arbitrarily low rates.
+pub fn class_1_excitable() -> BehaviorResult {
+    let config = presets::rate_divider(64);
+    let r16 = rate_with_drive(&config, None, 16, 640);
+    let r32 = rate_with_drive(&config, None, 32, 640);
+    let r64 = rate_with_drive(&config, None, 64, 640);
+    let prop = (r32 / r16 - 2.0).abs() < 0.3 && (r64 / r32 - 2.0).abs() < 0.3;
+    let achieved = prop && r16 > 0.0;
+    let metric = format!("rates {r16:.3}/{r32:.3}/{r64:.3} for drives 16/32/64");
+    result(
+        "class-1 excitable",
+        "linear-reset integrator: rate = drive/threshold, continuous from zero",
+        Vec::new(),
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 8 — Class-2 excitability: no firing below an onset drive, then an abruptly
+/// high rate at onset (self-excitation creates the jump).
+pub fn class_2_excitable() -> BehaviorResult {
+    let config = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(1))
+        .threshold(12)
+        .build()
+        .unwrap();
+    let r0 = rate_with_drive(&config, Some(6), 0, 600);
+    let r1 = rate_with_drive(&config, Some(6), 1, 600);
+    let r2 = rate_with_drive(&config, Some(6), 2, 600);
+    let achieved = r0 == 0.0 && r1 >= 0.12 && r2 > r1;
+    let metric = format!("rates {r0:.3}/{r1:.3}/{r2:.3} for drives 0/1/2 (onset jump)");
+    result(
+        "class-2 excitable",
+        "self-excitation sustains a high minimum rate once firing starts",
+        Vec::new(),
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 9 — Spike latency: a brief subthreshold kick produces a delayed single
+/// spike; stronger kicks fire sooner (positive leak-reversal self-drive).
+pub fn spike_latency() -> BehaviorResult {
+    let mut net = MicroNet::new(5);
+    let config = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(1))
+        .leak(1)
+        .leak_reversal(true)
+        .threshold(10)
+        .build()
+        .unwrap();
+    let n = net.add_neuron(config);
+    for c in 0..5 {
+        net.connect(Source::External(c), n, AxonType::A0, 1).unwrap();
+    }
+    let raster = net.run(240, n, |t| match t {
+        20 => vec![true, true, false, false, false], // kick of 2
+        120 => vec![true, true, true, true, true],   // kick of 5
+        _ => vec![false; 5],
+    });
+    let r = Raster::new(raster.clone());
+    let times = r.spike_times();
+    let achieved = times.len() == 2 && {
+        let lat1 = times[0] as i64 - 20;
+        let lat2 = times[1] as i64 - 120;
+        lat1 >= 5 && lat2 >= 2 && lat2 < lat1
+    };
+    let metric = format!("spike times {times:?} for kicks at 20 (s=2) and 120 (s=5)");
+    result(
+        "spike latency",
+        "a subthreshold kick arms a divergent leak; latency shrinks with kick size",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 10 — Resonator: fires only when an input pulse pair matches the delay
+/// difference of its two synapses.
+pub fn resonator() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let n = net.add_neuron(presets::leaky_integrator(5, 5, 5));
+    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 6).unwrap();
+    let raster = net.run(120, n, |t| {
+        // Resonant pair spaced 5 apart; off-resonance pairs spaced 2 and 8.
+        vec![matches!(t, 10 | 15 | 50 | 52 | 90 | 98)]
+    });
+    let r = Raster::new(raster.clone());
+    let achieved = r.count_in(14, 20) == 1 && r.count_in(48, 65) == 0 && r.count_in(88, 110) == 0;
+    let metric = format!(
+        "resonant→{}, interval-2→{}, interval-8→{}",
+        r.count_in(14, 20),
+        r.count_in(48, 65),
+        r.count_in(88, 110)
+    );
+    result(
+        "resonator",
+        "two synapses (delays 1 and 6) make a coincidence window tuned to interval 5",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 11 — Rebound spiking: spikes after the release of inhibition
+/// (disinhibition of a tonically suppressed neuron).
+pub fn rebound_spike() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let e = net.add_neuron(
+        NeuronConfig::builder()
+            .weight(AxonType::A3, Weight::saturating(-8))
+            .leak(2)
+            .threshold(8)
+            .negative_threshold(0)
+            .build()
+            .unwrap(),
+    );
+    let i = net.add_neuron(
+        NeuronConfig::builder()
+            .weight(AxonType::A3, Weight::saturating(-120))
+            .leak(8)
+            .threshold(8)
+            .negative_threshold(150)
+            .build()
+            .unwrap(),
+    );
+    net.connect(Source::Neuron(i), e, AxonType::A3, 1).unwrap();
+    net.connect(Source::External(0), i, AxonType::A3, 1).unwrap();
+    let raster = net.run(120, e, |t| vec![t == 50]);
+    let r = Raster::new(raster.clone());
+    let achieved = r.count_in(20, 50) == 0 && r.count_in(51, 72) >= 2 && r.count_in(85, 120) == 0;
+    let metric = format!(
+        "pre {}, rebound {}, post {}",
+        r.count_in(20, 50),
+        r.count_in(51, 72),
+        r.count_in(85, 120)
+    );
+    result(
+        "rebound spiking",
+        "an inhibitory pulse silences the suppressor; the target fires during release",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 12 — Threshold variability: with a stochastic threshold the same input
+/// sometimes fires and sometimes does not.
+pub fn threshold_variability() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let config = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(12))
+        .leak(-4)
+        .leak_reversal(true)
+        .threshold(4)
+        .threshold_mask_bits(4)
+        .negative_threshold(0)
+        .build()
+        .unwrap();
+    let n = net.add_neuron(config);
+    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    let presentations = 60u64;
+    let raster = net.run(presentations * 10, n, |t| vec![t % 10 == 0]);
+    let r = Raster::new(raster.clone());
+    let responses = (0..presentations)
+        .filter(|p| r.count_in(p * 10 + 1, p * 10 + 5) > 0)
+        .count();
+    let fraction = responses as f64 / presentations as f64;
+    let achieved = (0.1..0.7).contains(&fraction);
+    let metric = format!("response fraction {fraction:.2} over {presentations} identical pulses");
+    result(
+        "threshold variability",
+        "stochastic threshold (4-bit jitter) makes identical pulses fire probabilistically",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 13 — Bistability: an excitatory pulse switches persistent firing on; an
+/// inhibitory pulse switches it off (self-excitatory latch).
+pub fn bistability() -> BehaviorResult {
+    let mut net = MicroNet::new(2);
+    let config = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(10))
+        .weight(AxonType::A1, Weight::saturating(10))
+        .weight(AxonType::A3, Weight::saturating(-30))
+        .threshold(10)
+        .negative_threshold(0)
+        .build()
+        .unwrap();
+    let n = net.add_neuron(config);
+    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(1), n, AxonType::A3, 1).unwrap();
+    net.connect(Source::Neuron(n), n, AxonType::A1, 1).unwrap();
+    let raster = net.run(100, n, |t| vec![t == 20, t == 60]);
+    let r = Raster::new(raster.clone());
+    let achieved =
+        r.count_in(0, 20) == 0 && r.count_in(25, 60) == 35 && r.count_in(65, 100) == 0;
+    let metric = format!(
+        "off {}, on {}, off {}",
+        r.count_in(0, 20),
+        r.count_in(25, 60),
+        r.count_in(65, 100)
+    );
+    result(
+        "bistability",
+        "self-excitatory latch: pulse on at t=20, pulse off at t=60",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 14 — Accommodation: a slow ramp delivering N units never fires; the same N
+/// units delivered at once do.
+pub fn accommodation() -> BehaviorResult {
+    let mut net = MicroNet::new(8);
+    let n = net.add_neuron(presets::leaky_integrator(1, 6, 2));
+    for c in 0..8 {
+        net.connect(Source::External(c), n, AxonType::A0, 1).unwrap();
+    }
+    let raster = net.run(100, n, |t| {
+        if (10..26).contains(&t) {
+            // Ramp: one unit per tick, 16 units total.
+            let mut v = vec![false; 8];
+            v[0] = true;
+            v
+        } else if t == 60 {
+            vec![true; 8] // Step: 8 units at once.
+        } else {
+            vec![false; 8]
+        }
+    });
+    let r = Raster::new(raster.clone());
+    let achieved = r.count_in(0, 59) == 0 && r.count_in(59, 64) == 1;
+    let metric = format!(
+        "ramp→{} spikes, step→{}",
+        r.count_in(0, 59),
+        r.count_in(59, 64)
+    );
+    result(
+        "accommodation",
+        "leaky integration ignores a slow ramp but fires for the same charge as a step",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 15 — Inhibition-induced spiking: the observed neuron fires only while an
+/// external *inhibitory* drive is present (it silences a tonic suppressor).
+pub fn inhibition_induced_spiking() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let e = net.add_neuron(
+        NeuronConfig::builder()
+            .weight(AxonType::A3, Weight::saturating(-8))
+            .leak(4)
+            .threshold(8)
+            .negative_threshold(0)
+            .build()
+            .unwrap(),
+    );
+    let g = net.add_neuron(
+        NeuronConfig::builder()
+            .weight(AxonType::A3, Weight::saturating(-16))
+            .leak(8)
+            .threshold(8)
+            .negative_threshold(0)
+            .build()
+            .unwrap(),
+    );
+    net.connect(Source::Neuron(g), e, AxonType::A3, 1).unwrap();
+    net.connect(Source::External(0), g, AxonType::A3, 1).unwrap();
+    let raster = net.run(120, e, |t| vec![(40..80).contains(&t)]);
+    let r = Raster::new(raster.clone());
+    let achieved = r.count_in(10, 41) == 0 && r.count_in(42, 80) >= 10 && r.count_in(90, 120) == 0;
+    let metric = format!(
+        "before {}, during inhibition {}, after {}",
+        r.count_in(10, 41),
+        r.count_in(42, 80),
+        r.count_in(90, 120)
+    );
+    result(
+        "inhibition-induced spiking",
+        "inhibitory drive silences a tonic suppressor, releasing the observed neuron",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 16 — Spontaneous (stochastic) firing: irregular spikes with no input at all.
+pub fn spontaneous_firing() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    net.seed(0xBEE5);
+    let n = net.add_neuron(presets::spontaneous(64, 2));
+    let raster = net.run(400, n, |_| vec![false]);
+    let r = Raster::new(raster.clone());
+    let cv = r.isi_cv().unwrap_or(0.0);
+    let achieved = r.count() >= 15 && cv >= 0.25;
+    let metric = format!("{} spontaneous spikes, ISI CV {cv:.2}", r.count());
+    result(
+        "spontaneous firing",
+        "stochastic leak as an internal noise source; no external input",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 17 — Irregular spiking: constant drive through stochastic synapses yields
+/// an irregular (high-CV) spike train.
+pub fn irregular_spiking() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    net.seed(0xACE1);
+    let config = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(96))
+        .stochastic_synapse(AxonType::A0, true)
+        .threshold(2)
+        .build()
+        .unwrap();
+    let n = net.add_neuron(config);
+    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    let raster = net.run(400, n, |_| vec![true]);
+    let r = Raster::new(raster.clone());
+    let cv = r.isi_cv().unwrap_or(0.0);
+    let achieved = r.count() >= 30 && cv >= 0.25;
+    let metric = format!("{} spikes under constant drive, ISI CV {cv:.2}", r.count());
+    result(
+        "irregular spiking",
+        "stochastic synapse turns a regular drive into an irregular train",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 18 — Depolarising after-potential: resetting *above* rest shortens the
+/// post-spike ISI relative to the initial latency.
+pub fn depolarizing_after_potential() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let config = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(4))
+        .threshold(10)
+        .reset_potential(6)
+        .build()
+        .unwrap();
+    let n = net.add_neuron(config);
+    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    let raster = net.run(60, n, |_| vec![true]);
+    let r = Raster::new(raster.clone());
+    let times = r.spike_times();
+    let achieved = !times.is_empty()
+        && r.mean_isi().map(|isi| (times[0] as f64) > isi).unwrap_or(false);
+    let metric = format!(
+        "first latency {:?}, mean ISI {:?}",
+        times.first(),
+        r.mean_isi()
+    );
+    result(
+        "depolarising after-potential",
+        "reset above rest (R=6): subsequent ISIs shorter than the initial latency",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Behaviour 19 — Mixed mode: an onset burst followed by sustained slower tonic firing
+/// (partial delayed inhibition).
+pub fn mixed_mode() -> BehaviorResult {
+    let mut net = MicroNet::new(1);
+    let config = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(6))
+        .weight(AxonType::A3, Weight::saturating(-4))
+        .threshold(6)
+        .negative_threshold(0)
+        .build()
+        .unwrap();
+    let n = net.add_neuron(config);
+    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), n, AxonType::A3, 6).unwrap();
+    let raster = net.run(120, n, |_| vec![true]);
+    let r = Raster::new(raster.clone());
+    let onset_burst = r.count_in(0, 6) >= 4;
+    let late_times: Vec<u64> = r.spike_times().into_iter().filter(|&t| t >= 10).collect();
+    let late_sparse = late_times.windows(2).all(|w| w[1] - w[0] >= 2);
+    let achieved = onset_burst && late_sparse && r.count_in(60, 120) >= 5;
+    let metric = format!(
+        "onset burst {}, late spikes {} (all ISIs ≥ 2: {late_sparse})",
+        r.count_in(0, 6),
+        r.count_in(60, 120)
+    );
+    result(
+        "mixed mode",
+        "full drive at onset, partially cancelled by delayed inhibition afterwards",
+        raster,
+        achieved,
+        metric,
+    )
+}
+
+/// Runs the complete behaviour catalogue.
+pub fn run_all() -> Vec<BehaviorResult> {
+    vec![
+        tonic_spiking(),
+        integrator(),
+        phasic_spiking(),
+        phasic_bursting(),
+        tonic_bursting(),
+        spike_frequency_adaptation(),
+        class_1_excitable(),
+        class_2_excitable(),
+        spike_latency(),
+        resonator(),
+        rebound_spike(),
+        threshold_variability(),
+        bistability(),
+        accommodation(),
+        inhibition_induced_spiking(),
+        spontaneous_firing(),
+        irregular_spiking(),
+        depolarizing_after_potential(),
+        mixed_mode(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raster_stats() {
+        let r = Raster::new(vec![false, true, false, false, true, true, true, false]);
+        assert_eq!(r.count(), 4);
+        assert_eq!(r.spike_times(), vec![1, 4, 5, 6]);
+        assert_eq!(r.isis(), vec![3, 1, 1]);
+        assert_eq!(r.burst_lengths(), vec![1, 3]);
+        assert!(r.mean_isi().unwrap() > 1.0);
+        assert_eq!(r.count_in(4, 7), 3);
+    }
+
+    #[test]
+    fn raster_ascii_marks_spikes() {
+        let r = Raster::new(vec![true, false, true]);
+        assert_eq!(r.ascii(), "|.|");
+    }
+
+    #[test]
+    fn all_behaviors_achieved() {
+        for b in run_all() {
+            assert!(
+                b.achieved,
+                "behaviour '{}' failed: {} | raster: {}",
+                b.name,
+                b.metric,
+                b.raster.ascii()
+            );
+        }
+    }
+
+    #[test]
+    fn catalogue_is_complete() {
+        assert_eq!(run_all().len(), 19);
+    }
+}

@@ -1,0 +1,175 @@
+//! The deterministic pseudo-random source used by the stochastic neuron modes.
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-bit Galois linear-feedback shift register.
+///
+/// Neurosynaptic cores use a hardware LFSR per core rather than a software
+/// RNG: every stochastic draw must be cheap, reproducible, and identical
+/// between the simulator and the silicon. The taps implement the maximal
+/// polynomial `x^32 + x^22 + x^2 + x + 1`, giving a period of `2^32 - 1`.
+///
+/// # Example
+///
+/// ```
+/// use brainsim_neuron::Lfsr;
+///
+/// let mut a = Lfsr::new(42);
+/// let mut b = Lfsr::new(42);
+/// assert_eq!(a.next_u8(), b.next_u8()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lfsr {
+    state: u32,
+}
+
+/// Taps for the maximal-length polynomial `x^32 + x^22 + x^2 + x + 1`.
+const TAPS: u32 = 0x8020_0003;
+
+impl Lfsr {
+    /// Creates an LFSR from a seed.
+    ///
+    /// A zero seed is remapped to a fixed non-zero constant: the all-zero
+    /// state is the one fixed point of an LFSR and would never advance.
+    #[inline]
+    pub const fn new(seed: u32) -> Lfsr {
+        let state = if seed == 0 { 0xDEAD_BEEF } else { seed };
+        Lfsr { state }
+    }
+
+    /// Advances one step and returns the full 32-bit state.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb != 0 {
+            self.state ^= TAPS;
+        }
+        self.state
+    }
+
+    /// Draws 8 pseudo-random bits.
+    ///
+    /// This is the draw width used by stochastic synapse and leak modes,
+    /// which compare against a weight magnitude in `0..=256`.
+    #[inline]
+    pub fn next_u8(&mut self) -> u8 {
+        (self.next_u32() & 0xFF) as u8
+    }
+
+    /// Draws a value masked to the low `bits` bits (`bits <= 32`).
+    ///
+    /// Used by the stochastic-threshold mode, where the mask width sets the
+    /// amount of threshold jitter.
+    #[inline]
+    pub fn next_masked(&mut self, bits: u32) -> u32 {
+        debug_assert!(bits <= 32);
+        if bits == 0 {
+            return 0;
+        }
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        self.next_u32() & mask
+    }
+
+    /// A Bernoulli draw: `true` with probability `numerator / 256`.
+    ///
+    /// `numerator` values of 256 or more always return `true`.
+    #[inline]
+    pub fn bernoulli_256(&mut self, numerator: u32) -> bool {
+        (self.next_u8() as u32) < numerator
+    }
+
+    /// The current internal state (for snapshotting).
+    #[inline]
+    pub const fn state(&self) -> u32 {
+        self.state
+    }
+}
+
+impl Default for Lfsr {
+    fn default() -> Self {
+        Lfsr::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut z = Lfsr::new(0);
+        // Must advance rather than sticking at zero.
+        let first = z.next_u32();
+        assert_ne!(first, (0xDEAD_BEEF >> 1)); // advanced
+        assert_ne!(z.state(), 0);
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Lfsr::new(7);
+        let mut b = Lfsr::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Lfsr::new(7);
+        let mut b = Lfsr::new(8);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 5, "streams should differ almost everywhere");
+    }
+
+    #[test]
+    fn never_reaches_zero_state() {
+        let mut rng = Lfsr::new(123);
+        for _ in 0..100_000 {
+            assert_ne!(rng.next_u32(), 0);
+        }
+    }
+
+    #[test]
+    fn u8_draws_cover_range_roughly_uniformly() {
+        let mut rng = Lfsr::new(99);
+        let mut histogram = [0u32; 256];
+        let draws = 256 * 400;
+        for _ in 0..draws {
+            histogram[rng.next_u8() as usize] += 1;
+        }
+        let expected = draws as f64 / 256.0;
+        for (value, &count) in histogram.iter().enumerate() {
+            let ratio = count as f64 / expected;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "value {value} count {count} far from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn bernoulli_probability_matches_numerator() {
+        let mut rng = Lfsr::new(5);
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| rng.bernoulli_256(64)).count();
+        let p = hits as f64 / trials as f64;
+        assert!((p - 0.25).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Lfsr::new(5);
+        assert!(!(0..1000).any(|_| rng.bernoulli_256(0)));
+        assert!((0..1000).all(|_| rng.bernoulli_256(256)));
+    }
+
+    #[test]
+    fn masked_draw_respects_mask() {
+        let mut rng = Lfsr::new(17);
+        for _ in 0..1000 {
+            assert!(rng.next_masked(4) < 16);
+        }
+        assert_eq!(rng.next_masked(0), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # brainsim-neuron
+//!
+//! The digital neuron model at the heart of a TrueNorth-class neurosynaptic
+//! core: an *augmented leaky integrate-and-fire* neuron evaluated once per
+//! global 1 ms tick, using only integer arithmetic so that software and
+//! silicon are one-to-one.
+//!
+//! The model extends plain LIF with:
+//!
+//! * **Axon-type weight sharing** — each incoming axon carries one of four
+//!   *axon types*; each neuron holds a signed 9-bit weight per type
+//!   ([`Weight`], [`AxonType`]). This is what lets a 256×256 binary crossbar
+//!   stand in for a full weight matrix.
+//! * **Stochastic modes** — synaptic integration, leak and threshold can each
+//!   be made stochastic, driven by a deterministic per-core LFSR ([`Lfsr`]).
+//! * **Configurable leak** — signed leak with an optional *leak-reversal*
+//!   flag that makes the leak direction follow the sign of the membrane
+//!   potential (decay toward, or divergence away from, zero).
+//! * **Three reset modes and a negative threshold** — see [`ResetMode`] and
+//!   [`NegativeThresholdMode`].
+//!
+//! A single parameterisation of this neuron, optionally combined with one or
+//! two helper neurons and axonal delays, reproduces the canonical set of
+//! biological spiking behaviours; see the [`behavior`] module.
+//!
+//! ## Example
+//!
+//! ```
+//! use brainsim_neuron::{AxonType, Lfsr, Neuron, NeuronConfig, Weight};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = NeuronConfig::builder()
+//!     .weight(AxonType::A0, Weight::new(5)?)
+//!     .threshold(20)
+//!     .build()?;
+//! let mut neuron = Neuron::new(config);
+//! let mut rng = Lfsr::new(1);
+//!
+//! let mut first_spike = None;
+//! for tick in 0..10 {
+//!     neuron.integrate(AxonType::A0, &mut rng);
+//!     if neuron.finish_tick(&mut rng).fired() && first_spike.is_none() {
+//!         first_spike = Some(tick);
+//!     }
+//! }
+//! // 5 units/tick against a threshold of 20 crosses on the fourth tick.
+//! assert_eq!(first_spike, Some(3));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod lfsr;
+mod neuron;
+mod weight;
+
+pub mod behavior;
+pub mod micro;
+pub mod presets;
+
+pub use config::{
+    ConfigError, NegativeThresholdMode, NeuronConfig, NeuronConfigBuilder, ResetMode,
+};
+pub use lfsr::Lfsr;
+pub use neuron::{Neuron, TickOutcome, POTENTIAL_MAX, POTENTIAL_MIN};
+pub use weight::{AxonType, Weight, WeightError, AXON_TYPES};

@@ -1,0 +1,348 @@
+//! A tiny multi-neuron harness with delayed synapses.
+//!
+//! [`MicroNet`] wires a handful of neurons together with axonal delays
+//! (1–15 ticks, like the core scheduler) without pulling in the full
+//! crossbar machinery. It exists for two reasons:
+//!
+//! * the canonical biological behaviours (see [`crate::behavior`]) are
+//!   realised by one-to-three neuron circuits, exactly as they are on the
+//!   silicon;
+//! * it provides a minimal, easily-auditable reference for the delay
+//!   semantics the core scheduler must honour.
+//!
+//! # Example
+//!
+//! ```
+//! use brainsim_neuron::micro::{MicroNet, Source};
+//! use brainsim_neuron::{AxonType, NeuronConfig, Weight};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = MicroNet::new(1);
+//! let config = NeuronConfig::builder()
+//!     .threshold(10)
+//!     .weight(AxonType::A0, Weight::new(10)?)
+//!     .build()?;
+//! let n = net.add_neuron(config);
+//! net.connect(Source::External(0), n, AxonType::A0, 1)?;
+//!
+//! let fired = net.step(&[true]); // input presented at tick 0...
+//! assert!(!fired[n]);
+//! let fired = net.step(&[false]); // ...arrives after the 1-tick delay
+//! assert!(fired[n]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use crate::config::NeuronConfig;
+use crate::lfsr::Lfsr;
+use crate::neuron::Neuron;
+use crate::weight::AxonType;
+
+/// Maximum axonal delay in ticks (the scheduler wheel is 16 deep; a delay of
+/// 0 would mean same-tick delivery, which the architecture forbids).
+pub const MAX_DELAY: u8 = 15;
+
+/// Where a synapse originates: an external input channel or another neuron.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// External input channel, indexed from 0.
+    External(usize),
+    /// A neuron inside the net, by index.
+    Neuron(usize),
+}
+
+/// Error for invalid [`MicroNet`] wiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Delay must be in `1..=MAX_DELAY`.
+    BadDelay(u8),
+    /// Referenced neuron index does not exist.
+    NoSuchNeuron(usize),
+    /// Referenced external channel is beyond the declared channel count.
+    NoSuchChannel(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadDelay(d) => write!(f, "axonal delay {d} outside 1..={MAX_DELAY}"),
+            WireError::NoSuchNeuron(i) => write!(f, "neuron index {i} does not exist"),
+            WireError::NoSuchChannel(c) => write!(f, "external channel {c} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[derive(Debug, Clone)]
+struct Synapse {
+    source: Source,
+    target: usize,
+    ty: AxonType,
+    delay: u8,
+}
+
+/// A small network of neurons with delayed synapses and external inputs.
+#[derive(Debug, Clone)]
+pub struct MicroNet {
+    neurons: Vec<Neuron>,
+    synapses: Vec<Synapse>,
+    channels: usize,
+    rng: Lfsr,
+    /// 16-slot delivery wheel: `wheel[t % 16]` holds `(target, axon type)`
+    /// events due for integration at tick `t`.
+    wheel: [Vec<(usize, AxonType)>; 16],
+    now: u64,
+}
+
+impl MicroNet {
+    /// Creates an empty net with the given number of external input channels.
+    pub fn new(channels: usize) -> MicroNet {
+        MicroNet {
+            neurons: Vec::new(),
+            synapses: Vec::new(),
+            channels,
+            rng: Lfsr::new(0x5EED),
+            wheel: Default::default(),
+            now: 0,
+        }
+    }
+
+    /// Replaces the stochastic-mode random stream seed.
+    pub fn seed(&mut self, seed: u32) {
+        self.rng = Lfsr::new(seed);
+    }
+
+    /// Adds a neuron and returns its index.
+    pub fn add_neuron(&mut self, config: NeuronConfig) -> usize {
+        self.neurons.push(Neuron::new(config));
+        self.neurons.len() - 1
+    }
+
+    /// Wires `source → target` with the given axon type and delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if the delay is outside `1..=15` or either
+    /// endpoint does not exist.
+    pub fn connect(
+        &mut self,
+        source: Source,
+        target: usize,
+        ty: AxonType,
+        delay: u8,
+    ) -> Result<(), WireError> {
+        if delay == 0 || delay > MAX_DELAY {
+            return Err(WireError::BadDelay(delay));
+        }
+        if target >= self.neurons.len() {
+            return Err(WireError::NoSuchNeuron(target));
+        }
+        match source {
+            Source::Neuron(i) if i >= self.neurons.len() => return Err(WireError::NoSuchNeuron(i)),
+            Source::External(c) if c >= self.channels => return Err(WireError::NoSuchChannel(c)),
+            _ => {}
+        }
+        self.synapses.push(Synapse { source, target, ty, delay });
+        Ok(())
+    }
+
+    /// Number of neurons in the net.
+    pub fn len(&self) -> usize {
+        self.neurons.len()
+    }
+
+    /// Whether the net has no neurons.
+    pub fn is_empty(&self) -> bool {
+        self.neurons.is_empty()
+    }
+
+    /// Read access to a neuron (e.g. to inspect its potential in tests).
+    pub fn neuron(&self, index: usize) -> Option<&Neuron> {
+        self.neurons.get(index)
+    }
+
+    /// The current tick counter.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances one tick.
+    ///
+    /// `external[c]` is whether channel `c` carries a spike *this* tick; it
+    /// reaches its targets after each synapse's delay. Returns which neurons
+    /// fired this tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `external` is shorter than the declared channel count.
+    pub fn step(&mut self, external: &[bool]) -> Vec<bool> {
+        assert!(
+            external.len() >= self.channels,
+            "expected {} external channels, got {}",
+            self.channels,
+            external.len()
+        );
+        // 1. Integrate events scheduled for this tick.
+        let slot = (self.now % 16) as usize;
+        let due = std::mem::take(&mut self.wheel[slot]);
+        for (target, ty) in due {
+            self.neurons[target].integrate(ty, &mut self.rng);
+        }
+
+        // 2. Leak + threshold + reset.
+        let mut fired = vec![false; self.neurons.len()];
+        for (i, neuron) in self.neurons.iter_mut().enumerate() {
+            fired[i] = neuron.finish_tick(&mut self.rng).fired();
+        }
+
+        // 3. Schedule deliveries from this tick's spikes and inputs.
+        for syn in &self.synapses {
+            let active = match syn.source {
+                Source::External(c) => external[c],
+                Source::Neuron(i) => fired[i],
+            };
+            if active {
+                let at = ((self.now + syn.delay as u64) % 16) as usize;
+                self.wheel[at].push((syn.target, syn.ty));
+            }
+        }
+
+        self.now += 1;
+        fired
+    }
+
+    /// Runs `ticks` steps with a stimulus function mapping tick → channel
+    /// spikes, recording the observed neuron's spike train.
+    pub fn run<F>(&mut self, ticks: u64, observe: usize, mut stimulus: F) -> Vec<bool>
+    where
+        F: FnMut(u64) -> Vec<bool>,
+    {
+        let mut raster = Vec::with_capacity(ticks as usize);
+        for t in 0..ticks {
+            let input = stimulus(t);
+            let fired = self.step(&input);
+            raster.push(fired[observe]);
+        }
+        raster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weight::Weight;
+
+    fn fire_on_one(threshold: u32, w: i32) -> NeuronConfig {
+        NeuronConfig::builder()
+            .threshold(threshold)
+            .weight(AxonType::A0, Weight::new(w).unwrap())
+            .weight(AxonType::A3, Weight::new(-w).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn delay_semantics_exact() {
+        let mut net = MicroNet::new(1);
+        let n = net.add_neuron(fire_on_one(5, 5));
+        net.connect(Source::External(0), n, AxonType::A0, 3).unwrap();
+        let mut spikes = Vec::new();
+        for t in 0..8 {
+            let fired = net.step(&[t == 0]);
+            spikes.push(fired[n]);
+        }
+        // Input at tick 0 with delay 3 integrates at tick 3.
+        assert_eq!(spikes, vec![false, false, false, true, false, false, false, false]);
+    }
+
+    #[test]
+    fn neuron_to_neuron_chain() {
+        let mut net = MicroNet::new(1);
+        let a = net.add_neuron(fire_on_one(5, 5));
+        let b = net.add_neuron(fire_on_one(5, 5));
+        net.connect(Source::External(0), a, AxonType::A0, 1).unwrap();
+        net.connect(Source::Neuron(a), b, AxonType::A0, 1).unwrap();
+        let mut raster_b = Vec::new();
+        for t in 0..5 {
+            let fired = net.step(&[t == 0]);
+            raster_b.push(fired[b]);
+        }
+        // input@0 → a fires @1 → b fires @2.
+        assert_eq!(raster_b, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn inhibition_cancels_excitation() {
+        let mut net = MicroNet::new(2);
+        let n = net.add_neuron(fire_on_one(5, 5));
+        net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+        net.connect(Source::External(1), n, AxonType::A3, 1).unwrap();
+        for _ in 0..10 {
+            let fired = net.step(&[true, true]);
+            assert!(!fired[n]);
+        }
+        assert_eq!(net.neuron(n).unwrap().potential(), 0);
+    }
+
+    #[test]
+    fn wiring_validation() {
+        let mut net = MicroNet::new(1);
+        let n = net.add_neuron(fire_on_one(1, 1));
+        assert_eq!(
+            net.connect(Source::External(0), n, AxonType::A0, 0),
+            Err(WireError::BadDelay(0))
+        );
+        assert_eq!(
+            net.connect(Source::External(0), n, AxonType::A0, 16),
+            Err(WireError::BadDelay(16))
+        );
+        assert_eq!(
+            net.connect(Source::External(1), n, AxonType::A0, 1),
+            Err(WireError::NoSuchChannel(1))
+        );
+        assert_eq!(
+            net.connect(Source::Neuron(5), n, AxonType::A0, 1),
+            Err(WireError::NoSuchNeuron(5))
+        );
+        assert_eq!(
+            net.connect(Source::External(0), 9, AxonType::A0, 1),
+            Err(WireError::NoSuchNeuron(9))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "external channels")]
+    fn step_panics_on_short_input() {
+        let mut net = MicroNet::new(2);
+        net.add_neuron(fire_on_one(1, 1));
+        net.step(&[true]);
+    }
+
+    #[test]
+    fn run_records_observed_neuron() {
+        let mut net = MicroNet::new(1);
+        let n = net.add_neuron(fire_on_one(5, 5));
+        net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+        let raster = net.run(6, n, |t| vec![t % 2 == 0]);
+        // Inputs at 0,2,4 → spikes at 1,3,5.
+        assert_eq!(raster, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn wheel_wraps_past_16_ticks() {
+        let mut net = MicroNet::new(1);
+        let n = net.add_neuron(fire_on_one(5, 5));
+        net.connect(Source::External(0), n, AxonType::A0, 15).unwrap();
+        let mut fired_at = Vec::new();
+        for t in 0..40 {
+            let fired = net.step(&[t == 0 || t == 20]);
+            if fired[n] {
+                fired_at.push(t);
+            }
+        }
+        assert_eq!(fired_at, vec![15, 35]);
+    }
+}

@@ -1,0 +1,489 @@
+//! The augmented leaky integrate-and-fire neuron evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{NegativeThresholdMode, NeuronConfig, ResetMode};
+use crate::lfsr::Lfsr;
+use crate::weight::AxonType;
+
+/// Upper saturation bound of the membrane potential (signed 20-bit, as on
+/// silicon): `2^19 − 1`.
+pub const POTENTIAL_MAX: i32 = (1 << 19) - 1;
+/// Lower saturation bound of the membrane potential: `−2^19`.
+pub const POTENTIAL_MIN: i32 = -(1 << 19);
+
+/// The result of one tick of neuron evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TickOutcome {
+    fired: bool,
+    potential: i32,
+}
+
+impl TickOutcome {
+    /// Whether the neuron emitted a spike this tick.
+    #[inline]
+    pub const fn fired(self) -> bool {
+        self.fired
+    }
+
+    /// The membrane potential after leak, threshold and reset.
+    #[inline]
+    pub const fn potential(self) -> i32 {
+        self.potential
+    }
+}
+
+/// A neuron: a parameter block plus its one word of state, the membrane
+/// potential.
+///
+/// Per tick the evaluation order is fixed (and matches the token-controller
+/// sequencing of the silicon):
+///
+/// 1. **Synaptic integration** — zero or more [`integrate`] calls, one per
+///    active synapse, in axon order.
+/// 2. **Leak** — applied once inside [`finish_tick`].
+/// 3. **Threshold, fire, reset** — also inside [`finish_tick`].
+///
+/// [`integrate`]: Neuron::integrate
+/// [`finish_tick`]: Neuron::finish_tick
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Neuron {
+    config: NeuronConfig,
+    potential: i32,
+}
+
+impl Neuron {
+    /// Creates a neuron at rest (`V = 0`).
+    pub fn new(config: NeuronConfig) -> Neuron {
+        Neuron { config, potential: 0 }
+    }
+
+    /// Creates a neuron with an explicit initial potential (clamped to the
+    /// representable range).
+    pub fn with_potential(config: NeuronConfig, potential: i32) -> Neuron {
+        Neuron {
+            config,
+            potential: potential.clamp(POTENTIAL_MIN, POTENTIAL_MAX),
+        }
+    }
+
+    /// The neuron's parameter block.
+    #[inline]
+    pub fn config(&self) -> &NeuronConfig {
+        &self.config
+    }
+
+    /// The current membrane potential.
+    #[inline]
+    pub fn potential(&self) -> i32 {
+        self.potential
+    }
+
+    /// Forces the membrane potential (clamped), e.g. when restoring a snapshot.
+    pub fn set_potential(&mut self, potential: i32) {
+        self.potential = potential.clamp(POTENTIAL_MIN, POTENTIAL_MAX);
+    }
+
+    /// Integrates one synaptic event arriving on an axon of type `ty`.
+    ///
+    /// Deterministic synapses add the signed weight; stochastic synapses add
+    /// only the weight's sign, with probability `|w|/256` drawn from `rng`.
+    #[inline]
+    pub fn integrate(&mut self, ty: AxonType, rng: &mut Lfsr) {
+        let weight = self.config.weights[ty.index()];
+        let delta = if self.config.stochastic_synapse[ty.index()] {
+            if rng.bernoulli_256(weight.magnitude()) {
+                weight.signum()
+            } else {
+                0
+            }
+        } else {
+            weight.value()
+        };
+        self.add(delta);
+    }
+
+    /// Integrates `count` synaptic events of the same axon type at once.
+    ///
+    /// Deterministic synapses integrate `count · w` in a single saturating
+    /// step; stochastic synapses perform `count` independent draws. This is
+    /// the canonical batched form used by the core evaluator: because events
+    /// of one type are interchangeable, batching is observationally
+    /// equivalent to `count` separate [`integrate`](Neuron::integrate) calls
+    /// in deterministic mode, and consumes exactly `count` draws in
+    /// stochastic mode.
+    pub fn integrate_count(&mut self, ty: AxonType, count: u32, rng: &mut Lfsr) {
+        if count == 0 {
+            return;
+        }
+        let weight = self.config.weights[ty.index()];
+        if self.config.stochastic_synapse[ty.index()] {
+            let mut delta = 0i64;
+            for _ in 0..count {
+                if rng.bernoulli_256(weight.magnitude()) {
+                    delta += weight.signum() as i64;
+                }
+            }
+            self.add_wide(delta);
+        } else {
+            self.add_wide(weight.value() as i64 * count as i64);
+        }
+    }
+
+    /// Integrates an arbitrary signed amount directly (saturating).
+    ///
+    /// This bypasses the axon-type weight table; it exists for golden
+    /// interpreters and tests that model per-synapse weights exactly,
+    /// while reusing this neuron's leak/threshold/reset semantics.
+    #[inline]
+    pub fn inject_raw(&mut self, delta: i32) {
+        self.add(delta);
+    }
+
+    /// Applies leak, evaluates the thresholds, fires and resets.
+    ///
+    /// Call exactly once per tick, after all [`integrate`](Neuron::integrate)
+    /// calls for the tick.
+    pub fn finish_tick(&mut self, rng: &mut Lfsr) -> TickOutcome {
+        self.apply_leak(rng);
+
+        // Positive threshold. The jitter draw must be consumed every tick in
+        // stochastic-threshold mode to stay aligned with the silicon stream.
+        let alpha = self.config.threshold as i64;
+        let effective = if self.config.threshold_mask_bits > 0 {
+            alpha + rng.next_masked(self.config.threshold_mask_bits) as i64
+        } else {
+            alpha
+        };
+
+        let fired = (self.potential as i64) >= effective;
+        if fired {
+            match self.config.reset_mode {
+                ResetMode::Absolute => self.potential = self.config.reset_potential,
+                ResetMode::Linear => {
+                    self.potential =
+                        (self.potential as i64 - alpha).clamp(POTENTIAL_MIN as i64, POTENTIAL_MAX as i64)
+                            as i32
+                }
+                ResetMode::None => {}
+            }
+        }
+
+        // Negative threshold floor.
+        let beta = self.config.negative_threshold as i64;
+        if (self.potential as i64) < -beta {
+            self.potential = match self.config.negative_mode {
+                NegativeThresholdMode::Saturate => (-beta) as i32,
+                NegativeThresholdMode::Reset => -self.config.reset_potential,
+            };
+        }
+
+        TickOutcome {
+            fired,
+            potential: self.potential,
+        }
+    }
+
+    /// Resets the potential to zero without touching the configuration.
+    pub fn reset_state(&mut self) {
+        self.potential = 0;
+    }
+
+    #[inline]
+    fn apply_leak(&mut self, rng: &mut Lfsr) {
+        let leak = self.config.leak;
+        if leak == 0 {
+            return;
+        }
+        // Leak reversal multiplies by the sign of V (zero potential leaks
+        // positively, matching the silicon's Ω = sign-extension convention
+        // where sgn(0) = +1 keeps quiescent neurons biased by +λ only if
+        // they sit exactly at 0; we use the mathematically cleaner sgn with
+        // sgn(0) = 0 so resting neurons stay at rest).
+        let direction = if self.config.leak_reversal {
+            leak * self.potential.signum()
+        } else {
+            leak
+        };
+        let delta = if self.config.stochastic_leak {
+            if rng.bernoulli_256(direction.unsigned_abs()) {
+                direction.signum()
+            } else {
+                0
+            }
+        } else {
+            direction
+        };
+        self.add(delta);
+    }
+
+    #[inline]
+    fn add(&mut self, delta: i32) {
+        self.potential = self
+            .potential
+            .saturating_add(delta)
+            .clamp(POTENTIAL_MIN, POTENTIAL_MAX);
+    }
+
+    #[inline]
+    fn add_wide(&mut self, delta: i64) {
+        self.potential = (self.potential as i64 + delta)
+            .clamp(POTENTIAL_MIN as i64, POTENTIAL_MAX as i64) as i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NeuronConfig;
+    use crate::weight::Weight;
+
+    fn rng() -> Lfsr {
+        Lfsr::new(0xC0FFEE)
+    }
+
+    fn simple(threshold: u32, weight: i32) -> Neuron {
+        let config = NeuronConfig::builder()
+            .threshold(threshold)
+            .weight(AxonType::A0, Weight::new(weight).unwrap())
+            .build()
+            .unwrap();
+        Neuron::new(config)
+    }
+
+    #[test]
+    fn integrates_deterministic_weight() {
+        let mut n = simple(100, 7);
+        let mut r = rng();
+        n.integrate(AxonType::A0, &mut r);
+        n.integrate(AxonType::A0, &mut r);
+        assert_eq!(n.potential(), 14);
+    }
+
+    #[test]
+    fn fires_at_threshold_and_resets_absolute() {
+        let mut n = simple(10, 5);
+        let mut r = rng();
+        n.integrate(AxonType::A0, &mut r);
+        assert!(!n.finish_tick(&mut r).fired());
+        n.integrate(AxonType::A0, &mut r);
+        let out = n.finish_tick(&mut r);
+        assert!(out.fired());
+        assert_eq!(out.potential(), 0);
+    }
+
+    #[test]
+    fn linear_reset_preserves_surplus() {
+        let config = NeuronConfig::builder()
+            .threshold(10)
+            .weight(AxonType::A0, Weight::new(13).unwrap())
+            .reset_mode(ResetMode::Linear)
+            .build()
+            .unwrap();
+        let mut n = Neuron::new(config);
+        let mut r = rng();
+        n.integrate(AxonType::A0, &mut r);
+        let out = n.finish_tick(&mut r);
+        assert!(out.fired());
+        assert_eq!(out.potential(), 3);
+    }
+
+    #[test]
+    fn non_reset_mode_keeps_firing() {
+        let config = NeuronConfig::builder()
+            .threshold(5)
+            .weight(AxonType::A0, Weight::new(6).unwrap())
+            .reset_mode(ResetMode::None)
+            .build()
+            .unwrap();
+        let mut n = Neuron::new(config);
+        let mut r = rng();
+        n.integrate(AxonType::A0, &mut r);
+        assert!(n.finish_tick(&mut r).fired());
+        // No further input, potential unchanged, still above threshold.
+        assert!(n.finish_tick(&mut r).fired());
+        assert_eq!(n.potential(), 6);
+    }
+
+    #[test]
+    fn negative_threshold_saturates() {
+        let config = NeuronConfig::builder()
+            .threshold(100)
+            .weight(AxonType::A3, Weight::new(-50).unwrap())
+            .negative_threshold(30)
+            .build()
+            .unwrap();
+        let mut n = Neuron::new(config);
+        let mut r = rng();
+        n.integrate(AxonType::A3, &mut r);
+        let out = n.finish_tick(&mut r);
+        assert_eq!(out.potential(), -30);
+    }
+
+    #[test]
+    fn negative_threshold_reset_mode() {
+        let config = NeuronConfig::builder()
+            .threshold(100)
+            .weight(AxonType::A3, Weight::new(-50).unwrap())
+            .negative_threshold(30)
+            .negative_mode(NegativeThresholdMode::Reset)
+            .reset_potential(7)
+            .build()
+            .unwrap();
+        let mut n = Neuron::new(config);
+        let mut r = rng();
+        n.integrate(AxonType::A3, &mut r);
+        assert_eq!(n.finish_tick(&mut r).potential(), -7);
+    }
+
+    #[test]
+    fn leak_decays_with_reversal() {
+        let config = NeuronConfig::builder()
+            .threshold(1000)
+            .weight(AxonType::A0, Weight::new(100).unwrap())
+            .leak(-10)
+            .leak_reversal(true)
+            .build()
+            .unwrap();
+        let mut n = Neuron::new(config);
+        let mut r = rng();
+        n.integrate(AxonType::A0, &mut r);
+        n.finish_tick(&mut r);
+        assert_eq!(n.potential(), 90);
+        // From below zero the reversal flips the leak sign: decay toward 0.
+        n.set_potential(-40);
+        n.finish_tick(&mut r);
+        assert_eq!(n.potential(), -30);
+        // Resting neurons stay at rest.
+        n.set_potential(0);
+        n.finish_tick(&mut r);
+        assert_eq!(n.potential(), 0);
+    }
+
+    #[test]
+    fn plain_leak_is_unconditional_drive() {
+        let config = NeuronConfig::builder()
+            .threshold(25)
+            .leak(10)
+            .build()
+            .unwrap();
+        let mut n = Neuron::new(config);
+        let mut r = rng();
+        assert!(!n.finish_tick(&mut r).fired()); // V = 10
+        assert!(!n.finish_tick(&mut r).fired()); // V = 20
+        assert!(n.finish_tick(&mut r).fired()); // V = 30 >= 25
+    }
+
+    #[test]
+    fn stochastic_synapse_rate_tracks_probability() {
+        let config = NeuronConfig::builder()
+            .threshold(1)
+            .weight(AxonType::A0, Weight::new(64).unwrap())
+            .stochastic_synapse(AxonType::A0, true)
+            .build()
+            .unwrap();
+        let mut n = Neuron::new(config);
+        let mut r = rng();
+        let trials = 20_000;
+        let mut fires = 0;
+        for _ in 0..trials {
+            n.integrate(AxonType::A0, &mut r);
+            if n.finish_tick(&mut r).fired() {
+                fires += 1;
+            }
+            n.reset_state();
+        }
+        let p = fires as f64 / trials as f64;
+        assert!((p - 0.25).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn stochastic_threshold_fires_probabilistically_between_bounds() {
+        let config = NeuronConfig::builder()
+            .threshold(10)
+            .threshold_mask_bits(4) // effective threshold in 10..=25
+            .weight(AxonType::A0, Weight::new(18).unwrap())
+            .build()
+            .unwrap();
+        let mut n = Neuron::new(config);
+        let mut r = rng();
+        let trials = 10_000;
+        let mut fires = 0;
+        for _ in 0..trials {
+            n.integrate(AxonType::A0, &mut r); // V = 18
+            if n.finish_tick(&mut r).fired() {
+                fires += 1;
+            }
+            n.reset_state();
+        }
+        // Fires iff draw <= 8, i.e. 9 of 16 mask values.
+        let p = fires as f64 / trials as f64;
+        assert!((p - 9.0 / 16.0).abs() < 0.03, "p = {p}");
+    }
+
+    #[test]
+    fn integrate_count_matches_repeated_integrate_deterministic() {
+        let mut a = simple(1_000_000, 7);
+        let mut b = a.clone();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..13 {
+            a.integrate(AxonType::A0, &mut r1);
+        }
+        b.integrate_count(AxonType::A0, 13, &mut r2);
+        assert_eq!(a.potential(), b.potential());
+    }
+
+    #[test]
+    fn integrate_count_consumes_one_draw_per_event_stochastic() {
+        let config = NeuronConfig::builder()
+            .threshold(1_000_000)
+            .weight(AxonType::A0, Weight::new(128).unwrap())
+            .stochastic_synapse(AxonType::A0, true)
+            .build()
+            .unwrap();
+        let mut a = Neuron::new(config.clone());
+        let mut b = Neuron::new(config);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..20 {
+            a.integrate(AxonType::A0, &mut r1);
+        }
+        b.integrate_count(AxonType::A0, 20, &mut r2);
+        assert_eq!(a.potential(), b.potential());
+        assert_eq!(r1.state(), r2.state());
+    }
+
+    #[test]
+    fn integrate_count_zero_is_noop_and_consumes_no_draws() {
+        let mut n = simple(10, 5);
+        let mut r = rng();
+        let before = r.state();
+        n.integrate_count(AxonType::A0, 0, &mut r);
+        assert_eq!(n.potential(), 0);
+        assert_eq!(r.state(), before);
+    }
+
+    #[test]
+    fn potential_saturates_at_bounds() {
+        let config = NeuronConfig::builder()
+            .threshold(u32::MAX)
+            .weight(AxonType::A0, Weight::MAX)
+            .build();
+        // Threshold u32::MAX is fine (never fires in i32 range).
+        let mut n = Neuron::new(config.unwrap());
+        n.set_potential(POTENTIAL_MAX);
+        let mut r = rng();
+        n.integrate(AxonType::A0, &mut r);
+        assert_eq!(n.potential(), POTENTIAL_MAX);
+        n.set_potential(POTENTIAL_MIN);
+        n.integrate(AxonType::A3, &mut r);
+        assert_eq!(n.potential(), POTENTIAL_MIN);
+    }
+
+    #[test]
+    fn with_potential_clamps() {
+        let n = Neuron::with_potential(NeuronConfig::default(), i32::MAX);
+        assert_eq!(n.potential(), POTENTIAL_MAX);
+    }
+}

@@ -1,0 +1,156 @@
+//! Canonical single-neuron parameterisations.
+//!
+//! These are the building-block configurations used throughout the behaviour
+//! catalogue ([`crate::behavior`]) and the application crates. Each function
+//! returns a validated [`NeuronConfig`].
+
+use crate::config::{NeuronConfig, ResetMode};
+use crate::weight::{AxonType, Weight};
+
+/// A relay that converts `threshold` units of excitation into one spike.
+///
+/// Type `A0` carries `+weight`, type `A3` carries `−weight`; the other types
+/// are zero. Uses absolute reset to 0.
+pub fn relay(weight: i32, threshold: u32) -> NeuronConfig {
+    NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(weight))
+        .weight(AxonType::A3, Weight::saturating(-weight))
+        .threshold(threshold)
+        .build()
+        .expect("relay preset is valid")
+}
+
+/// A tonically firing neuron driven by its own positive leak.
+///
+/// Fires every `ceil(threshold / leak)` ticks with no input at all.
+pub fn tonic_driver(leak: u32, threshold: u32) -> NeuronConfig {
+    NeuronConfig::builder()
+        .leak(leak as i32)
+        .threshold(threshold)
+        .build()
+        .expect("tonic driver preset is valid")
+}
+
+/// A leaky integrator: potential decays toward zero by `decay` per tick
+/// (leak reversal), with a floor at zero so inhibition cannot build debt.
+pub fn leaky_integrator(weight: i32, threshold: u32, decay: u32) -> NeuronConfig {
+    NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(weight))
+        .weight(AxonType::A3, Weight::saturating(-weight))
+        .leak(-(decay as i32))
+        .leak_reversal(true)
+        .threshold(threshold)
+        .negative_threshold(0)
+        .build()
+        .expect("leaky integrator preset is valid")
+}
+
+/// A perfect (non-leaky) integrator with linear reset: output rate is exactly
+/// `input rate / threshold`, with no rounding loss across ticks.
+pub fn rate_divider(threshold: u32) -> NeuronConfig {
+    NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(1))
+        .weight(AxonType::A3, Weight::saturating(-1))
+        .reset_mode(ResetMode::Linear)
+        .threshold(threshold)
+        .build()
+        .expect("rate divider preset is valid")
+}
+
+/// A latch: once the potential crosses threshold it fires every tick until
+/// externally cleared ([`ResetMode::None`] keeps the potential).
+pub fn latch(weight: i32, threshold: u32) -> NeuronConfig {
+    NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(weight))
+        .weight(AxonType::A3, Weight::saturating(-weight))
+        .reset_mode(ResetMode::None)
+        .threshold(threshold)
+        .build()
+        .expect("latch preset is valid")
+}
+
+/// A spontaneously active stochastic neuron: the stochastic leak adds `+1`
+/// with probability `drive/256` each tick; the neuron fires on average every
+/// `threshold · 256 / drive` ticks with geometric jitter.
+pub fn spontaneous(drive: u32, threshold: u32) -> NeuronConfig {
+    NeuronConfig::builder()
+        .leak(drive.min(256) as i32)
+        .stochastic_leak(true)
+        .threshold(threshold)
+        .build()
+        .expect("spontaneous preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::Lfsr;
+    use crate::neuron::Neuron;
+
+    #[test]
+    fn relay_fires_once_per_threshold_units() {
+        let mut n = Neuron::new(relay(5, 10));
+        let mut rng = Lfsr::new(3);
+        n.integrate(AxonType::A0, &mut rng);
+        assert!(!n.finish_tick(&mut rng).fired());
+        n.integrate(AxonType::A0, &mut rng);
+        assert!(n.finish_tick(&mut rng).fired());
+    }
+
+    #[test]
+    fn tonic_driver_period_is_threshold_over_leak() {
+        let mut n = Neuron::new(tonic_driver(3, 9));
+        let mut rng = Lfsr::new(3);
+        let raster: Vec<bool> = (0..12).map(|_| n.finish_tick(&mut rng).fired()).collect();
+        // V: 3,6,9(fire),3,6,9(fire)... period 3, first at index 2.
+        assert_eq!(
+            raster,
+            vec![false, false, true, false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn rate_divider_is_exact() {
+        let mut n = Neuron::new(rate_divider(3));
+        let mut rng = Lfsr::new(3);
+        let mut spikes = 0;
+        for _ in 0..300 {
+            n.integrate(AxonType::A0, &mut rng);
+            if n.finish_tick(&mut rng).fired() {
+                spikes += 1;
+            }
+        }
+        assert_eq!(spikes, 100);
+    }
+
+    #[test]
+    fn latch_keeps_firing() {
+        let mut n = Neuron::new(latch(10, 10));
+        let mut rng = Lfsr::new(3);
+        n.integrate(AxonType::A0, &mut rng);
+        assert!(n.finish_tick(&mut rng).fired());
+        for _ in 0..5 {
+            assert!(n.finish_tick(&mut rng).fired());
+        }
+    }
+
+    #[test]
+    fn leaky_integrator_floors_at_zero() {
+        let mut n = Neuron::new(leaky_integrator(5, 100, 2));
+        let mut rng = Lfsr::new(3);
+        n.integrate(AxonType::A3, &mut rng); // -5
+        n.finish_tick(&mut rng);
+        assert_eq!(n.potential(), 0);
+    }
+
+    #[test]
+    fn spontaneous_rate_near_expectation() {
+        let mut n = Neuron::new(spontaneous(64, 2));
+        let mut rng = Lfsr::new(1234);
+        let ticks = 40_000;
+        let spikes = (0..ticks).filter(|_| n.finish_tick(&mut rng).fired()).count();
+        // Expected rate = (64/256) / 2 = 0.125 per tick.
+        let rate = spikes as f64 / ticks as f64;
+        assert!((rate - 0.125).abs() < 0.01, "rate = {rate}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Axon types and the signed 9-bit synaptic weight.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of axon types supported by a neurosynaptic core.
+pub const AXON_TYPES: usize = 4;
+
+/// The type tag carried by every axon entering a core.
+///
+/// A neuron does not store a weight per synapse; it stores one [`Weight`] per
+/// axon *type*. The weight applied when axon `j` drives neuron `i` is
+/// `i`'s weight for `j`'s type. Four types per core is the silicon budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AxonType {
+    /// Axon type 0 (conventionally the strongest excitatory class).
+    A0 = 0,
+    /// Axon type 1.
+    A1 = 1,
+    /// Axon type 2.
+    A2 = 2,
+    /// Axon type 3 (conventionally the inhibitory class).
+    A3 = 3,
+}
+
+impl AxonType {
+    /// All axon types, in index order.
+    pub const ALL: [AxonType; AXON_TYPES] = [AxonType::A0, AxonType::A1, AxonType::A2, AxonType::A3];
+
+    /// The array index of this type, in `0..AXON_TYPES`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds an axon type from its index.
+    ///
+    /// Returns `None` if `index >= AXON_TYPES`.
+    #[inline]
+    pub const fn from_index(index: usize) -> Option<AxonType> {
+        match index {
+            0 => Some(AxonType::A0),
+            1 => Some(AxonType::A1),
+            2 => Some(AxonType::A2),
+            3 => Some(AxonType::A3),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AxonType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.index())
+    }
+}
+
+/// Error returned when a raw value does not fit the signed 9-bit weight field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightError {
+    value: i32,
+}
+
+impl fmt::Display for WeightError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "weight {} outside signed 9-bit range [{}, {}]",
+            self.value,
+            Weight::MIN.value(),
+            Weight::MAX.value()
+        )
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+/// A signed 9-bit synaptic weight, the silicon weight field.
+///
+/// Valid range is `[-256, 255]`. In deterministic mode the weight is added to
+/// the membrane potential directly; in stochastic mode its magnitude is the
+/// firing probability numerator (out of 256) and only the sign is added.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(try_from = "i32", into = "i32")]
+pub struct Weight(i16);
+
+impl Weight {
+    /// The smallest representable weight, `-256`.
+    pub const MIN: Weight = Weight(-256);
+    /// The largest representable weight, `255`.
+    pub const MAX: Weight = Weight(255);
+    /// The zero weight.
+    pub const ZERO: Weight = Weight(0);
+
+    /// Creates a weight, validating the signed 9-bit range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightError`] if `value` is outside `[-256, 255]`.
+    #[inline]
+    pub const fn new(value: i32) -> Result<Weight, WeightError> {
+        if value < Weight::MIN.0 as i32 || value > Weight::MAX.0 as i32 {
+            Err(WeightError { value })
+        } else {
+            Ok(Weight(value as i16))
+        }
+    }
+
+    /// Creates a weight, clamping out-of-range values to the representable range.
+    #[inline]
+    pub const fn saturating(value: i32) -> Weight {
+        if value < Weight::MIN.0 as i32 {
+            Weight::MIN
+        } else if value > Weight::MAX.0 as i32 {
+            Weight::MAX
+        } else {
+            Weight(value as i16)
+        }
+    }
+
+    /// The raw signed value.
+    #[inline]
+    pub const fn value(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// The magnitude of the weight, used as the stochastic firing probability
+    /// numerator (out of 256).
+    #[inline]
+    pub const fn magnitude(self) -> u32 {
+        self.0.unsigned_abs() as u32
+    }
+
+    /// `-1`, `0` or `1` depending on the weight sign.
+    #[inline]
+    pub const fn signum(self) -> i32 {
+        self.0.signum() as i32
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<i32> for Weight {
+    type Error = WeightError;
+
+    fn try_from(value: i32) -> Result<Self, Self::Error> {
+        Weight::new(value)
+    }
+}
+
+impl From<Weight> for i32 {
+    fn from(w: Weight) -> i32 {
+        w.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axon_type_index_round_trip() {
+        for ty in AxonType::ALL {
+            assert_eq!(AxonType::from_index(ty.index()), Some(ty));
+        }
+        assert_eq!(AxonType::from_index(4), None);
+    }
+
+    #[test]
+    fn axon_type_display() {
+        assert_eq!(AxonType::A2.to_string(), "G2");
+    }
+
+    #[test]
+    fn weight_range_is_signed_9_bit() {
+        assert!(Weight::new(-256).is_ok());
+        assert!(Weight::new(255).is_ok());
+        assert!(Weight::new(-257).is_err());
+        assert!(Weight::new(256).is_err());
+    }
+
+    #[test]
+    fn weight_saturating_clamps() {
+        assert_eq!(Weight::saturating(1000), Weight::MAX);
+        assert_eq!(Weight::saturating(-1000), Weight::MIN);
+        assert_eq!(Weight::saturating(7).value(), 7);
+    }
+
+    #[test]
+    fn weight_magnitude_and_signum() {
+        let w = Weight::new(-12).unwrap();
+        assert_eq!(w.magnitude(), 12);
+        assert_eq!(w.signum(), -1);
+        assert_eq!(Weight::ZERO.signum(), 0);
+        assert_eq!(Weight::MIN.magnitude(), 256);
+    }
+
+    #[test]
+    fn weight_error_message_mentions_range() {
+        let err = Weight::new(300).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("300"), "{msg}");
+        assert!(msg.contains("-256"), "{msg}");
+    }
+}

@@ -1,0 +1,444 @@
+//! The full mesh fabric: routers wired into a grid.
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::Packet;
+use crate::router::{Flit, Port, Router, RoutingOrder};
+
+/// Mesh dimensions and buffering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Routers per row.
+    pub width: usize,
+    /// Routers per column.
+    pub height: usize,
+    /// Input FIFO capacity per router port, in flits.
+    pub fifo_capacity: usize,
+    /// Dimension order of the deterministic route.
+    pub routing: RoutingOrder,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            width: 8,
+            height: 8,
+            fifo_capacity: 4,
+            routing: RoutingOrder::default(),
+        }
+    }
+}
+
+/// A packet handed to its destination core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Destination router x.
+    pub x: usize,
+    /// Destination router y.
+    pub y: usize,
+    /// The delivered packet (offsets now zero).
+    pub packet: Packet,
+    /// Cycles from injection to delivery.
+    pub latency: u64,
+    /// Links traversed.
+    pub hops: u32,
+}
+
+/// Aggregate mesh statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocStats {
+    /// Packets accepted at source routers.
+    pub injected: u64,
+    /// Packets delivered to destination cores.
+    pub delivered: u64,
+    /// Injection attempts refused because the source FIFO was full.
+    pub rejected: u64,
+    /// Hop moves refused by downstream backpressure (stall-cycles).
+    pub stalls: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Sum of delivery latencies (cycles).
+    pub total_latency: u64,
+    /// Maximum single-packet latency observed.
+    pub max_latency: u64,
+    /// Sum of per-packet hop counts.
+    pub total_hops: u64,
+}
+
+impl NocStats {
+    /// Mean delivery latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean hops per delivered packet.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Packets still in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.injected - self.delivered
+    }
+}
+
+/// The cycle-accurate mesh network.
+#[derive(Debug, Clone)]
+pub struct MeshNoc {
+    config: NocConfig,
+    routers: Vec<Router>,
+    now: u64,
+    stats: NocStats,
+}
+
+impl MeshNoc {
+    /// Builds an idle mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the FIFO capacity is zero.
+    pub fn new(config: NocConfig) -> MeshNoc {
+        assert!(config.width > 0 && config.height > 0, "mesh dimensions must be non-zero");
+        let routers = (0..config.width * config.height)
+            .map(|_| Router::new(config.fifo_capacity))
+            .collect();
+        MeshNoc {
+            config,
+            routers,
+            now: 0,
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The mesh configuration.
+    pub fn config(&self) -> NocConfig {
+        self.config
+    }
+
+    /// Cycles elapsed.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Flits currently buffered anywhere in the mesh.
+    pub fn buffered(&self) -> usize {
+        self.routers.iter().map(Router::buffered).sum()
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize) -> usize {
+        y * self.config.width + x
+    }
+
+    /// Injects a packet at source core `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if the source FIFO is full (the caller models
+    /// source queuing) — counted in [`NocStats::rejected`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source coordinates or the packet's destination are
+    /// outside the mesh.
+    pub fn inject(&mut self, x: usize, y: usize, packet: Packet) -> Result<(), Packet> {
+        assert!(x < self.config.width && y < self.config.height, "source off-mesh");
+        let tx = x as i64 + packet.dx as i64;
+        let ty = y as i64 + packet.dy as i64;
+        assert!(
+            tx >= 0 && (tx as usize) < self.config.width && ty >= 0 && (ty as usize) < self.config.height,
+            "packet destination ({tx}, {ty}) off-mesh"
+        );
+        let flit = Flit {
+            packet,
+            injected_at: self.now,
+            hops: 0,
+        };
+        let idx = self.index(x, y);
+        if self.routers[idx].accept(Port::Local, flit) {
+            self.stats.injected += 1;
+            Ok(())
+        } else {
+            self.stats.rejected += 1;
+            Err(packet)
+        }
+    }
+
+    /// Advances the mesh one cycle, returning this cycle's deliveries.
+    ///
+    /// Each router moves at most one flit per output port per cycle; moves
+    /// blocked by downstream backpressure stall in place and are counted in
+    /// [`NocStats::stalls`].
+    pub fn cycle(&mut self) -> Vec<Delivery> {
+        let width = self.config.width;
+        let height = self.config.height;
+        let mut deliveries = Vec::new();
+        // Staged hop moves: (destination router, input port, flit).
+        let mut staged: Vec<(usize, Port, Flit)> = Vec::new();
+        // How many staged arrivals each (router, port) queue already has.
+        let mut staged_count = vec![[0usize; 5]; self.routers.len()];
+
+        for y in 0..height {
+            for x in 0..width {
+                let idx = self.index(x, y);
+                // Local ejection: one delivery per router per cycle.
+                if let Some(flit) = self.routers[idx].arbitrate_ordered(Port::Local, self.config.routing) {
+                    debug_assert!(flit.packet.is_local(), "non-local flit at local port");
+                    let latency = self.now - flit.injected_at + 1;
+                    self.stats.delivered += 1;
+                    self.stats.total_latency += latency;
+                    self.stats.max_latency = self.stats.max_latency.max(latency);
+                    self.stats.total_hops += flit.hops as u64;
+                    deliveries.push(Delivery {
+                        x,
+                        y,
+                        packet: flit.packet,
+                        latency,
+                        hops: flit.hops,
+                    });
+                }
+                // Compass outputs.
+                for (port, nx, ny) in [
+                    (Port::East, x as i64 + 1, y as i64),
+                    (Port::West, x as i64 - 1, y as i64),
+                    (Port::North, x as i64, y as i64 + 1),
+                    (Port::South, x as i64, y as i64 - 1),
+                ] {
+                    if !self.routers[idx].wants_ordered(port, self.config.routing) {
+                        continue;
+                    }
+                    let off_mesh =
+                        nx < 0 || ny < 0 || nx as usize >= width || ny as usize >= height;
+                    assert!(!off_mesh, "flit attempted to leave the mesh at ({x}, {y})");
+                    let nidx = self.index(nx as usize, ny as usize);
+                    let input = match port {
+                        Port::East => Port::West,
+                        Port::West => Port::East,
+                        Port::North => Port::South,
+                        Port::South => Port::North,
+                        Port::Local => unreachable!(),
+                    };
+                    let room = self.routers[nidx]
+                        .occupancy(input)
+                        .saturating_add(staged_count[nidx][input.index()])
+                        < self.routers[nidx].capacity();
+                    if !room {
+                        self.stats.stalls += 1;
+                        continue;
+                    }
+                    if let Some(mut flit) = self.routers[idx].arbitrate_ordered(port, self.config.routing) {
+                        match port {
+                            Port::East => flit.packet.dx -= 1,
+                            Port::West => flit.packet.dx += 1,
+                            Port::North => flit.packet.dy -= 1,
+                            Port::South => flit.packet.dy += 1,
+                            Port::Local => unreachable!(),
+                        }
+                        flit.hops += 1;
+                        staged_count[nidx][input.index()] += 1;
+                        staged.push((nidx, input, flit));
+                    }
+                }
+            }
+        }
+
+        for (nidx, input, flit) in staged {
+            let accepted = self.routers[nidx].accept(input, flit);
+            debug_assert!(accepted, "staged move exceeded checked capacity");
+        }
+
+        self.now += 1;
+        self.stats.cycles += 1;
+        deliveries
+    }
+
+    /// Runs cycles until the mesh drains or `max_cycles` elapse, collecting
+    /// all deliveries.
+    pub fn drain(&mut self, max_cycles: u64) -> Vec<Delivery> {
+        let mut all = Vec::new();
+        for _ in 0..max_cycles {
+            if self.buffered() == 0 {
+                break;
+            }
+            all.extend(self.cycle());
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(w: usize, h: usize) -> MeshNoc {
+        MeshNoc::new(NocConfig {
+            width: w,
+            height: h,
+            fifo_capacity: 4,
+            routing: RoutingOrder::default(),
+        })
+    }
+
+    fn pkt(dx: i16, dy: i16) -> Packet {
+        Packet::new(dx, dy, 42, 3).unwrap()
+    }
+
+    #[test]
+    fn single_packet_exact_latency_and_hops() {
+        let mut noc = mesh(5, 5);
+        noc.inject(0, 0, pkt(3, 2)).unwrap();
+        let deliveries = noc.drain(100);
+        assert_eq!(deliveries.len(), 1);
+        let d = &deliveries[0];
+        assert_eq!((d.x, d.y), (3, 2));
+        assert_eq!(d.hops, 5);
+        // 5 hops + 1 ejection cycle, uncontended.
+        assert_eq!(d.latency, 6);
+        assert!(d.packet.is_local());
+        assert_eq!(d.packet.axon, 42);
+        assert_eq!(d.packet.slot, 3);
+    }
+
+    #[test]
+    fn local_delivery_takes_one_cycle() {
+        let mut noc = mesh(2, 2);
+        noc.inject(1, 1, pkt(0, 0)).unwrap();
+        let deliveries = noc.cycle();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].latency, 1);
+        assert_eq!(deliveries[0].hops, 0);
+    }
+
+    #[test]
+    fn westward_and_southward_routing() {
+        let mut noc = mesh(4, 4);
+        noc.inject(3, 3, pkt(-3, -2)).unwrap();
+        let deliveries = noc.drain(100);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!((deliveries[0].x, deliveries[0].y), (0, 1));
+        assert_eq!(deliveries[0].hops, 5);
+    }
+
+    #[test]
+    fn conservation_under_load() {
+        let mut noc = mesh(4, 4);
+        let mut sent = 0u64;
+        for y in 0..4i16 {
+            for x in 0..4i16 {
+                let p = Packet::new(3 - x, 3 - y, 0, 0).unwrap();
+                if noc.inject(x as usize, y as usize, p).is_ok() {
+                    sent += 1;
+                }
+            }
+        }
+        let deliveries = noc.drain(1000);
+        assert_eq!(deliveries.len() as u64, sent);
+        assert_eq!(noc.stats().delivered, sent);
+        assert_eq!(noc.buffered(), 0);
+        // All packets target (3, 3) and the total hop count equals the sum
+        // of Manhattan distances from every source.
+        assert!(deliveries.iter().all(|d| (d.x, d.y) == (3, 3)));
+        let expected: u64 = (0..4i64)
+            .flat_map(|y| (0..4i64).map(move |x| ((3 - x).abs() + (3 - y).abs()) as u64))
+            .sum();
+        assert_eq!(noc.stats().total_hops, expected);
+    }
+
+    #[test]
+    fn yx_routing_conserves_and_matches_hop_count() {
+        use crate::router::RoutingOrder;
+        let mut noc = MeshNoc::new(NocConfig {
+            width: 5,
+            height: 5,
+            fifo_capacity: 8,
+            routing: RoutingOrder::YThenX,
+        });
+        let mut sent = 0u64;
+        for y in 0..5i16 {
+            for x in 0..5i16 {
+                let p = Packet::new(4 - x, -y, 0, 0).unwrap();
+                if noc.inject(x as usize, y as usize, p).is_ok() {
+                    sent += 1;
+                }
+            }
+        }
+        let deliveries = noc.drain(1000);
+        assert_eq!(deliveries.len() as u64, sent);
+        // Hop counts are path-order independent: still Manhattan distance.
+        for d in &deliveries {
+            assert_eq!((d.x, d.y), (4, 0));
+        }
+        let expected: u64 = (0..5i64)
+            .flat_map(|y| (0..5i64).map(move |x| ((4 - x).abs() + y) as u64))
+            .sum();
+        assert_eq!(noc.stats().total_hops, expected);
+    }
+
+    #[test]
+    fn injection_backpressure_rejects_when_full() {
+        let mut noc = MeshNoc::new(NocConfig {
+            width: 2,
+            height: 1,
+            fifo_capacity: 2,
+            ..NocConfig::default()
+        });
+        assert!(noc.inject(0, 0, pkt(1, 0)).is_ok());
+        assert!(noc.inject(0, 0, pkt(1, 0)).is_ok());
+        assert!(noc.inject(0, 0, pkt(1, 0)).is_err());
+        assert_eq!(noc.stats().rejected, 1);
+    }
+
+    #[test]
+    fn hotspot_contention_accrues_latency() {
+        // Many sources all target core (0, 0); ejection bandwidth is 1/cycle
+        // so later packets must queue.
+        let mut noc = mesh(4, 4);
+        for y in 0..4i16 {
+            for x in 0..4i16 {
+                if x == 0 && y == 0 {
+                    continue;
+                }
+                noc.inject(x as usize, y as usize, Packet::new(-x, -y, 0, 0).unwrap())
+                    .unwrap();
+            }
+        }
+        let deliveries = noc.drain(1000);
+        assert_eq!(deliveries.len(), 15);
+        // The destination can eject one packet per cycle, so the last
+        // delivery is at least 15 cycles in.
+        let max = deliveries.iter().map(|d| d.latency).max().unwrap();
+        assert!(max >= 15, "max latency {max}");
+        assert!(noc.stats().mean_latency() > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "off-mesh")]
+    fn inject_off_mesh_destination_panics() {
+        let mut noc = mesh(2, 2);
+        noc.inject(0, 0, pkt(5, 0)).unwrap();
+    }
+
+    #[test]
+    fn stats_mean_helpers() {
+        let mut noc = mesh(3, 1);
+        noc.inject(0, 0, pkt(2, 0)).unwrap();
+        noc.drain(100);
+        let s = noc.stats();
+        assert!((s.mean_hops() - 2.0).abs() < 1e-9);
+        assert!(s.mean_latency() >= 3.0);
+        assert_eq!(s.in_flight(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! The spike packet and its wire format.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+/// A spike packet in flight on the mesh.
+///
+/// The fields match the silicon packet word: a signed 12-bit hop offset per
+/// dimension (enough for a 4096-core row with multi-chip tiling), an 10-bit
+/// destination axon, and a 4-bit delivery slot for the target core's
+/// scheduler ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Packet {
+    /// Remaining eastward hops (negative = westward).
+    pub dx: i16,
+    /// Remaining northward hops (negative = southward).
+    pub dy: i16,
+    /// Destination axon within the target core.
+    pub axon: u16,
+    /// Scheduler slot (`delivery tick mod 16`) at the destination.
+    pub slot: u8,
+}
+
+/// Field width limits of the wire format.
+impl Packet {
+    /// Maximum representable offset magnitude per dimension (12-bit signed).
+    pub const MAX_OFFSET: i16 = 2047;
+    /// Minimum representable offset per dimension.
+    pub const MIN_OFFSET: i16 = -2048;
+    /// Maximum axon index (10 bits).
+    pub const MAX_AXON: u16 = 1023;
+    /// Maximum scheduler slot (4 bits).
+    pub const MAX_SLOT: u8 = 15;
+
+    /// Creates a packet, validating field ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketDecodeError::FieldRange`] if any field exceeds its
+    /// wire width.
+    pub fn new(dx: i16, dy: i16, axon: u16, slot: u8) -> Result<Packet, PacketDecodeError> {
+        let ok = (Packet::MIN_OFFSET..=Packet::MAX_OFFSET).contains(&dx)
+            && (Packet::MIN_OFFSET..=Packet::MAX_OFFSET).contains(&dy)
+            && axon <= Packet::MAX_AXON
+            && slot <= Packet::MAX_SLOT;
+        if ok {
+            Ok(Packet { dx, dy, axon, slot })
+        } else {
+            Err(PacketDecodeError::FieldRange)
+        }
+    }
+
+    /// Whether the packet has arrived (no remaining hops).
+    #[inline]
+    pub const fn is_local(&self) -> bool {
+        self.dx == 0 && self.dy == 0
+    }
+
+    /// Remaining hops to the destination.
+    #[inline]
+    pub const fn remaining_hops(&self) -> u32 {
+        self.dx.unsigned_abs() as u32 + self.dy.unsigned_abs() as u32
+    }
+
+    /// Encodes to the 38-bit wire word, packed into 5 bytes
+    /// (`dx:12 | dy:12 | axon:10 | slot:4`, big-endian bit order).
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let dx = (self.dx as u64) & 0xFFF;
+        let dy = (self.dy as u64) & 0xFFF;
+        let axon = (self.axon as u64) & 0x3FF;
+        let slot = (self.slot as u64) & 0xF;
+        let word = (dx << 26) | (dy << 14) | (axon << 4) | slot;
+        // 38 bits fit in 5 bytes.
+        buf.put_uint(word, 5);
+    }
+
+    /// Decodes from the 5-byte wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketDecodeError::Truncated`] if fewer than 5 bytes remain.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Packet, PacketDecodeError> {
+        if buf.remaining() < 5 {
+            return Err(PacketDecodeError::Truncated);
+        }
+        let word = buf.get_uint(5);
+        let sign_extend_12 = |v: u64| -> i16 {
+            let v = (v & 0xFFF) as u16;
+            ((v << 4) as i16) >> 4
+        };
+        Ok(Packet {
+            dx: sign_extend_12(word >> 26),
+            dy: sign_extend_12(word >> 14),
+            axon: ((word >> 4) & 0x3FF) as u16,
+            slot: (word & 0xF) as u8,
+        })
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pkt(dx={:+}, dy={:+}, axon={}, slot={})",
+            self.dx, self.dy, self.axon, self.slot
+        )
+    }
+}
+
+/// Error from packet construction or decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketDecodeError {
+    /// A field exceeds its wire width.
+    FieldRange,
+    /// Fewer than 5 bytes were available to decode.
+    Truncated,
+}
+
+impl fmt::Display for PacketDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketDecodeError::FieldRange => write!(f, "packet field exceeds wire width"),
+            PacketDecodeError::Truncated => write!(f, "truncated packet (need 5 bytes)"),
+        }
+    }
+}
+
+impl std::error::Error for PacketDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cases = [
+            Packet::new(0, 0, 0, 0).unwrap(),
+            Packet::new(5, -3, 255, 1).unwrap(),
+            Packet::new(-2048, 2047, 1023, 15).unwrap(),
+            Packet::new(2047, -2048, 512, 8).unwrap(),
+        ];
+        for p in cases {
+            let mut buf = BytesMut::new();
+            p.encode(&mut buf);
+            assert_eq!(buf.len(), 5);
+            let q = Packet::decode(&mut buf).unwrap();
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn field_range_validation() {
+        assert!(Packet::new(2048, 0, 0, 0).is_err());
+        assert!(Packet::new(0, -2049, 0, 0).is_err());
+        assert!(Packet::new(0, 0, 1024, 0).is_err());
+        assert!(Packet::new(0, 0, 0, 16).is_err());
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let mut buf = &[0u8, 1, 2][..];
+        assert_eq!(Packet::decode(&mut buf), Err(PacketDecodeError::Truncated));
+    }
+
+    #[test]
+    fn local_and_hops() {
+        let p = Packet::new(0, 0, 9, 1).unwrap();
+        assert!(p.is_local());
+        let q = Packet::new(2, -3, 9, 1).unwrap();
+        assert!(!q.is_local());
+        assert_eq!(q.remaining_hops(), 5);
+    }
+
+    #[test]
+    fn display_format() {
+        let p = Packet::new(1, -2, 7, 3).unwrap();
+        assert_eq!(p.to_string(), "pkt(dx=+1, dy=-2, axon=7, slot=3)");
+    }
+}

@@ -1,0 +1,179 @@
+//! A deliberately naive golden model of the neurosynaptic core.
+//!
+//! [`GoldenCore`] re-implements the integer core semantics with the most
+//! obvious data structures available — a `Vec<Vec<bool>>` crossbar and a
+//! `BTreeMap` event calendar — and no performance tricks. It shares only
+//! the [`brainsim_neuron::Neuron`] arithmetic with the optimised
+//! implementation. The equivalence experiment (figure F5) and the
+//! cross-crate property tests assert that `brainsim-core`'s bit-packed,
+//! strategy-switched implementation produces bit-identical spike rasters.
+
+use std::collections::BTreeMap;
+
+use brainsim_neuron::{AxonType, Lfsr, Neuron, NeuronConfig};
+
+/// The naive reference core.
+#[derive(Debug, Clone)]
+pub struct GoldenCore {
+    axon_types: Vec<AxonType>,
+    /// `crossbar[axon][neuron]`.
+    crossbar: Vec<Vec<bool>>,
+    neurons: Vec<Neuron>,
+    rng: Lfsr,
+    /// Event calendar: tick → axon indices due.
+    calendar: BTreeMap<u64, Vec<usize>>,
+    now: u64,
+}
+
+impl GoldenCore {
+    /// Creates an empty golden core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(axons: usize, neurons: usize, seed: u32) -> GoldenCore {
+        assert!(axons > 0 && neurons > 0, "dimensions must be non-zero");
+        GoldenCore {
+            axon_types: vec![AxonType::A0; axons],
+            crossbar: vec![vec![false; neurons]; axons],
+            neurons: vec![Neuron::new(NeuronConfig::default()); neurons],
+            rng: Lfsr::new(seed),
+            calendar: BTreeMap::new(),
+            now: 0,
+        }
+    }
+
+    /// Sets an axon's type.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad index.
+    pub fn set_axon_type(&mut self, axon: usize, ty: AxonType) {
+        self.axon_types[axon] = ty;
+    }
+
+    /// Sets a neuron's configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad index.
+    pub fn set_neuron(&mut self, neuron: usize, config: NeuronConfig) {
+        self.neurons[neuron] = Neuron::new(config);
+    }
+
+    /// Sets one crossbar bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad index.
+    pub fn set_synapse(&mut self, axon: usize, neuron: usize, connected: bool) {
+        self.crossbar[axon][neuron] = connected;
+    }
+
+    /// Schedules an axon event at `target_tick` (absolute).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad axon or a past tick.
+    pub fn deliver(&mut self, axon: usize, target_tick: u64) {
+        assert!(axon < self.axon_types.len(), "axon out of range");
+        assert!(target_tick >= self.now, "cannot schedule in the past");
+        let due = self.calendar.entry(target_tick).or_default();
+        // Axon events are binary: deduplicate like the scheduler bitmap.
+        if !due.contains(&axon) {
+            due.push(axon);
+        }
+    }
+
+    /// Evaluates one tick, returning fired neuron indices.
+    pub fn tick(&mut self) -> Vec<u16> {
+        let mut due = self.calendar.remove(&self.now).unwrap_or_default();
+        due.sort_unstable();
+
+        // Canonical semantics: per neuron (index order), per axon type
+        // (index order), integrate the count of active connected axons.
+        let mut fired = Vec::new();
+        for (i, neuron) in self.neurons.iter_mut().enumerate() {
+            for ty in AxonType::ALL {
+                let count = due
+                    .iter()
+                    .filter(|&&a| self.axon_types[a] == ty && self.crossbar[a][i])
+                    .count() as u32;
+                neuron.integrate_count(ty, count, &mut self.rng);
+            }
+            if neuron.finish_tick(&mut self.rng).fired() {
+                fired.push(i as u16);
+            }
+        }
+        self.now += 1;
+        fired
+    }
+
+    /// The current tick cursor.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// A neuron's membrane potential.
+    pub fn potential(&self, neuron: usize) -> i32 {
+        self.neurons[neuron].potential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brainsim_neuron::Weight;
+
+    fn relay(w: i32, threshold: u32) -> NeuronConfig {
+        NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(w))
+            .threshold(threshold)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn relays_a_spike() {
+        let mut core = GoldenCore::new(4, 4, 1);
+        core.set_neuron(2, relay(1, 1));
+        core.set_synapse(1, 2, true);
+        core.deliver(1, 0);
+        assert_eq!(core.tick(), vec![2]);
+        assert_eq!(core.tick(), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let mut core = GoldenCore::new(2, 1, 1);
+        core.set_neuron(0, relay(1, 2));
+        core.set_synapse(0, 0, true);
+        core.deliver(0, 0);
+        core.deliver(0, 0);
+        // One axon event, weight 1 < threshold 2 → no fire.
+        assert!(core.tick().is_empty());
+        assert_eq!(core.potential(0), 1);
+    }
+
+    #[test]
+    fn far_future_scheduling_works() {
+        // Unlike the 16-slot ring, the calendar has no horizon; the chip
+        // layer enforces the horizon, the golden model need not.
+        let mut core = GoldenCore::new(1, 1, 1);
+        core.set_neuron(0, relay(1, 1));
+        core.set_synapse(0, 0, true);
+        core.deliver(0, 100);
+        for _ in 0..100 {
+            assert!(core.tick().is_empty());
+        }
+        assert_eq!(core.tick(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut core = GoldenCore::new(1, 1, 1);
+        core.tick();
+        core.deliver(0, 0);
+    }
+}

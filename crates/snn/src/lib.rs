@@ -1,0 +1,31 @@
+//! # brainsim-snn
+//!
+//! The conventional-software baseline: a clock-driven, floating-point
+//! leaky integrate-and-fire simulator in the style of NEST/Brian, plus a
+//! deliberately naive *golden* reimplementation of the integer core
+//! semantics.
+//!
+//! Roles in the reproduction:
+//!
+//! * **Throughput baseline (figure F3)** — the float simulator touches every
+//!   neuron every tick and every synapse of every firing neuron, the cost
+//!   model the neurosynaptic architecture is compared against.
+//! * **Accuracy golden model (table T2)** — applications are trained in
+//!   floating point here, then quantised onto the chip's 4-weight axon-type
+//!   scheme; the accuracy gap is the quantisation cost.
+//! * **Equivalence oracle (figure F5)** — [`golden::GoldenCore`] is a
+//!   straight-line, obviously-correct port of the core semantics used to
+//!   cross-check the optimised bit-packed implementation.
+//! * **Firing-pattern reference** — [`IzhikevichNeuron`] provides the
+//!   continuous-dynamics model the behaviour catalogue's firing patterns
+//!   are defined against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod golden;
+mod izhikevich;
+mod lif;
+
+pub use izhikevich::{IzhikevichNeuron, IzhikevichParams};
+pub use lif::{LifParams, SnnBuilder, SnnError, SnnNetwork, SnnSource, SnnStats};

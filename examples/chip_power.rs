@@ -1,0 +1,87 @@
+//! Chip power vs activity: a miniature version of the power experiment
+//! (figure F2) — random cores at increasing firing rates, reporting the
+//! event-census power split.
+//!
+//! Run with: `cargo run --release --example chip_power`
+
+use brainsim::chip::{ChipBuilder, ChipConfig};
+use brainsim::core::{AxonTarget, AxonType, CoreOffset, Destination};
+use brainsim::energy::EnergyModel;
+use brainsim::neuron::{Lfsr, NeuronConfig, Weight};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (width, height) = (4, 4);
+    let (axons, neurons) = (64, 64);
+    let density_percent = 12;
+    let ticks = 500;
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14}",
+        "rate (Hz)", "active mW", "static mW", "total mW", "GSOPS/W"
+    );
+    for rate_hz in [0, 10, 20, 50, 100, 200] {
+        // Build a fresh random chip: each neuron forwards to a random axon
+        // of a neighbouring core; external noise drives the input axons.
+        let mut builder = ChipBuilder::new(ChipConfig {
+            width,
+            height,
+            core_axons: axons,
+            core_neurons: neurons,
+            ..ChipConfig::default()
+        });
+        let mut rng = Lfsr::new(7);
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::new(4)?)
+            .threshold(12)
+            .leak(-1)
+            .leak_reversal(true)
+            .negative_threshold(0)
+            .build()?;
+        for y in 0..height {
+            for x in 0..width {
+                let core = builder.core_mut(x, y);
+                for a in 0..axons {
+                    for n in 0..neurons {
+                        if rng.bernoulli_256((256 * density_percent / 100) as u32) {
+                            core.synapse(a, n, true)?;
+                        }
+                    }
+                }
+                for n in 0..neurons {
+                    let dx = if x + 1 < width { 1 } else { -1 };
+                    let target = AxonTarget {
+                        offset: CoreOffset::new(dx, 0),
+                        axon: (rng.next_u32() as usize % axons) as u16,
+                        delay: 1 + (rng.next_u32() % 4) as u8,
+                    };
+                    core.neuron(n, config.clone(), Destination::Axon(target))?;
+                }
+            }
+        }
+        let mut chip = builder.build()?;
+
+        // Poisson-ish external drive at the requested mean rate (ticks are
+        // 1 ms, so rate in Hz = probability × 1000).
+        let p_numerator = (rate_hz as u32 * 256) / 1000;
+        let mut noise = Lfsr::new(99);
+        for t in 0..ticks {
+            for y in 0..height {
+                for x in 0..width {
+                    for a in 0..axons {
+                        if noise.bernoulli_256(p_numerator) {
+                            chip.inject(x, y, a, t)?;
+                        }
+                    }
+                }
+            }
+            chip.tick();
+        }
+
+        let report = EnergyModel::default().report(&chip.census());
+        println!(
+            "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>14.2}",
+            rate_hz, report.active_mw, report.static_mw, report.total_mw, report.gsops_per_watt
+        );
+    }
+    Ok(())
+}

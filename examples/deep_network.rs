@@ -1,0 +1,35 @@
+//! Two-layer network on the chip: random 8×8 patch features (binary ±1
+//! weights — cheap on a binary crossbar) feeding a trained readout layer,
+//! the EEDN-style deployment pattern.
+//!
+//! Run with: `cargo run --release --example deep_network`
+
+use brainsim::apps::deep::{
+    float_feature_accuracy, suggest_readout_threshold, train_readout, DeepClassifier,
+    FeatureBank,
+};
+use brainsim::apps::digits;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let train = digits::generate(20, 0.02, 41);
+    let test = digits::generate(5, 0.05, 77);
+
+    let bank = FeatureBank::random(80, 8, 8, 13);
+    println!("feature layer: {} random 8x8-patch detectors", bank.len());
+
+    let readout = train_readout(&bank, &train, 25);
+    let float_acc = float_feature_accuracy(&bank, &readout, &test);
+    println!("float accuracy on emulated feature rates: {float_acc:.3}");
+
+    let threshold = suggest_readout_threshold(&bank, &readout, &train);
+    let mut deep = DeepClassifier::build(&bank, &readout, threshold, 24)?;
+    let report = *deep.compiled().report();
+    println!(
+        "compiled: {} cores ({}x{} grid), {} axons, {} relay neurons",
+        report.cores, report.grid.0, report.grid.1, report.axons_used, report.relays
+    );
+
+    let chip_acc = deep.accuracy(&test);
+    println!("on-chip accuracy (quantised, rate-coded): {chip_acc:.3}");
+    Ok(())
+}

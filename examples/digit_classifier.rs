@@ -1,0 +1,55 @@
+//! Digit classification on the chip: float perceptron training, 4-level
+//! quantisation onto the axon-type weight scheme, deployment, accuracy and
+//! energy-per-classification reporting.
+//!
+//! Run with: `cargo run --release --example digit_classifier`
+
+use brainsim::apps::classifier::{
+    float_accuracy, quantize_row, suggest_threshold, train_perceptron, ChipClassifier,
+    LifClassifier,
+};
+use brainsim::apps::digits;
+use brainsim::energy::EnergyModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let train = digits::generate(20, 0.02, 21);
+    let test = digits::generate(8, 0.05, 99);
+    println!("train: {} samples, test: {} samples", train.len(), test.len());
+
+    // Floating-point training and reference accuracy.
+    let weights = train_perceptron(&train, 15);
+    let float_acc = float_accuracy(&weights, &test);
+
+    // Quantise to 4 signed levels per class — the axon-type budget.
+    let quantized: Vec<Vec<i32>> = weights.iter().map(|row| quantize_row(row, 32)).collect();
+    let window = 16;
+    let threshold = suggest_threshold(&quantized, &train, window);
+
+    // Deploy on the chip.
+    let mut chip = ChipClassifier::build(&quantized, threshold, window)?;
+    println!(
+        "mapped onto {} cores ({} physical neurons, {} axons)",
+        chip.compiled().report().cores,
+        chip.compiled().report().physical_neurons,
+        chip.compiled().report().axons_used,
+    );
+    let chip_acc = chip.accuracy(&test);
+
+    // Floating-point LIF baseline (clock-driven simulator, full precision).
+    let mut lif = LifClassifier::build(&weights, threshold as f64, window);
+    let lif_acc = lif.accuracy(&test);
+
+    println!("float dot-product accuracy : {float_acc:.3}");
+    println!("float LIF baseline accuracy: {lif_acc:.3}");
+    println!("quantised chip accuracy    : {chip_acc:.3}");
+
+    // Energy per classification from the event census.
+    let census = chip.compiled().chip().census();
+    let report = EnergyModel::default().report(&census);
+    let per_image_uj = report.active_energy_j * 1e6 / test.len() as f64;
+    println!(
+        "energy: {:.3} µJ/classification ({:.1} mW equivalent chip power)",
+        per_image_uj, report.total_mw
+    );
+    Ok(())
+}

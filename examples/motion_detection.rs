@@ -1,0 +1,31 @@
+//! Reichardt motion detection on the chip: delay-line/coincidence
+//! detectors (composed from the corelet standard library) decode the
+//! direction of a travelling flash.
+//!
+//! Run with: `cargo run --example motion_detection`
+
+use brainsim::apps::motion::MotionDetector;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pixels = 8;
+    let lag = 3;
+    let mut detector = MotionDetector::build(pixels, lag)?;
+    println!(
+        "{pixels}-pixel Reichardt array tuned to {lag} ticks/pixel, {} cores",
+        detector.compiled().report().cores
+    );
+    println!("{:>12} {:>12} {:>8} {:>8}", "sweep", "decoded", "R votes", "L votes");
+    for sweep in [3, -3, 2, -5] {
+        let (direction, right, left) = detector.perceive(sweep);
+        let label = if sweep > 0 { "rightward" } else { "leftward" };
+        println!(
+            "{:>9} x{} {:>12} {:>8} {:>8}",
+            label,
+            sweep.abs(),
+            format!("{direction:?}"),
+            right,
+            left
+        );
+    }
+    Ok(())
+}

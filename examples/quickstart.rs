@@ -1,0 +1,62 @@
+//! Quickstart: describe a small spiking network logically, compile it onto
+//! the neurosynaptic chip, drive it with input spikes and read the output
+//! raster.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use brainsim::compiler::{compile, CompileOptions};
+use brainsim::corelet::{Corelet, NodeRef};
+use brainsim::energy::EnergyModel;
+use brainsim::neuron::NeuronConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the network with a corelet: a 3-stage relay chain with a
+    //    leaky-integrator tail that only fires on bursts.
+    let mut corelet = Corelet::new("quickstart", 1);
+    let relay = NeuronConfig::builder().threshold(1).build()?;
+    let integrator = NeuronConfig::builder()
+        .threshold(3)
+        .leak(-1)
+        .leak_reversal(true)
+        .negative_threshold(0)
+        .build()?;
+
+    let a = corelet.add_neuron(relay.clone());
+    let b = corelet.add_neuron(relay);
+    let c = corelet.add_neuron(integrator);
+    corelet.connect(NodeRef::Input(0), a, 1, 1)?;
+    corelet.connect(NodeRef::Neuron(a), b, 1, 1)?;
+    corelet.connect(NodeRef::Neuron(b), c, 2, 1)?;
+    corelet.mark_output(c)?;
+
+    // 2. Compile onto the chip.
+    let mut compiled = compile(corelet.network(), &CompileOptions::default())?;
+    println!("compiled: {:?}", compiled.report());
+
+    // 3. Drive it: a burst of 3 input spikes, then silence, then a lone
+    //    spike (which the integrator ignores).
+    let raster = compiled.run(24, |t| {
+        if (4..7).contains(&t) || t == 16 {
+            vec![0]
+        } else {
+            Vec::new()
+        }
+    });
+
+    // 4. Read the output raster.
+    println!("tick:   {}", (0..24).map(|t| format!("{:>2}", t % 10)).collect::<String>());
+    let line: String = raster
+        .iter()
+        .map(|out| if out[0] { " |" } else { " ." })
+        .collect();
+    println!("output: {line}");
+
+    // 5. Energy accounting comes for free from the event census.
+    let report = EnergyModel::default().report(&compiled.chip().census());
+    println!(
+        "energy: {:.3} µJ active, {:.2} mW total (simulated time)",
+        report.active_energy_j * 1e6,
+        report.total_mw
+    );
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Sound-localisation kernel: a Jeffress delay-line array on the chip
+//! estimates the inter-channel time difference (ITD) of pulse pairs.
+//!
+//! Run with: `cargo run --example sound_localization`
+
+use brainsim::apps::coincidence::ItdEstimator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let max_itd = 4;
+    let mut estimator = ItdEstimator::build(max_itd)?;
+    println!(
+        "delay-line array for ITD in -{max_itd}..={max_itd} ticks, {} cores",
+        estimator.compiled().report().cores
+    );
+    println!("{:>10} {:>10}", "true ITD", "estimated");
+    let mut correct = 0;
+    for itd in -max_itd..=max_itd {
+        let estimate = estimator.estimate(itd);
+        let shown = estimate.map_or("-".to_string(), |e| e.to_string());
+        println!("{itd:>10} {shown:>10}");
+        if estimate == Some(itd) {
+            correct += 1;
+        }
+    }
+    println!(
+        "decoded {correct}/{} ITDs exactly",
+        (2 * max_itd + 1) as usize
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! # brainsim
+//!
+//! A TrueNorth-class neurosynaptic-core architecture simulator: a
+//! full-stack, from-scratch reproduction of the ASPLOS-era brain-inspired
+//! computing system — digital spiking neuron, 256×256 crossbar core, mesh
+//! network-on-chip, tick-deterministic chip runtime, corelet programming
+//! model, mapping compiler, event-census energy model, reference SNN
+//! baselines, and application kernels.
+//!
+//! This facade crate re-exports the workspace's public API under one roof.
+//! The layer cake, bottom-up:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`neuron`] | `brainsim-neuron` | augmented integer LIF neuron, LFSR, behaviour catalogue |
+//! | [`core`] | `brainsim-core` | crossbar, scheduler, the neurosynaptic core |
+//! | [`noc`] | `brainsim-noc` | spike packets, DOR mesh routers, saturation model |
+//! | [`chip`] | `brainsim-chip` | core array under the global tick barrier |
+//! | [`energy`] | `brainsim-energy` | event-census power/efficiency model |
+//! | [`corelet`] | `brainsim-corelet` | composable logical networks |
+//! | [`compiler`] | `brainsim-compiler` | placement/routing/typing toolchain + interpreter oracle |
+//! | [`snn`] | `brainsim-snn` | float LIF baseline + golden core |
+//! | [`encoding`] | `brainsim-encoding` | rate/latency/population codecs |
+//! | [`apps`] | `brainsim-apps` | classifier, edge filter bank, ITD estimator |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use brainsim::compiler::{compile, CompileOptions};
+//! use brainsim::corelet::{Corelet, NodeRef};
+//! use brainsim::neuron::NeuronConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A two-neuron chain described logically...
+//! let mut corelet = Corelet::new("chain", 1);
+//! let template = NeuronConfig::builder().threshold(1).build()?;
+//! let a = corelet.add_neuron(template.clone());
+//! let b = corelet.add_neuron(template);
+//! corelet.connect(NodeRef::Input(0), a, 1, 1)?;
+//! corelet.connect(NodeRef::Neuron(a), b, 1, 2)?;
+//! corelet.mark_output(b)?;
+//!
+//! // ...compiled onto the chip and driven tick by tick.
+//! let mut compiled = compile(corelet.network(), &CompileOptions::default())?;
+//! compiled.inject(0, 0)?;
+//! let raster = compiled.run(5, |_| Vec::new());
+//! assert!(raster[3][0]); // input@0 → a@1 → (delay 2) → b@3
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// One-stop imports for the common workflow: describe (corelet), compile,
+/// run, account (energy).
+///
+/// ```
+/// use brainsim::prelude::*;
+///
+/// let mut c = Corelet::new("p", 1);
+/// let n = c.add_neuron(NeuronConfig::builder().threshold(1).build().unwrap());
+/// c.connect(NodeRef::Input(0), n, 1, 1).unwrap();
+/// c.mark_output(n).unwrap();
+/// let mut compiled = compile(c.network(), &CompileOptions::default()).unwrap();
+/// compiled.inject(0, 0).unwrap();
+/// assert!(compiled.run(3, |_| Vec::new())[1][0]);
+/// ```
+pub mod prelude {
+    pub use brainsim_compiler::{compile, CompileOptions, CompiledNetwork};
+    pub use brainsim_corelet::{connectors, library, Corelet, NeuronId, NodeRef};
+    pub use brainsim_encoding::{Frame, PopulationCode, RateCode, TimeToSpikeCode};
+    pub use brainsim_energy::{EnergyModel, EventCensus};
+    pub use brainsim_neuron::{AxonType, Lfsr, NeuronConfig, ResetMode, Weight};
+}
+
+pub use brainsim_apps as apps;
+pub use brainsim_chip as chip;
+pub use brainsim_compiler as compiler;
+pub use brainsim_core as core;
+pub use brainsim_corelet as corelet;
+pub use brainsim_encoding as encoding;
+pub use brainsim_energy as energy;
+pub use brainsim_neuron as neuron;
+pub use brainsim_noc as noc;
+pub use brainsim_snn as snn;

@@ -1,0 +1,244 @@
+//! The one-to-one determinism experiment (figure F5) as a test suite:
+//! the optimised bit-packed core, in both evaluation strategies, the naive
+//! golden model, and the chip runtime all produce bit-identical spike
+//! rasters — and the relaxed-semantics ablation demonstrably diverges.
+
+use brainsim::chip::{ChipBuilder, ChipConfig, TickSemantics};
+use brainsim::core::{
+    AxonTarget, AxonType, CoreBuilder, CoreOffset, Destination, EvalStrategy, NeurosynapticCore,
+};
+use brainsim::neuron::{Lfsr, NeuronConfig, Weight};
+use brainsim::snn::golden::GoldenCore;
+
+/// Builds a random core (and its golden twin) from a seed.
+fn random_pair(seed: u32, strategy: EvalStrategy) -> (NeurosynapticCore, GoldenCore) {
+    let axons = 48;
+    let neurons = 48;
+    let mut rng = Lfsr::new(seed);
+    let mut builder = CoreBuilder::new(axons, neurons);
+    let mut golden = GoldenCore::new(axons, neurons, seed.wrapping_mul(3));
+    builder.seed(seed.wrapping_mul(3));
+    builder.strategy(strategy);
+
+    for a in 0..axons {
+        let ty = AxonType::from_index((rng.next_u32() % 4) as usize).unwrap();
+        builder.axon_type(a, ty).unwrap();
+        golden.set_axon_type(a, ty);
+    }
+    for n in 0..neurons {
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::new(3 + (rng.next_u32() % 5) as i32).unwrap())
+            .weight(AxonType::A1, Weight::new((rng.next_u32() % 7) as i32).unwrap())
+            .weight(AxonType::A2, Weight::new(-(2 + (rng.next_u32() % 4) as i32)).unwrap())
+            .weight(AxonType::A3, Weight::new(-1).unwrap())
+            .threshold(4 + rng.next_u32() % 12)
+            .leak(((rng.next_u32() % 5) as i32) - 2)
+            .leak_reversal(rng.next_u32().is_multiple_of(2))
+            .negative_threshold(if rng.next_u32().is_multiple_of(2) { 0 } else { 1 << 19 })
+            .build()
+            .unwrap();
+        builder.neuron(n, config.clone(), Destination::Disabled).unwrap();
+        golden.set_neuron(n, config);
+        for a in 0..axons {
+            let connected = rng.bernoulli_256(48);
+            builder.synapse(a, n, connected).unwrap();
+            golden.set_synapse(a, n, connected);
+        }
+    }
+    (builder.build(), golden)
+}
+
+#[test]
+fn optimized_core_is_bit_identical_to_golden_model() {
+    for seed in 1..=8u32 {
+        for strategy in [EvalStrategy::Dense, EvalStrategy::Sparse] {
+            let (mut core, mut golden) = random_pair(seed, strategy);
+            let mut stim = Lfsr::new(seed ^ 0xFFFF);
+            for t in 0..300u64 {
+                for a in 0..core.axons() {
+                    if stim.bernoulli_256(32) {
+                        core.deliver(a, t).unwrap();
+                        golden.deliver(a, t);
+                    }
+                }
+                assert_eq!(
+                    core.tick(t),
+                    golden.tick(),
+                    "divergence at tick {t} (seed {seed}, {strategy:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_and_sparse_strategies_are_bit_identical_with_stochastic_modes() {
+    // Stochastic synapse/leak/threshold all on: the canonical draw order
+    // must make the strategies equal draw for draw.
+    let build = |strategy| {
+        let mut builder = CoreBuilder::new(24, 24);
+        builder.seed(0xFEED);
+        builder.strategy(strategy);
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::new(120).unwrap())
+            .stochastic_synapse(AxonType::A0, true)
+            .leak(40)
+            .stochastic_leak(true)
+            .threshold(3)
+            .threshold_mask_bits(2)
+            .build()
+            .unwrap();
+        for n in 0..24 {
+            builder.neuron(n, config.clone(), Destination::Disabled).unwrap();
+            for a in 0..24 {
+                builder.synapse(a, n, (a * 24 + n) % 3 != 0).unwrap();
+            }
+        }
+        builder.build()
+    };
+    let mut dense = build(EvalStrategy::Dense);
+    let mut sparse = build(EvalStrategy::Sparse);
+    let mut stim = Lfsr::new(5);
+    for t in 0..500u64 {
+        for a in 0..24 {
+            if stim.bernoulli_256(64) {
+                dense.deliver(a, t).unwrap();
+                sparse.deliver(a, t).unwrap();
+            }
+        }
+        assert_eq!(dense.tick(t), sparse.tick(t), "tick {t}");
+    }
+    assert_eq!(dense.stats(), sparse.stats());
+}
+
+/// A 1×n eastward relay chain chip.
+fn relay_chain(n: usize, semantics: TickSemantics) -> brainsim::chip::Chip {
+    let mut b = ChipBuilder::new(ChipConfig {
+        width: n,
+        height: 1,
+        core_axons: 2,
+        core_neurons: 2,
+        semantics,
+        ..ChipConfig::default()
+    });
+    let relay = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::new(1).unwrap())
+        .threshold(1)
+        .build()
+        .unwrap();
+    for x in 0..n {
+        let dest = if x + 1 < n {
+            Destination::Axon(AxonTarget {
+                offset: CoreOffset::new(1, 0),
+                axon: 0,
+                delay: 1,
+            })
+        } else {
+            Destination::Output(0)
+        };
+        b.core_mut(x, 0).neuron(0, relay.clone(), dest).unwrap();
+        b.core_mut(x, 0).synapse(0, 0, true).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn deterministic_semantics_one_core_hop_per_tick() {
+    let mut chip = relay_chain(6, TickSemantics::Deterministic);
+    chip.inject(0, 0, 0, 0).unwrap();
+    let (outputs, _) = chip.run(10);
+    assert_eq!(outputs, vec![(5, 0)], "5 hops → output at tick 5");
+}
+
+#[test]
+fn relaxed_ablation_breaks_tick_isolation() {
+    // The ablation: with relaxed delivery the whole eastward chain rides
+    // the sweep order and collapses into a single tick — order-dependent
+    // behaviour the deterministic barrier exists to forbid.
+    let mut chip = relay_chain(6, TickSemantics::Relaxed);
+    chip.inject(0, 0, 0, 0).unwrap();
+    let (outputs, _) = chip.run(10);
+    assert_eq!(outputs, vec![(0, 0)]);
+}
+
+#[test]
+fn chip_snapshot_resumes_identically() {
+    // Cloning a chip mid-run is a full state snapshot (potentials,
+    // schedulers, LFSRs, counters); both copies must continue identically.
+    let mut chip = relay_chain(5, TickSemantics::Deterministic);
+    for t in 0..10 {
+        chip.inject(0, 0, 0, t).unwrap();
+    }
+    chip.run(4);
+    let mut snapshot = chip.clone();
+    let (a_out, a_spikes) = chip.run(12);
+    let (b_out, b_spikes) = snapshot.run(12);
+    assert_eq!(a_out, b_out);
+    assert_eq!(a_spikes, b_spikes);
+    assert_eq!(chip.census(), snapshot.census());
+}
+
+#[test]
+fn chip_results_invariant_across_thread_counts() {
+    let run = |threads| {
+        let mut b = ChipBuilder::new(ChipConfig {
+            width: 4,
+            height: 4,
+            core_axons: 16,
+            core_neurons: 16,
+            threads,
+            ..ChipConfig::default()
+        });
+        let relay = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::new(1).unwrap())
+            .threshold(2)
+            .build()
+            .unwrap();
+        let mut rng = Lfsr::new(11);
+        for y in 0..4 {
+            for x in 0..4 {
+                for n in 0..16usize {
+                    let dx = (rng.next_u32() % 3) as i32 - 1;
+                    let dy = (rng.next_u32() % 3) as i32 - 1;
+                    let (tx, ty) = (
+                        (x as i32 + dx).clamp(0, 3),
+                        (y as i32 + dy).clamp(0, 3),
+                    );
+                    let dest = Destination::Axon(AxonTarget {
+                        offset: CoreOffset::new(tx - x as i32, ty - y as i32),
+                        axon: (rng.next_u32() % 16) as u16,
+                        delay: 1 + (rng.next_u32() % 3) as u8,
+                    });
+                    b.core_mut(x, y).neuron(n, relay.clone(), dest).unwrap();
+                    for a in 0..16 {
+                        let bit = rng.bernoulli_256(64);
+                        b.core_mut(x, y).synapse(a, n, bit).unwrap();
+                    }
+                }
+            }
+        }
+        let mut chip = b.build().unwrap();
+        let mut stim = Lfsr::new(77);
+        let mut spike_trace = Vec::new();
+        for t in 0..100u64 {
+            for a in 0..16 {
+                if stim.bernoulli_256(40) {
+                    chip.inject(
+                        (stim.next_u32() % 4) as usize,
+                        (stim.next_u32() % 4) as usize,
+                        a,
+                        t,
+                    )
+                    .unwrap();
+                }
+            }
+            spike_trace.push(chip.tick().spikes);
+        }
+        (spike_trace, chip.census())
+    };
+    let (trace1, census1) = run(1);
+    let (trace4, census4) = run(4);
+    assert_eq!(trace1, trace4);
+    assert_eq!(census1, census4);
+    assert!(trace1.iter().sum::<u64>() > 0, "workload must be active");
+}

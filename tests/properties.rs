@@ -1,0 +1,331 @@
+//! Property-based tests (proptest) over the core data structures and
+//! architectural invariants.
+
+use brainsim::core::{
+    AxonType, CoreBuilder, Crossbar, Destination, EvalStrategy, Scheduler,
+};
+use brainsim::encoding::{PopulationCode, RateCode, TimeToSpikeCode};
+use brainsim::neuron::{Lfsr, NegativeThresholdMode, Neuron, NeuronConfig, ResetMode, Weight};
+use brainsim::neuron::{POTENTIAL_MAX, POTENTIAL_MIN};
+use brainsim::noc::{MeshNoc, NocConfig, Packet};
+use brainsim::snn::golden::GoldenCore;
+use proptest::prelude::*;
+
+fn arb_reset_mode() -> impl Strategy<Value = ResetMode> {
+    prop_oneof![
+        Just(ResetMode::Absolute),
+        Just(ResetMode::Linear),
+        Just(ResetMode::None),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = NeuronConfig> {
+    (
+        -256i32..=255,
+        -256i32..=255,
+        -64i32..=64,
+        any::<bool>(),
+        any::<bool>(),
+        1u32..=4096,
+        0u32..=8,
+        prop_oneof![Just(0u32), Just(64), Just(1 << 19)],
+        arb_reset_mode(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(w0, w3, leak, reversal, stoch_leak, threshold, mask, beta, reset, neg_reset)| {
+                let mut b = NeuronConfig::builder();
+                b.weight(AxonType::A0, Weight::new(w0).unwrap())
+                    .weight(AxonType::A3, Weight::new(w3).unwrap())
+                    .leak(leak)
+                    .leak_reversal(reversal)
+                    .stochastic_leak(stoch_leak)
+                    .threshold(threshold)
+                    .threshold_mask_bits(mask)
+                    .negative_threshold(beta)
+                    .negative_mode(if neg_reset {
+                        NegativeThresholdMode::Reset
+                    } else {
+                        NegativeThresholdMode::Saturate
+                    })
+                    .reset_mode(reset)
+                    .reset_potential(0);
+                b.build().unwrap()
+            },
+        )
+}
+
+proptest! {
+    /// The membrane potential never escapes the representable range, for
+    /// any configuration and any input pattern.
+    #[test]
+    fn potential_always_in_bounds(
+        config in arb_config(),
+        seed in 1u32..u32::MAX,
+        events in proptest::collection::vec(0u8..4, 0..200),
+    ) {
+        let mut neuron = Neuron::new(config);
+        let mut rng = Lfsr::new(seed);
+        for chunk in events.chunks(4) {
+            for &ty in chunk {
+                neuron.integrate(AxonType::from_index(ty as usize).unwrap(), &mut rng);
+                prop_assert!(neuron.potential() >= POTENTIAL_MIN);
+                prop_assert!(neuron.potential() <= POTENTIAL_MAX);
+            }
+            let out = neuron.finish_tick(&mut rng);
+            prop_assert!(out.potential() >= POTENTIAL_MIN);
+            prop_assert!(out.potential() <= POTENTIAL_MAX);
+        }
+    }
+
+    /// Absolute reset always lands exactly on the reset potential.
+    #[test]
+    fn absolute_reset_lands_on_reset_potential(
+        threshold in 1u32..1000,
+        weight in 1i32..=255,
+        seed in 1u32..u32::MAX,
+    ) {
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::new(weight).unwrap())
+            .threshold(threshold)
+            .build()
+            .unwrap();
+        let mut neuron = Neuron::new(config);
+        let mut rng = Lfsr::new(seed);
+        for _ in 0..2000 {
+            neuron.integrate(AxonType::A0, &mut rng);
+            if neuron.finish_tick(&mut rng).fired() {
+                prop_assert_eq!(neuron.potential(), 0);
+                return Ok(());
+            }
+        }
+        // weight ≥ 1 and threshold ≤ 1000 always fires within 1000 ticks.
+        prop_assert!(false, "never fired");
+    }
+
+    /// Linear reset preserves charge: potential after = before − threshold.
+    #[test]
+    fn linear_reset_preserves_surplus(
+        threshold in 1u32..500,
+        surplus in 0i32..500,
+    ) {
+        let config = NeuronConfig::builder()
+            .threshold(threshold)
+            .reset_mode(ResetMode::Linear)
+            .build()
+            .unwrap();
+        let mut neuron = Neuron::with_potential(config, threshold as i32 + surplus);
+        let mut rng = Lfsr::new(1);
+        let out = neuron.finish_tick(&mut rng);
+        prop_assert!(out.fired());
+        prop_assert_eq!(out.potential(), surplus);
+    }
+
+    /// Crossbar set/get round-trips and the row iterator reports exactly
+    /// the set bits, in order.
+    #[test]
+    fn crossbar_row_iterator_is_exact(
+        axons in 1usize..64,
+        neurons in 1usize..200,
+        bits in proptest::collection::vec((0usize..64, 0usize..200), 0..100),
+    ) {
+        let mut xb = Crossbar::new(axons, neurons);
+        let mut expected = std::collections::BTreeSet::new();
+        for (a, n) in bits {
+            let (a, n) = (a % axons, n % neurons);
+            xb.set(a, n, true);
+            expected.insert((a, n));
+        }
+        prop_assert_eq!(xb.synapse_count(), expected.len());
+        for a in 0..axons {
+            let row: Vec<usize> = xb.row_neurons(a).collect();
+            let want: Vec<usize> = expected
+                .iter()
+                .filter(|&&(ea, _)| ea == a)
+                .map(|&(_, n)| n)
+                .collect();
+            prop_assert_eq!(row, want);
+        }
+    }
+
+    /// Scheduler take() returns exactly what was scheduled for that tick.
+    #[test]
+    fn scheduler_delivers_exactly_once(
+        axons in 1usize..300,
+        events in proptest::collection::vec((0usize..300, 0u64..16), 0..64),
+    ) {
+        let mut s = Scheduler::new(axons);
+        let mut expected: Vec<std::collections::BTreeSet<usize>> =
+            vec![Default::default(); 16];
+        for (a, t) in events {
+            let a = a % axons;
+            s.schedule(a, t);
+            expected[t as usize].insert(a);
+        }
+        for t in 0..16u64 {
+            let got: std::collections::BTreeSet<usize> =
+                bitmap_to_indices(&s.take(t)).into_iter().collect();
+            prop_assert_eq!(&got, &expected[t as usize], "tick {}", t);
+        }
+        prop_assert!(s.is_idle());
+    }
+
+    /// Packet wire format round-trips for every legal field combination.
+    #[test]
+    fn packet_codec_round_trip(
+        dx in -2048i16..=2047,
+        dy in -2048i16..=2047,
+        axon in 0u16..=1023,
+        slot in 0u8..=15,
+    ) {
+        let p = Packet::new(dx, dy, axon, slot).unwrap();
+        let mut buf = bytes::BytesMut::new();
+        p.encode(&mut buf);
+        let q = Packet::decode(&mut buf).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// NoC conservation: every injected packet is delivered exactly once,
+    /// at its destination, with hops = Manhattan distance; nothing is lost.
+    #[test]
+    fn noc_conserves_packets(
+        targets in proptest::collection::vec((0usize..5, 0usize..5), 1..24),
+    ) {
+        let mut noc = MeshNoc::new(NocConfig { width: 5, height: 5, fifo_capacity: 64, ..NocConfig::default() });
+        let mut sent = Vec::new();
+        for (i, &(tx, ty)) in targets.iter().enumerate() {
+            let (sx, sy) = (i % 5, (i / 5) % 5);
+            let packet = Packet::new(
+                tx as i16 - sx as i16,
+                ty as i16 - sy as i16,
+                i as u16 % 256,
+                0,
+            ).unwrap();
+            if noc.inject(sx, sy, packet).is_ok() {
+                sent.push(((sx, sy), (tx, ty)));
+            }
+        }
+        let deliveries = noc.drain(10_000);
+        prop_assert_eq!(deliveries.len(), sent.len());
+        prop_assert_eq!(noc.buffered(), 0);
+        let total_hops: u64 = sent
+            .iter()
+            .map(|&((sx, sy), (tx, ty))| (sx.abs_diff(tx) + sy.abs_diff(ty)) as u64)
+            .sum();
+        prop_assert_eq!(noc.stats().total_hops, total_hops);
+    }
+
+    /// Rate-code round trip error is bounded by half a quantum.
+    #[test]
+    fn rate_code_error_bound(value in 0.0f64..=1.0, window in 1usize..200) {
+        let code = RateCode::new(window);
+        let decoded = code.decode(&code.encode(value));
+        prop_assert!((decoded - value).abs() <= 0.5 / window as f64 + 1e-12);
+    }
+
+    /// Time-to-spike code round trip error is bounded by one latency step.
+    #[test]
+    fn latency_code_error_bound(value in 0.0f64..=1.0, window in 2usize..200) {
+        let code = TimeToSpikeCode::new(window);
+        let decoded = code.decode(&code.encode(value));
+        prop_assert!((decoded - value).abs() <= 0.5 / (window - 1) as f64 + 1e-12);
+    }
+
+    /// Population code round trip is within one channel spacing.
+    #[test]
+    fn population_code_error_bound(
+        value in 0.0f64..=1.0,
+        channels in 2usize..16,
+    ) {
+        let code = PopulationCode::new(channels, 64);
+        let decoded = code.decode(&code.encode(value));
+        let spacing = 1.0 / (channels - 1) as f64;
+        prop_assert!((decoded - value).abs() <= spacing);
+    }
+
+    /// Random cores: the optimised implementation (both strategies) agrees
+    /// with the naive golden model, event for event.
+    #[test]
+    fn random_core_matches_golden(
+        seed in 1u32..100_000,
+        density in 8u32..128,
+        drive in 8u32..128,
+    ) {
+        let axons = 16;
+        let neurons = 16;
+        let mut rng = Lfsr::new(seed);
+        let mut dense = CoreBuilder::new(axons, neurons);
+        let mut sparse = CoreBuilder::new(axons, neurons);
+        let mut golden = GoldenCore::new(axons, neurons, seed ^ 0xABCD);
+        dense.seed(seed ^ 0xABCD).strategy(EvalStrategy::Dense);
+        sparse.seed(seed ^ 0xABCD).strategy(EvalStrategy::Sparse);
+        for a in 0..axons {
+            let ty = AxonType::from_index((rng.next_u32() % 4) as usize).unwrap();
+            dense.axon_type(a, ty).unwrap();
+            sparse.axon_type(a, ty).unwrap();
+            golden.set_axon_type(a, ty);
+        }
+        for n in 0..neurons {
+            let config = NeuronConfig::builder()
+                .weight(AxonType::A0, Weight::new((rng.next_u32() % 8) as i32).unwrap())
+                .weight(AxonType::A1, Weight::new(2).unwrap())
+                .weight(AxonType::A2, Weight::new(-3).unwrap())
+                .weight(AxonType::A3, Weight::new(-(1 + (rng.next_u32() % 4) as i32)).unwrap())
+                .threshold(1 + rng.next_u32() % 10)
+                .leak(((rng.next_u32() % 3) as i32) - 1)
+                .negative_threshold(0)
+                .build()
+                .unwrap();
+            dense.neuron(n, config.clone(), Destination::Disabled).unwrap();
+            sparse.neuron(n, config.clone(), Destination::Disabled).unwrap();
+            golden.set_neuron(n, config);
+            for a in 0..axons {
+                let connected = rng.bernoulli_256(density);
+                dense.synapse(a, n, connected).unwrap();
+                sparse.synapse(a, n, connected).unwrap();
+                golden.set_synapse(a, n, connected);
+            }
+        }
+        let mut dense = dense.build();
+        let mut sparse = sparse.build();
+        let mut stim = Lfsr::new(seed ^ 0x1234);
+        for t in 0..60u64 {
+            for a in 0..axons {
+                if stim.bernoulli_256(drive) {
+                    dense.deliver(a, t).unwrap();
+                    sparse.deliver(a, t).unwrap();
+                    golden.deliver(a, t);
+                }
+            }
+            let d = dense.tick(t);
+            let s = sparse.tick(t);
+            let g = golden.tick();
+            prop_assert_eq!(&d, &s, "dense vs sparse at tick {}", t);
+            prop_assert_eq!(&d, &g, "core vs golden at tick {}", t);
+        }
+    }
+
+    /// The LFSR stream is deterministic and never hits the zero state.
+    #[test]
+    fn lfsr_deterministic_nonzero(seed in 0u32..u32::MAX) {
+        let mut a = Lfsr::new(seed);
+        let mut b = Lfsr::new(seed);
+        for _ in 0..64 {
+            let x = a.next_u32();
+            prop_assert_eq!(x, b.next_u32());
+            prop_assert_ne!(x, 0);
+        }
+    }
+}
+
+fn bitmap_to_indices(bitmap: &[u64]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (wi, &word) in bitmap.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            out.push(wi * 64 + w.trailing_zeros() as usize);
+            w &= w - 1;
+        }
+    }
+    out
+}
