@@ -238,7 +238,7 @@ impl ChipClassifier {
             .iter()
             .map(|&p| code.encode_stochastic(p, &mut rng))
             .collect();
-        let mut counts = vec![0usize; CLASSES];
+        let mut counts = [0usize; CLASSES];
         for t in 0..(self.window as u64 + 4) {
             if (t as usize) < self.window {
                 for (pixel, train) in trains.iter().enumerate() {

@@ -4,6 +4,7 @@ use std::fmt;
 
 use brainsim_core::{Destination, NeurosynapticCore};
 use brainsim_energy::EventCensus;
+use brainsim_faults::{FaultInjector, FaultPlan, FaultStats, LinkFault};
 use brainsim_noc::route_hops;
 
 use crate::config::{ChipConfig, TickSemantics};
@@ -17,6 +18,9 @@ pub struct TickSummary {
     pub spikes: u64,
     /// External output events (port ids), in deterministic core/neuron order.
     pub outputs: Vec<u32>,
+    /// Link faults suffered by this tick's spike deliveries (all zero
+    /// without a fault plan).
+    pub faults: FaultStats,
 }
 
 /// Error from [`Chip::inject`].
@@ -54,6 +58,11 @@ pub struct Chip {
     hops: u64,
     link_crossings: u64,
     outputs_total: u64,
+    /// Link-fault injector for inter-core spike routing; `None` (the
+    /// default) keeps the routing loop fault-free.
+    injector: Option<FaultInjector>,
+    /// Cumulative chip-level (routing) fault accounting.
+    fault_stats: FaultStats,
 }
 
 impl Chip {
@@ -65,6 +74,8 @@ impl Chip {
             hops: 0,
             link_crossings: 0,
             outputs_total: 0,
+            injector: None,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -93,14 +104,45 @@ impl Chip {
         y * self.config.width + x
     }
 
-    /// Read access to core `(x, y)`.
+    /// Read access to core `(x, y)`, or `None` if the coordinates lie
+    /// outside the grid.
+    pub fn core(&self, x: usize, y: usize) -> Option<&NeurosynapticCore> {
+        if x < self.config.width && y < self.config.height {
+            Some(&self.cores[y * self.config.width + x])
+        } else {
+            None
+        }
+    }
+
+    /// Applies a fault plan chip-wide: structural faults (dropout, dead /
+    /// stuck neurons, stuck-at synapses) are burned into every core, and
+    /// link faults (drop / corrupt / delay) arm the spike-routing loop.
     ///
-    /// # Panics
-    ///
-    /// Panics if the coordinates are outside the grid.
-    pub fn core(&self, x: usize, y: usize) -> &NeurosynapticCore {
-        assert!(x < self.config.width && y < self.config.height, "core off grid");
-        &self.cores[self.index(x, y)]
+    /// Apply a plan at most once, before the first tick. A benign plan is a
+    /// no-op and leaves the fault-free fast path intact.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        let injector = FaultInjector::new(plan);
+        if injector.is_benign() {
+            return;
+        }
+        for idx in 0..self.cores.len() {
+            let x = idx % self.config.width;
+            let y = idx / self.config.width;
+            self.cores[idx].apply_faults(&injector, x, y);
+        }
+        if injector.has_link_faults() {
+            self.injector = Some(injector);
+        }
+    }
+
+    /// Aggregate fault statistics: routing-level faults plus every core's
+    /// structural and spike faults.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = self.fault_stats;
+        for core in &self.cores {
+            total.merge(&core.stats().faults);
+        }
+        total
     }
 
     /// Injects an external spike onto axon `axon` of core `(x, y)`, due at
@@ -159,39 +201,85 @@ impl Chip {
         };
 
         // Phase B: route every spike launched in tick t.
+        let injector = self.injector.clone();
         let mut outputs = Vec::new();
         let mut spikes = 0u64;
+        let mut faults = FaultStats::default();
         for (core_index, fired_neurons) in fired.iter().enumerate() {
             spikes += fired_neurons.len() as u64;
             let x = core_index % self.config.width;
             let y = core_index / self.config.width;
             for &neuron in fired_neurons {
+                // One spike launches per (tick, core, neuron): a unique,
+                // order-independent fault-decision coordinate.
+                let fault = injector
+                    .as_ref()
+                    .and_then(|i| i.link_fault(t, core_index as u64, neuron as u64));
                 match self.cores[core_index].destination(neuron as usize) {
                     Destination::Disabled => {}
-                    Destination::Output(port) => outputs.push(port),
+                    Destination::Output(port) => {
+                        // Output pads cross one peripheral link; drops
+                        // apply, corruption/delay have no meaning there.
+                        if matches!(fault, Some(LinkFault::Drop)) {
+                            faults.packets_dropped += 1;
+                        } else {
+                            outputs.push(port);
+                        }
+                    }
                     Destination::Axon(target) => {
-                        let tx = (x as i64 + target.offset.dx as i64) as usize;
-                        let ty = (y as i64 + target.offset.dy as i64) as usize;
+                        if matches!(fault, Some(LinkFault::Drop)) {
+                            faults.packets_dropped += 1;
+                            continue;
+                        }
+                        let (mut tx, mut ty) = (
+                            (x as i64 + target.offset.dx as i64) as usize,
+                            (y as i64 + target.offset.dy as i64) as usize,
+                        );
+                        let mut extra_delay = 0u64;
+                        match fault {
+                            Some(LinkFault::Corrupt { salt }) => {
+                                faults.packets_corrupted += 1;
+                                (tx, ty) = brainsim_faults::pick_cell(
+                                    salt,
+                                    self.config.width,
+                                    self.config.height,
+                                );
+                            }
+                            Some(LinkFault::Delay(ticks)) => {
+                                faults.packets_delayed += 1;
+                                extra_delay = ticks as u64;
+                            }
+                            _ => {}
+                        }
                         let tidx = ty * self.config.width + tx;
-                        self.hops += route_hops(target.offset.dx, target.offset.dy) as u64;
+                        self.hops +=
+                            route_hops((tx as i64 - x as i64) as i32, (ty as i64 - y as i64) as i32)
+                                as u64;
                         let crossings = self.config.crossings((x, y), (tx, ty));
                         let link_delay = crossings as u64
                             * self.config.tile.map(|tc| tc.link_latency as u64).unwrap_or(0);
                         self.link_crossings += crossings as u64;
-                        self.cores[tidx]
-                            .deliver(target.axon as usize, t + target.delay as u64 + link_delay)
-                            .expect("validated target failed to deliver");
+                        let due = t + target.delay as u64 + link_delay + extra_delay;
+                        if self.cores[tidx].deliver(target.axon as usize, due).is_err() {
+                            // Builder-validated wiring cannot fail here, so a
+                            // refused delivery is always fault-induced (bad
+                            // corrupted axon, or a delay past the scheduling
+                            // horizon): absorb and count it.
+                            faults.deliveries_failed += 1;
+                        }
                     }
                 }
             }
         }
 
+        self.fault_stats.merge(&faults);
         self.outputs_total += outputs.len() as u64;
         self.now = t + 1;
         TickSummary {
             tick: t,
             spikes,
             outputs,
+            faults,
         }
     }
 
@@ -200,41 +288,78 @@ impl Chip {
         // immediately with effective delay d − 1. Cores earlier in the sweep
         // may thus receive same-tick events from cores later in the sweep
         // only at t + 1 — the order dependence this mode exists to exhibit.
+        let injector = self.injector.clone();
         let mut outputs = Vec::new();
         let mut spikes = 0u64;
+        let mut faults = FaultStats::default();
         for core_index in 0..self.cores.len() {
             let fired = self.cores[core_index].tick(t);
             spikes += fired.len() as u64;
             let x = core_index % self.config.width;
             let y = core_index / self.config.width;
             for &neuron in &fired {
+                let fault = injector
+                    .as_ref()
+                    .and_then(|i| i.link_fault(t, core_index as u64, neuron as u64));
                 match self.cores[core_index].destination(neuron as usize) {
                     Destination::Disabled => {}
-                    Destination::Output(port) => outputs.push(port),
+                    Destination::Output(port) => {
+                        if matches!(fault, Some(LinkFault::Drop)) {
+                            faults.packets_dropped += 1;
+                        } else {
+                            outputs.push(port);
+                        }
+                    }
                     Destination::Axon(target) => {
-                        let tx = (x as i64 + target.offset.dx as i64) as usize;
-                        let ty = (y as i64 + target.offset.dy as i64) as usize;
+                        if matches!(fault, Some(LinkFault::Drop)) {
+                            faults.packets_dropped += 1;
+                            continue;
+                        }
+                        let (mut tx, mut ty) = (
+                            (x as i64 + target.offset.dx as i64) as usize,
+                            (y as i64 + target.offset.dy as i64) as usize,
+                        );
+                        let mut extra_delay = 0u64;
+                        match fault {
+                            Some(LinkFault::Corrupt { salt }) => {
+                                faults.packets_corrupted += 1;
+                                (tx, ty) = brainsim_faults::pick_cell(
+                                    salt,
+                                    self.config.width,
+                                    self.config.height,
+                                );
+                            }
+                            Some(LinkFault::Delay(ticks)) => {
+                                faults.packets_delayed += 1;
+                                extra_delay = ticks as u64;
+                            }
+                            _ => {}
+                        }
                         let tidx = ty * self.config.width + tx;
-                        self.hops += route_hops(target.offset.dx, target.offset.dy) as u64;
+                        self.hops +=
+                            route_hops((tx as i64 - x as i64) as i32, (ty as i64 - y as i64) as i32)
+                                as u64;
                         let crossings = self.config.crossings((x, y), (tx, ty));
                         let link_delay = crossings as u64
                             * self.config.tile.map(|tc| tc.link_latency as u64).unwrap_or(0);
                         self.link_crossings += crossings as u64;
-                        let eager = t + target.delay as u64 - 1 + link_delay;
+                        let eager = t + target.delay as u64 - 1 + link_delay + extra_delay;
                         let delivery = eager.max(self.cores[tidx].now());
-                        self.cores[tidx]
-                            .deliver(target.axon as usize, delivery)
-                            .expect("validated target failed to deliver");
+                        if self.cores[tidx].deliver(target.axon as usize, delivery).is_err() {
+                            faults.deliveries_failed += 1;
+                        }
                     }
                 }
             }
         }
+        self.fault_stats.merge(&faults);
         self.outputs_total += outputs.len() as u64;
         self.now = t + 1;
         TickSummary {
             tick: t,
             spikes,
             outputs,
+            faults,
         }
     }
 
@@ -253,10 +378,12 @@ impl Chip {
 
     /// The cumulative event census for the energy model.
     pub fn census(&self) -> EventCensus {
+        let fault_totals = self.fault_stats();
         let mut census = EventCensus {
             cores: self.cores.len() as u64,
             hops: self.hops,
             link_crossings: self.link_crossings,
+            packets_dropped: fault_totals.packets_dropped + fault_totals.flits_dropped_overflow,
             ..Default::default()
         };
         let mut ticks = 0;
@@ -281,6 +408,9 @@ impl Chip {
         self.hops = 0;
         self.link_crossings = 0;
         self.outputs_total = 0;
+        // Event-level fault counts clear; the injector and the cores'
+        // structural faults persist (defective silicon stays defective).
+        self.fault_stats = FaultStats::default();
     }
 }
 
@@ -479,6 +609,124 @@ mod tests {
         chip.inject(0, 0, 0, 0).unwrap();
         chip.run(6);
         assert_eq!(chip.link_crossings(), 0);
+    }
+
+    #[test]
+    fn total_link_fault_still_completes_run() {
+        // Acceptance: with every link faulted (100% drop), `Chip::run`
+        // completes without panicking — all traffic is dropped, nothing
+        // escapes to the output pads.
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 1);
+        chip.set_fault_plan(&FaultPlan::new(7).with_link_drop(1.0));
+        for t in 0..8 {
+            chip.inject(0, 0, 0, t).unwrap();
+        }
+        let (outputs, spikes) = chip.run(16);
+        assert!(outputs.is_empty(), "all output traffic must be dropped");
+        // Core 0 still fires on the injected spikes; nothing propagates.
+        assert_eq!(spikes, 8);
+        let stats = chip.fault_stats();
+        assert_eq!(stats.packets_dropped, 8);
+        assert_eq!(stats.total(), 8);
+    }
+
+    #[test]
+    fn fault_plan_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut chip = relay_chain(6, TickSemantics::Deterministic, 1);
+            chip.set_fault_plan(&FaultPlan::new(seed).with_link_drop(0.4));
+            let mut trace = Vec::new();
+            let mut spikes = 0;
+            for t in 0..48 {
+                if t < 32 {
+                    chip.inject(0, 0, 0, t).unwrap();
+                }
+                let summary = chip.tick();
+                spikes += summary.spikes;
+                trace.extend(summary.outputs.iter().map(|&p| (t, p)));
+            }
+            (trace, spikes, chip.fault_stats())
+        };
+        assert_eq!(run(11), run(11), "same seed must reproduce exactly");
+        assert_ne!(run(11).0, run(12).0, "different seeds must diverge");
+    }
+
+    #[test]
+    fn benign_plan_leaves_chip_on_fast_path() {
+        let mut faulted = relay_chain(4, TickSemantics::Deterministic, 1);
+        faulted.set_fault_plan(&FaultPlan::new(3));
+        let mut clean = relay_chain(4, TickSemantics::Deterministic, 1);
+        for chip in [&mut faulted, &mut clean] {
+            chip.inject(0, 0, 0, 0).unwrap();
+        }
+        assert_eq!(faulted.run(6), clean.run(6));
+        assert!(faulted.fault_stats().is_empty());
+    }
+
+    #[test]
+    fn dropped_core_breaks_the_chain() {
+        // Core dropout at 100%: every core is dead, so even the injected
+        // spike integrates into silence.
+        let mut chip = relay_chain(3, TickSemantics::Deterministic, 1);
+        chip.set_fault_plan(&FaultPlan::new(5).with_core_dropout(1.0));
+        chip.inject(0, 0, 0, 0).unwrap();
+        let (outputs, spikes) = chip.run(6);
+        assert!(outputs.is_empty());
+        assert_eq!(spikes, 0);
+        assert_eq!(chip.fault_stats().cores_dropped, 3);
+    }
+
+    #[test]
+    fn corrupted_spikes_stay_on_grid_and_deliver_or_count() {
+        // 100% corruption: every routed spike is retargeted somewhere on
+        // the grid. The run must complete, and every launch is accounted
+        // for as either a corrupted delivery or a failed one.
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 1);
+        chip.set_fault_plan(&FaultPlan::new(9).with_link_corrupt(1.0));
+        for t in 0..8 {
+            chip.inject(0, 0, 0, t).unwrap();
+        }
+        chip.run(16);
+        let stats = chip.fault_stats();
+        assert!(stats.packets_corrupted > 0);
+        assert!(stats.deliveries_failed <= stats.packets_corrupted);
+    }
+
+    #[test]
+    fn delay_fault_postpones_output() {
+        // 100% delay of 3 extra ticks on a 2-core chain: the relay hop
+        // lands 3 ticks later; the final output-pad crossing is also hit
+        // but delay has no meaning there, so only arrival time shifts.
+        let mut clean = relay_chain(2, TickSemantics::Deterministic, 1);
+        clean.inject(0, 0, 0, 0).unwrap();
+        let (clean_out, _) = clean.run(12);
+
+        let mut slow = relay_chain(2, TickSemantics::Deterministic, 1);
+        slow.set_fault_plan(&FaultPlan::new(2).with_link_delay(1.0, 3));
+        slow.inject(0, 0, 0, 0).unwrap();
+        let (slow_out, _) = slow.run(12);
+
+        assert_eq!(clean_out, vec![(1, 99)]);
+        assert_eq!(slow_out, vec![(4, 99)]);
+        // Only the inter-core hop counts: output-pad crossings cannot be
+        // delayed, so the launch from the last core is unaffected.
+        assert_eq!(slow.fault_stats().packets_delayed, 1);
+    }
+
+    #[test]
+    fn reset_clears_event_faults_but_keeps_the_plan_armed() {
+        let mut chip = relay_chain(3, TickSemantics::Deterministic, 1);
+        chip.set_fault_plan(&FaultPlan::new(4).with_link_drop(1.0));
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.run(4);
+        assert!(chip.fault_stats().packets_dropped > 0);
+        chip.reset();
+        assert_eq!(chip.fault_stats().packets_dropped, 0);
+        // The injector persists: faults keep firing after reset.
+        chip.inject(0, 0, 0, 0).unwrap();
+        let (outputs, _) = chip.run(4);
+        assert!(outputs.is_empty());
+        assert!(chip.fault_stats().packets_dropped > 0);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub fn activity_map(chip: &Chip) -> Vec<Vec<u64>> {
     (0..config.height)
         .map(|y| {
             (0..config.width)
-                .map(|x| chip.core(x, y).stats().spikes)
+                .map(|x| chip.core(x, y).map_or(0, |c| c.stats().spikes))
                 .collect()
         })
         .collect()
@@ -79,7 +79,7 @@ pub fn render_activity(map: &[Vec<u64>]) -> String {
         for &count in row {
             let ch = match count {
                 0 => '.',
-                1..=9 => char::from_digit(count as u32, 10).unwrap(),
+                1..=9 => char::from_digit(count as u32, 10).unwrap_or('?'),
                 10..=99 => 'x',
                 _ => 'X',
             };
@@ -91,13 +91,17 @@ pub fn render_activity(map: &[Vec<u64>]) -> String {
     out
 }
 
+/// A directed link between two adjacent cores, as `(from, to)` grid
+/// coordinates.
+pub type CoreLink = ((usize, usize), (usize, usize));
+
 /// Static per-link wire loads of a configured chip under dimension-order
 /// routing — the congestion analysis the placement stage optimises for.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LinkLoadReport {
     /// Wires crossing each directed link, keyed by `(from, to)` core pairs
     /// of adjacent cores, sorted for determinism.
-    pub loads: Vec<(((usize, usize), (usize, usize)), u64)>,
+    pub loads: Vec<(CoreLink, u64)>,
     /// Total wire-hops (Σ Manhattan distances).
     pub total_wire_hops: u64,
 }
@@ -129,11 +133,13 @@ impl LinkLoadReport {
 pub fn link_load(chip: &Chip) -> LinkLoadReport {
     use std::collections::BTreeMap;
     let config = chip.config();
-    let mut loads: BTreeMap<((usize, usize), (usize, usize)), u64> = BTreeMap::new();
+    let mut loads: BTreeMap<CoreLink, u64> = BTreeMap::new();
     let mut total = 0u64;
     for y in 0..config.height {
         for x in 0..config.width {
-            let core = chip.core(x, y);
+            let Some(core) = chip.core(x, y) else {
+                continue;
+            };
             for n in 0..core.neurons() {
                 if let brainsim_core::Destination::Axon(target) = core.destination(n) {
                     // Walk the DOR path.

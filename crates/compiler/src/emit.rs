@@ -4,6 +4,7 @@ use std::fmt;
 
 use brainsim_chip::{Chip, ChipBuilder, ChipConfig, InjectError, TickSummary};
 use brainsim_core::{AxonTarget, CoreOffset, Destination};
+use brainsim_faults::{FaultPlan, FaultStats};
 use brainsim_corelet::LogicalNetwork;
 use serde::{Deserialize, Serialize};
 
@@ -150,6 +151,17 @@ impl CompiledNetwork {
     /// statistics), keeping the mapping. Use between independent trials.
     pub fn reset(&mut self) {
         self.chip.reset();
+    }
+
+    /// Applies a deterministic fault plan to the underlying chip (yield /
+    /// degradation studies). Apply at most once, before the first tick.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.chip.set_fault_plan(plan);
+    }
+
+    /// Aggregate fault statistics across the chip and all cores.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.chip.fault_stats()
     }
 
     /// Runs `ticks` ticks; `stimulus(t)` lists the input ports spiking at

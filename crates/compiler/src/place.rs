@@ -2,8 +2,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use brainsim_faults::DetRng;
 
 use crate::passes::Mapped;
 use crate::CompileOptions;
@@ -126,14 +125,14 @@ pub(crate) fn place(mapped: &Mapped, options: &CompileOptions) -> Placement {
     // Random-permutation baseline: the cost a placement-oblivious mapper
     // would pay (reported by the T3 experiment).
     let random_cost = {
-        let mut rng = SmallRng::seed_from_u64(options.seed as u64 ^ 0xACE);
+        let mut rng = DetRng::from_seed(options.seed as u64 ^ 0xACE);
         let mut cells: Vec<(usize, usize)> = (0..h)
             .flat_map(|y| (0..w).map(move |x| (x, y)))
             .filter(|&(x, y)| !is_faulty(x, y))
             .collect();
         // Fisher–Yates.
         for i in (1..cells.len()).rev() {
-            let j = rng.gen_range(0..=i);
+            let j = rng.usize_below(i + 1);
             cells.swap(i, j);
         }
         let random_positions: Vec<(usize, usize)> = (0..cores).map(|c| cells[c]).collect();
@@ -144,7 +143,7 @@ pub(crate) fn place(mapped: &Mapped, options: &CompileOptions) -> Placement {
     // incremental (delta) cost evaluation: only the edges incident to the
     // moved cores are re-measured, so large placements get many effective
     // proposals.
-    let mut rng = SmallRng::seed_from_u64(options.seed as u64);
+    let mut rng = DetRng::from_seed(options.seed as u64);
     let mut current = greedy_cost;
     if options.anneal_iters > 0 && cores > 1 && total_traffic > 0 {
         let incident = |positions: &[(usize, usize)], core: usize| -> u64 {
@@ -168,8 +167,8 @@ pub(crate) fn place(mapped: &Mapped, options: &CompileOptions) -> Placement {
         for iter in 0..options.anneal_iters {
             let progress = iter as f64 / options.anneal_iters as f64;
             let temperature = start_t * (1.0 - progress).powi(2) + 1e-9;
-            let a = rng.gen_range(0..cores);
-            let target = (rng.gen_range(0..w), rng.gen_range(0..h));
+            let a = rng.usize_below(cores);
+            let target = (rng.usize_below(w), rng.usize_below(h));
             if is_faulty(target.0, target.1) {
                 continue;
             }
@@ -196,7 +195,7 @@ pub(crate) fn place(mapped: &Mapped, options: &CompileOptions) -> Placement {
             };
             let accept = proposed <= current || {
                 let delta = (proposed - current) as f64;
-                rng.gen::<f64>() < (-delta / temperature).exp()
+                rng.next_f64() < (-delta / temperature).exp()
             };
             if accept {
                 current = proposed;

@@ -296,7 +296,7 @@ fn faulty_cells_are_avoided_and_behaviour_is_preserved() {
     // injecting; the placement itself is validated via the chip config and
     // the fact that each faulty cell hosts no neurons.
     for &(x, y) in &faulty {
-        let core = compiled.chip().core(x, y);
+        let core = compiled.chip().core(x, y).expect("cell on grid");
         assert!(
             (0..core.neurons()).all(|n| matches!(
                 core.destination(n),
@@ -305,7 +305,7 @@ fn faulty_cells_are_avoided_and_behaviour_is_preserved() {
             "faulty cell ({x},{y}) hosts logic"
         );
     }
-    let stim = |t: u64| if t % 2 == 0 { vec![0, 1] } else { vec![] };
+    let stim = |t: u64| if t.is_multiple_of(2) { vec![0, 1] } else { vec![] };
     let chip_raster = compiled.run(60, stim);
     let mut oracle = Interpreter::new(c.network(), 1);
     assert_eq!(chip_raster, oracle.run(60, stim));

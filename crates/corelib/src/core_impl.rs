@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use brainsim_faults::{FaultInjector, FaultStats, NeuronFault, StuckAt};
 use brainsim_neuron::{AxonType, Lfsr, Neuron, NeuronConfig};
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,9 @@ pub struct CoreStats {
     pub spikes: u64,
     /// Axon events consumed from the scheduler.
     pub axon_events: u64,
+    /// Faults injected into this core (all zero unless a fault plan was
+    /// applied via [`NeurosynapticCore::apply_faults`]).
+    pub faults: FaultStats,
 }
 
 impl CoreStats {
@@ -57,7 +61,23 @@ impl CoreStats {
         self.neuron_updates += other.neuron_updates;
         self.spikes += other.spikes;
         self.axon_events += other.axon_events;
+        self.faults.merge(&other.faults);
     }
+}
+
+/// Fault state applied to one core: present only when a plan injected
+/// something here, so the healthy path pays a single pointer test.
+#[derive(Debug, Clone)]
+struct CoreFaults {
+    /// The whole core is disabled: it consumes events but never evaluates.
+    dropped: bool,
+    /// Per-neuron "never fires" mask.
+    dead: Vec<bool>,
+    /// Sorted list of stuck-firing neurons (merged into each tick's output).
+    stuck: Vec<u16>,
+    /// Structural fault counts (sites disabled at apply time), re-seeded
+    /// into the statistics on reset so they survive [`NeurosynapticCore::reset`].
+    structural: FaultStats,
 }
 
 /// Error from [`CoreBuilder`] configuration calls.
@@ -188,6 +208,7 @@ impl CoreBuilder {
             now: 0,
             stats: CoreStats::default(),
             counts: vec![0u32; self.neurons * 4],
+            faults: None,
         }
     }
 }
@@ -206,6 +227,9 @@ pub struct NeurosynapticCore {
     stats: CoreStats,
     /// Reusable per-neuron × type event counters (sparse path scratch).
     counts: Vec<u32>,
+    /// Injected fault state; `None` (the overwhelmingly common case) keeps
+    /// the healthy tick path branch-free beyond one pointer test.
+    faults: Option<Box<CoreFaults>>,
 }
 
 impl NeurosynapticCore {
@@ -262,6 +286,74 @@ impl NeurosynapticCore {
         self.scheduler.is_idle()
     }
 
+    /// Whether a fault plan disabled this core outright.
+    #[inline]
+    pub fn is_dropped(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.dropped)
+    }
+
+    /// Applies a fault plan to this core as the core at grid position
+    /// `(x, y)`.
+    ///
+    /// Stuck-at crossbar cells are burned into the crossbar immediately, so
+    /// the per-tick integration loops stay untouched; dead / stuck-firing
+    /// neurons and whole-core dropout install a mask consulted once per
+    /// tick. Applying a benign injector is a no-op. Idempotence is not
+    /// guaranteed — apply a plan once, right after construction.
+    pub fn apply_faults(&mut self, injector: &FaultInjector, x: usize, y: usize) {
+        if injector.is_benign() {
+            return;
+        }
+        let neurons = self.neurons.len();
+        let mut faults = CoreFaults {
+            dropped: injector.core_dropped(x, y),
+            dead: vec![false; neurons],
+            stuck: Vec::new(),
+            structural: FaultStats::default(),
+        };
+        if faults.dropped {
+            faults.structural.cores_dropped += 1;
+        }
+        if injector.has_neuron_faults() {
+            for n in 0..neurons {
+                match injector.neuron_fault(x, y, n) {
+                    Some(NeuronFault::Dead) => {
+                        faults.dead[n] = true;
+                        faults.structural.neurons_dead += 1;
+                    }
+                    Some(NeuronFault::StuckFiring) => {
+                        faults.stuck.push(n as u16);
+                        faults.structural.neurons_stuck_firing += 1;
+                    }
+                    None => {}
+                }
+            }
+        }
+        if injector.has_synapse_faults() {
+            // Only cells whose programmed value actually flips are counted:
+            // a stuck-at-0 cell under an unprogrammed synapse is invisible.
+            for axon in 0..self.axon_types.len() {
+                for neuron in 0..neurons {
+                    match injector.synapse_fault(x, y, axon, neuron) {
+                        Some(StuckAt::Zero) if self.crossbar.get(axon, neuron) => {
+                            self.crossbar.set(axon, neuron, false);
+                            faults.structural.synapses_stuck_zero += 1;
+                        }
+                        Some(StuckAt::One) if !self.crossbar.get(axon, neuron) => {
+                            self.crossbar.set(axon, neuron, true);
+                            faults.structural.synapses_stuck_one += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        self.stats.faults.merge(&faults.structural);
+        if !faults.structural.is_empty() {
+            self.faults = Some(Box::new(faults));
+        }
+    }
+
     /// Schedules an axon event for integration at `target_tick`.
     ///
     /// # Errors
@@ -292,6 +384,14 @@ impl NeurosynapticCore {
     pub fn tick(&mut self, tick: u64) -> Vec<u16> {
         assert_eq!(tick, self.now, "core evaluated out of tick order");
         let bitmap = self.scheduler.take(tick);
+
+        if self.is_dropped() {
+            // A dropped core still consumes its scheduled events (the
+            // scheduler window must advance) but performs no work.
+            self.stats.ticks += 1;
+            self.now += 1;
+            return Vec::new();
+        }
 
         // Phase 1: synaptic integration into per-neuron type counters.
         self.counts.fill(0);
@@ -336,6 +436,36 @@ impl NeurosynapticCore {
             }
         }
 
+        if let Some(faults) = self.faults.as_deref() {
+            if faults.structural.neurons_dead > 0 {
+                let before = fired.len();
+                fired.retain(|&n| !faults.dead[n as usize]);
+                self.stats.faults.spikes_suppressed += (before - fired.len()) as u64;
+            }
+            if !faults.stuck.is_empty() {
+                // Merge the sorted stuck-firing list into the (sorted)
+                // natural firing order; forced = stuck neurons that would
+                // not have fired this tick anyway.
+                let mut merged = Vec::with_capacity(fired.len() + faults.stuck.len());
+                let (mut i, mut forced) = (0usize, 0u64);
+                for &s in &faults.stuck {
+                    while i < fired.len() && fired[i] < s {
+                        merged.push(fired[i]);
+                        i += 1;
+                    }
+                    if i < fired.len() && fired[i] == s {
+                        i += 1;
+                    } else {
+                        forced += 1;
+                    }
+                    merged.push(s);
+                }
+                merged.extend_from_slice(&fired[i..]);
+                fired = merged;
+                self.stats.faults.spikes_forced += forced;
+            }
+        }
+
         self.stats.ticks += 1;
         self.stats.axon_events += axon_events;
         self.stats.synaptic_events += synaptic_events;
@@ -354,6 +484,10 @@ impl NeurosynapticCore {
         self.scheduler = Scheduler::new(self.axons());
         self.now = 0;
         self.stats = CoreStats::default();
+        if let Some(faults) = self.faults.as_deref() {
+            // Structural defects persist across resets; re-seed their counts.
+            self.stats.faults = faults.structural;
+        }
     }
 }
 
@@ -547,6 +681,92 @@ mod tests {
             b.neuron(0, NeuronConfig::default(), bad16),
             Err(CoreBuildError::BadDelay(16))
         ));
+    }
+
+    #[test]
+    fn dead_neurons_suppress_spikes() {
+        use brainsim_faults::FaultPlan;
+        let mut core = one_to_one_core(8, EvalStrategy::Sparse);
+        core.apply_faults(&FaultInjector::new(&FaultPlan::new(1).with_dead_neuron(1.0)), 0, 0);
+        for a in 0..8 {
+            core.deliver(a, 0).unwrap();
+        }
+        assert_eq!(core.tick(0), Vec::<u16>::new());
+        assert_eq!(core.stats().faults.neurons_dead, 8);
+        assert_eq!(core.stats().faults.spikes_suppressed, 8);
+        assert_eq!(core.stats().spikes, 0);
+    }
+
+    #[test]
+    fn stuck_neurons_fire_every_tick_in_order() {
+        use brainsim_faults::FaultPlan;
+        let mut core = one_to_one_core(8, EvalStrategy::Sparse);
+        core.apply_faults(&FaultInjector::new(&FaultPlan::new(1).with_stuck_neuron(1.0)), 0, 0);
+        // Neuron 3 would fire naturally; all 8 must appear exactly once, sorted.
+        core.deliver(3, 0).unwrap();
+        let fired = core.tick(0);
+        assert_eq!(fired, (0..8).collect::<Vec<u16>>());
+        assert_eq!(core.stats().faults.spikes_forced, 7);
+        assert!(core.tick(1).len() == 8);
+    }
+
+    #[test]
+    fn dropped_core_consumes_events_silently() {
+        use brainsim_faults::FaultPlan;
+        let mut core = one_to_one_core(4, EvalStrategy::Sparse);
+        core.apply_faults(&FaultInjector::new(&FaultPlan::new(1).with_core_dropout(1.0)), 2, 3);
+        assert!(core.is_dropped());
+        core.deliver(0, 0).unwrap();
+        assert_eq!(core.tick(0), Vec::<u16>::new());
+        assert_eq!(core.stats().faults.cores_dropped, 1);
+        assert_eq!(core.stats().spikes, 0);
+        assert_eq!(core.now(), 1);
+    }
+
+    #[test]
+    fn stuck_at_faults_burn_into_crossbar() {
+        use brainsim_faults::FaultPlan;
+        let mut core = one_to_one_core(8, EvalStrategy::Sparse);
+        core.apply_faults(
+            &FaultInjector::new(&FaultPlan::new(1).with_synapse_stuck_zero(1.0)),
+            0,
+            0,
+        );
+        // Every programmed synapse was severed; spikes can no longer relay.
+        assert_eq!(core.stats().faults.synapses_stuck_zero, 8);
+        core.deliver(0, 0).unwrap();
+        assert_eq!(core.tick(0), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn benign_plan_leaves_core_untouched() {
+        use brainsim_faults::FaultPlan;
+        let mut healthy = one_to_one_core(8, EvalStrategy::Sparse);
+        let mut injected = one_to_one_core(8, EvalStrategy::Sparse);
+        injected.apply_faults(&FaultInjector::new(&FaultPlan::new(99)), 0, 0);
+        for t in 0..10u64 {
+            for a in 0..8 {
+                if (a + t as usize).is_multiple_of(3) {
+                    healthy.deliver(a, t).unwrap();
+                    injected.deliver(a, t).unwrap();
+                }
+            }
+            assert_eq!(healthy.tick(t), injected.tick(t));
+        }
+        assert_eq!(healthy.stats(), injected.stats());
+    }
+
+    #[test]
+    fn reset_preserves_structural_fault_counts() {
+        use brainsim_faults::FaultPlan;
+        let mut core = one_to_one_core(8, EvalStrategy::Sparse);
+        core.apply_faults(&FaultInjector::new(&FaultPlan::new(1).with_dead_neuron(1.0)), 0, 0);
+        core.deliver(0, 0).unwrap();
+        core.tick(0);
+        assert_eq!(core.stats().faults.spikes_suppressed, 1);
+        core.reset();
+        assert_eq!(core.stats().faults.neurons_dead, 8, "structural counts survive");
+        assert_eq!(core.stats().faults.spikes_suppressed, 0, "event counts cleared");
     }
 
     #[test]

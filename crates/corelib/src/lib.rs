@@ -45,6 +45,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod core_impl;
 mod crossbar;
@@ -56,7 +57,9 @@ pub use crossbar::Crossbar;
 pub use scheduler::{Scheduler, SCHEDULER_SLOTS};
 pub use spike::{AxonTarget, CoreOffset, DeliverError, Destination};
 
-// Re-export for downstream convenience: the core's axon/neuron vocabulary.
+// Re-export for downstream convenience: the core's axon/neuron vocabulary
+// and the fault-injection vocabulary accepted by `apply_faults`.
+pub use brainsim_faults::{FaultInjector, FaultPlan, FaultStats};
 pub use brainsim_neuron::{AxonType, Lfsr, NeuronConfig, Weight};
 
 /// Number of axons in a full-size core.

@@ -29,6 +29,7 @@
 //!     axon_events: 20_000_000,
 //!     hops: 60_000_000,
 //!     link_crossings: 0,
+//!     ..EventCensus::default()
 //! };
 //! let report = model.report(&census);
 //! assert!(report.total_mw > 0.0);
@@ -98,6 +99,13 @@ pub struct EventCensus {
     pub hops: u64,
     /// Inter-chip (tile boundary) link crossings.
     pub link_crossings: u64,
+    /// Spike packets lost in transit (fault drops, buffer-overflow
+    /// evictions, mesh-edge discards).
+    pub packets_dropped: u64,
+    /// Injection attempts refused by source-FIFO backpressure.
+    pub packets_rejected: u64,
+    /// Hop moves stalled by full downstream buffers (stall-cycles).
+    pub flit_stalls: u64,
 }
 
 impl EventCensus {
@@ -112,6 +120,9 @@ impl EventCensus {
         self.axon_events += other.axon_events;
         self.hops += other.hops;
         self.link_crossings += other.link_crossings;
+        self.packets_dropped += other.packets_dropped;
+        self.packets_rejected += other.packets_rejected;
+        self.flit_stalls += other.flit_stalls;
     }
 }
 
@@ -196,7 +207,7 @@ mod tests {
             spikes: synaptic / 100,
             axon_events: synaptic / 100,
             hops: synaptic / 50,
-            link_crossings: 0,
+            ..EventCensus::default()
         }
     }
 
@@ -254,7 +265,7 @@ mod tests {
             spikes: 1_000_000,
             axon_events: 1_000_000,
             hops: 1_000_000,
-            link_crossings: 0,
+            ..EventCensus::default()
         };
         let report = model.report(&heavy);
         assert!(
@@ -293,7 +304,7 @@ mod tests {
             spikes: (neurons * rate_hz) as u64,
             axon_events: (neurons * rate_hz) as u64,
             hops: (neurons * rate_hz * 10.0) as u64,
-            link_crossings: 0,
+            ..EventCensus::default()
         };
         let report = model.report(&census);
         assert!(

@@ -1,0 +1,363 @@
+//! The decision engine: answers "is this site/event faulty?" queries.
+
+use crate::plan::{FaultPlan, OverflowPolicy};
+use crate::rng::hash4;
+
+/// Decision domains keep fault classes statistically independent: the same
+/// coordinates hashed under different domains give unrelated bits.
+#[derive(Debug, Clone, Copy)]
+#[repr(u64)]
+enum Domain {
+    CoreDropout = 1,
+    DeadNeuron = 2,
+    StuckNeuron = 3,
+    SynapseStuckZero = 4,
+    SynapseStuckOne = 5,
+    LinkDrop = 6,
+    LinkCorrupt = 7,
+    LinkDelay = 8,
+}
+
+/// A permanent defect of one neuron.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeuronFault {
+    /// The neuron never fires; its would-be spikes are suppressed.
+    Dead,
+    /// The neuron fires every tick regardless of membrane state.
+    StuckFiring,
+}
+
+/// A permanent defect of one crossbar cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StuckAt {
+    /// The cell reads 0: the connection is severed.
+    Zero,
+    /// The cell reads 1: the connection is shorted closed.
+    One,
+}
+
+/// A transient defect of one in-flight delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The delivery vanishes.
+    Drop,
+    /// The destination is corrupted; `salt` deterministically selects the
+    /// bogus target (see [`crate::pick_cell`]).
+    Corrupt {
+        /// Hash bits identifying the corrupted destination.
+        salt: u64,
+    },
+    /// The delivery arrives the given number of ticks/cycles late.
+    Delay(u8),
+}
+
+/// Converts a rate in `[0, 1]` to a 64-bit comparison threshold.
+///
+/// A hash `h` is "hit" iff `h < threshold`; rate 0 can never hit (threshold
+/// 0), rate ≥ 1 always hits (threshold `u64::MAX`, with the single value
+/// `u64::MAX` itself also accepted via the saturating flag below).
+#[derive(Debug, Clone, Copy)]
+struct Threshold {
+    bound: u64,
+    always: bool,
+}
+
+impl Threshold {
+    fn from_rate(rate: f64) -> Threshold {
+        if rate.is_nan() || rate <= 0.0 {
+            // NaN and non-positive rates never fire.
+            Threshold {
+                bound: 0,
+                always: false,
+            }
+        } else if rate >= 1.0 {
+            Threshold {
+                bound: u64::MAX,
+                always: true,
+            }
+        } else {
+            // rate in (0, 1): the product is < 2^64, cast is exact enough
+            // (53-bit mantissa ⇒ error ≤ 2^11, i.e. < 2^-53 in probability).
+            Threshold {
+                bound: (rate * 18_446_744_073_709_551_616.0) as u64,
+                always: false,
+            }
+        }
+    }
+
+    #[inline]
+    fn hit(&self, hash: u64) -> bool {
+        self.always || hash < self.bound
+    }
+
+    #[inline]
+    fn live(&self) -> bool {
+        self.always || self.bound > 0
+    }
+}
+
+/// Compiled form of a [`FaultPlan`]: rates pre-converted to integer
+/// thresholds, ready for per-site and per-event queries.
+///
+/// All queries are `&self`, pure, and O(1); the injector can be shared
+/// freely across threads.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    seed: u64,
+    core_dropout: Threshold,
+    dead_neuron: Threshold,
+    stuck_neuron: Threshold,
+    synapse_stuck_zero: Threshold,
+    synapse_stuck_one: Threshold,
+    link_drop: Threshold,
+    link_corrupt: Threshold,
+    link_delay: Threshold,
+    link_delay_ticks: u8,
+    overflow_policy: OverflowPolicy,
+    benign: bool,
+}
+
+impl FaultInjector {
+    /// Compiles a plan into an injector.
+    pub fn new(plan: &FaultPlan) -> FaultInjector {
+        let inj = FaultInjector {
+            seed: plan.seed,
+            core_dropout: Threshold::from_rate(plan.core_dropout),
+            dead_neuron: Threshold::from_rate(plan.dead_neuron),
+            stuck_neuron: Threshold::from_rate(plan.stuck_neuron),
+            synapse_stuck_zero: Threshold::from_rate(plan.synapse_stuck_zero),
+            synapse_stuck_one: Threshold::from_rate(plan.synapse_stuck_one),
+            link_drop: Threshold::from_rate(plan.link_drop),
+            link_corrupt: Threshold::from_rate(plan.link_corrupt),
+            link_delay: Threshold::from_rate(plan.link_delay),
+            link_delay_ticks: plan.link_delay_ticks,
+            overflow_policy: plan.overflow_policy,
+            benign: true,
+        };
+        let benign = !(inj.core_dropout.live()
+            || inj.dead_neuron.live()
+            || inj.stuck_neuron.live()
+            || inj.synapse_stuck_zero.live()
+            || inj.synapse_stuck_one.live()
+            || inj.link_drop.live()
+            || inj.link_corrupt.live()
+            || inj.link_delay.live());
+        FaultInjector { benign, ..inj }
+    }
+
+    /// The seed all decisions derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when the plan cannot inject anything: hot paths may skip all
+    /// fault queries.
+    #[inline]
+    pub fn is_benign(&self) -> bool {
+        self.benign
+    }
+
+    /// True when any link fault (drop/corrupt/delay) can occur.
+    #[inline]
+    pub fn has_link_faults(&self) -> bool {
+        self.link_drop.live() || self.link_corrupt.live() || self.link_delay.live()
+    }
+
+    /// True when any per-neuron fault (dead/stuck-firing) can occur.
+    #[inline]
+    pub fn has_neuron_faults(&self) -> bool {
+        self.dead_neuron.live() || self.stuck_neuron.live()
+    }
+
+    /// True when any crossbar-cell fault can occur.
+    #[inline]
+    pub fn has_synapse_faults(&self) -> bool {
+        self.synapse_stuck_zero.live() || self.synapse_stuck_one.live()
+    }
+
+    /// The configured router buffer-overflow policy.
+    pub fn overflow_policy(&self) -> OverflowPolicy {
+        self.overflow_policy
+    }
+
+    #[inline]
+    fn roll(&self, domain: Domain, a: u64, b: u64, c: u64) -> u64 {
+        hash4(self.seed, domain as u64, a, b, c)
+    }
+
+    /// Is the core at `(x, y)` dropped entirely?
+    pub fn core_dropped(&self, x: usize, y: usize) -> bool {
+        self.core_dropout.live()
+            && self
+                .core_dropout
+                .hit(self.roll(Domain::CoreDropout, x as u64, y as u64, 0))
+    }
+
+    /// The permanent fault (if any) of neuron `neuron` on core `(x, y)`.
+    /// Dead wins over stuck-firing when both thresholds hit.
+    pub fn neuron_fault(&self, x: usize, y: usize, neuron: usize) -> Option<NeuronFault> {
+        if self.dead_neuron.live()
+            && self
+                .dead_neuron
+                .hit(self.roll(Domain::DeadNeuron, x as u64, y as u64, neuron as u64))
+        {
+            return Some(NeuronFault::Dead);
+        }
+        if self.stuck_neuron.live()
+            && self
+                .stuck_neuron
+                .hit(self.roll(Domain::StuckNeuron, x as u64, y as u64, neuron as u64))
+        {
+            return Some(NeuronFault::StuckFiring);
+        }
+        None
+    }
+
+    /// The permanent fault (if any) of the crossbar cell `(axon, neuron)`
+    /// on core `(x, y)`. Stuck-at-0 wins over stuck-at-1 when both hit.
+    pub fn synapse_fault(
+        &self,
+        x: usize,
+        y: usize,
+        axon: usize,
+        neuron: usize,
+    ) -> Option<StuckAt> {
+        // Pack the core into one word so the cell keeps two free slots.
+        let core = ((x as u64) << 32) | y as u64;
+        if self.synapse_stuck_zero.live()
+            && self.synapse_stuck_zero.hit(self.roll(
+                Domain::SynapseStuckZero,
+                core,
+                axon as u64,
+                neuron as u64,
+            ))
+        {
+            return Some(StuckAt::Zero);
+        }
+        if self.synapse_stuck_one.live()
+            && self.synapse_stuck_one.hit(self.roll(
+                Domain::SynapseStuckOne,
+                core,
+                axon as u64,
+                neuron as u64,
+            ))
+        {
+            return Some(StuckAt::One);
+        }
+        None
+    }
+
+    /// The transient fault (if any) striking one delivery event.
+    ///
+    /// `time` is the tick (chip layer) or cycle (NoC layer); `src` packs
+    /// the sender identity; `event` disambiguates multiple deliveries from
+    /// the same sender at the same time (e.g. fan-out index or flit hop).
+    /// Drop wins over corrupt wins over delay.
+    pub fn link_fault(&self, time: u64, src: u64, event: u64) -> Option<LinkFault> {
+        if self.link_drop.live()
+            && self
+                .link_drop
+                .hit(self.roll(Domain::LinkDrop, time, src, event))
+        {
+            return Some(LinkFault::Drop);
+        }
+        if self.link_corrupt.live() {
+            let h = self.roll(Domain::LinkCorrupt, time, src, event);
+            if self.link_corrupt.hit(h) {
+                // Reuse the high bits of the decision hash as the salt so
+                // corruption target needs no second hash.
+                return Some(LinkFault::Corrupt {
+                    salt: h.rotate_left(32),
+                });
+            }
+        }
+        if self.link_delay.live()
+            && self
+                .link_delay
+                .hit(self.roll(Domain::LinkDelay, time, src, event))
+        {
+            return Some(LinkFault::Delay(self.link_delay_ticks));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_plan_answers_no_everywhere() {
+        let inj = FaultInjector::new(&FaultPlan::new(1));
+        assert!(inj.is_benign());
+        assert!(!inj.has_link_faults());
+        for i in 0..100 {
+            assert!(!inj.core_dropped(i, i + 1));
+            assert_eq!(inj.neuron_fault(0, 0, i), None);
+            assert_eq!(inj.synapse_fault(0, 0, i, i), None);
+            assert_eq!(inj.link_fault(i as u64, 0, 0), None);
+        }
+    }
+
+    #[test]
+    fn rate_one_hits_everywhere() {
+        let inj = FaultInjector::new(
+            &FaultPlan::new(2)
+                .with_core_dropout(1.0)
+                .with_dead_neuron(1.0)
+                .with_synapse_stuck_zero(1.0)
+                .with_link_drop(1.0),
+        );
+        for i in 0..100 {
+            assert!(inj.core_dropped(i, i));
+            assert_eq!(inj.neuron_fault(0, 0, i), Some(NeuronFault::Dead));
+            assert_eq!(inj.synapse_fault(0, 0, i, i), Some(StuckAt::Zero));
+            assert_eq!(inj.link_fault(i as u64, 1, 2), Some(LinkFault::Drop));
+        }
+    }
+
+    #[test]
+    fn decisions_are_repeatable_and_seeded() {
+        let plan = FaultPlan::uniform(0xABCD, 0.3).with_stuck_neuron(0.2);
+        let a = FaultInjector::new(&plan);
+        let b = FaultInjector::new(&plan);
+        let c = FaultInjector::new(&FaultPlan::uniform(0xABCE, 0.3).with_stuck_neuron(0.2));
+        let mut diverged = false;
+        for n in 0..500 {
+            assert_eq!(a.neuron_fault(3, 1, n), b.neuron_fault(3, 1, n));
+            assert_eq!(a.link_fault(n as u64, 9, 0), b.link_fault(n as u64, 9, 0));
+            diverged |= a.neuron_fault(3, 1, n) != c.neuron_fault(3, 1, n);
+        }
+        assert!(diverged, "different seeds must give different patterns");
+    }
+
+    #[test]
+    fn empirical_rates_are_close() {
+        let inj = FaultInjector::new(&FaultPlan::new(77).with_dead_neuron(0.25));
+        let hits = (0..20_000)
+            .filter(|&n| inj.neuron_fault(0, 0, n).is_some())
+            .count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn delay_carries_configured_magnitude() {
+        let inj = FaultInjector::new(&FaultPlan::new(5).with_link_delay(1.0, 4));
+        assert_eq!(inj.link_fault(0, 0, 0), Some(LinkFault::Delay(4)));
+    }
+
+    #[test]
+    fn corrupt_salt_is_deterministic() {
+        let inj = FaultInjector::new(&FaultPlan::new(5).with_link_corrupt(1.0));
+        assert_eq!(inj.link_fault(7, 8, 9), inj.link_fault(7, 8, 9));
+        assert_ne!(inj.link_fault(7, 8, 9), inj.link_fault(7, 8, 10));
+    }
+
+    #[test]
+    fn nan_rate_is_inert() {
+        let inj = FaultInjector::new(&FaultPlan::new(5).with_link_drop(f64::NAN));
+        assert!(inj.is_benign());
+        assert_eq!(inj.link_fault(0, 0, 0), None);
+    }
+}

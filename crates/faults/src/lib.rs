@@ -1,0 +1,45 @@
+//! # brainsim-faults
+//!
+//! Deterministic fault injection for the neurosynaptic-core simulator.
+//!
+//! Real neuromorphic silicon ships with yield defects — dead neurons,
+//! stuck crossbar bits, flaky mesh links — and the architecture is
+//! expressly designed to degrade gracefully under them. This crate models
+//! those defects as a *seeded, fully deterministic* [`FaultPlan`]: every
+//! fault decision is a pure function of the plan's `u64` seed and the
+//! coordinates of the decision (core, neuron, axon, tick…), computed by a
+//! counter-based hash rather than a streaming RNG. Two consequences:
+//!
+//! * **Reproducibility** — the same seed produces bit-identical fault
+//!   patterns regardless of evaluation order, thread count, or how many
+//!   times a query is repeated.
+//! * **Zero cost when benign** — a plan with all rates at zero is
+//!   detectably benign ([`FaultInjector::is_benign`]), so the simulator's
+//!   hot paths skip fault queries entirely.
+//!
+//! Injected and absorbed faults are counted in [`FaultStats`], which the
+//! core, NoC and chip layers merge into their own statistics blocks.
+//!
+//! ```
+//! use brainsim_faults::{FaultInjector, FaultPlan};
+//!
+//! let plan = FaultPlan::new(0xFEED).with_dead_neuron(0.05);
+//! let injector = FaultInjector::new(&plan);
+//! let a = injector.neuron_fault(0, 0, 17);
+//! let b = injector.neuron_fault(0, 0, 17);
+//! assert_eq!(a, b); // decisions are pure functions of the seed
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+mod inject;
+mod plan;
+mod rng;
+mod stats;
+
+pub use inject::{FaultInjector, LinkFault, NeuronFault, StuckAt};
+pub use plan::{FaultPlan, OverflowPolicy};
+pub use rng::{pick_cell, DetRng};
+pub use stats::FaultStats;

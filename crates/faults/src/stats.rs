@@ -1,0 +1,108 @@
+//! Counters for every fault injected or absorbed during a run.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-layer fault accounting, merged upward into core, NoC and chip
+/// statistics.
+///
+/// Structural counters (`cores_dropped`, `neurons_dead`, …) count *sites*
+/// disabled at apply time; event counters (`spikes_suppressed`,
+/// `packets_dropped`, …) count per-tick occurrences.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Cores disabled outright by the plan.
+    pub cores_dropped: u64,
+    /// Neurons configured to never fire.
+    pub neurons_dead: u64,
+    /// Neurons configured to fire every tick.
+    pub neurons_stuck_firing: u64,
+    /// Crossbar cells forced to 0.
+    pub synapses_stuck_zero: u64,
+    /// Crossbar cells forced to 1.
+    pub synapses_stuck_one: u64,
+    /// Spikes a dead neuron (or dropped core) would have fired.
+    pub spikes_suppressed: u64,
+    /// Spikes forced by stuck-firing neurons.
+    pub spikes_forced: u64,
+    /// Spike deliveries / packets dropped in transit.
+    pub packets_dropped: u64,
+    /// Deliveries whose destination was corrupted en route.
+    pub packets_corrupted: u64,
+    /// Deliveries delayed by the plan's delay fault.
+    pub packets_delayed: u64,
+    /// Flits discarded because a fault-delayed queue overflowed.
+    pub flits_dropped_overflow: u64,
+    /// Deliveries that failed at the destination and were absorbed
+    /// (counted, not panicked) under degraded operation.
+    pub deliveries_failed: u64,
+}
+
+impl FaultStats {
+    /// Accumulates another statistics block into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.cores_dropped += other.cores_dropped;
+        self.neurons_dead += other.neurons_dead;
+        self.neurons_stuck_firing += other.neurons_stuck_firing;
+        self.synapses_stuck_zero += other.synapses_stuck_zero;
+        self.synapses_stuck_one += other.synapses_stuck_one;
+        self.spikes_suppressed += other.spikes_suppressed;
+        self.spikes_forced += other.spikes_forced;
+        self.packets_dropped += other.packets_dropped;
+        self.packets_corrupted += other.packets_corrupted;
+        self.packets_delayed += other.packets_delayed;
+        self.flits_dropped_overflow += other.flits_dropped_overflow;
+        self.deliveries_failed += other.deliveries_failed;
+    }
+
+    /// Total number of fault events recorded (structural sites plus
+    /// per-event occurrences).
+    pub fn total(&self) -> u64 {
+        self.cores_dropped
+            + self.neurons_dead
+            + self.neurons_stuck_firing
+            + self.synapses_stuck_zero
+            + self.synapses_stuck_one
+            + self.spikes_suppressed
+            + self.spikes_forced
+            + self.packets_dropped
+            + self.packets_corrupted
+            + self.packets_delayed
+            + self.flits_dropped_overflow
+            + self.deliveries_failed
+    }
+
+    /// True when no fault of any kind was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        assert!(FaultStats::default().is_empty());
+        assert_eq!(FaultStats::default().total(), 0);
+    }
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let mut a = FaultStats {
+            neurons_dead: 2,
+            packets_dropped: 5,
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            neurons_dead: 1,
+            spikes_forced: 7,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.neurons_dead, 3);
+        assert_eq!(a.packets_dropped, 5);
+        assert_eq!(a.spikes_forced, 7);
+        assert_eq!(a.total(), 15);
+    }
+}

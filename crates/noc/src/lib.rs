@@ -27,14 +27,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod mesh;
 mod packet;
 mod router;
 
-pub use mesh::{MeshNoc, NocConfig, NocStats};
+pub use mesh::{MeshNoc, NocConfig, NocInjectError, NocStats};
 pub use packet::{Packet, PacketDecodeError};
 pub use router::{Flit, Port, Router, RoutingOrder, PORTS};
+
+// Re-export the fault vocabulary accepted by `MeshNoc::set_fault_injector`.
+pub use brainsim_faults::{FaultInjector, FaultPlan, FaultStats, OverflowPolicy};
 
 /// Closed-form number of mesh hops a packet with the given offset travels
 /// under dimension-order routing (one hop per traversed link; 0 for a

@@ -1,5 +1,8 @@
 //! The full mesh fabric: routers wired into a grid.
 
+use std::fmt;
+
+use brainsim_faults::{FaultInjector, FaultStats, LinkFault, OverflowPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::packet::Packet;
@@ -44,6 +47,44 @@ pub struct Delivery {
     pub hops: u32,
 }
 
+/// Error from [`MeshNoc::inject`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NocInjectError {
+    /// The source coordinates are outside the mesh.
+    SourceOffMesh {
+        /// Attempted source x.
+        x: usize,
+        /// Attempted source y.
+        y: usize,
+    },
+    /// The packet's destination is outside the mesh.
+    DestinationOffMesh {
+        /// Computed destination x (may be negative).
+        x: i64,
+        /// Computed destination y (may be negative).
+        y: i64,
+    },
+    /// The source FIFO was full; the packet is handed back so the caller
+    /// can model source queuing. Counted in [`NocStats::rejected`].
+    Backpressure(Packet),
+}
+
+impl fmt::Display for NocInjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocInjectError::SourceOffMesh { x, y } => {
+                write!(f, "source ({x}, {y}) off-mesh")
+            }
+            NocInjectError::DestinationOffMesh { x, y } => {
+                write!(f, "packet destination ({x}, {y}) off-mesh")
+            }
+            NocInjectError::Backpressure(_) => write!(f, "source FIFO full"),
+        }
+    }
+}
+
+impl std::error::Error for NocInjectError {}
+
 /// Aggregate mesh statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NocStats {
@@ -55,6 +96,9 @@ pub struct NocStats {
     pub rejected: u64,
     /// Hop moves refused by downstream backpressure (stall-cycles).
     pub stalls: u64,
+    /// Packets lost in transit: fault drops, fault-queue overflows, and
+    /// misrouted flits discarded at the mesh edge.
+    pub dropped: u64,
     /// Cycles simulated.
     pub cycles: u64,
     /// Sum of delivery latencies (cycles).
@@ -63,6 +107,8 @@ pub struct NocStats {
     pub max_latency: u64,
     /// Sum of per-packet hop counts.
     pub total_hops: u64,
+    /// Fault-injection accounting (all zero without a fault injector).
+    pub faults: FaultStats,
 }
 
 impl NocStats {
@@ -86,7 +132,7 @@ impl NocStats {
 
     /// Packets still in flight.
     pub fn in_flight(&self) -> u64 {
-        self.injected - self.delivered
+        self.injected - self.delivered - self.dropped
     }
 }
 
@@ -97,6 +143,10 @@ pub struct MeshNoc {
     routers: Vec<Router>,
     now: u64,
     stats: NocStats,
+    /// Optional link-fault injector; `None` keeps the hop path unchanged.
+    injector: Option<FaultInjector>,
+    /// Flits held back by delay faults: `(release_cycle, router, port, flit)`.
+    delayed: Vec<(u64, usize, Port, Flit)>,
 }
 
 impl MeshNoc {
@@ -115,7 +165,20 @@ impl MeshNoc {
             routers,
             now: 0,
             stats: NocStats::default(),
+            injector: None,
+            delayed: Vec::new(),
         }
+    }
+
+    /// Installs a link-fault injector; hops roll for drop / corrupt / delay
+    /// faults from the next cycle on. A benign injector is discarded so the
+    /// healthy path stays fault-free.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = if injector.has_link_faults() {
+            Some(injector)
+        } else {
+            None
+        };
     }
 
     /// The mesh configuration.
@@ -133,9 +196,22 @@ impl MeshNoc {
         &self.stats
     }
 
-    /// Flits currently buffered anywhere in the mesh.
+    /// Exports the mesh's contribution to the chip-wide event census:
+    /// router hops, lost packets, refused injections, and stall-cycles.
+    pub fn census(&self) -> brainsim_energy::EventCensus {
+        brainsim_energy::EventCensus {
+            hops: self.stats.total_hops,
+            packets_dropped: self.stats.dropped,
+            packets_rejected: self.stats.rejected,
+            flit_stalls: self.stats.stalls,
+            ..Default::default()
+        }
+    }
+
+    /// Flits currently buffered anywhere in the mesh, including flits held
+    /// back by fault-injected delays.
     pub fn buffered(&self) -> usize {
-        self.routers.iter().map(Router::buffered).sum()
+        self.routers.iter().map(Router::buffered).sum::<usize>() + self.delayed.len()
     }
 
     #[inline]
@@ -147,21 +223,24 @@ impl MeshNoc {
     ///
     /// # Errors
     ///
-    /// Returns the packet back if the source FIFO is full (the caller models
-    /// source queuing) — counted in [`NocStats::rejected`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the source coordinates or the packet's destination are
-    /// outside the mesh.
-    pub fn inject(&mut self, x: usize, y: usize, packet: Packet) -> Result<(), Packet> {
-        assert!(x < self.config.width && y < self.config.height, "source off-mesh");
+    /// * [`NocInjectError::SourceOffMesh`] / [`NocInjectError::DestinationOffMesh`]
+    ///   if either endpoint lies outside the grid.
+    /// * [`NocInjectError::Backpressure`] if the source FIFO is full; the
+    ///   packet is handed back (the caller models source queuing) and the
+    ///   refusal is counted in [`NocStats::rejected`].
+    pub fn inject(&mut self, x: usize, y: usize, packet: Packet) -> Result<(), NocInjectError> {
+        if x >= self.config.width || y >= self.config.height {
+            return Err(NocInjectError::SourceOffMesh { x, y });
+        }
         let tx = x as i64 + packet.dx as i64;
         let ty = y as i64 + packet.dy as i64;
-        assert!(
-            tx >= 0 && (tx as usize) < self.config.width && ty >= 0 && (ty as usize) < self.config.height,
-            "packet destination ({tx}, {ty}) off-mesh"
-        );
+        if tx < 0
+            || (tx as usize) >= self.config.width
+            || ty < 0
+            || (ty as usize) >= self.config.height
+        {
+            return Err(NocInjectError::DestinationOffMesh { x: tx, y: ty });
+        }
         let flit = Flit {
             packet,
             injected_at: self.now,
@@ -173,7 +252,52 @@ impl MeshNoc {
             Ok(())
         } else {
             self.stats.rejected += 1;
-            Err(packet)
+            Err(NocInjectError::Backpressure(packet))
+        }
+    }
+
+    /// Re-admits fault-delayed flits whose release cycle has arrived,
+    /// applying the configured buffer-overflow policy when the target FIFO
+    /// is full.
+    fn release_delayed(&mut self) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let policy = self
+            .injector
+            .as_ref()
+            .map(FaultInjector::overflow_policy)
+            .unwrap_or_default();
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 > now {
+                i += 1;
+                continue;
+            }
+            let (_, idx, port, flit) = self.delayed.remove(i);
+            if self.routers[idx].accept(port, flit) {
+                continue;
+            }
+            match policy {
+                OverflowPolicy::DropNewest => {
+                    self.stats.dropped += 1;
+                    self.stats.faults.flits_dropped_overflow += 1;
+                }
+                OverflowPolicy::DropOldest => {
+                    // Evict the head of the full queue to make room.
+                    if self.routers[idx].evict_oldest(port).is_some() {
+                        self.stats.dropped += 1;
+                        self.stats.faults.flits_dropped_overflow += 1;
+                        let accepted = self.routers[idx].accept(port, flit);
+                        debug_assert!(accepted, "evicted queue still full");
+                    } else {
+                        // Zero-capacity queue (cannot happen: capacity ≥ 1).
+                        self.stats.dropped += 1;
+                        self.stats.faults.flits_dropped_overflow += 1;
+                    }
+                }
+            }
         }
     }
 
@@ -183,6 +307,7 @@ impl MeshNoc {
     /// blocked by downstream backpressure stall in place and are counted in
     /// [`NocStats::stalls`].
     pub fn cycle(&mut self) -> Vec<Delivery> {
+        self.release_delayed();
         let width = self.config.width;
         let height = self.config.height;
         let mut deliveries = Vec::new();
@@ -222,7 +347,19 @@ impl MeshNoc {
                     }
                     let off_mesh =
                         nx < 0 || ny < 0 || nx as usize >= width || ny as usize >= height;
-                    assert!(!off_mesh, "flit attempted to leave the mesh at ({x}, {y})");
+                    if off_mesh {
+                        // A misrouted flit (possible only under destination
+                        // corruption or a malformed injection) is discarded
+                        // at the mesh edge instead of tearing down the
+                        // simulation.
+                        if self.routers[idx]
+                            .arbitrate_ordered(port, self.config.routing)
+                            .is_some()
+                        {
+                            self.stats.dropped += 1;
+                        }
+                        continue;
+                    }
                     let nidx = self.index(nx as usize, ny as usize);
                     let input = match port {
                         Port::East => Port::West,
@@ -248,6 +385,43 @@ impl MeshNoc {
                             Port::Local => unreachable!(),
                         }
                         flit.hops += 1;
+                        if let Some(injector) = &self.injector {
+                            // At most one flit crosses a given (router, port)
+                            // link per cycle, so (cycle, link) is a unique,
+                            // order-independent decision coordinate.
+                            let link = ((idx as u64) << 3) | port.index() as u64;
+                            let event =
+                                ((flit.packet.axon as u64) << 8) | flit.packet.slot as u64;
+                            match injector.link_fault(self.now, link, event) {
+                                Some(LinkFault::Drop) => {
+                                    self.stats.dropped += 1;
+                                    self.stats.faults.packets_dropped += 1;
+                                    continue;
+                                }
+                                Some(LinkFault::Corrupt { salt }) => {
+                                    // Re-aim at a deterministic bogus core,
+                                    // relative to the router the flit just
+                                    // reached.
+                                    let (cx, cy) =
+                                        brainsim_faults::pick_cell(salt, width, height);
+                                    flit.packet.dx = (cx as i64 - nx) as i16;
+                                    flit.packet.dy = (cy as i64 - ny) as i16;
+                                    self.stats.faults.packets_corrupted += 1;
+                                }
+                                Some(LinkFault::Delay(ticks)) => {
+                                    self.stats.faults.packets_delayed += 1;
+                                    staged_count[nidx][input.index()] += 1;
+                                    self.delayed.push((
+                                        self.now + ticks as u64,
+                                        nidx,
+                                        input,
+                                        flit,
+                                    ));
+                                    continue;
+                                }
+                                None => {}
+                            }
+                        }
                         staged_count[nidx][input.index()] += 1;
                         staged.push((nidx, input, flit));
                     }
@@ -399,6 +573,10 @@ mod tests {
         assert!(noc.inject(0, 0, pkt(1, 0)).is_ok());
         assert!(noc.inject(0, 0, pkt(1, 0)).is_err());
         assert_eq!(noc.stats().rejected, 1);
+        // The refusal is also surfaced through the census export.
+        assert_eq!(noc.census().packets_rejected, 1);
+        noc.drain(20);
+        assert_eq!(noc.census().hops, noc.stats().total_hops);
     }
 
     #[test]
@@ -425,10 +603,140 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "off-mesh")]
-    fn inject_off_mesh_destination_panics() {
+    fn inject_off_mesh_is_typed_error() {
         let mut noc = mesh(2, 2);
-        noc.inject(0, 0, pkt(5, 0)).unwrap();
+        assert_eq!(
+            noc.inject(0, 0, pkt(5, 0)),
+            Err(NocInjectError::DestinationOffMesh { x: 5, y: 0 })
+        );
+        assert_eq!(
+            noc.inject(9, 0, pkt(0, 0)),
+            Err(NocInjectError::SourceOffMesh { x: 9, y: 0 })
+        );
+        // Off-mesh attempts are configuration errors, not backpressure:
+        // they must not perturb the statistics.
+        assert_eq!(noc.stats().injected, 0);
+        assert_eq!(noc.stats().rejected, 0);
+    }
+
+    #[test]
+    fn backpressure_error_returns_packet() {
+        let mut noc = MeshNoc::new(NocConfig {
+            width: 2,
+            height: 1,
+            fifo_capacity: 1,
+            ..NocConfig::default()
+        });
+        noc.inject(0, 0, pkt(1, 0)).unwrap();
+        match noc.inject(0, 0, pkt(1, 0)) {
+            Err(NocInjectError::Backpressure(p)) => assert_eq!(p, pkt(1, 0)),
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_link_fault_drops_all_traffic() {
+        use brainsim_faults::{FaultInjector, FaultPlan};
+        let mut noc = mesh(4, 4);
+        noc.set_fault_injector(FaultInjector::new(&FaultPlan::new(3).with_link_drop(1.0)));
+        let mut sent = 0u64;
+        for y in 0..4i16 {
+            for x in 0..4i16 {
+                if x == 3 && y == 3 {
+                    continue; // local deliveries never cross a link
+                }
+                if noc.inject(x as usize, y as usize, Packet::new(3 - x, 3 - y, 0, 0).unwrap()).is_ok() {
+                    sent += 1;
+                }
+            }
+        }
+        let deliveries = noc.drain(1000);
+        assert!(deliveries.is_empty(), "every packet crosses ≥1 faulty link");
+        assert_eq!(noc.stats().dropped, sent);
+        assert_eq!(noc.stats().faults.packets_dropped, sent);
+        assert_eq!(noc.stats().in_flight(), 0);
+        assert_eq!(noc.buffered(), 0);
+    }
+
+    #[test]
+    fn corrupted_packets_still_deliver_somewhere() {
+        use brainsim_faults::{FaultInjector, FaultPlan};
+        let mut noc = mesh(4, 4);
+        noc.set_fault_injector(FaultInjector::new(&FaultPlan::new(3).with_link_corrupt(1.0)));
+        noc.inject(0, 0, pkt(3, 3)).unwrap();
+        let deliveries = noc.drain(1000);
+        // Conservation still holds: the packet lands, just not at (3, 3)
+        // necessarily; and the mesh fully drains.
+        assert_eq!(deliveries.len(), 1);
+        assert!(noc.stats().faults.packets_corrupted >= 1);
+        assert_eq!(noc.buffered(), 0);
+    }
+
+    #[test]
+    fn delay_fault_adds_latency_but_conserves() {
+        use brainsim_faults::{FaultInjector, FaultPlan};
+        let run = |delay_rate: f64| {
+            let mut noc = mesh(5, 1);
+            noc.set_fault_injector(FaultInjector::new(
+                &FaultPlan::new(11).with_link_delay(delay_rate, 5),
+            ));
+            noc.inject(0, 0, pkt(4, 0)).unwrap();
+            let deliveries = noc.drain(1000);
+            assert_eq!(deliveries.len(), 1);
+            deliveries[0].latency
+        };
+        let healthy = run(0.0);
+        let delayed = run(1.0);
+        // A delayed hop takes `ticks` cycles instead of 1: +4 per hop here.
+        assert!(
+            delayed >= healthy + 4 * (5 - 1),
+            "4 delayed hops at +4 extra cycles each: {healthy} vs {delayed}"
+        );
+    }
+
+    #[test]
+    fn fault_pattern_is_seed_deterministic() {
+        use brainsim_faults::{FaultInjector, FaultPlan};
+        let run = |seed: u64| {
+            let mut noc = mesh(4, 4);
+            noc.set_fault_injector(FaultInjector::new(
+                &FaultPlan::new(seed)
+                    .with_link_drop(0.3)
+                    .with_link_corrupt(0.2)
+                    .with_link_delay(0.2, 2),
+            ));
+            for y in 0..4i16 {
+                for x in 0..4i16 {
+                    let _ = noc.inject(x as usize, y as usize, Packet::new(3 - x, 3 - y, 7, 1).unwrap());
+                }
+            }
+            let mut deliveries = noc.drain(1000);
+            deliveries.sort_by_key(|d| (d.x, d.y, d.latency));
+            (deliveries, *noc.stats())
+        };
+        let (d1, s1) = run(42);
+        let (d2, s2) = run(42);
+        assert_eq!(d1, d2);
+        assert_eq!(s1, s2);
+        let (_, s3) = run(43);
+        assert_ne!(s1, s3, "different seeds give different fault patterns");
+    }
+
+    #[test]
+    fn benign_injector_is_discarded() {
+        use brainsim_faults::{FaultInjector, FaultPlan};
+        let mut faulty = mesh(4, 4);
+        faulty.set_fault_injector(FaultInjector::new(&FaultPlan::new(5)));
+        let mut healthy = mesh(4, 4);
+        for noc in [&mut faulty, &mut healthy] {
+            for y in 0..4i16 {
+                for x in 0..4i16 {
+                    let _ = noc.inject(x as usize, y as usize, Packet::new(3 - x, 3 - y, 0, 0).unwrap());
+                }
+            }
+        }
+        assert_eq!(faulty.drain(1000), healthy.drain(1000));
+        assert_eq!(faulty.stats(), healthy.stats());
     }
 
     #[test]

@@ -143,6 +143,14 @@ impl Router {
         true
     }
 
+    /// Pops the oldest flit of one input FIFO, regardless of routing.
+    ///
+    /// Used by fault injection's `DropOldest` overflow policy to evict the
+    /// head of a full queue; returns `None` when the queue is empty.
+    pub fn evict_oldest(&mut self, port: Port) -> Option<Flit> {
+        self.inputs[port.index()].pop_front()
+    }
+
     /// Occupancy of one input FIFO.
     pub fn occupancy(&self, port: Port) -> usize {
         self.inputs[port.index()].len()

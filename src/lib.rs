@@ -81,6 +81,7 @@ pub use brainsim_core as core;
 pub use brainsim_corelet as corelet;
 pub use brainsim_encoding as encoding;
 pub use brainsim_energy as energy;
+pub use brainsim_faults as faults;
 pub use brainsim_neuron as neuron;
 pub use brainsim_noc as noc;
 pub use brainsim_snn as snn;

@@ -143,6 +143,7 @@ fn aer_record_and_replay_round_trip() {
                 tick: t,
                 spikes: 1,
                 outputs: vec![0],
+                faults: Default::default(),
             });
         }
     }

@@ -1,0 +1,239 @@
+//! Offline minimal stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the `bytes` API the workspace uses — the
+//! [`Buf`]/[`BufMut`] cursor traits and a growable [`BytesMut`] buffer —
+//! with identical observable semantics for that subset. The build
+//! environment is sealed (no registry access), so the wire-format code
+//! links against this stub instead of crates.io.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Read cursor over a contiguous byte source (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt` exceeds [`Buf::remaining`].
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies bytes into `dst`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian unsigned integer of `nbytes` bytes (1..=8).
+    fn get_uint(&mut self, nbytes: usize) -> u64 {
+        assert!((1..=8).contains(&nbytes), "get_uint supports 1..=8 bytes");
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b[8 - nbytes..]);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor appending to a byte sink (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends the low `nbytes` bytes of `v`, big-endian (1..=8).
+    fn put_uint(&mut self, v: u64, nbytes: usize) {
+        assert!((1..=8).contains(&nbytes), "put_uint supports 1..=8 bytes");
+        self.put_slice(&v.to_be_bytes()[8 - nbytes..]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable byte buffer with a read cursor (subset of `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    read: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+            read: 0,
+        }
+    }
+
+    /// Unread bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.read
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns the first `at` unread bytes as a new buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` exceeds [`BytesMut::len`].
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.data[self.read..self.read + at].to_vec();
+        self.read += at;
+        BytesMut {
+            data: head,
+            read: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.read..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.read..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        self.read += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_round_trip() {
+        let mut buf = BytesMut::new();
+        buf.put_uint(0x1_2345_6789, 5);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf.get_uint(5), 0x1_2345_6789);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn u32_and_slice_round_trip() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"AER1");
+        buf.put_u32(7);
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"AER1");
+        assert_eq!(buf.get_u32(), 7);
+    }
+
+    #[test]
+    fn split_to_takes_prefix() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[1, 2, 3, 4, 5]);
+        let mut head = buf.split_to(2);
+        assert_eq!(head.get_u8(), 1);
+        assert_eq!(head.get_u8(), 2);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.get_u8(), 3);
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let mut s: &[u8] = &[0, 0, 0, 9];
+        assert_eq!(s.remaining(), 4);
+        assert_eq!(s.get_u32(), 9);
+        assert_eq!(s.remaining(), 0);
+    }
+}

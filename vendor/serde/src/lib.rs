@@ -1,0 +1,19 @@
+//! Offline trait-marker stand-in for `serde`.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so a real serialisation backend can be dropped in later,
+//! but the sealed build environment has no registry access and nothing in
+//! the tree serialises yet. This stub keeps the annotations compiling: the
+//! traits are markers and the derives (re-exported from the sibling
+//! `serde_derive` stub) expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

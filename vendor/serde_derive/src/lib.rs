@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace builds in a sealed environment with no registry access,
+//! and nothing in the tree actually serialises data yet — the derives are
+//! forward-looking annotations. These macros accept the same attribute
+//! grammar and expand to nothing, so `#[derive(Serialize, Deserialize)]`
+//! stays source-compatible with the real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
