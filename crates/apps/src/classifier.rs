@@ -85,7 +85,12 @@ pub fn quantize_row(row: &[f64], max_level: i32) -> Vec<i32> {
         return vec![0; row.len()];
     }
     // Initialise 4 centroids spread over [-max, max].
-    let mut centroids = [-0.75 * max_abs, -0.25 * max_abs, 0.25 * max_abs, 0.75 * max_abs];
+    let mut centroids = [
+        -0.75 * max_abs,
+        -0.25 * max_abs,
+        0.25 * max_abs,
+        0.75 * max_abs,
+    ];
     for _ in 0..12 {
         let mut sums = [0.0f64; 4];
         let mut counts = [0usize; 4];
@@ -101,7 +106,10 @@ pub fn quantize_row(row: &[f64], max_level: i32) -> Vec<i32> {
         }
     }
     let scale = max_level as f64 / max_abs;
-    let levels: Vec<i32> = centroids.iter().map(|&c| (c * scale).round() as i32).collect();
+    let levels: Vec<i32> = centroids
+        .iter()
+        .map(|&c| (c * scale).round() as i32)
+        .collect();
     row.iter()
         .map(|&w| levels[nearest(&centroids, w)])
         .collect()
@@ -420,8 +428,7 @@ mod tests {
         let weights = train_perceptron(&train, 15);
         let float_acc = float_accuracy(&weights, &test);
 
-        let quantized: Vec<Vec<i32>> =
-            weights.iter().map(|row| quantize_row(row, 32)).collect();
+        let quantized: Vec<Vec<i32>> = weights.iter().map(|row| quantize_row(row, 32)).collect();
         let window = 16;
         let threshold = suggest_threshold(&quantized, &train, window);
         let mut chip = ChipClassifier::build(&quantized, threshold, window).expect("compiles");
@@ -440,8 +447,7 @@ mod tests {
         let train = digits::generate(12, 0.02, 21);
         let test = digits::generate(3, 0.05, 99);
         let weights = train_perceptron(&train, 10);
-        let quantized: Vec<Vec<i32>> =
-            weights.iter().map(|row| quantize_row(row, 32)).collect();
+        let quantized: Vec<Vec<i32>> = weights.iter().map(|row| quantize_row(row, 32)).collect();
         let window = 24;
         let threshold = suggest_threshold(&quantized, &train, window);
         let mut chip = ChipClassifier::build(&quantized, threshold, window).expect("compiles");

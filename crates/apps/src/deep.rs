@@ -168,8 +168,7 @@ impl DeepClassifier {
             }
         }
         let outputs = corelet.add_population(readout_template, CLASSES);
-        let quantized: Vec<Vec<i32>> =
-            readout.iter().map(|row| quantize_row(row, 32)).collect();
+        let quantized: Vec<Vec<i32>> = readout.iter().map(|row| quantize_row(row, 32)).collect();
         for (class, row) in quantized.iter().enumerate() {
             for (fi, &w) in row.iter().enumerate() {
                 if w != 0 {
@@ -285,7 +284,13 @@ mod tests {
         let a = FeatureBank::random(16, 8, 16, 9);
         let b = FeatureBank::random(16, 8, 16, 9);
         assert_eq!(a.weights, b.weights);
-        let nonzero: Vec<i32> = a.weights.iter().flatten().copied().filter(|&w| w != 0).collect();
+        let nonzero: Vec<i32> = a
+            .weights
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&w| w != 0)
+            .collect();
         assert_eq!(nonzero.len(), 16 * 64, "each feature covers its 8x8 patch");
         let positives = nonzero.iter().filter(|&&w| w == 1).count();
         let fraction = positives as f64 / nonzero.len() as f64;

@@ -18,16 +18,36 @@ pub const CLASSES: usize = 10;
 
 /// 5×7 dot-matrix glyphs for digits 0–9 (row-major, `#` = on).
 const GLYPHS: [[&str; 7]; 10] = [
-    [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "], // 0
-    ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "], // 1
-    [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"], // 2
-    [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "], // 3
-    ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "], // 4
-    ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "], // 5
-    [" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "], // 6
-    ["#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "], // 7
-    [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "], // 8
-    [" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "], // 9
+    [
+        " ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### ",
+    ], // 0
+    [
+        "  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### ",
+    ], // 1
+    [
+        " ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####",
+    ], // 2
+    [
+        " ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### ",
+    ], // 3
+    [
+        "   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # ",
+    ], // 4
+    [
+        "#####", "#    ", "#### ", "    #", "    #", "#   #", " ### ",
+    ], // 5
+    [
+        " ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### ",
+    ], // 6
+    [
+        "#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   ",
+    ], // 7
+    [
+        " ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### ",
+    ], // 8
+    [
+        " ### ", "#   #", "#   #", " ####", "    #", "    #", " ### ",
+    ], // 9
 ];
 
 /// One labelled sample.
@@ -119,10 +139,7 @@ mod tests {
     fn glyphs_have_reasonable_ink() {
         for d in 0..CLASSES {
             let ink: f64 = glyph(d).pixels().iter().sum();
-            assert!(
-                (30.0..140.0).contains(&ink),
-                "digit {d} has ink {ink}"
-            );
+            assert!((30.0..140.0).contains(&ink), "digit {d} has ink {ink}");
         }
     }
 

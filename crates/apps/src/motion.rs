@@ -62,7 +62,9 @@ impl MotionDetector {
 
             // Leftward detector: delayed(p+1) AND direct(p).
             let delayed_l = library::delay_line(lag).expect("valid delay");
-            let dl = top.embed(&delayed_l, &[NodeRef::Input(p + 1)]).expect("embed");
+            let dl = top
+                .embed(&delayed_l, &[NodeRef::Input(p + 1)])
+                .expect("embed");
             let gate_l = library::coincidence(2);
             let gl = top
                 .embed(&gate_l, &[NodeRef::Neuron(dl[0]), NodeRef::Input(p)])
@@ -86,7 +88,10 @@ impl MotionDetector {
     ///
     /// Panics if `|sweep_lag|` is outside `1..=6`.
     pub fn perceive(&mut self, sweep_lag: i32) -> (Direction, usize, usize) {
-        assert!((1..=6).contains(&sweep_lag.unsigned_abs()), "sweep lag 1..=6");
+        assert!(
+            (1..=6).contains(&sweep_lag.unsigned_abs()),
+            "sweep lag 1..=6"
+        );
         self.compiled.reset();
         let pixels = self.pairs + 1;
         let horizon = (pixels as u64) * sweep_lag.unsigned_abs() as u64 + 20;
@@ -98,7 +103,11 @@ impl MotionDetector {
             let lag = sweep_lag.unsigned_abs() as u64;
             let step = (t / lag) as usize;
             let active: Vec<usize> = if step < pixels && t % lag == 0 {
-                let p = if sweep_lag > 0 { step } else { pixels - 1 - step };
+                let p = if sweep_lag > 0 {
+                    step
+                } else {
+                    pixels - 1 - step
+                };
                 vec![p]
             } else {
                 Vec::new()
@@ -136,7 +145,10 @@ mod tests {
         let mut detector = MotionDetector::build(6, 3).expect("compiles");
         let (dir, right, left) = detector.perceive(3);
         assert_eq!(dir, Direction::Rightward, "votes R{right}/L{left}");
-        assert!(right >= 3, "expected strong rightward response, got {right}");
+        assert!(
+            right >= 3,
+            "expected strong rightward response, got {right}"
+        );
     }
 
     #[test]

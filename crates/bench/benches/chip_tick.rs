@@ -1,0 +1,61 @@
+//! Tick-pipeline bench: the serial full-sweep seed path vs the active-core
+//! scheduler at 1/2/4/8 threads, on a dense 8×8 workload (every core busy)
+//! and a 95%-quiescent sparse island workload (3 of 64 cores busy).
+//!
+//! `src/bin/bench_chip_tick.rs` runs the same matrix with a larger budget
+//! and writes the committed `BENCH_chip_tick.json` baseline.
+
+use brainsim_bench::{drive_random, drive_random_cores, random_chip, RandomChipSpec};
+use brainsim_chip::CoreScheduling;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const ISLAND: usize = 3;
+
+fn dense_spec(threads: usize, scheduling: CoreScheduling) -> RandomChipSpec {
+    RandomChipSpec {
+        width: 8,
+        height: 8,
+        threads,
+        scheduling,
+        ..RandomChipSpec::default()
+    }
+}
+
+fn sparse_spec(threads: usize, scheduling: CoreScheduling) -> RandomChipSpec {
+    RandomChipSpec {
+        island: Some(ISLAND),
+        ..dense_spec(threads, scheduling)
+    }
+}
+
+fn bench_chip_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip_tick");
+    group.sample_size(10);
+
+    group.bench_function("dense/sweep_t1", |b| {
+        let mut chip = random_chip(&dense_spec(1, CoreScheduling::Sweep));
+        b.iter(|| drive_random(&mut chip, 5, 32, 3));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("dense/active_t{threads}"), |b| {
+            let mut chip = random_chip(&dense_spec(threads, CoreScheduling::Active));
+            b.iter(|| drive_random(&mut chip, 5, 32, 3));
+        });
+    }
+
+    group.bench_function("sparse/sweep_t1", |b| {
+        let mut chip = random_chip(&sparse_spec(1, CoreScheduling::Sweep));
+        b.iter(|| drive_random_cores(&mut chip, 5, 32, 3, ISLAND));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("sparse/active_t{threads}"), |b| {
+            let mut chip = random_chip(&sparse_spec(threads, CoreScheduling::Active));
+            b.iter(|| drive_random_cores(&mut chip, 5, 32, 3, ISLAND));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_chip_tick);
+criterion_main!(benches);

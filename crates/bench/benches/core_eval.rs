@@ -19,7 +19,9 @@ fn build_core(strategy: EvalStrategy) -> NeurosynapticCore {
         .build()
         .unwrap();
     for n in 0..256 {
-        builder.neuron(n, config.clone(), Destination::Disabled).unwrap();
+        builder
+            .neuron(n, config.clone(), Destination::Disabled)
+            .unwrap();
         for a in 0..256 {
             if rng.bernoulli_256(32) {
                 builder.synapse(a, n, true).unwrap();
@@ -32,7 +34,10 @@ fn build_core(strategy: EvalStrategy) -> NeurosynapticCore {
 fn bench_core_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("core_eval");
     for active_axons in [2usize, 16, 64, 256] {
-        for (name, strategy) in [("dense", EvalStrategy::Dense), ("sparse", EvalStrategy::Sparse)] {
+        for (name, strategy) in [
+            ("dense", EvalStrategy::Dense),
+            ("sparse", EvalStrategy::Sparse),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(name, active_axons),
                 &active_axons,

@@ -14,7 +14,9 @@ fn workload() -> Corelet {
     // Delay-3 links leave the splitter chains headroom on small cores.
     connectors::random(&mut corelet, &pres, &pop, 2, 3, 24, 5).unwrap();
     for i in 0..4 {
-        corelet.connect(NodeRef::Input(i), pop[i * 17], 4, 1).unwrap();
+        corelet
+            .connect(NodeRef::Input(i), pop[i * 17], 4, 1)
+            .unwrap();
     }
     corelet
 }

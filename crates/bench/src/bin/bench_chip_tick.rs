@@ -1,0 +1,159 @@
+//! Measures the tick pipeline and writes the `BENCH_chip_tick.json`
+//! baseline: wall-clock ns/tick for the serial full-sweep seed path and
+//! the active-core scheduler at 1/2/4/8 threads, on a dense 8×8 workload
+//! and a 95%-quiescent sparse island workload. Each variant's final event
+//! census is cross-checked against the sweep baseline, so the file also
+//! certifies that every measured configuration produced bit-identical
+//! results.
+//!
+//! Usage: `cargo run --release -p brainsim-bench --bin bench_chip_tick
+//! [out.json]` (default `BENCH_chip_tick.json` in the working directory).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use brainsim_bench::{drive_random, drive_random_cores, random_chip, RandomChipSpec};
+use brainsim_chip::CoreScheduling;
+use brainsim_energy::EventCensus;
+
+const ISLAND: usize = 3;
+const WARMUP_TICKS: u64 = 50;
+const MEASURE_TICKS: u64 = 300;
+const RATE: u32 = 32;
+const DRIVE_SEED: u32 = 3;
+
+struct Variant {
+    name: &'static str,
+    scheduling: CoreScheduling,
+    threads: usize,
+}
+
+const VARIANTS: [Variant; 5] = [
+    Variant {
+        name: "sweep_t1",
+        scheduling: CoreScheduling::Sweep,
+        threads: 1,
+    },
+    Variant {
+        name: "active_t1",
+        scheduling: CoreScheduling::Active,
+        threads: 1,
+    },
+    Variant {
+        name: "active_t2",
+        scheduling: CoreScheduling::Active,
+        threads: 2,
+    },
+    Variant {
+        name: "active_t4",
+        scheduling: CoreScheduling::Active,
+        threads: 4,
+    },
+    Variant {
+        name: "active_t8",
+        scheduling: CoreScheduling::Active,
+        threads: 8,
+    },
+];
+
+struct Measurement {
+    name: &'static str,
+    ns_per_tick: f64,
+    census: EventCensus,
+}
+
+fn measure(spec: &RandomChipSpec, sparse: bool) -> (f64, EventCensus) {
+    let mut chip = random_chip(spec);
+    let drive = |chip: &mut brainsim_chip::Chip, ticks: u64| {
+        if sparse {
+            drive_random_cores(chip, ticks, RATE, DRIVE_SEED, ISLAND);
+        } else {
+            drive_random(chip, ticks, RATE, DRIVE_SEED);
+        }
+    };
+    drive(&mut chip, WARMUP_TICKS);
+    let start = Instant::now();
+    drive(&mut chip, MEASURE_TICKS);
+    let elapsed = start.elapsed();
+    (
+        elapsed.as_nanos() as f64 / MEASURE_TICKS as f64,
+        chip.census(),
+    )
+}
+
+fn run_workload(name: &str, base: RandomChipSpec, sparse: bool) -> (String, bool) {
+    let mut rows: Vec<Measurement> = Vec::new();
+    for v in &VARIANTS {
+        let spec = RandomChipSpec {
+            scheduling: v.scheduling,
+            threads: v.threads,
+            ..base
+        };
+        let (ns_per_tick, census) = measure(&spec, sparse);
+        eprintln!("  {name}/{:<10} {:>12.0} ns/tick", v.name, ns_per_tick);
+        rows.push(Measurement {
+            name: v.name,
+            ns_per_tick,
+            census,
+        });
+    }
+    // Every variant must reproduce the sweep baseline's census exactly —
+    // same stimulus, same dynamics, bit-identical accounting.
+    let bit_identical = rows.iter().all(|m| m.census == rows[0].census);
+    assert!(
+        bit_identical,
+        "variant census diverged from the sweep baseline"
+    );
+
+    let baseline = rows[0].ns_per_tick;
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "    {{\n      \"name\": \"{name}\",\n      \"cores\": {},\n      \"quiescent_cores\": {},\n      \"bit_identical_census\": {bit_identical},\n      \"variants\": [\n",
+        base.width * base.height,
+        if sparse { base.width * base.height - ISLAND } else { 0 },
+    );
+    for (i, m) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "        {{ \"name\": \"{}\", \"ns_per_tick\": {:.0}, \"speedup_vs_sweep_t1\": {:.2} }}{comma}",
+            m.name,
+            m.ns_per_tick,
+            baseline / m.ns_per_tick,
+        );
+    }
+    json.push_str("      ]\n    }");
+    (json, bit_identical)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_chip_tick.json".to_string());
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let dense = RandomChipSpec {
+        width: 8,
+        height: 8,
+        threads: 1,
+        ..RandomChipSpec::default()
+    };
+    let sparse = RandomChipSpec {
+        island: Some(ISLAND),
+        ..dense
+    };
+
+    eprintln!("chip_tick baseline ({cpus} cpu(s), {MEASURE_TICKS} measured ticks)");
+    let (dense_json, _) = run_workload("dense_8x8", dense, false);
+    let (sparse_json, _) = run_workload("sparse_8x8_95pct_quiescent", sparse, true);
+
+    let json = format!(
+        "{{\n  \"bench\": \"chip_tick\",\n  \"host\": {{ \"cpus\": {cpus}, \"os\": \"{}\" }},\n  \"warmup_ticks\": {WARMUP_TICKS},\n  \"measured_ticks\": {MEASURE_TICKS},\n  \"drive_rate_per_256\": {RATE},\n  \"workloads\": [\n{dense_json},\n{sparse_json}\n  ]\n}}\n",
+        std::env::consts::OS,
+    );
+    std::fs::write(&out, json).expect("write baseline");
+    eprintln!("wrote {out}");
+}

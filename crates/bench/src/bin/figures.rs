@@ -34,7 +34,9 @@ use brainsim_snn::golden::GoldenCore;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["t1", "f1", "f2", "f3", "f4", "f5", "t2", "f6", "t3", "f7", "f8"]
+        vec![
+            "t1", "f1", "f2", "f3", "f4", "f5", "t2", "f6", "t3", "f7", "f8",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };
@@ -74,11 +76,19 @@ fn t1_architecture_parameters() {
         ..ChipConfig::default()
     };
     println!("{:<38} {:>16}", "parameter", "value");
-    println!("{:<38} {:>16}", "cores (full-scale grid)", format!("{}x{}", full.width, full.height));
+    println!(
+        "{:<38} {:>16}",
+        "cores (full-scale grid)",
+        format!("{}x{}", full.width, full.height)
+    );
     println!("{:<38} {:>16}", "neurons per core", full.core_neurons);
     println!("{:<38} {:>16}", "axons per core", full.core_axons);
     println!("{:<38} {:>16}", "total neurons", full.neurons());
-    println!("{:<38} {:>16}", "total programmable synapses", full.synapses());
+    println!(
+        "{:<38} {:>16}",
+        "total programmable synapses",
+        full.synapses()
+    );
     println!("{:<38} {:>16}", "tick period", "1 ms");
     println!("{:<38} {:>16}", "axon types per core", 4);
     println!("{:<38} {:>16}", "weight precision", "signed 9-bit");
@@ -110,7 +120,10 @@ fn f1_neuron_behaviors() {
 
 /// F2 — power vs mean firing rate and synaptic density.
 fn f2_power_vs_rate() {
-    header("F2", "power vs firing rate and synaptic density (64-core chip model)");
+    header(
+        "F2",
+        "power vs firing rate and synaptic density (64-core chip model)",
+    );
     let model = EnergyModel::default();
     let ticks = 300u64;
     println!(
@@ -141,7 +154,10 @@ fn f2_power_vs_rate() {
 
 /// F3 — throughput scaling and the event-driven vs clock-driven baseline.
 fn f3_throughput_scaling() {
-    header("F3", "simulation throughput: event-driven chip vs clock-driven float baseline");
+    header(
+        "F3",
+        "simulation throughput: event-driven chip vs clock-driven float baseline",
+    );
     let ticks = 200u64;
     println!(
         "{:>6} {:>9} {:>14} {:>14} {:>14} {:>10}",
@@ -173,8 +189,7 @@ fn f3_throughput_scaling() {
             let float_secs = start.elapsed().as_secs_f64();
             let float_tps = ticks as f64 / float_secs;
 
-            let float_msyn =
-                net.stats().synaptic_events as f64 / float_secs / 1e6;
+            let float_msyn = net.stats().synaptic_events as f64 / float_secs / 1e6;
             println!(
                 "{:>6} {:>9} {:>14.0} {:>14.2} {:>14.0} {:>10.2}",
                 w * h,
@@ -198,7 +213,10 @@ fn f3_throughput_scaling() {
 
 /// F4 — NoC latency vs injection rate.
 fn f4_noc_saturation() {
-    header("F4", "mesh saturation: latency vs injection rate (8x8 DOR mesh)");
+    header(
+        "F4",
+        "mesh saturation: latency vs injection rate (8x8 DOR mesh)",
+    );
     println!(
         "{:>12} {:>12} {:>12} {:>12} {:>10}",
         "inj/core/cyc", "mean lat", "max lat", "delivered", "rejected"
@@ -240,8 +258,14 @@ fn f4_noc_saturation() {
     // vertical links early; Y-then-X spreads traffic across rows first.
     use brainsim_noc::RoutingOrder;
     println!("\nablation: routing order under column-hotspot traffic (20% injection)");
-    println!("{:>12} {:>12} {:>12} {:>12}", "order", "mean lat", "max lat", "delivered");
-    for (name, order) in [("X-then-Y", RoutingOrder::XThenY), ("Y-then-X", RoutingOrder::YThenX)] {
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "order", "mean lat", "max lat", "delivered"
+    );
+    for (name, order) in [
+        ("X-then-Y", RoutingOrder::XThenY),
+        ("Y-then-X", RoutingOrder::YThenX),
+    ] {
         let mut noc = MeshNoc::new(NocConfig {
             routing: order,
             ..NocConfig::default()
@@ -287,7 +311,10 @@ fn f5_pair(seed: u32, strategy: EvalStrategy) -> (NeurosynapticCore, GoldenCore)
     }
     for n in 0..neurons {
         let config = NeuronConfig::builder()
-            .weight(AxonType::A0, Weight::saturating((rng.next_u32() % 8) as i32))
+            .weight(
+                AxonType::A0,
+                Weight::saturating((rng.next_u32() % 8) as i32),
+            )
             .weight(AxonType::A1, Weight::saturating(3))
             .weight(AxonType::A2, Weight::saturating(-2))
             .weight(AxonType::A3, Weight::saturating(-4))
@@ -296,7 +323,9 @@ fn f5_pair(seed: u32, strategy: EvalStrategy) -> (NeurosynapticCore, GoldenCore)
             .negative_threshold(0)
             .build()
             .unwrap();
-        builder.neuron(n, config.clone(), Destination::Disabled).unwrap();
+        builder
+            .neuron(n, config.clone(), Destination::Disabled)
+            .unwrap();
         golden.set_neuron(n, config);
         for a in 0..axons {
             let bit = rng.bernoulli_256(40);
@@ -309,7 +338,10 @@ fn f5_pair(seed: u32, strategy: EvalStrategy) -> (NeurosynapticCore, GoldenCore)
 
 /// F5 — one-to-one determinism and the relaxed ablation.
 fn f5_determinism() {
-    header("F5", "one-to-one determinism: optimised core vs golden model");
+    header(
+        "F5",
+        "one-to-one determinism: optimised core vs golden model",
+    );
     let seeds = 10u32;
     let ticks = 500u64;
     let mut identical = 0;
@@ -342,7 +374,10 @@ fn f5_determinism() {
 
     // Relaxed-semantics ablation on a relay chain.
     println!("\nablation: relay-chain output tick under each semantics");
-    println!("{:>14} {:>18} {:>18}", "chain length", "deterministic", "relaxed");
+    println!(
+        "{:>14} {:>18} {:>18}",
+        "chain length", "deterministic", "relaxed"
+    );
     for n in [2usize, 4, 8] {
         let mut out = Vec::new();
         for semantics in [TickSemantics::Deterministic, TickSemantics::Relaxed] {
@@ -385,7 +420,10 @@ fn f5_determinism() {
 
 /// T2 — application accuracy: quantised chip vs float baselines.
 fn t2_application_accuracy() {
-    header("T2", "digit classification: float baselines vs quantised chip");
+    header(
+        "T2",
+        "digit classification: float baselines vs quantised chip",
+    );
     let train = digits::generate(20, 0.02, 21);
     let test = digits::generate(10, 0.05, 99);
     let weights = train_perceptron(&train, 15);
@@ -408,11 +446,26 @@ fn t2_application_accuracy() {
     let stoch_acc = chip.accuracy_stochastic(&test, 0xFACE);
 
     println!("{:<44} {:>10}", "model", "accuracy");
-    println!("{:<44} {:>10.3}", "float dot product (upper bound)", float_acc);
-    println!("{:<44} {:>10.3}", "float LIF simulator (brainsim-snn)", lif_acc);
-    println!("{:<44} {:>10.3}", "4-level quantised dot product", q_dot_acc);
-    println!("{:<44} {:>10.3}", "quantised, rate-coded, on chip", chip_acc);
-    println!("{:<44} {:>10.3}", "quantised, stochastic rate code, on chip", stoch_acc);
+    println!(
+        "{:<44} {:>10.3}",
+        "float dot product (upper bound)", float_acc
+    );
+    println!(
+        "{:<44} {:>10.3}",
+        "float LIF simulator (brainsim-snn)", lif_acc
+    );
+    println!(
+        "{:<44} {:>10.3}",
+        "4-level quantised dot product", q_dot_acc
+    );
+    println!(
+        "{:<44} {:>10.3}",
+        "quantised, rate-coded, on chip", chip_acc
+    );
+    println!(
+        "{:<44} {:>10.3}",
+        "quantised, stochastic rate code, on chip", stoch_acc
+    );
 
     // Two-layer variant: random patch features + trained readout.
     let bank = FeatureBank::random(80, 8, 8, 13);
@@ -421,7 +474,10 @@ fn t2_application_accuracy() {
     let deep_threshold = suggest_readout_threshold(&bank, &readout, &train);
     let mut deep_chip = DeepClassifier::build(&bank, &readout, deep_threshold, 24).unwrap();
     let deep_acc = deep_chip.accuracy(&test);
-    println!("{:<44} {:>10.3}", "two-layer float (feature rates)", deep_float);
+    println!(
+        "{:<44} {:>10.3}",
+        "two-layer float (feature rates)", deep_float
+    );
     println!("{:<44} {:>10.3}", "two-layer quantised, on chip", deep_acc);
     println!();
     println!(
@@ -472,7 +528,14 @@ fn t3_placement_quality() {
     header("T3", "compiler placement: greedy vs simulated annealing");
     println!(
         "{:>9} {:>7} {:>13} {:>13} {:>13} {:>11} {:>10} {:>11}",
-        "neurons", "cores", "random cost", "greedy cost", "annealed", "mean hops", "max link", "vs random"
+        "neurons",
+        "cores",
+        "random cost",
+        "greedy cost",
+        "annealed",
+        "mean hops",
+        "max link",
+        "vs random"
     );
     for size in [30usize, 60, 120, 240] {
         // Locality-structured workload: a ring of blocks where each block
@@ -511,8 +574,7 @@ fn t3_placement_quality() {
         let compiled = brainsim_compiler::compile(corelet.network(), &options).unwrap();
         let r = compiled.report();
         let vs_random = if r.random_cost > 0 {
-            100.0 * (r.random_cost.saturating_sub(r.annealed_cost)) as f64
-                / r.random_cost as f64
+            100.0 * (r.random_cost.saturating_sub(r.annealed_cost)) as f64 / r.random_cost as f64
         } else {
             0.0
         };
@@ -547,7 +609,12 @@ fn f7_mixed_workload() {
     let acc = chip.accuracy(&test);
     let classifier_census = chip.compiled().chip().census();
     combined.merge(&classifier_census);
-    print_census_row("digit classifier", &classifier_census, &model, &format!("accuracy {acc:.2}"));
+    print_census_row(
+        "digit classifier",
+        &classifier_census,
+        &model,
+        &format!("accuracy {acc:.2}"),
+    );
 
     // Edge filter bank over oriented bars.
     let mut bank = EdgeFilterBank::build(12, 6, 8).unwrap();
@@ -569,7 +636,12 @@ fn f7_mixed_workload() {
     }
     let itd_census = estimator.compiled().chip().census();
     combined.merge(&itd_census);
-    print_census_row("ITD estimator", &itd_census, &model, &format!("{correct}/9 exact"));
+    print_census_row(
+        "ITD estimator",
+        &itd_census,
+        &model,
+        &format!("{correct}/9 exact"),
+    );
 
     println!();
     let report = model.report(&combined);
@@ -589,7 +661,10 @@ fn f7_mixed_workload() {
 
 /// F8 — multi-chip tiling: boundary-link energy and latency overhead.
 fn f8_multichip_tiling() {
-    header("F8", "multi-chip tiling: link-crossing overhead on a fixed workload");
+    header(
+        "F8",
+        "multi-chip tiling: link-crossing overhead on a fixed workload",
+    );
     use brainsim_chip::TileConfig;
     let model = EnergyModel::default();
     println!(
@@ -599,13 +674,31 @@ fn f8_multichip_tiling() {
     for long_range in [false, true] {
         println!(
             "-- {} traffic --",
-            if long_range { "long-range (uniform destinations)" } else { "local (nearest-neighbour)" }
+            if long_range {
+                "long-range (uniform destinations)"
+            } else {
+                "local (nearest-neighbour)"
+            }
         );
         let mut baseline_mw = 0.0;
         for (name, tile) in [
             ("monolithic", None),
-            ("2x2 chips", Some(TileConfig { width: 4, height: 4, link_latency: 2 })),
-            ("4x4 chips", Some(TileConfig { width: 2, height: 2, link_latency: 2 })),
+            (
+                "2x2 chips",
+                Some(TileConfig {
+                    width: 4,
+                    height: 4,
+                    link_latency: 2,
+                }),
+            ),
+            (
+                "4x4 chips",
+                Some(TileConfig {
+                    width: 2,
+                    height: 2,
+                    link_latency: 2,
+                }),
+            ),
         ] {
             // Same workload graph every time; only the tiling differs.
             let spec = RandomChipSpec {
@@ -620,9 +713,7 @@ fn f8_multichip_tiling() {
             let mut chip = random_chip(&RandomChipSpec { tile, ..spec });
             drive_random(&mut chip, 300, hz_to_numerator(50), 23);
             let report = model.report(&chip.census());
-            let chips = tile
-                .map(|t| (8 / t.width) * (8 / t.height))
-                .unwrap_or(1);
+            let chips = tile.map(|t| (8 / t.width) * (8 / t.height)).unwrap_or(1);
             if baseline_mw == 0.0 {
                 baseline_mw = report.total_mw;
             }

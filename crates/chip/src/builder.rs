@@ -82,12 +82,19 @@ impl ChipBuilder {
     ///
     /// Panics if any grid or core dimension is zero.
     pub fn new(config: ChipConfig) -> ChipBuilder {
-        assert!(config.width > 0 && config.height > 0, "grid dimensions must be non-zero");
+        assert!(
+            config.width > 0 && config.height > 0,
+            "grid dimensions must be non-zero"
+        );
         let cores = (0..config.cores())
             .map(|i| {
                 let mut b = CoreBuilder::new(config.core_axons, config.core_neurons);
                 // Derive a distinct, deterministic seed per core.
-                b.seed(config.seed.wrapping_add(0x9E37_79B9u32.wrapping_mul(i as u32 + 1)));
+                b.seed(
+                    config
+                        .seed
+                        .wrapping_add(0x9E37_79B9u32.wrapping_mul(i as u32 + 1)),
+                );
                 b
             })
             .collect();
@@ -215,7 +222,10 @@ mod tests {
             .neuron(0, NeuronConfig::default(), dest)
             .unwrap();
         let err = b.build().unwrap_err();
-        assert!(matches!(err, ChipBuildError::TargetAxonOutOfRange { axon: 99, .. }));
+        assert!(matches!(
+            err,
+            ChipBuildError::TargetAxonOutOfRange { axon: 99, .. }
+        ));
     }
 
     #[test]

@@ -1,13 +1,42 @@
-//! The chip runtime: tick barrier, spike routing, event accounting.
+//! The chip runtime: the deterministic tick pipeline (evaluate → route →
+//! deliver), active-core scheduling, and event accounting.
+//!
+//! ## Execution model
+//!
+//! A deterministic tick runs in two phases:
+//!
+//! * **Phase A — evaluation.** Every *active* core is evaluated at tick `t`.
+//!   Under [`CoreScheduling::Active`] a core whose scheduler is empty and
+//!   whose neurons sit at a zero-input fixed point is provably a no-op and
+//!   is skipped in O(1) (its statistics advance as if it had been
+//!   evaluated). Active cores are partitioned into contiguous shards and
+//!   evaluated on scoped threads; each worker owns a disjoint `&mut` range
+//!   of the core array, so no locking is needed.
+//! * **Phase B — routing.** The fired list — `(core, neuron)` pairs in
+//!   canonical row-major order — is partitioned into contiguous shards that
+//!   are routed concurrently into private [`RouteBatch`]es. Fault decisions
+//!   key on the `(tick, core, neuron)` launch coordinate, which is unique
+//!   and order-independent, so concurrent shards reach identical verdicts.
+//!   Batches merge in shard order: outputs concatenate (reproducing the
+//!   serial order exactly) and counters sum (order-independent). Deliveries
+//!   then apply serially; scheduling an axon event is an idempotent bitmap
+//!   OR, so their order is immaterial.
+//!
+//! Every cross-thread combination step is either order-preserving
+//! (concatenation of ordered shards) or commutative (counter sums), which
+//! is why rasters, outputs, and fault statistics are bit-identical across
+//! thread counts and scheduling modes — the property the differential suite
+//! in `tests/parallel_equivalence.rs` checks.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use brainsim_core::{Destination, NeurosynapticCore};
 use brainsim_energy::EventCensus;
 use brainsim_faults::{FaultInjector, FaultPlan, FaultStats, LinkFault};
 use brainsim_noc::route_hops;
 
-use crate::config::{ChipConfig, TickSemantics};
+use crate::config::{ChipConfig, CoreScheduling, TickSemantics};
 
 /// What happened during one chip tick.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +50,154 @@ pub struct TickSummary {
     /// Link faults suffered by this tick's spike deliveries (all zero
     /// without a fault plan).
     pub faults: FaultStats,
+    /// Cores actually evaluated this tick; the rest were provably quiescent
+    /// and skipped by active-core scheduling. Always the full core count
+    /// under [`CoreScheduling::Sweep`]; invariant across thread counts.
+    pub cores_evaluated: u64,
+}
+
+/// Fatal error from [`Chip::try_tick`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TickError {
+    /// A core panicked while being evaluated (a violated internal
+    /// invariant, e.g. a core whose clock was driven out of step with the
+    /// chip). The panic is caught on the worker thread and surfaced after
+    /// every worker has joined, so a poisoned core can neither hang nor
+    /// tear down the evaluation scope. The tick did not complete: cores may
+    /// disagree on the current tick, and the chip must be rebuilt before
+    /// further use.
+    CorePanicked {
+        /// Flat (row-major) index of the failing core.
+        core: usize,
+        /// The tick being evaluated.
+        tick: u64,
+        /// Stringified panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for TickError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TickError::CorePanicked {
+                core,
+                tick,
+                message,
+            } => {
+                write!(f, "core {core} panicked during tick {tick}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TickError {}
+
+/// Renders a caught panic payload as text; `&str` and `String` payloads
+/// (everything `panic!` and the `assert!` family produce) pass through.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One routed spike delivery: `(target core, axon, lead)`, where `lead` is
+/// the delivery lead time relative to the launch tick (axonal delay plus
+/// tile-link latency plus any fault delay; always ≥ 1).
+type Delivery = (usize, usize, u64);
+
+/// One Phase-A worker's result: `(core index, fired neurons)` pairs in
+/// canonical order, or the first panic observed in the shard.
+type FiredShard = Result<Vec<(usize, Vec<u16>)>, TickError>;
+
+/// The result of routing one shard of the fired list. Batches from
+/// concurrently routed shards merge deterministically: `outputs` and
+/// `deliveries` concatenate in shard order (shards are contiguous slices of
+/// the canonically ordered fired list), and every counter is an
+/// order-independent sum.
+#[derive(Debug, Default)]
+struct RouteBatch {
+    outputs: Vec<u32>,
+    deliveries: Vec<Delivery>,
+    hops: u64,
+    link_crossings: u64,
+    faults: FaultStats,
+}
+
+impl RouteBatch {
+    fn absorb(&mut self, other: RouteBatch) {
+        self.outputs.extend(other.outputs);
+        self.deliveries.extend(other.deliveries);
+        self.hops += other.hops;
+        self.link_crossings += other.link_crossings;
+        self.faults.merge(&other.faults);
+    }
+}
+
+/// Routes one spike: applies the `(tick, core, neuron)`-keyed link fault,
+/// resolves the destination, and records the outcome in `batch`. Reads chip
+/// state immutably and writes only `batch`, so shards of spikes can be
+/// routed concurrently.
+fn resolve_spike(
+    config: &ChipConfig,
+    cores: &[NeurosynapticCore],
+    injector: Option<&FaultInjector>,
+    t: u64,
+    core_index: usize,
+    neuron: u16,
+    batch: &mut RouteBatch,
+) {
+    let x = core_index % config.width;
+    let y = core_index / config.width;
+    // One spike launches per (tick, core, neuron): a unique,
+    // order-independent fault-decision coordinate.
+    let fault = injector.and_then(|i| i.link_fault(t, core_index as u64, neuron as u64));
+    match cores[core_index].destination(neuron as usize) {
+        Destination::Disabled => {}
+        Destination::Output(port) => {
+            // Output pads cross one peripheral link; drops apply,
+            // corruption/delay have no meaning there.
+            if matches!(fault, Some(LinkFault::Drop)) {
+                batch.faults.packets_dropped += 1;
+            } else {
+                batch.outputs.push(port);
+            }
+        }
+        Destination::Axon(target) => {
+            if matches!(fault, Some(LinkFault::Drop)) {
+                batch.faults.packets_dropped += 1;
+                return;
+            }
+            let (mut tx, mut ty) = (
+                (x as i64 + target.offset.dx as i64) as usize,
+                (y as i64 + target.offset.dy as i64) as usize,
+            );
+            let mut extra_delay = 0u64;
+            match fault {
+                Some(LinkFault::Corrupt { salt }) => {
+                    batch.faults.packets_corrupted += 1;
+                    (tx, ty) = brainsim_faults::pick_cell(salt, config.width, config.height);
+                }
+                Some(LinkFault::Delay(ticks)) => {
+                    batch.faults.packets_delayed += 1;
+                    extra_delay = ticks as u64;
+                }
+                _ => {}
+            }
+            let tidx = ty * config.width + tx;
+            batch.hops +=
+                route_hops((tx as i64 - x as i64) as i32, (ty as i64 - y as i64) as i32) as u64;
+            let crossings = config.crossings((x, y), (tx, ty));
+            let link_delay =
+                crossings as u64 * config.tile.map(|tc| tc.link_latency as u64).unwrap_or(0);
+            batch.link_crossings += crossings as u64;
+            let lead = target.delay as u64 + link_delay + extra_delay;
+            batch.deliveries.push((tidx, target.axon as usize, lead));
+        }
+    }
 }
 
 /// Error from [`Chip::inject`].
@@ -168,7 +345,27 @@ impl Chip {
     }
 
     /// Evaluates one global tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a core's evaluation panicked; [`Chip::try_tick`] is the
+    /// non-panicking form.
     pub fn tick(&mut self) -> TickSummary {
+        match self.try_tick() {
+            Ok(summary) => summary,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Evaluates one global tick, surfacing a core-evaluation panic as a
+    /// typed [`TickError`] instead of unwinding.
+    ///
+    /// # Errors
+    ///
+    /// [`TickError::CorePanicked`] if any core's evaluation panicked. The
+    /// failed tick did not complete; the chip is poisoned and must be
+    /// rebuilt before further use.
+    pub fn try_tick(&mut self) -> Result<TickSummary, TickError> {
         let t = self.now;
         match self.config.semantics {
             TickSemantics::Deterministic => self.tick_deterministic(t),
@@ -176,191 +373,314 @@ impl Chip {
         }
     }
 
-    fn tick_deterministic(&mut self, t: u64) -> TickSummary {
-        // Phase A: evaluate every core at tick t (parallel if configured).
-        let fired: Vec<Vec<u16>> = if self.config.threads > 1 && self.cores.len() > 1 {
-            let threads = self.config.threads.min(self.cores.len());
-            let chunk = self.cores.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .cores
-                    .chunks_mut(chunk)
-                    .map(|cores| {
-                        scope.spawn(move || {
-                            cores.iter_mut().map(|c| c.tick(t)).collect::<Vec<_>>()
+    /// Flat indices of the cores that must be evaluated this tick, in
+    /// canonical row-major order. Under [`CoreScheduling::Sweep`] that is
+    /// every core; under [`CoreScheduling::Active`] every core that is not
+    /// provably quiescent. The per-core check is O(1), so each idle core
+    /// costs O(1) per tick.
+    fn active_cores(&self) -> Vec<usize> {
+        match self.config.scheduling {
+            CoreScheduling::Sweep => (0..self.cores.len()).collect(),
+            CoreScheduling::Active => (0..self.cores.len())
+                .filter(|&i| !self.cores[i].is_quiescent())
+                .collect(),
+        }
+    }
+
+    /// Advances every core *not* in the (sorted) active list past tick `t`
+    /// without evaluating it, keeping its statistics bit-identical to a
+    /// full no-op evaluation.
+    fn skip_inactive(&mut self, active: &[usize], t: u64) -> Result<(), TickError> {
+        if active.len() == self.cores.len() {
+            return Ok(());
+        }
+        let mut next = active.iter().copied().peekable();
+        for idx in 0..self.cores.len() {
+            if next.peek() == Some(&idx) {
+                next.next();
+                continue;
+            }
+            let core = &mut self.cores[idx];
+            catch_unwind(AssertUnwindSafe(|| core.skip_tick(t))).map_err(|p| {
+                TickError::CorePanicked {
+                    core: idx,
+                    tick: t,
+                    message: panic_message(p),
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Phase A on scoped threads: shards are contiguous runs of the sorted
+    /// active list, and each worker receives the disjoint `&mut` sub-slice
+    /// of the core array spanning its shard — no locking, and the fired
+    /// list comes back in canonical core order. A panicking core is caught
+    /// on its worker and surfaced as [`TickError::CorePanicked`] after all
+    /// workers have joined, so a poisoned core cannot hang the scope.
+    fn evaluate_parallel(
+        cores: &mut [NeurosynapticCore],
+        active: &[usize],
+        threads: usize,
+        t: u64,
+    ) -> Result<Vec<(usize, Vec<u16>)>, TickError> {
+        let threads = threads.min(active.len());
+        let chunk = active.len().div_ceil(threads);
+        let results: Vec<FiredShard> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            let mut rest = cores;
+            let mut consumed = 0usize;
+            for shard in active.chunks(chunk) {
+                let lo = shard[0];
+                let hi = shard[shard.len() - 1] + 1;
+                let tail = std::mem::take(&mut rest);
+                let (_, tail) = tail.split_at_mut(lo - consumed);
+                let (mine, tail) = tail.split_at_mut(hi - lo);
+                rest = tail;
+                consumed = hi;
+                handles.push((
+                    lo,
+                    scope.spawn(move || {
+                        let mut fired = Vec::with_capacity(shard.len());
+                        for &idx in shard {
+                            let core = &mut mine[idx - lo];
+                            match catch_unwind(AssertUnwindSafe(|| core.tick(t))) {
+                                Ok(spikes) => fired.push((idx, spikes)),
+                                Err(p) => {
+                                    return Err(TickError::CorePanicked {
+                                        core: idx,
+                                        tick: t,
+                                        message: panic_message(p),
+                                    })
+                                }
+                            }
+                        }
+                        Ok(fired)
+                    }),
+                ));
+            }
+            handles
+                .into_iter()
+                .map(|(lo, h)| {
+                    // Workers catch per-core panics themselves; a join
+                    // error would mean a panic outside that guard —
+                    // still typed, attributed to the shard's first core.
+                    h.join().unwrap_or_else(|p| {
+                        Err(TickError::CorePanicked {
+                            core: lo,
+                            tick: t,
+                            message: panic_message(p),
                         })
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("core evaluation thread panicked"))
-                    .collect()
-            })
+                })
+                .collect()
+        });
+        let mut fired = Vec::with_capacity(active.len());
+        for shard in results {
+            fired.extend(shard?);
+        }
+        Ok(fired)
+    }
+
+    fn tick_deterministic(&mut self, t: u64) -> Result<TickSummary, TickError> {
+        // Phase A: skip the provably quiescent cores, evaluate the rest
+        // (on scoped threads when configured).
+        let active = self.active_cores();
+        let cores_evaluated = active.len() as u64;
+        self.skip_inactive(&active, t)?;
+        let fired: Vec<(usize, Vec<u16>)> = if self.config.threads > 1 && active.len() > 1 {
+            Self::evaluate_parallel(&mut self.cores, &active, self.config.threads, t)?
         } else {
-            self.cores.iter_mut().map(|c| c.tick(t)).collect()
+            let mut fired = Vec::with_capacity(active.len());
+            for &idx in &active {
+                let core = &mut self.cores[idx];
+                let spikes = catch_unwind(AssertUnwindSafe(|| core.tick(t))).map_err(|p| {
+                    TickError::CorePanicked {
+                        core: idx,
+                        tick: t,
+                        message: panic_message(p),
+                    }
+                })?;
+                fired.push((idx, spikes));
+            }
+            fired
         };
 
-        // Phase B: route every spike launched in tick t.
-        let injector = self.injector.clone();
-        let mut outputs = Vec::new();
-        let mut spikes = 0u64;
-        let mut faults = FaultStats::default();
-        for (core_index, fired_neurons) in fired.iter().enumerate() {
-            spikes += fired_neurons.len() as u64;
-            let x = core_index % self.config.width;
-            let y = core_index / self.config.width;
-            for &neuron in fired_neurons {
-                // One spike launches per (tick, core, neuron): a unique,
-                // order-independent fault-decision coordinate.
-                let fault = injector
-                    .as_ref()
-                    .and_then(|i| i.link_fault(t, core_index as u64, neuron as u64));
-                match self.cores[core_index].destination(neuron as usize) {
-                    Destination::Disabled => {}
-                    Destination::Output(port) => {
-                        // Output pads cross one peripheral link; drops
-                        // apply, corruption/delay have no meaning there.
-                        if matches!(fault, Some(LinkFault::Drop)) {
-                            faults.packets_dropped += 1;
-                        } else {
-                            outputs.push(port);
-                        }
-                    }
-                    Destination::Axon(target) => {
-                        if matches!(fault, Some(LinkFault::Drop)) {
-                            faults.packets_dropped += 1;
-                            continue;
-                        }
-                        let (mut tx, mut ty) = (
-                            (x as i64 + target.offset.dx as i64) as usize,
-                            (y as i64 + target.offset.dy as i64) as usize,
-                        );
-                        let mut extra_delay = 0u64;
-                        match fault {
-                            Some(LinkFault::Corrupt { salt }) => {
-                                faults.packets_corrupted += 1;
-                                (tx, ty) = brainsim_faults::pick_cell(
-                                    salt,
-                                    self.config.width,
-                                    self.config.height,
-                                );
-                            }
-                            Some(LinkFault::Delay(ticks)) => {
-                                faults.packets_delayed += 1;
-                                extra_delay = ticks as u64;
-                            }
-                            _ => {}
-                        }
-                        let tidx = ty * self.config.width + tx;
-                        self.hops +=
-                            route_hops((tx as i64 - x as i64) as i32, (ty as i64 - y as i64) as i32)
-                                as u64;
-                        let crossings = self.config.crossings((x, y), (tx, ty));
-                        let link_delay = crossings as u64
-                            * self.config.tile.map(|tc| tc.link_latency as u64).unwrap_or(0);
-                        self.link_crossings += crossings as u64;
-                        let due = t + target.delay as u64 + link_delay + extra_delay;
-                        if self.cores[tidx].deliver(target.axon as usize, due).is_err() {
-                            // Builder-validated wiring cannot fail here, so a
-                            // refused delivery is always fault-induced (bad
-                            // corrupted axon, or a delay past the scheduling
-                            // horizon): absorb and count it.
-                            faults.deliveries_failed += 1;
-                        }
-                    }
+        // Phase B: route every spike launched in tick t. Contiguous shards
+        // of the fired list are routed concurrently into private batches;
+        // merging in shard order reproduces the canonical (core, neuron)
+        // serial order exactly.
+        let spikes: u64 = fired.iter().map(|(_, f)| f.len() as u64).sum();
+        let injector = self.injector.as_ref();
+        let batch = if self.config.threads > 1 && fired.len() > 1 && spikes > 1 {
+            let shards: Vec<RouteBatch> = {
+                let cores = &self.cores;
+                let config = &self.config;
+                let chunk = fired.len().div_ceil(self.config.threads.min(fired.len()));
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = fired
+                        .chunks(chunk)
+                        .map(|shard| {
+                            scope.spawn(move || {
+                                let mut batch = RouteBatch::default();
+                                for &(core_index, ref fired_neurons) in shard {
+                                    for &neuron in fired_neurons {
+                                        resolve_spike(
+                                            config, cores, injector, t, core_index, neuron,
+                                            &mut batch,
+                                        );
+                                    }
+                                }
+                                batch
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(b) => b,
+                            // Routing is pure and cannot legitimately
+                            // panic; if it somehow does, propagate.
+                            Err(p) => std::panic::resume_unwind(p),
+                        })
+                        .collect()
+                })
+            };
+            let mut merged = RouteBatch::default();
+            for shard in shards {
+                merged.absorb(shard);
+            }
+            merged
+        } else {
+            let mut batch = RouteBatch::default();
+            for &(core_index, ref fired_neurons) in &fired {
+                for &neuron in fired_neurons {
+                    resolve_spike(
+                        &self.config,
+                        &self.cores,
+                        injector,
+                        t,
+                        core_index,
+                        neuron,
+                        &mut batch,
+                    );
                 }
             }
-        }
+            batch
+        };
 
+        // Deliveries mutate target schedulers, so they apply serially — but
+        // their order is immaterial: scheduling an axon event is an
+        // idempotent bitmap OR and failure counting is a per-delivery
+        // property.
+        let RouteBatch {
+            outputs,
+            deliveries,
+            hops,
+            link_crossings,
+            mut faults,
+        } = batch;
+        for (tidx, axon, lead) in deliveries {
+            if self.cores[tidx].deliver(axon, t + lead).is_err() {
+                // Builder-validated wiring cannot fail here, so a refused
+                // delivery is always fault-induced (bad corrupted axon, or
+                // a delay past the scheduling horizon): absorb and count.
+                faults.deliveries_failed += 1;
+            }
+        }
+        self.hops += hops;
+        self.link_crossings += link_crossings;
         self.fault_stats.merge(&faults);
         self.outputs_total += outputs.len() as u64;
         self.now = t + 1;
-        TickSummary {
+        Ok(TickSummary {
             tick: t,
             spikes,
             outputs,
             faults,
-        }
+            cores_evaluated,
+        })
     }
 
-    fn tick_relaxed(&mut self, t: u64) -> TickSummary {
+    fn tick_relaxed(&mut self, t: u64) -> Result<TickSummary, TickError> {
         // Interleaved sweep: each core is evaluated and its spikes delivered
         // immediately with effective delay d − 1. Cores earlier in the sweep
         // may thus receive same-tick events from cores later in the sweep
         // only at t + 1 — the order dependence this mode exists to exhibit.
-        let injector = self.injector.clone();
+        //
+        // Active-core scheduling composes with the sweep: the quiescence
+        // check happens at the core's sweep position, after every earlier
+        // core's same-tick deliveries have landed (a landed event makes the
+        // scheduler non-idle, vetoing the skip). A later core's delivery to
+        // an already-skipped core clamps to that core's advanced clock
+        // (t + 1), exactly as it would after a full no-op evaluation.
         let mut outputs = Vec::new();
         let mut spikes = 0u64;
         let mut faults = FaultStats::default();
+        let mut cores_evaluated = 0u64;
         for core_index in 0..self.cores.len() {
-            let fired = self.cores[core_index].tick(t);
+            let core = &mut self.cores[core_index];
+            if self.config.scheduling == CoreScheduling::Active && core.is_quiescent() {
+                catch_unwind(AssertUnwindSafe(|| core.skip_tick(t))).map_err(|p| {
+                    TickError::CorePanicked {
+                        core: core_index,
+                        tick: t,
+                        message: panic_message(p),
+                    }
+                })?;
+                continue;
+            }
+            cores_evaluated += 1;
+            let fired = catch_unwind(AssertUnwindSafe(|| core.tick(t))).map_err(|p| {
+                TickError::CorePanicked {
+                    core: core_index,
+                    tick: t,
+                    message: panic_message(p),
+                }
+            })?;
             spikes += fired.len() as u64;
-            let x = core_index % self.config.width;
-            let y = core_index / self.config.width;
+            let mut batch = RouteBatch::default();
             for &neuron in &fired {
-                let fault = injector
-                    .as_ref()
-                    .and_then(|i| i.link_fault(t, core_index as u64, neuron as u64));
-                match self.cores[core_index].destination(neuron as usize) {
-                    Destination::Disabled => {}
-                    Destination::Output(port) => {
-                        if matches!(fault, Some(LinkFault::Drop)) {
-                            faults.packets_dropped += 1;
-                        } else {
-                            outputs.push(port);
-                        }
-                    }
-                    Destination::Axon(target) => {
-                        if matches!(fault, Some(LinkFault::Drop)) {
-                            faults.packets_dropped += 1;
-                            continue;
-                        }
-                        let (mut tx, mut ty) = (
-                            (x as i64 + target.offset.dx as i64) as usize,
-                            (y as i64 + target.offset.dy as i64) as usize,
-                        );
-                        let mut extra_delay = 0u64;
-                        match fault {
-                            Some(LinkFault::Corrupt { salt }) => {
-                                faults.packets_corrupted += 1;
-                                (tx, ty) = brainsim_faults::pick_cell(
-                                    salt,
-                                    self.config.width,
-                                    self.config.height,
-                                );
-                            }
-                            Some(LinkFault::Delay(ticks)) => {
-                                faults.packets_delayed += 1;
-                                extra_delay = ticks as u64;
-                            }
-                            _ => {}
-                        }
-                        let tidx = ty * self.config.width + tx;
-                        self.hops +=
-                            route_hops((tx as i64 - x as i64) as i32, (ty as i64 - y as i64) as i32)
-                                as u64;
-                        let crossings = self.config.crossings((x, y), (tx, ty));
-                        let link_delay = crossings as u64
-                            * self.config.tile.map(|tc| tc.link_latency as u64).unwrap_or(0);
-                        self.link_crossings += crossings as u64;
-                        let eager = t + target.delay as u64 - 1 + link_delay + extra_delay;
-                        let delivery = eager.max(self.cores[tidx].now());
-                        if self.cores[tidx].deliver(target.axon as usize, delivery).is_err() {
-                            faults.deliveries_failed += 1;
-                        }
-                    }
+                resolve_spike(
+                    &self.config,
+                    &self.cores,
+                    self.injector.as_ref(),
+                    t,
+                    core_index,
+                    neuron,
+                    &mut batch,
+                );
+            }
+            let RouteBatch {
+                outputs: shard_outputs,
+                deliveries,
+                hops,
+                link_crossings,
+                faults: shard_faults,
+            } = batch;
+            outputs.extend(shard_outputs);
+            faults.merge(&shard_faults);
+            self.hops += hops;
+            self.link_crossings += link_crossings;
+            for (tidx, axon, lead) in deliveries {
+                // Effective delay d − 1, clamped so a spike never lands in
+                // a tick its target has already evaluated.
+                let delivery = (t + lead - 1).max(self.cores[tidx].now());
+                if self.cores[tidx].deliver(axon, delivery).is_err() {
+                    faults.deliveries_failed += 1;
                 }
             }
         }
         self.fault_stats.merge(&faults);
         self.outputs_total += outputs.len() as u64;
         self.now = t + 1;
-        TickSummary {
+        Ok(TickSummary {
             tick: t,
             spikes,
             outputs,
             faults,
-        }
+            cores_evaluated,
+        })
     }
 
     /// Runs `ticks` ticks, returning the concatenated output events as
@@ -432,6 +752,15 @@ mod tests {
     /// neuron 0 forwards east to the next core's axon 0; the last core
     /// outputs to port 99.
     fn relay_chain(n: usize, semantics: TickSemantics, threads: usize) -> Chip {
+        relay_chain_with(n, semantics, threads, CoreScheduling::default())
+    }
+
+    fn relay_chain_with(
+        n: usize,
+        semantics: TickSemantics,
+        threads: usize,
+        scheduling: CoreScheduling,
+    ) -> Chip {
         let mut b = ChipBuilder::new(ChipConfig {
             width: n,
             height: 1,
@@ -439,6 +768,7 @@ mod tests {
             core_neurons: 2,
             semantics,
             threads,
+            scheduling,
             ..ChipConfig::default()
         });
         for x in 0..n {
@@ -475,7 +805,11 @@ mod tests {
         let mut chip = relay_chain(4, TickSemantics::Relaxed, 1);
         chip.inject(0, 0, 0, 0).unwrap();
         let (outputs, _) = chip.run(2);
-        assert_eq!(outputs, vec![(0, 99)], "relaxed mode collapses the chain into one tick");
+        assert_eq!(
+            outputs,
+            vec![(0, 99)],
+            "relaxed mode collapses the chain into one tick"
+        );
     }
 
     #[test]
@@ -493,11 +827,153 @@ mod tests {
     }
 
     #[test]
+    fn active_scheduling_is_bit_identical_to_sweep() {
+        // Sparse stimulus with idle gaps so cores genuinely go quiescent
+        // mid-run; every observable must match the full sweep exactly.
+        let run = |scheduling: CoreScheduling| {
+            let mut chip = relay_chain_with(6, TickSemantics::Deterministic, 1, scheduling);
+            let mut summaries = Vec::new();
+            for t in 0..40u64 {
+                if matches!(t, 0 | 9 | 23) {
+                    chip.inject(0, 0, 0, t).unwrap();
+                }
+                let s = chip.tick();
+                summaries.push((s.tick, s.spikes, s.outputs, s.faults));
+            }
+            (summaries, chip.census(), chip.fault_stats(), chip.hops())
+        };
+        assert_eq!(run(CoreScheduling::Active), run(CoreScheduling::Sweep));
+    }
+
+    #[test]
+    fn idle_cores_are_skipped_and_wake_on_delivery() {
+        let mut chip = relay_chain(5, TickSemantics::Deterministic, 1);
+        // Nothing pending: every core is provably quiescent.
+        assert_eq!(chip.tick().cores_evaluated, 0);
+        chip.inject(0, 0, 0, 2).unwrap();
+        // The pending event wakes exactly core 0; the spike then walks the
+        // chain, waking one downstream core per tick.
+        assert_eq!(chip.tick().cores_evaluated, 1);
+        let s = chip.tick();
+        assert_eq!((s.cores_evaluated, s.spikes), (1, 1));
+        chip.run(6);
+        // Chain drained: fully idle again, still bit-identical accounting
+        // (census counts skipped cores as evaluated no-ops).
+        assert_eq!(chip.tick().cores_evaluated, 0);
+        assert_eq!(chip.census().neuron_updates, 2 * 5 * 10);
+    }
+
+    #[test]
+    fn relaxed_active_scheduling_matches_sweep() {
+        let run = |scheduling: CoreScheduling| {
+            let mut chip = relay_chain_with(4, TickSemantics::Relaxed, 1, scheduling);
+            chip.inject(0, 0, 0, 0).unwrap();
+            chip.inject(2, 0, 0, 3).unwrap();
+            let (outputs, spikes) = chip.run(8);
+            (outputs, spikes, chip.census())
+        };
+        assert_eq!(run(CoreScheduling::Active), run(CoreScheduling::Sweep));
+    }
+
+    #[test]
+    fn faulted_routing_is_thread_count_invariant() {
+        // Corruption + delay exercise every RouteBatch field; the parallel
+        // shard merge must reproduce the serial tallies exactly.
+        let run = |threads: usize| {
+            let mut chip = relay_chain_with(
+                8,
+                TickSemantics::Deterministic,
+                threads,
+                CoreScheduling::Sweep,
+            );
+            chip.set_fault_plan(
+                &FaultPlan::new(21)
+                    .with_link_corrupt(0.3)
+                    .with_link_delay(0.3, 2),
+            );
+            for t in 0..12 {
+                chip.inject(0, 0, 0, t).unwrap();
+            }
+            let mut summaries = Vec::new();
+            for _ in 0..32 {
+                summaries.push(chip.tick());
+            }
+            (summaries, chip.fault_stats(), chip.census())
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn poisoned_core_yields_typed_error_not_a_hang() {
+        // Desync core 0's clock, then tick with 8 workers over a full
+        // sweep: the worker's panic must come back as a TickError after
+        // every thread has joined — not hang the scope, not unwind.
+        let mut chip = relay_chain_with(8, TickSemantics::Deterministic, 8, CoreScheduling::Sweep);
+        chip.cores[0].tick(0); // core 0 now expects tick 1; the chip says 0
+        let err = chip
+            .try_tick()
+            .expect_err("desynced core must fail the tick");
+        let TickError::CorePanicked {
+            core,
+            tick,
+            message,
+        } = err;
+        assert_eq!((core, tick), (0, 0));
+        assert!(message.contains("out of tick order"), "got: {message}");
+    }
+
+    #[test]
+    fn poisoned_core_fails_serial_and_skip_paths_too() {
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 1);
+        chip.inject(0, 0, 0, 0).unwrap(); // keep core 0 active (not skipped)
+        chip.cores[0].tick(0);
+        assert!(matches!(
+            chip.try_tick(),
+            Err(TickError::CorePanicked {
+                core: 0,
+                tick: 0,
+                ..
+            })
+        ));
+
+        // And a desynced *quiescent* core fails from the skip path.
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 1);
+        chip.cores[2].tick(0);
+        assert!(matches!(
+            chip.try_tick(),
+            Err(TickError::CorePanicked {
+                core: 2,
+                tick: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked during tick")]
+    fn tick_repanics_on_core_error() {
+        let mut chip = relay_chain(2, TickSemantics::Deterministic, 1);
+        chip.cores[1].tick(0);
+        chip.tick();
+    }
+
+    #[test]
     fn inject_validation() {
         let mut chip = relay_chain(2, TickSemantics::Deterministic, 1);
-        assert!(matches!(chip.inject(5, 0, 0, 0), Err(InjectError::OffGrid(5, 0))));
-        assert!(matches!(chip.inject(0, 0, 9, 0), Err(InjectError::Deliver(_))));
-        assert!(matches!(chip.inject(0, 0, 0, 99), Err(InjectError::Deliver(_))));
+        assert!(matches!(
+            chip.inject(5, 0, 0, 0),
+            Err(InjectError::OffGrid(5, 0))
+        ));
+        assert!(matches!(
+            chip.inject(0, 0, 9, 0),
+            Err(InjectError::Deliver(_))
+        ));
+        assert!(matches!(
+            chip.inject(0, 0, 0, 99),
+            Err(InjectError::Deliver(_))
+        ));
     }
 
     #[test]

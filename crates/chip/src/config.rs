@@ -29,7 +29,31 @@ pub enum TickSemantics {
     /// in the *same* tick. Whether it arrives before or after its target
     /// evaluates depends on the sweep order, so results become
     /// order-dependent — the hazard the tick barrier exists to prevent.
+    ///
+    /// **Serial-only contract:** because correctness of the ablation *is*
+    /// the sweep order, a relaxed chip always evaluates on a single thread.
+    /// [`crate::ChipBuilder::build`] rejects `threads > 1` under this
+    /// semantics with [`crate::ChipBuildError::RelaxedParallel`] rather than
+    /// silently ignoring the setting.
     Relaxed,
+}
+
+/// How the chip selects which cores to evaluate each tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreScheduling {
+    /// Active-core scheduling (the default): cores that are provably
+    /// quiescent — no pending scheduler events and a cached zero-input
+    /// fixed point ([`brainsim_core::NeurosynapticCore::is_quiescent`]) —
+    /// are skipped in O(1) per tick instead of paying a full evaluation
+    /// sweep. Results (rasters, outputs, statistics, LFSR streams) are
+    /// bit-identical to [`CoreScheduling::Sweep`] by construction; the
+    /// differential test suite proves it.
+    #[default]
+    Active,
+    /// Reference behaviour: evaluate every core every tick, as the seed
+    /// implementation did. Kept as the obviously-correct baseline for
+    /// equivalence testing and as the benchmark's serial reference.
+    Sweep,
 }
 
 /// Static parameters of a chip instance.
@@ -47,9 +71,16 @@ pub struct ChipConfig {
     pub seed: u32,
     /// Delivery-timing contract.
     pub semantics: TickSemantics,
-    /// Number of worker threads for the tick sweep (1 = sequential).
-    /// Only [`TickSemantics::Deterministic`] may use more than one thread.
+    /// Number of worker threads for the tick pipeline (1 = sequential).
+    /// Threads parallelise both Phase A (core evaluation) and Phase B
+    /// (spike routing) of the deterministic tick.
+    /// Only [`TickSemantics::Deterministic`] may use more than one thread;
+    /// the builder rejects a relaxed-parallel combination.
     pub threads: usize,
+    /// Which cores are evaluated each tick (quiescence skipping vs full
+    /// sweep). Either choice is bit-identical; `Active` is faster on any
+    /// workload with idle cores.
+    pub scheduling: CoreScheduling,
     /// Multi-chip tiling, if the grid spans several physical chips.
     pub tile: Option<TileConfig>,
 }
@@ -64,6 +95,7 @@ impl Default for ChipConfig {
             seed: 0x5EED_C0DE,
             semantics: TickSemantics::Deterministic,
             threads: 1,
+            scheduling: CoreScheduling::default(),
             tile: None,
         }
     }

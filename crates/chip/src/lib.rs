@@ -62,5 +62,5 @@ mod config;
 pub mod trace;
 
 pub use builder::{ChipBuildError, ChipBuilder};
-pub use chip::{Chip, InjectError, TickSummary};
-pub use config::{ChipConfig, TickSemantics, TileConfig};
+pub use chip::{Chip, InjectError, TickError, TickSummary};
+pub use config::{ChipConfig, CoreScheduling, TickSemantics, TileConfig};

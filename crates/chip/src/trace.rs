@@ -192,9 +192,13 @@ mod tests {
             .threshold(1)
             .build()
             .unwrap();
-        b.core_mut(0, 0).neuron(0, relay.clone(), Destination::Output(3)).unwrap();
+        b.core_mut(0, 0)
+            .neuron(0, relay.clone(), Destination::Output(3))
+            .unwrap();
         b.core_mut(0, 0).synapse(0, 0, true).unwrap();
-        b.core_mut(1, 0).neuron(0, relay, Destination::Output(7)).unwrap();
+        b.core_mut(1, 0)
+            .neuron(0, relay, Destination::Output(7))
+            .unwrap();
         b.core_mut(1, 0).synapse(0, 0, true).unwrap();
         b.build().unwrap()
     }

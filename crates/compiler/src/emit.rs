@@ -4,8 +4,8 @@ use std::fmt;
 
 use brainsim_chip::{Chip, ChipBuilder, ChipConfig, InjectError, TickSummary};
 use brainsim_core::{AxonTarget, CoreOffset, Destination};
-use brainsim_faults::{FaultPlan, FaultStats};
 use brainsim_corelet::LogicalNetwork;
+use brainsim_faults::{FaultPlan, FaultStats};
 use serde::{Deserialize, Serialize};
 
 use crate::passes::{Mapped, Typed};
@@ -218,6 +218,7 @@ pub(crate) fn emit(
         seed: options.seed,
         semantics: options.semantics,
         threads: options.threads,
+        scheduling: Default::default(),
         tile: None,
     };
     let mut builder = ChipBuilder::new(config);
@@ -255,7 +256,9 @@ pub(crate) fn emit(
         }
     }
 
-    let chip = builder.build().map_err(|e| CompileError::Emit(e.to_string()))?;
+    let chip = builder
+        .build()
+        .map_err(|e| CompileError::Emit(e.to_string()))?;
 
     let input_taps = mapped
         .input_taps

@@ -177,7 +177,11 @@ impl fmt::Display for CompileError {
             CompileError::CoreOverflow { core } => {
                 write!(f, "splitter relays overflowed core {core}")
             }
-            CompileError::AxonOverflow { core, needed, budget } => {
+            CompileError::AxonOverflow {
+                core,
+                needed,
+                budget,
+            } => {
                 write!(f, "core {core} needs {needed} axons, budget {budget}")
             }
             CompileError::WeightPaletteOverflow { core } => {
@@ -218,8 +222,7 @@ pub fn compile(
             | Err(CompileError::DelayTooSmallForFanout { .. })
                 if opts.relay_reserve < opts.core_neurons / 2 =>
             {
-                opts.relay_reserve =
-                    (opts.relay_reserve.max(1) * 2).min(opts.core_neurons / 2);
+                opts.relay_reserve = (opts.relay_reserve.max(1) * 2).min(opts.core_neurons / 2);
             }
             other => return other,
         }

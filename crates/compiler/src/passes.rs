@@ -84,14 +84,19 @@ pub(crate) fn map(net: &LogicalNetwork, options: &CompileOptions) -> Result<Mapp
     for i in 0..templates.len() {
         let distinct = net.distinct_in_weights(NeuronId(i)).len();
         if distinct > 4 {
-            return Err(CompileError::TooManyWeights { neuron: i, distinct });
+            return Err(CompileError::TooManyWeights {
+                neuron: i,
+                distinct,
+            });
         }
     }
 
     // ---- Pass 1: output taps --------------------------------------------
     let mut relays = 0usize;
     for (port, &NeuronId(n)) in net.outputs().iter().enumerate() {
-        let has_fanout = synapses.iter().any(|s| s.pre == NodeRef::Neuron(NeuronId(n)));
+        let has_fanout = synapses
+            .iter()
+            .any(|s| s.pre == NodeRef::Neuron(NeuronId(n)));
         if !has_fanout && !direct_output.contains_key(&n) {
             direct_output.insert(n, port as u32);
         } else {
@@ -124,13 +129,15 @@ pub(crate) fn map(net: &LogicalNetwork, options: &CompileOptions) -> Result<Mapp
     }
     let order = bfs_order(&synapses, &out_adj, n_neurons);
 
-    let usable = options.core_neurons.saturating_sub(options.relay_reserve).max(1);
+    let usable = options
+        .core_neurons
+        .saturating_sub(options.relay_reserve)
+        .max(1);
     // Axon slack scales with the relay reserve: splitter chains and relay
     // target axons consume axon slots the raw synapse count cannot predict.
-    let axon_slack = ((options.relay_reserve * options.core_axons)
-        / options.core_neurons.max(1))
-    .max(options.core_axons / 8)
-    .min(options.core_axons / 2);
+    let axon_slack = ((options.relay_reserve * options.core_axons) / options.core_neurons.max(1))
+        .max(options.core_axons / 8)
+        .min(options.core_axons / 2);
     let axon_budget = options.core_axons.saturating_sub(axon_slack).max(1);
     let mut cores: Vec<Vec<usize>> = Vec::new();
     let mut core_of = vec![usize::MAX; n_neurons];
@@ -148,8 +155,7 @@ pub(crate) fn map(net: &LogicalNetwork, options: &CompileOptions) -> Result<Mapp
                 added.insert((NodeKey::from(s.pre), s.delay, s.weight));
             }
             let new_axons = added.difference(&axon_keys).count();
-            let fits = current.len() < usable
-                && axon_keys.len() + new_axons <= axon_budget;
+            let fits = current.len() < usable && axon_keys.len() + new_axons <= axon_budget;
             if !fits && !current.is_empty() {
                 cores.push(std::mem::take(&mut current));
                 axon_keys.clear();
@@ -282,7 +288,10 @@ fn merge_posts(raw: &[(usize, i32)]) -> Result<Posts, CompileError> {
         .into_iter()
         .map(|(post, w)| {
             if i32::try_from(w).is_err() || Weight::new(w as i32).is_err() {
-                Err(CompileError::MergedWeightOverflow { neuron: post, weight: w })
+                Err(CompileError::MergedWeightOverflow {
+                    neuron: post,
+                    weight: w,
+                })
             } else {
                 Ok((post, w as i32))
             }
@@ -344,11 +353,7 @@ fn split_source(
     };
 
     // Delay-1 groups must all live in the first chain core.
-    let d1_cores: BTreeSet<usize> = pending
-        .iter()
-        .filter(|g| g.1 == 1)
-        .map(|g| g.0)
-        .collect();
+    let d1_cores: BTreeSet<usize> = pending.iter().filter(|g| g.1 == 1).map(|g| g.0).collect();
     if d1_cores.len() > 1 {
         return Err(CompileError::DelayTooSmallForFanout { neuron: n });
     }
@@ -496,7 +501,11 @@ fn bfs_order(synapses: &[LogicalSynapse], out_adj: &[Vec<usize>], n: usize) -> V
         }
     }
     // Unreached neurons (pure sources, isolated) appended in index order.
-    order.extend(seen.iter().enumerate().filter_map(|(v, &s)| (!s).then_some(v)));
+    order.extend(
+        seen.iter()
+            .enumerate()
+            .filter_map(|(v, &s)| (!s).then_some(v)),
+    );
     order
 }
 
@@ -521,8 +530,7 @@ pub(crate) fn assign_types(
     // axon count under a hard budget, so the loop terminates.
     'restart: loop {
         let mut axon_types: Vec<Vec<AxonType>> = Vec::with_capacity(mapped.axons.len());
-        let mut weight_tables: Vec<[Weight; 4]> =
-            vec![[Weight::ZERO; 4]; mapped.templates.len()];
+        let mut weight_tables: Vec<[Weight; 4]> = vec![[Weight::ZERO; 4]; mapped.templates.len()];
 
         let mut core = 0;
         while core < mapped.axons.len() {
@@ -608,9 +616,7 @@ pub(crate) fn assign_types(
                                 .max_by_key(|&j| mapped.axons[core][j].posts.len())
                             {
                                 Some(j) => j,
-                                None => {
-                                    return Err(CompileError::WeightPaletteOverflow { core })
-                                }
+                                None => return Err(CompileError::WeightPaletteOverflow { core }),
                             }
                         };
                         match mapped.axons[core][i].driver {
@@ -625,14 +631,15 @@ pub(crate) fn assign_types(
                                     if std::env::var("BRAINSIM_DEBUG_TYPING").is_ok() {
                                         eprintln!("palette overflow: core {core} input axon {i} posts {posts:?}");
                                         for (j, ax) in mapped.axons[core].iter().enumerate() {
-                                            eprintln!("  axon {j}: {:?} d{} posts {:?}", ax.driver, ax.delay, ax.posts);
+                                            eprintln!(
+                                                "  axon {j}: {:?} d{} posts {:?}",
+                                                ax.driver, ax.delay, ax.posts
+                                            );
                                         }
                                     }
                                     return Err(CompileError::WeightPaletteOverflow { core });
                                 }
-                                if mapped.axons[core].len() + parts.len() - 1
-                                    > options.core_axons
-                                {
+                                if mapped.axons[core].len() + parts.len() - 1 > options.core_axons {
                                     return Err(CompileError::AxonOverflow {
                                         core,
                                         needed: mapped.axons[core].len() + parts.len() - 1,
@@ -691,7 +698,10 @@ fn relay_split_axon(
         if std::env::var("BRAINSIM_DEBUG_TYPING").is_ok() {
             eprintln!("palette overflow: core {core} neuron axon {index} posts {posts:?}");
             for (j, ax) in mapped.axons[core].iter().enumerate() {
-                eprintln!("  axon {j}: {:?} d{} posts {:?}", ax.driver, ax.delay, ax.posts);
+                eprintln!(
+                    "  axon {j}: {:?} d{} posts {:?}",
+                    ax.driver, ax.delay, ax.posts
+                );
             }
         }
         return Err(CompileError::WeightPaletteOverflow { core });
@@ -741,8 +751,14 @@ fn relay_split_axon(
     let mut parts = parts.into_iter();
     // The original axon record is repurposed as the first role axon.
     let first = parts.next().expect("at least two parts");
-    let r0 = add_relay(host, options, &mut mapped.templates, &mut mapped.neuron_dest,
-        &mut mapped.core_of, &mut mapped.cores)?;
+    let r0 = add_relay(
+        host,
+        options,
+        &mut mapped.templates,
+        &mut mapped.neuron_dest,
+        &mut mapped.core_of,
+        &mut mapped.cores,
+    )?;
     mapped.relays += 1;
     hub_posts.push((r0, 1));
     mapped.axons[core][index] = AxonRecord {
@@ -752,8 +768,14 @@ fn relay_split_axon(
     };
     mapped.neuron_dest[r0] = Some((core, index, delay - 1));
     for part in parts {
-        let relay = add_relay(host, options, &mut mapped.templates, &mut mapped.neuron_dest,
-            &mut mapped.core_of, &mut mapped.cores)?;
+        let relay = add_relay(
+            host,
+            options,
+            &mut mapped.templates,
+            &mut mapped.neuron_dest,
+            &mut mapped.core_of,
+            &mut mapped.cores,
+        )?;
         mapped.relays += 1;
         hub_posts.push((relay, 1));
         let idx = mapped.axons[core].len();

@@ -40,10 +40,7 @@ fn traffic(mapped: &Mapped) -> HashMap<(usize, usize), u64> {
     t
 }
 
-fn cost(
-    traffic: &HashMap<(usize, usize), u64>,
-    positions: &[(usize, usize)],
-) -> u64 {
+fn cost(traffic: &HashMap<(usize, usize), u64>, positions: &[(usize, usize)]) -> u64 {
     traffic
         .iter()
         .map(|(&(a, b), &w)| {
@@ -156,11 +153,8 @@ pub(crate) fn place(mapped: &Mapped, options: &CompileOptions) -> Placement {
                 })
                 .sum()
         };
-        let mut cell_of: HashMap<(usize, usize), usize> = positions
-            .iter()
-            .enumerate()
-            .map(|(c, &p)| (p, c))
-            .collect();
+        let mut cell_of: HashMap<(usize, usize), usize> =
+            positions.iter().enumerate().map(|(c, &p)| (p, c)).collect();
         let start_t = (greedy_cost.max(1) as f64 / cores.max(1) as f64).max(1.0);
         let mut best_cost = current;
         let mut best_positions = positions.clone();
@@ -179,15 +173,13 @@ pub(crate) fn place(mapped: &Mapped, options: &CompileOptions) -> Placement {
             // Local cost before the move (the a–b edge, if any, is counted
             // in both incident sums both before and after, so it cancels
             // out of the delta).
-            let before = incident(&positions, a)
-                + b.map(|b| incident(&positions, b)).unwrap_or(0);
+            let before = incident(&positions, a) + b.map(|b| incident(&positions, b)).unwrap_or(0);
             let old = positions[a];
             positions[a] = target;
             if let Some(b) = b {
                 positions[b] = old;
             }
-            let after = incident(&positions, a)
-                + b.map(|b| incident(&positions, b)).unwrap_or(0);
+            let after = incident(&positions, a) + b.map(|b| incident(&positions, b)).unwrap_or(0);
             let proposed = if after >= before {
                 current + (after - before)
             } else {
@@ -217,7 +209,11 @@ pub(crate) fn place(mapped: &Mapped, options: &CompileOptions) -> Placement {
         }
         positions = best_positions;
         current = best_cost;
-        debug_assert_eq!(current, cost(&t, &positions), "delta-cost bookkeeping drifted");
+        debug_assert_eq!(
+            current,
+            cost(&t, &positions),
+            "delta-cost bookkeeping drifted"
+        );
     }
 
     Placement {

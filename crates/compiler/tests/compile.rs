@@ -39,7 +39,13 @@ fn single_relay_round_trip() {
     let n = c.add_neuron(threshold(1));
     c.connect(NodeRef::Input(0), n, 1, 1).unwrap();
     c.mark_output(n).unwrap();
-    assert_matches_interpreter(&c, &small_options(), 6, |t| if t == 0 { vec![0] } else { vec![] });
+    assert_matches_interpreter(&c, &small_options(), 6, |t| {
+        if t == 0 {
+            vec![0]
+        } else {
+            vec![]
+        }
+    });
 }
 
 #[test]
@@ -75,13 +81,18 @@ fn network_spanning_many_cores_round_trip() {
     for (i, &n2) in layer2.iter().enumerate() {
         let pre = layer1[i % layer1.len()];
         c.connect(NodeRef::Neuron(pre), n2, 2, 2).unwrap();
-        c.connect(NodeRef::Neuron(layer1[(i + 7) % layer1.len()]), n2, 2, 3).unwrap();
+        c.connect(NodeRef::Neuron(layer1[(i + 7) % layer1.len()]), n2, 2, 3)
+            .unwrap();
     }
     for &n2 in &layer2 {
         c.mark_output(n2).unwrap();
     }
     let compiled = compile(c.network(), &small_options()).expect("compiles");
-    assert!(compiled.report().cores >= 3, "cores = {}", compiled.report().cores);
+    assert!(
+        compiled.report().cores >= 3,
+        "cores = {}",
+        compiled.report().cores
+    );
     assert_matches_interpreter(&c, &small_options(), 25, |t| {
         if t % 3 == 0 {
             vec![0, 2]
@@ -108,7 +119,13 @@ fn splitter_preserves_end_to_end_delays() {
     }
     let compiled = compile(c.network(), &small_options()).expect("compiles");
     assert!(compiled.report().relays > 0, "fan-out must insert relays");
-    assert_matches_interpreter(&c, &small_options(), 16, |t| if t == 0 { vec![0] } else { vec![] });
+    assert_matches_interpreter(&c, &small_options(), 16, |t| {
+        if t == 0 {
+            vec![0]
+        } else {
+            vec![]
+        }
+    });
 }
 
 #[test]
@@ -127,8 +144,16 @@ fn output_tap_adds_one_tick_for_tapped_ports() {
     let raster = compiled.run(5, |_| vec![]);
     // a fires at t=1; the tapped port reports with the fixed 2-tick tap
     // latency at t=3. b fires (and reports directly) at t=2.
-    let port_a: Vec<usize> = raster.iter().enumerate().filter_map(|(t, r)| r[0].then_some(t)).collect();
-    let port_b: Vec<usize> = raster.iter().enumerate().filter_map(|(t, r)| r[1].then_some(t)).collect();
+    let port_a: Vec<usize> = raster
+        .iter()
+        .enumerate()
+        .filter_map(|(t, r)| r[0].then_some(t))
+        .collect();
+    let port_b: Vec<usize> = raster
+        .iter()
+        .enumerate()
+        .filter_map(|(t, r)| r[1].then_some(t))
+        .collect();
     assert_eq!(port_a, vec![3]);
     assert_eq!(port_b, vec![2]);
 }
@@ -161,7 +186,13 @@ fn five_distinct_weights_rejected() {
         c.connect(NodeRef::Input(i), n, w, 1).unwrap();
     }
     let err = compile(c.network(), &small_options()).unwrap_err();
-    assert_eq!(err, CompileError::TooManyWeights { neuron: 0, distinct: 5 });
+    assert_eq!(
+        err,
+        CompileError::TooManyWeights {
+            neuron: 0,
+            distinct: 5
+        }
+    );
 }
 
 #[test]
@@ -201,7 +232,10 @@ fn parallel_synapses_merge_additively() {
     let mut compiled = compile(c.network(), &small_options()).unwrap();
     compiled.inject(0, 0).unwrap();
     let raster = compiled.run(3, |_| vec![]);
-    assert!(raster[1][0], "merged weight must reach threshold in one event");
+    assert!(
+        raster[1][0],
+        "merged weight must reach threshold in one event"
+    );
 }
 
 #[test]
@@ -221,7 +255,13 @@ fn random_network_matches_interpreter() {
     // interpreter reports fire ticks. Compare with shifted expectation by
     // checking spike COUNTS per port instead of exact ticks when tapped.
     let mut compiled = compile(c.network(), &small_options()).unwrap();
-    let stim = |t: u64| if t.is_multiple_of(4) { vec![0, 1, 2] } else { vec![] };
+    let stim = |t: u64| {
+        if t.is_multiple_of(4) {
+            vec![0, 1, 2]
+        } else {
+            vec![]
+        }
+    };
     let chip_raster = compiled.run(40, stim);
     let mut oracle = Interpreter::new(c.network(), 1);
     let oracle_raster = oracle.run(40, stim);
@@ -298,14 +338,18 @@ fn faulty_cells_are_avoided_and_behaviour_is_preserved() {
     for &(x, y) in &faulty {
         let core = compiled.chip().core(x, y).expect("cell on grid");
         assert!(
-            (0..core.neurons()).all(|n| matches!(
-                core.destination(n),
-                brainsim_core::Destination::Disabled
-            )),
+            (0..core.neurons())
+                .all(|n| matches!(core.destination(n), brainsim_core::Destination::Disabled)),
             "faulty cell ({x},{y}) hosts logic"
         );
     }
-    let stim = |t: u64| if t.is_multiple_of(2) { vec![0, 1] } else { vec![] };
+    let stim = |t: u64| {
+        if t.is_multiple_of(2) {
+            vec![0, 1]
+        } else {
+            vec![]
+        }
+    };
     let chip_raster = compiled.run(60, stim);
     let mut oracle = Interpreter::new(c.network(), 1);
     assert_eq!(chip_raster, oracle.run(60, stim));

@@ -48,7 +48,10 @@ fn build(spec: &NetSpec) -> Corelet {
     let mut previous: Vec<NodeRef> = (0..spec.inputs).map(NodeRef::Input).collect();
     for (li, &width) in spec.layers.iter().enumerate() {
         let threshold = spec.thresholds[li % spec.thresholds.len()];
-        let template = NeuronConfig::builder().threshold(threshold).build().unwrap();
+        let template = NeuronConfig::builder()
+            .threshold(threshold)
+            .build()
+            .unwrap();
         let layer = corelet.add_population(template, width);
         for &node in &previous {
             for &post in &layer {

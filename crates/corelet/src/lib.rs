@@ -268,7 +268,12 @@ impl Corelet {
         if Weight::new(weight).is_err() {
             return Err(CoreletError::BadWeight(weight));
         }
-        self.net.synapses.push(LogicalSynapse { pre, post, weight, delay });
+        self.net.synapses.push(LogicalSynapse {
+            pre,
+            post,
+            weight,
+            delay,
+        });
         Ok(())
     }
 
@@ -310,7 +315,9 @@ impl Corelet {
             self.check_node(node)?;
         }
         let offset = self.net.templates.len();
-        self.net.templates.extend(child.net.templates.iter().cloned());
+        self.net
+            .templates
+            .extend(child.net.templates.iter().cloned());
         for s in &child.net.synapses {
             let pre = match s.pre {
                 NodeRef::Input(port) => input_map[port],
@@ -323,7 +330,12 @@ impl Corelet {
                 delay: s.delay,
             });
         }
-        Ok(child.net.outputs.iter().map(|id| NeuronId(id.0 + offset)).collect())
+        Ok(child
+            .net
+            .outputs
+            .iter()
+            .map(|id| NeuronId(id.0 + offset))
+            .collect())
     }
 
     fn check_node(&self, node: NodeRef) -> Result<(), CoreletError> {
@@ -457,10 +469,22 @@ mod tests {
             c.connect(NodeRef::Input(0), NeuronId(9), 1, 1),
             Err(CoreletError::NoSuchNeuron(NeuronId(9)))
         );
-        assert_eq!(c.connect(NodeRef::Input(0), a, 1, 0), Err(CoreletError::BadDelay(0)));
-        assert_eq!(c.connect(NodeRef::Input(0), a, 1, 16), Err(CoreletError::BadDelay(16)));
-        assert_eq!(c.connect(NodeRef::Input(0), a, 300, 1), Err(CoreletError::BadWeight(300)));
-        assert_eq!(c.mark_output(NeuronId(9)), Err(CoreletError::NoSuchNeuron(NeuronId(9))));
+        assert_eq!(
+            c.connect(NodeRef::Input(0), a, 1, 0),
+            Err(CoreletError::BadDelay(0))
+        );
+        assert_eq!(
+            c.connect(NodeRef::Input(0), a, 1, 16),
+            Err(CoreletError::BadDelay(16))
+        );
+        assert_eq!(
+            c.connect(NodeRef::Input(0), a, 300, 1),
+            Err(CoreletError::BadWeight(300))
+        );
+        assert_eq!(
+            c.mark_output(NeuronId(9)),
+            Err(CoreletError::NoSuchNeuron(NeuronId(9)))
+        );
     }
 
     #[test]
@@ -498,7 +522,10 @@ mod tests {
         let mut parent = Corelet::new("parent", 1);
         assert_eq!(
             parent.embed(&child, &[NodeRef::Input(0)]),
-            Err(CoreletError::InputArityMismatch { expected: 2, got: 1 })
+            Err(CoreletError::InputArityMismatch {
+                expected: 2,
+                got: 1
+            })
         );
     }
 

@@ -96,7 +96,8 @@ pub fn merger(ways: usize) -> Corelet {
     // produces exactly one output spike.
     let n = c.add_neuron(relay_template());
     for port in 0..ways {
-        c.connect(NodeRef::Input(port), n, 1, 1).expect("valid wiring");
+        c.connect(NodeRef::Input(port), n, 1, 1)
+            .expect("valid wiring");
     }
     c.mark_output(n).expect("neuron exists");
     c
@@ -124,7 +125,8 @@ pub fn coincidence(ways: usize) -> Corelet {
     // all-present case (w − (w−1) = 1) reaches threshold 1.
     let n = c.add_neuron(template);
     for port in 0..ways {
-        c.connect(NodeRef::Input(port), n, 1, 1).expect("valid wiring");
+        c.connect(NodeRef::Input(port), n, 1, 1)
+            .expect("valid wiring");
     }
     c.mark_output(n).expect("neuron exists");
     c
@@ -149,7 +151,8 @@ pub fn majority(ways: usize) -> Corelet {
         .expect("valid");
     let n = c.add_neuron(template);
     for port in 0..ways {
-        c.connect(NodeRef::Input(port), n, 1, 1).expect("valid wiring");
+        c.connect(NodeRef::Input(port), n, 1, 1)
+            .expect("valid wiring");
     }
     c.mark_output(n).expect("neuron exists");
     c
@@ -170,7 +173,8 @@ pub fn counter(n: u32) -> Corelet {
         .build()
         .expect("valid");
     let neuron = c.add_neuron(template);
-    c.connect(NodeRef::Input(0), neuron, 1, 1).expect("valid wiring");
+    c.connect(NodeRef::Input(0), neuron, 1, 1)
+        .expect("valid wiring");
     c.mark_output(neuron).expect("neuron exists");
     c
 }
@@ -220,9 +224,12 @@ pub fn toggle() -> Corelet {
         .build()
         .expect("valid");
     let n = c.add_neuron(template);
-    c.connect(NodeRef::Input(0), n, 10, 1).expect("valid wiring"); // set
-    c.connect(NodeRef::Input(1), n, -30, 1).expect("valid wiring"); // reset
-    c.connect(NodeRef::Neuron(n), n, 10, 1).expect("valid wiring"); // hold
+    c.connect(NodeRef::Input(0), n, 10, 1)
+        .expect("valid wiring"); // set
+    c.connect(NodeRef::Input(1), n, -30, 1)
+        .expect("valid wiring"); // reset
+    c.connect(NodeRef::Neuron(n), n, 10, 1)
+        .expect("valid wiring"); // hold
     c.mark_output(n).expect("neuron exists");
     c
 }
@@ -265,7 +272,8 @@ pub fn sequence_detector(gap: u8) -> Corelet {
         .build()
         .expect("valid");
     let n = c.add_neuron(template);
-    c.connect(NodeRef::Input(0), n, 1, gap + 1).expect("valid wiring");
+    c.connect(NodeRef::Input(0), n, 1, gap + 1)
+        .expect("valid wiring");
     c.connect(NodeRef::Input(1), n, 1, 1).expect("valid wiring");
     c.mark_output(n).expect("neuron exists");
     c
@@ -303,7 +311,8 @@ pub fn rate_comparator(threshold: u32) -> Corelet {
         .expect("valid");
     let n = c.add_neuron(template);
     c.connect(NodeRef::Input(0), n, 2, 1).expect("valid wiring");
-    c.connect(NodeRef::Input(1), n, -2, 1).expect("valid wiring");
+    c.connect(NodeRef::Input(1), n, -2, 1)
+        .expect("valid wiring");
     c.mark_output(n).expect("neuron exists");
     c
 }
@@ -315,15 +324,10 @@ mod tests {
 
     /// Tiny direct executor for library tests (mirrors the compiler's
     /// interpreter but lives here to keep the crate self-contained).
-    fn run(
-        corelet: &Corelet,
-        ticks: u64,
-        stimulus: impl Fn(u64) -> Vec<usize>,
-    ) -> Vec<Vec<bool>> {
+    fn run(corelet: &Corelet, ticks: u64, stimulus: impl Fn(u64) -> Vec<usize>) -> Vec<Vec<bool>> {
         use brainsim_neuron::{Lfsr, Neuron};
         let net = corelet.network();
-        let mut neurons: Vec<Neuron> =
-            net.neurons().iter().cloned().map(Neuron::new).collect();
+        let mut neurons: Vec<Neuron> = net.neurons().iter().cloned().map(Neuron::new).collect();
         let mut wheel: Vec<Vec<(usize, i32)>> = vec![Vec::new(); 16];
         let mut rng = Lfsr::new(9);
         let mut raster = Vec::new();
@@ -363,12 +367,12 @@ mod tests {
     fn delay_line_short_and_long() {
         for ticks in [1u32, 7, 15, 16, 40] {
             let c = delay_line(ticks).unwrap();
-            let raster = run(&c, ticks as u64 + 5, |t| if t == 0 { vec![0] } else { vec![] });
-            assert_eq!(
-                spike_ticks(&raster, 0),
-                vec![ticks as u64],
-                "delay {ticks}"
+            let raster = run(
+                &c,
+                ticks as u64 + 5,
+                |t| if t == 0 { vec![0] } else { vec![] },
             );
+            assert_eq!(spike_ticks(&raster, 0), vec![ticks as u64], "delay {ticks}");
         }
     }
 
@@ -441,9 +445,7 @@ mod tests {
             }
             active
         });
-        let counts: Vec<usize> = (0..3)
-            .map(|p| spike_ticks(&raster, p).len())
-            .collect();
+        let counts: Vec<usize> = (0..3).map(|p| spike_ticks(&raster, p).len()).collect();
         assert!(
             counts[1] > 3 * counts[0].max(counts[2]).max(1),
             "winner must dominate: {counts:?}"
@@ -482,7 +484,7 @@ mod tests {
         let c = sequence_detector(4);
         let raster = run(&c, 40, |t| match t {
             2 => vec![0],
-            6 => vec![1],  // gap 4 ✓ → fire
+            6 => vec![1], // gap 4 ✓ → fire
             20 => vec![0],
             22 => vec![1], // gap 2 ✗
             30 => vec![1],
@@ -506,7 +508,11 @@ mod tests {
         // Phase 2: rates swapped → silent.
         let raster = run(&c, 60, |t| {
             if t < 30 {
-                if t % 3 == 0 { vec![0, 1] } else { vec![0] }
+                if t % 3 == 0 {
+                    vec![0, 1]
+                } else {
+                    vec![0]
+                }
             } else if t % 3 == 0 {
                 vec![0, 1]
             } else {

@@ -197,10 +197,14 @@ impl CoreBuilder {
 
     /// Finalises the core.
     pub fn build(&self) -> NeurosynapticCore {
+        let neurons: Vec<Neuron> = self.configs.iter().cloned().map(Neuron::new).collect();
+        // A freshly built core rests at V = 0 everywhere; it is settled from
+        // tick 0 iff every neuron is a zero-input fixed point there.
+        let settled = neurons.iter().all(Neuron::is_quiescent);
         NeurosynapticCore {
             axon_types: self.axon_types.clone(),
             crossbar: self.crossbar.clone(),
-            neurons: self.configs.iter().cloned().map(Neuron::new).collect(),
+            neurons,
             destinations: self.destinations.clone(),
             scheduler: Scheduler::new(self.axons),
             rng: Lfsr::new(self.seed),
@@ -209,6 +213,7 @@ impl CoreBuilder {
             stats: CoreStats::default(),
             counts: vec![0u32; self.neurons * 4],
             faults: None,
+            settled,
         }
     }
 }
@@ -230,6 +235,11 @@ pub struct NeurosynapticCore {
     /// Injected fault state; `None` (the overwhelmingly common case) keeps
     /// the healthy tick path branch-free beyond one pointer test.
     faults: Option<Box<CoreFaults>>,
+    /// Whether the last evaluated tick proved this core to be at a
+    /// zero-input fixed point (no events consumed, no spikes fired, every
+    /// neuron individually quiescent). Together with an empty scheduler this
+    /// makes further ticks skippable — see [`NeurosynapticCore::is_quiescent`].
+    settled: bool,
 }
 
 impl NeurosynapticCore {
@@ -281,9 +291,55 @@ impl NeurosynapticCore {
         self.strategy
     }
 
-    /// Whether the scheduler has no pending events.
+    /// Whether the scheduler has no pending events. O(1).
     pub fn is_idle(&self) -> bool {
         self.scheduler.is_idle()
+    }
+
+    /// The quiescence contract: true when evaluating the next tick is a
+    /// provable no-op, so the chip's active-core scheduler may replace the
+    /// full evaluation sweep with [`NeurosynapticCore::skip_tick`] and still
+    /// produce bit-identical rasters, statistics and LFSR streams.
+    ///
+    /// A core is quiescent when its scheduler holds no pending axon events
+    /// and either the core is dropped by a fault plan (its tick is pure
+    /// bookkeeping), or the last evaluation proved a zero-input fixed point
+    /// ([`Neuron::is_quiescent`] for every neuron, nothing fired) and no
+    /// stuck-firing fault forces spikes every tick. O(1): the scheduler
+    /// keeps a pending-event counter and the fixed point is cached from the
+    /// last evaluated tick.
+    #[inline]
+    pub fn is_quiescent(&self) -> bool {
+        if !self.scheduler.is_idle() {
+            return false;
+        }
+        match self.faults.as_deref() {
+            Some(f) if f.dropped => true,
+            Some(f) if !f.stuck.is_empty() => false,
+            _ => self.settled,
+        }
+    }
+
+    /// Skips one tick of a quiescent core in O(1), with accounting that is
+    /// bit-identical to a full evaluation of the (provably no-op) tick:
+    /// `ticks` and `neuron_updates` advance exactly as the evaluation sweep
+    /// would have advanced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick != self.now()`. Calling this on a non-quiescent core
+    /// is a logic error (debug assertion); the chip runtime only calls it
+    /// after [`NeurosynapticCore::is_quiescent`].
+    pub fn skip_tick(&mut self, tick: u64) {
+        assert_eq!(tick, self.now, "core evaluated out of tick order");
+        debug_assert!(self.is_quiescent(), "skip_tick on a non-quiescent core");
+        self.stats.ticks += 1;
+        if !self.is_dropped() {
+            // The evaluation sweep would have charged one (no-op) update per
+            // neuron; a dropped core's tick charges none.
+            self.stats.neuron_updates += self.neurons.len() as u64;
+        }
+        self.now += 1;
     }
 
     /// Whether a fault plan disabled this core outright.
@@ -366,7 +422,9 @@ impl NeurosynapticCore {
             return Err(DeliverError::NoSuchAxon(axon));
         }
         if target_tick < self.now || target_tick >= self.now + SCHEDULER_SLOTS as u64 {
-            return Err(DeliverError::DelayTooLong(target_tick.saturating_sub(self.now)));
+            return Err(DeliverError::DelayTooLong(
+                target_tick.saturating_sub(self.now),
+            ));
         }
         self.scheduler.schedule(axon, target_tick);
         Ok(())
@@ -436,6 +494,14 @@ impl NeurosynapticCore {
             }
         }
 
+        // Fixed-point detection for the active-core scheduler: an idle tick
+        // (no events, no natural spikes) whose neurons are all individually
+        // quiescent proves that every further zero-input tick is a no-op.
+        // The per-neuron scan only runs on idle ticks — exactly the ticks the
+        // quiescence skip then eliminates.
+        self.settled =
+            axon_events == 0 && fired.is_empty() && self.neurons.iter().all(Neuron::is_quiescent);
+
         if let Some(faults) = self.faults.as_deref() {
             if faults.structural.neurons_dead > 0 {
                 let before = fired.len();
@@ -484,6 +550,8 @@ impl NeurosynapticCore {
         self.scheduler = Scheduler::new(self.axons());
         self.now = 0;
         self.stats = CoreStats::default();
+        // All potentials are back at rest; recompute the fixed point.
+        self.settled = self.neurons.iter().all(Neuron::is_quiescent);
         if let Some(faults) = self.faults.as_deref() {
             // Structural defects persist across resets; re-seed their counts.
             self.stats.faults = faults.structural;
@@ -534,7 +602,10 @@ mod tests {
         assert_eq!(core.deliver(0, 16), Err(DeliverError::DelayTooLong(16)));
         core.tick(0);
         // Past ticks are rejected too.
-        assert!(matches!(core.deliver(0, 0), Err(DeliverError::DelayTooLong(_))));
+        assert!(matches!(
+            core.deliver(0, 0),
+            Err(DeliverError::DelayTooLong(_))
+        ));
     }
 
     #[test]
@@ -550,7 +621,8 @@ mod tests {
         let n = 16;
         let mut b = CoreBuilder::new(1, n);
         for i in 0..n {
-            b.neuron(i, relay_config(1, 1), Destination::Disabled).unwrap();
+            b.neuron(i, relay_config(1, 1), Destination::Disabled)
+                .unwrap();
             b.synapse(0, i, true).unwrap();
         }
         let mut core = b.build();
@@ -687,7 +759,11 @@ mod tests {
     fn dead_neurons_suppress_spikes() {
         use brainsim_faults::FaultPlan;
         let mut core = one_to_one_core(8, EvalStrategy::Sparse);
-        core.apply_faults(&FaultInjector::new(&FaultPlan::new(1).with_dead_neuron(1.0)), 0, 0);
+        core.apply_faults(
+            &FaultInjector::new(&FaultPlan::new(1).with_dead_neuron(1.0)),
+            0,
+            0,
+        );
         for a in 0..8 {
             core.deliver(a, 0).unwrap();
         }
@@ -701,7 +777,11 @@ mod tests {
     fn stuck_neurons_fire_every_tick_in_order() {
         use brainsim_faults::FaultPlan;
         let mut core = one_to_one_core(8, EvalStrategy::Sparse);
-        core.apply_faults(&FaultInjector::new(&FaultPlan::new(1).with_stuck_neuron(1.0)), 0, 0);
+        core.apply_faults(
+            &FaultInjector::new(&FaultPlan::new(1).with_stuck_neuron(1.0)),
+            0,
+            0,
+        );
         // Neuron 3 would fire naturally; all 8 must appear exactly once, sorted.
         core.deliver(3, 0).unwrap();
         let fired = core.tick(0);
@@ -714,7 +794,11 @@ mod tests {
     fn dropped_core_consumes_events_silently() {
         use brainsim_faults::FaultPlan;
         let mut core = one_to_one_core(4, EvalStrategy::Sparse);
-        core.apply_faults(&FaultInjector::new(&FaultPlan::new(1).with_core_dropout(1.0)), 2, 3);
+        core.apply_faults(
+            &FaultInjector::new(&FaultPlan::new(1).with_core_dropout(1.0)),
+            2,
+            3,
+        );
         assert!(core.is_dropped());
         core.deliver(0, 0).unwrap();
         assert_eq!(core.tick(0), Vec::<u16>::new());
@@ -760,13 +844,124 @@ mod tests {
     fn reset_preserves_structural_fault_counts() {
         use brainsim_faults::FaultPlan;
         let mut core = one_to_one_core(8, EvalStrategy::Sparse);
-        core.apply_faults(&FaultInjector::new(&FaultPlan::new(1).with_dead_neuron(1.0)), 0, 0);
+        core.apply_faults(
+            &FaultInjector::new(&FaultPlan::new(1).with_dead_neuron(1.0)),
+            0,
+            0,
+        );
         core.deliver(0, 0).unwrap();
         core.tick(0);
         assert_eq!(core.stats().faults.spikes_suppressed, 1);
         core.reset();
-        assert_eq!(core.stats().faults.neurons_dead, 8, "structural counts survive");
-        assert_eq!(core.stats().faults.spikes_suppressed, 0, "event counts cleared");
+        assert_eq!(
+            core.stats().faults.neurons_dead,
+            8,
+            "structural counts survive"
+        );
+        assert_eq!(
+            core.stats().faults.spikes_suppressed,
+            0,
+            "event counts cleared"
+        );
+    }
+
+    #[test]
+    fn quiescent_skip_is_bit_identical_to_full_evaluation() {
+        let mut core = one_to_one_core(8, EvalStrategy::Sparse);
+        // Fresh core at rest with leak-free neurons: settled from build.
+        assert!(core.is_quiescent());
+        core.deliver(2, 1).unwrap();
+        assert!(!core.is_quiescent(), "pending event blocks quiescence");
+        core.tick(0);
+        core.tick(1); // consumes the event, fires neuron 2
+        assert!(!core.is_quiescent(), "a firing tick cannot settle");
+        core.tick(2); // idle tick re-establishes the fixed point
+        assert!(core.is_quiescent());
+
+        let mut skipped = core.clone();
+        for t in 3..40 {
+            core.tick(t);
+            assert!(skipped.is_quiescent(), "tick {t}");
+            skipped.skip_tick(t);
+        }
+        assert_eq!(core.stats(), skipped.stats());
+        assert_eq!(core.now(), skipped.now());
+        for n in 0..8 {
+            assert_eq!(core.potential(n), skipped.potential(n));
+        }
+        // Both wake identically on new input.
+        core.deliver(5, 40).unwrap();
+        skipped.deliver(5, 40).unwrap();
+        assert_eq!(core.tick(40), skipped.tick(40));
+        assert_eq!(core.stats(), skipped.stats());
+    }
+
+    #[test]
+    fn stochastic_modes_block_quiescence() {
+        let build = |mask_bits: u32, leak: i32, stochastic_leak: bool| {
+            let mut b = CoreBuilder::new(4, 4);
+            let config = NeuronConfig::builder()
+                .weight(AxonType::A0, Weight::saturating(1))
+                .threshold(4)
+                .threshold_mask_bits(mask_bits)
+                .leak(leak)
+                .leak_reversal(true)
+                .stochastic_leak(stochastic_leak)
+                .build()
+                .unwrap();
+            for n in 0..4 {
+                b.neuron(n, config.clone(), Destination::Disabled).unwrap();
+            }
+            b.build()
+        };
+        // Threshold jitter draws every tick: never quiescent, even idle.
+        let mut jitter = build(2, 0, false);
+        jitter.tick(0);
+        assert!(!jitter.is_quiescent());
+        // Stochastic leak likewise.
+        let mut stoch = build(0, -2, true);
+        stoch.tick(0);
+        assert!(!stoch.is_quiescent());
+        // Deterministic leak with reversal at rest IS a fixed point.
+        let mut reversal = build(0, -2, false);
+        assert!(reversal.is_quiescent());
+        reversal.tick(0);
+        assert!(reversal.is_quiescent());
+    }
+
+    #[test]
+    fn stuck_firing_neurons_block_quiescence() {
+        use brainsim_faults::FaultPlan;
+        let mut core = one_to_one_core(4, EvalStrategy::Sparse);
+        core.apply_faults(
+            &FaultInjector::new(&FaultPlan::new(1).with_stuck_neuron(1.0)),
+            0,
+            0,
+        );
+        core.tick(0);
+        assert!(!core.is_quiescent(), "stuck-firing cores spike every tick");
+    }
+
+    #[test]
+    fn dropped_core_skip_matches_tick_accounting() {
+        use brainsim_faults::FaultPlan;
+        let mut core = one_to_one_core(4, EvalStrategy::Sparse);
+        core.apply_faults(
+            &FaultInjector::new(&FaultPlan::new(1).with_core_dropout(1.0)),
+            0,
+            0,
+        );
+        assert!(
+            core.is_quiescent(),
+            "an idle dropped core is pure bookkeeping"
+        );
+        let mut skipped = core.clone();
+        for t in 0..5 {
+            core.tick(t);
+            skipped.skip_tick(t);
+        }
+        assert_eq!(core.stats(), skipped.stats());
+        assert_eq!(core.now(), skipped.now());
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl Crossbar {
     ///
     /// Panics if either dimension is zero.
     pub fn new(axons: usize, neurons: usize) -> Crossbar {
-        assert!(axons > 0 && neurons > 0, "crossbar dimensions must be non-zero");
+        assert!(
+            axons > 0 && neurons > 0,
+            "crossbar dimensions must be non-zero"
+        );
         let words_per_row = neurons.div_ceil(64);
         Crossbar {
             axons,

@@ -18,6 +18,10 @@ pub struct Scheduler {
     words: usize,
     /// `slots[s]` is the bitmap of axons due at ticks ≡ s (mod 16).
     slots: Vec<Vec<u64>>,
+    /// Number of set bits across all slots, maintained incrementally so
+    /// [`Scheduler::is_idle`] / [`Scheduler::pending`] are O(1) — the chip's
+    /// active-core scheduler polls idleness every tick for every core.
+    pending: usize,
 }
 
 impl Scheduler {
@@ -33,6 +37,7 @@ impl Scheduler {
             axons,
             words,
             slots: vec![vec![0; words]; SCHEDULER_SLOTS],
+            pending: 0,
         }
     }
 
@@ -55,7 +60,12 @@ impl Scheduler {
     pub fn schedule(&mut self, axon: usize, target_tick: u64) {
         assert!(axon < self.axons, "axon {axon} out of range");
         let slot = (target_tick % SCHEDULER_SLOTS as u64) as usize;
-        self.slots[slot][axon / 64] |= 1u64 << (axon % 64);
+        let word = &mut self.slots[slot][axon / 64];
+        let bit = 1u64 << (axon % 64);
+        if *word & bit == 0 {
+            self.pending += 1;
+        }
+        *word |= bit;
     }
 
     /// Takes (and clears) the axon bitmap due at `tick`.
@@ -63,6 +73,7 @@ impl Scheduler {
         let slot = (tick % SCHEDULER_SLOTS as u64) as usize;
         let mut empty = vec![0; self.words];
         std::mem::swap(&mut self.slots[slot], &mut empty);
+        self.pending -= empty.iter().map(|w| w.count_ones() as usize).sum::<usize>();
         empty
     }
 
@@ -72,17 +83,14 @@ impl Scheduler {
         &self.slots[slot]
     }
 
-    /// Whether any event is pending in any slot.
+    /// Whether any event is pending in any slot. O(1).
     pub fn is_idle(&self) -> bool {
-        self.slots.iter().all(|s| s.iter().all(|&w| w == 0))
+        self.pending == 0
     }
 
-    /// Total number of pending axon events across all slots.
+    /// Total number of pending axon events across all slots. O(1).
     pub fn pending(&self) -> usize {
-        self.slots
-            .iter()
-            .map(|s| s.iter().map(|w| w.count_ones() as usize).sum::<usize>())
-            .sum()
+        self.pending
     }
 }
 
@@ -155,6 +163,26 @@ mod tests {
         s.schedule(2, 1);
         assert_eq!(bitmap_indices(s.peek(1)).count(), 1);
         assert_eq!(bitmap_indices(s.peek(1)).count(), 1);
+    }
+
+    #[test]
+    fn pending_counter_stays_exact_across_mixed_traffic() {
+        let mut s = Scheduler::new(128);
+        for round in 0..10u64 {
+            for a in 0..128 {
+                if (a + round as usize).is_multiple_of(3) {
+                    s.schedule(a, round + (a as u64 % 15));
+                    // Duplicate writes must not inflate the counter.
+                    s.schedule(a, round + (a as u64 % 15));
+                }
+            }
+            let taken: usize = bitmap_indices(&s.take(round)).count();
+            let brute: usize = (0..SCHEDULER_SLOTS as u64)
+                .map(|t| bitmap_indices(s.peek(t)).count())
+                .sum();
+            assert_eq!(s.pending(), brute, "round {round} (took {taken})");
+            assert_eq!(s.is_idle(), brute == 0);
+        }
     }
 
     #[test]

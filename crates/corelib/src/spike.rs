@@ -62,8 +62,7 @@ impl AxonTarget {
 ///
 /// Each neuron has exactly one destination — multicast requires splitter
 /// neurons, as on the silicon.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Destination {
     /// The neuron's output is unused.
     #[default]
@@ -73,7 +72,6 @@ pub enum Destination {
     /// An external output port of the chip.
     Output(u32),
 }
-
 
 /// Error returned by [`crate::NeurosynapticCore::deliver`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,7 +87,10 @@ impl fmt::Display for DeliverError {
         match self {
             DeliverError::NoSuchAxon(a) => write!(f, "axon {a} does not exist"),
             DeliverError::DelayTooLong(d) => {
-                write!(f, "delivery {d} ticks ahead exceeds the 15-tick scheduler horizon")
+                write!(
+                    f,
+                    "delivery {d} ticks ahead exceeds the 15-tick scheduler horizon"
+                )
             }
         }
     }

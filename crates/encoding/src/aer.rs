@@ -145,7 +145,10 @@ mod tests {
             AerEvent { tick: 0, port: 3 },
             AerEvent { tick: 0, port: 7 },
             AerEvent { tick: 2, port: 1 },
-            AerEvent { tick: 100_000, port: 0 },
+            AerEvent {
+                tick: 100_000,
+                port: 0,
+            },
         ]
     }
 
@@ -168,10 +171,7 @@ mod tests {
 
     #[test]
     fn unsorted_events_rejected() {
-        let events = vec![
-            AerEvent { tick: 5, port: 0 },
-            AerEvent { tick: 3, port: 0 },
-        ];
+        let events = vec![AerEvent { tick: 5, port: 0 }, AerEvent { tick: 3, port: 0 }];
         let mut buf = BytesMut::new();
         assert_eq!(encode(&events, &mut buf), Err(AerError::NotSorted));
     }

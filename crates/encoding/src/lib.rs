@@ -72,7 +72,9 @@ impl RateCode {
     pub fn encode_stochastic(&self, value: f64, rng: &mut Lfsr) -> Vec<bool> {
         let v = value.clamp(0.0, 1.0);
         let numerator = (v * 256.0).round() as u32;
-        (0..self.window).map(|_| rng.bernoulli_256(numerator)).collect()
+        (0..self.window)
+            .map(|_| rng.bernoulli_256(numerator))
+            .collect()
     }
 
     /// Decodes a spike train back to a value in `[0, 1]`.
@@ -161,7 +163,10 @@ impl PopulationCode {
     /// Encodes a value as one deterministic rate train per channel.
     pub fn encode(&self, value: f64) -> Vec<Vec<bool>> {
         let rate = RateCode::new(self.window);
-        self.intensities(value).into_iter().map(|i| rate.encode(i)).collect()
+        self.intensities(value)
+            .into_iter()
+            .map(|i| rate.encode(i))
+            .collect()
     }
 
     /// Decodes per-channel spike counts by centre of mass.
@@ -205,7 +210,11 @@ impl Frame {
     /// Panics if `pixels.len() != width * height`.
     pub fn new(width: usize, height: usize, pixels: Vec<f64>) -> Frame {
         assert_eq!(pixels.len(), width * height, "pixel count mismatch");
-        Frame { width, height, pixels }
+        Frame {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// Frame width.

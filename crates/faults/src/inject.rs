@@ -197,16 +197,22 @@ impl FaultInjector {
     /// Dead wins over stuck-firing when both thresholds hit.
     pub fn neuron_fault(&self, x: usize, y: usize, neuron: usize) -> Option<NeuronFault> {
         if self.dead_neuron.live()
-            && self
-                .dead_neuron
-                .hit(self.roll(Domain::DeadNeuron, x as u64, y as u64, neuron as u64))
+            && self.dead_neuron.hit(self.roll(
+                Domain::DeadNeuron,
+                x as u64,
+                y as u64,
+                neuron as u64,
+            ))
         {
             return Some(NeuronFault::Dead);
         }
         if self.stuck_neuron.live()
-            && self
-                .stuck_neuron
-                .hit(self.roll(Domain::StuckNeuron, x as u64, y as u64, neuron as u64))
+            && self.stuck_neuron.hit(self.roll(
+                Domain::StuckNeuron,
+                x as u64,
+                y as u64,
+                neuron as u64,
+            ))
         {
             return Some(NeuronFault::StuckFiring);
         }
@@ -215,13 +221,7 @@ impl FaultInjector {
 
     /// The permanent fault (if any) of the crossbar cell `(axon, neuron)`
     /// on core `(x, y)`. Stuck-at-0 wins over stuck-at-1 when both hit.
-    pub fn synapse_fault(
-        &self,
-        x: usize,
-        y: usize,
-        axon: usize,
-        neuron: usize,
-    ) -> Option<StuckAt> {
+    pub fn synapse_fault(&self, x: usize, y: usize, axon: usize, neuron: usize) -> Option<StuckAt> {
         // Pack the core into one word so the cell keeps two free slots.
         let core = ((x as u64) << 32) | y as u64;
         if self.synapse_stuck_zero.live()

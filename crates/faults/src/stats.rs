@@ -75,6 +75,23 @@ impl FaultStats {
     pub fn is_empty(&self) -> bool {
         self.total() == 0
     }
+
+    /// Folds a batch of per-shard statistics blocks into one.
+    ///
+    /// Every counter is a plain sum, so the merge is order-independent —
+    /// the property the chip's parallel routing pipeline relies on when it
+    /// combines the `FaultStats` produced by concurrently routed spike
+    /// shards into a deterministic per-tick total.
+    pub fn merge_all<'a, I>(blocks: I) -> FaultStats
+    where
+        I: IntoIterator<Item = &'a FaultStats>,
+    {
+        let mut total = FaultStats::default();
+        for block in blocks {
+            total.merge(block);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +121,32 @@ mod tests {
         assert_eq!(a.packets_dropped, 5);
         assert_eq!(a.spikes_forced, 7);
         assert_eq!(a.total(), 15);
+    }
+
+    #[test]
+    fn merge_all_is_order_independent() {
+        let blocks = [
+            FaultStats {
+                packets_dropped: 1,
+                ..FaultStats::default()
+            },
+            FaultStats {
+                packets_corrupted: 2,
+                deliveries_failed: 1,
+                ..FaultStats::default()
+            },
+            FaultStats {
+                packets_delayed: 4,
+                ..FaultStats::default()
+            },
+        ];
+        let forward = FaultStats::merge_all(&blocks);
+        let reverse = FaultStats::merge_all(blocks.iter().rev());
+        assert_eq!(forward, reverse);
+        assert_eq!(forward.total(), 8);
+        assert_eq!(
+            FaultStats::merge_all(std::iter::empty()),
+            FaultStats::default()
+        );
     }
 }

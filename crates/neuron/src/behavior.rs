@@ -87,11 +87,7 @@ impl Raster {
             return None;
         }
         let mean = isis.iter().sum::<u64>() as f64 / isis.len() as f64;
-        let var = isis
-            .iter()
-            .map(|&i| (i as f64 - mean).powi(2))
-            .sum::<f64>()
-            / isis.len() as f64;
+        let var = isis.iter().map(|&i| (i as f64 - mean).powi(2)).sum::<f64>() / isis.len() as f64;
         Some(var.sqrt() / mean)
     }
 
@@ -158,12 +154,17 @@ fn result(
 pub fn tonic_spiking() -> BehaviorResult {
     let mut net = MicroNet::new(1);
     let n = net.add_neuron(presets::relay(5, 20));
-    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 1)
+        .unwrap();
     let raster = net.run(200, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let regular = r.isi_cv().map(|cv| cv < 1e-9).unwrap_or(false);
     let achieved = r.count() >= 40 && regular;
-    let metric = format!("{} spikes, CV {:.3}", r.count(), r.isi_cv().unwrap_or(f64::NAN));
+    let metric = format!(
+        "{} spikes, CV {:.3}",
+        r.count(),
+        r.isi_cv().unwrap_or(f64::NAN)
+    );
     result(
         "tonic spiking",
         "relay neuron, constant 1 spike/tick drive",
@@ -177,11 +178,13 @@ pub fn tonic_spiking() -> BehaviorResult {
 pub fn integrator() -> BehaviorResult {
     let mut net = MicroNet::new(2);
     let n = net.add_neuron(presets::leaky_integrator(5, 8, 2));
-    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
-    net.connect(Source::External(1), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 1)
+        .unwrap();
+    net.connect(Source::External(1), n, AxonType::A0, 1)
+        .unwrap();
     let raster = net.run(60, n, |t| match t {
-        10 => vec![true, true],         // coincident pair
-        30 => vec![true, false],        // separated pair
+        10 => vec![true, true],  // coincident pair
+        30 => vec![true, false], // separated pair
         32 => vec![false, true],
         _ => vec![false, false],
     });
@@ -206,12 +209,18 @@ pub fn integrator() -> BehaviorResult {
 pub fn phasic_spiking() -> BehaviorResult {
     let mut net = MicroNet::new(1);
     let n = net.add_neuron(presets::relay(5, 12));
-    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
-    net.connect(Source::External(0), n, AxonType::A3, 5).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 1)
+        .unwrap();
+    net.connect(Source::External(0), n, AxonType::A3, 5)
+        .unwrap();
     let raster = net.run(100, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let achieved = r.count() == 1 && r.count_in(0, 8) == 1;
-    let metric = format!("{} spike(s), first at {:?}", r.count(), r.spike_times().first());
+    let metric = format!(
+        "{} spike(s), first at {:?}",
+        r.count(),
+        r.spike_times().first()
+    );
     result(
         "phasic spiking",
         "excitation (delay 1) + matched inhibition (delay 5) from the same drive",
@@ -225,8 +234,10 @@ pub fn phasic_spiking() -> BehaviorResult {
 pub fn phasic_bursting() -> BehaviorResult {
     let mut net = MicroNet::new(1);
     let n = net.add_neuron(presets::relay(5, 4));
-    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
-    net.connect(Source::External(0), n, AxonType::A3, 5).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 1)
+        .unwrap();
+    net.connect(Source::External(0), n, AxonType::A3, 5)
+        .unwrap();
     let raster = net.run(100, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let achieved = (3..=6).contains(&r.count()) && r.count_in(8, 100) == 0;
@@ -260,10 +271,12 @@ pub fn tonic_bursting() -> BehaviorResult {
             .build()
             .unwrap(),
     );
-    net.connect(Source::External(0), e, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), e, AxonType::A0, 1)
+        .unwrap();
     net.connect(Source::Neuron(e), i, AxonType::A0, 1).unwrap();
     for delay in 1..=6 {
-        net.connect(Source::Neuron(i), e, AxonType::A3, delay).unwrap();
+        net.connect(Source::Neuron(i), e, AxonType::A3, delay)
+            .unwrap();
     }
     let raster = net.run(120, e, |_| vec![true]);
     let r = Raster::new(raster.clone());
@@ -296,7 +309,8 @@ pub fn spike_frequency_adaptation() -> BehaviorResult {
     );
     let i1 = net.add_neuron(presets::latch(1, 4));
     let i2 = net.add_neuron(presets::latch(1, 8));
-    net.connect(Source::External(0), e, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), e, AxonType::A0, 1)
+        .unwrap();
     net.connect(Source::Neuron(e), i1, AxonType::A0, 1).unwrap();
     net.connect(Source::Neuron(e), i2, AxonType::A0, 1).unwrap();
     net.connect(Source::Neuron(i1), e, AxonType::A3, 1).unwrap();
@@ -319,11 +333,17 @@ pub fn spike_frequency_adaptation() -> BehaviorResult {
     )
 }
 
-fn rate_with_drive(config: &NeuronConfig, self_excite: Option<i32>, drive: usize, ticks: u64) -> f64 {
+fn rate_with_drive(
+    config: &NeuronConfig,
+    self_excite: Option<i32>,
+    drive: usize,
+    ticks: u64,
+) -> f64 {
     let mut net = MicroNet::new(drive.max(1));
     let n = net.add_neuron(config.clone());
     for c in 0..drive {
-        net.connect(Source::External(c), n, AxonType::A0, 1).unwrap();
+        net.connect(Source::External(c), n, AxonType::A0, 1)
+            .unwrap();
     }
     if let Some(w) = self_excite {
         // Self-excitation uses axon type A1.
@@ -333,9 +353,11 @@ fn rate_with_drive(config: &NeuronConfig, self_excite: Option<i32>, drive: usize
         let mut net2 = MicroNet::new(drive.max(1));
         let n2 = net2.add_neuron(cfg);
         for c in 0..drive {
-            net2.connect(Source::External(c), n2, AxonType::A0, 1).unwrap();
+            net2.connect(Source::External(c), n2, AxonType::A0, 1)
+                .unwrap();
         }
-        net2.connect(Source::Neuron(n2), n2, AxonType::A1, 1).unwrap();
+        net2.connect(Source::Neuron(n2), n2, AxonType::A1, 1)
+            .unwrap();
         let raster = net2.run(ticks, n2, |_| vec![true; drive.max(1)]);
         return Raster::new(raster).count() as f64 / ticks as f64;
     }
@@ -397,7 +419,8 @@ pub fn spike_latency() -> BehaviorResult {
         .unwrap();
     let n = net.add_neuron(config);
     for c in 0..5 {
-        net.connect(Source::External(c), n, AxonType::A0, 1).unwrap();
+        net.connect(Source::External(c), n, AxonType::A0, 1)
+            .unwrap();
     }
     let raster = net.run(240, n, |t| match t {
         20 => vec![true, true, false, false, false], // kick of 2
@@ -426,8 +449,10 @@ pub fn spike_latency() -> BehaviorResult {
 pub fn resonator() -> BehaviorResult {
     let mut net = MicroNet::new(1);
     let n = net.add_neuron(presets::leaky_integrator(5, 5, 5));
-    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
-    net.connect(Source::External(0), n, AxonType::A0, 6).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 1)
+        .unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 6)
+        .unwrap();
     let raster = net.run(120, n, |t| {
         // Resonant pair spaced 5 apart; off-resonance pairs spaced 2 and 8.
         vec![matches!(t, 10 | 15 | 50 | 52 | 90 | 98)]
@@ -472,7 +497,8 @@ pub fn rebound_spike() -> BehaviorResult {
             .unwrap(),
     );
     net.connect(Source::Neuron(i), e, AxonType::A3, 1).unwrap();
-    net.connect(Source::External(0), i, AxonType::A3, 1).unwrap();
+    net.connect(Source::External(0), i, AxonType::A3, 1)
+        .unwrap();
     let raster = net.run(120, e, |t| vec![t == 50]);
     let r = Raster::new(raster.clone());
     let achieved = r.count_in(20, 50) == 0 && r.count_in(51, 72) >= 2 && r.count_in(85, 120) == 0;
@@ -505,7 +531,8 @@ pub fn threshold_variability() -> BehaviorResult {
         .build()
         .unwrap();
     let n = net.add_neuron(config);
-    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 1)
+        .unwrap();
     let presentations = 60u64;
     let raster = net.run(presentations * 10, n, |t| vec![t % 10 == 0]);
     let r = Raster::new(raster.clone());
@@ -537,13 +564,14 @@ pub fn bistability() -> BehaviorResult {
         .build()
         .unwrap();
     let n = net.add_neuron(config);
-    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
-    net.connect(Source::External(1), n, AxonType::A3, 1).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 1)
+        .unwrap();
+    net.connect(Source::External(1), n, AxonType::A3, 1)
+        .unwrap();
     net.connect(Source::Neuron(n), n, AxonType::A1, 1).unwrap();
     let raster = net.run(100, n, |t| vec![t == 20, t == 60]);
     let r = Raster::new(raster.clone());
-    let achieved =
-        r.count_in(0, 20) == 0 && r.count_in(25, 60) == 35 && r.count_in(65, 100) == 0;
+    let achieved = r.count_in(0, 20) == 0 && r.count_in(25, 60) == 35 && r.count_in(65, 100) == 0;
     let metric = format!(
         "off {}, on {}, off {}",
         r.count_in(0, 20),
@@ -565,7 +593,8 @@ pub fn accommodation() -> BehaviorResult {
     let mut net = MicroNet::new(8);
     let n = net.add_neuron(presets::leaky_integrator(1, 6, 2));
     for c in 0..8 {
-        net.connect(Source::External(c), n, AxonType::A0, 1).unwrap();
+        net.connect(Source::External(c), n, AxonType::A0, 1)
+            .unwrap();
     }
     let raster = net.run(100, n, |t| {
         if (10..26).contains(&t) {
@@ -618,7 +647,8 @@ pub fn inhibition_induced_spiking() -> BehaviorResult {
             .unwrap(),
     );
     net.connect(Source::Neuron(g), e, AxonType::A3, 1).unwrap();
-    net.connect(Source::External(0), g, AxonType::A3, 1).unwrap();
+    net.connect(Source::External(0), g, AxonType::A3, 1)
+        .unwrap();
     let raster = net.run(120, e, |t| vec![(40..80).contains(&t)]);
     let r = Raster::new(raster.clone());
     let achieved = r.count_in(10, 41) == 0 && r.count_in(42, 80) >= 10 && r.count_in(90, 120) == 0;
@@ -668,7 +698,8 @@ pub fn irregular_spiking() -> BehaviorResult {
         .build()
         .unwrap();
     let n = net.add_neuron(config);
-    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 1)
+        .unwrap();
     let raster = net.run(400, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let cv = r.isi_cv().unwrap_or(0.0);
@@ -694,12 +725,15 @@ pub fn depolarizing_after_potential() -> BehaviorResult {
         .build()
         .unwrap();
     let n = net.add_neuron(config);
-    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 1)
+        .unwrap();
     let raster = net.run(60, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let times = r.spike_times();
     let achieved = !times.is_empty()
-        && r.mean_isi().map(|isi| (times[0] as f64) > isi).unwrap_or(false);
+        && r.mean_isi()
+            .map(|isi| (times[0] as f64) > isi)
+            .unwrap_or(false);
     let metric = format!(
         "first latency {:?}, mean ISI {:?}",
         times.first(),
@@ -726,8 +760,10 @@ pub fn mixed_mode() -> BehaviorResult {
         .build()
         .unwrap();
     let n = net.add_neuron(config);
-    net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
-    net.connect(Source::External(0), n, AxonType::A3, 6).unwrap();
+    net.connect(Source::External(0), n, AxonType::A0, 1)
+        .unwrap();
+    net.connect(Source::External(0), n, AxonType::A3, 6)
+        .unwrap();
     let raster = net.run(120, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let onset_burst = r.count_in(0, 6) >= 4;

@@ -184,7 +184,9 @@ impl Default for NeuronConfig {
     /// A quiet, deterministic neuron: unit positive weights on type 0,
     /// inhibitory `-1` on type 3, zero leak, threshold 1.
     fn default() -> Self {
-        NeuronConfig::builder().build().expect("default config is valid")
+        NeuronConfig::builder()
+            .build()
+            .expect("default config is valid")
     }
 }
 

@@ -67,7 +67,11 @@ impl Lfsr {
         if bits == 0 {
             return 0;
         }
-        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let mask = if bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
         self.next_u32() & mask
     }
 

@@ -145,7 +145,12 @@ impl MicroNet {
             Source::External(c) if c >= self.channels => return Err(WireError::NoSuchChannel(c)),
             _ => {}
         }
-        self.synapses.push(Synapse { source, target, ty, delay });
+        self.synapses.push(Synapse {
+            source,
+            target,
+            ty,
+            delay,
+        });
         Ok(())
     }
 
@@ -248,14 +253,18 @@ mod tests {
     fn delay_semantics_exact() {
         let mut net = MicroNet::new(1);
         let n = net.add_neuron(fire_on_one(5, 5));
-        net.connect(Source::External(0), n, AxonType::A0, 3).unwrap();
+        net.connect(Source::External(0), n, AxonType::A0, 3)
+            .unwrap();
         let mut spikes = Vec::new();
         for t in 0..8 {
             let fired = net.step(&[t == 0]);
             spikes.push(fired[n]);
         }
         // Input at tick 0 with delay 3 integrates at tick 3.
-        assert_eq!(spikes, vec![false, false, false, true, false, false, false, false]);
+        assert_eq!(
+            spikes,
+            vec![false, false, false, true, false, false, false, false]
+        );
     }
 
     #[test]
@@ -263,7 +272,8 @@ mod tests {
         let mut net = MicroNet::new(1);
         let a = net.add_neuron(fire_on_one(5, 5));
         let b = net.add_neuron(fire_on_one(5, 5));
-        net.connect(Source::External(0), a, AxonType::A0, 1).unwrap();
+        net.connect(Source::External(0), a, AxonType::A0, 1)
+            .unwrap();
         net.connect(Source::Neuron(a), b, AxonType::A0, 1).unwrap();
         let mut raster_b = Vec::new();
         for t in 0..5 {
@@ -278,8 +288,10 @@ mod tests {
     fn inhibition_cancels_excitation() {
         let mut net = MicroNet::new(2);
         let n = net.add_neuron(fire_on_one(5, 5));
-        net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
-        net.connect(Source::External(1), n, AxonType::A3, 1).unwrap();
+        net.connect(Source::External(0), n, AxonType::A0, 1)
+            .unwrap();
+        net.connect(Source::External(1), n, AxonType::A3, 1)
+            .unwrap();
         for _ in 0..10 {
             let fired = net.step(&[true, true]);
             assert!(!fired[n]);
@@ -325,7 +337,8 @@ mod tests {
     fn run_records_observed_neuron() {
         let mut net = MicroNet::new(1);
         let n = net.add_neuron(fire_on_one(5, 5));
-        net.connect(Source::External(0), n, AxonType::A0, 1).unwrap();
+        net.connect(Source::External(0), n, AxonType::A0, 1)
+            .unwrap();
         let raster = net.run(6, n, |t| vec![t % 2 == 0]);
         // Inputs at 0,2,4 → spikes at 1,3,5.
         assert_eq!(raster, vec![false, true, false, true, false, true]);
@@ -335,7 +348,8 @@ mod tests {
     fn wheel_wraps_past_16_ticks() {
         let mut net = MicroNet::new(1);
         let n = net.add_neuron(fire_on_one(5, 5));
-        net.connect(Source::External(0), n, AxonType::A0, 15).unwrap();
+        net.connect(Source::External(0), n, AxonType::A0, 15)
+            .unwrap();
         let mut fired_at = Vec::new();
         for t in 0..40 {
             let fired = net.step(&[t == 0 || t == 20]);

@@ -55,7 +55,10 @@ pub struct Neuron {
 impl Neuron {
     /// Creates a neuron at rest (`V = 0`).
     pub fn new(config: NeuronConfig) -> Neuron {
-        Neuron { config, potential: 0 }
+        Neuron {
+            config,
+            potential: 0,
+        }
     }
 
     /// Creates a neuron with an explicit initial potential (clamped to the
@@ -161,9 +164,9 @@ impl Neuron {
             match self.config.reset_mode {
                 ResetMode::Absolute => self.potential = self.config.reset_potential,
                 ResetMode::Linear => {
-                    self.potential =
-                        (self.potential as i64 - alpha).clamp(POTENTIAL_MIN as i64, POTENTIAL_MAX as i64)
-                            as i32
+                    self.potential = (self.potential as i64 - alpha)
+                        .clamp(POTENTIAL_MIN as i64, POTENTIAL_MAX as i64)
+                        as i32
                 }
                 ResetMode::None => {}
             }
@@ -187,6 +190,38 @@ impl Neuron {
     /// Resets the potential to zero without touching the configuration.
     pub fn reset_state(&mut self) {
         self.potential = 0;
+    }
+
+    /// True when one further tick with **no synaptic input** is a provable
+    /// no-op for this neuron: the membrane potential does not move, no spike
+    /// can fire, and — critically for lock-step determinism — no pseudo-random
+    /// draw is consumed from the core's LFSR.
+    ///
+    /// The conditions, matching [`Neuron::finish_tick`] step by step:
+    ///
+    /// * no stochastic threshold jitter (`threshold_mask_bits == 0`), which
+    ///   would draw from the LFSR every tick;
+    /// * the leak is a fixed point: either `leak == 0` (no draw, no change),
+    ///   or leak reversal is on, the leak is deterministic, and the potential
+    ///   rests exactly at 0 (this simulator's `sgn(0) = 0` convention);
+    /// * the potential sits strictly below the positive threshold and at or
+    ///   above the negative floor, so neither crossing can trigger.
+    ///
+    /// This is the per-neuron half of the core quiescence contract used by
+    /// the chip's active-core scheduler: a core whose neurons all satisfy it
+    /// (and whose scheduler holds no pending events) may have its tick
+    /// skipped with bit-identical results.
+    #[inline]
+    pub fn is_quiescent(&self) -> bool {
+        let c = &self.config;
+        if c.threshold_mask_bits > 0 {
+            return false;
+        }
+        let leak_fixed =
+            c.leak == 0 || (c.leak_reversal && !c.stochastic_leak && self.potential == 0);
+        leak_fixed
+            && (self.potential as i64) < c.threshold as i64
+            && (self.potential as i64) >= -(c.negative_threshold as i64)
     }
 
     #[inline]
@@ -479,6 +514,75 @@ mod tests {
         n.set_potential(POTENTIAL_MIN);
         n.integrate(AxonType::A3, &mut r);
         assert_eq!(n.potential(), POTENTIAL_MIN);
+    }
+
+    #[test]
+    fn quiescence_tracks_leak_threshold_and_stochastic_modes() {
+        // Leak-free below threshold: quiescent.
+        let n = simple(10, 5);
+        assert!(n.is_quiescent());
+        // At or above threshold: would fire with zero input.
+        let mut hot = simple(10, 5);
+        hot.set_potential(10);
+        assert!(!hot.is_quiescent());
+        // Nonzero plain leak drives the potential every tick.
+        let leaky = Neuron::new(
+            NeuronConfig::builder()
+                .threshold(10)
+                .leak(1)
+                .build()
+                .unwrap(),
+        );
+        assert!(!leaky.is_quiescent());
+        // Leak reversal at rest is a fixed point (sgn(0) = 0 convention)...
+        let mut reversal = Neuron::new(
+            NeuronConfig::builder()
+                .threshold(10)
+                .leak(-2)
+                .leak_reversal(true)
+                .build()
+                .unwrap(),
+        );
+        assert!(reversal.is_quiescent());
+        // ...but not once displaced from zero.
+        reversal.set_potential(3);
+        assert!(!reversal.is_quiescent());
+        // Stochastic threshold draws jitter from the LFSR every tick.
+        let jitter = Neuron::new(
+            NeuronConfig::builder()
+                .threshold(10)
+                .threshold_mask_bits(2)
+                .build()
+                .unwrap(),
+        );
+        assert!(!jitter.is_quiescent());
+        // Stochastic leak draws from the LFSR even when the reversal
+        // direction is zero, so it can never be skipped.
+        let stoch_leak = Neuron::new(
+            NeuronConfig::builder()
+                .threshold(10)
+                .leak(-2)
+                .leak_reversal(true)
+                .stochastic_leak(true)
+                .build()
+                .unwrap(),
+        );
+        assert!(!stoch_leak.is_quiescent());
+    }
+
+    #[test]
+    fn quiescent_tick_is_a_bitwise_noop() {
+        // For a quiescent neuron, finish_tick changes neither the potential
+        // nor the RNG stream — the invariant the chip's skip path relies on.
+        let mut n = simple(10, 5);
+        n.set_potential(7);
+        assert!(n.is_quiescent());
+        let mut r = rng();
+        let state = r.state();
+        let out = n.finish_tick(&mut r);
+        assert!(!out.fired());
+        assert_eq!(n.potential(), 7);
+        assert_eq!(r.state(), state);
     }
 
     #[test]

@@ -148,7 +148,9 @@ mod tests {
         let mut n = Neuron::new(spontaneous(64, 2));
         let mut rng = Lfsr::new(1234);
         let ticks = 40_000;
-        let spikes = (0..ticks).filter(|_| n.finish_tick(&mut rng).fired()).count();
+        let spikes = (0..ticks)
+            .filter(|_| n.finish_tick(&mut rng).fired())
+            .count();
         // Expected rate = (64/256) / 2 = 0.125 per tick.
         let rate = spikes as f64 / ticks as f64;
         assert!((rate - 0.125).abs() < 0.01, "rate = {rate}");

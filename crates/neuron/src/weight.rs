@@ -27,7 +27,8 @@ pub enum AxonType {
 
 impl AxonType {
     /// All axon types, in index order.
-    pub const ALL: [AxonType; AXON_TYPES] = [AxonType::A0, AxonType::A1, AxonType::A2, AxonType::A3];
+    pub const ALL: [AxonType; AXON_TYPES] =
+        [AxonType::A0, AxonType::A1, AxonType::A2, AxonType::A3];
 
     /// The array index of this type, in `0..AXON_TYPES`.
     #[inline]

@@ -156,7 +156,10 @@ impl MeshNoc {
     ///
     /// Panics if any dimension or the FIFO capacity is zero.
     pub fn new(config: NocConfig) -> MeshNoc {
-        assert!(config.width > 0 && config.height > 0, "mesh dimensions must be non-zero");
+        assert!(
+            config.width > 0 && config.height > 0,
+            "mesh dimensions must be non-zero"
+        );
         let routers = (0..config.width * config.height)
             .map(|_| Router::new(config.fifo_capacity))
             .collect();
@@ -320,7 +323,9 @@ impl MeshNoc {
             for x in 0..width {
                 let idx = self.index(x, y);
                 // Local ejection: one delivery per router per cycle.
-                if let Some(flit) = self.routers[idx].arbitrate_ordered(Port::Local, self.config.routing) {
+                if let Some(flit) =
+                    self.routers[idx].arbitrate_ordered(Port::Local, self.config.routing)
+                {
                     debug_assert!(flit.packet.is_local(), "non-local flit at local port");
                     let latency = self.now - flit.injected_at + 1;
                     self.stats.delivered += 1;
@@ -376,7 +381,9 @@ impl MeshNoc {
                         self.stats.stalls += 1;
                         continue;
                     }
-                    if let Some(mut flit) = self.routers[idx].arbitrate_ordered(port, self.config.routing) {
+                    if let Some(mut flit) =
+                        self.routers[idx].arbitrate_ordered(port, self.config.routing)
+                    {
                         match port {
                             Port::East => flit.packet.dx -= 1,
                             Port::West => flit.packet.dx += 1,
@@ -390,8 +397,7 @@ impl MeshNoc {
                             // link per cycle, so (cycle, link) is a unique,
                             // order-independent decision coordinate.
                             let link = ((idx as u64) << 3) | port.index() as u64;
-                            let event =
-                                ((flit.packet.axon as u64) << 8) | flit.packet.slot as u64;
+                            let event = ((flit.packet.axon as u64) << 8) | flit.packet.slot as u64;
                             match injector.link_fault(self.now, link, event) {
                                 Some(LinkFault::Drop) => {
                                     self.stats.dropped += 1;
@@ -402,8 +408,7 @@ impl MeshNoc {
                                     // Re-aim at a deterministic bogus core,
                                     // relative to the router the flit just
                                     // reached.
-                                    let (cx, cy) =
-                                        brainsim_faults::pick_cell(salt, width, height);
+                                    let (cx, cy) = brainsim_faults::pick_cell(salt, width, height);
                                     flit.packet.dx = (cx as i64 - nx) as i16;
                                     flit.packet.dy = (cy as i64 - ny) as i16;
                                     self.stats.faults.packets_corrupted += 1;
@@ -411,12 +416,8 @@ impl MeshNoc {
                                 Some(LinkFault::Delay(ticks)) => {
                                     self.stats.faults.packets_delayed += 1;
                                     staged_count[nidx][input.index()] += 1;
-                                    self.delayed.push((
-                                        self.now + ticks as u64,
-                                        nidx,
-                                        input,
-                                        flit,
-                                    ));
+                                    self.delayed
+                                        .push((self.now + ticks as u64, nidx, input, flit));
                                     continue;
                                 }
                                 None => {}
@@ -645,7 +646,14 @@ mod tests {
                 if x == 3 && y == 3 {
                     continue; // local deliveries never cross a link
                 }
-                if noc.inject(x as usize, y as usize, Packet::new(3 - x, 3 - y, 0, 0).unwrap()).is_ok() {
+                if noc
+                    .inject(
+                        x as usize,
+                        y as usize,
+                        Packet::new(3 - x, 3 - y, 0, 0).unwrap(),
+                    )
+                    .is_ok()
+                {
                     sent += 1;
                 }
             }
@@ -662,7 +670,9 @@ mod tests {
     fn corrupted_packets_still_deliver_somewhere() {
         use brainsim_faults::{FaultInjector, FaultPlan};
         let mut noc = mesh(4, 4);
-        noc.set_fault_injector(FaultInjector::new(&FaultPlan::new(3).with_link_corrupt(1.0)));
+        noc.set_fault_injector(FaultInjector::new(
+            &FaultPlan::new(3).with_link_corrupt(1.0),
+        ));
         noc.inject(0, 0, pkt(3, 3)).unwrap();
         let deliveries = noc.drain(1000);
         // Conservation still holds: the packet lands, just not at (3, 3)
@@ -707,7 +717,11 @@ mod tests {
             ));
             for y in 0..4i16 {
                 for x in 0..4i16 {
-                    let _ = noc.inject(x as usize, y as usize, Packet::new(3 - x, 3 - y, 7, 1).unwrap());
+                    let _ = noc.inject(
+                        x as usize,
+                        y as usize,
+                        Packet::new(3 - x, 3 - y, 7, 1).unwrap(),
+                    );
                 }
             }
             let mut deliveries = noc.drain(1000);
@@ -731,7 +745,11 @@ mod tests {
         for noc in [&mut faulty, &mut healthy] {
             for y in 0..4i16 {
                 for x in 0..4i16 {
-                    let _ = noc.inject(x as usize, y as usize, Packet::new(3 - x, 3 - y, 0, 0).unwrap());
+                    let _ = noc.inject(
+                        x as usize,
+                        y as usize,
+                        Packet::new(3 - x, 3 - y, 0, 0).unwrap(),
+                    );
                 }
             }
         }

@@ -42,7 +42,13 @@ pub enum Port {
 
 impl Port {
     /// All ports in index order.
-    pub const ALL: [Port; PORTS] = [Port::Local, Port::East, Port::West, Port::North, Port::South];
+    pub const ALL: [Port; PORTS] = [
+        Port::Local,
+        Port::East,
+        Port::West,
+        Port::North,
+        Port::South,
+    ];
 
     /// The array index of the port.
     #[inline]
@@ -221,11 +227,26 @@ mod tests {
     #[test]
     fn yx_order_exhausts_y_first() {
         use super::RoutingOrder::YThenX;
-        assert_eq!(Router::route_ordered(&flit(3, 2).packet, YThenX), Port::North);
-        assert_eq!(Router::route_ordered(&flit(3, -2).packet, YThenX), Port::South);
-        assert_eq!(Router::route_ordered(&flit(3, 0).packet, YThenX), Port::East);
-        assert_eq!(Router::route_ordered(&flit(-3, 0).packet, YThenX), Port::West);
-        assert_eq!(Router::route_ordered(&flit(0, 0).packet, YThenX), Port::Local);
+        assert_eq!(
+            Router::route_ordered(&flit(3, 2).packet, YThenX),
+            Port::North
+        );
+        assert_eq!(
+            Router::route_ordered(&flit(3, -2).packet, YThenX),
+            Port::South
+        );
+        assert_eq!(
+            Router::route_ordered(&flit(3, 0).packet, YThenX),
+            Port::East
+        );
+        assert_eq!(
+            Router::route_ordered(&flit(-3, 0).packet, YThenX),
+            Port::West
+        );
+        assert_eq!(
+            Router::route_ordered(&flit(0, 0).packet, YThenX),
+            Port::Local
+        );
     }
 
     #[test]

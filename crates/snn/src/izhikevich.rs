@@ -33,27 +33,52 @@ pub struct IzhikevichParams {
 impl IzhikevichParams {
     /// Regular spiking (cortical excitatory): tonic with adaptation.
     pub const fn regular_spiking() -> IzhikevichParams {
-        IzhikevichParams { a: 0.02, b: 0.2, c: -65.0, d: 8.0 }
+        IzhikevichParams {
+            a: 0.02,
+            b: 0.2,
+            c: -65.0,
+            d: 8.0,
+        }
     }
 
     /// Fast spiking (inhibitory interneuron): high-rate tonic.
     pub const fn fast_spiking() -> IzhikevichParams {
-        IzhikevichParams { a: 0.1, b: 0.2, c: -65.0, d: 2.0 }
+        IzhikevichParams {
+            a: 0.1,
+            b: 0.2,
+            c: -65.0,
+            d: 2.0,
+        }
     }
 
     /// Chattering: high-frequency bursts.
     pub const fn chattering() -> IzhikevichParams {
-        IzhikevichParams { a: 0.02, b: 0.2, c: -50.0, d: 2.0 }
+        IzhikevichParams {
+            a: 0.02,
+            b: 0.2,
+            c: -50.0,
+            d: 2.0,
+        }
     }
 
     /// Intrinsically bursting: initial burst then tonic.
     pub const fn intrinsically_bursting() -> IzhikevichParams {
-        IzhikevichParams { a: 0.02, b: 0.2, c: -55.0, d: 4.0 }
+        IzhikevichParams {
+            a: 0.02,
+            b: 0.2,
+            c: -55.0,
+            d: 4.0,
+        }
     }
 
     /// Low-threshold spiking: rebound-capable inhibitory cell.
     pub const fn low_threshold_spiking() -> IzhikevichParams {
-        IzhikevichParams { a: 0.02, b: 0.25, c: -65.0, d: 2.0 }
+        IzhikevichParams {
+            a: 0.02,
+            b: 0.25,
+            c: -65.0,
+            d: 2.0,
+        }
     }
 }
 
@@ -185,6 +210,9 @@ mod tests {
                 count(&n.run_dc(i, 500))
             })
             .collect();
-        assert!(rates[0] < rates[1] && rates[1] < rates[2], "rates {rates:?}");
+        assert!(
+            rates[0] < rates[1] && rates[1] < rates[2],
+            "rates {rates:?}"
+        );
     }
 }

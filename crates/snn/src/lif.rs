@@ -146,7 +146,11 @@ impl SnnBuilder {
         if !weight.is_finite() {
             return Err(SnnError::NotFinite);
         }
-        let synapse = Synapse { target, weight, delay };
+        let synapse = Synapse {
+            target,
+            weight,
+            delay,
+        };
         match source {
             SnnSource::Input(c) => {
                 if c >= self.inputs {
@@ -402,7 +406,12 @@ mod tests {
     #[test]
     fn inhibition_lowers_potential() {
         let mut b = SnnBuilder::new(2);
-        let n = b.neuron(LifParams { tau: 1e9, ..LifParams::default() }).unwrap();
+        let n = b
+            .neuron(LifParams {
+                tau: 1e9,
+                ..LifParams::default()
+            })
+            .unwrap();
         b.connect(SnnSource::Input(0), n, 0.6, 1).unwrap();
         b.connect(SnnSource::Input(1), n, -0.4, 1).unwrap();
         let mut net = b.build();
@@ -415,14 +424,29 @@ mod tests {
     fn builder_validation() {
         let mut b = SnnBuilder::new(1);
         assert_eq!(
-            b.neuron(LifParams { tau: 0.0, ..LifParams::default() }),
+            b.neuron(LifParams {
+                tau: 0.0,
+                ..LifParams::default()
+            }),
             Err(SnnError::NotFinite)
         );
         let n = b.neuron(LifParams::default()).unwrap();
-        assert_eq!(b.connect(SnnSource::Input(3), n, 1.0, 1), Err(SnnError::NoSuchInput(3)));
-        assert_eq!(b.connect(SnnSource::Neuron(7), n, 1.0, 1), Err(SnnError::NoSuchNeuron(7)));
-        assert_eq!(b.connect(SnnSource::Input(0), 9, 1.0, 1), Err(SnnError::NoSuchNeuron(9)));
-        assert_eq!(b.connect(SnnSource::Input(0), n, 1.0, 0), Err(SnnError::BadDelay(0)));
+        assert_eq!(
+            b.connect(SnnSource::Input(3), n, 1.0, 1),
+            Err(SnnError::NoSuchInput(3))
+        );
+        assert_eq!(
+            b.connect(SnnSource::Neuron(7), n, 1.0, 1),
+            Err(SnnError::NoSuchNeuron(7))
+        );
+        assert_eq!(
+            b.connect(SnnSource::Input(0), 9, 1.0, 1),
+            Err(SnnError::NoSuchNeuron(9))
+        );
+        assert_eq!(
+            b.connect(SnnSource::Input(0), n, 1.0, 0),
+            Err(SnnError::BadDelay(0))
+        );
         assert_eq!(
             b.connect(SnnSource::Input(0), n, f64::NAN, 1),
             Err(SnnError::NotFinite)

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example deep_network`
 
 use brainsim::apps::deep::{
-    float_feature_accuracy, suggest_readout_threshold, train_readout, DeepClassifier,
-    FeatureBank,
+    float_feature_accuracy, suggest_readout_threshold, train_readout, DeepClassifier, FeatureBank,
 };
 use brainsim::apps::digits;
 

@@ -14,7 +14,11 @@ use brainsim::energy::EnergyModel;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train = digits::generate(20, 0.02, 21);
     let test = digits::generate(8, 0.05, 99);
-    println!("train: {} samples, test: {} samples", train.len(), test.len());
+    println!(
+        "train: {} samples, test: {} samples",
+        train.len(),
+        test.len()
+    );
 
     // Floating-point training and reference accuracy.
     let weights = train_perceptron(&train, 15);

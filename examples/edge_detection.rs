@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("input scene:");
     print_map(
-        &frame.pixels().iter().map(|&p| (p * 9.0) as u32).collect::<Vec<_>>(),
+        &frame
+            .pixels()
+            .iter()
+            .map(|&p| (p * 9.0) as u32)
+            .collect::<Vec<_>>(),
         side,
     );
 

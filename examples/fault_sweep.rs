@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         test.len()
     );
     println!();
-    println!("{:>8}  {:>9}  {:>9}  {:>9}  {:>12}", "rate", "seed 1", "seed 2", "seed 3", "mean faults");
+    println!(
+        "{:>8}  {:>9}  {:>9}  {:>9}  {:>12}",
+        "rate", "seed 1", "seed 2", "seed 3", "mean faults"
+    );
 
     let rates = [0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.35, 0.50];
     let seeds = [101u64, 202, 303];
@@ -45,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // A fresh deployment per trial: fault plans burn structural
             // defects into the crossbars, so each seed gets its own chip.
             let mut chip = ChipClassifier::build(&quantized, threshold, window)?;
-            chip.compiled_mut().set_fault_plan(&FaultPlan::uniform(seed, rate));
+            chip.compiled_mut()
+                .set_fault_plan(&FaultPlan::uniform(seed, rate));
             accs.push(chip.accuracy(&test));
             fault_total += chip.compiled().fault_stats().total();
         }

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{pixels}-pixel Reichardt array tuned to {lag} ticks/pixel, {} cores",
         detector.compiled().report().cores
     );
-    println!("{:>12} {:>12} {:>8} {:>8}", "sweep", "decoded", "R votes", "L votes");
+    println!(
+        "{:>12} {:>12} {:>8} {:>8}",
+        "sweep", "decoded", "R votes", "L votes"
+    );
     for sweep in [3, -3, 2, -5] {
         let (direction, right, left) = detector.perceive(sweep);
         let label = if sweep > 0 { "rightward" } else { "leftward" };

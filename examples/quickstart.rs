@@ -44,7 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     // 4. Read the output raster.
-    println!("tick:   {}", (0..24).map(|t| format!("{:>2}", t % 10)).collect::<String>());
+    println!(
+        "tick:   {}",
+        (0..24)
+            .map(|t| format!("{:>2}", t % 10))
+            .collect::<String>()
+    );
     let line: String = raster
         .iter()
         .map(|out| if out[0] { " |" } else { " ." })

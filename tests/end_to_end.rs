@@ -144,10 +144,15 @@ fn aer_record_and_replay_round_trip() {
                 spikes: 1,
                 outputs: vec![0],
                 faults: Default::default(),
+                cores_evaluated: 1,
             });
         }
     }
-    assert!(trace.len() >= 8, "producer must spike: {} events", trace.len());
+    assert!(
+        trace.len() >= 8,
+        "producer must spike: {} events",
+        trace.len()
+    );
 
     // Wire round trip.
     let events: Vec<aer::AerEvent> = trace
@@ -230,7 +235,13 @@ fn library_corelets_compile_and_run_on_chip() {
     let mut compiled = compile(top.network(), &CompileOptions::default()).unwrap();
     // Single pulse: no output. Pulse pair spaced 5: the delayed copy of the
     // first pulse coincides with the direct copy of the second.
-    let raster = compiled.run(40, |t| if t == 3 || t == 8 || t == 25 { vec![0] } else { vec![] });
+    let raster = compiled.run(40, |t| {
+        if t == 3 || t == 8 || t == 25 {
+            vec![0]
+        } else {
+            vec![]
+        }
+    });
     let fired: Vec<usize> = raster
         .iter()
         .enumerate()
@@ -242,7 +253,13 @@ fn library_corelets_compile_and_run_on_chip() {
 
     // Compare against the interpreter oracle too.
     let mut oracle = Interpreter::new(top.network(), 1);
-    let oracle_raster = oracle.run(40, |t| if t == 3 || t == 8 || t == 25 { vec![0] } else { vec![] });
+    let oracle_raster = oracle.run(40, |t| {
+        if t == 3 || t == 8 || t == 25 {
+            vec![0]
+        } else {
+            vec![]
+        }
+    });
     assert_eq!(raster, oracle_raster);
 }
 
@@ -281,7 +298,9 @@ fn multi_chip_scale_compilation() {
     for (i, &n) in pop.iter().enumerate() {
         corelet.connect(NodeRef::Input(i % 8), n, 2, 1).unwrap();
         if i >= 1 {
-            corelet.connect(NodeRef::Neuron(pop[i - 1]), n, 2, 2).unwrap();
+            corelet
+                .connect(NodeRef::Neuron(pop[i - 1]), n, 2, 2)
+                .unwrap();
         }
     }
     corelet.mark_output(pop[399]).unwrap();

@@ -27,17 +27,32 @@ fn random_pair(seed: u32, strategy: EvalStrategy) -> (NeurosynapticCore, GoldenC
     }
     for n in 0..neurons {
         let config = NeuronConfig::builder()
-            .weight(AxonType::A0, Weight::new(3 + (rng.next_u32() % 5) as i32).unwrap())
-            .weight(AxonType::A1, Weight::new((rng.next_u32() % 7) as i32).unwrap())
-            .weight(AxonType::A2, Weight::new(-(2 + (rng.next_u32() % 4) as i32)).unwrap())
+            .weight(
+                AxonType::A0,
+                Weight::new(3 + (rng.next_u32() % 5) as i32).unwrap(),
+            )
+            .weight(
+                AxonType::A1,
+                Weight::new((rng.next_u32() % 7) as i32).unwrap(),
+            )
+            .weight(
+                AxonType::A2,
+                Weight::new(-(2 + (rng.next_u32() % 4) as i32)).unwrap(),
+            )
             .weight(AxonType::A3, Weight::new(-1).unwrap())
             .threshold(4 + rng.next_u32() % 12)
             .leak(((rng.next_u32() % 5) as i32) - 2)
             .leak_reversal(rng.next_u32().is_multiple_of(2))
-            .negative_threshold(if rng.next_u32().is_multiple_of(2) { 0 } else { 1 << 19 })
+            .negative_threshold(if rng.next_u32().is_multiple_of(2) {
+                0
+            } else {
+                1 << 19
+            })
             .build()
             .unwrap();
-        builder.neuron(n, config.clone(), Destination::Disabled).unwrap();
+        builder
+            .neuron(n, config.clone(), Destination::Disabled)
+            .unwrap();
         golden.set_neuron(n, config);
         for a in 0..axons {
             let connected = rng.bernoulli_256(48);
@@ -89,7 +104,9 @@ fn dense_and_sparse_strategies_are_bit_identical_with_stochastic_modes() {
             .build()
             .unwrap();
         for n in 0..24 {
-            builder.neuron(n, config.clone(), Destination::Disabled).unwrap();
+            builder
+                .neuron(n, config.clone(), Destination::Disabled)
+                .unwrap();
             for a in 0..24 {
                 builder.synapse(a, n, (a * 24 + n) % 3 != 0).unwrap();
             }
@@ -109,6 +126,167 @@ fn dense_and_sparse_strategies_are_bit_identical_with_stochastic_modes() {
         assert_eq!(dense.tick(t), sparse.tick(t), "tick {t}");
     }
     assert_eq!(dense.stats(), sparse.stats());
+}
+
+/// Builds a single-core chip whose neurons all report to output pads
+/// (port = neuron index), with an explicitly seeded core so a [`GoldenCore`]
+/// twin can be constructed, plus that twin.
+fn golden_twin_chip(
+    seed: u32,
+    config_of: impl Fn(usize, &mut Lfsr) -> NeuronConfig,
+) -> (brainsim::chip::Chip, GoldenCore) {
+    use brainsim::chip::CoreScheduling;
+    let axons = 24;
+    let neurons = 24;
+    let mut b = ChipBuilder::new(ChipConfig {
+        width: 1,
+        height: 1,
+        core_axons: axons,
+        core_neurons: neurons,
+        scheduling: CoreScheduling::Active,
+        ..ChipConfig::default()
+    });
+    let core_seed = seed.wrapping_mul(0x9E37);
+    let mut golden = GoldenCore::new(axons, neurons, core_seed);
+    let mut rng = Lfsr::new(seed);
+    b.core_mut(0, 0).seed(core_seed);
+    for a in 0..axons {
+        let ty = AxonType::from_index((rng.next_u32() % 4) as usize).unwrap();
+        b.core_mut(0, 0).axon_type(a, ty).unwrap();
+        golden.set_axon_type(a, ty);
+    }
+    for n in 0..neurons {
+        let config = config_of(n, &mut rng);
+        b.core_mut(0, 0)
+            .neuron(n, config.clone(), Destination::Output(n as u32))
+            .unwrap();
+        golden.set_neuron(n, config);
+        for a in 0..axons {
+            let connected = rng.bernoulli_256(48);
+            b.core_mut(0, 0).synapse(a, n, connected).unwrap();
+            golden.set_synapse(a, n, connected);
+        }
+    }
+    (b.build().unwrap(), golden)
+}
+
+/// Drives chip and golden twin with identical bursty stimulus (idle gaps
+/// give the active-core scheduler real skip windows) and asserts the spike
+/// rasters match tick for tick. Returns an FNV-1a checksum of the raster.
+fn assert_golden_twin_raster(
+    chip: &mut brainsim::chip::Chip,
+    golden: &mut GoldenCore,
+    stim_seed: u32,
+    ticks: u64,
+) -> u64 {
+    let mut stim = Lfsr::new(stim_seed);
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut fnv = |v: u64| {
+        hash ^= v;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    };
+    for t in 0..ticks {
+        if t % 40 < 15 {
+            for a in 0..chip.config().core_axons {
+                if stim.bernoulli_256(40) {
+                    chip.inject(0, 0, a, t).unwrap();
+                    golden.deliver(a, t);
+                }
+            }
+        }
+        let summary = chip.tick();
+        let expected: Vec<u32> = golden.tick().into_iter().map(u32::from).collect();
+        assert_eq!(summary.outputs, expected, "raster divergence at tick {t}");
+        fnv(t);
+        for &p in &summary.outputs {
+            fnv(p as u64);
+        }
+    }
+    hash
+}
+
+#[test]
+fn chip_with_active_scheduling_matches_golden_model_with_stochastic_modes() {
+    // Stochastic synapses / leak / threshold keep the LFSR hot: the
+    // quiescence predicate must refuse to skip (a skipped tick would lose
+    // RNG draws and desynchronise from the reference), so the chip stays
+    // draw-for-draw equal to the golden model, which is ticked every tick.
+    for seed in 1..=6u32 {
+        let (mut chip, mut golden) = golden_twin_chip(seed, |n, rng| {
+            NeuronConfig::builder()
+                .weight(
+                    AxonType::A0,
+                    Weight::new(60 + (rng.next_u32() % 64) as i32).unwrap(),
+                )
+                .weight(AxonType::A1, Weight::new(2).unwrap())
+                .weight(AxonType::A2, Weight::new(-2).unwrap())
+                .stochastic_synapse(AxonType::A0, n % 2 == 0)
+                .threshold(3 + rng.next_u32() % 5)
+                .threshold_mask_bits(if n % 3 == 0 { 2 } else { 0 })
+                .leak(20)
+                .stochastic_leak(n % 2 == 1)
+                .build()
+                .unwrap()
+        });
+        assert_golden_twin_raster(&mut chip, &mut golden, seed ^ 0xDEAD, 300);
+    }
+}
+
+#[test]
+fn chip_with_active_scheduling_matches_golden_model_across_idle_gaps() {
+    // Deterministic neurons: the core genuinely goes quiescent between
+    // bursts and is skipped, while the golden model is still evaluated
+    // every tick — the skip must be observationally invisible.
+    for seed in 1..=6u32 {
+        let (mut chip, mut golden) = golden_twin_chip(seed, |_, rng| {
+            NeuronConfig::builder()
+                .weight(
+                    AxonType::A0,
+                    Weight::new(2 + (rng.next_u32() % 3) as i32).unwrap(),
+                )
+                .weight(AxonType::A1, Weight::new(1).unwrap())
+                .weight(AxonType::A2, Weight::new(-1).unwrap())
+                .threshold(2 + rng.next_u32() % 4)
+                .leak(-1)
+                .leak_reversal(true)
+                .build()
+                .unwrap()
+        });
+        assert_golden_twin_raster(&mut chip, &mut golden, seed ^ 0xBEEF, 300);
+        // The skip actually happened: idle ticks evaluated zero cores.
+        assert_eq!(
+            chip.tick().cores_evaluated,
+            0,
+            "seed {seed}: chip never went idle"
+        );
+    }
+}
+
+#[test]
+fn golden_twin_raster_checksum_is_pinned() {
+    // Regression pin: the exact spike raster of a fixed stochastic
+    // workload under active-core scheduling. Any change to LFSR draw
+    // order, quiescence rules, or routing shows up here first.
+    let (mut chip, mut golden) = golden_twin_chip(42, |n, rng| {
+        NeuronConfig::builder()
+            .weight(
+                AxonType::A0,
+                Weight::new(50 + (rng.next_u32() % 32) as i32).unwrap(),
+            )
+            .weight(AxonType::A1, Weight::new(3).unwrap())
+            .stochastic_synapse(AxonType::A0, n % 2 == 0)
+            .threshold(4 + rng.next_u32() % 4)
+            .threshold_mask_bits(if n % 4 == 0 { 3 } else { 0 })
+            .leak(15)
+            .stochastic_leak(n % 3 == 0)
+            .build()
+            .unwrap()
+    });
+    let checksum = assert_golden_twin_raster(&mut chip, &mut golden, 0xF00D, 400);
+    assert_eq!(
+        checksum, 0x99C1_A5BE_6262_8473,
+        "pinned raster checksum moved"
+    );
 }
 
 /// A 1×n eastward relay chain chip.
@@ -200,10 +378,7 @@ fn chip_results_invariant_across_thread_counts() {
                 for n in 0..16usize {
                     let dx = (rng.next_u32() % 3) as i32 - 1;
                     let dy = (rng.next_u32() % 3) as i32 - 1;
-                    let (tx, ty) = (
-                        (x as i32 + dx).clamp(0, 3),
-                        (y as i32 + dy).clamp(0, 3),
-                    );
+                    let (tx, ty) = ((x as i32 + dx).clamp(0, 3), (y as i32 + dy).clamp(0, 3));
                     let dest = Destination::Axon(AxonTarget {
                         offset: CoreOffset::new(tx - x as i32, ty - y as i32),
                         axon: (rng.next_u32() % 16) as u16,

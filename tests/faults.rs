@@ -46,7 +46,9 @@ fn relay_grid(side: usize) -> Chip {
             } else {
                 Destination::Output(7)
             };
-            b.core_mut(x, y).neuron(0, relay.clone(), dest).expect("neuron fits");
+            b.core_mut(x, y)
+                .neuron(0, relay.clone(), dest)
+                .expect("neuron fits");
             b.core_mut(x, y).synapse(0, 0, true).expect("synapse fits");
         }
     }
@@ -175,7 +177,10 @@ fn reset_keeps_structural_faults() {
     let mut chip = relay_grid(3);
     chip.set_fault_plan(&FaultPlan::new(5).with_dead_neuron(0.5).with_link_drop(1.0));
     let before = chip.fault_stats();
-    assert!(before.neurons_dead > 0, "a 50% rate over 18 neurons must hit");
+    assert!(
+        before.neurons_dead > 0,
+        "a 50% rate over 18 neurons must hit"
+    );
     chip.inject(0, 0, 0, 0).expect("stimulus axon exists");
     chip.run(6);
     chip.reset();

@@ -1,0 +1,282 @@
+//! Differential proof that the parallel spike-routing pipeline and the
+//! active-core scheduler are unobservable: for random chips, random fault
+//! plans, every thread count, and both tick semantics, the per-tick
+//! `TickSummary` stream (spike counts, output rasters in order, fault
+//! tallies), the final `EventCensus`, and the aggregate `FaultStats` are
+//! bit-identical to the serial full-sweep reference.
+//!
+//! Set `BRAINSIM_TEST_THREADS` to add an extra thread count to the matrix
+//! (the CI job runs the suite with 1 and 8).
+
+use brainsim::chip::{Chip, ChipBuilder, ChipConfig, CoreScheduling, TickSemantics};
+use brainsim::core::{AxonTarget, CoreOffset, Destination};
+use brainsim::energy::EventCensus;
+use brainsim::faults::{FaultPlan, FaultStats};
+use brainsim::neuron::{AxonType, Lfsr, NeuronConfig, Weight};
+
+const TICKS: u64 = 220;
+const GRID: usize = 4;
+const FANIN: usize = 16;
+
+/// One tick's observable record: everything in `TickSummary` except
+/// `cores_evaluated` (which legitimately differs between scheduling modes
+/// but is asserted thread-invariant separately).
+type TickRecord = (u64, u64, Vec<u32>, FaultStats);
+
+/// Generates a random recurrent chip from a seed: random nearest-ish
+/// destinations and delays, random crossbars, one output neuron per core
+/// so the raster is observable, and a mix of quiet and busy neuron
+/// configurations so active-core scheduling has real skips to make.
+fn build_chip(
+    seed: u32,
+    semantics: TickSemantics,
+    threads: usize,
+    scheduling: CoreScheduling,
+) -> Chip {
+    let mut b = ChipBuilder::new(ChipConfig {
+        width: GRID,
+        height: GRID,
+        core_axons: FANIN,
+        core_neurons: FANIN,
+        seed,
+        semantics,
+        threads,
+        scheduling,
+        ..ChipConfig::default()
+    });
+    let mut rng = Lfsr::new(seed);
+    for y in 0..GRID {
+        for x in 0..GRID {
+            for n in 0..FANIN {
+                let config = NeuronConfig::builder()
+                    .weight(
+                        AxonType::A0,
+                        Weight::new(1 + (rng.next_u32() % 3) as i32).unwrap(),
+                    )
+                    .weight(AxonType::A1, Weight::new(-1).unwrap())
+                    .threshold(1 + rng.next_u32() % 4)
+                    .leak(if rng.bernoulli_256(64) { -1 } else { 0 })
+                    .leak_reversal(true)
+                    .build()
+                    .unwrap();
+                // Neuron 0 exposes the raster on an output pad; the rest
+                // recur into the grid.
+                let dest = if n == 0 {
+                    Destination::Output((y * GRID + x) as u32)
+                } else {
+                    let dx = (rng.next_u32() % 3) as i32 - 1;
+                    let dy = (rng.next_u32() % 3) as i32 - 1;
+                    let tx = (x as i32 + dx).clamp(0, GRID as i32 - 1);
+                    let ty = (y as i32 + dy).clamp(0, GRID as i32 - 1);
+                    Destination::Axon(AxonTarget {
+                        offset: CoreOffset::new(tx - x as i32, ty - y as i32),
+                        axon: (rng.next_u32() as usize % FANIN) as u16,
+                        delay: 1 + (rng.next_u32() % 3) as u8,
+                    })
+                };
+                b.core_mut(x, y).neuron(n, config, dest).unwrap();
+                for a in 0..FANIN {
+                    let bit = rng.bernoulli_256(56);
+                    b.core_mut(x, y).synapse(a, n, bit).unwrap();
+                }
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// The fault-plan corpus: benign, link-level chaos, and structural damage
+/// stacked with delays. Link faults exercise the parallel router's
+/// per-shard tallies; structural faults exercise quiescence vetoes
+/// (stuck-firing) and skip accounting (dropped cores).
+fn fault_plans(seed: u64) -> Vec<Option<FaultPlan>> {
+    vec![
+        None,
+        Some(
+            FaultPlan::new(seed)
+                .with_link_drop(0.15)
+                .with_link_corrupt(0.2),
+        ),
+        Some(
+            FaultPlan::new(seed ^ 0x5A5A)
+                .with_link_delay(0.3, 2)
+                .with_core_dropout(0.1)
+                .with_stuck_neuron(0.02)
+                .with_dead_neuron(0.05),
+        ),
+    ]
+}
+
+/// Drives a chip with seeded Bernoulli noise over sparse bursts (long idle
+/// gaps between bursts give the scheduler real quiescence windows) and
+/// records every observable.
+fn run(
+    seed: u32,
+    semantics: TickSemantics,
+    threads: usize,
+    scheduling: CoreScheduling,
+    plan: Option<&FaultPlan>,
+) -> (Vec<TickRecord>, Vec<u64>, EventCensus, FaultStats) {
+    let mut chip = build_chip(seed, semantics, threads, scheduling);
+    if let Some(plan) = plan {
+        chip.set_fault_plan(plan);
+    }
+    let mut stim = Lfsr::new(seed ^ 0x00C0_FFEE);
+    let mut records = Vec::with_capacity(TICKS as usize);
+    let mut evaluated = Vec::with_capacity(TICKS as usize);
+    for t in 0..TICKS {
+        // Bursty stimulus: ~30 busy ticks, then ~20 silent ones.
+        if t % 50 < 30 {
+            for a in 0..FANIN {
+                if stim.bernoulli_256(48) {
+                    let x = (stim.next_u32() as usize) % GRID;
+                    let y = (stim.next_u32() as usize) % GRID;
+                    chip.inject(x, y, a, t).unwrap();
+                }
+            }
+        }
+        let s = chip.tick();
+        assert_eq!(s.tick, t);
+        records.push((s.tick, s.spikes, s.outputs, s.faults));
+        evaluated.push(s.cores_evaluated);
+    }
+    (records, evaluated, chip.census(), chip.fault_stats())
+}
+
+/// Thread counts to test: the fixed matrix plus `BRAINSIM_TEST_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 3, 8];
+    if let Ok(v) = std::env::var("BRAINSIM_TEST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 && !counts.contains(&n) {
+                counts.push(n);
+            }
+        }
+    }
+    counts
+}
+
+#[test]
+fn deterministic_pipeline_is_bit_identical_across_threads_and_scheduling() {
+    for seed in [0xA11CE, 0xB0B5EED] {
+        for (p, plan) in fault_plans(seed as u64).iter().enumerate() {
+            let (reference, ref_evaluated, ref_census, ref_faults) = run(
+                seed,
+                TickSemantics::Deterministic,
+                1,
+                CoreScheduling::Sweep,
+                plan.as_ref(),
+            );
+            assert!(
+                reference.iter().map(|r| r.1).sum::<u64>() > 0,
+                "workload must be active (seed {seed:#x}, plan {p})"
+            );
+            for &threads in &thread_counts() {
+                for scheduling in [CoreScheduling::Sweep, CoreScheduling::Active] {
+                    let (records, evaluated, census, faults) = run(
+                        seed,
+                        TickSemantics::Deterministic,
+                        threads,
+                        scheduling,
+                        plan.as_ref(),
+                    );
+                    let label =
+                        format!("seed {seed:#x}, plan {p}, {threads} threads, {scheduling:?}");
+                    assert_eq!(records, reference, "tick stream diverged: {label}");
+                    assert_eq!(census, ref_census, "census diverged: {label}");
+                    assert_eq!(faults, ref_faults, "fault stats diverged: {label}");
+                    if scheduling == CoreScheduling::Sweep {
+                        assert_eq!(
+                            evaluated, ref_evaluated,
+                            "cores_evaluated not thread-invariant: {label}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn active_scheduling_evaluates_fewer_cores_on_bursty_input() {
+    // Not just equal results — the scheduler must actually skip work
+    // during the idle windows of the bursty stimulus.
+    let seed = 0xA11CE;
+    let (_, sweep_evaluated, ..) = run(
+        seed,
+        TickSemantics::Deterministic,
+        1,
+        CoreScheduling::Sweep,
+        None,
+    );
+    let (_, active_evaluated, ..) = run(
+        seed,
+        TickSemantics::Deterministic,
+        1,
+        CoreScheduling::Active,
+        None,
+    );
+    let sweep_total: u64 = sweep_evaluated.iter().sum();
+    let active_total: u64 = active_evaluated.iter().sum();
+    assert_eq!(sweep_total, (GRID * GRID) as u64 * TICKS);
+    assert!(
+        active_total < sweep_total,
+        "active scheduling never skipped a core ({active_total} vs {sweep_total})"
+    );
+    // cores_evaluated is invariant across thread counts under Active too.
+    let (_, active_t8, ..) = run(
+        seed,
+        TickSemantics::Deterministic,
+        8,
+        CoreScheduling::Active,
+        None,
+    );
+    assert_eq!(active_evaluated, active_t8);
+}
+
+#[test]
+fn relaxed_semantics_is_scheduling_invariant_serially() {
+    // The relaxed ablation is serial-only by contract (the builder rejects
+    // threads > 1), so its differential axis is the scheduler: inline
+    // quiescence skips in sweep order must not change one observable bit.
+    for seed in [0xA11CE, 0xB0B5EED] {
+        for (p, plan) in fault_plans(seed as u64).iter().enumerate() {
+            let (reference, _, ref_census, ref_faults) = run(
+                seed,
+                TickSemantics::Relaxed,
+                1,
+                CoreScheduling::Sweep,
+                plan.as_ref(),
+            );
+            let (records, _, census, faults) = run(
+                seed,
+                TickSemantics::Relaxed,
+                1,
+                CoreScheduling::Active,
+                plan.as_ref(),
+            );
+            let label = format!("seed {seed:#x}, plan {p}");
+            assert_eq!(records, reference, "relaxed tick stream diverged: {label}");
+            assert_eq!(census, ref_census, "relaxed census diverged: {label}");
+            assert_eq!(faults, ref_faults, "relaxed fault stats diverged: {label}");
+        }
+    }
+}
+
+#[test]
+fn relaxed_parallel_is_rejected_at_build() {
+    // Contract pin for the `threads` vs `tick_relaxed` interaction: a
+    // relaxed chip must refuse to build with more than one thread rather
+    // than silently racing the sweep order.
+    let err = ChipBuilder::new(ChipConfig {
+        semantics: TickSemantics::Relaxed,
+        threads: 4,
+        ..ChipConfig::default()
+    })
+    .build()
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        brainsim::chip::ChipBuildError::RelaxedParallel
+    ));
+}

@@ -1,9 +1,7 @@
 //! Property-based tests (proptest) over the core data structures and
 //! architectural invariants.
 
-use brainsim::core::{
-    AxonType, CoreBuilder, Crossbar, Destination, EvalStrategy, Scheduler,
-};
+use brainsim::core::{AxonType, CoreBuilder, Crossbar, Destination, EvalStrategy, Scheduler};
 use brainsim::encoding::{PopulationCode, RateCode, TimeToSpikeCode};
 use brainsim::neuron::{Lfsr, NegativeThresholdMode, Neuron, NeuronConfig, ResetMode, Weight};
 use brainsim::neuron::{POTENTIAL_MAX, POTENTIAL_MIN};
