@@ -1,19 +1,26 @@
 //! Measures the tick pipeline and writes the `BENCH_chip_tick.json`
-//! baseline: wall-clock ns/tick for the serial full-sweep seed path and
-//! the active-core scheduler at 1/2/4/8 threads, on a dense 8×8 workload
-//! and a 95%-quiescent sparse island workload. Each variant's final event
-//! census is cross-checked against the sweep baseline, so the file also
-//! certifies that every measured configuration produced bit-identical
-//! results.
+//! baseline: wall-clock ns/tick for the serial full-sweep seed path, the
+//! active-core scheduler at 1/2/4/8 threads, and the full-sweep path with
+//! telemetry enabled (the instrumentation-overhead probe), on a dense 8×8
+//! workload and a 95%-quiescent sparse island workload. Each variant's
+//! final event census is cross-checked against the sweep baseline, so the
+//! file also certifies that every measured configuration — including the
+//! instrumented one — produced bit-identical results.
 //!
-//! Usage: `cargo run --release -p brainsim-bench --bin bench_chip_tick
-//! [out.json]` (default `BENCH_chip_tick.json` in the working directory).
+//! Usage:
+//!
+//! * `bench_chip_tick [out.json]` — measure and write a baseline (default
+//!   `BENCH_chip_tick.json` in the working directory).
+//! * `bench_chip_tick --check <baseline.json>` — re-measure and exit
+//!   non-zero if any variant present in the baseline regressed by more than
+//!   25% ns/tick, or if any variant's census diverged. The CI bench gate.
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use brainsim_bench::{drive_random, drive_random_cores, random_chip, RandomChipSpec};
-use brainsim_chip::CoreScheduling;
+use brainsim_chip::{CoreScheduling, TelemetryConfig};
 use brainsim_energy::EventCensus;
 
 const ISLAND: usize = 3;
@@ -21,38 +28,53 @@ const WARMUP_TICKS: u64 = 50;
 const MEASURE_TICKS: u64 = 300;
 const RATE: u32 = 32;
 const DRIVE_SEED: u32 = 3;
+/// A variant fails the `--check` gate when its ns/tick exceeds the
+/// committed baseline by more than this factor.
+const REGRESSION_FACTOR: f64 = 1.25;
 
 struct Variant {
     name: &'static str,
     scheduling: CoreScheduling,
     threads: usize,
+    telemetry: bool,
 }
 
-const VARIANTS: [Variant; 5] = [
+const VARIANTS: [Variant; 6] = [
     Variant {
         name: "sweep_t1",
         scheduling: CoreScheduling::Sweep,
         threads: 1,
+        telemetry: false,
+    },
+    Variant {
+        name: "sweep_t1_telemetry",
+        scheduling: CoreScheduling::Sweep,
+        threads: 1,
+        telemetry: true,
     },
     Variant {
         name: "active_t1",
         scheduling: CoreScheduling::Active,
         threads: 1,
+        telemetry: false,
     },
     Variant {
         name: "active_t2",
         scheduling: CoreScheduling::Active,
         threads: 2,
+        telemetry: false,
     },
     Variant {
         name: "active_t4",
         scheduling: CoreScheduling::Active,
         threads: 4,
+        telemetry: false,
     },
     Variant {
         name: "active_t8",
         scheduling: CoreScheduling::Active,
         threads: 8,
+        telemetry: false,
     },
 ];
 
@@ -62,8 +84,11 @@ struct Measurement {
     census: EventCensus,
 }
 
-fn measure(spec: &RandomChipSpec, sparse: bool) -> (f64, EventCensus) {
+fn measure(spec: &RandomChipSpec, sparse: bool, telemetry: bool) -> (f64, EventCensus) {
     let mut chip = random_chip(spec);
+    if telemetry {
+        chip.enable_telemetry(TelemetryConfig::default());
+    }
     let drive = |chip: &mut brainsim_chip::Chip, ticks: u64| {
         if sparse {
             drive_random_cores(chip, ticks, RATE, DRIVE_SEED, ISLAND);
@@ -81,7 +106,7 @@ fn measure(spec: &RandomChipSpec, sparse: bool) -> (f64, EventCensus) {
     )
 }
 
-fn run_workload(name: &str, base: RandomChipSpec, sparse: bool) -> (String, bool) {
+fn run_workload(name: &str, base: RandomChipSpec, sparse: bool) -> (String, Vec<Measurement>) {
     let mut rows: Vec<Measurement> = Vec::new();
     for v in &VARIANTS {
         let spec = RandomChipSpec {
@@ -89,8 +114,8 @@ fn run_workload(name: &str, base: RandomChipSpec, sparse: bool) -> (String, bool
             threads: v.threads,
             ..base
         };
-        let (ns_per_tick, census) = measure(&spec, sparse);
-        eprintln!("  {name}/{:<10} {:>12.0} ns/tick", v.name, ns_per_tick);
+        let (ns_per_tick, census) = measure(&spec, sparse, v.telemetry);
+        eprintln!("  {name}/{:<18} {:>12.0} ns/tick", v.name, ns_per_tick);
         rows.push(Measurement {
             name: v.name,
             ns_per_tick,
@@ -98,7 +123,8 @@ fn run_workload(name: &str, base: RandomChipSpec, sparse: bool) -> (String, bool
         });
     }
     // Every variant must reproduce the sweep baseline's census exactly —
-    // same stimulus, same dynamics, bit-identical accounting.
+    // same stimulus, same dynamics, bit-identical accounting, with or
+    // without instrumentation.
     let bit_identical = rows.iter().all(|m| m.census == rows[0].census);
     assert!(
         bit_identical,
@@ -124,16 +150,127 @@ fn run_workload(name: &str, base: RandomChipSpec, sparse: bool) -> (String, bool
         );
     }
     json.push_str("      ]\n    }");
-    (json, bit_identical)
+    (json, rows)
 }
 
-fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_chip_tick.json".to_string());
+/// Extracts `"key": <number>` from a JSON line, or `"key": "<string>"`.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', ' ', '}', '\n']).next()
+    }
+}
+
+/// Parses the committed baseline's `(workload, variant, ns_per_tick)`
+/// entries. The writer emits one line per variant carrying both a `name`
+/// and an `ns_per_tick` field; workload headers carry only a `name`.
+fn parse_baseline(text: &str) -> Vec<(String, String, f64)> {
+    let mut entries = Vec::new();
+    let mut workload = String::new();
+    for line in text.lines() {
+        let Some(name) = json_field(line, "name") else {
+            continue;
+        };
+        match json_field(line, "ns_per_tick").and_then(|v| v.parse::<f64>().ok()) {
+            Some(ns) => entries.push((workload.clone(), name.to_string(), ns)),
+            None => workload = name.to_string(),
+        }
+    }
+    entries
+}
+
+/// The `--check` gate: re-measures and compares against the committed
+/// baseline. Returns the number of regressed variants.
+fn check(baseline_path: &str) -> usize {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let expected = parse_baseline(&text);
+    assert!(
+        !expected.is_empty(),
+        "no variants parsed from {baseline_path}"
+    );
+
+    let dense = RandomChipSpec {
+        width: 8,
+        height: 8,
+        threads: 1,
+        ..RandomChipSpec::default()
+    };
+    let sparse = RandomChipSpec {
+        island: Some(ISLAND),
+        ..dense
+    };
+    let (_, dense_rows) = run_workload("dense_8x8", dense, false);
+    let (_, sparse_rows) = run_workload("sparse_8x8_95pct_quiescent", sparse, true);
+    let current = |workload: &str, variant: &str| -> Option<f64> {
+        let rows = match workload {
+            "dense_8x8" => &dense_rows,
+            "sparse_8x8_95pct_quiescent" => &sparse_rows,
+            _ => return None,
+        };
+        rows.iter()
+            .find(|m| m.name == variant)
+            .map(|m| m.ns_per_tick)
+    };
+
+    let mut regressions = 0;
+    for (workload, variant, baseline_ns) in &expected {
+        let Some(now_ns) = current(workload, variant) else {
+            // A baseline variant this binary no longer measures: renamed or
+            // removed — regenerate the baseline rather than silently pass.
+            eprintln!("MISSING {workload}/{variant} (in baseline, not measured)");
+            regressions += 1;
+            continue;
+        };
+        let ratio = now_ns / baseline_ns;
+        let verdict = if ratio > REGRESSION_FACTOR {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  {workload}/{variant:<18} baseline {baseline_ns:>10.0} now {now_ns:>10.0} ({ratio:>5.2}x) {verdict}"
+        );
+    }
+    if regressions == 0 {
+        eprintln!(
+            "bench check passed: {} variants within {REGRESSION_FACTOR}x",
+            expected.len()
+        );
+    }
+    regressions
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    if args.first().map(String::as_str) == Some("--check") {
+        let baseline = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_chip_tick.json");
+        eprintln!("chip_tick check vs {baseline} ({cpus} cpu(s))");
+        let regressions = check(baseline);
+        return if regressions == 0 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("{regressions} variant(s) regressed beyond {REGRESSION_FACTOR}x");
+            ExitCode::FAILURE
+        };
+    }
+
+    let out = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_chip_tick.json".to_string());
 
     let dense = RandomChipSpec {
         width: 8,
@@ -156,4 +293,5 @@ fn main() {
     );
     std::fs::write(&out, json).expect("write baseline");
     eprintln!("wrote {out}");
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,147 @@
+//! Runs an instrumented chip workload and renders the telemetry report:
+//! a run-summary table (spikes, quiescence, routing, faults, energy) and
+//! the per-core activity heatmap, with optional JSONL / CSV export of the
+//! per-tick record stream.
+//!
+//! Usage: `cargo run --release -p brainsim-bench --bin chip_report --
+//! [--ticks N] [--sparse] [--threads N] [--faults] [--jsonl PATH]
+//! [--csv PATH]`
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use brainsim_bench::{drive_random, drive_random_cores, random_chip, RandomChipSpec};
+use brainsim_chip::{CoreScheduling, TelemetryConfig};
+use brainsim_energy::EnergyModel;
+use brainsim_faults::FaultPlan;
+use brainsim_telemetry::{render_heatmap, CsvExporter, JsonlExporter, RunSummary};
+
+const ISLAND: usize = 3;
+const RATE: u32 = 32;
+const DRIVE_SEED: u32 = 3;
+
+struct Options {
+    ticks: u64,
+    sparse: bool,
+    threads: usize,
+    faults: bool,
+    jsonl: Option<String>,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        ticks: 200,
+        sparse: false,
+        threads: 1,
+        faults: false,
+        jsonl: None,
+        csv: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--ticks" => {
+                opts.ticks = value("--ticks")?
+                    .parse()
+                    .map_err(|e| format!("--ticks: {e}"))?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--sparse" => opts.sparse = true,
+            "--faults" => opts.faults = true,
+            "--jsonl" => opts.jsonl = Some(value("--jsonl")?),
+            "--csv" => opts.csv = Some(value("--csv")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("chip_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let spec = RandomChipSpec {
+        width: 8,
+        height: 8,
+        threads: opts.threads,
+        scheduling: CoreScheduling::Active,
+        island: opts.sparse.then_some(ISLAND),
+        ..RandomChipSpec::default()
+    };
+    let mut chip = random_chip(&spec);
+    if opts.faults {
+        chip.set_fault_plan(
+            &FaultPlan::new(17)
+                .with_link_drop(0.05)
+                .with_link_delay(0.1, 2),
+        );
+    }
+    chip.enable_telemetry(TelemetryConfig::unbounded());
+    if opts.sparse {
+        drive_random_cores(&mut chip, opts.ticks, RATE, DRIVE_SEED, ISLAND);
+    } else {
+        drive_random(&mut chip, opts.ticks, RATE, DRIVE_SEED);
+    }
+
+    let log = chip.telemetry().expect("telemetry was enabled");
+    let summary = log.summary();
+    let config = chip.config();
+
+    println!(
+        "chip_report: {}x{} cores, {} ticks, {} thread(s), {} workload{}",
+        config.width,
+        config.height,
+        opts.ticks,
+        opts.threads,
+        if opts.sparse { "sparse" } else { "dense" },
+        if opts.faults { ", faulted" } else { "" },
+    );
+    println!("{}", summary.render_table(&EnergyModel::default()));
+    if let Some(map) = RunSummary::heatmap(&summary.core_spikes, config.width, config.height) {
+        println!("per-core spike heatmap (log scale, '.' = silent):");
+        println!("{}", render_heatmap(&map));
+    }
+
+    for (path, kind) in [(&opts.jsonl, "jsonl"), (&opts.csv, "csv")] {
+        let Some(path) = path else { continue };
+        let file = match File::create(path) {
+            Ok(f) => BufWriter::new(f),
+            Err(e) => {
+                eprintln!("chip_report: create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let result = match kind {
+            "jsonl" => {
+                let mut exporter = JsonlExporter::new(file);
+                log.replay(&mut exporter);
+                exporter.finish().map(|_| ())
+            }
+            _ => {
+                let mut exporter = CsvExporter::new(file);
+                log.replay(&mut exporter);
+                exporter.finish().map(|_| ())
+            }
+        };
+        match result {
+            Ok(()) => println!("wrote {} records to {path}", log.len()),
+            Err(e) => {
+                eprintln!("chip_report: export {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -31,10 +31,11 @@
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use brainsim_core::{Destination, NeurosynapticCore};
+use brainsim_core::{CoreStats, Destination, NeurosynapticCore};
 use brainsim_energy::EventCensus;
 use brainsim_faults::{FaultInjector, FaultPlan, FaultStats, LinkFault};
 use brainsim_noc::route_hops;
+use brainsim_telemetry::{CoreActivity, Histogram, TelemetryConfig, TelemetryLog, TickRecord};
 
 use crate::config::{ChipConfig, CoreScheduling, TickSemantics};
 
@@ -125,15 +126,30 @@ struct RouteBatch {
     hops: u64,
     link_crossings: u64,
     faults: FaultStats,
+    /// Per-spike hop-distance histogram, collected only when telemetry is
+    /// enabled (`None` keeps the hot path allocation-free and branchless
+    /// beyond one tag test per routed spike).
+    hop_histogram: Option<Histogram>,
 }
 
 impl RouteBatch {
+    /// A fresh batch; `telemetry` arms the hop-distance histogram.
+    fn with_telemetry(telemetry: bool) -> RouteBatch {
+        RouteBatch {
+            hop_histogram: telemetry.then(Histogram::default),
+            ..RouteBatch::default()
+        }
+    }
+
     fn absorb(&mut self, other: RouteBatch) {
         self.outputs.extend(other.outputs);
         self.deliveries.extend(other.deliveries);
         self.hops += other.hops;
         self.link_crossings += other.link_crossings;
         self.faults.merge(&other.faults);
+        if let (Some(mine), Some(theirs)) = (self.hop_histogram.as_mut(), other.hop_histogram) {
+            mine.merge(&theirs);
+        }
     }
 }
 
@@ -188,8 +204,12 @@ fn resolve_spike(
                 _ => {}
             }
             let tidx = ty * config.width + tx;
-            batch.hops +=
+            let spike_hops =
                 route_hops((tx as i64 - x as i64) as i32, (ty as i64 - y as i64) as i32) as u64;
+            batch.hops += spike_hops;
+            if let Some(hist) = batch.hop_histogram.as_mut() {
+                hist.record(spike_hops);
+            }
             let crossings = config.crossings((x, y), (tx, ty));
             let link_delay =
                 crossings as u64 * config.tile.map(|tc| tc.link_latency as u64).unwrap_or(0);
@@ -240,6 +260,10 @@ pub struct Chip {
     injector: Option<FaultInjector>,
     /// Cumulative chip-level (routing) fault accounting.
     fault_stats: FaultStats,
+    /// Per-tick instrumentation sink; `None` (the default) keeps the tick
+    /// pipeline on its uninstrumented fast path (one tag test per tick).
+    /// Boxed so the disabled chip pays one pointer of state.
+    telemetry: Option<Box<TelemetryLog>>,
 }
 
 impl Chip {
@@ -253,6 +277,7 @@ impl Chip {
             outputs_total: 0,
             injector: None,
             fault_stats: FaultStats::default(),
+            telemetry: None,
         }
     }
 
@@ -310,6 +335,31 @@ impl Chip {
         if injector.has_link_faults() {
             self.injector = Some(injector);
         }
+    }
+
+    /// Enables per-tick telemetry collection from the next tick on. Any
+    /// previously collected log is replaced by a fresh one.
+    ///
+    /// Every subsequent tick appends one [`TickRecord`] — counters, fault
+    /// annotations, the tick's energy-census delta, and (when
+    /// [`TelemetryConfig::core_detail`] is set) per-core activity in
+    /// canonical row-major order — to a ring-buffered [`TelemetryLog`].
+    /// Collection is deterministic: the record stream is bit-identical at
+    /// any thread count.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = Some(Box::new(TelemetryLog::new(config, self.cores.len())));
+    }
+
+    /// The telemetry log collected so far, or `None` when telemetry is
+    /// disabled.
+    pub fn telemetry(&self) -> Option<&TelemetryLog> {
+        self.telemetry.as_deref()
+    }
+
+    /// Disables telemetry and hands back the collected log (`None` if
+    /// telemetry was never enabled).
+    pub fn take_telemetry(&mut self) -> Option<Box<TelemetryLog>> {
+        self.telemetry.take()
     }
 
     /// Aggregate fault statistics: routing-level faults plus every core's
@@ -482,11 +532,68 @@ impl Chip {
         Ok(fired)
     }
 
+    /// Field-wise census delta `after − before`, normalised to one tick.
+    fn census_delta(before: &EventCensus, after: &EventCensus) -> EventCensus {
+        EventCensus {
+            ticks: 1,
+            cores: after.cores,
+            synaptic_events: after.synaptic_events - before.synaptic_events,
+            neuron_updates: after.neuron_updates - before.neuron_updates,
+            spikes: after.spikes - before.spikes,
+            axon_events: after.axon_events - before.axon_events,
+            hops: after.hops - before.hops,
+            link_crossings: after.link_crossings - before.link_crossings,
+            packets_dropped: after.packets_dropped - before.packets_dropped,
+            packets_rejected: after.packets_rejected - before.packets_rejected,
+            flit_stalls: after.flit_stalls - before.flit_stalls,
+        }
+    }
+
+    /// Per-core activity deltas for the `evaluated` cores (canonical order)
+    /// against their pre-evaluation stat snapshots, sampled right after
+    /// Phase A — before this tick's routed deliveries land.
+    fn core_activity(&self, evaluated: &[usize], before: &[CoreStats]) -> Vec<CoreActivity> {
+        evaluated
+            .iter()
+            .zip(before)
+            .map(|(&idx, prev)| {
+                let s = self.cores[idx].stats();
+                CoreActivity {
+                    core: idx as u32,
+                    spikes: (s.spikes - prev.spikes) as u32,
+                    axon_events: (s.axon_events - prev.axon_events) as u32,
+                    synaptic_events: s.synaptic_events - prev.synaptic_events,
+                    pending_events: self.cores[idx].pending_events() as u32,
+                }
+            })
+            .collect()
+    }
+
     fn tick_deterministic(&mut self, t: u64) -> Result<TickSummary, TickError> {
+        // Telemetry pre-capture: a census snapshot (for the per-tick energy
+        // delta) and per-core stat snapshots of the active cores (for
+        // activity deltas). All skipped when telemetry is off.
+        let telemetry_on = self.telemetry.is_some();
+        let census_before = if telemetry_on {
+            self.census()
+        } else {
+            EventCensus::default()
+        };
+        let core_detail = telemetry_on
+            && self
+                .telemetry
+                .as_deref()
+                .is_some_and(|l| l.config().core_detail);
+
         // Phase A: skip the provably quiescent cores, evaluate the rest
         // (on scoped threads when configured).
         let active = self.active_cores();
         let cores_evaluated = active.len() as u64;
+        let stats_before: Vec<CoreStats> = if core_detail {
+            active.iter().map(|&i| *self.cores[i].stats()).collect()
+        } else {
+            Vec::new()
+        };
         self.skip_inactive(&active, t)?;
         let fired: Vec<(usize, Vec<u16>)> = if self.config.threads > 1 && active.len() > 1 {
             Self::evaluate_parallel(&mut self.cores, &active, self.config.threads, t)?
@@ -506,6 +613,14 @@ impl Chip {
             fired
         };
 
+        // Per-core activity deltas, sampled between the phases: evaluation
+        // is complete, this tick's deliveries have not yet landed.
+        let activity = if core_detail {
+            self.core_activity(&active, &stats_before)
+        } else {
+            Vec::new()
+        };
+
         // Phase B: route every spike launched in tick t. Contiguous shards
         // of the fired list are routed concurrently into private batches;
         // merging in shard order reproduces the canonical (core, neuron)
@@ -522,7 +637,7 @@ impl Chip {
                         .chunks(chunk)
                         .map(|shard| {
                             scope.spawn(move || {
-                                let mut batch = RouteBatch::default();
+                                let mut batch = RouteBatch::with_telemetry(telemetry_on);
                                 for &(core_index, ref fired_neurons) in shard {
                                     for &neuron in fired_neurons {
                                         resolve_spike(
@@ -546,13 +661,13 @@ impl Chip {
                         .collect()
                 })
             };
-            let mut merged = RouteBatch::default();
+            let mut merged = RouteBatch::with_telemetry(telemetry_on);
             for shard in shards {
                 merged.absorb(shard);
             }
             merged
         } else {
-            let mut batch = RouteBatch::default();
+            let mut batch = RouteBatch::with_telemetry(telemetry_on);
             for &(core_index, ref fired_neurons) in &fired {
                 for &neuron in fired_neurons {
                     resolve_spike(
@@ -579,7 +694,9 @@ impl Chip {
             hops,
             link_crossings,
             mut faults,
+            hop_histogram,
         } = batch;
+        let deliveries_count = deliveries.len() as u64;
         for (tidx, axon, lead) in deliveries {
             if self.cores[tidx].deliver(axon, t + lead).is_err() {
                 // Builder-validated wiring cannot fail here, so a refused
@@ -593,6 +710,26 @@ impl Chip {
         self.fault_stats.merge(&faults);
         self.outputs_total += outputs.len() as u64;
         self.now = t + 1;
+        if telemetry_on {
+            let energy = Self::census_delta(&census_before, &self.census());
+            let record = TickRecord {
+                tick: t,
+                cores_evaluated: cores_evaluated as u32,
+                cores_skipped: (self.cores.len() - active.len()) as u32,
+                spikes,
+                outputs: outputs.len() as u32,
+                deliveries: deliveries_count,
+                hops,
+                link_crossings,
+                hop_histogram: hop_histogram.unwrap_or_default(),
+                faults,
+                energy,
+                cores: activity,
+            };
+            if let Some(log) = self.telemetry.as_deref_mut() {
+                log.push(record);
+            }
+        }
         Ok(TickSummary {
             tick: t,
             spikes,
@@ -614,10 +751,26 @@ impl Chip {
         // scheduler non-idle, vetoing the skip). A later core's delivery to
         // an already-skipped core clamps to that core's advanced clock
         // (t + 1), exactly as it would after a full no-op evaluation.
+        let telemetry_on = self.telemetry.is_some();
+        let census_before = if telemetry_on {
+            self.census()
+        } else {
+            EventCensus::default()
+        };
+        let core_detail = telemetry_on
+            && self
+                .telemetry
+                .as_deref()
+                .is_some_and(|l| l.config().core_detail);
         let mut outputs = Vec::new();
         let mut spikes = 0u64;
         let mut faults = FaultStats::default();
         let mut cores_evaluated = 0u64;
+        let mut tick_hops = 0u64;
+        let mut tick_crossings = 0u64;
+        let mut deliveries_count = 0u64;
+        let mut hop_histogram = Histogram::default();
+        let mut activity: Vec<CoreActivity> = Vec::new();
         for core_index in 0..self.cores.len() {
             let core = &mut self.cores[core_index];
             if self.config.scheduling == CoreScheduling::Active && core.is_quiescent() {
@@ -631,6 +784,11 @@ impl Chip {
                 continue;
             }
             cores_evaluated += 1;
+            let stats_before = if core_detail {
+                *core.stats()
+            } else {
+                CoreStats::default()
+            };
             let fired = catch_unwind(AssertUnwindSafe(|| core.tick(t))).map_err(|p| {
                 TickError::CorePanicked {
                     core: core_index,
@@ -639,7 +797,20 @@ impl Chip {
                 }
             })?;
             spikes += fired.len() as u64;
-            let mut batch = RouteBatch::default();
+            if core_detail {
+                // Sampled right after this core's evaluation, before any of
+                // its (or later cores') same-tick deliveries land here —
+                // matching the deterministic path's between-phases sample.
+                let s = self.cores[core_index].stats();
+                activity.push(CoreActivity {
+                    core: core_index as u32,
+                    spikes: (s.spikes - stats_before.spikes) as u32,
+                    axon_events: (s.axon_events - stats_before.axon_events) as u32,
+                    synaptic_events: s.synaptic_events - stats_before.synaptic_events,
+                    pending_events: self.cores[core_index].pending_events() as u32,
+                });
+            }
+            let mut batch = RouteBatch::with_telemetry(telemetry_on);
             for &neuron in &fired {
                 resolve_spike(
                     &self.config,
@@ -657,11 +828,18 @@ impl Chip {
                 hops,
                 link_crossings,
                 faults: shard_faults,
+                hop_histogram: shard_histogram,
             } = batch;
             outputs.extend(shard_outputs);
             faults.merge(&shard_faults);
             self.hops += hops;
             self.link_crossings += link_crossings;
+            tick_hops += hops;
+            tick_crossings += link_crossings;
+            deliveries_count += deliveries.len() as u64;
+            if let Some(hist) = shard_histogram {
+                hop_histogram.merge(&hist);
+            }
             for (tidx, axon, lead) in deliveries {
                 // Effective delay d − 1, clamped so a spike never lands in
                 // a tick its target has already evaluated.
@@ -674,6 +852,26 @@ impl Chip {
         self.fault_stats.merge(&faults);
         self.outputs_total += outputs.len() as u64;
         self.now = t + 1;
+        if telemetry_on {
+            let energy = Self::census_delta(&census_before, &self.census());
+            let record = TickRecord {
+                tick: t,
+                cores_evaluated: cores_evaluated as u32,
+                cores_skipped: (self.cores.len() as u64 - cores_evaluated) as u32,
+                spikes,
+                outputs: outputs.len() as u32,
+                deliveries: deliveries_count,
+                hops: tick_hops,
+                link_crossings: tick_crossings,
+                hop_histogram,
+                faults,
+                energy,
+                cores: activity,
+            };
+            if let Some(log) = self.telemetry.as_deref_mut() {
+                log.push(record);
+            }
+        }
         Ok(TickSummary {
             tick: t,
             spikes,
@@ -731,6 +929,10 @@ impl Chip {
         // Event-level fault counts clear; the injector and the cores'
         // structural faults persist (defective silicon stays defective).
         self.fault_stats = FaultStats::default();
+        // Telemetry starts over with the same configuration.
+        if let Some(log) = self.telemetry.as_deref_mut() {
+            log.clear();
+        }
     }
 }
 
@@ -1238,5 +1440,122 @@ mod tests {
         // Fires at (1,1) tick 0; delay 2 → (0,0) integrates tick 2.
         assert_eq!(outputs, vec![(2, 5)]);
         assert_eq!(chip.hops(), 2);
+    }
+
+    #[test]
+    fn telemetry_records_mirror_tick_observables() {
+        use brainsim_telemetry::TelemetryConfig;
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 1);
+        chip.enable_telemetry(TelemetryConfig::unbounded());
+        chip.inject(0, 0, 0, 0).unwrap();
+        let mut summaries = Vec::new();
+        for _ in 0..6 {
+            summaries.push(chip.tick());
+        }
+        let log = chip.telemetry().expect("telemetry enabled");
+        assert_eq!(log.len(), 6);
+        for (record, summary) in log.records().zip(&summaries) {
+            assert_eq!(record.tick, summary.tick);
+            assert_eq!(record.spikes, summary.spikes);
+            assert_eq!(record.outputs as usize, summary.outputs.len());
+            assert_eq!(record.faults, summary.faults);
+            assert_eq!(record.cores_evaluated as u64, summary.cores_evaluated);
+            assert_eq!(
+                record.cores_evaluated as usize + record.cores_skipped as usize,
+                4
+            );
+            assert_eq!(record.energy.ticks, 1);
+            // Per-core detail covers exactly the evaluated cores, in order.
+            assert_eq!(record.cores.len() as u64, summary.cores_evaluated);
+            let spikes: u64 = record.cores.iter().map(|c| c.spikes as u64).sum();
+            assert_eq!(spikes, record.spikes);
+        }
+        // The per-tick energy deltas sum to the chip's cumulative census,
+        // and the run summary agrees with the chip accumulators.
+        let mut energy_total = EventCensus::default();
+        for record in log.records() {
+            energy_total.merge(&record.energy);
+        }
+        assert_eq!(energy_total, chip.census());
+        let s = log.summary();
+        assert_eq!(s.hops, chip.hops());
+        assert_eq!(s.spikes, 4);
+        assert_eq!(s.core_spikes, vec![1, 1, 1, 1]);
+        assert_eq!(s.hop_histogram.total(), 3, "three 1-hop relay deliveries");
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_results() {
+        let run = |instrument: bool| {
+            let mut chip = relay_chain(6, TickSemantics::Deterministic, 2);
+            if instrument {
+                chip.enable_telemetry(brainsim_telemetry::TelemetryConfig::default());
+            }
+            for t in 0..6 {
+                chip.inject(0, 0, 0, t).unwrap();
+            }
+            let out = chip.run(16);
+            (out, chip.census(), chip.fault_stats())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn telemetry_stream_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            let mut chip = relay_chain(8, TickSemantics::Deterministic, threads);
+            chip.enable_telemetry(brainsim_telemetry::TelemetryConfig::unbounded());
+            chip.set_fault_plan(
+                &FaultPlan::new(21)
+                    .with_link_corrupt(0.3)
+                    .with_link_delay(0.3, 2),
+            );
+            for t in 0..8 {
+                chip.inject(0, 0, 0, t).unwrap();
+            }
+            chip.run(24);
+            *chip.take_telemetry().expect("telemetry enabled")
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn telemetry_relaxed_path_records_too() {
+        use brainsim_telemetry::TelemetryConfig;
+        let mut chip = relay_chain(4, TickSemantics::Relaxed, 1);
+        chip.enable_telemetry(TelemetryConfig::unbounded());
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.run(3);
+        let log = chip.telemetry().expect("telemetry enabled");
+        assert_eq!(log.len(), 3);
+        // Relaxed collapses the chain into tick 0: all four spikes land in
+        // the first record.
+        let first = log.records().next().expect("record for tick 0");
+        assert_eq!(first.spikes, 4);
+        assert_eq!(first.outputs, 1);
+        assert_eq!(first.cores.len(), 4);
+        let mut energy_total = EventCensus::default();
+        for record in log.records() {
+            energy_total.merge(&record.energy);
+        }
+        assert_eq!(energy_total, chip.census());
+    }
+
+    #[test]
+    fn telemetry_reset_restarts_collection() {
+        use brainsim_telemetry::TelemetryConfig;
+        let mut chip = relay_chain(2, TickSemantics::Deterministic, 1);
+        chip.enable_telemetry(TelemetryConfig::default());
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.run(4);
+        assert_eq!(chip.telemetry().map(|l| l.len()), Some(4));
+        chip.reset();
+        let log = chip.telemetry().expect("telemetry survives reset");
+        assert!(log.is_empty());
+        assert_eq!(log.summary().ticks, 0);
+        chip.run(2);
+        assert_eq!(chip.telemetry().map(|l| l.len()), Some(2));
     }
 }

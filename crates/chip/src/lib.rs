@@ -64,3 +64,7 @@ pub mod trace;
 pub use builder::{ChipBuildError, ChipBuilder};
 pub use chip::{Chip, InjectError, TickError, TickSummary};
 pub use config::{ChipConfig, CoreScheduling, TickSemantics, TileConfig};
+
+// The telemetry vocabulary used by `Chip::enable_telemetry`, re-exported so
+// instrumented callers need only this crate.
+pub use brainsim_telemetry::{TelemetryConfig, TelemetryLog, TickRecord};

@@ -296,6 +296,14 @@ impl NeurosynapticCore {
         self.scheduler.is_idle()
     }
 
+    /// Number of axon events pending in the scheduler (the core's event
+    /// backlog across all delay slots). O(1) — backed by the scheduler's
+    /// pending-event counter; telemetry samples it every tick.
+    #[inline]
+    pub fn pending_events(&self) -> usize {
+        self.scheduler.pending()
+    }
+
     /// The quiescence contract: true when evaluating the next tick is a
     /// provable no-op, so the chip's active-core scheduler may replace the
     /// full evaluation sweep with [`NeurosynapticCore::skip_tick`] and still

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use brainsim_faults::{FaultInjector, FaultStats, LinkFault, OverflowPolicy};
+use brainsim_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
 
 use crate::packet::Packet;
@@ -107,6 +108,11 @@ pub struct NocStats {
     pub max_latency: u64,
     /// Sum of per-packet hop counts.
     pub total_hops: u64,
+    /// Log₂ histogram of total buffered flits, sampled at the end of every
+    /// cycle — the mesh's occupancy profile over the run.
+    pub occupancy: Histogram,
+    /// Most flits buffered mesh-wide at any end-of-cycle sample.
+    pub peak_buffered: u64,
     /// Fault-injection accounting (all zero without a fault injector).
     pub faults: FaultStats,
 }
@@ -437,6 +443,9 @@ impl MeshNoc {
 
         self.now += 1;
         self.stats.cycles += 1;
+        let buffered = self.buffered() as u64;
+        self.stats.occupancy.record(buffered);
+        self.stats.peak_buffered = self.stats.peak_buffered.max(buffered);
         deliveries
     }
 
@@ -469,6 +478,20 @@ mod tests {
 
     fn pkt(dx: i16, dy: i16) -> Packet {
         Packet::new(dx, dy, 42, 3).unwrap()
+    }
+
+    #[test]
+    fn occupancy_histogram_tracks_buffered_flits() {
+        let mut noc = mesh(5, 5);
+        for _ in 0..3 {
+            noc.inject(0, 0, pkt(3, 2)).unwrap();
+        }
+        noc.drain(100);
+        let stats = noc.stats();
+        assert_eq!(stats.occupancy.total(), stats.cycles);
+        assert!(stats.peak_buffered >= 1);
+        // The final drain cycle sampled an empty mesh.
+        assert!(stats.occupancy.buckets[0] >= 1);
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! Textual exporters: JSONL and CSV sinks implementing [`Probe`].
+//!
+//! The workspace's vendored `serde` is a no-op marker stub, so both formats
+//! are rendered by hand with a fixed field order — identical runs produce
+//! byte-identical output, which the differential tests rely on.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use brainsim_energy::EventCensus;
+use brainsim_faults::FaultStats;
+
+use crate::record::TickRecord;
+use crate::sink::Probe;
+
+fn render_faults(out: &mut String, f: &FaultStats) {
+    let _ = write!(
+        out,
+        "{{\"cores_dropped\":{},\"neurons_dead\":{},\"neurons_stuck_firing\":{},\
+         \"synapses_stuck_zero\":{},\"synapses_stuck_one\":{},\"spikes_suppressed\":{},\
+         \"spikes_forced\":{},\"packets_dropped\":{},\"packets_corrupted\":{},\
+         \"packets_delayed\":{},\"flits_dropped_overflow\":{},\"deliveries_failed\":{}}}",
+        f.cores_dropped,
+        f.neurons_dead,
+        f.neurons_stuck_firing,
+        f.synapses_stuck_zero,
+        f.synapses_stuck_one,
+        f.spikes_suppressed,
+        f.spikes_forced,
+        f.packets_dropped,
+        f.packets_corrupted,
+        f.packets_delayed,
+        f.flits_dropped_overflow,
+        f.deliveries_failed,
+    );
+}
+
+fn render_census(out: &mut String, c: &EventCensus) {
+    let _ = write!(
+        out,
+        "{{\"ticks\":{},\"cores\":{},\"synaptic_events\":{},\"neuron_updates\":{},\
+         \"spikes\":{},\"axon_events\":{},\"hops\":{},\"link_crossings\":{},\
+         \"packets_dropped\":{},\"packets_rejected\":{},\"flit_stalls\":{}}}",
+        c.ticks,
+        c.cores,
+        c.synaptic_events,
+        c.neuron_updates,
+        c.spikes,
+        c.axon_events,
+        c.hops,
+        c.link_crossings,
+        c.packets_dropped,
+        c.packets_rejected,
+        c.flit_stalls,
+    );
+}
+
+/// Renders one [`TickRecord`] as a single JSON object (no trailing newline).
+pub fn render_jsonl(record: &TickRecord) -> String {
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"tick\":{},\"cores_evaluated\":{},\"cores_skipped\":{},\"spikes\":{},\
+         \"outputs\":{},\"deliveries\":{},\"hops\":{},\"link_crossings\":{},\
+         \"hop_histogram\":[",
+        record.tick,
+        record.cores_evaluated,
+        record.cores_skipped,
+        record.spikes,
+        record.outputs,
+        record.deliveries,
+        record.hops,
+        record.link_crossings,
+    );
+    for (i, bucket) in record.hop_histogram.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{bucket}");
+    }
+    out.push_str("],\"faults\":");
+    render_faults(&mut out, &record.faults);
+    out.push_str(",\"energy\":");
+    render_census(&mut out, &record.energy);
+    out.push_str(",\"cores\":[");
+    for (i, core) in record.cores.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"core\":{},\"spikes\":{},\"axon_events\":{},\"synaptic_events\":{},\
+             \"pending_events\":{}}}",
+            core.core, core.spikes, core.axon_events, core.synaptic_events, core.pending_events,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A [`Probe`] writing one JSON object per tick record to an [`io::Write`]
+/// sink (JSON Lines). IO errors are stored and surfaced by
+/// [`JsonlExporter::finish`].
+#[derive(Debug)]
+pub struct JsonlExporter<W: Write> {
+    writer: W,
+    error: Option<io::Error>,
+    lines: u64,
+}
+
+impl<W: Write> JsonlExporter<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> JsonlExporter<W> {
+        JsonlExporter {
+            writer,
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the writer, or the first IO error encountered.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Probe for JsonlExporter<W> {
+    fn on_tick(&mut self, record: &TickRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = render_jsonl(record);
+        match writeln!(self.writer, "{line}") {
+            Ok(()) => self.lines += 1,
+            Err(err) => self.error = Some(err),
+        }
+    }
+
+    fn on_finish(&mut self) {
+        if self.error.is_none() {
+            if let Err(err) = self.writer.flush() {
+                self.error = Some(err);
+            }
+        }
+    }
+}
+
+/// The fixed CSV column set, one row per tick. Per-core detail is not
+/// flattened into CSV — use JSONL for that.
+pub const CSV_HEADER: &str = "tick,cores_evaluated,cores_skipped,spikes,outputs,deliveries,\
+hops,link_crossings,hop_b0,hop_b1,hop_b2,hop_b3,hop_b4,hop_b5,hop_b6,hop_b7,\
+fault_events,neuron_updates,synaptic_events,axon_events,packets_rejected,flit_stalls";
+
+/// Renders one [`TickRecord`] as a CSV row matching [`CSV_HEADER`] (no
+/// trailing newline).
+pub fn render_csv_row(record: &TickRecord) -> String {
+    let mut out = String::with_capacity(128);
+    let _ = write!(
+        out,
+        "{},{},{},{},{},{},{},{}",
+        record.tick,
+        record.cores_evaluated,
+        record.cores_skipped,
+        record.spikes,
+        record.outputs,
+        record.deliveries,
+        record.hops,
+        record.link_crossings,
+    );
+    for bucket in &record.hop_histogram.buckets {
+        let _ = write!(out, ",{bucket}");
+    }
+    let _ = write!(
+        out,
+        ",{},{},{},{},{},{}",
+        record.faults.total(),
+        record.energy.neuron_updates,
+        record.energy.synaptic_events,
+        record.energy.axon_events,
+        record.energy.packets_rejected,
+        record.energy.flit_stalls,
+    );
+    out
+}
+
+/// A [`Probe`] writing a header row then one CSV row per tick record. IO
+/// errors are stored and surfaced by [`CsvExporter::finish`].
+#[derive(Debug)]
+pub struct CsvExporter<W: Write> {
+    writer: W,
+    error: Option<io::Error>,
+    rows: u64,
+    header_written: bool,
+}
+
+impl<W: Write> CsvExporter<W> {
+    /// Wraps a writer; the header row is written before the first record.
+    pub fn new(writer: W) -> CsvExporter<W> {
+        CsvExporter {
+            writer,
+            error: None,
+            rows: 0,
+            header_written: false,
+        }
+    }
+
+    /// Data rows successfully written so far (excluding the header).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Flushes and returns the writer, or the first IO error encountered.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Probe for CsvExporter<W> {
+    fn on_tick(&mut self, record: &TickRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        if !self.header_written {
+            if let Err(err) = writeln!(self.writer, "{CSV_HEADER}") {
+                self.error = Some(err);
+                return;
+            }
+            self.header_written = true;
+        }
+        match writeln!(self.writer, "{}", render_csv_row(record)) {
+            Ok(()) => self.rows += 1,
+            Err(err) => self.error = Some(err),
+        }
+    }
+
+    fn on_finish(&mut self) {
+        if self.error.is_none() {
+            if let Err(err) = self.writer.flush() {
+                self.error = Some(err);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CoreActivity, HISTOGRAM_BUCKETS};
+
+    fn record() -> TickRecord {
+        let mut r = TickRecord {
+            tick: 7,
+            cores_evaluated: 1,
+            cores_skipped: 3,
+            spikes: 2,
+            outputs: 1,
+            deliveries: 2,
+            hops: 5,
+            link_crossings: 1,
+            ..TickRecord::default()
+        };
+        r.hop_histogram.record(2);
+        r.hop_histogram.record(3);
+        r.faults.packets_dropped = 1;
+        r.energy.neuron_updates = 256;
+        r.cores.push(CoreActivity {
+            core: 4,
+            spikes: 2,
+            axon_events: 3,
+            synaptic_events: 17,
+            pending_events: 0,
+        });
+        r
+    }
+
+    #[test]
+    fn jsonl_is_stable_and_complete() {
+        let line = render_jsonl(&record());
+        assert!(line.starts_with("{\"tick\":7,"));
+        assert!(line.contains("\"hop_histogram\":[0,0,2,0,0,0,0,0]"));
+        assert!(line.contains("\"packets_dropped\":1"));
+        assert!(line.contains("\"neuron_updates\":256"));
+        assert!(line.contains("{\"core\":4,\"spikes\":2,\"axon_events\":3,"));
+        assert!(line.ends_with("}]}"));
+        // Identical input → byte-identical output.
+        assert_eq!(line, render_jsonl(&record()));
+    }
+
+    #[test]
+    fn jsonl_exporter_writes_one_line_per_record() {
+        let mut exporter = JsonlExporter::new(Vec::new());
+        exporter.on_tick(&record());
+        exporter.on_tick(&record());
+        exporter.on_finish();
+        assert_eq!(exporter.lines(), 2);
+        let bytes = exporter.finish().expect("no io error on Vec sink");
+        let text = String::from_utf8(bytes).expect("exporter emits utf-8");
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn csv_header_matches_row_arity() {
+        let header_cols = CSV_HEADER.split(',').count();
+        let row_cols = render_csv_row(&record()).split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert_eq!(header_cols, 14 + HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn csv_exporter_emits_header_once() {
+        let mut exporter = CsvExporter::new(Vec::new());
+        exporter.on_tick(&record());
+        exporter.on_tick(&record());
+        exporter.on_finish();
+        assert_eq!(exporter.rows(), 2);
+        let bytes = exporter.finish().expect("no io error on Vec sink");
+        let text = String::from_utf8(bytes).expect("exporter emits utf-8");
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn exporter_stores_first_io_error() {
+        // Accepts writes until one full line has gone through, then fails.
+        struct FailAfterFirstLine {
+            line_done: bool,
+        }
+        impl Write for FailAfterFirstLine {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.line_done {
+                    return Err(io::Error::other("sink full"));
+                }
+                if buf.contains(&b'\n') {
+                    self.line_done = true;
+                }
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut exporter = JsonlExporter::new(FailAfterFirstLine { line_done: false });
+        exporter.on_tick(&record());
+        exporter.on_tick(&record());
+        assert_eq!(exporter.lines(), 1);
+        assert!(exporter.finish().is_err());
+    }
+}

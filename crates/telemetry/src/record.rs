@@ -1,0 +1,178 @@
+//! Typed per-tick telemetry records.
+
+use brainsim_energy::EventCensus;
+use brainsim_faults::FaultStats;
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 8;
+
+/// A small fixed log₂ histogram: bucket `i` counts values in
+/// `[2^(i−1), 2^i)` (bucket 0 counts zeros, the last bucket is open-ended:
+/// `≥ 64`). Merging is an element-wise sum, so histograms built by
+/// concurrent shards combine order-independently — the property the
+/// parallel routing pipeline relies on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bucket counts: `[0]`, `[1]`, `[2,3]`, `[4,7]`, `[8,15]`, `[16,31]`,
+    /// `[32,63]`, `[64,∞)`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let bucket = match value {
+            0 => 0,
+            v => ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1),
+        };
+        self.buckets[bucket] += 1;
+    }
+
+    /// Element-wise sum of another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// The lower bound of bucket `i` (for rendering).
+    pub fn bucket_floor(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+}
+
+/// One evaluated core's activity during one tick (stat deltas, not
+/// cumulative totals). Skipped (provably quiescent) cores produce no
+/// activity entry — their count appears in
+/// [`TickRecord::cores_skipped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreActivity {
+    /// Flat row-major core index.
+    pub core: u32,
+    /// Spikes the core fired this tick (after fault masking).
+    pub spikes: u32,
+    /// Axon events consumed from the core's scheduler this tick.
+    pub axon_events: u32,
+    /// Synaptic events integrated this tick.
+    pub synaptic_events: u64,
+    /// Axon events still pending in the core's scheduler after this tick's
+    /// evaluation (its post-tick backlog; deliveries routed later in the
+    /// same chip tick are not yet included).
+    pub pending_events: u32,
+}
+
+/// Everything the probes observed during one chip tick.
+///
+/// The per-tick counters mirror [`brainsim_energy::EventCensus`] semantics
+/// (the [`TickRecord::energy`] field *is* this tick's census delta), fault
+/// annotations mirror the tick's `TickSummary.faults`, and
+/// [`TickRecord::cores`] holds per-core detail in canonical core order when
+/// enabled by [`crate::TelemetryConfig::core_detail`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TickRecord {
+    /// The tick that was evaluated.
+    pub tick: u64,
+    /// Cores actually evaluated this tick.
+    pub cores_evaluated: u32,
+    /// Cores skipped as provably quiescent by active-core scheduling
+    /// (always zero under a full sweep).
+    pub cores_skipped: u32,
+    /// Total spikes fired by all cores this tick.
+    pub spikes: u64,
+    /// External output events emitted this tick.
+    pub outputs: u32,
+    /// Inter-core spike deliveries scheduled this tick.
+    pub deliveries: u64,
+    /// Mesh hops charged to this tick's routed spikes.
+    pub hops: u64,
+    /// Tile-boundary link crossings charged this tick.
+    pub link_crossings: u64,
+    /// Distribution of per-spike hop distances this tick.
+    pub hop_histogram: Histogram,
+    /// Fault events suffered by this tick's evaluation and routing.
+    pub faults: FaultStats,
+    /// This tick's energy-census delta (the increment `Chip::census`
+    /// gained from this tick), ready for `EnergyModel::report`.
+    pub energy: EventCensus,
+    /// Per-core activity of the evaluated cores, in canonical row-major
+    /// core order. Empty when core detail is disabled.
+    pub cores: Vec<CoreActivity>,
+}
+
+impl TickRecord {
+    /// Fraction of cores skipped as quiescent this tick (0 when the chip
+    /// has no cores).
+    pub fn quiescence_rate(&self) -> f64 {
+        let total = self.cores_evaluated as u64 + self.cores_skipped as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.cores_skipped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 15, 16, 31, 32, 63, 64, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets, [1, 1, 2, 2, 2, 2, 2, 2]);
+        assert_eq!(h.total(), 14);
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise_sum() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.record(1);
+        a.record(5);
+        b.record(1);
+        b.record(100);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 4);
+    }
+
+    #[test]
+    fn bucket_floors() {
+        let floors: Vec<u64> = (0..HISTOGRAM_BUCKETS)
+            .map(Histogram::bucket_floor)
+            .collect();
+        assert_eq!(floors, vec![0, 1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn quiescence_rate_handles_empty_chip() {
+        assert_eq!(TickRecord::default().quiescence_rate(), 0.0);
+        let r = TickRecord {
+            cores_evaluated: 1,
+            cores_skipped: 3,
+            ..TickRecord::default()
+        };
+        assert_eq!(r.quiescence_rate(), 0.75);
+    }
+}

@@ -1,0 +1,290 @@
+//! Run-level aggregation: cumulative counters, per-core heatmaps, and a
+//! human-readable summary table.
+
+use std::fmt::Write as _;
+
+use brainsim_energy::{EnergyModel, EventCensus};
+use brainsim_faults::FaultStats;
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Histogram, TickRecord, HISTOGRAM_BUCKETS};
+use crate::sink::Probe;
+
+/// Cumulative aggregates over a whole run — fed one [`TickRecord`] at a
+/// time (it implements [`Probe`]), never evicted, so it stays exact on
+/// arbitrarily long runs even when the record ring wraps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Ticks observed.
+    pub ticks: u64,
+    /// Total spikes fired.
+    pub spikes: u64,
+    /// Total external output events.
+    pub outputs: u64,
+    /// Total inter-core deliveries.
+    pub deliveries: u64,
+    /// Total mesh hops.
+    pub hops: u64,
+    /// Total tile-boundary link crossings.
+    pub link_crossings: u64,
+    /// Total core evaluations performed.
+    pub evaluations: u64,
+    /// Total core evaluations skipped as provably quiescent.
+    pub skips: u64,
+    /// Distribution of per-spike hop distances over the run.
+    pub hop_histogram: Histogram,
+    /// Total fault events.
+    pub faults: FaultStats,
+    /// The run's cumulative energy census (sum of per-tick deltas).
+    pub energy: EventCensus,
+    /// Cumulative spikes per core, row-major — the activity heatmap.
+    pub core_spikes: Vec<u64>,
+    /// Cumulative synaptic events per core, row-major — the load heatmap.
+    pub core_synaptic_events: Vec<u64>,
+}
+
+impl RunSummary {
+    /// An empty summary for a chip with `cores` cores.
+    pub fn new(cores: usize) -> RunSummary {
+        RunSummary {
+            core_spikes: vec![0; cores],
+            core_synaptic_events: vec![0; cores],
+            ..RunSummary::default()
+        }
+    }
+
+    /// Mean fraction of cores skipped per tick over the run.
+    pub fn quiescence_rate(&self) -> f64 {
+        let total = self.evaluations + self.skips;
+        if total == 0 {
+            0.0
+        } else {
+            self.skips as f64 / total as f64
+        }
+    }
+
+    /// Mean spikes per tick.
+    pub fn spikes_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.spikes as f64 / self.ticks as f64
+        }
+    }
+
+    /// Mean hops per delivered spike (0 when nothing was delivered).
+    pub fn mean_hops(&self) -> f64 {
+        if self.deliveries == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.deliveries as f64
+        }
+    }
+
+    /// Reshapes a per-core row-major vector into `height` rows of `width`
+    /// (heatmap form). Returns `None` when `width × height` does not match
+    /// the core count the summary was created with.
+    pub fn heatmap(counts: &[u64], width: usize, height: usize) -> Option<Vec<Vec<u64>>> {
+        if width * height != counts.len() {
+            return None;
+        }
+        Some(
+            (0..height)
+                .map(|y| counts[y * width..(y + 1) * width].to_vec())
+                .collect(),
+        )
+    }
+
+    /// Renders the summary as an aligned text table, including the derived
+    /// energy report for the run.
+    pub fn render_table(&self, model: &EnergyModel) -> String {
+        let mut out = String::new();
+        let mut row = |k: &str, v: String| {
+            let _ = writeln!(out, "  {k:<26} {v}");
+        };
+        row("ticks", self.ticks.to_string());
+        row(
+            "spikes",
+            format!("{} ({:.2}/tick)", self.spikes, self.spikes_per_tick()),
+        );
+        row("outputs", self.outputs.to_string());
+        row(
+            "deliveries",
+            format!("{} ({:.2} hops mean)", self.deliveries, self.mean_hops()),
+        );
+        row("hops", self.hops.to_string());
+        row("link crossings", self.link_crossings.to_string());
+        row(
+            "core evaluations",
+            format!(
+                "{} ({} skipped, {:.1}% quiescent)",
+                self.evaluations,
+                self.skips,
+                self.quiescence_rate() * 100.0
+            ),
+        );
+        row("fault events", self.faults.total().to_string());
+        let report = model.report(&self.energy);
+        row(
+            "energy",
+            format!(
+                "{:.3} µJ active, {:.3} mW total, {:.2} GSOPS/W",
+                report.active_energy_j * 1e6,
+                report.total_mw,
+                report.gsops_per_watt
+            ),
+        );
+        if !self.hop_histogram.is_empty() {
+            row("hop histogram", render_histogram(&self.hop_histogram));
+        }
+        out
+    }
+}
+
+/// Renders a histogram as `floor:count` pairs, skipping empty tail buckets.
+fn render_histogram(h: &Histogram) -> String {
+    let last = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+    let mut out = String::new();
+    for i in 0..=last {
+        if i > 0 {
+            out.push(' ');
+        }
+        let floor = Histogram::bucket_floor(i);
+        let tag = if i + 1 == HISTOGRAM_BUCKETS {
+            format!("{floor}+")
+        } else {
+            floor.to_string()
+        };
+        let _ = write!(out, "{tag}:{}", h.buckets[i]);
+    }
+    out
+}
+
+/// Renders a per-core heatmap as compact ASCII (log-scale digits, `.` = 0),
+/// matching the chip trace module's activity-map rendering.
+pub fn render_heatmap(map: &[Vec<u64>]) -> String {
+    let mut out = String::new();
+    for row in map {
+        for &count in row {
+            let ch = match count {
+                0 => '.',
+                1..=9 => char::from_digit(count as u32, 10).unwrap_or('?'),
+                10..=99 => 'x',
+                _ => 'X',
+            };
+            out.push(ch);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+impl Probe for RunSummary {
+    fn on_tick(&mut self, record: &TickRecord) {
+        self.ticks += 1;
+        self.spikes += record.spikes;
+        self.outputs += record.outputs as u64;
+        self.deliveries += record.deliveries;
+        self.hops += record.hops;
+        self.link_crossings += record.link_crossings;
+        self.evaluations += record.cores_evaluated as u64;
+        self.skips += record.cores_skipped as u64;
+        self.hop_histogram.merge(&record.hop_histogram);
+        self.faults.merge(&record.faults);
+        self.energy.merge(&record.energy);
+        for activity in &record.cores {
+            let idx = activity.core as usize;
+            if idx < self.core_spikes.len() {
+                self.core_spikes[idx] += activity.spikes as u64;
+                self.core_synaptic_events[idx] += activity.synaptic_events;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CoreActivity;
+
+    fn record(tick: u64) -> TickRecord {
+        let mut hop_histogram = Histogram::default();
+        hop_histogram.record(2);
+        TickRecord {
+            tick,
+            cores_evaluated: 2,
+            cores_skipped: 2,
+            spikes: 3,
+            outputs: 1,
+            deliveries: 2,
+            hops: 4,
+            hop_histogram,
+            energy: EventCensus {
+                ticks: 1,
+                cores: 4,
+                spikes: 3,
+                hops: 4,
+                ..EventCensus::default()
+            },
+            cores: vec![
+                CoreActivity {
+                    core: 1,
+                    spikes: 2,
+                    axon_events: 1,
+                    synaptic_events: 5,
+                    pending_events: 0,
+                },
+                CoreActivity {
+                    core: 3,
+                    spikes: 1,
+                    axon_events: 1,
+                    synaptic_events: 2,
+                    pending_events: 1,
+                },
+            ],
+            ..TickRecord::default()
+        }
+    }
+
+    #[test]
+    fn summary_accumulates_and_heatmaps() {
+        let mut s = RunSummary::new(4);
+        s.on_tick(&record(0));
+        s.on_tick(&record(1));
+        assert_eq!(s.ticks, 2);
+        assert_eq!(s.spikes, 6);
+        assert_eq!(s.quiescence_rate(), 0.5);
+        assert_eq!(s.core_spikes, vec![0, 4, 0, 2]);
+        assert_eq!(s.core_synaptic_events, vec![0, 10, 0, 4]);
+        assert_eq!(s.energy.hops, 8);
+        let map = RunSummary::heatmap(&s.core_spikes, 2, 2).expect("4 cores reshape as 2x2");
+        assert_eq!(map, vec![vec![0, 4], vec![0, 2]]);
+        assert!(RunSummary::heatmap(&s.core_spikes, 3, 2).is_none());
+    }
+
+    #[test]
+    fn table_renders_key_lines() {
+        let mut s = RunSummary::new(4);
+        s.on_tick(&record(0));
+        let table = s.render_table(&EnergyModel::default());
+        assert!(table.contains("ticks"));
+        assert!(table.contains("50.0% quiescent"));
+        assert!(table.contains("GSOPS/W"));
+        assert!(table.contains("hop histogram"));
+    }
+
+    #[test]
+    fn heatmap_renders_log_buckets() {
+        let ascii = render_heatmap(&[vec![0, 5, 42, 1000]]);
+        assert_eq!(ascii.trim(), ". 5 x X");
+    }
+
+    #[test]
+    fn zero_run_rates_are_zero() {
+        let s = RunSummary::new(0);
+        assert_eq!(s.quiescence_rate(), 0.0);
+        assert_eq!(s.spikes_per_tick(), 0.0);
+        assert_eq!(s.mean_hops(), 0.0);
+    }
+}

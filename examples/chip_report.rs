@@ -1,0 +1,83 @@
+//! Telemetry tour: instrument a chip, run it, and read the observability
+//! surface — per-tick records, the cumulative run summary with its
+//! per-core heatmap, and the JSONL export stream.
+//!
+//! Run with: `cargo run --example chip_report`
+
+use brainsim::chip::{ChipBuilder, ChipConfig, TelemetryConfig};
+use brainsim::core::{AxonTarget, AxonType, CoreOffset, Destination, NeuronConfig, Weight};
+use brainsim::energy::EnergyModel;
+use brainsim::telemetry::{render_heatmap, JsonlExporter, RunSummary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 4×2 relay grid: the top row forwards spikes east, the last core
+    //    reports to output port 7; the bottom row stays silent (so the
+    //    heatmap has something to show).
+    let width = 4;
+    let height = 2;
+    let mut builder = ChipBuilder::new(ChipConfig {
+        width,
+        height,
+        core_axons: 4,
+        core_neurons: 4,
+        ..ChipConfig::default()
+    });
+    let relay = NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::new(1)?)
+        .threshold(1)
+        .build()?;
+    for x in 0..width {
+        let dest = if x + 1 < width {
+            Destination::Axon(AxonTarget {
+                offset: CoreOffset::new(1, 0),
+                axon: 0,
+                delay: 1,
+            })
+        } else {
+            Destination::Output(7)
+        };
+        builder.core_mut(x, 0).neuron(0, relay.clone(), dest)?;
+        builder.core_mut(x, 0).synapse(0, 0, true)?;
+    }
+    let mut chip = builder.build()?;
+
+    // 2. Turn on telemetry before the run: every tick now appends a typed
+    //    record to a ring-buffered log on the chip.
+    chip.enable_telemetry(TelemetryConfig::unbounded());
+
+    // 3. Drive it tick by tick: three widely spaced input spikes (injected
+    //    as they fall due — the scheduler horizon is 16 ticks).
+    for t in 0..24u64 {
+        if t % 8 == 0 {
+            chip.inject(0, 0, 0, t)?;
+        }
+        chip.tick();
+    }
+
+    // 4. Read the per-tick stream and the run-level aggregates.
+    let log = chip.telemetry().expect("telemetry was enabled");
+    let active_ticks = log.records().filter(|r| r.spikes > 0).count();
+    println!(
+        "{} records, {} ticks with spikes, mean quiescence {:.0}%",
+        log.len(),
+        active_ticks,
+        log.summary().quiescence_rate() * 100.0
+    );
+    println!("{}", log.summary().render_table(&EnergyModel::default()));
+    if let Some(map) = RunSummary::heatmap(&log.summary().core_spikes, width, height) {
+        println!("per-core spike heatmap:");
+        println!("{}", render_heatmap(&map));
+    }
+
+    // 5. Export the record stream as JSON Lines (here to a string; any
+    //    `io::Write` sink works the same way).
+    let mut exporter = JsonlExporter::new(Vec::new());
+    log.replay(&mut exporter);
+    let jsonl = String::from_utf8(exporter.finish()?)?;
+    let first_line = jsonl.lines().next().unwrap_or_default();
+    println!(
+        "jsonl: {} lines, first: {first_line}",
+        jsonl.lines().count()
+    );
+    Ok(())
+}

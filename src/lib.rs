@@ -22,6 +22,7 @@
 //! | [`snn`] | `brainsim-snn` | float LIF baseline + golden core |
 //! | [`encoding`] | `brainsim-encoding` | rate/latency/population codecs |
 //! | [`apps`] | `brainsim-apps` | classifier, edge filter bank, ITD estimator |
+//! | [`telemetry`] | `brainsim-telemetry` | per-tick probes, ring sinks, JSONL/CSV exporters |
 //!
 //! ## Quickstart
 //!
@@ -85,3 +86,4 @@ pub use brainsim_faults as faults;
 pub use brainsim_neuron as neuron;
 pub use brainsim_noc as noc;
 pub use brainsim_snn as snn;
+pub use brainsim_telemetry as telemetry;

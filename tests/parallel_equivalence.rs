@@ -8,7 +8,9 @@
 //! Set `BRAINSIM_TEST_THREADS` to add an extra thread count to the matrix
 //! (the CI job runs the suite with 1 and 8).
 
-use brainsim::chip::{Chip, ChipBuilder, ChipConfig, CoreScheduling, TickSemantics};
+use brainsim::chip::{
+    Chip, ChipBuilder, ChipConfig, CoreScheduling, TelemetryConfig, TelemetryLog, TickSemantics,
+};
 use brainsim::core::{AxonTarget, CoreOffset, Destination};
 use brainsim::energy::EventCensus;
 use brainsim::faults::{FaultPlan, FaultStats};
@@ -194,6 +196,95 @@ fn deterministic_pipeline_is_bit_identical_across_threads_and_scheduling() {
                 }
             }
         }
+    }
+}
+
+/// Same drive loop as [`run`], but with telemetry enabled; returns the
+/// full `TelemetryLog` (per-tick records, eviction count, run summary).
+fn run_telemetry(
+    seed: u32,
+    threads: usize,
+    scheduling: CoreScheduling,
+    plan: Option<&FaultPlan>,
+) -> Box<TelemetryLog> {
+    let mut chip = build_chip(seed, TickSemantics::Deterministic, threads, scheduling);
+    if let Some(plan) = plan {
+        chip.set_fault_plan(plan);
+    }
+    chip.enable_telemetry(TelemetryConfig::unbounded());
+    let mut stim = Lfsr::new(seed ^ 0x00C0_FFEE);
+    for t in 0..TICKS {
+        if t % 50 < 30 {
+            for a in 0..FANIN {
+                if stim.bernoulli_256(48) {
+                    let x = (stim.next_u32() as usize) % GRID;
+                    let y = (stim.next_u32() as usize) % GRID;
+                    chip.inject(x, y, a, t).unwrap();
+                }
+            }
+        }
+        chip.tick();
+    }
+    chip.take_telemetry().expect("telemetry was enabled")
+}
+
+#[test]
+fn telemetry_stream_is_bit_identical_across_threads() {
+    // The telemetry pipeline rides the same shard/merge machinery as the
+    // tick pipeline, so it gets the same differential treatment: for each
+    // scheduler and fault plan, the full log — every per-tick record
+    // including per-core detail, hop histograms, and energy deltas — must
+    // be bit-identical at every thread count to the serial run.
+    let seed = 0xA11CE;
+    for (p, plan) in fault_plans(seed as u64).iter().enumerate() {
+        let mut per_scheduling = Vec::new();
+        for scheduling in [CoreScheduling::Sweep, CoreScheduling::Active] {
+            let reference = run_telemetry(seed, 1, scheduling, plan.as_ref());
+            assert!(
+                reference.summary().spikes > 0,
+                "workload must be active (plan {p}, {scheduling:?})"
+            );
+            assert_eq!(reference.len() as u64, TICKS);
+            for &threads in &thread_counts() {
+                let log = run_telemetry(seed, threads, scheduling, plan.as_ref());
+                assert_eq!(
+                    log, reference,
+                    "telemetry log diverged: plan {p}, {threads} threads, {scheduling:?}"
+                );
+            }
+            per_scheduling.push(reference);
+        }
+        // Across schedulers the evaluation counts legitimately differ, but
+        // the physical observables each record carries must not: spike and
+        // output counts, routing work, fault tallies, and energy deltas
+        // are scheduling-invariant tick by tick.
+        let invariant = |log: &TelemetryLog| {
+            log.records()
+                .map(|r| {
+                    (
+                        r.tick,
+                        r.spikes,
+                        r.outputs,
+                        r.deliveries,
+                        r.hops,
+                        r.link_crossings,
+                        r.hop_histogram,
+                        r.faults,
+                        r.energy,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            invariant(&per_scheduling[0]),
+            invariant(&per_scheduling[1]),
+            "per-tick observables not scheduling-invariant: plan {p}"
+        );
+        assert_eq!(
+            per_scheduling[0].summary().core_spikes,
+            per_scheduling[1].summary().core_spikes,
+            "per-core spike totals not scheduling-invariant: plan {p}"
+        );
     }
 }
 

@@ -39,7 +39,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// See [`vec`].
+/// See [`vec`](fn@vec).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
