@@ -37,6 +37,7 @@ fn bench_core_eval(c: &mut Criterion) {
         for (name, strategy) in [
             ("dense", EvalStrategy::Dense),
             ("sparse", EvalStrategy::Sparse),
+            ("swar", EvalStrategy::Swar),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(name, active_axons),

@@ -1,0 +1,63 @@
+//! Micro-bench for the bit-sliced SWAR integration kernel against the
+//! scalar per-bit row walk it replaced, isolated from the rest of the tick
+//! pipeline: accumulate N active rows of a 256×256 crossbar into per-neuron
+//! per-type counters and extract them. The kernel's cost is dominated by
+//! `O(active × words_per_row)` word operations (4 words per row at 256
+//! neurons) where the scalar walk pays per set bit, so the gap widens with
+//! crossbar density and activity.
+
+use brainsim_core::{Crossbar, SwarKernel};
+use brainsim_neuron::Lfsr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const AXONS: usize = 256;
+const NEURONS: usize = 256;
+
+fn build_crossbar(density: u32) -> Crossbar {
+    let mut xb = Crossbar::new(AXONS, NEURONS);
+    let mut rng = Lfsr::new(0xC0DE);
+    for a in 0..AXONS {
+        for n in 0..NEURONS {
+            if rng.bernoulli_256(density) {
+                xb.set(a, n, true);
+            }
+        }
+    }
+    xb
+}
+
+fn bench_swar_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swar_kernel");
+    let xb = build_crossbar(32);
+    for active in [4usize, 16, 64, 256] {
+        let rows: Vec<usize> = (0..active).map(|i| i * (AXONS / active)).collect();
+        group.bench_with_input(BenchmarkId::new("scalar", active), &rows, |b, rows| {
+            let mut counts = vec![0u32; NEURONS * 4];
+            b.iter(|| {
+                counts.fill(0);
+                for &a in rows {
+                    for n in xb.row_neurons(a) {
+                        counts[n * 4 + (a % 4)] += 1;
+                    }
+                }
+                counts[0]
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("swar", active), &rows, |b, rows| {
+            let mut kernel = SwarKernel::new(NEURONS);
+            let mut counts = vec![0u32; NEURONS * 4];
+            b.iter(|| {
+                counts.fill(0);
+                for &a in rows {
+                    kernel.accumulate_row(a % 4, xb.row_words(a));
+                }
+                kernel.flush_into(&mut counts);
+                counts[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_swar_kernel);
+criterion_main!(benches);

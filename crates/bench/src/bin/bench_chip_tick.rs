@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use brainsim_bench::{drive_random, drive_random_cores, random_chip, RandomChipSpec};
 use brainsim_chip::{CoreScheduling, TelemetryConfig};
+use brainsim_core::EvalStrategy;
 use brainsim_energy::EventCensus;
 
 const ISLAND: usize = 3;
@@ -37,44 +38,69 @@ struct Variant {
     scheduling: CoreScheduling,
     threads: usize,
     telemetry: bool,
+    strategy: EvalStrategy,
 }
 
-const VARIANTS: [Variant; 6] = [
+const VARIANTS: [Variant; 8] = [
     Variant {
         name: "sweep_t1",
         scheduling: CoreScheduling::Sweep,
         threads: 1,
         telemetry: false,
+        strategy: EvalStrategy::Swar,
+    },
+    Variant {
+        // The scalar reference path the SWAR kernel replaced; kept in the
+        // baseline so the word-parallel speedup stays visible (and gated).
+        name: "sweep_t1_scalar",
+        scheduling: CoreScheduling::Sweep,
+        threads: 1,
+        telemetry: false,
+        strategy: EvalStrategy::Sparse,
+    },
+    Variant {
+        // Explicitly named SWAR coverage: `--check` fails MISSING if the
+        // word-parallel strategy ever disappears from this binary.
+        name: "sweep_t1_swar",
+        scheduling: CoreScheduling::Sweep,
+        threads: 1,
+        telemetry: false,
+        strategy: EvalStrategy::Swar,
     },
     Variant {
         name: "sweep_t1_telemetry",
         scheduling: CoreScheduling::Sweep,
         threads: 1,
         telemetry: true,
+        strategy: EvalStrategy::Swar,
     },
     Variant {
         name: "active_t1",
         scheduling: CoreScheduling::Active,
         threads: 1,
         telemetry: false,
+        strategy: EvalStrategy::Swar,
     },
     Variant {
         name: "active_t2",
         scheduling: CoreScheduling::Active,
         threads: 2,
         telemetry: false,
+        strategy: EvalStrategy::Swar,
     },
     Variant {
         name: "active_t4",
         scheduling: CoreScheduling::Active,
         threads: 4,
         telemetry: false,
+        strategy: EvalStrategy::Swar,
     },
     Variant {
         name: "active_t8",
         scheduling: CoreScheduling::Active,
         threads: 8,
         telemetry: false,
+        strategy: EvalStrategy::Swar,
     },
 ];
 
@@ -112,6 +138,7 @@ fn run_workload(name: &str, base: RandomChipSpec, sparse: bool) -> (String, Vec<
         let spec = RandomChipSpec {
             scheduling: v.scheduling,
             threads: v.threads,
+            strategy: v.strategy,
             ..base
         };
         let (ns_per_tick, census) = measure(&spec, sparse, v.telemetry);
@@ -193,6 +220,23 @@ fn check(baseline_path: &str) -> usize {
         !expected.is_empty(),
         "no variants parsed from {baseline_path}"
     );
+    // ns/tick baselines only transfer between identical hosts; flag a CPU
+    // count mismatch loudly so a surprising verdict is read in context.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let baseline_cpus = text
+        .lines()
+        .find_map(|l| json_field(l, "cpus").and_then(|v| v.parse::<usize>().ok()));
+    match baseline_cpus {
+        Some(cpus) if cpus != host_cpus => eprintln!(
+            "WARNING: baseline was measured on {cpus} cpu(s) but this host has \
+             {host_cpus}; thread-scaling variants are not comparable — regenerate \
+             the baseline on this host before trusting a regression verdict"
+        ),
+        None => eprintln!("WARNING: baseline records no host cpu count"),
+        _ => {}
+    }
 
     let dense = RandomChipSpec {
         width: 8,

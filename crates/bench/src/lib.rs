@@ -56,7 +56,7 @@ impl Default for RandomChipSpec {
             neurons: 64,
             density: 32,
             seed: 0xBEEF,
-            strategy: EvalStrategy::Sparse,
+            strategy: EvalStrategy::default(),
             threads: 1,
             scheduling: CoreScheduling::default(),
             tile: None,
@@ -171,24 +171,39 @@ pub fn random_chip(spec: &RandomChipSpec) -> Chip {
     builder.build().expect("random chip builds")
 }
 
+/// One tick's Bernoulli stimulus for one core, delivered word-batched.
+///
+/// Draws one sample per axon in ascending axon order — the exact stream a
+/// per-axon `inject` loop would consume — then hands each 64-axon word to
+/// [`Chip::inject_word`] in one call. The mask build is branch-free, so
+/// the drive loop costs the LFSR's serial dependency and nothing else.
+fn drive_core(chip: &mut Chip, noise: &mut Lfsr, x: usize, y: usize, rate: u32, t: u64) {
+    let axons = chip.config().core_axons;
+    for word in 0..axons.div_ceil(64) {
+        let lanes = (axons - word * 64).min(64);
+        let mut mask = 0u64;
+        for b in 0..lanes {
+            mask |= u64::from(noise.bernoulli_256(rate)) << b;
+        }
+        if mask != 0 {
+            chip.inject_word(x, y, word, mask, t).expect("axon exists");
+        }
+    }
+}
+
 /// Drives every input axon of the chip with independent Bernoulli noise of
 /// probability `rate_numerator / 256` per tick, for `ticks` ticks.
 pub fn drive_random(chip: &mut Chip, ticks: u64, rate_numerator: u32, seed: u32) {
     let mut noise = Lfsr::new(seed);
     let width = chip.config().width;
     let height = chip.config().height;
-    let axons = chip.config().core_axons;
     for _ in 0..ticks {
         // Use the chip's own cursor so repeated drives continue seamlessly
         // (Criterion's b.iter() reuses one chip across iterations).
         let t = chip.now();
         for y in 0..height {
             for x in 0..width {
-                for a in 0..axons {
-                    if noise.bernoulli_256(rate_numerator) {
-                        chip.inject(x, y, a, t).expect("axon exists");
-                    }
-                }
+                drive_core(chip, &mut noise, x, y, rate_numerator, t);
             }
         }
         chip.tick();
@@ -207,17 +222,12 @@ pub fn drive_random_cores(
 ) {
     let mut noise = Lfsr::new(seed);
     let width = chip.config().width;
-    let axons = chip.config().core_axons;
     let cores = cores.min(chip.config().cores());
     for _ in 0..ticks {
         let t = chip.now();
         for index in 0..cores {
             let (x, y) = (index % width, index / width);
-            for a in 0..axons {
-                if noise.bernoulli_256(rate_numerator) {
-                    chip.inject(x, y, a, t).expect("axon exists");
-                }
-            }
+            drive_core(chip, &mut noise, x, y, rate_numerator, t);
         }
         chip.tick();
     }
@@ -338,9 +348,15 @@ mod tests {
             strategy: EvalStrategy::Sparse,
             ..base
         });
+        let mut c = random_chip(&RandomChipSpec {
+            strategy: EvalStrategy::Swar,
+            ..base
+        });
         drive_random(&mut a, 50, 32, 7);
         drive_random(&mut b, 50, 32, 7);
+        drive_random(&mut c, 50, 32, 7);
         assert_eq!(a.census(), b.census());
+        assert_eq!(a.census(), c.census());
     }
 
     #[test]

@@ -35,7 +35,9 @@ use brainsim_core::{CoreStats, Destination, NeurosynapticCore};
 use brainsim_energy::EventCensus;
 use brainsim_faults::{FaultInjector, FaultPlan, FaultStats, LinkFault};
 use brainsim_noc::route_hops;
-use brainsim_telemetry::{CoreActivity, Histogram, TelemetryConfig, TelemetryLog, TickRecord};
+use brainsim_telemetry::{
+    CoreActivity, Histogram, SchedulerMeta, TelemetryConfig, TelemetryLog, TickRecord,
+};
 
 use crate::config::{ChipConfig, CoreScheduling, TickSemantics};
 
@@ -264,10 +266,20 @@ pub struct Chip {
     /// pipeline on its uninstrumented fast path (one tag test per tick).
     /// Boxed so the disabled chip pays one pointer of state.
     telemetry: Option<Box<TelemetryLog>>,
+    /// `config.threads` clamped to the host's available parallelism,
+    /// resolved once at construction. Phases A and B size their shard pools
+    /// from this, so oversubscribed configs stop spawning threads the host
+    /// cannot run; the clamp is recorded per tick in
+    /// [`brainsim_telemetry::SchedulerMeta`].
+    effective_threads: usize,
 }
 
 impl Chip {
     pub(crate) fn from_parts(config: ChipConfig, cores: Vec<NeurosynapticCore>) -> Chip {
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let effective_threads = config.threads.min(host).max(1);
         Chip {
             config,
             cores,
@@ -278,7 +290,14 @@ impl Chip {
             injector: None,
             fault_stats: FaultStats::default(),
             telemetry: None,
+            effective_threads,
         }
+    }
+
+    /// The worker-thread count the chip actually uses: the configured
+    /// count clamped to the host's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        self.effective_threads
     }
 
     /// The chip configuration.
@@ -391,6 +410,31 @@ impl Chip {
         }
         let idx = self.index(x, y);
         self.cores[idx].deliver(axon, target_tick)?;
+        Ok(())
+    }
+
+    /// Injects an event on every set bit of `bits` — axons `word*64 + b` of
+    /// core `(x, y)` — for `target_tick`: the burst form of
+    /// [`Chip::inject`]. Equivalent to one `inject` per set bit, at one
+    /// grid lookup and one scheduler OR for the whole word.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Chip::inject`]; a set bit past the core's axon count is
+    /// [`brainsim_core::DeliverError::NoSuchAxon`] and nothing is injected.
+    pub fn inject_word(
+        &mut self,
+        x: usize,
+        y: usize,
+        word: usize,
+        bits: u64,
+        target_tick: u64,
+    ) -> Result<(), InjectError> {
+        if x >= self.config.width || y >= self.config.height {
+            return Err(InjectError::OffGrid(x, y));
+        }
+        let idx = self.index(x, y);
+        self.cores[idx].deliver_word(word, bits, target_tick)?;
         Ok(())
     }
 
@@ -595,8 +639,8 @@ impl Chip {
             Vec::new()
         };
         self.skip_inactive(&active, t)?;
-        let fired: Vec<(usize, Vec<u16>)> = if self.config.threads > 1 && active.len() > 1 {
-            Self::evaluate_parallel(&mut self.cores, &active, self.config.threads, t)?
+        let fired: Vec<(usize, Vec<u16>)> = if self.effective_threads > 1 && active.len() > 1 {
+            Self::evaluate_parallel(&mut self.cores, &active, self.effective_threads, t)?
         } else {
             let mut fired = Vec::with_capacity(active.len());
             for &idx in &active {
@@ -627,11 +671,13 @@ impl Chip {
         // serial order exactly.
         let spikes: u64 = fired.iter().map(|(_, f)| f.len() as u64).sum();
         let injector = self.injector.as_ref();
-        let batch = if self.config.threads > 1 && fired.len() > 1 && spikes > 1 {
+        let batch = if self.effective_threads > 1 && fired.len() > 1 && spikes > 1 {
             let shards: Vec<RouteBatch> = {
                 let cores = &self.cores;
                 let config = &self.config;
-                let chunk = fired.len().div_ceil(self.config.threads.min(fired.len()));
+                let chunk = fired
+                    .len()
+                    .div_ceil(self.effective_threads.min(fired.len()));
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = fired
                         .chunks(chunk)
@@ -725,6 +771,10 @@ impl Chip {
                 faults,
                 energy,
                 cores: activity,
+                scheduler: SchedulerMeta {
+                    threads_configured: self.config.threads as u32,
+                    threads_effective: self.effective_threads as u32,
+                },
             };
             if let Some(log) = self.telemetry.as_deref_mut() {
                 log.push(record);
@@ -867,6 +917,10 @@ impl Chip {
                 faults,
                 energy,
                 cores: activity,
+                scheduler: SchedulerMeta {
+                    threads_configured: self.config.threads as u32,
+                    threads_effective: self.effective_threads as u32,
+                },
             };
             if let Some(log) = self.telemetry.as_deref_mut() {
                 log.push(record);
@@ -1519,6 +1573,32 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, run(4));
         assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn scheduler_meta_records_host_clamped_thread_count() {
+        use brainsim_telemetry::TelemetryConfig;
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // An absurdly oversubscribed config must clamp to the host.
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 4096);
+        assert_eq!(chip.effective_threads(), 4096.min(host));
+        chip.enable_telemetry(TelemetryConfig::unbounded());
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.tick();
+        let log = chip.telemetry().expect("telemetry enabled");
+        let record = log.records().next().expect("one record");
+        assert_eq!(record.scheduler.threads_configured, 4096);
+        assert_eq!(record.scheduler.threads_effective as usize, 4096.min(host));
+        // The relaxed path annotates too.
+        let mut relaxed = relay_chain(2, TickSemantics::Relaxed, 1);
+        relaxed.enable_telemetry(TelemetryConfig::unbounded());
+        relaxed.tick();
+        let log = relaxed.telemetry().expect("telemetry enabled");
+        let record = log.records().next().expect("one record");
+        assert_eq!(record.scheduler.threads_configured, 1);
+        assert_eq!(record.scheduler.threads_effective, 1);
     }
 
     #[test]

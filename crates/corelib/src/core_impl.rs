@@ -3,25 +3,34 @@
 use std::fmt;
 
 use brainsim_faults::{FaultInjector, FaultStats, NeuronFault, StuckAt};
-use brainsim_neuron::{AxonType, Lfsr, Neuron, NeuronConfig};
+use brainsim_neuron::{
+    deterministic_quiescent, deterministic_scan_uniform, deterministic_tick, AxonType,
+    DeterministicParams, Lfsr, Neuron, NeuronConfig, SCAN_FIRED, SCAN_UNSETTLED,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::crossbar::Crossbar;
 use crate::scheduler::{bitmap_indices, Scheduler, SCHEDULER_SLOTS};
 use crate::spike::{DeliverError, Destination};
+use crate::swar::SwarKernel;
+
+/// Compile-time kill switch for the word-parallel paths (the `force-scalar`
+/// feature): [`EvalStrategy::Swar`] then evaluates through the scalar
+/// sparse code and the struct-of-arrays fast path never engages, so CI can
+/// run the whole differential matrix against the reference implementation.
+const FORCE_SCALAR: bool = cfg!(feature = "force-scalar");
 
 /// How the per-tick synaptic integration is computed.
 ///
-/// Both strategies implement the same canonical semantics — *per neuron, in
+/// All strategies implement the same canonical semantics — *per neuron, in
 /// axon-type order, integrate the number of active connected axons of that
 /// type* — and therefore produce bit-identical results, including in
 /// stochastic modes (the LFSR draw order is part of the canonical
-/// semantics). The event-driven sparse path is uniformly faster in this
-/// implementation (its cost follows actual synaptic events, while the
-/// dense column scan pays per axon×neuron pair regardless of density — see
-/// the `core_eval` benchmark); [`EvalStrategy::Dense`] is kept as an
-/// independent, obviously-correct reference whose bit-exact agreement with
-/// the sparse path is itself a verification artifact.
+/// semantics). The word-parallel default is uniformly fastest (see the
+/// `chip_tick` benchmark baseline); [`EvalStrategy::Dense`] and
+/// [`EvalStrategy::Sparse`] are kept as independent, obviously-correct
+/// references whose bit-exact agreement with the SWAR path is itself a
+/// verification artifact.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EvalStrategy {
     /// Column-oriented: for every neuron, scan the active axons and test
@@ -31,8 +40,15 @@ pub enum EvalStrategy {
     /// Row-oriented (event-driven): for every active axon, scan its crossbar
     /// row and bump per-neuron type counters. Cost proportional to the
     /// number of actual synaptic events.
-    #[default]
     Sparse,
+    /// Word-parallel (bit-sliced SWAR): active crossbar rows are combined
+    /// 64 neurons per word operation through per-type carry-save counter
+    /// planes ([`crate::SwarKernel`]), and cores whose neurons are all
+    /// deterministic additionally integrate membrane potentials through a
+    /// flat struct-of-arrays fast path that bypasses the per-neuron object
+    /// walk entirely.
+    #[default]
+    Swar,
 }
 
 /// Cumulative event counts for one core, the raw input to the energy model.
@@ -78,6 +94,38 @@ struct CoreFaults {
     /// Structural fault counts (sites disabled at apply time), re-seeded
     /// into the statistics on reset so they survive [`NeurosynapticCore::reset`].
     structural: FaultStats,
+}
+
+/// Struct-of-arrays state for the deterministic neuron fast path.
+///
+/// Built once at construction time when — and only when — every neuron in
+/// the core passes [`NeuronConfig::is_deterministic`]. While the core runs
+/// under [`EvalStrategy::Swar`], `potentials` is the authoritative membrane
+/// state and phase 2 is a flat loop over `(params, potentials, counts)`
+/// with no LFSR access; on any transition away from the fast path the
+/// potentials are written back into the scalar neurons.
+#[derive(Debug, Clone)]
+struct SoaFastPath {
+    /// Flattened per-neuron parameter blocks, index-aligned with the
+    /// core's neuron array.
+    params: Vec<DeterministicParams>,
+    /// Flat membrane potentials, authoritative while the fast path is live.
+    potentials: Vec<i32>,
+    /// True when every neuron shares one scan-safe parameter block: phase 2
+    /// then runs the vectorised population scan over `counts`/`flags`
+    /// instead of the per-neuron walk. Cores are overwhelmingly programmed
+    /// this way (a handful of neuron types per core), so this is the hot
+    /// configuration.
+    uniform: bool,
+    /// Type-major planar event counters (`counts[ty*n + neuron]`), the
+    /// unit-stride layout [`deterministic_scan_uniform`] consumes. `u16`
+    /// lanes are exact (a count is bounded by the axon count ≤ 256) and
+    /// halve the scan's memory traffic. Used only on the uniform path;
+    /// heterogeneous cores share the core's interleaved block instead.
+    counts: Vec<u16>,
+    /// Per-neuron outcome bytes from the scan ([`SCAN_FIRED`] /
+    /// [`SCAN_UNSETTLED`]).
+    flags: Vec<u8>,
 }
 
 /// Error from [`CoreBuilder`] configuration calls.
@@ -201,6 +249,33 @@ impl CoreBuilder {
         // A freshly built core rests at V = 0 everywhere; it is settled from
         // tick 0 iff every neuron is a zero-input fixed point there.
         let settled = neurons.iter().all(Neuron::is_quiescent);
+        // Fast-path eligibility is decided once, here: a single stochastic
+        // neuron anywhere in the core keeps the whole core on the scalar
+        // phase-2 walk (the LFSR draw order is global to the core).
+        let soa = self
+            .configs
+            .iter()
+            .map(NeuronConfig::deterministic_params)
+            .collect::<Option<Vec<_>>>()
+            .map(|params| {
+                let uniform =
+                    params[0].scan_safe() && params.windows(2).all(|pair| pair[0] == pair[1]);
+                Box::new(SoaFastPath {
+                    params,
+                    potentials: vec![0; self.neurons],
+                    uniform,
+                    counts: if uniform {
+                        vec![0; self.neurons * 4]
+                    } else {
+                        Vec::new()
+                    },
+                    flags: if uniform {
+                        vec![0; self.neurons]
+                    } else {
+                        Vec::new()
+                    },
+                })
+            });
         NeurosynapticCore {
             axon_types: self.axon_types.clone(),
             crossbar: self.crossbar.clone(),
@@ -212,6 +287,9 @@ impl CoreBuilder {
             now: 0,
             stats: CoreStats::default(),
             counts: vec![0u32; self.neurons * 4],
+            kernel: SwarKernel::new(self.neurons),
+            bitmap: vec![0u64; self.axons.div_ceil(64)],
+            soa,
             faults: None,
             settled,
         }
@@ -230,8 +308,17 @@ pub struct NeurosynapticCore {
     strategy: EvalStrategy,
     now: u64,
     stats: CoreStats,
-    /// Reusable per-neuron × type event counters (sparse path scratch).
+    /// Reusable per-neuron × type event counters (sparse/SWAR path scratch).
     counts: Vec<u32>,
+    /// Bit-sliced counter scratch for the word-parallel phase-1 path.
+    kernel: SwarKernel,
+    /// Reusable scratch for the tick's due-axon bitmap (avoids one
+    /// allocation per core per tick on the scheduler take).
+    bitmap: Vec<u64>,
+    /// Struct-of-arrays fast-path state; present iff every neuron is
+    /// deterministic and no fault plan has vetoed it. Authoritative for the
+    /// membrane potentials only while [`NeurosynapticCore::soa_live`].
+    soa: Option<Box<SoaFastPath>>,
     /// Injected fault state; `None` (the overwhelmingly common case) keeps
     /// the healthy tick path branch-free beyond one pointer test.
     faults: Option<Box<CoreFaults>>,
@@ -273,6 +360,11 @@ impl NeurosynapticCore {
 
     /// The membrane potential of a neuron (for tracing and tests).
     pub fn potential(&self, neuron: usize) -> i32 {
+        if self.soa_live() {
+            if let Some(soa) = self.soa.as_deref() {
+                return soa.potentials[neuron];
+            }
+        }
         self.neurons[neuron].potential()
     }
 
@@ -281,9 +373,51 @@ impl NeurosynapticCore {
         &self.stats
     }
 
+    /// Whether the struct-of-arrays fast path currently owns the membrane
+    /// potentials: the core is eligible (and un-vetoed), the strategy is
+    /// word-parallel, and the scalar override feature is off.
+    #[inline]
+    fn soa_live(&self) -> bool {
+        !FORCE_SCALAR && self.soa.is_some() && self.strategy == EvalStrategy::Swar
+    }
+
+    /// Tears the fast path down for good (fault veto), migrating the
+    /// authoritative potentials back into the scalar neurons first.
+    fn retire_fast_path(&mut self) {
+        if self.soa_live() {
+            if let Some(soa) = self.soa.as_deref() {
+                for (neuron, &v) in self.neurons.iter_mut().zip(&soa.potentials) {
+                    neuron.set_potential(v);
+                }
+            }
+        }
+        self.soa = None;
+    }
+
     /// Switches the evaluation strategy at a tick boundary.
+    ///
+    /// Membrane-potential authority moves with the strategy: switching the
+    /// fast path in loads the scalar potentials into the flat array,
+    /// switching it out writes them back, so mid-run strategy changes stay
+    /// bit-identical to an uninterrupted run.
     pub fn set_strategy(&mut self, strategy: EvalStrategy) {
+        let was_live = self.soa_live();
         self.strategy = strategy;
+        let is_live = self.soa_live();
+        if was_live == is_live {
+            return;
+        }
+        if let Some(soa) = self.soa.as_deref_mut() {
+            if is_live {
+                for (slot, neuron) in soa.potentials.iter_mut().zip(&self.neurons) {
+                    *slot = neuron.potential();
+                }
+            } else {
+                for (neuron, &v) in self.neurons.iter_mut().zip(&soa.potentials) {
+                    neuron.set_potential(v);
+                }
+            }
+        }
     }
 
     /// The current evaluation strategy.
@@ -414,7 +548,16 @@ impl NeurosynapticCore {
         }
         self.stats.faults.merge(&faults.structural);
         if !faults.structural.is_empty() {
+            // Dead and stuck-firing neurons mutate per-neuron firing state
+            // outside the pure update function; such a core permanently
+            // falls back to the scalar phase-2 walk. Crossbar stuck-at
+            // cells are already burned into the bits the kernel reads, and
+            // whole-core dropout never reaches phase 2, so neither vetoes.
+            let veto = faults.structural.neurons_dead > 0 || !faults.stuck.is_empty();
             self.faults = Some(Box::new(faults));
+            if veto {
+                self.retire_fast_path();
+            }
         }
     }
 
@@ -438,6 +581,43 @@ impl NeurosynapticCore {
         Ok(())
     }
 
+    /// Schedules an event for every set bit of `bits` — axons `word*64 + b`
+    /// — at `target_tick`: the burst form of
+    /// [`NeurosynapticCore::deliver`]. Equivalent to one `deliver` per set
+    /// bit (scheduling is an idempotent bitmap OR, so order is immaterial)
+    /// at a fraction of the per-event cost.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeliverError::NoSuchAxon`] if a set bit addresses past the axon
+    ///   count (no event is scheduled).
+    /// * [`DeliverError::DelayTooLong`] as for `deliver`.
+    pub fn deliver_word(
+        &mut self,
+        word: usize,
+        bits: u64,
+        target_tick: u64,
+    ) -> Result<(), DeliverError> {
+        let axons = self.axons();
+        if word * 64 >= axons {
+            return Err(DeliverError::NoSuchAxon(word * 64));
+        }
+        let lanes = (axons - word * 64).min(64);
+        if lanes < 64 && bits >> lanes != 0 {
+            let first_bad = word * 64 + (bits >> lanes).trailing_zeros() as usize + lanes;
+            return Err(DeliverError::NoSuchAxon(first_bad));
+        }
+        if target_tick < self.now || target_tick >= self.now + SCHEDULER_SLOTS as u64 {
+            return Err(DeliverError::DelayTooLong(
+                target_tick.saturating_sub(self.now),
+            ));
+        }
+        if bits != 0 {
+            self.scheduler.schedule_word(word, bits, target_tick);
+        }
+        Ok(())
+    }
+
     /// Evaluates one tick and returns the indices of the neurons that fired.
     ///
     /// `tick` must equal the core's cursor — the chip's global barrier keeps
@@ -449,7 +629,7 @@ impl NeurosynapticCore {
     /// Panics if `tick != self.now()`.
     pub fn tick(&mut self, tick: u64) -> Vec<u16> {
         assert_eq!(tick, self.now, "core evaluated out of tick order");
-        let bitmap = self.scheduler.take(tick);
+        self.scheduler.take_into(tick, &mut self.bitmap);
 
         if self.is_dropped() {
             // A dropped core still consumes its scheduled events (the
@@ -459,13 +639,28 @@ impl NeurosynapticCore {
             return Vec::new();
         }
 
-        // Phase 1: synaptic integration into per-neuron type counters.
-        self.counts.fill(0);
+        // The scalar override resolves once per tick: under `force-scalar`
+        // the word-parallel strategy evaluates through the (equivalent)
+        // sparse reference path and the fast path below never engages.
+        let strategy = if FORCE_SCALAR && self.strategy == EvalStrategy::Swar {
+            EvalStrategy::Sparse
+        } else {
+            self.strategy
+        };
+
+        // Phase 1: synaptic integration into per-neuron type counters. The
+        // uniform fast path keeps its own planar counter block, so the
+        // interleaved scratch is only cleared when a path will read it.
+        let uniform_fast =
+            strategy == EvalStrategy::Swar && self.soa.as_deref().is_some_and(|soa| soa.uniform);
+        if !uniform_fast {
+            self.counts.fill(0);
+        }
         let mut axon_events = 0u64;
         let mut synaptic_events = 0u64;
-        match self.strategy {
+        match strategy {
             EvalStrategy::Sparse => {
-                for axon in bitmap_indices(&bitmap) {
+                for axon in bitmap_indices(&self.bitmap) {
                     axon_events += 1;
                     let ty = self.axon_types[axon].index();
                     for neuron in self.crossbar.row_neurons(axon) {
@@ -475,7 +670,7 @@ impl NeurosynapticCore {
                 }
             }
             EvalStrategy::Dense => {
-                let active: Vec<(usize, usize)> = bitmap_indices(&bitmap)
+                let active: Vec<(usize, usize)> = bitmap_indices(&self.bitmap)
                     .map(|axon| (axon, self.axon_types[axon].index()))
                     .collect();
                 axon_events = active.len() as u64;
@@ -488,27 +683,119 @@ impl NeurosynapticCore {
                     }
                 }
             }
+            EvalStrategy::Swar => {
+                // Word-parallel: each active row folds into the bit-sliced
+                // counter planes 64 neurons at a time, and the census
+                // charges the row's cached popcount — the same per-event
+                // total the scalar paths count one bit at a time.
+                for axon in bitmap_indices(&self.bitmap) {
+                    axon_events += 1;
+                    synaptic_events += u64::from(self.crossbar.row_popcount(axon));
+                    self.kernel.accumulate_row(
+                        self.axon_types[axon].index(),
+                        self.crossbar.row_words(axon),
+                    );
+                }
+                match self.soa.as_deref_mut() {
+                    Some(soa) if soa.uniform => {
+                        soa.counts.fill(0);
+                        self.kernel.flush_planar(&mut soa.counts);
+                    }
+                    _ => self.kernel.flush_into(&mut self.counts),
+                }
+            }
         }
 
         // Phase 2: canonical neuron update order — neuron-major, type-major.
         let mut fired = Vec::new();
-        for (index, neuron) in self.neurons.iter_mut().enumerate() {
-            for ty in AxonType::ALL {
-                let count = self.counts[index * 4 + ty.index()];
-                neuron.integrate_count(ty, count, &mut self.rng);
+        match self.soa.as_deref_mut() {
+            Some(soa) if strategy == EvalStrategy::Swar && soa.uniform => {
+                // Uniform fast path: one shared scan-safe parameter block,
+                // so the whole population updates through the vectorised
+                // branch-free scan (bit-identical to the per-neuron walk by
+                // the `deterministic_scan_uniform` contract).
+                deterministic_scan_uniform(
+                    &soa.params[0],
+                    &mut soa.potentials,
+                    &soa.counts,
+                    &mut soa.flags,
+                );
+                // Harvest the flag bytes eight at a time: firing is rare
+                // (the common word has no fired bytes), so one u64 test
+                // replaces eight byte branches, and the fired loop only
+                // spins on the exact set bits.
+                let fired_lanes = u64::from_ne_bytes([SCAN_FIRED; 8]);
+                let unsettled_lanes = u64::from_ne_bytes([SCAN_UNSETTLED; 8]);
+                let mut unsettled = false;
+                let words = soa.flags.chunks_exact(8);
+                let tail = words.remainder();
+                for (w, chunk) in words.enumerate() {
+                    let lanes = u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
+                    unsettled |= lanes & unsettled_lanes != 0;
+                    let mut hits = lanes & fired_lanes;
+                    while hits != 0 {
+                        let lane = hits.trailing_zeros() as usize / 8;
+                        hits &= hits - 1;
+                        fired.push((w * 8 + lane) as u16);
+                    }
+                }
+                let base = soa.flags.len() - tail.len();
+                for (index, &flag) in tail.iter().enumerate() {
+                    if flag & SCAN_FIRED != 0 {
+                        fired.push((base + index) as u16);
+                    }
+                    unsettled |= flag & SCAN_UNSETTLED != 0;
+                }
+                self.settled = axon_events == 0 && fired.is_empty() && !unsettled;
             }
-            if neuron.finish_tick(&mut self.rng).fired() {
-                fired.push(index as u16);
+            Some(soa) if strategy == EvalStrategy::Swar => {
+                // Deterministic fast path: flat arrays, no LFSR, and the
+                // fixed-point test comes from the same pure parameter
+                // blocks. Bit-identical to the scalar walk by the
+                // `deterministic_tick` contract.
+                for (index, ((p, v), counts)) in soa
+                    .params
+                    .iter()
+                    .zip(soa.potentials.iter_mut())
+                    .zip(self.counts.chunks_exact(4))
+                    .enumerate()
+                {
+                    let counts = [counts[0], counts[1], counts[2], counts[3]];
+                    let (next, fired_now) = deterministic_tick(p, *v, &counts);
+                    *v = next;
+                    if fired_now {
+                        fired.push(index as u16);
+                    }
+                }
+                self.settled = axon_events == 0
+                    && fired.is_empty()
+                    && soa
+                        .params
+                        .iter()
+                        .zip(&soa.potentials)
+                        .all(|(p, &v)| deterministic_quiescent(p, v));
+            }
+            _ => {
+                for (index, neuron) in self.neurons.iter_mut().enumerate() {
+                    for ty in AxonType::ALL {
+                        let count = self.counts[index * 4 + ty.index()];
+                        neuron.integrate_count(ty, count, &mut self.rng);
+                    }
+                    if neuron.finish_tick(&mut self.rng).fired() {
+                        fired.push(index as u16);
+                    }
+                }
+                // Fixed-point detection for the active-core scheduler: an
+                // idle tick (no events, no natural spikes) whose neurons are
+                // all individually quiescent proves that every further
+                // zero-input tick is a no-op. The per-neuron scan only runs
+                // on idle ticks — exactly the ticks the quiescence skip then
+                // eliminates.
+                self.settled = axon_events == 0
+                    && fired.is_empty()
+                    && self.neurons.iter().all(Neuron::is_quiescent);
             }
         }
-
-        // Fixed-point detection for the active-core scheduler: an idle tick
-        // (no events, no natural spikes) whose neurons are all individually
-        // quiescent proves that every further zero-input tick is a no-op.
-        // The per-neuron scan only runs on idle ticks — exactly the ticks the
-        // quiescence skip then eliminates.
-        self.settled =
-            axon_events == 0 && fired.is_empty() && self.neurons.iter().all(Neuron::is_quiescent);
 
         if let Some(faults) = self.faults.as_deref() {
             if faults.structural.neurons_dead > 0 {
@@ -554,6 +841,9 @@ impl NeurosynapticCore {
     pub fn reset(&mut self) {
         for neuron in &mut self.neurons {
             neuron.reset_state();
+        }
+        if let Some(soa) = self.soa.as_deref_mut() {
+            soa.potentials.fill(0);
         }
         self.scheduler = Scheduler::new(self.axons());
         self.now = 0;
@@ -614,6 +904,43 @@ mod tests {
             core.deliver(0, 0),
             Err(DeliverError::DelayTooLong(_))
         ));
+    }
+
+    #[test]
+    fn deliver_word_matches_per_axon_deliver() {
+        let mut per_axon = one_to_one_core(8, EvalStrategy::Sparse);
+        let mut burst = one_to_one_core(8, EvalStrategy::Sparse);
+        let bits = 0b1010_0110u64;
+        for b in 0..8 {
+            if bits & (1 << b) != 0 {
+                per_axon.deliver(b as usize, 2).unwrap();
+            }
+        }
+        burst.deliver_word(0, bits, 2).unwrap();
+        for t in 0..4 {
+            assert_eq!(per_axon.tick(t), burst.tick(t), "tick {t}");
+        }
+    }
+
+    #[test]
+    fn deliver_word_validation() {
+        let mut core = one_to_one_core(4, EvalStrategy::Sparse);
+        // Bit 4 addresses past the 4-axon core.
+        assert_eq!(
+            core.deliver_word(0, 0b1_0001, 0),
+            Err(DeliverError::NoSuchAxon(4))
+        );
+        assert_eq!(
+            core.deliver_word(1, 1, 0),
+            Err(DeliverError::NoSuchAxon(64))
+        );
+        assert_eq!(
+            core.deliver_word(0, 1, 16),
+            Err(DeliverError::DelayTooLong(16))
+        );
+        // An all-zero word inside the window is a cheap no-op.
+        core.deliver_word(0, 0, 0).unwrap();
+        assert_eq!(core.pending_events(), 0);
     }
 
     #[test]
@@ -709,6 +1036,246 @@ mod tests {
                 }
             }
             assert_eq!(dense.tick(t), sparse.tick(t), "tick {t}");
+        }
+    }
+
+    /// Drives two cores with the same spike pattern and asserts identical
+    /// rasters, stats and potentials tick by tick.
+    fn assert_cores_agree(a: &mut NeurosynapticCore, b: &mut NeurosynapticCore, ticks: u64) {
+        for t in 0..ticks {
+            for axon in 0..a.axons() {
+                if (axon + t as usize).is_multiple_of(3) {
+                    a.deliver(axon, t).unwrap();
+                    b.deliver(axon, t).unwrap();
+                }
+            }
+            assert_eq!(a.tick(t), b.tick(t), "tick {t}");
+        }
+        assert_eq!(a.stats(), b.stats());
+        for n in 0..a.neurons() {
+            assert_eq!(a.potential(n), b.potential(n), "neuron {n}");
+        }
+    }
+
+    #[test]
+    fn swar_agrees_with_scalar_strategies_deterministic() {
+        for reference in [EvalStrategy::Dense, EvalStrategy::Sparse] {
+            let mut swar = one_to_one_core(32, EvalStrategy::Swar);
+            let mut scalar = one_to_one_core(32, reference);
+            assert!(swar.soa.is_some(), "relay cores are fast-path eligible");
+            assert_cores_agree(&mut swar, &mut scalar, 20);
+        }
+    }
+
+    #[test]
+    fn swar_heterogeneous_deterministic_core_takes_per_neuron_path() {
+        // Deterministic but *non-uniform* parameters (thresholds vary per
+        // neuron): SoA-eligible, yet the vectorised population scan must
+        // stand down in favour of the per-neuron walk — and still agree
+        // with the scalar reference bit for bit.
+        let build = |strategy| {
+            let mut b = CoreBuilder::new(24, 24);
+            for i in 0..24 {
+                let config = NeuronConfig::builder()
+                    .weight(AxonType::A0, Weight::saturating(3))
+                    .weight(AxonType::A2, Weight::saturating(-2))
+                    .threshold(5 + (i as u32 % 7))
+                    .leak(-(i as i32 % 3))
+                    .leak_reversal(i % 2 == 0)
+                    .build()
+                    .unwrap();
+                b.neuron(i, config, Destination::Disabled).unwrap();
+                for a in 0..24 {
+                    b.axon_type(a, AxonType::from_index(a % 4).unwrap())
+                        .unwrap();
+                    b.synapse(a, i, (a * 7 + i * 3) % 4 == 0).unwrap();
+                }
+            }
+            b.strategy(strategy);
+            b.build()
+        };
+        let mut swar = build(EvalStrategy::Swar);
+        let soa = swar.soa.as_deref().expect("deterministic core is eligible");
+        assert!(!soa.uniform, "heterogeneous params must not claim the scan");
+        let mut sparse = build(EvalStrategy::Sparse);
+        assert_cores_agree(&mut swar, &mut sparse, 40);
+    }
+
+    #[test]
+    fn swar_agrees_with_scalar_on_stochastic_core() {
+        // A single stochastic neuron disqualifies the SoA fast path, but the
+        // word-parallel phase 1 must still reproduce the exact LFSR draw
+        // sequence of the scalar paths.
+        let build = |strategy| {
+            let mut b = CoreBuilder::new(16, 16);
+            let stochastic = NeuronConfig::builder()
+                .weight(AxonType::A0, Weight::saturating(128))
+                .stochastic_synapse(AxonType::A0, true)
+                .threshold(2)
+                .threshold_mask_bits(2)
+                .build()
+                .unwrap();
+            for i in 0..16 {
+                b.neuron(i, stochastic.clone(), Destination::Disabled)
+                    .unwrap();
+                for a in 0..16 {
+                    b.synapse(a, i, (a + i) % 2 == 0).unwrap();
+                }
+            }
+            b.seed(0xABCD).strategy(strategy);
+            b.build()
+        };
+        let mut swar = build(EvalStrategy::Swar);
+        assert!(swar.soa.is_none(), "stochastic cores are not eligible");
+        let mut sparse = build(EvalStrategy::Sparse);
+        assert_cores_agree(&mut swar, &mut sparse, 50);
+    }
+
+    #[test]
+    fn swar_fast_path_handles_leaky_ragged_core() {
+        // 70 neurons (ragged last word) with leak, reversal and a negative
+        // floor: long-running potentials must match the scalar walk exactly.
+        let build = |strategy| {
+            let mut b = CoreBuilder::new(70, 70);
+            let config = NeuronConfig::builder()
+                .weight(AxonType::A0, Weight::saturating(5))
+                .weight(AxonType::A1, Weight::saturating(-3))
+                .threshold(17)
+                .leak(-1)
+                .leak_reversal(true)
+                .negative_threshold(9)
+                .build()
+                .unwrap();
+            for a in 0..70 {
+                b.axon_type(
+                    a,
+                    if a % 2 == 0 {
+                        AxonType::A0
+                    } else {
+                        AxonType::A1
+                    },
+                )
+                .unwrap();
+                for n in 0..70 {
+                    b.synapse(a, n, (a * 7 + n) % 5 == 0).unwrap();
+                }
+            }
+            for n in 0..70 {
+                b.neuron(n, config.clone(), Destination::Disabled).unwrap();
+            }
+            b.strategy(strategy);
+            b.build()
+        };
+        let mut swar = build(EvalStrategy::Swar);
+        let mut sparse = build(EvalStrategy::Sparse);
+        assert_cores_agree(&mut swar, &mut sparse, 60);
+    }
+
+    #[test]
+    fn strategy_switch_carries_potentials_both_ways() {
+        // Accumulate potential on the fast path, switch to the scalar path
+        // mid-run, then back; the trajectory must match a core that never
+        // switched.
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(3))
+            .threshold(100)
+            .build()
+            .unwrap();
+        let build = || {
+            let mut b = CoreBuilder::new(4, 4);
+            for n in 0..4 {
+                b.neuron(n, config.clone(), Destination::Disabled).unwrap();
+                b.synapse(n, n, true).unwrap();
+            }
+            b.strategy(EvalStrategy::Swar);
+            b.build()
+        };
+        let mut switching = build();
+        let mut straight = build();
+        for t in 0..12u64 {
+            match t {
+                4 => switching.set_strategy(EvalStrategy::Sparse),
+                8 => switching.set_strategy(EvalStrategy::Swar),
+                _ => {}
+            }
+            switching.deliver(1, t).unwrap();
+            straight.deliver(1, t).unwrap();
+            assert_eq!(switching.tick(t), straight.tick(t), "tick {t}");
+            assert_eq!(switching.potential(1), straight.potential(1), "tick {t}");
+        }
+        assert_eq!(switching.potential(1), 36);
+    }
+
+    #[test]
+    fn neuron_faults_retire_fast_path_with_state_intact() {
+        use brainsim_faults::FaultPlan;
+        let mut core = one_to_one_core(8, EvalStrategy::Swar);
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(1))
+            .threshold(50)
+            .build()
+            .unwrap();
+        let mut b = CoreBuilder::new(8, 8);
+        for n in 0..8 {
+            b.neuron(n, config.clone(), Destination::Disabled).unwrap();
+            b.synapse(n, n, true).unwrap();
+        }
+        b.strategy(EvalStrategy::Swar);
+        let mut core2 = b.build();
+        core2.deliver(3, 0).unwrap();
+        core2.tick(0);
+        assert_eq!(core2.potential(3), 1);
+        core2.apply_faults(
+            &FaultInjector::new(&FaultPlan::new(7).with_stuck_neuron(1.0)),
+            0,
+            0,
+        );
+        assert!(core2.soa.is_none(), "neuron faults veto the fast path");
+        assert_eq!(core2.potential(3), 1, "potential migrated on retirement");
+        assert_eq!(core2.tick(1).len(), 8, "stuck mask applies");
+        // Dropout and crossbar stuck-at faults do NOT veto.
+        core.apply_faults(
+            &FaultInjector::new(&FaultPlan::new(9).with_synapse_stuck_zero(0.5)),
+            0,
+            0,
+        );
+        assert!(core.soa.is_some(), "synapse faults burn into the crossbar");
+    }
+
+    #[test]
+    fn swar_quiescence_skip_is_bit_identical() {
+        // Leak-reversal core on the fast path: settled detection must come
+        // from the pure quiescence test and skip_tick must stay equivalent.
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(4))
+            .threshold(3)
+            .leak(-1)
+            .leak_reversal(true)
+            .build()
+            .unwrap();
+        let mut b = CoreBuilder::new(4, 4);
+        for n in 0..4 {
+            b.neuron(n, config.clone(), Destination::Disabled).unwrap();
+            b.synapse(n, n, true).unwrap();
+        }
+        b.strategy(EvalStrategy::Swar);
+        let mut core = b.build();
+        assert!(core.is_quiescent(), "at rest with reversal leak");
+        core.deliver(2, 0).unwrap();
+        core.tick(0); // fires and resets; leak then decays any residue
+        while !core.is_quiescent() {
+            let t = core.now();
+            core.tick(t);
+        }
+        let mut skipped = core.clone();
+        let base = core.now();
+        for t in base..base + 10 {
+            core.tick(t);
+            skipped.skip_tick(t);
+        }
+        assert_eq!(core.stats(), skipped.stats());
+        for n in 0..4 {
+            assert_eq!(core.potential(n), skipped.potential(n));
         }
     }
 

@@ -16,6 +16,13 @@ pub struct Crossbar {
     neurons: usize,
     words_per_row: usize,
     bits: Vec<u64>,
+    /// Per-row set-bit counts, maintained incrementally by
+    /// [`Crossbar::set`]. The SWAR kernel charges `synaptic_events` per
+    /// active axon from these instead of re-popcounting the row, and
+    /// [`Crossbar::synapse_count`] / [`Crossbar::density`] become O(1).
+    row_counts: Vec<u32>,
+    /// Total set bits (the sum of `row_counts`).
+    total: u64,
 }
 
 impl Crossbar {
@@ -35,6 +42,8 @@ impl Crossbar {
             neurons,
             words_per_row,
             bits: vec![0; axons * words_per_row],
+            row_counts: vec![0; axons],
+            total: 0,
         }
     }
 
@@ -60,10 +69,16 @@ impl Crossbar {
         assert!(neuron < self.neurons, "neuron {neuron} out of range");
         let word = axon * self.words_per_row + neuron / 64;
         let mask = 1u64 << (neuron % 64);
-        if connected {
+        // The popcount caches adjust only on an actual flip, so redundant
+        // sets of an already-programmed cell stay idempotent.
+        if connected && self.bits[word] & mask == 0 {
             self.bits[word] |= mask;
-        } else {
+            self.row_counts[axon] += 1;
+            self.total += 1;
+        } else if !connected && self.bits[word] & mask != 0 {
             self.bits[word] &= !mask;
+            self.row_counts[axon] -= 1;
+            self.total -= 1;
         }
     }
 
@@ -95,9 +110,16 @@ impl Crossbar {
             .flat_map(|(wi, &word)| BitIter::new(word).map(move |b| wi * 64 + b))
     }
 
-    /// Number of synapses present.
+    /// Number of synapses on one axon row. O(1) — served from the
+    /// incrementally maintained per-row popcount cache.
+    #[inline]
+    pub fn row_popcount(&self, axon: usize) -> u32 {
+        self.row_counts[axon]
+    }
+
+    /// Number of synapses present. O(1).
     pub fn synapse_count(&self) -> usize {
-        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+        self.total as usize
     }
 
     /// Fraction of possible synapses present.
@@ -174,6 +196,26 @@ mod tests {
         xb.set(9, 69, true);
         assert!(xb.get(9, 69));
         assert_eq!(xb.row_neurons(9).collect::<Vec<_>>(), vec![69]);
+    }
+
+    #[test]
+    fn popcount_caches_track_sets_and_clears() {
+        let mut xb = Crossbar::new(4, 100);
+        xb.set(1, 5, true);
+        xb.set(1, 5, true); // redundant set must not double-count
+        xb.set(1, 70, true);
+        xb.set(2, 0, true);
+        assert_eq!(xb.row_popcount(1), 2);
+        assert_eq!(xb.row_popcount(2), 1);
+        assert_eq!(xb.row_popcount(0), 0);
+        assert_eq!(xb.synapse_count(), 3);
+        xb.set(1, 5, false);
+        xb.set(1, 5, false); // redundant clear likewise
+        assert_eq!(xb.row_popcount(1), 1);
+        assert_eq!(xb.synapse_count(), 2);
+        // The cache must always equal a fresh scan of the packed words.
+        let scan: u32 = xb.row_words(1).iter().map(|w| w.count_ones()).sum();
+        assert_eq!(xb.row_popcount(1), scan);
     }
 
     #[test]

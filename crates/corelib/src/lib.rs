@@ -14,10 +14,14 @@
 //! Evaluation is tick-synchronous: [`NeurosynapticCore::tick`] consumes the
 //! axon events due this tick, integrates them through the crossbar, applies
 //! leak/threshold/reset to every neuron, and returns the spikes produced.
-//! Two evaluation strategies — [`EvalStrategy::Dense`] and
-//! [`EvalStrategy::Sparse`] — are bit-identical by construction (property
+//! Three evaluation strategies — [`EvalStrategy::Dense`],
+//! [`EvalStrategy::Sparse`] and the word-parallel default
+//! [`EvalStrategy::Swar`] (bit-sliced crossbar integration through
+//! [`SwarKernel`], plus a struct-of-arrays fast path for fully
+//! deterministic cores) — are bit-identical by construction (property
 //! tested), mirroring the one-to-one equivalence between the silicon and
-//! its simulator.
+//! its simulator. The `force-scalar` feature pins the word-parallel
+//! strategy to the scalar reference path for differential CI runs.
 //!
 //! ## Example
 //!
@@ -51,11 +55,13 @@ mod core_impl;
 mod crossbar;
 mod scheduler;
 mod spike;
+mod swar;
 
 pub use core_impl::{CoreBuildError, CoreBuilder, CoreStats, EvalStrategy, NeurosynapticCore};
 pub use crossbar::Crossbar;
 pub use scheduler::{Scheduler, SCHEDULER_SLOTS};
 pub use spike::{AxonTarget, CoreOffset, DeliverError, Destination};
+pub use swar::SwarKernel;
 
 // Re-export for downstream convenience: the core's axon/neuron vocabulary
 // and the fault-injection vocabulary accepted by `apply_faults`.

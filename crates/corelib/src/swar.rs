@@ -1,0 +1,288 @@
+//! Word-parallel (bit-sliced SWAR) synaptic integration.
+//!
+//! The crossbar already stores each axon row as packed `u64` words, so
+//! counting, per neuron, how many active axons of each type drive it is a
+//! bit-matrix column-count problem. This kernel solves it with bit-sliced
+//! binary counters: per axon type it keeps a stack of *bit planes*, where
+//! plane `k` holds bit `k` of every neuron's running count (64 neurons per
+//! word). Adding an active row is a carry-save ripple insertion —
+//!
+//! ```text
+//! sum   = plane[k] ^ carry
+//! carry = plane[k] & carry
+//! ```
+//!
+//! — which terminates as soon as the carry word empties, so inserting one
+//! row costs `O(words_per_row)` word operations amortised (the carry chain
+//! beyond plane 0 is geometrically rare), against the
+//! `O(set bits in the row)` per-bit cost of the scalar event-driven loop.
+//! Extraction scatters each plane's set bits back into the per-neuron
+//! counters with weight `2^k`, touching only planes that were actually
+//! reached.
+//!
+//! The kernel computes *exact* counts, so it composes with every neuron
+//! mode: stochastic cores still consume the canonical per-event LFSR draws
+//! from the counts, and the census charges `synaptic_events` from the
+//! crossbar's cached row popcounts — bit-identical to per-event counting.
+
+/// Number of axon types (the plane stacks are per-type).
+const TYPES: usize = 4;
+
+/// Reusable bit-sliced counter scratch for one core's synaptic
+/// integration. One kernel instance belongs to one core and is reused
+/// every tick; planes grow to the high-water depth once and are cleared
+/// (not freed) by [`SwarKernel::flush_into`].
+#[derive(Debug, Clone)]
+pub struct SwarKernel {
+    /// Words per crossbar row (`neurons.div_ceil(64)`).
+    words: usize,
+    /// Per-type bit-plane stacks, each a plane-major `[depth × words]`
+    /// array: plane `k` of type `t` is `planes[t][k*words..(k+1)*words]`.
+    planes: [Vec<u64>; TYPES],
+}
+
+impl SwarKernel {
+    /// A kernel for rows of `neurons` columns.
+    pub fn new(neurons: usize) -> SwarKernel {
+        SwarKernel {
+            words: neurons.div_ceil(64),
+            planes: Default::default(),
+        }
+    }
+
+    /// Adds one active axon row (its packed crossbar words) to the counter
+    /// stack of axon type `ty`.
+    ///
+    /// Bits beyond the neuron count must be zero — the crossbar's packing
+    /// guarantees this for its rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not exactly `words_per_row` long or `ty` is not
+    /// a valid axon-type index.
+    #[inline]
+    pub fn accumulate_row(&mut self, ty: usize, row: &[u64]) {
+        assert_eq!(row.len(), self.words, "row width mismatch");
+        let planes = &mut self.planes[ty];
+        for (w, &bits) in row.iter().enumerate() {
+            let mut carry = bits;
+            let mut k = 0;
+            while carry != 0 {
+                let idx = k * self.words + w;
+                if idx >= planes.len() {
+                    // First time any counter reaches 2^k: open plane k.
+                    planes.resize((k + 1) * self.words, 0);
+                }
+                let sum = planes[idx] ^ carry;
+                carry &= planes[idx];
+                planes[idx] = sum;
+                k += 1;
+            }
+        }
+    }
+
+    /// Scatters the accumulated per-neuron counts into `counts` (layout
+    /// `counts[neuron * 4 + ty]`, the core's phase-2 counter block) and
+    /// clears the planes for the next tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set plane bit addresses a neuron outside `counts` (only
+    /// possible when a row violated the zero-tail-bits contract).
+    pub fn flush_into(&mut self, counts: &mut [u32]) {
+        for (ty, planes) in self.planes.iter_mut().enumerate() {
+            for (k, plane) in planes.chunks_exact_mut(self.words).enumerate() {
+                let weight = 1u32 << k;
+                for (w, word) in plane.iter_mut().enumerate() {
+                    let mut bits = std::mem::take(word);
+                    while bits != 0 {
+                        let neuron = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        counts[neuron * TYPES + ty] += weight;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`SwarKernel::flush_into`], but scattering into a *type-major
+    /// planar* counter block: plane `ty` is `counts[ty*n..(ty+1)*n]` with
+    /// `n = counts.len() / 4` neurons — the layout the uniform-core
+    /// vectorised scan consumes with unit stride. The `u16` lanes are
+    /// exact: a per-type count is bounded by the core's axon count (≤ 256).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` is not a multiple of 4, or if a set plane
+    /// bit addresses a neuron outside a plane (only possible when a row
+    /// violated the zero-tail-bits contract).
+    pub fn flush_planar(&mut self, counts: &mut [u16]) {
+        assert!(
+            counts.len().is_multiple_of(TYPES),
+            "planar counts must hold 4 planes"
+        );
+        let neurons = counts.len() / TYPES;
+        for (ty, planes) in self.planes.iter_mut().enumerate() {
+            let base = ty * neurons;
+            for (k, plane) in planes.chunks_exact_mut(self.words).enumerate() {
+                let weight = 1u16 << k;
+                for (w, word) in plane.iter_mut().enumerate() {
+                    let mut bits = std::mem::take(word);
+                    while bits != 0 {
+                        let neuron = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        counts[base + neuron] += weight;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::Crossbar;
+
+    /// Scalar reference: per-bit row walk, identical to the sparse path.
+    fn scalar_counts(xb: &Crossbar, types: &[usize], active: &[usize]) -> Vec<u32> {
+        let mut counts = vec![0u32; xb.neurons() * TYPES];
+        for &axon in active {
+            for neuron in xb.row_neurons(axon) {
+                counts[neuron * TYPES + types[axon]] += 1;
+            }
+        }
+        counts
+    }
+
+    fn swar_counts(xb: &Crossbar, types: &[usize], active: &[usize]) -> Vec<u32> {
+        let mut kernel = SwarKernel::new(xb.neurons());
+        let mut counts = vec![0u32; xb.neurons() * TYPES];
+        for &axon in active {
+            kernel.accumulate_row(types[axon], xb.row_words(axon));
+        }
+        kernel.flush_into(&mut counts);
+        counts
+    }
+
+    #[test]
+    fn matches_scalar_on_dense_full_core() {
+        let mut xb = Crossbar::new(256, 256);
+        let mut state = 0x1234_5678u32;
+        let types: Vec<usize> = (0..256).map(|a| a % TYPES).collect();
+        for a in 0..256 {
+            for n in 0..256 {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                if state & 3 == 0 {
+                    xb.set(a, n, true);
+                }
+            }
+        }
+        let all: Vec<usize> = (0..256).collect();
+        assert_eq!(
+            swar_counts(&xb, &types, &all),
+            scalar_counts(&xb, &types, &all)
+        );
+    }
+
+    #[test]
+    fn matches_scalar_on_ragged_width() {
+        // 70 neurons: a full word plus a 6-bit tail.
+        let mut xb = Crossbar::new(10, 70);
+        let types: Vec<usize> = (0..10).map(|a| (a * 3) % TYPES).collect();
+        for a in 0..10 {
+            for n in 0..70 {
+                if (a + n) % 3 == 0 {
+                    xb.set(a, n, true);
+                }
+            }
+        }
+        let active = [0, 3, 4, 7, 9];
+        assert_eq!(
+            swar_counts(&xb, &types, &active),
+            scalar_counts(&xb, &types, &active)
+        );
+    }
+
+    #[test]
+    fn carry_chain_counts_past_plane_boundaries() {
+        // 64 identical rows driving one neuron of one type: the counter
+        // must ripple through planes 0..=5 and read back exactly 64.
+        let mut xb = Crossbar::new(64, 8);
+        for a in 0..64 {
+            xb.set(a, 5, true);
+        }
+        let types = vec![2usize; 64];
+        let all: Vec<usize> = (0..64).collect();
+        let counts = swar_counts(&xb, &types, &all);
+        assert_eq!(counts[5 * TYPES + 2], 64);
+        assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn kernel_state_clears_between_ticks() {
+        let mut xb = Crossbar::new(4, 100);
+        xb.set(0, 99, true);
+        xb.set(1, 0, true);
+        let mut kernel = SwarKernel::new(100);
+        let mut counts = vec![0u32; 100 * TYPES];
+        kernel.accumulate_row(0, xb.row_words(0));
+        kernel.accumulate_row(0, xb.row_words(1));
+        kernel.flush_into(&mut counts);
+        assert_eq!(counts[99 * TYPES], 1);
+        assert_eq!(counts[0], 1);
+        // Second tick on fresh counters: no residue from the first.
+        counts.fill(0);
+        kernel.accumulate_row(1, xb.row_words(1));
+        kernel.flush_into(&mut counts);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn planar_flush_matches_interleaved_flush() {
+        // Same accumulation, both extraction layouts: interleaved
+        // `[n*4 + ty]` and type-major planar `[ty*n + n]` must agree
+        // entry for entry, and both must leave the kernel cleared.
+        let mut rng = 0x1234_5678_u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let neurons = 150;
+        let axons = 40;
+        let mut xb = Crossbar::new(axons, neurons);
+        for a in 0..axons {
+            for n in 0..neurons {
+                if next() % 3 == 0 {
+                    xb.set(a, n, true);
+                }
+            }
+        }
+        let mut a = SwarKernel::new(neurons);
+        let mut b = SwarKernel::new(neurons);
+        for axon in 0..axons {
+            a.accumulate_row(axon % 4, xb.row_words(axon));
+            b.accumulate_row(axon % 4, xb.row_words(axon));
+        }
+        let mut interleaved = vec![0u32; neurons * TYPES];
+        let mut planar = vec![0u16; neurons * TYPES];
+        a.flush_into(&mut interleaved);
+        b.flush_planar(&mut planar);
+        for n in 0..neurons {
+            for ty in 0..TYPES {
+                assert_eq!(
+                    interleaved[n * TYPES + ty],
+                    u32::from(planar[ty * neurons + n]),
+                    "neuron {n} type {ty}"
+                );
+            }
+        }
+        // Both kernels are clear: a second flush yields all zeros.
+        let mut residue = vec![0u16; neurons * TYPES];
+        b.flush_planar(&mut residue);
+        assert!(residue.iter().all(|&c| c == 0));
+    }
+}

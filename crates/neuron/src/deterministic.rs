@@ -1,0 +1,508 @@
+//! The deterministic neuron update as a pure function.
+//!
+//! A neuron whose synaptic, leak and threshold modes are all deterministic
+//! never touches the per-core LFSR: its whole per-tick evaluation factors
+//! into a pure function of `(parameters, potential, per-type event counts)`.
+//! The core's struct-of-arrays fast path detects such neurons once at build
+//! time ([`NeuronConfig::is_deterministic`]), extracts their parameters into
+//! flat arrays ([`NeuronConfig::deterministic_params`]) and drives
+//! [`deterministic_tick`] over them — bit-identical, step by step, to one
+//! [`crate::Neuron::integrate_count`] call per axon type followed by
+//! [`crate::Neuron::finish_tick`], including the saturation point after each
+//! type's contribution.
+
+use crate::config::{NegativeThresholdMode, NeuronConfig, ResetMode};
+use crate::neuron::{POTENTIAL_MAX, POTENTIAL_MIN};
+use crate::weight::AXON_TYPES;
+
+/// The parameter block of a fully deterministic neuron, flattened for the
+/// struct-of-arrays fast path. Produced by
+/// [`NeuronConfig::deterministic_params`]; the stochastic flags are gone by
+/// construction and the thresholds are pre-widened to the `i64` domain the
+/// comparisons run in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeterministicParams {
+    /// Signed weight value per axon type.
+    pub weights: [i32; AXON_TYPES],
+    /// Signed per-tick leak.
+    pub leak: i32,
+    /// Whether the leak direction follows the sign of the potential.
+    pub leak_reversal: bool,
+    /// Positive firing threshold `α`, pre-widened.
+    pub threshold: i64,
+    /// The negative floor `−β`, pre-widened and pre-negated.
+    pub neg_floor: i64,
+    /// Behaviour at the negative floor.
+    pub negative_mode: NegativeThresholdMode,
+    /// Behaviour at the positive threshold.
+    pub reset_mode: ResetMode,
+    /// Reset potential `R`.
+    pub reset_potential: i32,
+}
+
+impl NeuronConfig {
+    /// True when evaluating this neuron consumes no LFSR draws on any path:
+    /// no stochastic synapse on any axon type, no threshold jitter, and the
+    /// leak is either zero (never applied) or deterministic.
+    ///
+    /// This is the per-neuron half of the core fast-path eligibility
+    /// contract: a core whose neurons are all deterministic can integrate
+    /// through flat arrays without touching — or desynchronising — the
+    /// core's LFSR stream.
+    pub fn is_deterministic(&self) -> bool {
+        self.stochastic_synapse.iter().all(|&s| !s)
+            && self.threshold_mask_bits == 0
+            && (self.leak == 0 || !self.stochastic_leak)
+    }
+
+    /// The flattened parameter block, or `None` if any mode is stochastic
+    /// (see [`NeuronConfig::is_deterministic`]).
+    pub fn deterministic_params(&self) -> Option<DeterministicParams> {
+        if !self.is_deterministic() {
+            return None;
+        }
+        let mut weights = [0i32; AXON_TYPES];
+        for (slot, w) in weights.iter_mut().zip(&self.weights) {
+            *slot = w.value();
+        }
+        Some(DeterministicParams {
+            weights,
+            leak: self.leak,
+            leak_reversal: self.leak_reversal,
+            threshold: self.threshold as i64,
+            neg_floor: -(self.negative_threshold as i64),
+            negative_mode: self.negative_mode,
+            reset_mode: self.reset_mode,
+            reset_potential: self.reset_potential,
+        })
+    }
+}
+
+/// One full deterministic neuron tick as a pure function: integrate the
+/// per-type event counts (saturating after each type's contribution,
+/// exactly like one batched `integrate_count` call per type), apply the
+/// leak, evaluate the thresholds, fire and reset. Returns the new membrane
+/// potential and whether the neuron fired.
+#[inline]
+pub fn deterministic_tick(
+    p: &DeterministicParams,
+    potential: i32,
+    counts: &[u32; AXON_TYPES],
+) -> (i32, bool) {
+    const LO: i64 = POTENTIAL_MIN as i64;
+    const HI: i64 = POTENTIAL_MAX as i64;
+    let mut v = potential as i64;
+    // The scalar path saturates once per `integrate_count` call — i.e. once
+    // per axon type — not once per tick; clamping after every contribution
+    // (a zero count contributes zero, so the clamp is a no-op there) keeps
+    // the two bit-identical near the rails.
+    for (w, &c) in p.weights.iter().zip(counts) {
+        v = (v + *w as i64 * c as i64).clamp(LO, HI);
+    }
+    if p.leak != 0 {
+        let direction = if p.leak_reversal {
+            p.leak as i64 * v.signum()
+        } else {
+            p.leak as i64
+        };
+        v = (v + direction).clamp(LO, HI);
+    }
+    let fired = v >= p.threshold;
+    if fired {
+        match p.reset_mode {
+            ResetMode::Absolute => v = p.reset_potential as i64,
+            ResetMode::Linear => v = (v - p.threshold).clamp(LO, HI),
+            ResetMode::None => {}
+        }
+    }
+    if v < p.neg_floor {
+        v = match p.negative_mode {
+            NegativeThresholdMode::Saturate => p.neg_floor,
+            NegativeThresholdMode::Reset => -(p.reset_potential as i64),
+        };
+    }
+    (v as i32, fired)
+}
+
+impl DeterministicParams {
+    /// Whether this parameter block is safe for the narrow-arithmetic
+    /// uniform scan ([`deterministic_scan_uniform`]).
+    ///
+    /// Two invariants make the i32 rewrite exact: every intermediate must
+    /// fit `i32` (bounded leak; per-type event counts are bounded by the
+    /// core's axon count ≤ 256 rows), and every *stored* potential must
+    /// stay within the hardware rails so the scan's saturated threshold
+    /// comparisons remain exact — reset assignments are the one unclamped
+    /// write, so their magnitude must not exceed [`POTENTIAL_MAX`]. Any
+    /// practically configurable neuron passes; the per-neuron `i64` path
+    /// remains as the fallback.
+    pub fn scan_safe(&self) -> bool {
+        const LEAK_BOUND: i64 = 1 << 21;
+        (self.leak as i64).abs() <= LEAK_BOUND
+            && (self.reset_potential as i64).abs() <= POTENTIAL_MAX as i64
+    }
+}
+
+/// Flag bit set in a [`deterministic_scan_uniform`] output byte when the
+/// neuron fired this tick.
+pub const SCAN_FIRED: u8 = 1;
+/// Flag bit set in a [`deterministic_scan_uniform`] output byte when the
+/// neuron is *not* at its zero-input fixed point after the update (the
+/// negation of [`deterministic_quiescent`]).
+pub const SCAN_UNSETTLED: u8 = 2;
+
+/// One deterministic tick over a whole population sharing a single
+/// parameter block — the hot loop of a uniform core's fast path.
+///
+/// `counts` is type-major planar: plane `ty` is `counts[ty*n..(ty+1)*n]`
+/// where `n = potentials.len()`. The `u16` lanes are exact — a count is
+/// bounded by the core's axon count (≤ 256) — and half-width count traffic
+/// matters: the scan is memory-bound once vectorised. Each output byte of
+/// `flags` carries [`SCAN_FIRED`] and [`SCAN_UNSETTLED`].
+///
+/// Bit-identical to calling [`deterministic_tick`] per neuron: the loop
+/// body is the same update rewritten branch-free over `i32` (legal because
+/// [`DeterministicParams::scan_safe`] bounds every intermediate), which
+/// lets the compiler vectorise the scan — per-type saturation becomes
+/// lane-wise min/max, the reset and floor rules become lane selects.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree, if `counts` is not `4 * n` long,
+/// or (debug only) if the parameters fail
+/// [`DeterministicParams::scan_safe`].
+pub fn deterministic_scan_uniform(
+    p: &DeterministicParams,
+    potentials: &mut [i32],
+    counts: &[u16],
+    flags: &mut [u8],
+) {
+    const LO: i32 = POTENTIAL_MIN;
+    const HI: i32 = POTENTIAL_MAX;
+    let n = potentials.len();
+    assert_eq!(counts.len(), AXON_TYPES * n, "counts must be 4 planar rows");
+    assert_eq!(flags.len(), n, "one flag byte per neuron");
+    debug_assert!(p.scan_safe(), "parameters out of scan range");
+    let [w0, w1, w2, w3] = p.weights;
+    // Saturating the widened thresholds back into the i32 domain preserves
+    // every comparison: a threshold above `HI` can never be crossed (v ≤
+    // HI < HI+1), and a floor at or below `LO − 1` can never be undershot.
+    let th = p.threshold.min(HI as i64 + 1) as i32;
+    let floor = p.neg_floor.max(LO as i64 - 1) as i32;
+    let leak = p.leak;
+    let reversal = p.leak_reversal;
+    let leak_zero = leak == 0;
+    let mode_abs = p.reset_mode == ResetMode::Absolute;
+    let mode_lin = p.reset_mode == ResetMode::Linear;
+    let neg_sat = p.negative_mode == NegativeThresholdMode::Saturate;
+    let reset = p.reset_potential;
+    // The scalar path computes `-(reset as i64)` and truncates to i32;
+    // wrapping negation reproduces that truncation at the i32::MIN edge.
+    let neg_reset = reset.wrapping_neg();
+    // Loop-invariant lane selectors, hoisted as all-ones/all-zero masks so
+    // the loop body is pure straight-line lane arithmetic.
+    let abs_mask = -(i32::from(mode_abs));
+    let lin_mask = -(i32::from(mode_lin));
+    let none_mask = !(abs_mask | lin_mask);
+    let reversal_mask = -(i32::from(reversal));
+    let under_value = if neg_sat { floor } else { neg_reset };
+    let (c0, rest) = counts.split_at(n);
+    let (c1, rest) = rest.split_at(n);
+    let (c2, c3) = rest.split_at(n);
+    let lanes = potentials
+        .iter_mut()
+        .zip(c0)
+        .zip(c1)
+        .zip(c2)
+        .zip(c3)
+        .zip(flags.iter_mut());
+    for (((((slot, &ca), &cb), &cc), &cd), flag) in lanes {
+        let mut v = *slot;
+        // Same contribution order and per-type saturation points as the
+        // scalar `integrate_count` sequence, in lane-friendly i32.
+        v = (v + w0 * i32::from(ca)).clamp(LO, HI);
+        v = (v + w1 * i32::from(cb)).clamp(LO, HI);
+        v = (v + w2 * i32::from(cc)).clamp(LO, HI);
+        v = (v + w3 * i32::from(cd)).clamp(LO, HI);
+        // A zero leak contributes zero and the clamp is a no-op (v is
+        // already in range), so applying it unconditionally is identical
+        // to the scalar `if leak != 0` guard. Under reversal the leak is
+        // steered by sign(v); the mask select keeps both shapes branchless.
+        let s = (v.signum() & reversal_mask) | (1 & !reversal_mask);
+        v = (v + leak * s).clamp(LO, HI);
+        let fired = v >= th;
+        // When fired, th equals the exact threshold (≤ v ≤ HI), so the
+        // linear reset is exact; when not fired the value is discarded.
+        let lin = (v - th).clamp(LO, HI);
+        let v_fire = (abs_mask & reset) | (lin_mask & lin) | (none_mask & v);
+        v = if fired { v_fire } else { v };
+        v = if v < floor { under_value } else { v };
+        *slot = v;
+        let leak_fixed = leak_zero | (reversal & (v == 0));
+        let quiescent = leak_fixed & (v < th) & (v >= floor);
+        *flag = u8::from(fired) | (u8::from(!quiescent) << 1);
+    }
+}
+
+/// The zero-input fixed-point test for a deterministic neuron, matching
+/// [`crate::Neuron::is_quiescent`] for every config that passes
+/// [`NeuronConfig::is_deterministic`]: the leak must be a fixed point
+/// (zero, or reversal-directed at a resting potential) and the potential
+/// must sit strictly below the positive threshold and at or above the
+/// negative floor.
+#[inline]
+pub fn deterministic_quiescent(p: &DeterministicParams, potential: i32) -> bool {
+    let leak_fixed = p.leak == 0 || (p.leak_reversal && potential == 0);
+    leak_fixed && (potential as i64) < p.threshold && (potential as i64) >= p.neg_floor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::Lfsr;
+    use crate::neuron::Neuron;
+    use crate::weight::{AxonType, Weight};
+
+    fn config(leak: i32, reversal: bool, reset: ResetMode) -> NeuronConfig {
+        NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(7))
+            .weight(AxonType::A1, Weight::saturating(2))
+            .weight(AxonType::A2, Weight::saturating(-3))
+            .weight(AxonType::A3, Weight::saturating(-11))
+            .threshold(23)
+            .leak(leak)
+            .leak_reversal(reversal)
+            .reset_mode(reset)
+            .negative_threshold(40)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn classification_rejects_every_stochastic_mode() {
+        assert!(NeuronConfig::default().is_deterministic());
+        let stoch_syn = NeuronConfig::builder()
+            .stochastic_synapse(AxonType::A2, true)
+            .build()
+            .unwrap();
+        assert!(!stoch_syn.is_deterministic());
+        assert!(stoch_syn.deterministic_params().is_none());
+        let jitter = NeuronConfig::builder()
+            .threshold(4)
+            .threshold_mask_bits(1)
+            .build()
+            .unwrap();
+        assert!(!jitter.is_deterministic());
+        let stoch_leak = NeuronConfig::builder()
+            .leak(-1)
+            .stochastic_leak(true)
+            .build()
+            .unwrap();
+        assert!(!stoch_leak.is_deterministic());
+        // A stochastic-leak flag with zero leak never draws: deterministic.
+        let zero_leak = NeuronConfig::builder()
+            .leak(0)
+            .stochastic_leak(true)
+            .build()
+            .unwrap();
+        assert!(zero_leak.is_deterministic());
+    }
+
+    /// The pure function against the scalar `Neuron` over a dense grid of
+    /// potentials and count patterns, for every reset mode and leak shape.
+    #[test]
+    fn pure_tick_matches_scalar_neuron_exactly() {
+        let configs = [
+            config(0, false, ResetMode::Absolute),
+            config(-2, true, ResetMode::Linear),
+            config(3, false, ResetMode::None),
+            config(-1, true, ResetMode::Absolute),
+        ];
+        let count_patterns: [[u32; AXON_TYPES]; 6] = [
+            [0, 0, 0, 0],
+            [1, 0, 0, 0],
+            [3, 1, 2, 1],
+            [0, 0, 0, 9],
+            [64, 64, 64, 64],
+            [200_000, 0, 0, 200_000],
+        ];
+        for cfg in &configs {
+            let p = cfg.deterministic_params().expect("deterministic config");
+            for v0 in [
+                POTENTIAL_MIN,
+                POTENTIAL_MIN + 1,
+                -41,
+                -40,
+                -1,
+                0,
+                1,
+                22,
+                23,
+                24,
+                POTENTIAL_MAX - 1,
+                POTENTIAL_MAX,
+            ] {
+                for counts in &count_patterns {
+                    let mut scalar = Neuron::new(cfg.clone());
+                    scalar.set_potential(v0);
+                    let mut rng = Lfsr::new(0xFEED);
+                    let state_before = rng.state();
+                    for ty in AxonType::ALL {
+                        scalar.integrate_count(ty, counts[ty.index()], &mut rng);
+                    }
+                    let outcome = scalar.finish_tick(&mut rng);
+                    assert_eq!(
+                        rng.state(),
+                        state_before,
+                        "deterministic path must not draw"
+                    );
+                    let (v, fired) = deterministic_tick(&p, v0, counts);
+                    assert_eq!(
+                        (v, fired),
+                        (outcome.potential(), outcome.fired()),
+                        "cfg {cfg:?} v0 {v0} counts {counts:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pure_quiescence_matches_scalar_neuron() {
+        for cfg in [
+            config(0, false, ResetMode::Absolute),
+            config(-2, true, ResetMode::Linear),
+            config(3, false, ResetMode::None),
+        ] {
+            let p = cfg.deterministic_params().expect("deterministic config");
+            for v in [-41, -40, -3, 0, 2, 22, 23, 50] {
+                let mut scalar = Neuron::new(cfg.clone());
+                scalar.set_potential(v);
+                assert_eq!(
+                    deterministic_quiescent(&p, v),
+                    scalar.is_quiescent(),
+                    "cfg {cfg:?} v {v}"
+                );
+            }
+        }
+    }
+
+    /// The uniform scan against per-neuron [`deterministic_tick`] over a
+    /// pseudo-random sweep of scan-safe parameter blocks, potentials, and
+    /// planar count patterns — potentials, fired flags, and quiescence
+    /// flags must all agree bit-for-bit.
+    #[test]
+    fn uniform_scan_matches_per_neuron_tick() {
+        let mut rng = Lfsr::new(0xABCD);
+        for round in 0..200 {
+            let reset_modes = [ResetMode::Absolute, ResetMode::Linear, ResetMode::None];
+            let neg_modes = [
+                NegativeThresholdMode::Saturate,
+                NegativeThresholdMode::Reset,
+            ];
+            let threshold = 1 + rng.next_u32() % 2_000_000;
+            let neg_threshold = rng.next_u32() % 2_000_000;
+            let reset = (rng.next_u32() % threshold.min(POTENTIAL_MAX as u32 + 1)) as i32
+                * if rng.next_u32().is_multiple_of(2) {
+                    1
+                } else {
+                    -1
+                };
+            let cfg = NeuronConfig::builder()
+                .weight(
+                    AxonType::A0,
+                    Weight::saturating(rng.next_u32() as i32 % 256),
+                )
+                .weight(
+                    AxonType::A1,
+                    Weight::saturating(-(rng.next_u32() as i32 % 256)),
+                )
+                .weight(
+                    AxonType::A2,
+                    Weight::saturating(rng.next_u32() as i32 % 256),
+                )
+                .weight(
+                    AxonType::A3,
+                    Weight::saturating(-(rng.next_u32() as i32 % 256)),
+                )
+                .threshold(threshold)
+                .leak(rng.next_u32() as i32 % 1000 - 500)
+                .leak_reversal(rng.next_u32().is_multiple_of(2))
+                .reset_mode(reset_modes[rng.next_u32() as usize % 3])
+                .negative_mode(neg_modes[rng.next_u32() as usize % 2])
+                .negative_threshold(neg_threshold)
+                .reset_potential(reset)
+                .build()
+                .unwrap();
+            let p = cfg.deterministic_params().expect("deterministic");
+            assert!(p.scan_safe(), "round {round}: config should be scan-safe");
+            let n = 1 + rng.next_u32() as usize % 97;
+            let mut potentials: Vec<i32> = (0..n)
+                .map(|_| {
+                    let span = (POTENTIAL_MAX as i64 - POTENTIAL_MIN as i64 + 1) as u32;
+                    POTENTIAL_MIN + (rng.next_u32() % span) as i32
+                })
+                .collect();
+            let counts: Vec<u16> = (0..AXON_TYPES * n)
+                .map(|_| (rng.next_u32() % 300) as u16)
+                .collect();
+            let mut flags = vec![0u8; n];
+            let mut expected = potentials.clone();
+            let mut expected_flags = vec![0u8; n];
+            for i in 0..n {
+                let c = [
+                    u32::from(counts[i]),
+                    u32::from(counts[n + i]),
+                    u32::from(counts[2 * n + i]),
+                    u32::from(counts[3 * n + i]),
+                ];
+                let (v, fired) = deterministic_tick(&p, expected[i], &c);
+                expected[i] = v;
+                expected_flags[i] = (u8::from(fired) * SCAN_FIRED)
+                    | (u8::from(!deterministic_quiescent(&p, v)) * SCAN_UNSETTLED);
+            }
+            deterministic_scan_uniform(&p, &mut potentials, &counts, &mut flags);
+            assert_eq!(potentials, expected, "round {round} potentials");
+            assert_eq!(flags, expected_flags, "round {round} flags");
+        }
+    }
+
+    #[test]
+    fn scan_safety_gate_rejects_extreme_params() {
+        let ok = config(-2, true, ResetMode::Linear)
+            .deterministic_params()
+            .unwrap();
+        assert!(ok.scan_safe());
+        let mut big_leak = ok;
+        big_leak.leak = 1 << 22;
+        assert!(!big_leak.scan_safe());
+        let mut big_reset = ok;
+        big_reset.reset_potential = POTENTIAL_MAX + 1;
+        assert!(!big_reset.scan_safe());
+    }
+
+    #[test]
+    fn negative_floor_modes_match() {
+        let saturate = config(0, false, ResetMode::Absolute);
+        let reset = NeuronConfig::builder()
+            .weight(AxonType::A3, Weight::saturating(-50))
+            .threshold(100)
+            .negative_threshold(30)
+            .negative_mode(NegativeThresholdMode::Reset)
+            .reset_potential(7)
+            .build()
+            .unwrap();
+        for cfg in [saturate, reset] {
+            let p = cfg.deterministic_params().expect("deterministic config");
+            let counts = [0, 0, 0, 2];
+            let mut scalar = Neuron::new(cfg.clone());
+            let mut rng = Lfsr::new(1);
+            for ty in AxonType::ALL {
+                scalar.integrate_count(ty, counts[ty.index()], &mut rng);
+            }
+            let outcome = scalar.finish_tick(&mut rng);
+            let (v, fired) = deterministic_tick(&p, 0, &counts);
+            assert_eq!((v, fired), (outcome.potential(), outcome.fired()));
+        }
+    }
+}

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod deterministic;
 mod lfsr;
 mod neuron;
 mod weight;
@@ -63,6 +64,10 @@ pub mod presets;
 
 pub use config::{
     ConfigError, NegativeThresholdMode, NeuronConfig, NeuronConfigBuilder, ResetMode,
+};
+pub use deterministic::{
+    deterministic_quiescent, deterministic_scan_uniform, deterministic_tick, DeterministicParams,
+    SCAN_FIRED, SCAN_UNSETTLED,
 };
 pub use lfsr::Lfsr;
 pub use neuron::{Neuron, TickOutcome, POTENTIAL_MAX, POTENTIAL_MIN};

@@ -82,6 +82,11 @@ pub fn render_jsonl(record: &TickRecord) -> String {
     render_faults(&mut out, &record.faults);
     out.push_str(",\"energy\":");
     render_census(&mut out, &record.energy);
+    let _ = write!(
+        out,
+        ",\"scheduler\":{{\"threads_configured\":{},\"threads_effective\":{}}}",
+        record.scheduler.threads_configured, record.scheduler.threads_effective,
+    );
     out.push_str(",\"cores\":[");
     for (i, core) in record.cores.iter().enumerate() {
         if i > 0 {
@@ -294,6 +299,7 @@ mod tests {
         assert!(line.contains("\"packets_dropped\":1"));
         assert!(line.contains("\"neuron_updates\":256"));
         assert!(line.contains("{\"core\":4,\"spikes\":2,\"axon_events\":3,"));
+        assert!(line.contains("\"scheduler\":{\"threads_configured\":0,\"threads_effective\":0}"));
         assert!(line.ends_with("}]}"));
         // Identical input → byte-identical output.
         assert_eq!(line, render_jsonl(&record()));

@@ -1,7 +1,9 @@
 //! Property-based tests (proptest) over the core data structures and
 //! architectural invariants.
 
-use brainsim::core::{AxonType, CoreBuilder, Crossbar, Destination, EvalStrategy, Scheduler};
+use brainsim::core::{
+    AxonType, CoreBuilder, Crossbar, Destination, EvalStrategy, Scheduler, SwarKernel,
+};
 use brainsim::encoding::{PopulationCode, RateCode, TimeToSpikeCode};
 use brainsim::neuron::{Lfsr, NegativeThresholdMode, Neuron, NeuronConfig, ResetMode, Weight};
 use brainsim::neuron::{POTENTIAL_MAX, POTENTIAL_MIN};
@@ -241,8 +243,54 @@ proptest! {
         prop_assert!((decoded - value).abs() <= spacing);
     }
 
-    /// Random cores: the optimised implementation (both strategies) agrees
-    /// with the naive golden model, event for event.
+    /// The bit-sliced SWAR kernel computes exactly the per-neuron per-type
+    /// counts of the scalar row walk, for random crossbars, axon-type
+    /// assignments and active-axon bitmaps — including ragged
+    /// (non-multiple-of-64) widths and the all-axons-active edge — in both
+    /// accumulation orders (rows ascending as the sparse event loop visits
+    /// them, and descending, exercising the order-independence the dense
+    /// column scan implicitly relies on).
+    #[test]
+    fn swar_kernel_counts_match_scalar_reference(
+        axons in 1usize..80,
+        neurons in 1usize..200,
+        types in proptest::collection::vec(0usize..4, 80),
+        bits in proptest::collection::vec((0usize..80, 0usize..200), 0..300),
+        active_mask in proptest::collection::vec(any::<bool>(), 80),
+        all_active in any::<bool>(),
+    ) {
+        let mut xb = Crossbar::new(axons, neurons);
+        for (a, n) in bits {
+            xb.set(a % axons, n % neurons, true);
+        }
+        let active: Vec<usize> = (0..axons)
+            .filter(|&a| all_active || active_mask[a])
+            .collect();
+        // Scalar reference: per-bit row walk, the sparse strategy's loop.
+        let mut want = vec![0u32; neurons * 4];
+        for &a in &active {
+            for n in xb.row_neurons(a) {
+                want[n * 4 + types[a]] += 1;
+            }
+        }
+        let mut kernel = SwarKernel::new(neurons);
+        let mut got = vec![0u32; neurons * 4];
+        for &a in &active {
+            kernel.accumulate_row(types[a], xb.row_words(a));
+        }
+        kernel.flush_into(&mut got);
+        prop_assert_eq!(&got, &want, "ascending row order");
+        // Same kernel instance reversed: planes must have fully cleared.
+        got.fill(0);
+        for &a in active.iter().rev() {
+            kernel.accumulate_row(types[a], xb.row_words(a));
+        }
+        kernel.flush_into(&mut got);
+        prop_assert_eq!(&got, &want, "descending row order");
+    }
+
+    /// Random cores: the optimised implementation (all three strategies)
+    /// agrees with the naive golden model, event for event.
     #[test]
     fn random_core_matches_golden(
         seed in 1u32..100_000,
@@ -254,13 +302,16 @@ proptest! {
         let mut rng = Lfsr::new(seed);
         let mut dense = CoreBuilder::new(axons, neurons);
         let mut sparse = CoreBuilder::new(axons, neurons);
+        let mut swar = CoreBuilder::new(axons, neurons);
         let mut golden = GoldenCore::new(axons, neurons, seed ^ 0xABCD);
         dense.seed(seed ^ 0xABCD).strategy(EvalStrategy::Dense);
         sparse.seed(seed ^ 0xABCD).strategy(EvalStrategy::Sparse);
+        swar.seed(seed ^ 0xABCD).strategy(EvalStrategy::Swar);
         for a in 0..axons {
             let ty = AxonType::from_index((rng.next_u32() % 4) as usize).unwrap();
             dense.axon_type(a, ty).unwrap();
             sparse.axon_type(a, ty).unwrap();
+            swar.axon_type(a, ty).unwrap();
             golden.set_axon_type(a, ty);
         }
         for n in 0..neurons {
@@ -276,31 +327,38 @@ proptest! {
                 .unwrap();
             dense.neuron(n, config.clone(), Destination::Disabled).unwrap();
             sparse.neuron(n, config.clone(), Destination::Disabled).unwrap();
+            swar.neuron(n, config.clone(), Destination::Disabled).unwrap();
             golden.set_neuron(n, config);
             for a in 0..axons {
                 let connected = rng.bernoulli_256(density);
                 dense.synapse(a, n, connected).unwrap();
                 sparse.synapse(a, n, connected).unwrap();
+                swar.synapse(a, n, connected).unwrap();
                 golden.set_synapse(a, n, connected);
             }
         }
         let mut dense = dense.build();
         let mut sparse = sparse.build();
+        let mut swar = swar.build();
         let mut stim = Lfsr::new(seed ^ 0x1234);
         for t in 0..60u64 {
             for a in 0..axons {
                 if stim.bernoulli_256(drive) {
                     dense.deliver(a, t).unwrap();
                     sparse.deliver(a, t).unwrap();
+                    swar.deliver(a, t).unwrap();
                     golden.deliver(a, t);
                 }
             }
             let d = dense.tick(t);
             let s = sparse.tick(t);
+            let w = swar.tick(t);
             let g = golden.tick();
             prop_assert_eq!(&d, &s, "dense vs sparse at tick {}", t);
+            prop_assert_eq!(&d, &w, "dense vs swar at tick {}", t);
             prop_assert_eq!(&d, &g, "core vs golden at tick {}", t);
         }
+        prop_assert_eq!(dense.stats(), swar.stats(), "stats identical across strategies");
     }
 
     /// The LFSR stream is deterministic and never hits the zero state.
