@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use brainsim_bench::{drive_random, drive_random_cores, random_chip, RandomChipSpec};
-use brainsim_chip::{CoreScheduling, TelemetryConfig};
+use brainsim_chip::{Chip, CoreScheduling, Snapshot, TelemetryConfig};
 use brainsim_core::EvalStrategy;
 use brainsim_energy::EventCensus;
 
@@ -180,6 +180,75 @@ fn run_workload(name: &str, base: RandomChipSpec, sparse: bool) -> (String, Vec<
     (json, rows)
 }
 
+/// Measures checkpoint serialization and restore latency on a warmed-up
+/// chip (mid-activity, so scheduler rings and potentials are non-trivial).
+/// The restored chip's census must equal the original's — the baseline also
+/// certifies save/restore fidelity. Reuses the `ns_per_tick` JSON field
+/// (here: ns per whole operation) so the `--check` parser needs no schema
+/// change.
+fn run_checkpoint_workload(base: RandomChipSpec) -> (String, Vec<Measurement>) {
+    const REPS: u32 = 50;
+    let spec = RandomChipSpec { threads: 1, ..base };
+    let mut chip = random_chip(&spec);
+    drive_random(&mut chip, WARMUP_TICKS + 25, RATE, DRIVE_SEED);
+
+    let start = Instant::now();
+    let mut bytes = Vec::new();
+    for _ in 0..REPS {
+        bytes = chip.checkpoint().to_bytes();
+    }
+    let save_ns = start.elapsed().as_nanos() as f64 / REPS as f64;
+
+    let start = Instant::now();
+    let mut restored = None;
+    for _ in 0..REPS {
+        let snapshot = Snapshot::from_bytes(&bytes).expect("snapshot decodes");
+        restored = Some(Chip::restore(snapshot).expect("snapshot restores"));
+    }
+    let restore_ns = start.elapsed().as_nanos() as f64 / REPS as f64;
+    let census = chip.census();
+    assert_eq!(
+        restored.expect("measured at least once").census(),
+        census,
+        "restored chip census diverged from the checkpointed chip"
+    );
+
+    eprintln!(
+        "  chip_checkpoint/checkpoint_save    {save_ns:>12.0} ns/op  ({} bytes)",
+        bytes.len()
+    );
+    eprintln!("  chip_checkpoint/checkpoint_restore {restore_ns:>12.0} ns/op");
+    let rows = vec![
+        Measurement {
+            name: "checkpoint_save",
+            ns_per_tick: save_ns,
+            census,
+        },
+        Measurement {
+            name: "checkpoint_restore",
+            ns_per_tick: restore_ns,
+            census,
+        },
+    ];
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "    {{\n      \"name\": \"chip_checkpoint\",\n      \"cores\": {},\n      \"snapshot_bytes\": {},\n      \"variants\": [\n",
+        base.width * base.height,
+        bytes.len(),
+    );
+    for (i, m) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "        {{ \"name\": \"{}\", \"ns_per_tick\": {:.0} }}{comma}",
+            m.name, m.ns_per_tick,
+        );
+    }
+    json.push_str("      ]\n    }");
+    (json, rows)
+}
+
 /// Extracts `"key": <number>` from a JSON line, or `"key": "<string>"`.
 fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let tag = format!("\"{key}\":");
@@ -250,10 +319,12 @@ fn check(baseline_path: &str) -> usize {
     };
     let (_, dense_rows) = run_workload("dense_8x8", dense, false);
     let (_, sparse_rows) = run_workload("sparse_8x8_95pct_quiescent", sparse, true);
+    let (_, ckpt_rows) = run_checkpoint_workload(dense);
     let current = |workload: &str, variant: &str| -> Option<f64> {
         let rows = match workload {
             "dense_8x8" => &dense_rows,
             "sparse_8x8_95pct_quiescent" => &sparse_rows,
+            "chip_checkpoint" => &ckpt_rows,
             _ => return None,
         };
         rows.iter()
@@ -330,9 +401,10 @@ fn main() -> ExitCode {
     eprintln!("chip_tick baseline ({cpus} cpu(s), {MEASURE_TICKS} measured ticks)");
     let (dense_json, _) = run_workload("dense_8x8", dense, false);
     let (sparse_json, _) = run_workload("sparse_8x8_95pct_quiescent", sparse, true);
+    let (ckpt_json, _) = run_checkpoint_workload(dense);
 
     let json = format!(
-        "{{\n  \"bench\": \"chip_tick\",\n  \"host\": {{ \"cpus\": {cpus}, \"os\": \"{}\" }},\n  \"warmup_ticks\": {WARMUP_TICKS},\n  \"measured_ticks\": {MEASURE_TICKS},\n  \"drive_rate_per_256\": {RATE},\n  \"workloads\": [\n{dense_json},\n{sparse_json}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"chip_tick\",\n  \"host\": {{ \"cpus\": {cpus}, \"os\": \"{}\" }},\n  \"warmup_ticks\": {WARMUP_TICKS},\n  \"measured_ticks\": {MEASURE_TICKS},\n  \"drive_rate_per_256\": {RATE},\n  \"workloads\": [\n{dense_json},\n{sparse_json},\n{ckpt_json}\n  ]\n}}\n",
         std::env::consts::OS,
     );
     std::fs::write(&out, json).expect("write baseline");

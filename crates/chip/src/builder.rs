@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use brainsim_core::{CoreBuilder, Destination};
+use brainsim_core::{CoreBuilder, Destination, NeurosynapticCore};
 
 use crate::chip::Chip;
 use crate::config::{ChipConfig, TickSemantics};
@@ -131,47 +131,57 @@ impl ChipBuilder {
             return Err(ChipBuildError::RelaxedParallel);
         }
         let cores: Vec<_> = self.cores.iter().map(CoreBuilder::build).collect();
-        // Validate every neuron destination against the grid.
-        for (index, core) in cores.iter().enumerate() {
-            let x = index % self.config.width;
-            let y = index / self.config.width;
-            for neuron in 0..core.neurons() {
-                if let Destination::Axon(target) = core.destination(neuron) {
-                    let tx = x as i64 + target.offset.dx as i64;
-                    let ty = y as i64 + target.offset.dy as i64;
-                    let off_grid = tx < 0
-                        || ty < 0
-                        || tx as usize >= self.config.width
-                        || ty as usize >= self.config.height;
-                    if off_grid {
-                        return Err(ChipBuildError::TargetOffGrid {
-                            from: (x, y),
-                            neuron,
-                            target: (tx, ty),
-                        });
-                    }
-                    if target.axon as usize >= self.config.core_axons {
-                        return Err(ChipBuildError::TargetAxonOutOfRange {
-                            from: (x, y),
-                            neuron,
-                            axon: target.axon,
-                        });
-                    }
-                    let crossings = self.config.crossings((x, y), (tx as usize, ty as usize));
-                    let link = self.config.tile.map(|t| t.link_latency as u64).unwrap_or(0);
-                    let total = target.delay as u64 + crossings as u64 * link;
-                    if total > 15 {
-                        return Err(ChipBuildError::LinkDelayBeyondHorizon {
-                            from: (x, y),
-                            neuron,
-                            total,
-                        });
-                    }
+        validate_wiring(&self.config, &cores)?;
+        Ok(Chip::from_parts(self.config, cores))
+    }
+}
+
+/// Validates every neuron destination of `cores` against the grid: target
+/// on-grid, target axon in range, total delivery offset within the 15-tick
+/// scheduler horizon. Shared by [`ChipBuilder::build`] and
+/// [`crate::Chip::restore`], so a snapshot cannot smuggle in wiring the
+/// builder would have rejected.
+pub(crate) fn validate_wiring(
+    config: &ChipConfig,
+    cores: &[NeurosynapticCore],
+) -> Result<(), ChipBuildError> {
+    for (index, core) in cores.iter().enumerate() {
+        let x = index % config.width;
+        let y = index / config.width;
+        for neuron in 0..core.neurons() {
+            if let Destination::Axon(target) = core.destination(neuron) {
+                let tx = x as i64 + target.offset.dx as i64;
+                let ty = y as i64 + target.offset.dy as i64;
+                let off_grid =
+                    tx < 0 || ty < 0 || tx as usize >= config.width || ty as usize >= config.height;
+                if off_grid {
+                    return Err(ChipBuildError::TargetOffGrid {
+                        from: (x, y),
+                        neuron,
+                        target: (tx, ty),
+                    });
+                }
+                if target.axon as usize >= config.core_axons {
+                    return Err(ChipBuildError::TargetAxonOutOfRange {
+                        from: (x, y),
+                        neuron,
+                        axon: target.axon,
+                    });
+                }
+                let crossings = config.crossings((x, y), (tx as usize, ty as usize));
+                let link = config.tile.map(|t| t.link_latency as u64).unwrap_or(0);
+                let total = target.delay as u64 + crossings as u64 * link;
+                if total > 15 {
+                    return Err(ChipBuildError::LinkDelayBeyondHorizon {
+                        from: (x, y),
+                        neuron,
+                        total,
+                    });
                 }
             }
         }
-        Ok(Chip::from_parts(self.config, cores))
     }
+    Ok(())
 }
 
 #[cfg(test)]

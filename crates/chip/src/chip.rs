@@ -39,7 +39,10 @@ use brainsim_telemetry::{
     CoreActivity, Histogram, SchedulerMeta, TelemetryConfig, TelemetryLog, TickRecord,
 };
 
+use crate::builder::validate_wiring;
 use crate::config::{ChipConfig, CoreScheduling, TickSemantics};
+use crate::snapshot::{Snapshot, TelemetrySnapshot};
+use brainsim_snapshot::RestoreError;
 
 /// What happened during one chip tick.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -222,7 +225,11 @@ fn resolve_spike(
     }
 }
 
-/// Error from [`Chip::inject`].
+/// Error from [`Chip::inject`] and [`Chip::inject_word`]. Both entry points
+/// share this type and validate identically: grid bounds here, then the
+/// target core's own delivery checks ([`brainsim_core::DeliverError`]) —
+/// a pinned contract covered by the `inject_validation` /
+/// `inject_word_validation` tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InjectError {
     /// Core coordinates outside the grid.
@@ -266,6 +273,10 @@ pub struct Chip {
     /// pipeline on its uninstrumented fast path (one tag test per tick).
     /// Boxed so the disabled chip pays one pointer of state.
     telemetry: Option<Box<TelemetryLog>>,
+    /// The fault plan applied via [`Chip::set_fault_plan`], retained so a
+    /// checkpoint can carry it. [`FaultInjector`] is a stateless function of
+    /// the plan, so the plan is the canonical serializable form.
+    plan: Option<FaultPlan>,
     /// `config.threads` clamped to the host's available parallelism,
     /// resolved once at construction. Phases A and B size their shard pools
     /// from this, so oversubscribed configs stop spawning threads the host
@@ -290,6 +301,7 @@ impl Chip {
             injector: None,
             fault_stats: FaultStats::default(),
             telemetry: None,
+            plan: None,
             effective_threads,
         }
     }
@@ -318,6 +330,11 @@ impl Chip {
     /// Total inter-chip (tile boundary) link crossings so far.
     pub fn link_crossings(&self) -> u64 {
         self.link_crossings
+    }
+
+    /// Total external output events emitted so far.
+    pub fn outputs_total(&self) -> u64 {
+        self.outputs_total
     }
 
     #[inline]
@@ -354,6 +371,7 @@ impl Chip {
         if injector.has_link_faults() {
             self.injector = Some(injector);
         }
+        self.plan = Some(*plan);
     }
 
     /// Enables per-tick telemetry collection from the next tick on. Any
@@ -389,6 +407,125 @@ impl Chip {
             total.merge(&core.stats().faults);
         }
         total
+    }
+
+    /// Captures the complete chip state as a [`Snapshot`]: every core's
+    /// membrane potentials, LFSR, crossbar, scheduler ring, statistics, and
+    /// fault image; the chip-level counters and routing-fault accounting;
+    /// the retained fault plan; and the telemetry run summary.
+    ///
+    /// Call between ticks (any tick boundary is crash-consistent). A chip
+    /// rebuilt via [`Chip::restore`] and run onward produces the
+    /// bit-identical event stream an uninterrupted run produces — at any
+    /// thread count, under either scheduler, on the SWAR or scalar kernels
+    /// — because the tick pipeline's cross-thread combination steps are
+    /// order-preserving or commutative and all randomness lives in the
+    /// per-core LFSRs captured here.
+    pub fn checkpoint(&self) -> Snapshot {
+        Snapshot {
+            config: self.config,
+            now: self.now,
+            hops: self.hops,
+            link_crossings: self.link_crossings,
+            outputs_total: self.outputs_total,
+            fault_stats: self.fault_stats,
+            cores: self.cores.iter().map(|c| c.export_state()).collect(),
+            plan: self.plan,
+            telemetry: self.telemetry.as_deref().map(|log| TelemetrySnapshot {
+                config: *log.config(),
+                evicted: log.evicted(),
+                summary: log.summary().clone(),
+            }),
+            noc: None,
+            app: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a chip from a [`Snapshot`], validating everything the
+    /// builder would have validated: consistent dimensions, every core
+    /// image's own invariants, and cross-core wiring (a snapshot cannot
+    /// smuggle in wiring [`crate::ChipBuilder::build`] would reject).
+    ///
+    /// Structural faults are **not** re-applied — the burned crossbars and
+    /// per-core fault images in the snapshot already carry them; only the
+    /// link-fault injector is re-armed from the retained plan. Restored
+    /// telemetry resumes with an empty record ring and its run summary
+    /// marked [`brainsim_telemetry::RunSummary::resumed_from_tick`], so
+    /// pre-checkpoint ticks are never double-counted.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Invalid`] when the snapshot is well-formed bytes-wise
+    /// but describes a chip that cannot exist: zero dimensions, a
+    /// relaxed-semantics multi-thread config, a core count or core shape
+    /// that disagrees with the config, a core whose clock is out of step
+    /// with the chip, a core image failing its own validation, or invalid
+    /// wiring. Never panics.
+    pub fn restore(snapshot: Snapshot) -> Result<Chip, RestoreError> {
+        let config = snapshot.config;
+        if config.width == 0
+            || config.height == 0
+            || config.core_axons == 0
+            || config.core_neurons == 0
+        {
+            return Err(RestoreError::Invalid("zero chip dimension".to_string()));
+        }
+        if config.semantics == TickSemantics::Relaxed && config.threads > 1 {
+            return Err(RestoreError::Invalid(
+                "relaxed tick semantics cannot run with multiple threads".to_string(),
+            ));
+        }
+        if snapshot.cores.len() != config.cores() {
+            return Err(RestoreError::Invalid(format!(
+                "snapshot has {} cores but the config's grid holds {}",
+                snapshot.cores.len(),
+                config.cores()
+            )));
+        }
+        let mut cores = Vec::with_capacity(snapshot.cores.len());
+        for (i, state) in snapshot.cores.iter().enumerate() {
+            if state.axons != config.core_axons || state.neurons != config.core_neurons {
+                return Err(RestoreError::Invalid(format!(
+                    "core {i} is {}x{} but the config says {}x{}",
+                    state.axons, state.neurons, config.core_axons, config.core_neurons
+                )));
+            }
+            if state.now != snapshot.now {
+                return Err(RestoreError::Invalid(format!(
+                    "core {i} clock is at tick {} but the chip is at tick {}",
+                    state.now, snapshot.now
+                )));
+            }
+            let core = NeurosynapticCore::import_state(state)
+                .map_err(|e| RestoreError::Invalid(format!("core {i}: {e}")))?;
+            cores.push(core);
+        }
+        validate_wiring(&config, &cores).map_err(|e| RestoreError::Invalid(e.to_string()))?;
+
+        let mut chip = Chip::from_parts(config, cores);
+        chip.now = snapshot.now;
+        chip.hops = snapshot.hops;
+        chip.link_crossings = snapshot.link_crossings;
+        chip.outputs_total = snapshot.outputs_total;
+        chip.fault_stats = snapshot.fault_stats;
+        if let Some(plan) = snapshot.plan {
+            // Re-arm only the link-fault injector; the snapshot's core
+            // images already carry every structural fault, and re-burning
+            // them would compound dropout/stuck faults.
+            let injector = FaultInjector::new(&plan);
+            if injector.has_link_faults() {
+                chip.injector = Some(injector);
+            }
+            chip.plan = Some(plan);
+        }
+        if let Some(t) = snapshot.telemetry {
+            let mut summary = t.summary;
+            summary.resumed_from_tick = Some(chip.now);
+            chip.telemetry = Some(Box::new(TelemetryLog::from_parts(
+                t.config, t.evicted, summary,
+            )));
+        }
+        Ok(chip)
     }
 
     /// Injects an external spike onto axon `axon` of core `(x, y)`, due at
@@ -1233,6 +1370,34 @@ mod tests {
     }
 
     #[test]
+    fn inject_word_validation() {
+        // The burst form shares InjectError with `inject` and validates
+        // identically: grid bounds first, then the core's delivery checks.
+        let mut chip = relay_chain(2, TickSemantics::Deterministic, 1);
+        assert!(matches!(
+            chip.inject_word(5, 0, 0, 1, 0),
+            Err(InjectError::OffGrid(5, 0))
+        ));
+        // Set bit past the core's axon count (core has 2 axons).
+        assert!(matches!(
+            chip.inject_word(0, 0, 0, 1 << 9, 0),
+            Err(InjectError::Deliver(_))
+        ));
+        // Beyond the 15-tick scheduler horizon.
+        assert!(matches!(
+            chip.inject_word(0, 0, 0, 1, 99),
+            Err(InjectError::Deliver(_))
+        ));
+        // A valid word injection behaves exactly like the per-axon form.
+        let mut word_chip = relay_chain(2, TickSemantics::Deterministic, 1);
+        chip.inject(0, 0, 0, 1).unwrap();
+        word_chip.inject_word(0, 0, 0, 1, 1).unwrap();
+        for _ in 0..4 {
+            assert_eq!(chip.tick(), word_chip.tick());
+        }
+    }
+
+    #[test]
     fn census_accumulates_all_cores() {
         let mut chip = relay_chain(3, TickSemantics::Deterministic, 1);
         chip.inject(0, 0, 0, 0).unwrap();
@@ -1637,5 +1802,131 @@ mod tests {
         assert_eq!(log.summary().ticks, 0);
         chip.run(2);
         assert_eq!(chip.telemetry().map(|l| l.len()), Some(2));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        // Run 3 ticks, checkpoint, and compare the remaining ticks of the
+        // restored chip against the uninterrupted original, summary by
+        // summary.
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 2);
+        for t in 0..6 {
+            chip.inject(0, 0, 0, t).unwrap();
+        }
+        chip.tick();
+        chip.tick();
+        chip.tick();
+        let snapshot = chip.checkpoint();
+        let bytes = snapshot.to_bytes();
+        let mut resumed =
+            Chip::restore(Snapshot::from_bytes(&bytes).expect("decode")).expect("restore");
+        assert_eq!(resumed.now(), chip.now());
+        for _ in 0..8 {
+            assert_eq!(resumed.tick(), chip.tick());
+        }
+        assert_eq!(resumed.hops(), chip.hops());
+        assert_eq!(resumed.outputs_total(), chip.outputs_total());
+        assert_eq!(resumed.fault_stats(), chip.fault_stats());
+        assert_eq!(resumed.census(), chip.census());
+    }
+
+    #[test]
+    fn restore_rearms_link_faults_without_reburning_structural_ones() {
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 1);
+        let plan = FaultPlan::new(7).with_link_drop(0.3).with_dead_neuron(0.25);
+        chip.set_fault_plan(&plan);
+        let structural_before = chip.fault_stats().neurons_dead;
+        for t in 0..10 {
+            chip.inject(0, 0, 0, t).unwrap();
+        }
+        chip.run(4);
+        let mut resumed = Chip::restore(chip.checkpoint()).expect("restore");
+        // Structural faults must come through the core images untouched,
+        // not be re-rolled or compounded by restore.
+        assert_eq!(resumed.fault_stats().neurons_dead, structural_before);
+        for _ in 0..10 {
+            assert_eq!(resumed.tick(), chip.tick());
+        }
+        assert_eq!(resumed.fault_stats(), chip.fault_stats());
+    }
+
+    #[test]
+    fn restored_telemetry_is_marked_and_does_not_double_count() {
+        use brainsim_telemetry::TelemetryConfig;
+        let mut chip = relay_chain(3, TickSemantics::Deterministic, 1);
+        chip.enable_telemetry(TelemetryConfig::default());
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.run(4);
+        let ticks_before = chip.telemetry().expect("log").summary().ticks;
+        let mut resumed = Chip::restore(chip.checkpoint()).expect("restore");
+        let log = resumed.telemetry().expect("telemetry restored");
+        assert!(log.is_empty(), "record ring must restart empty");
+        assert_eq!(log.summary().resumed_from_tick, Some(4));
+        assert_eq!(log.summary().ticks, ticks_before);
+        resumed.run(2);
+        chip.run(2);
+        let (a, b) = (
+            resumed.take_telemetry().unwrap(),
+            chip.take_telemetry().unwrap(),
+        );
+        // Cumulative counters match the uninterrupted run exactly; only the
+        // resume marker differs.
+        let mut normalized = a.summary().clone();
+        normalized.resumed_from_tick = None;
+        assert_eq!(&normalized, b.summary());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let chip = relay_chain(2, TickSemantics::Deterministic, 1);
+        let good = chip.checkpoint();
+
+        let mut wrong_count = good.clone();
+        wrong_count.cores.pop();
+        assert!(matches!(
+            Chip::restore(wrong_count),
+            Err(RestoreError::Invalid(_))
+        ));
+
+        let mut skewed_clock = good.clone();
+        skewed_clock.cores[1].now += 1;
+        assert!(matches!(
+            Chip::restore(skewed_clock),
+            Err(RestoreError::Invalid(_))
+        ));
+
+        let mut relaxed_parallel = good.clone();
+        relaxed_parallel.config.semantics = TickSemantics::Relaxed;
+        relaxed_parallel.config.threads = 8;
+        assert!(matches!(
+            Chip::restore(relaxed_parallel),
+            Err(RestoreError::Invalid(_))
+        ));
+
+        let mut zero_dim = good;
+        zero_dim.config.width = 0;
+        assert!(matches!(
+            Chip::restore(zero_dim),
+            Err(RestoreError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_survives_the_file_layer() {
+        let dir = std::env::temp_dir().join(format!("brainsim-chip-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chip.bsnp");
+        let mut chip = relay_chain(3, TickSemantics::Deterministic, 1);
+        chip.inject(0, 0, 0, 0).unwrap();
+        chip.run(2);
+        chip.checkpoint().save(&path).expect("save");
+        let loaded = Snapshot::load(&path).expect("load");
+        assert_eq!(loaded, chip.checkpoint());
+        let mut resumed = Chip::restore(loaded).expect("restore");
+        for _ in 0..4 {
+            assert_eq!(resumed.tick(), chip.tick());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -59,12 +59,19 @@
 mod builder;
 mod chip;
 mod config;
+mod snapshot;
 pub mod trace;
 
 pub use builder::{ChipBuildError, ChipBuilder};
 pub use chip::{Chip, InjectError, TickError, TickSummary};
 pub use config::{ChipConfig, CoreScheduling, TickSemantics, TileConfig};
+pub use snapshot::{Snapshot, TelemetrySnapshot};
 
 // The telemetry vocabulary used by `Chip::enable_telemetry`, re-exported so
 // instrumented callers need only this crate.
 pub use brainsim_telemetry::{TelemetryConfig, TelemetryLog, TickRecord};
+
+// The snapshot error/policy vocabulary used by `Chip::restore` and the
+// checkpoint cadence helpers, re-exported so checkpointing callers need
+// only this crate.
+pub use brainsim_snapshot::{CheckpointPolicy, RestoreError, SnapshotIoError};

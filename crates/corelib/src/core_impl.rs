@@ -857,6 +857,271 @@ impl NeurosynapticCore {
     }
 }
 
+/// Serializable image of the fault state injected into one core, the public
+/// mirror of the private per-core fault mask. Captured by
+/// [`NeurosynapticCore::export_state`] so a restored core degrades exactly
+/// like the original — structural crossbar damage is already burned into the
+/// exported crossbar words, while the behavioural masks (dropout, dead,
+/// stuck-firing) and the structural counters travel here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreFaultsState {
+    /// Whole-core dropout: the core consumes events but never evaluates.
+    pub dropped: bool,
+    /// Per-neuron "never fires" mask, index-aligned with the neuron array.
+    pub dead: Vec<bool>,
+    /// Sorted (strictly increasing) list of stuck-firing neuron indices.
+    pub stuck: Vec<u16>,
+    /// Structural fault counts, re-seeded into the statistics on reset.
+    pub structural: FaultStats,
+}
+
+/// Complete runtime image of one [`NeurosynapticCore`]: configuration
+/// (axon types, neuron parameter blocks, destinations, crossbar) plus all
+/// mutable state (membrane potentials, scheduler ring, LFSR, tick cursor,
+/// statistics, fault masks). [`NeurosynapticCore::import_state`] rebuilds a
+/// core that continues bit-identically from the capture point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreState {
+    /// Number of axons.
+    pub axons: usize,
+    /// Number of neurons.
+    pub neurons: usize,
+    /// Per-axon type tags (`axons` entries).
+    pub axon_types: Vec<AxonType>,
+    /// Per-neuron parameter blocks (`neurons` entries).
+    pub configs: Vec<NeuronConfig>,
+    /// Per-neuron spike destinations (`neurons` entries).
+    pub destinations: Vec<Destination>,
+    /// Packed crossbar rows, row-major: `axons × neurons.div_ceil(64)`
+    /// words. Stuck-at fault damage is included (it is burned into the
+    /// live crossbar at injection time).
+    pub crossbar_words: Vec<u64>,
+    /// Membrane potentials read through the current authority (scalar
+    /// neurons or the SoA fast path), `neurons` entries.
+    pub potentials: Vec<i32>,
+    /// Scheduler ring, slot-major: `SCHEDULER_SLOTS × axons.div_ceil(64)`
+    /// words; slot `s` holds the axons due at ticks ≡ s (mod 16).
+    pub scheduler_slots: Vec<u64>,
+    /// The core LFSR's exact 32-bit state (never zero on a live core).
+    pub rng_state: u32,
+    /// Evaluation strategy in effect.
+    pub strategy: EvalStrategy,
+    /// Tick cursor (the next tick the core will evaluate).
+    pub now: u64,
+    /// Cumulative event statistics, including fault counters.
+    pub stats: CoreStats,
+    /// Cached zero-input fixed-point flag from the last evaluated tick.
+    pub settled: bool,
+    /// Injected fault masks, if a plan touched this core.
+    pub faults: Option<CoreFaultsState>,
+}
+
+/// Error from [`NeurosynapticCore::import_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreStateError {
+    /// A field failed the builder's own configuration validation.
+    Build(CoreBuildError),
+    /// A vector length, tail bit or index is inconsistent with the
+    /// declared core dimensions.
+    Shape(&'static str),
+}
+
+impl fmt::Display for CoreStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreStateError::Build(e) => write!(f, "core state rejected by builder: {e}"),
+            CoreStateError::Shape(what) => write!(f, "malformed core state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreStateError {}
+
+impl From<CoreBuildError> for CoreStateError {
+    fn from(e: CoreBuildError) -> CoreStateError {
+        CoreStateError::Build(e)
+    }
+}
+
+impl NeurosynapticCore {
+    /// Captures the complete runtime image of this core.
+    ///
+    /// The export is strategy-agnostic: membrane potentials are read
+    /// through whichever representation currently owns them, so a core
+    /// captured on the SoA fast path and restored under `force-scalar`
+    /// (or vice versa) continues bit-identically.
+    pub fn export_state(&self) -> CoreState {
+        let axons = self.axons();
+        let neurons = self.neurons();
+        let mut crossbar_words = Vec::with_capacity(axons * neurons.div_ceil(64));
+        for axon in 0..axons {
+            crossbar_words.extend_from_slice(self.crossbar.row_words(axon));
+        }
+        let mut scheduler_slots = Vec::with_capacity(SCHEDULER_SLOTS * axons.div_ceil(64));
+        for slot in 0..SCHEDULER_SLOTS {
+            scheduler_slots.extend_from_slice(self.scheduler.peek(slot as u64));
+        }
+        CoreState {
+            axons,
+            neurons,
+            axon_types: self.axon_types.clone(),
+            configs: self.neurons.iter().map(|n| n.config().clone()).collect(),
+            destinations: self.destinations.clone(),
+            crossbar_words,
+            potentials: (0..neurons).map(|n| self.potential(n)).collect(),
+            scheduler_slots,
+            rng_state: self.rng.state(),
+            strategy: self.strategy,
+            now: self.now,
+            stats: self.stats,
+            settled: self.settled,
+            faults: self.faults.as_deref().map(|f| CoreFaultsState {
+                dropped: f.dropped,
+                dead: f.dead.clone(),
+                stuck: f.stuck.clone(),
+                structural: f.structural,
+            }),
+        }
+    }
+
+    /// Rebuilds a core from an exported image.
+    ///
+    /// Every field is validated before use — vector lengths against the
+    /// declared dimensions, packed-word tail bits, destination delays
+    /// (through the builder), fault-mask indices — so arbitrary (e.g.
+    /// corrupted) state is rejected with a typed error instead of
+    /// panicking. A valid export round-trips exactly:
+    /// `import_state(&core.export_state())` continues bit-identically to
+    /// `core` under any strategy and thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreStateError::Shape`] for dimension/length/index inconsistencies,
+    /// [`CoreStateError::Build`] when a field fails builder validation.
+    pub fn import_state(state: &CoreState) -> Result<NeurosynapticCore, CoreStateError> {
+        if state.axons == 0 || state.neurons == 0 {
+            return Err(CoreStateError::Shape("zero core dimension"));
+        }
+        if state.axon_types.len() != state.axons {
+            return Err(CoreStateError::Shape("axon_types length"));
+        }
+        if state.configs.len() != state.neurons {
+            return Err(CoreStateError::Shape("configs length"));
+        }
+        if state.destinations.len() != state.neurons {
+            return Err(CoreStateError::Shape("destinations length"));
+        }
+        if state.potentials.len() != state.neurons {
+            return Err(CoreStateError::Shape("potentials length"));
+        }
+        let xb_words = state.neurons.div_ceil(64);
+        if state.crossbar_words.len() != state.axons * xb_words {
+            return Err(CoreStateError::Shape("crossbar word count"));
+        }
+        let neuron_lanes = state.neurons - (xb_words - 1) * 64;
+        if neuron_lanes < 64 {
+            for row in state.crossbar_words.chunks_exact(xb_words) {
+                if row[xb_words - 1] >> neuron_lanes != 0 {
+                    return Err(CoreStateError::Shape("crossbar tail bits"));
+                }
+            }
+        }
+        let sched_words = state.axons.div_ceil(64);
+        if state.scheduler_slots.len() != SCHEDULER_SLOTS * sched_words {
+            return Err(CoreStateError::Shape("scheduler word count"));
+        }
+        let axon_lanes = state.axons - (sched_words - 1) * 64;
+        if axon_lanes < 64 {
+            for slot in state.scheduler_slots.chunks_exact(sched_words) {
+                if slot[sched_words - 1] >> axon_lanes != 0 {
+                    return Err(CoreStateError::Shape("scheduler tail bits"));
+                }
+            }
+        }
+        if let Some(f) = &state.faults {
+            if f.dead.len() != state.neurons {
+                return Err(CoreStateError::Shape("fault dead-mask length"));
+            }
+            if !f.stuck.windows(2).all(|pair| pair[0] < pair[1]) {
+                return Err(CoreStateError::Shape("fault stuck list not sorted"));
+            }
+            if f.stuck.last().is_some_and(|&n| n as usize >= state.neurons) {
+                return Err(CoreStateError::Shape("fault stuck index out of range"));
+            }
+        }
+
+        let mut b = CoreBuilder::new(state.axons, state.neurons);
+        for (a, &ty) in state.axon_types.iter().enumerate() {
+            b.axon_type(a, ty)?;
+        }
+        for (n, (config, &dest)) in state.configs.iter().zip(&state.destinations).enumerate() {
+            b.neuron(n, config.clone(), dest)?;
+        }
+        b.seed(state.rng_state).strategy(state.strategy);
+        let mut core = b.build();
+        // Restore the crossbar words directly (the exported image already
+        // contains any burned-in stuck-at damage); tail bits were checked
+        // above, so `set` cannot panic. Going through `set` keeps the
+        // per-row popcount caches exact.
+        for (a, row) in state.crossbar_words.chunks_exact(xb_words).enumerate() {
+            for (wi, &word) in row.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let n = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    core.crossbar.set(a, n, true);
+                }
+            }
+        }
+        // Refill the scheduler ring slot by slot; `schedule_word` panics on
+        // tail bits or bad word indices, both excluded above.
+        for (s, slot) in state.scheduler_slots.chunks_exact(sched_words).enumerate() {
+            for (w, &bits) in slot.iter().enumerate() {
+                if bits != 0 {
+                    core.scheduler.schedule_word(w, bits, s as u64);
+                }
+            }
+        }
+        if let Some(f) = &state.faults {
+            // Mirror `apply_faults`: behavioural neuron faults veto the SoA
+            // fast path for good (structural crossbar damage and dropout do
+            // not — the kernel reads the burned bits, dropout never reaches
+            // phase 2).
+            let veto = f.structural.neurons_dead > 0 || !f.stuck.is_empty();
+            core.faults = Some(Box::new(CoreFaults {
+                dropped: f.dropped,
+                dead: f.dead.clone(),
+                stuck: f.stuck.clone(),
+                structural: f.structural,
+            }));
+            if veto {
+                core.retire_fast_path();
+            }
+        }
+        // Load the potentials through whichever representation owns them
+        // now; out-of-rail values (impossible in a genuine export) clamp
+        // exactly as `set_potential` would.
+        if core.soa_live() {
+            if let Some(soa) = core.soa.as_deref_mut() {
+                for (slot, &v) in soa.potentials.iter_mut().zip(&state.potentials) {
+                    *slot = v.clamp(
+                        brainsim_neuron::POTENTIAL_MIN,
+                        brainsim_neuron::POTENTIAL_MAX,
+                    );
+                }
+            }
+        } else {
+            for (neuron, &v) in core.neurons.iter_mut().zip(&state.potentials) {
+                neuron.set_potential(v);
+            }
+        }
+        core.now = state.now;
+        core.stats = state.stats;
+        core.settled = state.settled;
+        Ok(core)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1554,5 +1819,169 @@ mod tests {
         total.merge(&s);
         assert_eq!(total.spikes, 2);
         assert_eq!(total.ticks, 4);
+    }
+
+    /// Runs a mid-flight export/import and asserts the restored core's
+    /// remaining trajectory matches the original bit for bit.
+    fn assert_state_round_trip(mut core: NeurosynapticCore, ticks: u64) {
+        // Leave pending scheduler events and non-zero potentials in flight.
+        for t in 0..ticks {
+            for a in 0..core.axons() {
+                if (a + t as usize).is_multiple_of(3) {
+                    core.deliver(a, t + 1 + (a as u64 % 3)).unwrap();
+                }
+            }
+            core.tick(t);
+        }
+        let state = core.export_state();
+        assert_eq!(state, core.export_state(), "export is a pure read");
+        let mut restored = NeurosynapticCore::import_state(&state).unwrap();
+        assert_eq!(restored.export_state(), state, "import/export round-trips");
+        for t in ticks..ticks + 24 {
+            for a in 0..core.axons() {
+                if (a * 5 + t as usize).is_multiple_of(7) {
+                    core.deliver(a, t).unwrap();
+                    restored.deliver(a, t).unwrap();
+                }
+            }
+            assert_eq!(core.tick(t), restored.tick(t), "tick {t}");
+        }
+        assert_eq!(core.stats(), restored.stats());
+        for n in 0..core.neurons() {
+            assert_eq!(core.potential(n), restored.potential(n), "neuron {n}");
+        }
+    }
+
+    #[test]
+    fn state_round_trip_deterministic_swar() {
+        assert_state_round_trip(one_to_one_core(70, EvalStrategy::Swar), 13);
+    }
+
+    #[test]
+    fn state_round_trip_scalar_strategies() {
+        assert_state_round_trip(one_to_one_core(32, EvalStrategy::Dense), 9);
+        assert_state_round_trip(one_to_one_core(32, EvalStrategy::Sparse), 9);
+    }
+
+    #[test]
+    fn state_round_trip_stochastic_core_preserves_lfsr() {
+        let mut b = CoreBuilder::new(16, 16);
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(128))
+            .stochastic_synapse(AxonType::A0, true)
+            .threshold(2)
+            .threshold_mask_bits(2)
+            .build()
+            .unwrap();
+        for i in 0..16 {
+            b.neuron(i, config.clone(), Destination::Disabled).unwrap();
+            for a in 0..16 {
+                b.synapse(a, i, (a + i) % 2 == 0).unwrap();
+            }
+        }
+        b.seed(0xABCD);
+        assert_state_round_trip(b.build(), 17);
+    }
+
+    #[test]
+    fn state_round_trip_faulted_core() {
+        use brainsim_faults::FaultPlan;
+        let mut core = one_to_one_core(24, EvalStrategy::Swar);
+        core.apply_faults(
+            &FaultInjector::new(
+                &FaultPlan::new(5)
+                    .with_dead_neuron(0.2)
+                    .with_stuck_neuron(0.1)
+                    .with_synapse_stuck_zero(0.1),
+            ),
+            1,
+            2,
+        );
+        assert_state_round_trip(core, 11);
+    }
+
+    #[test]
+    fn state_round_trip_dropped_core() {
+        use brainsim_faults::FaultPlan;
+        let mut core = one_to_one_core(8, EvalStrategy::Swar);
+        core.apply_faults(
+            &FaultInjector::new(&FaultPlan::new(1).with_core_dropout(1.0)),
+            0,
+            0,
+        );
+        assert_state_round_trip(core, 5);
+    }
+
+    #[test]
+    fn import_rejects_malformed_state() {
+        let core = one_to_one_core(70, EvalStrategy::Swar);
+        let good = core.export_state();
+        assert!(NeurosynapticCore::import_state(&good).is_ok());
+
+        let mut bad = good.clone();
+        bad.axons = 0;
+        assert!(matches!(
+            NeurosynapticCore::import_state(&bad),
+            Err(CoreStateError::Shape("zero core dimension"))
+        ));
+
+        let mut bad = good.clone();
+        bad.potentials.pop();
+        assert!(matches!(
+            NeurosynapticCore::import_state(&bad),
+            Err(CoreStateError::Shape("potentials length"))
+        ));
+
+        // Tail bit past the 70-axon scheduler word (word 1 has 6 lanes).
+        let mut bad = good.clone();
+        let sched_words = 70usize.div_ceil(64);
+        bad.scheduler_slots[sched_words - 1] |= 1 << 6;
+        assert!(matches!(
+            NeurosynapticCore::import_state(&bad),
+            Err(CoreStateError::Shape("scheduler tail bits"))
+        ));
+
+        // Tail bit past the 70-neuron crossbar row.
+        let mut bad = good.clone();
+        let xb_words = 70usize.div_ceil(64);
+        bad.crossbar_words[xb_words - 1] |= 1 << 6;
+        assert!(matches!(
+            NeurosynapticCore::import_state(&bad),
+            Err(CoreStateError::Shape("crossbar tail bits"))
+        ));
+
+        // Unsorted stuck list.
+        let mut bad = good.clone();
+        bad.faults = Some(CoreFaultsState {
+            dropped: false,
+            dead: vec![false; 70],
+            stuck: vec![3, 3],
+            structural: FaultStats::default(),
+        });
+        assert!(matches!(
+            NeurosynapticCore::import_state(&bad),
+            Err(CoreStateError::Shape("fault stuck list not sorted"))
+        ));
+
+        // Stuck index past the neuron count.
+        let mut bad = good.clone();
+        bad.faults = Some(CoreFaultsState {
+            dropped: false,
+            dead: vec![false; 70],
+            stuck: vec![70],
+            structural: FaultStats::default(),
+        });
+        assert!(matches!(
+            NeurosynapticCore::import_state(&bad),
+            Err(CoreStateError::Shape("fault stuck index out of range"))
+        ));
+
+        // Destination delay validation flows through the builder.
+        let mut bad = good;
+        bad.destinations[0] = Destination::Axon(AxonTarget::local(0, 0));
+        assert!(matches!(
+            NeurosynapticCore::import_state(&bad),
+            Err(CoreStateError::Build(CoreBuildError::BadDelay(0)))
+        ));
     }
 }

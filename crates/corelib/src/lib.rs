@@ -57,7 +57,10 @@ mod scheduler;
 mod spike;
 mod swar;
 
-pub use core_impl::{CoreBuildError, CoreBuilder, CoreStats, EvalStrategy, NeurosynapticCore};
+pub use core_impl::{
+    CoreBuildError, CoreBuilder, CoreFaultsState, CoreState, CoreStateError, CoreStats,
+    EvalStrategy, NeurosynapticCore,
+};
 pub use crossbar::Crossbar;
 pub use scheduler::{Scheduler, SCHEDULER_SLOTS};
 pub use spike::{AxonTarget, CoreOffset, DeliverError, Destination};

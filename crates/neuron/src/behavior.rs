@@ -155,7 +155,7 @@ pub fn tonic_spiking() -> BehaviorResult {
     let mut net = MicroNet::new(1);
     let n = net.add_neuron(presets::relay(5, 20));
     net.connect(Source::External(0), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let raster = net.run(200, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let regular = r.isi_cv().map(|cv| cv < 1e-9).unwrap_or(false);
@@ -179,9 +179,9 @@ pub fn integrator() -> BehaviorResult {
     let mut net = MicroNet::new(2);
     let n = net.add_neuron(presets::leaky_integrator(5, 8, 2));
     net.connect(Source::External(0), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     net.connect(Source::External(1), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let raster = net.run(60, n, |t| match t {
         10 => vec![true, true],  // coincident pair
         30 => vec![true, false], // separated pair
@@ -210,9 +210,9 @@ pub fn phasic_spiking() -> BehaviorResult {
     let mut net = MicroNet::new(1);
     let n = net.add_neuron(presets::relay(5, 12));
     net.connect(Source::External(0), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     net.connect(Source::External(0), n, AxonType::A3, 5)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let raster = net.run(100, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let achieved = r.count() == 1 && r.count_in(0, 8) == 1;
@@ -235,9 +235,9 @@ pub fn phasic_bursting() -> BehaviorResult {
     let mut net = MicroNet::new(1);
     let n = net.add_neuron(presets::relay(5, 4));
     net.connect(Source::External(0), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     net.connect(Source::External(0), n, AxonType::A3, 5)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let raster = net.run(100, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let achieved = (3..=6).contains(&r.count()) && r.count_in(8, 100) == 0;
@@ -262,21 +262,22 @@ pub fn tonic_bursting() -> BehaviorResult {
             .threshold(4)
             .negative_threshold(0)
             .build()
-            .unwrap(),
+            .expect("static behaviour circuit is valid"),
     );
     let i = net.add_neuron(
         NeuronConfig::builder()
             .weight(AxonType::A0, Weight::saturating(2))
             .threshold(7)
             .build()
-            .unwrap(),
+            .expect("static behaviour circuit is valid"),
     );
     net.connect(Source::External(0), e, AxonType::A0, 1)
-        .unwrap();
-    net.connect(Source::Neuron(e), i, AxonType::A0, 1).unwrap();
+        .expect("static behaviour circuit is valid");
+    net.connect(Source::Neuron(e), i, AxonType::A0, 1)
+        .expect("static behaviour circuit is valid");
     for delay in 1..=6 {
         net.connect(Source::Neuron(i), e, AxonType::A3, delay)
-            .unwrap();
+            .expect("static behaviour circuit is valid");
     }
     let raster = net.run(120, e, |_| vec![true]);
     let r = Raster::new(raster.clone());
@@ -305,16 +306,20 @@ pub fn spike_frequency_adaptation() -> BehaviorResult {
             .threshold(12)
             .negative_threshold(0)
             .build()
-            .unwrap(),
+            .expect("static behaviour circuit is valid"),
     );
     let i1 = net.add_neuron(presets::latch(1, 4));
     let i2 = net.add_neuron(presets::latch(1, 8));
     net.connect(Source::External(0), e, AxonType::A0, 1)
-        .unwrap();
-    net.connect(Source::Neuron(e), i1, AxonType::A0, 1).unwrap();
-    net.connect(Source::Neuron(e), i2, AxonType::A0, 1).unwrap();
-    net.connect(Source::Neuron(i1), e, AxonType::A3, 1).unwrap();
-    net.connect(Source::Neuron(i2), e, AxonType::A3, 1).unwrap();
+        .expect("static behaviour circuit is valid");
+    net.connect(Source::Neuron(e), i1, AxonType::A0, 1)
+        .expect("static behaviour circuit is valid");
+    net.connect(Source::Neuron(e), i2, AxonType::A0, 1)
+        .expect("static behaviour circuit is valid");
+    net.connect(Source::Neuron(i1), e, AxonType::A3, 1)
+        .expect("static behaviour circuit is valid");
+    net.connect(Source::Neuron(i2), e, AxonType::A3, 1)
+        .expect("static behaviour circuit is valid");
     let raster = net.run(150, e, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let isis = r.isis();
@@ -343,7 +348,7 @@ fn rate_with_drive(
     let n = net.add_neuron(config.clone());
     for c in 0..drive {
         net.connect(Source::External(c), n, AxonType::A0, 1)
-            .unwrap();
+            .expect("static behaviour circuit is valid");
     }
     if let Some(w) = self_excite {
         // Self-excitation uses axon type A1.
@@ -354,10 +359,10 @@ fn rate_with_drive(
         let n2 = net2.add_neuron(cfg);
         for c in 0..drive {
             net2.connect(Source::External(c), n2, AxonType::A0, 1)
-                .unwrap();
+                .expect("static behaviour circuit is valid");
         }
         net2.connect(Source::Neuron(n2), n2, AxonType::A1, 1)
-            .unwrap();
+            .expect("static behaviour circuit is valid");
         let raster = net2.run(ticks, n2, |_| vec![true; drive.max(1)]);
         return Raster::new(raster).count() as f64 / ticks as f64;
     }
@@ -391,7 +396,7 @@ pub fn class_2_excitable() -> BehaviorResult {
         .weight(AxonType::A0, Weight::saturating(1))
         .threshold(12)
         .build()
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let r0 = rate_with_drive(&config, Some(6), 0, 600);
     let r1 = rate_with_drive(&config, Some(6), 1, 600);
     let r2 = rate_with_drive(&config, Some(6), 2, 600);
@@ -416,11 +421,11 @@ pub fn spike_latency() -> BehaviorResult {
         .leak_reversal(true)
         .threshold(10)
         .build()
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let n = net.add_neuron(config);
     for c in 0..5 {
         net.connect(Source::External(c), n, AxonType::A0, 1)
-            .unwrap();
+            .expect("static behaviour circuit is valid");
     }
     let raster = net.run(240, n, |t| match t {
         20 => vec![true, true, false, false, false], // kick of 2
@@ -450,9 +455,9 @@ pub fn resonator() -> BehaviorResult {
     let mut net = MicroNet::new(1);
     let n = net.add_neuron(presets::leaky_integrator(5, 5, 5));
     net.connect(Source::External(0), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     net.connect(Source::External(0), n, AxonType::A0, 6)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let raster = net.run(120, n, |t| {
         // Resonant pair spaced 5 apart; off-resonance pairs spaced 2 and 8.
         vec![matches!(t, 10 | 15 | 50 | 52 | 90 | 98)]
@@ -485,7 +490,7 @@ pub fn rebound_spike() -> BehaviorResult {
             .threshold(8)
             .negative_threshold(0)
             .build()
-            .unwrap(),
+            .expect("static behaviour circuit is valid"),
     );
     let i = net.add_neuron(
         NeuronConfig::builder()
@@ -494,11 +499,12 @@ pub fn rebound_spike() -> BehaviorResult {
             .threshold(8)
             .negative_threshold(150)
             .build()
-            .unwrap(),
+            .expect("static behaviour circuit is valid"),
     );
-    net.connect(Source::Neuron(i), e, AxonType::A3, 1).unwrap();
+    net.connect(Source::Neuron(i), e, AxonType::A3, 1)
+        .expect("static behaviour circuit is valid");
     net.connect(Source::External(0), i, AxonType::A3, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let raster = net.run(120, e, |t| vec![t == 50]);
     let r = Raster::new(raster.clone());
     let achieved = r.count_in(20, 50) == 0 && r.count_in(51, 72) >= 2 && r.count_in(85, 120) == 0;
@@ -529,10 +535,10 @@ pub fn threshold_variability() -> BehaviorResult {
         .threshold_mask_bits(4)
         .negative_threshold(0)
         .build()
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let n = net.add_neuron(config);
     net.connect(Source::External(0), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let presentations = 60u64;
     let raster = net.run(presentations * 10, n, |t| vec![t % 10 == 0]);
     let r = Raster::new(raster.clone());
@@ -562,13 +568,14 @@ pub fn bistability() -> BehaviorResult {
         .threshold(10)
         .negative_threshold(0)
         .build()
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let n = net.add_neuron(config);
     net.connect(Source::External(0), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     net.connect(Source::External(1), n, AxonType::A3, 1)
-        .unwrap();
-    net.connect(Source::Neuron(n), n, AxonType::A1, 1).unwrap();
+        .expect("static behaviour circuit is valid");
+    net.connect(Source::Neuron(n), n, AxonType::A1, 1)
+        .expect("static behaviour circuit is valid");
     let raster = net.run(100, n, |t| vec![t == 20, t == 60]);
     let r = Raster::new(raster.clone());
     let achieved = r.count_in(0, 20) == 0 && r.count_in(25, 60) == 35 && r.count_in(65, 100) == 0;
@@ -594,7 +601,7 @@ pub fn accommodation() -> BehaviorResult {
     let n = net.add_neuron(presets::leaky_integrator(1, 6, 2));
     for c in 0..8 {
         net.connect(Source::External(c), n, AxonType::A0, 1)
-            .unwrap();
+            .expect("static behaviour circuit is valid");
     }
     let raster = net.run(100, n, |t| {
         if (10..26).contains(&t) {
@@ -635,7 +642,7 @@ pub fn inhibition_induced_spiking() -> BehaviorResult {
             .threshold(8)
             .negative_threshold(0)
             .build()
-            .unwrap(),
+            .expect("static behaviour circuit is valid"),
     );
     let g = net.add_neuron(
         NeuronConfig::builder()
@@ -644,11 +651,12 @@ pub fn inhibition_induced_spiking() -> BehaviorResult {
             .threshold(8)
             .negative_threshold(0)
             .build()
-            .unwrap(),
+            .expect("static behaviour circuit is valid"),
     );
-    net.connect(Source::Neuron(g), e, AxonType::A3, 1).unwrap();
+    net.connect(Source::Neuron(g), e, AxonType::A3, 1)
+        .expect("static behaviour circuit is valid");
     net.connect(Source::External(0), g, AxonType::A3, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let raster = net.run(120, e, |t| vec![(40..80).contains(&t)]);
     let r = Raster::new(raster.clone());
     let achieved = r.count_in(10, 41) == 0 && r.count_in(42, 80) >= 10 && r.count_in(90, 120) == 0;
@@ -696,10 +704,10 @@ pub fn irregular_spiking() -> BehaviorResult {
         .stochastic_synapse(AxonType::A0, true)
         .threshold(2)
         .build()
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let n = net.add_neuron(config);
     net.connect(Source::External(0), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let raster = net.run(400, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let cv = r.isi_cv().unwrap_or(0.0);
@@ -723,10 +731,10 @@ pub fn depolarizing_after_potential() -> BehaviorResult {
         .threshold(10)
         .reset_potential(6)
         .build()
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let n = net.add_neuron(config);
     net.connect(Source::External(0), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let raster = net.run(60, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let times = r.spike_times();
@@ -758,12 +766,12 @@ pub fn mixed_mode() -> BehaviorResult {
         .threshold(6)
         .negative_threshold(0)
         .build()
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let n = net.add_neuron(config);
     net.connect(Source::External(0), n, AxonType::A0, 1)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     net.connect(Source::External(0), n, AxonType::A3, 6)
-        .unwrap();
+        .expect("static behaviour circuit is valid");
     let raster = net.run(120, n, |_| vec![true]);
     let r = Raster::new(raster.clone());
     let onset_burst = r.count_in(0, 6) >= 4;
@@ -820,7 +828,7 @@ mod tests {
         assert_eq!(r.spike_times(), vec![1, 4, 5, 6]);
         assert_eq!(r.isis(), vec![3, 1, 1]);
         assert_eq!(r.burst_lengths(), vec![1, 3]);
-        assert!(r.mean_isi().unwrap() > 1.0);
+        assert!(r.mean_isi().expect("static behaviour circuit is valid") > 1.0);
         assert_eq!(r.count_in(4, 7), 3);
     }
 

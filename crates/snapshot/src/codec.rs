@@ -1,0 +1,788 @@
+//! Typed wire codecs for every state image the snapshot carries: core
+//! images, fault plans, telemetry summaries, and standalone NoC state.
+//!
+//! Encoding is field-ordered and explicit — no derive magic — so the wire
+//! layout is stable under refactors and every decode path is total:
+//! arbitrary bytes produce a typed [`WireError`], never a panic and never
+//! an unbounded allocation (length prefixes are validated against the
+//! remaining payload before any vector is built).
+
+use brainsim_core::{
+    AxonTarget, CoreFaultsState, CoreOffset, CoreState, CoreStats, Destination, EvalStrategy,
+    SCHEDULER_SLOTS,
+};
+use brainsim_energy::EventCensus;
+use brainsim_faults::{FaultPlan, FaultStats, OverflowPolicy};
+use brainsim_neuron::{AxonType, NegativeThresholdMode, NeuronConfig, ResetMode, Weight};
+use brainsim_noc::{
+    DelayedFlit, Flit, NocConfig, NocState, NocStats, Packet, Port, RouterState, RoutingOrder,
+    PORTS,
+};
+use brainsim_telemetry::{Histogram, RunSummary, TelemetryConfig, HISTOGRAM_BUCKETS};
+
+use crate::wire::{Reader, WireError, Writer};
+
+fn vec_u64(r: &mut Reader, count: usize) -> Result<Vec<u64>, WireError> {
+    if count.checked_mul(8).is_none_or(|need| need > r.remaining()) {
+        return Err(WireError::Truncated);
+    }
+    (0..count).map(|_| r.u64()).collect()
+}
+
+fn vec_i32(r: &mut Reader, count: usize) -> Result<Vec<i32>, WireError> {
+    if count.checked_mul(4).is_none_or(|need| need > r.remaining()) {
+        return Err(WireError::Truncated);
+    }
+    (0..count).map(|_| r.i32()).collect()
+}
+
+fn vec_bool(r: &mut Reader, count: usize) -> Result<Vec<bool>, WireError> {
+    if count > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    (0..count).map(|_| r.bool()).collect()
+}
+
+/// Encodes an optional `u64` as a presence byte plus the value.
+fn write_opt_u64(w: &mut Writer, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            w.bool(true);
+            w.u64(x);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn read_opt_u64(r: &mut Reader) -> Result<Option<u64>, WireError> {
+    Ok(if r.bool()? { Some(r.u64()?) } else { None })
+}
+
+/// Encodes a [`FaultStats`] block (12 counters, field order fixed).
+pub fn write_fault_stats(w: &mut Writer, s: &FaultStats) {
+    w.u64(s.cores_dropped);
+    w.u64(s.neurons_dead);
+    w.u64(s.neurons_stuck_firing);
+    w.u64(s.synapses_stuck_zero);
+    w.u64(s.synapses_stuck_one);
+    w.u64(s.spikes_suppressed);
+    w.u64(s.spikes_forced);
+    w.u64(s.packets_dropped);
+    w.u64(s.packets_corrupted);
+    w.u64(s.packets_delayed);
+    w.u64(s.flits_dropped_overflow);
+    w.u64(s.deliveries_failed);
+}
+
+/// Decodes a [`FaultStats`] block.
+pub fn read_fault_stats(r: &mut Reader) -> Result<FaultStats, WireError> {
+    Ok(FaultStats {
+        cores_dropped: r.u64()?,
+        neurons_dead: r.u64()?,
+        neurons_stuck_firing: r.u64()?,
+        synapses_stuck_zero: r.u64()?,
+        synapses_stuck_one: r.u64()?,
+        spikes_suppressed: r.u64()?,
+        spikes_forced: r.u64()?,
+        packets_dropped: r.u64()?,
+        packets_corrupted: r.u64()?,
+        packets_delayed: r.u64()?,
+        flits_dropped_overflow: r.u64()?,
+        deliveries_failed: r.u64()?,
+    })
+}
+
+/// Encodes a [`CoreStats`] block.
+pub fn write_core_stats(w: &mut Writer, s: &CoreStats) {
+    w.u64(s.ticks);
+    w.u64(s.synaptic_events);
+    w.u64(s.neuron_updates);
+    w.u64(s.spikes);
+    w.u64(s.axon_events);
+    write_fault_stats(w, &s.faults);
+}
+
+/// Decodes a [`CoreStats`] block.
+pub fn read_core_stats(r: &mut Reader) -> Result<CoreStats, WireError> {
+    Ok(CoreStats {
+        ticks: r.u64()?,
+        synaptic_events: r.u64()?,
+        neuron_updates: r.u64()?,
+        spikes: r.u64()?,
+        axon_events: r.u64()?,
+        faults: read_fault_stats(r)?,
+    })
+}
+
+/// Encodes an [`EventCensus`] (11 counters).
+pub fn write_census(w: &mut Writer, c: &EventCensus) {
+    w.u64(c.ticks);
+    w.u64(c.cores);
+    w.u64(c.synaptic_events);
+    w.u64(c.neuron_updates);
+    w.u64(c.spikes);
+    w.u64(c.axon_events);
+    w.u64(c.hops);
+    w.u64(c.link_crossings);
+    w.u64(c.packets_dropped);
+    w.u64(c.packets_rejected);
+    w.u64(c.flit_stalls);
+}
+
+/// Decodes an [`EventCensus`].
+pub fn read_census(r: &mut Reader) -> Result<EventCensus, WireError> {
+    Ok(EventCensus {
+        ticks: r.u64()?,
+        cores: r.u64()?,
+        synaptic_events: r.u64()?,
+        neuron_updates: r.u64()?,
+        spikes: r.u64()?,
+        axon_events: r.u64()?,
+        hops: r.u64()?,
+        link_crossings: r.u64()?,
+        packets_dropped: r.u64()?,
+        packets_rejected: r.u64()?,
+        flit_stalls: r.u64()?,
+    })
+}
+
+/// Encodes a log₂ [`Histogram`] (fixed bucket count).
+pub fn write_histogram(w: &mut Writer, h: &Histogram) {
+    for &b in &h.buckets {
+        w.u64(b);
+    }
+}
+
+/// Decodes a log₂ [`Histogram`].
+pub fn read_histogram(r: &mut Reader) -> Result<Histogram, WireError> {
+    let mut h = Histogram::default();
+    for b in &mut h.buckets[..HISTOGRAM_BUCKETS] {
+        *b = r.u64()?;
+    }
+    Ok(h)
+}
+
+/// Encodes a [`NeuronConfig`] parameter block through its getters.
+pub fn write_neuron_config(w: &mut Writer, c: &NeuronConfig) {
+    for ty in AxonType::ALL {
+        w.i32(c.weight(ty).value());
+        w.bool(c.is_stochastic_synapse(ty));
+    }
+    w.i32(c.leak());
+    w.bool(c.leak_reversal());
+    w.bool(c.stochastic_leak());
+    w.u32(c.threshold());
+    w.u32(c.threshold_mask_bits());
+    w.u32(c.negative_threshold());
+    w.u8(match c.negative_mode() {
+        NegativeThresholdMode::Saturate => 0,
+        NegativeThresholdMode::Reset => 1,
+    });
+    w.u8(match c.reset_mode() {
+        ResetMode::Absolute => 0,
+        ResetMode::Linear => 1,
+        ResetMode::None => 2,
+    });
+    w.i32(c.reset_potential());
+}
+
+/// Decodes a [`NeuronConfig`], re-running the builder's own validation so
+/// a corrupted parameter block fails typed instead of constructing an
+/// impossible neuron.
+pub fn read_neuron_config(r: &mut Reader) -> Result<NeuronConfig, WireError> {
+    let mut b = NeuronConfig::builder();
+    for ty in AxonType::ALL {
+        let value = r.i32()?;
+        let weight = Weight::new(value).map_err(|_| WireError::Malformed("weight out of range"))?;
+        b.weight(ty, weight);
+        b.stochastic_synapse(ty, r.bool()?);
+    }
+    b.leak(r.i32()?);
+    b.leak_reversal(r.bool()?);
+    b.stochastic_leak(r.bool()?);
+    b.threshold(r.u32()?);
+    b.threshold_mask_bits(r.u32()?);
+    b.negative_threshold(r.u32()?);
+    b.negative_mode(match r.u8()? {
+        0 => NegativeThresholdMode::Saturate,
+        1 => NegativeThresholdMode::Reset,
+        _ => return Err(WireError::Malformed("negative-mode tag")),
+    });
+    b.reset_mode(match r.u8()? {
+        0 => ResetMode::Absolute,
+        1 => ResetMode::Linear,
+        2 => ResetMode::None,
+        _ => return Err(WireError::Malformed("reset-mode tag")),
+    });
+    b.reset_potential(r.i32()?);
+    b.build()
+        .map_err(|_| WireError::Malformed("neuron parameters fail validation"))
+}
+
+/// Encodes a spike [`Destination`].
+pub fn write_destination(w: &mut Writer, d: &Destination) {
+    match d {
+        Destination::Disabled => w.u8(0),
+        Destination::Axon(t) => {
+            w.u8(1);
+            w.i32(t.offset.dx);
+            w.i32(t.offset.dy);
+            w.u16(t.axon);
+            w.u8(t.delay);
+        }
+        Destination::Output(port) => {
+            w.u8(2);
+            w.u32(*port);
+        }
+    }
+}
+
+/// Decodes a spike [`Destination`].
+pub fn read_destination(r: &mut Reader) -> Result<Destination, WireError> {
+    Ok(match r.u8()? {
+        0 => Destination::Disabled,
+        1 => Destination::Axon(AxonTarget {
+            offset: CoreOffset {
+                dx: r.i32()?,
+                dy: r.i32()?,
+            },
+            axon: r.u16()?,
+            delay: r.u8()?,
+        }),
+        2 => Destination::Output(r.u32()?),
+        _ => return Err(WireError::Malformed("destination tag")),
+    })
+}
+
+/// Encodes a complete [`CoreState`] image.
+pub fn write_core_state(w: &mut Writer, s: &CoreState) {
+    w.usize(s.axons);
+    w.usize(s.neurons);
+    for &ty in &s.axon_types {
+        w.u8(ty.index() as u8);
+    }
+    for c in &s.configs {
+        write_neuron_config(w, c);
+    }
+    for d in &s.destinations {
+        write_destination(w, d);
+    }
+    for &word in &s.crossbar_words {
+        w.u64(word);
+    }
+    for &v in &s.potentials {
+        w.i32(v);
+    }
+    for &word in &s.scheduler_slots {
+        w.u64(word);
+    }
+    w.u32(s.rng_state);
+    w.u8(match s.strategy {
+        EvalStrategy::Dense => 0,
+        EvalStrategy::Sparse => 1,
+        EvalStrategy::Swar => 2,
+    });
+    w.u64(s.now);
+    write_core_stats(w, &s.stats);
+    w.bool(s.settled);
+    match &s.faults {
+        None => w.bool(false),
+        Some(f) => {
+            w.bool(true);
+            w.bool(f.dropped);
+            for &dead in &f.dead {
+                w.bool(dead);
+            }
+            w.usize(f.stuck.len());
+            for &idx in &f.stuck {
+                w.u16(idx);
+            }
+            write_fault_stats(w, &f.structural);
+        }
+    }
+}
+
+/// Decodes a complete [`CoreState`] image. Shape consistency beyond the
+/// wire level (tail bits, sorted fault lists, builder validation) is the
+/// job of [`brainsim_core::NeurosynapticCore::import_state`].
+pub fn read_core_state(r: &mut Reader) -> Result<CoreState, WireError> {
+    let axons = r.usize()?;
+    let neurons = r.usize()?;
+    if axons.checked_mul(neurons).is_none() {
+        return Err(WireError::Malformed("core dimensions overflow"));
+    }
+    if axons > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut axon_types = Vec::with_capacity(axons);
+    for _ in 0..axons {
+        let tag = r.u8()?;
+        axon_types
+            .push(AxonType::from_index(tag as usize).ok_or(WireError::Malformed("axon-type tag"))?);
+    }
+    // A neuron config occupies at least 20 bytes on the wire; bounding the
+    // count here keeps a corrupted `neurons` from over-allocating.
+    if neurons
+        .checked_mul(20)
+        .is_none_or(|need| need > r.remaining())
+    {
+        return Err(WireError::Truncated);
+    }
+    let mut configs = Vec::with_capacity(neurons);
+    for _ in 0..neurons {
+        configs.push(read_neuron_config(r)?);
+    }
+    let mut destinations = Vec::with_capacity(neurons);
+    for _ in 0..neurons {
+        destinations.push(read_destination(r)?);
+    }
+    let xb_words = axons
+        .checked_mul(neurons.div_ceil(64))
+        .ok_or(WireError::Malformed("crossbar word count overflows"))?;
+    let crossbar_words = vec_u64(r, xb_words)?;
+    let potentials = vec_i32(r, neurons)?;
+    let sched_words = SCHEDULER_SLOTS
+        .checked_mul(axons.div_ceil(64))
+        .ok_or(WireError::Malformed("scheduler word count overflows"))?;
+    let scheduler_slots = vec_u64(r, sched_words)?;
+    let rng_state = r.u32()?;
+    let strategy = match r.u8()? {
+        0 => EvalStrategy::Dense,
+        1 => EvalStrategy::Sparse,
+        2 => EvalStrategy::Swar,
+        _ => return Err(WireError::Malformed("strategy tag")),
+    };
+    let now = r.u64()?;
+    let stats = read_core_stats(r)?;
+    let settled = r.bool()?;
+    let faults = if r.bool()? {
+        let dropped = r.bool()?;
+        let dead = vec_bool(r, neurons)?;
+        let stuck_len = r.len(2)?;
+        let mut stuck = Vec::with_capacity(stuck_len);
+        for _ in 0..stuck_len {
+            stuck.push(r.u16()?);
+        }
+        let structural = read_fault_stats(r)?;
+        Some(CoreFaultsState {
+            dropped,
+            dead,
+            stuck,
+            structural,
+        })
+    } else {
+        None
+    };
+    Ok(CoreState {
+        axons,
+        neurons,
+        axon_types,
+        configs,
+        destinations,
+        crossbar_words,
+        potentials,
+        scheduler_slots,
+        rng_state,
+        strategy,
+        now,
+        stats,
+        settled,
+        faults,
+    })
+}
+
+/// Encodes a [`FaultPlan`] (f64 rates travel as exact bit patterns).
+pub fn write_fault_plan(w: &mut Writer, p: &FaultPlan) {
+    w.u64(p.seed);
+    w.f64(p.core_dropout);
+    w.f64(p.dead_neuron);
+    w.f64(p.stuck_neuron);
+    w.f64(p.synapse_stuck_zero);
+    w.f64(p.synapse_stuck_one);
+    w.f64(p.link_drop);
+    w.f64(p.link_corrupt);
+    w.f64(p.link_delay);
+    w.u8(p.link_delay_ticks);
+    w.u8(match p.overflow_policy {
+        OverflowPolicy::DropNewest => 0,
+        OverflowPolicy::DropOldest => 1,
+    });
+}
+
+/// Decodes a [`FaultPlan`].
+pub fn read_fault_plan(r: &mut Reader) -> Result<FaultPlan, WireError> {
+    Ok(FaultPlan {
+        seed: r.u64()?,
+        core_dropout: r.f64()?,
+        dead_neuron: r.f64()?,
+        stuck_neuron: r.f64()?,
+        synapse_stuck_zero: r.f64()?,
+        synapse_stuck_one: r.f64()?,
+        link_drop: r.f64()?,
+        link_corrupt: r.f64()?,
+        link_delay: r.f64()?,
+        link_delay_ticks: r.u8()?,
+        overflow_policy: match r.u8()? {
+            0 => OverflowPolicy::DropNewest,
+            1 => OverflowPolicy::DropOldest,
+            _ => return Err(WireError::Malformed("overflow-policy tag")),
+        },
+    })
+}
+
+/// Encodes a [`TelemetryConfig`].
+pub fn write_telemetry_config(w: &mut Writer, c: &TelemetryConfig) {
+    write_opt_u64(w, c.capacity.map(|v| v as u64));
+    w.bool(c.core_detail);
+}
+
+/// Decodes a [`TelemetryConfig`].
+pub fn read_telemetry_config(r: &mut Reader) -> Result<TelemetryConfig, WireError> {
+    let capacity = match read_opt_u64(r)? {
+        Some(v) => {
+            Some(usize::try_from(v).map_err(|_| WireError::Malformed("capacity exceeds usize"))?)
+        }
+        None => None,
+    };
+    Ok(TelemetryConfig {
+        capacity,
+        core_detail: r.bool()?,
+    })
+}
+
+/// Encodes a cumulative [`RunSummary`].
+pub fn write_run_summary(w: &mut Writer, s: &RunSummary) {
+    w.u64(s.ticks);
+    w.u64(s.spikes);
+    w.u64(s.outputs);
+    w.u64(s.deliveries);
+    w.u64(s.hops);
+    w.u64(s.link_crossings);
+    w.u64(s.evaluations);
+    w.u64(s.skips);
+    write_histogram(w, &s.hop_histogram);
+    write_fault_stats(w, &s.faults);
+    write_census(w, &s.energy);
+    w.usize(s.core_spikes.len());
+    for &v in &s.core_spikes {
+        w.u64(v);
+    }
+    w.usize(s.core_synaptic_events.len());
+    for &v in &s.core_synaptic_events {
+        w.u64(v);
+    }
+    write_opt_u64(w, s.resumed_from_tick);
+}
+
+/// Decodes a cumulative [`RunSummary`].
+pub fn read_run_summary(r: &mut Reader) -> Result<RunSummary, WireError> {
+    let ticks = r.u64()?;
+    let spikes = r.u64()?;
+    let outputs = r.u64()?;
+    let deliveries = r.u64()?;
+    let hops = r.u64()?;
+    let link_crossings = r.u64()?;
+    let evaluations = r.u64()?;
+    let skips = r.u64()?;
+    let hop_histogram = read_histogram(r)?;
+    let faults = read_fault_stats(r)?;
+    let energy = read_census(r)?;
+    let spikes_len = r.len(8)?;
+    let core_spikes = vec_u64(r, spikes_len)?;
+    let events_len = r.len(8)?;
+    let core_synaptic_events = vec_u64(r, events_len)?;
+    let resumed_from_tick = read_opt_u64(r)?;
+    Ok(RunSummary {
+        ticks,
+        spikes,
+        outputs,
+        deliveries,
+        hops,
+        link_crossings,
+        evaluations,
+        skips,
+        hop_histogram,
+        faults,
+        energy,
+        core_spikes,
+        core_synaptic_events,
+        resumed_from_tick,
+    })
+}
+
+fn write_flit(w: &mut Writer, f: &Flit) {
+    w.i16(f.packet.dx);
+    w.i16(f.packet.dy);
+    w.u16(f.packet.axon);
+    w.u8(f.packet.slot);
+    w.u64(f.injected_at);
+    w.u32(f.hops);
+}
+
+fn read_flit(r: &mut Reader) -> Result<Flit, WireError> {
+    let dx = r.i16()?;
+    let dy = r.i16()?;
+    let axon = r.u16()?;
+    let slot = r.u8()?;
+    let packet = Packet::new(dx, dy, axon, slot)
+        .map_err(|_| WireError::Malformed("flit packet field out of range"))?;
+    Ok(Flit {
+        packet,
+        injected_at: r.u64()?,
+        hops: r.u32()?,
+    })
+}
+
+/// Encodes a standalone mesh-NoC state image.
+pub fn write_noc_state(w: &mut Writer, s: &NocState) {
+    w.usize(s.config.width);
+    w.usize(s.config.height);
+    w.usize(s.config.fifo_capacity);
+    w.u8(match s.config.routing {
+        RoutingOrder::XThenY => 0,
+        RoutingOrder::YThenX => 1,
+    });
+    w.usize(s.routers.len());
+    for router in &s.routers {
+        for queue in &router.queues {
+            w.usize(queue.len());
+            for flit in queue {
+                write_flit(w, flit);
+            }
+        }
+        for &rr in &router.rr {
+            w.usize(rr);
+        }
+    }
+    w.u64(s.now);
+    let st = &s.stats;
+    w.u64(st.injected);
+    w.u64(st.delivered);
+    w.u64(st.rejected);
+    w.u64(st.stalls);
+    w.u64(st.dropped);
+    w.u64(st.cycles);
+    w.u64(st.total_latency);
+    w.u64(st.max_latency);
+    w.u64(st.total_hops);
+    write_histogram(w, &st.occupancy);
+    w.u64(st.peak_buffered);
+    write_fault_stats(w, &st.faults);
+    w.usize(s.delayed.len());
+    for d in &s.delayed {
+        w.u64(d.release_at);
+        w.usize(d.router);
+        w.u8(d.port.index() as u8);
+        write_flit(w, &d.flit);
+    }
+}
+
+/// Decodes a standalone mesh-NoC state image. Capacity and index
+/// validation beyond the wire level is the job of
+/// [`brainsim_noc::MeshNoc::import_state`].
+pub fn read_noc_state(r: &mut Reader) -> Result<NocState, WireError> {
+    let config = NocConfig {
+        width: r.usize()?,
+        height: r.usize()?,
+        fifo_capacity: r.usize()?,
+        routing: match r.u8()? {
+            0 => RoutingOrder::XThenY,
+            1 => RoutingOrder::YThenX,
+            _ => return Err(WireError::Malformed("routing-order tag")),
+        },
+    };
+    // A router occupies at least PORTS queue lengths + PORTS pointers.
+    let router_count = r.len(PORTS * 16)?;
+    let mut routers = Vec::with_capacity(router_count);
+    for _ in 0..router_count {
+        let mut queues: [Vec<Flit>; PORTS] = Default::default();
+        for queue in &mut queues {
+            let len = r.len(19)?; // flit wire size
+            for _ in 0..len {
+                queue.push(read_flit(r)?);
+            }
+        }
+        let mut rr = [0usize; PORTS];
+        for p in &mut rr {
+            *p = r.usize()?;
+        }
+        routers.push(RouterState { queues, rr });
+    }
+    let now = r.u64()?;
+    let stats = NocStats {
+        injected: r.u64()?,
+        delivered: r.u64()?,
+        rejected: r.u64()?,
+        stalls: r.u64()?,
+        dropped: r.u64()?,
+        cycles: r.u64()?,
+        total_latency: r.u64()?,
+        max_latency: r.u64()?,
+        total_hops: r.u64()?,
+        occupancy: read_histogram(r)?,
+        peak_buffered: r.u64()?,
+        faults: read_fault_stats(r)?,
+    };
+    let delayed_count = r.len(28)?; // delayed-flit wire size
+    let mut delayed = Vec::with_capacity(delayed_count);
+    for _ in 0..delayed_count {
+        let release_at = r.u64()?;
+        let router = r.usize()?;
+        let port_tag = r.u8()? as usize;
+        let port = *Port::ALL
+            .get(port_tag)
+            .ok_or(WireError::Malformed("port tag"))?;
+        let flit = read_flit(r)?;
+        delayed.push(DelayedFlit {
+            release_at,
+            router,
+            port,
+            flit,
+        });
+    }
+    Ok(NocState {
+        config,
+        routers,
+        now,
+        stats,
+        delayed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brainsim_core::{CoreBuilder, NeurosynapticCore};
+    use brainsim_noc::MeshNoc;
+
+    fn round_trip<T, W, R>(value: &T, write: W, read: R) -> T
+    where
+        W: Fn(&mut Writer, &T),
+        R: Fn(&mut Reader) -> Result<T, WireError>,
+    {
+        let mut w = Writer::new();
+        write(&mut w, value);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let out = read(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+        out
+    }
+
+    #[test]
+    fn neuron_config_round_trips_every_field() {
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(5))
+            .weight(AxonType::A3, Weight::saturating(-7))
+            .stochastic_synapse(AxonType::A1, true)
+            .leak(-2)
+            .leak_reversal(true)
+            .stochastic_leak(true)
+            .threshold(17)
+            .threshold_mask_bits(3)
+            .negative_threshold(9)
+            .negative_mode(NegativeThresholdMode::Reset)
+            .reset_mode(ResetMode::Linear)
+            .reset_potential(1)
+            .build()
+            .expect("valid config");
+        assert_eq!(
+            round_trip(&config, write_neuron_config, read_neuron_config),
+            config
+        );
+    }
+
+    #[test]
+    fn destination_variants_round_trip() {
+        for d in [
+            Destination::Disabled,
+            Destination::Output(42),
+            Destination::Axon(AxonTarget {
+                offset: CoreOffset { dx: -3, dy: 2 },
+                axon: 19,
+                delay: 7,
+            }),
+        ] {
+            assert_eq!(round_trip(&d, write_destination, read_destination), d);
+        }
+    }
+
+    #[test]
+    fn core_state_round_trips_through_the_wire() {
+        let mut b = CoreBuilder::new(70, 70);
+        b.seed(0xFACE);
+        for n in 0..70 {
+            let config = NeuronConfig::builder()
+                .weight(AxonType::A0, Weight::saturating(1 + (n % 3) as i32))
+                .threshold(1 + (n % 4) as u32)
+                .build()
+                .expect("valid");
+            b.neuron(n, config, Destination::Output(n as u32))
+                .expect("neuron");
+            b.synapse(n % 70, n, true).expect("synapse");
+        }
+        let mut core = b.build();
+        core.deliver(3, 0).expect("deliver");
+        core.tick(0);
+        core.deliver(5, 3).expect("deliver pending");
+        let state = core.export_state();
+        let decoded = round_trip(&state, write_core_state, read_core_state);
+        assert_eq!(decoded, state);
+        // And the decoded image rebuilds a working core.
+        NeurosynapticCore::import_state(&decoded).expect("import");
+    }
+
+    #[test]
+    fn fault_plan_rates_are_bit_exact() {
+        let plan = FaultPlan::new(0xDEAD)
+            .with_link_drop(0.15)
+            .with_link_delay(1.0 / 3.0, 2)
+            .with_overflow_policy(OverflowPolicy::DropOldest);
+        let decoded = round_trip(&plan, write_fault_plan, read_fault_plan);
+        assert_eq!(decoded.link_delay.to_bits(), plan.link_delay.to_bits());
+        assert_eq!(decoded, plan);
+    }
+
+    #[test]
+    fn run_summary_round_trips() {
+        let mut s = RunSummary::new(6);
+        s.ticks = 100;
+        s.spikes = 250;
+        s.core_spikes[3] = 99;
+        s.hop_histogram.record(5);
+        s.energy.hops = 123;
+        s.faults.packets_dropped = 4;
+        s.resumed_from_tick = Some(50);
+        assert_eq!(round_trip(&s, write_run_summary, read_run_summary), s);
+    }
+
+    #[test]
+    fn noc_state_round_trips_mid_flight() {
+        let mut noc = MeshNoc::new(NocConfig {
+            width: 3,
+            height: 3,
+            fifo_capacity: 4,
+            routing: RoutingOrder::XThenY,
+        });
+        for i in 0..5u16 {
+            let packet = Packet::new(2, 1, i, 0).expect("packet");
+            let _ = noc.inject(0, 0, packet);
+            noc.cycle();
+        }
+        let state = noc.export_state();
+        let decoded = round_trip(&state, write_noc_state, read_noc_state);
+        assert_eq!(decoded, state);
+        MeshNoc::import_state(&decoded).expect("import");
+    }
+
+    #[test]
+    fn bad_enum_tags_are_typed_errors() {
+        let mut w = Writer::new();
+        w.u8(9);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            read_destination(&mut Reader::new(&bytes)),
+            Err(WireError::Malformed("destination tag"))
+        ));
+    }
+}

@@ -1,0 +1,170 @@
+//! Crash-consistent snapshot files: write-temp → fsync → rename.
+//!
+//! A snapshot on disk is either the complete, fsynced previous content or
+//! the complete new content — never a torn mix. The rename is the commit
+//! point; a crash at any earlier instant leaves at worst a stale `.tmp`
+//! file beside an intact previous snapshot (the restore path ignores
+//! temporaries).
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::container::{verify, RestoreError};
+
+/// Error from snapshot file IO: the filesystem failed, or the bytes on
+/// disk failed verification.
+#[derive(Debug)]
+pub enum SnapshotIoError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file was read but is not a valid snapshot.
+    Restore(RestoreError),
+}
+
+impl std::fmt::Display for SnapshotIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotIoError::Io(e) => write!(f, "snapshot io failed: {e}"),
+            SnapshotIoError::Restore(e) => write!(f, "snapshot invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotIoError {}
+
+impl From<io::Error> for SnapshotIoError {
+    fn from(e: io::Error) -> Self {
+        SnapshotIoError::Io(e)
+    }
+}
+
+impl From<RestoreError> for SnapshotIoError {
+    fn from(e: RestoreError) -> Self {
+        SnapshotIoError::Restore(e)
+    }
+}
+
+/// Atomic writes completed by this process (drives the crash hook).
+static WRITES: AtomicU64 = AtomicU64::new(0);
+
+/// Crash-injection hook for the CI kill tests: when
+/// `BRAINSIM_SNAPSHOT_HOLD_WRITE=n` is set, the `n`-th atomic write of the
+/// process (1-based) sleeps `BRAINSIM_SNAPSHOT_HOLD_MS` milliseconds
+/// (default 30000) *after* the temp file is written and fsynced but
+/// *before* the rename — the widest possible mid-write window. A SIGKILL
+/// landing in that window leaves the previous snapshot untouched.
+fn hold_if_hooked(nth: u64) {
+    let hold = std::env::var("BRAINSIM_SNAPSHOT_HOLD_WRITE")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    if hold == Some(nth) {
+        let ms = std::env::var("BRAINSIM_SNAPSHOT_HOLD_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(30_000);
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// Writes `bytes` to `path` crash-consistently: the content goes to
+/// `<path>.tmp` first, is fsynced, and only then renamed over `path`.
+/// A crash at any point leaves `path` either absent or holding its
+/// complete previous content.
+pub fn save_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, bytes)?;
+        f.sync_all()?;
+    }
+    let nth = WRITES.fetch_add(1, Ordering::Relaxed) + 1;
+    hold_if_hooked(nth);
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself (the directory entry). Failure to fsync a
+    // directory is non-fatal on filesystems that don't support it.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads `path` and verifies container integrity (magic, version, every
+/// section CRC), returning the raw bytes on success.
+pub fn load_verified(path: &Path) -> Result<Vec<u8>, SnapshotIoError> {
+    let bytes = std::fs::read(path)?;
+    verify(&bytes)?;
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{encode_container, SectionId};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("brainsim-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn atomic_save_round_trips_and_leaves_no_temp() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("state.bsnp");
+        let bytes = encode_container(&[(SectionId::App, vec![1, 2, 3])]);
+        save_atomic(&path, &bytes).expect("save");
+        assert_eq!(load_verified(&path).expect("load"), bytes);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file must not survive a save");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_replaces_content_completely() {
+        let dir = tmpdir("overwrite");
+        let path = dir.join("state.bsnp");
+        let first = encode_container(&[(SectionId::App, vec![0; 4096])]);
+        let second = encode_container(&[(SectionId::App, vec![7; 8])]);
+        save_atomic(&path, &first).expect("save first");
+        save_atomic(&path, &second).expect("save second");
+        assert_eq!(load_verified(&path).expect("load"), second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_fails_verification_not_panics() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("state.bsnp");
+        let bytes = encode_container(&[(SectionId::App, vec![5; 64])]);
+        save_atomic(&path, &bytes).expect("save");
+        let mut damaged = bytes.clone();
+        let n = damaged.len();
+        damaged[n - 1] ^= 1;
+        std::fs::write(&path, &damaged).expect("overwrite with damage");
+        assert!(matches!(
+            load_verified(&path),
+            Err(SnapshotIoError::Restore(RestoreError::SectionCrc { .. }))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = tmpdir("missing");
+        assert!(matches!(
+            load_verified(&dir.join("nope.bsnp")),
+            Err(SnapshotIoError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,203 @@
+//! Checkpoint cadence and retention: save every N ticks, keep the last K,
+//! and on restore fall back to the newest snapshot that still verifies.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::file::{load_verified, save_atomic, SnapshotIoError};
+
+/// When to checkpoint and how many checkpoints to retain.
+///
+/// Retention is the corruption-recovery margin: with `keep ≥ 2`, a latest
+/// snapshot damaged on disk (bit rot, torn by an unlucky crash window on a
+/// non-atomic filesystem) still leaves an older verified one for
+/// [`CheckpointPolicy::load_newest_verifying`] to fall back to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    every: u64,
+    keep: usize,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `every` ticks (min 1), keeping the newest `keep`
+    /// files (min 1).
+    pub fn new(every: u64, keep: usize) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every: every.max(1),
+            keep: keep.max(1),
+        }
+    }
+
+    /// The checkpoint interval in ticks.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// How many checkpoint files are retained.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// True when a checkpoint is due after completing tick `tick − 1`,
+    /// i.e. when `tick` (the number of ticks completed) is a positive
+    /// multiple of the interval.
+    pub fn due(&self, tick: u64) -> bool {
+        tick > 0 && tick.is_multiple_of(self.every)
+    }
+
+    /// The canonical file path for the checkpoint taken at `tick`. The
+    /// zero-padded tick makes lexical order equal numeric order.
+    pub fn path_for(dir: &Path, tick: u64) -> PathBuf {
+        dir.join(format!("ckpt-{tick:020}.bsnp"))
+    }
+
+    /// All checkpoints in `dir`, as `(tick, path)` sorted oldest first.
+    /// Non-checkpoint files (including `.tmp` leftovers from a crashed
+    /// write) are ignored.
+    pub fn list(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(tick) = name
+                .strip_prefix("ckpt-")
+                .and_then(|rest| rest.strip_suffix(".bsnp"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            out.push((tick, path));
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Atomically writes the checkpoint for `tick` and prunes the oldest
+    /// files beyond the retention count. Returns the written path.
+    pub fn save(&self, dir: &Path, tick: u64, bytes: &[u8]) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = CheckpointPolicy::path_for(dir, tick);
+        save_atomic(&path, bytes)?;
+        let existing = CheckpointPolicy::list(dir)?;
+        if existing.len() > self.keep {
+            for (_, old) in &existing[..existing.len() - self.keep] {
+                // A file that vanished between list and prune (a concurrent
+                // run, an operator's cleanup) is already pruned.
+                match std::fs::remove_file(old) {
+                    Err(e) if e.kind() != io::ErrorKind::NotFound => return Err(e),
+                    _ => {}
+                }
+            }
+        }
+        Ok(path)
+    }
+
+    /// Loads the newest checkpoint in `dir` that passes container
+    /// verification (magic, version, every section CRC), walking backwards
+    /// past corrupt or unreadable files. Returns `None` when no checkpoint
+    /// verifies; IO errors other than per-file read failures propagate.
+    pub fn load_newest_verifying(dir: &Path) -> io::Result<Option<(u64, Vec<u8>)>> {
+        for (tick, path) in CheckpointPolicy::list(dir)?.into_iter().rev() {
+            match load_verified(&path) {
+                Ok(bytes) => return Ok(Some((tick, bytes))),
+                // A damaged or vanished file is exactly what fallback is
+                // for: keep walking to the next-older checkpoint.
+                Err(SnapshotIoError::Restore(_)) | Err(SnapshotIoError::Io(_)) => continue,
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Default for CheckpointPolicy {
+    /// Every 100 ticks, keep the last 3.
+    fn default() -> Self {
+        CheckpointPolicy::new(100, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{encode_container, SectionId};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("brainsim-policy-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn payload(tick: u64) -> Vec<u8> {
+        encode_container(&[(SectionId::App, tick.to_le_bytes().to_vec())])
+    }
+
+    #[test]
+    fn cadence() {
+        let p = CheckpointPolicy::new(25, 2);
+        assert!(!p.due(0));
+        assert!(!p.due(24));
+        assert!(p.due(25));
+        assert!(p.due(50));
+        assert!(!p.due(51));
+        // Degenerate intervals clamp instead of dividing by zero.
+        assert!(CheckpointPolicy::new(0, 0).due(1));
+    }
+
+    #[test]
+    fn save_rotates_and_keeps_newest_k() {
+        let dir = tmpdir("rotate");
+        let p = CheckpointPolicy::new(10, 2);
+        for tick in [10, 20, 30, 40] {
+            p.save(&dir, tick, &payload(tick)).expect("save");
+        }
+        let ticks: Vec<u64> = CheckpointPolicy::list(&dir)
+            .expect("list")
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(ticks, vec![30, 40]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newest_verifying_falls_back_past_corruption() {
+        let dir = tmpdir("fallback");
+        let p = CheckpointPolicy::new(10, 3);
+        p.save(&dir, 10, &payload(10)).expect("save 10");
+        p.save(&dir, 20, &payload(20)).expect("save 20");
+        // Damage the newest file on disk.
+        let newest = CheckpointPolicy::path_for(&dir, 20);
+        let mut bytes = std::fs::read(&newest).expect("read newest");
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&newest, &bytes).expect("damage newest");
+
+        let (tick, loaded) = CheckpointPolicy::load_newest_verifying(&dir)
+            .expect("io")
+            .expect("fallback found");
+        assert_eq!(tick, 10);
+        assert_eq!(loaded, payload(10));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_missing_dir_is_none() {
+        let dir = tmpdir("empty");
+        assert!(CheckpointPolicy::load_newest_verifying(&dir)
+            .expect("io")
+            .is_none());
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        assert!(CheckpointPolicy::load_newest_verifying(&dir)
+            .expect("io")
+            .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,6 +11,7 @@ use brainsim_energy::EventCensus;
 use brainsim_faults::FaultStats;
 
 use crate::record::TickRecord;
+use crate::report::RunSummary;
 use crate::sink::Probe;
 
 fn render_faults(out: &mut String, f: &FaultStats) {
@@ -100,6 +101,39 @@ pub fn render_jsonl(record: &TickRecord) -> String {
         );
     }
     out.push_str("]}");
+    out
+}
+
+/// Renders a [`RunSummary`] as a single JSON object (no trailing newline),
+/// with the same stable field order guarantees as [`render_jsonl`]. The
+/// `resumed_from_tick` field is `null` for uninterrupted runs and the
+/// checkpoint tick for resumed ones, so downstream consumers can always
+/// tell the two apart instead of silently merging them.
+pub fn render_summary_jsonl(summary: &RunSummary) -> String {
+    let mut out = String::with_capacity(512);
+    let _ = write!(out, "{{\"ticks\":{},\"resumed_from_tick\":", summary.ticks);
+    match summary.resumed_from_tick {
+        Some(tick) => {
+            let _ = write!(out, "{tick}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ",\"spikes\":{},\"outputs\":{},\"deliveries\":{},\"hops\":{},\
+         \"link_crossings\":{},\"evaluations\":{},\"skips\":{},\"faults\":",
+        summary.spikes,
+        summary.outputs,
+        summary.deliveries,
+        summary.hops,
+        summary.link_crossings,
+        summary.evaluations,
+        summary.skips,
+    );
+    render_faults(&mut out, &summary.faults);
+    out.push_str(",\"energy\":");
+    render_census(&mut out, &summary.energy);
+    out.push('}');
     out
 }
 
@@ -303,6 +337,20 @@ mod tests {
         assert!(line.ends_with("}]}"));
         // Identical input → byte-identical output.
         assert_eq!(line, render_jsonl(&record()));
+    }
+
+    #[test]
+    fn summary_jsonl_labels_resumed_runs() {
+        let mut s = RunSummary::new(2);
+        s.on_tick(&record());
+        let fresh = render_summary_jsonl(&s);
+        assert!(fresh.contains("\"resumed_from_tick\":null"));
+        s.resumed_from_tick = Some(50);
+        let resumed = render_summary_jsonl(&s);
+        assert!(resumed.contains("\"resumed_from_tick\":50"));
+        assert!(resumed.contains("\"spikes\":2"));
+        // Identical input → byte-identical output.
+        assert_eq!(resumed, render_summary_jsonl(&s));
     }
 
     #[test]

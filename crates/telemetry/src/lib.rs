@@ -56,7 +56,9 @@ mod record;
 mod report;
 mod sink;
 
-pub use export::{render_csv_row, render_jsonl, CsvExporter, JsonlExporter, CSV_HEADER};
+pub use export::{
+    render_csv_row, render_jsonl, render_summary_jsonl, CsvExporter, JsonlExporter, CSV_HEADER,
+};
 pub use record::{CoreActivity, Histogram, SchedulerMeta, TickRecord, HISTOGRAM_BUCKETS};
 pub use report::{render_heatmap, RunSummary};
 pub use sink::{Probe, TelemetryConfig, TelemetryLog};

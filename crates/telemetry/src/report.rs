@@ -41,6 +41,13 @@ pub struct RunSummary {
     pub core_spikes: Vec<u64>,
     /// Cumulative synaptic events per core, row-major — the load heatmap.
     pub core_synaptic_events: Vec<u64>,
+    /// `Some(tick)` when this summary was restored from a checkpoint taken
+    /// at `tick`: the aggregates cover the whole logical run (pre-checkpoint
+    /// counters travel inside the snapshot), but the record ring restarts
+    /// empty at the resume point. Exporters and [`RunSummary::render_table`]
+    /// surface the marker so resumed runs are never mistaken for (or
+    /// silently merged with) uninterrupted ones.
+    pub resumed_from_tick: Option<u64>,
 }
 
 impl RunSummary {
@@ -103,6 +110,9 @@ impl RunSummary {
             let _ = writeln!(out, "  {k:<26} {v}");
         };
         row("ticks", self.ticks.to_string());
+        if let Some(tick) = self.resumed_from_tick {
+            row("resumed from tick", tick.to_string());
+        }
         row(
             "spikes",
             format!("{} ({:.2}/tick)", self.spikes, self.spikes_per_tick()),
@@ -272,6 +282,17 @@ mod tests {
         assert!(table.contains("50.0% quiescent"));
         assert!(table.contains("GSOPS/W"));
         assert!(table.contains("hop histogram"));
+        assert!(!table.contains("resumed from tick"));
+    }
+
+    #[test]
+    fn table_labels_resumed_runs() {
+        let mut s = RunSummary::new(4);
+        s.on_tick(&record(0));
+        s.resumed_from_tick = Some(173);
+        let table = s.render_table(&EnergyModel::default());
+        assert!(table.contains("resumed from tick"));
+        assert!(table.contains("173"));
     }
 
     #[test]

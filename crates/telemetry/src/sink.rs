@@ -93,6 +93,22 @@ impl TelemetryLog {
         &self.config
     }
 
+    /// Reassembles a log from snapshot parts: the original configuration,
+    /// the eviction count, and the cumulative summary (which carries the
+    /// [`RunSummary::resumed_from_tick`] marker on restored runs). The
+    /// record ring restarts empty — per-tick records are deliberately not
+    /// checkpointed, so a resumed log cannot double-count: the summary
+    /// continues from its saved aggregates and only genuinely new ticks are
+    /// pushed on top.
+    pub fn from_parts(config: TelemetryConfig, evicted: u64, summary: RunSummary) -> TelemetryLog {
+        TelemetryLog {
+            config,
+            records: VecDeque::new(),
+            evicted,
+            summary,
+        }
+    }
+
     /// Appends one tick's record, evicting the oldest if the ring is full.
     pub fn push(&mut self, record: TickRecord) {
         self.summary.on_tick(&record);

@@ -1,67 +1,201 @@
-//! Quickstart: describe a small spiking network logically, compile it onto
-//! the neurosynaptic chip, drive it with input spikes and read the output
-//! raster.
+//! Quickstart: a deterministic recurrent chip driven tick by tick, with
+//! crash-consistent checkpointing and deterministic resume.
 //!
-//! Run with: `cargo run --example quickstart`
+//! ```text
+//! cargo run --release --example quickstart -- [flags]
+//!   --ticks N             ticks to run (default 240)
+//!   --checkpoint-every N  checkpoint cadence in ticks (0 = off; default 0)
+//!   --snapshot-dir PATH   checkpoint directory (default target/quickstart-ckpt)
+//!   --resume              resume from the newest verifying snapshot
+//!   --tick-sleep-ms N     sleep per tick, to give a crash harness a window
+//! ```
+//!
+//! The run folds every tick's output raster into a running FNV-1a
+//! checksum, carried inside each snapshot's application section; the final
+//! line prints it. Kill the process at any instant — mid-run or mid-write
+//! (see `BRAINSIM_SNAPSHOT_HOLD_WRITE` in `brainsim::snapshot`) — and a
+//! `--resume` run finishes with the identical checksum an uninterrupted
+//! run prints: that is the crash-consistency contract, and the
+//! `checkpoint-crash` CI job enforces it.
 
-use brainsim::compiler::{compile, CompileOptions};
-use brainsim::corelet::{Corelet, NodeRef};
+use std::path::PathBuf;
+
+use brainsim::chip::{CheckpointPolicy, Chip, ChipBuilder, ChipConfig, CoreScheduling, Snapshot};
+use brainsim::core::{AxonTarget, CoreOffset, Destination};
 use brainsim::energy::EnergyModel;
-use brainsim::neuron::NeuronConfig;
+use brainsim::neuron::{AxonType, Lfsr, NeuronConfig, Weight};
+
+const GRID: usize = 4;
+const FANIN: usize = 16;
+const SEED: u32 = 0xB5A1;
+
+struct Args {
+    ticks: u64,
+    checkpoint_every: u64,
+    snapshot_dir: PathBuf,
+    resume: bool,
+    tick_sleep_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ticks: 240,
+        checkpoint_every: 0,
+        snapshot_dir: PathBuf::from("target/quickstart-ckpt"),
+        resume: false,
+        tick_sleep_ms: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--ticks" => args.ticks = value("--ticks")?.parse().map_err(|e| format!("{e}"))?,
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--snapshot-dir" => args.snapshot_dir = PathBuf::from(value("--snapshot-dir")?),
+            "--resume" => args.resume = true,
+            "--tick-sleep-ms" => {
+                args.tick_sleep_ms = value("--tick-sleep-ms")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// A deterministic recurrent 4×4 chip: per-core relays plus nearest-cell
+/// recurrence seeded from a fixed LFSR, one output pad per core so the
+/// raster (and its checksum) observes every core.
+fn build_chip() -> Chip {
+    let mut b = ChipBuilder::new(ChipConfig {
+        width: GRID,
+        height: GRID,
+        core_axons: FANIN,
+        core_neurons: FANIN,
+        seed: SEED,
+        threads: 2,
+        scheduling: CoreScheduling::Active,
+        ..ChipConfig::default()
+    });
+    let mut rng = Lfsr::new(SEED);
+    for y in 0..GRID {
+        for x in 0..GRID {
+            for n in 0..FANIN {
+                let config = NeuronConfig::builder()
+                    .weight(
+                        AxonType::A0,
+                        Weight::new(1 + (rng.next_u32() % 3) as i32).expect("static weight"),
+                    )
+                    .weight(AxonType::A1, Weight::new(-1).expect("static weight"))
+                    .threshold(1 + rng.next_u32() % 4)
+                    .leak(if rng.bernoulli_256(64) { -1 } else { 0 })
+                    .leak_reversal(true)
+                    .build()
+                    .expect("static neuron parameters");
+                let dest = if n == 0 {
+                    Destination::Output((y * GRID + x) as u32)
+                } else {
+                    let dx = (rng.next_u32() % 3) as i32 - 1;
+                    let dy = (rng.next_u32() % 3) as i32 - 1;
+                    let tx = (x as i32 + dx).clamp(0, GRID as i32 - 1);
+                    let ty = (y as i32 + dy).clamp(0, GRID as i32 - 1);
+                    Destination::Axon(AxonTarget {
+                        offset: CoreOffset::new(tx - x as i32, ty - y as i32),
+                        axon: (rng.next_u32() as usize % FANIN) as u16,
+                        delay: 1 + (rng.next_u32() % 3) as u8,
+                    })
+                };
+                b.core_mut(x, y)
+                    .neuron(n, config, dest)
+                    .expect("static wiring");
+                for a in 0..FANIN {
+                    let bit = rng.bernoulli_256(56);
+                    b.core_mut(x, y).synapse(a, n, bit).expect("static wiring");
+                }
+            }
+        }
+    }
+    b.build().expect("static chip is valid")
+}
+
+/// Folds bytes into a running 64-bit FNV-1a hash.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Describe the network with a corelet: a 3-stage relay chain with a
-    //    leaky-integrator tail that only fires on bursts.
-    let mut corelet = Corelet::new("quickstart", 1);
-    let relay = NeuronConfig::builder().threshold(1).build()?;
-    let integrator = NeuronConfig::builder()
-        .threshold(3)
-        .leak(-1)
-        .leak_reversal(true)
-        .negative_threshold(0)
-        .build()?;
+    let args = parse_args().map_err(|e| {
+        eprintln!("usage error: {e}");
+        e
+    })?;
 
-    let a = corelet.add_neuron(relay.clone());
-    let b = corelet.add_neuron(relay);
-    let c = corelet.add_neuron(integrator);
-    corelet.connect(NodeRef::Input(0), a, 1, 1)?;
-    corelet.connect(NodeRef::Neuron(a), b, 1, 1)?;
-    corelet.connect(NodeRef::Neuron(b), c, 2, 1)?;
-    corelet.mark_output(c)?;
-
-    // 2. Compile onto the chip.
-    let mut compiled = compile(corelet.network(), &CompileOptions::default())?;
-    println!("compiled: {:?}", compiled.report());
-
-    // 3. Drive it: a burst of 3 input spikes, then silence, then a lone
-    //    spike (which the integrator ignores).
-    let raster = compiled.run(24, |t| {
-        if (4..7).contains(&t) || t == 16 {
-            vec![0]
+    // The checksum travels in the snapshot's application section, so a
+    // resumed run continues folding the same raster stream.
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    let (mut chip, mut checksum) =
+        if args.resume {
+            match CheckpointPolicy::load_newest_verifying(&args.snapshot_dir)? {
+                Some((tick, bytes)) => {
+                    let snapshot = Snapshot::from_bytes(&bytes)?;
+                    let checksum =
+                        u64::from_le_bytes(snapshot.app.as_slice().try_into().map_err(|_| {
+                            "snapshot application section is not an 8-byte checksum"
+                        })?);
+                    let chip = Chip::restore(snapshot)?;
+                    eprintln!("resumed from tick {tick}");
+                    (chip, checksum)
+                }
+                None => {
+                    eprintln!("no verifying snapshot found; starting fresh");
+                    (build_chip(), FNV_OFFSET)
+                }
+            }
         } else {
-            Vec::new()
+            (build_chip(), FNV_OFFSET)
+        };
+
+    let policy = CheckpointPolicy::new(args.checkpoint_every.max(1), 3);
+    for t in chip.now()..args.ticks {
+        // Periodic stimulus, a pure function of the tick number: 12 busy
+        // ticks out of every 24, each axon striding its own phase. A pure
+        // schedule needs no generator state in the snapshot.
+        if t % 24 < 12 {
+            for a in 0..FANIN {
+                if (t + a as u64).is_multiple_of(3) {
+                    chip.inject(a % GRID, (a / GRID) % GRID, a, t)?;
+                }
+            }
         }
-    });
+        let summary = chip.tick();
+        fnv1a(&mut checksum, &summary.tick.to_le_bytes());
+        for port in &summary.outputs {
+            fnv1a(&mut checksum, &port.to_le_bytes());
+        }
+        if args.tick_sleep_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(args.tick_sleep_ms));
+        }
+        if args.checkpoint_every > 0 && policy.due(chip.now()) {
+            let mut snapshot = chip.checkpoint();
+            snapshot.app = checksum.to_le_bytes().to_vec();
+            policy.save(&args.snapshot_dir, chip.now(), &snapshot.to_bytes())?;
+        }
+    }
 
-    // 4. Read the output raster.
+    let report = EnergyModel::default().report(&chip.census());
     println!(
-        "tick:   {}",
-        (0..24)
-            .map(|t| format!("{:>2}", t % 10))
-            .collect::<String>()
-    );
-    let line: String = raster
-        .iter()
-        .map(|out| if out[0] { " |" } else { " ." })
-        .collect();
-    println!("output: {line}");
-
-    // 5. Energy accounting comes for free from the event census.
-    let report = EnergyModel::default().report(&compiled.chip().census());
-    println!(
-        "energy: {:.3} µJ active, {:.2} mW total (simulated time)",
+        "ticks: {}  outputs: {}  energy: {:.3} µJ",
+        chip.now(),
+        chip.outputs_total(),
         report.active_energy_j * 1e6,
-        report.total_mw
     );
+    println!("raster checksum: {checksum:#018x}");
     Ok(())
 }

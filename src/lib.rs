@@ -23,6 +23,7 @@
 //! | [`encoding`] | `brainsim-encoding` | rate/latency/population codecs |
 //! | [`apps`] | `brainsim-apps` | classifier, edge filter bank, ITD estimator |
 //! | [`telemetry`] | `brainsim-telemetry` | per-tick probes, ring sinks, JSONL/CSV exporters |
+//! | [`snapshot`] | `brainsim-snapshot` | crash-consistent checkpoint container, codecs, retention policy |
 //!
 //! ## Quickstart
 //!
@@ -85,5 +86,6 @@ pub use brainsim_energy as energy;
 pub use brainsim_faults as faults;
 pub use brainsim_neuron as neuron;
 pub use brainsim_noc as noc;
+pub use brainsim_snapshot as snapshot;
 pub use brainsim_snn as snn;
 pub use brainsim_telemetry as telemetry;

@@ -1,0 +1,330 @@
+//! Kill–resume differential for the checkpoint/restore subsystem: a chip
+//! checkpointed at an arbitrary tick boundary, serialized through the wire
+//! format, dropped, and restored must produce the **bit-identical**
+//! remainder of the event stream an uninterrupted run produces — at thread
+//! counts 1 and 8, under both schedulers, with and without fault plans, on
+//! the SWAR and (`--features force-scalar`) scalar kernels.
+//!
+//! The workload replicates the `tests/parallel_equivalence.rs` recipe:
+//! random recurrent 4×4 chips, bursty seeded Bernoulli stimulus, and the
+//! three-plan fault corpus (benign / link chaos / structural damage).
+
+use brainsim::chip::{
+    CheckpointPolicy, Chip, ChipBuilder, ChipConfig, CoreScheduling, Snapshot, TelemetryConfig,
+    TickSemantics,
+};
+use brainsim::core::{AxonTarget, CoreOffset, Destination};
+use brainsim::energy::EventCensus;
+use brainsim::faults::{FaultPlan, FaultStats};
+use brainsim::neuron::{AxonType, Lfsr, NeuronConfig, Weight};
+use brainsim::telemetry::TickRecord as TelemetryRecord;
+
+const TICKS: u64 = 220;
+const GRID: usize = 4;
+const FANIN: usize = 16;
+
+/// Ticks at which the interrupted runs are killed and resumed: immediately
+/// after startup, mid-burst, and deep into the run inside an idle window.
+const CHECKPOINT_TICKS: [u64; 3] = [1, 50, 173];
+
+/// One tick's observable record (as in `parallel_equivalence`).
+type Record = (u64, u64, Vec<u32>, FaultStats);
+
+/// Everything one run produces: the per-tick stream, the final census and
+/// fault totals, and the telemetry log's records + summary.
+struct RunOutput {
+    records: Vec<Record>,
+    census: EventCensus,
+    faults: FaultStats,
+    telemetry_records: Vec<TelemetryRecord>,
+    telemetry_summary: brainsim::telemetry::RunSummary,
+}
+
+fn build_chip(
+    seed: u32,
+    semantics: TickSemantics,
+    threads: usize,
+    scheduling: CoreScheduling,
+) -> Chip {
+    let mut b = ChipBuilder::new(ChipConfig {
+        width: GRID,
+        height: GRID,
+        core_axons: FANIN,
+        core_neurons: FANIN,
+        seed,
+        semantics,
+        threads,
+        scheduling,
+        ..ChipConfig::default()
+    });
+    let mut rng = Lfsr::new(seed);
+    for y in 0..GRID {
+        for x in 0..GRID {
+            for n in 0..FANIN {
+                let config = NeuronConfig::builder()
+                    .weight(
+                        AxonType::A0,
+                        Weight::new(1 + (rng.next_u32() % 3) as i32).unwrap(),
+                    )
+                    .weight(AxonType::A1, Weight::new(-1).unwrap())
+                    .threshold(1 + rng.next_u32() % 4)
+                    .leak(if rng.bernoulli_256(64) { -1 } else { 0 })
+                    .leak_reversal(true)
+                    .build()
+                    .unwrap();
+                let dest = if n == 0 {
+                    Destination::Output((y * GRID + x) as u32)
+                } else {
+                    let dx = (rng.next_u32() % 3) as i32 - 1;
+                    let dy = (rng.next_u32() % 3) as i32 - 1;
+                    let tx = (x as i32 + dx).clamp(0, GRID as i32 - 1);
+                    let ty = (y as i32 + dy).clamp(0, GRID as i32 - 1);
+                    Destination::Axon(AxonTarget {
+                        offset: CoreOffset::new(tx - x as i32, ty - y as i32),
+                        axon: (rng.next_u32() as usize % FANIN) as u16,
+                        delay: 1 + (rng.next_u32() % 3) as u8,
+                    })
+                };
+                b.core_mut(x, y).neuron(n, config, dest).unwrap();
+                for a in 0..FANIN {
+                    let bit = rng.bernoulli_256(56);
+                    b.core_mut(x, y).synapse(a, n, bit).unwrap();
+                }
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn fault_plans(seed: u64) -> Vec<Option<FaultPlan>> {
+    vec![
+        None,
+        Some(
+            FaultPlan::new(seed)
+                .with_link_drop(0.15)
+                .with_link_corrupt(0.2),
+        ),
+        Some(
+            FaultPlan::new(seed ^ 0x5A5A)
+                .with_link_delay(0.3, 2)
+                .with_core_dropout(0.1)
+                .with_stuck_neuron(0.02)
+                .with_dead_neuron(0.05),
+        ),
+    ]
+}
+
+/// Injects the recipe's bursty stimulus for tick `t`.
+fn drive(chip: &mut Chip, stim: &mut Lfsr, t: u64) {
+    if t % 50 < 30 {
+        for a in 0..FANIN {
+            if stim.bernoulli_256(48) {
+                let x = (stim.next_u32() as usize) % GRID;
+                let y = (stim.next_u32() as usize) % GRID;
+                chip.inject(x, y, a, t).unwrap();
+            }
+        }
+    }
+}
+
+/// Reconstructs the stimulus generator as it stands after `ticks` ticks, by
+/// replaying its draw pattern — what a resuming harness does to realign its
+/// external input stream with the restored chip clock.
+fn stim_at(seed: u32, ticks: u64) -> Lfsr {
+    let mut stim = Lfsr::new(seed ^ 0x00C0_FFEE);
+    for t in 0..ticks {
+        if t % 50 < 30 {
+            for _ in 0..FANIN {
+                if stim.bernoulli_256(48) {
+                    stim.next_u32();
+                    stim.next_u32();
+                }
+            }
+        }
+    }
+    stim
+}
+
+fn finish(mut chip: Chip, records: Vec<Record>) -> RunOutput {
+    let census = chip.census();
+    let faults = chip.fault_stats();
+    let log = chip.take_telemetry().expect("telemetry was enabled");
+    RunOutput {
+        records,
+        census,
+        faults,
+        telemetry_records: log.records().cloned().collect(),
+        telemetry_summary: log.summary().clone(),
+    }
+}
+
+/// The golden run: uninterrupted, telemetry on.
+fn run_golden(
+    seed: u32,
+    threads: usize,
+    scheduling: CoreScheduling,
+    plan: Option<&FaultPlan>,
+) -> RunOutput {
+    let mut chip = build_chip(seed, TickSemantics::Deterministic, threads, scheduling);
+    if let Some(plan) = plan {
+        chip.set_fault_plan(plan);
+    }
+    chip.enable_telemetry(TelemetryConfig::unbounded());
+    let mut stim = Lfsr::new(seed ^ 0x00C0_FFEE);
+    let mut records = Vec::with_capacity(TICKS as usize);
+    for t in 0..TICKS {
+        drive(&mut chip, &mut stim, t);
+        let s = chip.tick();
+        records.push((s.tick, s.spikes, s.outputs, s.faults));
+    }
+    finish(chip, records)
+}
+
+/// The kill–resume run: checkpoint at `stop_at`, serialize through the wire
+/// format, drop the chip, restore from bytes, and run out the remainder.
+/// Returns the output plus the resume marker the restored telemetry carried.
+fn run_interrupted(
+    seed: u32,
+    threads: usize,
+    scheduling: CoreScheduling,
+    plan: Option<&FaultPlan>,
+    stop_at: u64,
+) -> (RunOutput, Option<u64>) {
+    let mut chip = build_chip(seed, TickSemantics::Deterministic, threads, scheduling);
+    if let Some(plan) = plan {
+        chip.set_fault_plan(plan);
+    }
+    chip.enable_telemetry(TelemetryConfig::unbounded());
+    let mut stim = Lfsr::new(seed ^ 0x00C0_FFEE);
+    let mut records = Vec::with_capacity(TICKS as usize);
+    for t in 0..stop_at {
+        drive(&mut chip, &mut stim, t);
+        let s = chip.tick();
+        records.push((s.tick, s.spikes, s.outputs, s.faults));
+    }
+    let bytes = chip.checkpoint().to_bytes();
+    drop(chip); // the "kill": nothing survives but the snapshot bytes
+
+    let snapshot = Snapshot::from_bytes(&bytes).expect("snapshot decodes");
+    let mut chip = Chip::restore(snapshot).expect("snapshot restores");
+    assert_eq!(chip.now(), stop_at);
+    let marker = chip
+        .telemetry()
+        .expect("telemetry restored")
+        .summary()
+        .resumed_from_tick;
+    let mut stim = stim_at(seed, stop_at);
+    for t in stop_at..TICKS {
+        drive(&mut chip, &mut stim, t);
+        let s = chip.tick();
+        records.push((s.tick, s.spikes, s.outputs, s.faults));
+    }
+    (finish(chip, records), marker)
+}
+
+#[test]
+fn kill_resume_is_bit_identical_to_the_uninterrupted_run() {
+    for seed in [0xA11CE, 0xB0B5EED] {
+        for (p, plan) in fault_plans(seed as u64).iter().enumerate() {
+            for &threads in &[1usize, 8] {
+                for scheduling in [CoreScheduling::Sweep, CoreScheduling::Active] {
+                    let golden = run_golden(seed, threads, scheduling, plan.as_ref());
+                    assert!(
+                        golden.records.iter().map(|r| r.1).sum::<u64>() > 0,
+                        "workload must be active (seed {seed:#x}, plan {p})"
+                    );
+                    for &stop_at in &CHECKPOINT_TICKS {
+                        let label = format!(
+                            "seed {seed:#x}, plan {p}, {threads} threads, {scheduling:?}, \
+                             killed at {stop_at}"
+                        );
+                        let (resumed, marker) =
+                            run_interrupted(seed, threads, scheduling, plan.as_ref(), stop_at);
+                        assert_eq!(resumed.records, golden.records, "tick stream: {label}");
+                        assert_eq!(resumed.census, golden.census, "census: {label}");
+                        assert_eq!(resumed.faults, golden.faults, "fault stats: {label}");
+                        // The restored ring restarts empty, so the resumed
+                        // log holds exactly the post-checkpoint records —
+                        // and they match the golden tail bit for bit.
+                        assert_eq!(marker, Some(stop_at), "resume marker: {label}");
+                        assert_eq!(
+                            resumed.telemetry_records,
+                            golden.telemetry_records[stop_at as usize..],
+                            "telemetry records: {label}"
+                        );
+                        let mut normalized = resumed.telemetry_summary.clone();
+                        assert_eq!(normalized.resumed_from_tick, Some(stop_at));
+                        normalized.resumed_from_tick = None;
+                        assert_eq!(
+                            normalized, golden.telemetry_summary,
+                            "telemetry summary: {label}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn policy_fallback_resumes_from_the_newest_verifying_snapshot() {
+    // Integration of the retention policy with restore: checkpoint every 25
+    // ticks keeping 3, "crash" at tick 120, corrupt the newest snapshot on
+    // disk, and verify the fallback snapshot (tick 75) resumes into the
+    // golden stream.
+    let seed = 0xA11CE;
+    let dir = std::env::temp_dir().join(format!("brainsim-ckpt-fallback-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let policy = CheckpointPolicy::new(25, 3);
+
+    let golden = run_golden(seed, 1, CoreScheduling::Active, None);
+
+    let mut chip = build_chip(
+        seed,
+        TickSemantics::Deterministic,
+        1,
+        CoreScheduling::Active,
+    );
+    chip.enable_telemetry(TelemetryConfig::unbounded());
+    let mut stim = Lfsr::new(seed ^ 0x00C0_FFEE);
+    for t in 0..120 {
+        drive(&mut chip, &mut stim, t);
+        chip.tick();
+        let tick = chip.now();
+        if policy.due(tick) {
+            policy
+                .save(&dir, tick, &chip.checkpoint().to_bytes())
+                .expect("checkpoint save");
+        }
+    }
+    drop(chip); // the crash
+
+    // Retention kept {50, 75, 100}; damage the newest so the fallback path
+    // has to walk past it.
+    let snapshots = CheckpointPolicy::list(&dir).expect("list");
+    assert_eq!(
+        snapshots.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+        vec![50, 75, 100]
+    );
+    let newest = &snapshots.last().unwrap().1;
+    let mut bytes = std::fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(newest, bytes).unwrap();
+
+    let (tick, bytes) = CheckpointPolicy::load_newest_verifying(&dir)
+        .expect("scan")
+        .expect("a verifying snapshot survives");
+    assert_eq!(tick, 75, "fallback must pick the newest intact snapshot");
+    let mut chip = Chip::restore(Snapshot::from_bytes(&bytes).expect("decode")).expect("restore");
+    let mut stim = stim_at(seed, tick);
+    let mut records: Vec<Record> = Vec::new();
+    for t in tick..TICKS {
+        drive(&mut chip, &mut stim, t);
+        let s = chip.tick();
+        records.push((s.tick, s.spikes, s.outputs, s.faults));
+    }
+    assert_eq!(records, golden.records[tick as usize..]);
+    assert_eq!(chip.census(), golden.census);
+    std::fs::remove_dir_all(&dir).ok();
+}

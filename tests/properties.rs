@@ -372,6 +372,233 @@ proptest! {
             prop_assert_ne!(x, 0);
         }
     }
+
+    /// Checkpoint round trip: for random chips under each of the three
+    /// fault-plan shapes, run a random number of ticks, serialize through
+    /// the wire format, restore, and demand (a) the restored chip's own
+    /// checkpoint is the identical snapshot and (b) both chips produce
+    /// bit-identical ticks from there on.
+    #[test]
+    fn checkpoint_round_trips_for_random_chips(
+        seed in 1u32..100_000,
+        plan_index in 0usize..3,
+        warmup in 0u64..40,
+    ) {
+        let mut chip = random_snapshot_chip(seed);
+        if let Some(plan) = snapshot_fault_plans(seed as u64)[plan_index] {
+            chip.set_fault_plan(&plan);
+        }
+        chip.enable_telemetry(brainsim::telemetry::TelemetryConfig::default());
+        let mut stim = Lfsr::new(seed ^ 0xF00D);
+        for t in 0..warmup {
+            for a in 0..SNAP_FANIN {
+                if stim.bernoulli_256(64) {
+                    chip.inject(
+                        (stim.next_u32() as usize) % SNAP_GRID,
+                        (stim.next_u32() as usize) % SNAP_GRID,
+                        a,
+                        t,
+                    ).unwrap();
+                }
+            }
+            chip.tick();
+        }
+        let snap = chip.checkpoint();
+        let bytes = snap.to_bytes();
+        let decoded = Snapshot::from_bytes(&bytes);
+        prop_assert_eq!(&decoded, &Ok(snap.clone()));
+        let mut restored = Chip::restore(decoded.unwrap()).unwrap();
+        prop_assert_eq!(&restored.checkpoint().cores, &snap.cores);
+        for _ in 0..10 {
+            prop_assert_eq!(restored.tick(), chip.tick());
+        }
+        prop_assert_eq!(restored.census(), chip.census());
+        prop_assert_eq!(restored.fault_stats(), chip.fault_stats());
+    }
+
+    /// Adversarial corruption — single bit flips: every one-bit change to a
+    /// valid snapshot yields a typed error somewhere in the
+    /// decode-then-restore pipeline. Nothing panics, nothing is silently
+    /// accepted.
+    #[test]
+    fn snapshot_bit_flips_yield_typed_errors(
+        seed in 1u32..10_000,
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let bytes = sample_snapshot_bytes(seed);
+        let mut corrupt = bytes.clone();
+        let index = ((byte_frac * corrupt.len() as f64) as usize).min(corrupt.len() - 1);
+        corrupt[index] ^= 1 << bit;
+        match Snapshot::from_bytes(&corrupt) {
+            Err(_) => {} // typed rejection at the container/codec layer
+            Ok(snap) => {
+                // A re-tagged frame can decode structurally; the semantic
+                // validation in restore must then refuse it.
+                prop_assert!(
+                    Chip::restore(snap).is_err(),
+                    "bit {} of byte {} flipped unnoticed", bit, index
+                );
+            }
+        }
+    }
+
+    /// Adversarial corruption — truncation: every proper prefix of a valid
+    /// snapshot is rejected with a typed error.
+    #[test]
+    fn snapshot_truncations_yield_typed_errors(
+        seed in 1u32..10_000,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = sample_snapshot_bytes(seed);
+        let cut = ((cut_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        prop_assert!(Snapshot::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Adversarial corruption — section swaps: exchanging the tags of two
+    /// frames leaves every CRC intact but cross-wires the payloads; the
+    /// typed codecs must reject the result.
+    #[test]
+    fn snapshot_section_swaps_yield_typed_errors(seed in 1u32..10_000) {
+        let bytes = sample_snapshot_bytes(seed);
+        // Walk the frames and swap the first two section tags in place.
+        let mut corrupt = bytes.clone();
+        let mut offsets = Vec::new();
+        let mut at = 12usize;
+        while at + 16 <= corrupt.len() && offsets.len() < 2 {
+            offsets.push(at);
+            let len = u64::from_le_bytes(corrupt[at + 4..at + 12].try_into().unwrap());
+            at += 16 + len as usize;
+        }
+        prop_assert_eq!(offsets.len(), 2);
+        let (a, b) = (offsets[0], offsets[1]);
+        for i in 0..4 {
+            corrupt.swap(a + i, b + i);
+        }
+        let verdict = Snapshot::from_bytes(&corrupt).map(Chip::restore);
+        prop_assert!(
+            !matches!(verdict, Ok(Ok(_))),
+            "cross-wired sections were accepted"
+        );
+    }
+
+    /// Totality: `Snapshot::from_bytes` never panics on arbitrary input,
+    /// with or without a plausible header grafted on.
+    #[test]
+    fn snapshot_decode_is_total(
+        noise in proptest::collection::vec(any::<u8>(), 0..256),
+        with_header in any::<bool>(),
+    ) {
+        let mut bytes = Vec::new();
+        if with_header {
+            bytes.extend_from_slice(&brainsim::snapshot::MAGIC);
+            bytes.extend_from_slice(&brainsim::snapshot::VERSION.to_le_bytes());
+        }
+        bytes.extend_from_slice(&noise);
+        let _ = Snapshot::from_bytes(&bytes); // must return, never panic
+    }
+}
+
+use brainsim::chip::{Chip, ChipBuilder, ChipConfig, Snapshot};
+use brainsim::core::{AxonTarget, CoreOffset};
+use brainsim::faults::FaultPlan;
+
+const SNAP_GRID: usize = 3;
+const SNAP_FANIN: usize = 8;
+
+/// A small random recurrent chip for the snapshot properties: the
+/// `parallel_equivalence` recipe scaled down to keep proptest cases fast.
+fn random_snapshot_chip(seed: u32) -> Chip {
+    let mut b = ChipBuilder::new(ChipConfig {
+        width: SNAP_GRID,
+        height: SNAP_GRID,
+        core_axons: SNAP_FANIN,
+        core_neurons: SNAP_FANIN,
+        seed,
+        ..ChipConfig::default()
+    });
+    let mut rng = Lfsr::new(seed);
+    for y in 0..SNAP_GRID {
+        for x in 0..SNAP_GRID {
+            for n in 0..SNAP_FANIN {
+                let config = NeuronConfig::builder()
+                    .weight(
+                        AxonType::A0,
+                        Weight::new(1 + (rng.next_u32() % 3) as i32).unwrap(),
+                    )
+                    .weight(AxonType::A1, Weight::new(-1).unwrap())
+                    .threshold(1 + rng.next_u32() % 4)
+                    .leak(if rng.bernoulli_256(64) { -1 } else { 0 })
+                    .leak_reversal(true)
+                    .build()
+                    .unwrap();
+                let dest = if n == 0 {
+                    Destination::Output((y * SNAP_GRID + x) as u32)
+                } else {
+                    let dx = (rng.next_u32() % 3) as i32 - 1;
+                    let dy = (rng.next_u32() % 3) as i32 - 1;
+                    let tx = (x as i32 + dx).clamp(0, SNAP_GRID as i32 - 1);
+                    let ty = (y as i32 + dy).clamp(0, SNAP_GRID as i32 - 1);
+                    Destination::Axon(AxonTarget {
+                        offset: CoreOffset::new(tx - x as i32, ty - y as i32),
+                        axon: (rng.next_u32() as usize % SNAP_FANIN) as u16,
+                        delay: 1 + (rng.next_u32() % 3) as u8,
+                    })
+                };
+                b.core_mut(x, y).neuron(n, config, dest).unwrap();
+                for a in 0..SNAP_FANIN {
+                    let bit = rng.bernoulli_256(56);
+                    b.core_mut(x, y).synapse(a, n, bit).unwrap();
+                }
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// The three-plan corpus from the equivalence suite: benign, link chaos,
+/// structural damage.
+fn snapshot_fault_plans(seed: u64) -> [Option<FaultPlan>; 3] {
+    [
+        None,
+        Some(
+            FaultPlan::new(seed)
+                .with_link_drop(0.15)
+                .with_link_corrupt(0.2),
+        ),
+        Some(
+            FaultPlan::new(seed ^ 0x5A5A)
+                .with_link_delay(0.3, 2)
+                .with_core_dropout(0.1)
+                .with_stuck_neuron(0.02)
+                .with_dead_neuron(0.05),
+        ),
+    ]
+}
+
+/// Serialized snapshot of a warmed-up random chip (with a fault plan and
+/// telemetry, so every optional section is present) for the corruption
+/// properties.
+fn sample_snapshot_bytes(seed: u32) -> Vec<u8> {
+    let mut chip = random_snapshot_chip(seed);
+    chip.set_fault_plan(&snapshot_fault_plans(seed as u64)[1].unwrap());
+    chip.enable_telemetry(brainsim::telemetry::TelemetryConfig::default());
+    let mut stim = Lfsr::new(seed ^ 0xF00D);
+    for t in 0..8 {
+        for a in 0..SNAP_FANIN {
+            if stim.bernoulli_256(96) {
+                chip.inject(
+                    (stim.next_u32() as usize) % SNAP_GRID,
+                    (stim.next_u32() as usize) % SNAP_GRID,
+                    a,
+                    t,
+                )
+                .unwrap();
+            }
+        }
+        chip.tick();
+    }
+    chip.checkpoint().to_bytes()
 }
 
 fn bitmap_to_indices(bitmap: &[u64]) -> Vec<usize> {
