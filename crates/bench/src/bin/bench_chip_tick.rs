@@ -249,6 +249,140 @@ fn run_checkpoint_workload(base: RandomChipSpec) -> (String, Vec<Measurement>) {
     (json, rows)
 }
 
+/// Measures the self-healing pipeline's three stages — telemetry-driven
+/// detection, re-placement around a condemned cell, and checkpointed hot
+/// migration — on a dense 8×8 relay-chain network (56 of 64 cells used,
+/// so the repair has real spares to choose from). Latencies are ns/op;
+/// the migrated chip must resume at the source chip's exact tick with an
+/// identical census, so the baseline also certifies migration fidelity.
+fn run_recovery_workload() -> (String, Vec<Measurement>) {
+    const REPS: u32 = 20;
+    const CHAIN: usize = 56;
+    const WARMUP: u64 = 50;
+
+    let mut corelet = brainsim_corelet::Corelet::new("recovery-bench", 1);
+    let template = brainsim_neuron::NeuronConfig::builder()
+        .threshold(1)
+        .build()
+        .expect("neuron config");
+    let pop = corelet.add_population(template, CHAIN);
+    corelet
+        .connect(brainsim_corelet::NodeRef::Input(0), pop[0], 1, 1)
+        .expect("connect");
+    for w in pop.windows(2) {
+        corelet
+            .connect(brainsim_corelet::NodeRef::Neuron(w[0]), w[1], 1, 2)
+            .expect("connect");
+    }
+    corelet.mark_output(pop[CHAIN - 1]).expect("output");
+    let net = corelet.into_network();
+    let options = brainsim_compiler::CompileOptions {
+        core_axons: 4,
+        core_neurons: 2,
+        relay_reserve: 1,
+        grid: Some((8, 8)),
+        seed: 7,
+        ..brainsim_compiler::CompileOptions::default()
+    };
+    let mut compiled = brainsim_compiler::compile(&net, &options).expect("compile");
+    compiled.chip_mut().enable_telemetry(TelemetryConfig {
+        capacity: None,
+        core_detail: true,
+    });
+    for t in 0..WARMUP {
+        compiled.inject(0, t).expect("inject");
+        compiled.tick();
+    }
+    let records: Vec<_> = compiled
+        .chip()
+        .telemetry()
+        .expect("telemetry enabled")
+        .records()
+        .cloned()
+        .collect();
+    let map = compiled.network_map().clone();
+    let condemned = vec![map.positions[map.positions.len() / 2]];
+
+    // Detection: a full four-detector observe pass per telemetry record.
+    let start = Instant::now();
+    for _ in 0..REPS {
+        let mut monitor = brainsim_recovery::HealthMonitor::new(
+            brainsim_recovery::DetectorConfig::default(),
+            8,
+            8,
+        );
+        for r in &records {
+            monitor.observe(r);
+        }
+    }
+    let detect_ns = start.elapsed().as_nanos() as f64 / (REPS as u64 * WARMUP) as f64;
+
+    // Re-placement: diff-minimising repair around the condemned cell.
+    let start = Instant::now();
+    let mut repaired = Vec::with_capacity(REPS as usize);
+    for _ in 0..REPS {
+        repaired.push(brainsim_compiler::repair(&net, &options, &map, &condemned).expect("repair"));
+    }
+    let replan_ns = start.elapsed().as_nanos() as f64 / REPS as f64;
+
+    // Hot migration: checkpoint, graft, validate, swap.
+    let start = Instant::now();
+    for r in &mut repaired {
+        brainsim_recovery::hot_migrate(compiled.chip(), r).expect("migrate");
+    }
+    let migrate_ns = start.elapsed().as_nanos() as f64 / REPS as f64;
+
+    let census = compiled.chip().census();
+    let migrated = repaired.last().expect("measured at least once");
+    assert_eq!(
+        migrated.compiled.chip().now(),
+        compiled.chip().now(),
+        "migrated chip must resume at the source tick"
+    );
+    assert_eq!(
+        migrated.compiled.chip().census(),
+        census,
+        "migrated chip census diverged from the source chip"
+    );
+
+    eprintln!("  chip_recovery/detect_tick          {detect_ns:>12.0} ns/op");
+    eprintln!("  chip_recovery/replan               {replan_ns:>12.0} ns/op");
+    eprintln!("  chip_recovery/hot_migrate          {migrate_ns:>12.0} ns/op");
+    let rows = vec![
+        Measurement {
+            name: "detect_tick",
+            ns_per_tick: detect_ns,
+            census,
+        },
+        Measurement {
+            name: "replan",
+            ns_per_tick: replan_ns,
+            census,
+        },
+        Measurement {
+            name: "hot_migrate",
+            ns_per_tick: migrate_ns,
+            census,
+        },
+    ];
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "    {{\n      \"name\": \"chip_recovery\",\n      \"cores\": {CHAIN},\n      \"moved_cores\": {},\n      \"variants\": [\n",
+        repaired.last().map(|r| r.moves.len()).unwrap_or(0),
+    );
+    for (i, m) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "        {{ \"name\": \"{}\", \"ns_per_tick\": {:.0} }}{comma}",
+            m.name, m.ns_per_tick,
+        );
+    }
+    json.push_str("      ]\n    }");
+    (json, rows)
+}
+
 /// Extracts `"key": <number>` from a JSON line, or `"key": "<string>"`.
 fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let tag = format!("\"{key}\":");
@@ -320,11 +454,13 @@ fn check(baseline_path: &str) -> usize {
     let (_, dense_rows) = run_workload("dense_8x8", dense, false);
     let (_, sparse_rows) = run_workload("sparse_8x8_95pct_quiescent", sparse, true);
     let (_, ckpt_rows) = run_checkpoint_workload(dense);
+    let (_, recovery_rows) = run_recovery_workload();
     let current = |workload: &str, variant: &str| -> Option<f64> {
         let rows = match workload {
             "dense_8x8" => &dense_rows,
             "sparse_8x8_95pct_quiescent" => &sparse_rows,
             "chip_checkpoint" => &ckpt_rows,
+            "chip_recovery" => &recovery_rows,
             _ => return None,
         };
         rows.iter()
@@ -402,9 +538,10 @@ fn main() -> ExitCode {
     let (dense_json, _) = run_workload("dense_8x8", dense, false);
     let (sparse_json, _) = run_workload("sparse_8x8_95pct_quiescent", sparse, true);
     let (ckpt_json, _) = run_checkpoint_workload(dense);
+    let (recovery_json, _) = run_recovery_workload();
 
     let json = format!(
-        "{{\n  \"bench\": \"chip_tick\",\n  \"host\": {{ \"cpus\": {cpus}, \"os\": \"{}\" }},\n  \"warmup_ticks\": {WARMUP_TICKS},\n  \"measured_ticks\": {MEASURE_TICKS},\n  \"drive_rate_per_256\": {RATE},\n  \"workloads\": [\n{dense_json},\n{sparse_json},\n{ckpt_json}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"chip_tick\",\n  \"host\": {{ \"cpus\": {cpus}, \"os\": \"{}\" }},\n  \"warmup_ticks\": {WARMUP_TICKS},\n  \"measured_ticks\": {MEASURE_TICKS},\n  \"drive_rate_per_256\": {RATE},\n  \"workloads\": [\n{dense_json},\n{sparse_json},\n{ckpt_json},\n{recovery_json}\n  ]\n}}\n",
         std::env::consts::OS,
     );
     std::fs::write(&out, json).expect("write baseline");

@@ -356,8 +356,13 @@ impl Chip {
     /// stuck neurons, stuck-at synapses) are burned into every core, and
     /// link faults (drop / corrupt / delay) arm the spike-routing loop.
     ///
-    /// Apply a plan at most once, before the first tick. A benign plan is a
-    /// no-op and leaves the fault-free fast path intact.
+    /// Apply any given plan at most once — structural burn-in compounds if
+    /// re-applied. Arming is legal at any tick boundary, including mid-run
+    /// (how fault-campaign harnesses model wear-out): structural faults
+    /// take effect from the next tick, and the link injector is a pure
+    /// function of `(tick, core, neuron)`, so a mid-run arming is
+    /// bit-identical across thread counts and schedulers. A benign plan is
+    /// a no-op and leaves the fault-free fast path intact.
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
         let injector = FaultInjector::new(plan);
         if injector.is_benign() {
@@ -397,6 +402,16 @@ impl Chip {
     /// telemetry was never enabled).
     pub fn take_telemetry(&mut self) -> Option<Box<TelemetryLog>> {
         self.telemetry.take()
+    }
+
+    /// Total spike events still waiting in the cores' delay-scheduler
+    /// rings — the chip-wide backlog. Zero means the chip is quiesced: no
+    /// in-flight event can alter future state without new input. The
+    /// recovery engine's migration step reads this to decide whether a
+    /// checkpoint captures a drained or a loaded chip (both are
+    /// crash-consistent; a drained one migrates with an empty backlog).
+    pub fn pending_events_total(&self) -> u64 {
+        self.cores.iter().map(|c| c.pending_events() as u64).sum()
     }
 
     /// Aggregate fault statistics: routing-level faults plus every core's

@@ -74,4 +74,6 @@ pub use brainsim_telemetry::{TelemetryConfig, TelemetryLog, TickRecord};
 // The snapshot error/policy vocabulary used by `Chip::restore` and the
 // checkpoint cadence helpers, re-exported so checkpointing callers need
 // only this crate.
-pub use brainsim_snapshot::{CheckpointPolicy, RestoreError, SnapshotIoError};
+pub use brainsim_snapshot::{
+    CheckpointPolicy, RestoreError, RetryPolicy, SaveError, SnapshotIoError,
+};

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::passes::{Mapped, Typed};
 use crate::place::Placement;
-use crate::{CompileError, CompileOptions};
+use crate::{CompileError, CompileOptions, NetworkMap};
 
 /// What the mapping pipeline produced (the T3 experiment reads this).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,6 +89,7 @@ pub struct CompiledNetwork {
     input_taps: Vec<Vec<(usize, usize, usize, u8)>>,
     output_ports: usize,
     report: CompileReport,
+    map: NetworkMap,
 }
 
 impl CompiledNetwork {
@@ -100,6 +101,34 @@ impl CompiledNetwork {
     /// The underlying chip (mutable, e.g. for energy-census access).
     pub fn chip_mut(&mut self) -> &mut Chip {
         &mut self.chip
+    }
+
+    /// The placement image retained from compilation — what the runtime
+    /// recovery planner hands back to [`crate::repair`] to re-place the
+    /// network around cells condemned after deployment.
+    pub fn network_map(&self) -> &NetworkMap {
+        &self.map
+    }
+
+    /// Swaps in a replacement chip (the hot-migration engine's final step)
+    /// and returns the one it replaces. The replacement must have the same
+    /// grid dimensions — the retained I/O tap tables address physical
+    /// cells.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Emit`] when the dimensions differ; the network is
+    /// left unchanged and the rejected chip is dropped with the error.
+    pub fn replace_chip(&mut self, chip: Chip) -> Result<Chip, CompileError> {
+        let (w, h) = (self.chip.config().width, self.chip.config().height);
+        if chip.config().width != w || chip.config().height != h {
+            return Err(CompileError::Emit(format!(
+                "replacement chip is {}x{}, expected {w}x{h}",
+                chip.config().width,
+                chip.config().height
+            )));
+        }
+        Ok(std::mem::replace(&mut self.chip, chip))
     }
 
     /// The mapping report.
@@ -154,7 +183,9 @@ impl CompiledNetwork {
     }
 
     /// Applies a deterministic fault plan to the underlying chip (yield /
-    /// degradation studies). Apply at most once, before the first tick.
+    /// degradation studies). Apply at most once per plan — structural
+    /// faults burn in immediately. Arming at a tick boundary mid-run is
+    /// deterministic; see [`Chip::set_fault_plan`].
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
         self.chip.set_fault_plan(plan);
     }
@@ -218,7 +249,7 @@ pub(crate) fn emit(
         seed: options.seed,
         semantics: options.semantics,
         threads: options.threads,
-        scheduling: Default::default(),
+        scheduling: options.scheduling,
         tile: None,
     };
     let mut builder = ChipBuilder::new(config);
@@ -285,10 +316,17 @@ pub(crate) fn emit(
         total_traffic: placement.total_traffic,
     };
 
+    let map = NetworkMap {
+        grid: placement.grid,
+        positions: placement.positions,
+        faulty_cells: options.faulty_cells.clone(),
+    };
+
     Ok(CompiledNetwork {
         chip,
         input_taps,
         output_ports: net.outputs().len(),
         report,
+        map,
     })
 }

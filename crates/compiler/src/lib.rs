@@ -62,7 +62,7 @@ mod place;
 
 use std::fmt;
 
-use brainsim_chip::TickSemantics;
+use brainsim_chip::{CoreScheduling, TickSemantics};
 use brainsim_corelet::LogicalNetwork;
 use serde::{Deserialize, Serialize};
 
@@ -87,8 +87,14 @@ pub struct CompileOptions {
     pub semantics: TickSemantics,
     /// Worker threads of the emitted chip.
     pub threads: usize,
+    /// Core-evaluation scheduling mode of the emitted chip (bit-identical
+    /// either way; a differential knob for the equivalence suites).
+    pub scheduling: CoreScheduling,
     /// Grid cells that are known-defective and must not host a core —
-    /// the yield/defect-tolerance knob of the placement stage.
+    /// the yield/defect-tolerance knob of the placement stage. The list is
+    /// normalised (sorted, deduplicated) at compile entry; a cell outside
+    /// the placement grid is a configuration error
+    /// ([`CompileError::FaultyCellOffGrid`]).
     pub faulty_cells: Vec<(usize, usize)>,
 }
 
@@ -103,6 +109,7 @@ impl Default for CompileOptions {
             seed: 0xC0_FFEE,
             semantics: TickSemantics::Deterministic,
             threads: 1,
+            scheduling: CoreScheduling::default(),
             faulty_cells: Vec::new(),
         }
     }
@@ -159,6 +166,14 @@ pub enum CompileError {
         /// Grid capacity.
         capacity: usize,
     },
+    /// A declared defective cell lies outside the placement grid — a
+    /// configuration error, not a tolerable defect.
+    FaultyCellOffGrid {
+        /// The offending cell.
+        cell: (usize, usize),
+        /// The placement grid (width, height).
+        grid: (usize, usize),
+    },
     /// The grid assembly failed internal validation (a bug if it happens).
     Emit(String),
 }
@@ -194,12 +209,57 @@ impl fmt::Display for CompileError {
             CompileError::GridTooSmall { cores, capacity } => {
                 write!(f, "{cores} cores do not fit a grid of {capacity}")
             }
+            CompileError::FaultyCellOffGrid { cell, grid } => write!(
+                f,
+                "faulty cell ({}, {}) lies outside the {}x{} placement grid",
+                cell.0, cell.1, grid.0, grid.1
+            ),
             CompileError::Emit(msg) => write!(f, "emission failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for CompileError {}
+
+/// The placement image a [`CompiledNetwork`] retains from compilation.
+///
+/// This is what the runtime recovery planner needs to re-enter placement
+/// without recompiling from scratch: the grid the chip was built for, the
+/// physical cell of every mapped core, and the defective-cell set the
+/// original placement avoided.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkMap {
+    /// Grid dimensions (width, height).
+    pub grid: (usize, usize),
+    /// Physical cell of each mapped core, indexed by mapped-core id.
+    pub positions: Vec<(usize, usize)>,
+    /// The normalised (sorted, deduplicated) defective-cell set the
+    /// placement avoided.
+    pub faulty_cells: Vec<(usize, usize)>,
+}
+
+/// One core relocation in a [`RepairedNetwork`]'s migration set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreMove {
+    /// Mapped-core id.
+    pub core: usize,
+    /// Cell the core occupied before the repair.
+    pub from: (usize, usize),
+    /// Cell the core occupies after the repair.
+    pub to: (usize, usize),
+}
+
+/// The result of [`repair`]: a freshly emitted network plus the minimal
+/// migration set that turns the old placement into the new one.
+#[derive(Debug)]
+pub struct RepairedNetwork {
+    /// The re-emitted network. Same grid, same logical mapping; only the
+    /// cores listed in `moves` sit on different cells.
+    pub compiled: CompiledNetwork,
+    /// The cores that moved, in descending traffic-weight order (the order
+    /// they were re-placed in).
+    pub moves: Vec<CoreMove>,
+}
 
 /// Compiles a logical network into a runnable chip.
 ///
@@ -210,13 +270,105 @@ pub fn compile(
     net: &LogicalNetwork,
     options: &CompileOptions,
 ) -> Result<CompiledNetwork, CompileError> {
-    // Iterative legalisation: if splitter relays overflow the packing
-    // slack, repack with a larger reserve (fewer logical neurons per core
-    // leaves more room for relays). The reserve is capped at half the core,
-    // after which the overflow is a genuine infeasibility.
+    let mut opts = options.clone();
+    normalise_faulty_cells(&mut opts.faulty_cells);
+    let (mapped, typed, opts) = map_and_type(net, &opts)?;
+    let grid = place::grid_for(mapped.cores.len(), &opts);
+    check_faulty_cells_on_grid(&opts.faulty_cells, grid)?;
+    if grid.0 * grid.1 - opts.faulty_cells.len() < mapped.cores.len() {
+        return Err(CompileError::GridTooSmall {
+            cores: mapped.cores.len(),
+            capacity: grid.0 * grid.1 - opts.faulty_cells.len(),
+        });
+    }
+    let placement = place::place(&mapped, &opts);
+    emit::emit(net, mapped, typed, placement, &opts)
+}
+
+/// Re-places a compiled network around newly condemned cells, moving as few
+/// cores as possible.
+///
+/// `map` is the placement image retained by the original compilation
+/// ([`CompiledNetwork::network_map`]); `condemned` lists the cells found
+/// defective at runtime. Cores on healthy cells stay exactly where they
+/// are; cores on condemned cells are re-seated (heaviest traffic first) on
+/// the free healthy cell that minimises their traffic-weighted Manhattan
+/// cost — the same score the original greedy placement uses. The grid is
+/// never resized: the repaired chip must accept the old chip's checkpoint.
+///
+/// The returned [`RepairedNetwork`] carries the fresh [`CompiledNetwork`]
+/// (whose retained map now includes the condemned cells) and the
+/// old→new diff as a minimal migration set.
+///
+/// # Errors
+///
+/// - [`CompileError::FaultyCellOffGrid`] if a condemned cell lies outside
+///   the grid.
+/// - [`CompileError::GridTooSmall`] if no healthy spare cell is left for a
+///   displaced core.
+/// - Any mapping error [`compile`] can produce (the logical pipeline is
+///   re-run; with the same network and options it reproduces the original
+///   mapping).
+pub fn repair(
+    net: &LogicalNetwork,
+    options: &CompileOptions,
+    map: &NetworkMap,
+    condemned: &[(usize, usize)],
+) -> Result<RepairedNetwork, CompileError> {
+    let mut opts = options.clone();
+    opts.grid = Some(map.grid);
+    opts.faulty_cells = map
+        .faulty_cells
+        .iter()
+        .chain(condemned.iter())
+        .copied()
+        .collect();
+    normalise_faulty_cells(&mut opts.faulty_cells);
+    check_faulty_cells_on_grid(&opts.faulty_cells, map.grid)?;
+
+    let (mapped, typed, opts) = map_and_type(net, &opts)?;
+    if mapped.cores.len() != map.positions.len() {
+        return Err(CompileError::Emit(format!(
+            "retained map covers {} cores but the network maps to {}",
+            map.positions.len(),
+            mapped.cores.len()
+        )));
+    }
+    let placement = place::repair(&mapped, map.grid, &map.positions, &opts.faulty_cells).ok_or(
+        CompileError::GridTooSmall {
+            cores: mapped.cores.len(),
+            capacity: map.grid.0 * map.grid.1 - opts.faulty_cells.len(),
+        },
+    )?;
+    let moves = map
+        .positions
+        .iter()
+        .zip(placement.positions.iter())
+        .enumerate()
+        .filter(|(_, (old, new))| old != new)
+        .map(|(core, (&from, &to))| CoreMove { core, from, to })
+        .collect();
+    let compiled = emit::emit(net, mapped, typed, placement, &opts)?;
+    Ok(RepairedNetwork { compiled, moves })
+}
+
+/// Runs the logical pipeline (partitioning, splitters, axon typing) with
+/// iterative legalisation: if splitter relays overflow the packing slack,
+/// repack with a larger reserve (fewer logical neurons per core leaves more
+/// room for relays). The reserve is capped at half the core, after which
+/// the overflow is a genuine infeasibility. Returns the options actually
+/// used so placement and emission see the escalated reserve.
+fn map_and_type(
+    net: &LogicalNetwork,
+    options: &CompileOptions,
+) -> Result<(passes::Mapped, passes::Typed, CompileOptions), CompileError> {
     let mut opts = options.clone();
     loop {
-        match compile_once(net, &opts) {
+        let attempt = passes::map(net, &opts).and_then(|mut mapped| {
+            let typed = passes::assign_types(&mut mapped, &opts)?;
+            Ok((mapped, typed))
+        });
+        match attempt {
             Err(CompileError::CoreOverflow { .. })
             | Err(CompileError::AxonOverflow { .. })
             | Err(CompileError::DelayTooSmallForFanout { .. })
@@ -224,29 +376,23 @@ pub fn compile(
             {
                 opts.relay_reserve = (opts.relay_reserve.max(1) * 2).min(opts.core_neurons / 2);
             }
-            other => return other,
+            Err(other) => return Err(other),
+            Ok((mapped, typed)) => return Ok((mapped, typed, opts)),
         }
     }
 }
 
-fn compile_once(
-    net: &LogicalNetwork,
-    options: &CompileOptions,
-) -> Result<CompiledNetwork, CompileError> {
-    let mut mapped = passes::map(net, options)?;
-    let typed = passes::assign_types(&mut mapped, options)?;
-    let grid = place::grid_for(mapped.cores.len(), options);
-    let faulty_in_grid = options
-        .faulty_cells
-        .iter()
-        .filter(|&&(x, y)| x < grid.0 && y < grid.1)
-        .count();
-    if grid.0 * grid.1 - faulty_in_grid < mapped.cores.len() {
-        return Err(CompileError::GridTooSmall {
-            cores: mapped.cores.len(),
-            capacity: grid.0 * grid.1 - faulty_in_grid,
-        });
+fn normalise_faulty_cells(cells: &mut Vec<(usize, usize)>) {
+    cells.sort_unstable();
+    cells.dedup();
+}
+
+fn check_faulty_cells_on_grid(
+    cells: &[(usize, usize)],
+    grid: (usize, usize),
+) -> Result<(), CompileError> {
+    match cells.iter().find(|&&(x, y)| x >= grid.0 || y >= grid.1) {
+        Some(&cell) => Err(CompileError::FaultyCellOffGrid { cell, grid }),
+        None => Ok(()),
     }
-    let placement = place::place(&mapped, options);
-    emit::emit(net, mapped, typed, placement, options)
 }

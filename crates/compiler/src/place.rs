@@ -226,6 +226,88 @@ pub(crate) fn place(mapped: &Mapped, options: &CompileOptions) -> Placement {
     }
 }
 
+/// Minimal-move repair placement.
+///
+/// Keeps every core whose old cell is still healthy exactly where it was
+/// and re-seats only the displaced cores (heaviest traffic first, index as
+/// tiebreak) on the free healthy cell minimising the same greedy score the
+/// seeding placement uses: traffic-weighted Manhattan cost to settled
+/// neighbours, centre bias as tiebreak. No annealing — the point is a
+/// small, deterministic diff, not a globally optimal re-layout.
+///
+/// Returns `None` when a displaced core has no free healthy cell left.
+pub(crate) fn repair(
+    mapped: &Mapped,
+    grid: (usize, usize),
+    old_positions: &[(usize, usize)],
+    faulty: &[(usize, usize)],
+) -> Option<Placement> {
+    let (w, h) = grid;
+    let is_faulty = |x: usize, y: usize| faulty.contains(&(x, y));
+    let t = traffic(mapped);
+    let total_traffic: u64 = t.values().sum();
+
+    let mut weight_of = vec![0u64; old_positions.len()];
+    let mut adjacency: Vec<Vec<(usize, u64)>> = vec![Vec::new(); old_positions.len()];
+    for (&(a, b), &wt) in &t {
+        weight_of[a] += wt;
+        weight_of[b] += wt;
+        adjacency[a].push((b, wt));
+        adjacency[b].push((a, wt));
+    }
+
+    let mut positions = old_positions.to_vec();
+    // A core counts towards a neighbour's cost only once it sits on a
+    // healthy cell — either kept in place or already re-seated.
+    let mut settled: Vec<bool> = positions
+        .iter()
+        .map(|&(x, y)| x < w && y < h && !is_faulty(x, y))
+        .collect();
+    let mut displaced: Vec<usize> = (0..positions.len()).filter(|&c| !settled[c]).collect();
+    displaced.sort_by_key(|&c| (u64::MAX - weight_of[c], c));
+
+    let mut taken = vec![false; w * h];
+    for (c, &(x, y)) in positions.iter().enumerate() {
+        if settled[c] {
+            taken[y * w + x] = true;
+        }
+    }
+    let mut free: Vec<(usize, usize)> = (0..h)
+        .flat_map(|y| (0..w).map(move |x| (x, y)))
+        .filter(|&(x, y)| !is_faulty(x, y) && !taken[y * w + x])
+        .collect();
+
+    for &c in &displaced {
+        let (best_i, _) = free
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                let mut cost = 0u64;
+                for &(other, wt) in &adjacency[c] {
+                    if settled[other] {
+                        let (ox, oy) = positions[other];
+                        cost += wt * ((x.abs_diff(ox) + y.abs_diff(oy)) as u64);
+                    }
+                }
+                let centre_bias = (x.abs_diff(w / 2) + y.abs_diff(h / 2)) as u64;
+                (i, cost * 1000 + centre_bias)
+            })
+            .min_by_key(|&(_, c)| c)?;
+        positions[c] = free.swap_remove(best_i);
+        settled[c] = true;
+    }
+
+    let repaired_cost = cost(&t, &positions);
+    Some(Placement {
+        grid,
+        positions,
+        greedy_cost: repaired_cost,
+        annealed_cost: repaired_cost,
+        random_cost: repaired_cost,
+        total_traffic,
+    })
+}
+
 /// Picks grid dimensions: explicit from options, else the smallest square
 /// whose non-faulty cells can host every core.
 pub(crate) fn grid_for(cores: usize, options: &CompileOptions) -> (usize, usize) {

@@ -1,7 +1,7 @@
 //! End-to-end compiler tests: logical network → chip, checked against the
 //! direct interpreter.
 
-use brainsim_compiler::{compile, interp::Interpreter, CompileError, CompileOptions};
+use brainsim_compiler::{compile, interp::Interpreter, repair, CompileError, CompileOptions};
 use brainsim_corelet::{connectors, Corelet, NeuronId, NodeRef};
 use brainsim_neuron::NeuronConfig;
 
@@ -389,4 +389,164 @@ fn report_counts_are_consistent() {
     assert_eq!(r.physical_neurons, 11 + r.relays);
     assert!(r.axons_used >= 2);
     assert!(r.grid.0 * r.grid.1 >= r.cores);
+}
+
+/// A relay chain that maps to several cores: `n` neurons, threshold 1,
+/// chained with delay 1, head driven by input 0, tail marked output.
+fn chain(n: usize) -> Corelet {
+    let mut c = Corelet::new("chain", 1);
+    let pop = c.add_population(threshold(1), n);
+    c.connect(NodeRef::Input(0), pop[0], 1, 1).unwrap();
+    for w in pop.windows(2) {
+        c.connect(NodeRef::Neuron(w[0]), w[1], 1, 2).unwrap();
+    }
+    c.mark_output(pop[n - 1]).unwrap();
+    c
+}
+
+#[test]
+fn duplicate_faulty_cells_do_not_double_count_capacity() {
+    // 6 neurons at 2 logical slots per core -> 3 cores; a 2x2 grid with
+    // two *distinct* defects has exactly enough healthy cells. Before the
+    // normalisation fix the duplicated entry was double-counted and this
+    // rejected with GridTooSmall.
+    let c = chain(6);
+    let options = CompileOptions {
+        core_axons: 8,
+        core_neurons: 4,
+        relay_reserve: 2,
+        grid: Some((2, 2)),
+        faulty_cells: vec![(0, 0), (0, 0), (0, 0)],
+        ..small_options()
+    };
+    let compiled = compile(c.network(), &options).expect("duplicates must collapse");
+    assert_eq!(
+        compiled.network_map().faulty_cells,
+        vec![(0, 0)],
+        "retained map holds the normalised set"
+    );
+    assert!(compiled
+        .network_map()
+        .positions
+        .iter()
+        .all(|&p| p != (0, 0)));
+}
+
+#[test]
+fn out_of_grid_faulty_cell_is_a_typed_error() {
+    let c = chain(2);
+    let options = CompileOptions {
+        grid: Some((2, 2)),
+        faulty_cells: vec![(5, 1)],
+        ..small_options()
+    };
+    let err = compile(c.network(), &options).unwrap_err();
+    assert_eq!(
+        err,
+        CompileError::FaultyCellOffGrid {
+            cell: (5, 1),
+            grid: (2, 2)
+        }
+    );
+}
+
+#[test]
+fn repair_moves_only_the_condemned_cores() {
+    let c = chain(12); // 6 cores at 2 logical slots per core
+    let options = CompileOptions {
+        core_axons: 8,
+        core_neurons: 4,
+        relay_reserve: 2,
+        grid: Some((3, 3)),
+        ..small_options()
+    };
+    let compiled = compile(c.network(), &options).expect("compiles");
+    let map = compiled.network_map().clone();
+    let condemned = vec![map.positions[2]];
+
+    let repaired = repair(c.network(), &options, &map, &condemned).expect("repairs");
+    assert_eq!(repaired.moves.len(), 1, "exactly the condemned core moves");
+    assert_eq!(repaired.moves[0].from, condemned[0]);
+    assert!(!map.positions.contains(&repaired.moves[0].to));
+
+    let new_map = repaired.compiled.network_map();
+    assert!(new_map.faulty_cells.contains(&condemned[0]));
+    for (core, (&old, &new)) in map
+        .positions
+        .iter()
+        .zip(new_map.positions.iter())
+        .enumerate()
+    {
+        if core == repaired.moves[0].core {
+            assert_ne!(old, new);
+        } else {
+            assert_eq!(old, new, "healthy core {core} must not move");
+        }
+    }
+
+    // The repaired network still computes the same function.
+    let mut fixed = repaired.compiled;
+    let stim = |t: u64| if t.is_multiple_of(3) { vec![0] } else { vec![] };
+    let raster = fixed.run(60, stim);
+    let mut oracle = Interpreter::new(c.network(), 1);
+    assert_eq!(raster, oracle.run(60, stim));
+}
+
+#[test]
+fn repair_is_deterministic_and_identity_without_condemnations() {
+    let c = chain(12);
+    let options = CompileOptions {
+        core_axons: 8,
+        core_neurons: 4,
+        relay_reserve: 2,
+        grid: Some((3, 3)),
+        ..small_options()
+    };
+    let compiled = compile(c.network(), &options).expect("compiles");
+    let map = compiled.network_map().clone();
+
+    let identity = repair(c.network(), &options, &map, &[]).expect("repairs");
+    assert!(identity.moves.is_empty());
+    assert_eq!(identity.compiled.network_map().positions, map.positions);
+
+    let condemned = vec![map.positions[0], map.positions[3]];
+    let a = repair(c.network(), &options, &map, &condemned).expect("repair a");
+    let b = repair(c.network(), &options, &map, &condemned).expect("repair b");
+    assert_eq!(a.moves, b.moves);
+    assert_eq!(
+        a.compiled.network_map().positions,
+        b.compiled.network_map().positions
+    );
+}
+
+#[test]
+fn repair_without_spare_cells_reports_grid_too_small() {
+    let c = chain(8); // 4 cores exactly fill a 2x2 grid
+    let options = CompileOptions {
+        core_axons: 8,
+        core_neurons: 4,
+        relay_reserve: 2,
+        grid: Some((2, 2)),
+        ..small_options()
+    };
+    let compiled = compile(c.network(), &options).expect("compiles");
+    let map = compiled.network_map().clone();
+    let err = repair(c.network(), &options, &map, &[map.positions[1]]).unwrap_err();
+    assert!(matches!(err, CompileError::GridTooSmall { .. }));
+}
+
+#[test]
+fn repair_rejects_off_grid_condemnations() {
+    let c = chain(4);
+    let options = CompileOptions {
+        core_axons: 8,
+        core_neurons: 4,
+        relay_reserve: 2,
+        grid: Some((2, 2)),
+        ..small_options()
+    };
+    let compiled = compile(c.network(), &options).expect("compiles");
+    let map = compiled.network_map().clone();
+    let err = repair(c.network(), &options, &map, &[(9, 9)]).unwrap_err();
+    assert!(matches!(err, CompileError::FaultyCellOffGrid { .. }));
 }

@@ -76,6 +76,46 @@ impl FaultStats {
         self.total() == 0
     }
 
+    /// Field-wise saturating difference `self − other`: each counter clamps
+    /// at zero instead of wrapping.
+    ///
+    /// This is the inverse of [`FaultStats::merge`] for well-formed inputs
+    /// and the tool the recovery engine uses to re-base a migrated core's
+    /// cumulative fault accounting: subtract the structural burn of the
+    /// condemned cell, then merge the structural burn of the replacement
+    /// cell. Saturation (rather than a panic or wrap) keeps the operation
+    /// total even over inconsistent snapshots.
+    pub fn saturating_sub(&self, other: &FaultStats) -> FaultStats {
+        FaultStats {
+            cores_dropped: self.cores_dropped.saturating_sub(other.cores_dropped),
+            neurons_dead: self.neurons_dead.saturating_sub(other.neurons_dead),
+            neurons_stuck_firing: self
+                .neurons_stuck_firing
+                .saturating_sub(other.neurons_stuck_firing),
+            synapses_stuck_zero: self
+                .synapses_stuck_zero
+                .saturating_sub(other.synapses_stuck_zero),
+            synapses_stuck_one: self
+                .synapses_stuck_one
+                .saturating_sub(other.synapses_stuck_one),
+            spikes_suppressed: self
+                .spikes_suppressed
+                .saturating_sub(other.spikes_suppressed),
+            spikes_forced: self.spikes_forced.saturating_sub(other.spikes_forced),
+            packets_dropped: self.packets_dropped.saturating_sub(other.packets_dropped),
+            packets_corrupted: self
+                .packets_corrupted
+                .saturating_sub(other.packets_corrupted),
+            packets_delayed: self.packets_delayed.saturating_sub(other.packets_delayed),
+            flits_dropped_overflow: self
+                .flits_dropped_overflow
+                .saturating_sub(other.flits_dropped_overflow),
+            deliveries_failed: self
+                .deliveries_failed
+                .saturating_sub(other.deliveries_failed),
+        }
+    }
+
     /// Folds a batch of per-shard statistics blocks into one.
     ///
     /// Every counter is a plain sum, so the merge is order-independent —
@@ -121,6 +161,30 @@ mod tests {
         assert_eq!(a.packets_dropped, 5);
         assert_eq!(a.spikes_forced, 7);
         assert_eq!(a.total(), 15);
+    }
+
+    #[test]
+    fn saturating_sub_inverts_merge_and_clamps() {
+        let base = FaultStats {
+            neurons_dead: 4,
+            synapses_stuck_one: 2,
+            ..FaultStats::default()
+        };
+        let mut merged = base;
+        let delta = FaultStats {
+            neurons_dead: 1,
+            packets_dropped: 3,
+            ..FaultStats::default()
+        };
+        merged.merge(&delta);
+        assert_eq!(merged.saturating_sub(&delta), base);
+        // Over-subtraction clamps at zero instead of wrapping.
+        let over = FaultStats {
+            neurons_dead: 100,
+            ..FaultStats::default()
+        };
+        assert_eq!(base.saturating_sub(&over).neurons_dead, 0);
+        assert_eq!(base.saturating_sub(&over).synapses_stuck_one, 2);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! The typed failure ladder of the self-healing runtime.
+
+use std::fmt;
+
+use brainsim_compiler::CompileError;
+use brainsim_snapshot::{RestoreError, SaveError};
+
+/// Everything that can go wrong between condemning a cell and resuming on
+/// the repaired chip. Each rung maps to one stage of the recovery
+/// pipeline; the runner retries the whole attempt with capped exponential
+/// backoff and, when the budget is exhausted, degrades in place — recovery
+/// itself never aborts the run.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The re-placement around the condemned cells failed — most commonly
+    /// [`CompileError::GridTooSmall`] when no healthy spare cell is left.
+    Replan(CompileError),
+    /// The repaired chip came back with different grid dimensions, so the
+    /// old chip's checkpoint cannot be mapped onto it (a bug in the caller
+    /// if it happens: [`brainsim_compiler::repair`] pins the grid).
+    GridChanged {
+        /// Dimensions of the running chip.
+        old: (usize, usize),
+        /// Dimensions of the repaired chip.
+        new: (usize, usize),
+    },
+    /// Persisting the pre-migration checkpoint failed after every retry.
+    Checkpoint(SaveError),
+    /// The grafted snapshot failed chip restore validation.
+    Restore(RestoreError),
+    /// The state graft or chip swap failed for another reason.
+    Migrate(String),
+    /// The retry budget is exhausted; the runner has degraded in place and
+    /// will not attempt further migrations.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Replan(e) => write!(f, "re-placement failed: {e}"),
+            RecoveryError::GridChanged { old, new } => write!(
+                f,
+                "repaired chip is {}x{} but the running chip is {}x{}",
+                new.0, new.1, old.0, old.1
+            ),
+            RecoveryError::Checkpoint(e) => write!(f, "pre-migration checkpoint failed: {e}"),
+            RecoveryError::Restore(e) => write!(f, "migrated state failed restore: {e}"),
+            RecoveryError::Migrate(msg) => write!(f, "hot migration failed: {msg}"),
+            RecoveryError::Exhausted { attempts } => {
+                write!(f, "recovery abandoned after {attempts} failed attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Replan(e) => Some(e),
+            RecoveryError::Checkpoint(e) => Some(e),
+            RecoveryError::Restore(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for RecoveryError {
+    fn from(e: CompileError) -> Self {
+        RecoveryError::Replan(e)
+    }
+}
+
+impl From<RestoreError> for RecoveryError {
+    fn from(e: RestoreError) -> Self {
+        RecoveryError::Restore(e)
+    }
+}
+
+impl From<SaveError> for RecoveryError {
+    fn from(e: SaveError) -> Self {
+        RecoveryError::Checkpoint(e)
+    }
+}

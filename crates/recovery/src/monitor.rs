@@ -1,0 +1,390 @@
+//! Telemetry-driven health detection: which cores look broken, judged
+//! from the per-tick record stream alone.
+//!
+//! The monitor never peeks at the fault plan — it sees exactly what a
+//! production health daemon would see: per-core activity counters and the
+//! chip-level per-tick fault deltas. Detection is therefore symptomatic:
+//! a core that consumes axon events but never fires is *silent*, one that
+//! fires without input is *stuck*, one whose scheduler backlog only grows
+//! is *congested*. Each detector needs `trip` consecutive suspicious
+//! ticks before condemning (hysteresis), and a chip-wide cooldown after a
+//! condemnation wave keeps one detection storm from condemning half the
+//! grid before the planner has had a chance to react.
+//!
+//! Determinism: all state lives in flat per-core vectors indexed by the
+//! canonical row-major core index, and a core absent from a record's
+//! activity list (skipped as provably quiescent by active-core
+//! scheduling) is treated as all-zero — exactly what a full sweep reports
+//! for it — so the monitor's verdicts are bit-identical across thread
+//! counts and schedulers.
+
+use serde::{Deserialize, Serialize};
+
+use brainsim_telemetry::TickRecord;
+
+/// Thresholds for the four runtime fault detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Consecutive ticks a core must consume axon events yet fire nothing
+    /// before it is condemned as silent (dead neurons, dropped core).
+    /// Idle ticks hold the streak; any spike resets it.
+    pub silent_trip: u32,
+    /// Consecutive ticks a core must fire without consuming any input
+    /// before it is condemned as stuck-firing. Any input-driven tick or
+    /// fully idle tick resets the streak.
+    pub stuck_trip: u32,
+    /// Consecutive ticks of strictly growing scheduler backlog before a
+    /// core is condemned as congested.
+    pub backlog_window: u32,
+    /// Minimum total backlog growth over the window; filters slow drift
+    /// from genuine runaway congestion.
+    pub backlog_min_growth: u32,
+    /// Per-tick dropped-delivery count (packets dropped, flits lost to
+    /// overflow, failed deliveries) at or above which the tick counts as a
+    /// link-loss strike.
+    pub link_loss_threshold: u64,
+    /// Consecutive link-loss strikes before the chip-level link alarm is
+    /// raised.
+    pub link_loss_trip: u32,
+    /// Ticks after a condemnation wave during which no further cell is
+    /// condemned — gives the planner one coherent defect set per wave.
+    pub cooldown_ticks: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            silent_trip: 8,
+            stuck_trip: 8,
+            backlog_window: 16,
+            backlog_min_growth: 64,
+            link_loss_threshold: 1,
+            link_loss_trip: 16,
+            cooldown_ticks: 32,
+        }
+    }
+}
+
+/// What one observed tick concluded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Cells condemned by this tick's observation (empty on healthy
+    /// ticks). Already deduplicated against earlier condemnations.
+    pub condemned: Vec<(usize, usize)>,
+    /// True when the link-loss detector tripped this tick.
+    pub link_alarm: bool,
+}
+
+impl HealthReport {
+    /// True when this tick raised nothing.
+    pub fn is_healthy(&self) -> bool {
+        self.condemned.is_empty() && !self.link_alarm
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CoreStrikes {
+    silent: u32,
+    stuck: u32,
+    backlog_rising: u32,
+    backlog_growth: u64,
+    last_pending: u32,
+}
+
+/// The runtime health monitor: feed it each tick's [`TickRecord`], read
+/// back condemned cells.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    config: DetectorConfig,
+    width: usize,
+    strikes: Vec<CoreStrikes>,
+    condemned: Vec<bool>,
+    link_strikes: u32,
+    link_alarmed: bool,
+    cooldown_until: u64,
+}
+
+impl HealthMonitor {
+    /// A monitor for a `width × height` chip.
+    pub fn new(config: DetectorConfig, width: usize, height: usize) -> HealthMonitor {
+        HealthMonitor {
+            config,
+            width,
+            strikes: vec![CoreStrikes::default(); width * height],
+            condemned: vec![false; width * height],
+            link_strikes: 0,
+            link_alarmed: false,
+            cooldown_until: 0,
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Every cell condemned so far, in row-major order.
+    pub fn condemned_cells(&self) -> Vec<(usize, usize)> {
+        self.condemned
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(idx, _)| (idx % self.width, idx / self.width))
+            .collect()
+    }
+
+    /// True once the link-loss alarm has tripped.
+    pub fn link_alarmed(&self) -> bool {
+        self.link_alarmed
+    }
+
+    /// Clears every detector streak (not the condemnation marks). Call
+    /// after a successful migration: the chip's activity pattern changes
+    /// discontinuously, and pre-migration streaks must not condemn the
+    /// repaired layout.
+    pub fn reset_strikes(&mut self) {
+        for s in &mut self.strikes {
+            *s = CoreStrikes::default();
+        }
+        self.link_strikes = 0;
+    }
+
+    /// Observes one tick's record and reports anything newly condemned.
+    ///
+    /// Records must arrive in tick order; per-core detail must be enabled
+    /// in the telemetry config (without it the per-core detectors see only
+    /// zeros and the monitor can only raise the link alarm).
+    pub fn observe(&mut self, record: &TickRecord) -> HealthReport {
+        // Per-core detectors. `record.cores` lists evaluated cores in
+        // ascending core order; absent cores were provably quiescent and
+        // count as all-zero.
+        let mut entries = record.cores.iter().peekable();
+        let mut suspicious: Vec<usize> = Vec::new();
+        for idx in 0..self.strikes.len() {
+            let (spikes, axon_events, pending) = match entries.peek() {
+                Some(a) if a.core as usize == idx => {
+                    let a = entries.next().expect("peeked");
+                    (a.spikes, a.axon_events, a.pending_events)
+                }
+                _ => (0, 0, 0),
+            };
+            let s = &mut self.strikes[idx];
+
+            if axon_events > 0 && spikes == 0 {
+                s.silent += 1;
+            } else if spikes > 0 {
+                s.silent = 0;
+            } // idle holds the silent streak
+
+            if spikes > 0 && axon_events == 0 {
+                s.stuck += 1;
+            } else {
+                s.stuck = 0;
+            }
+
+            if pending > s.last_pending {
+                s.backlog_rising += 1;
+                s.backlog_growth += (pending - s.last_pending) as u64;
+            } else {
+                s.backlog_rising = 0;
+                s.backlog_growth = 0;
+            }
+            s.last_pending = pending;
+
+            if self.condemned[idx] {
+                continue;
+            }
+            let c = &self.config;
+            let tripped = s.silent >= c.silent_trip
+                || s.stuck >= c.stuck_trip
+                || (s.backlog_rising >= c.backlog_window
+                    && s.backlog_growth >= c.backlog_min_growth as u64);
+            if tripped {
+                suspicious.push(idx);
+            }
+        }
+
+        let mut report = HealthReport::default();
+        if record.tick >= self.cooldown_until {
+            for idx in suspicious {
+                self.condemned[idx] = true;
+                report.condemned.push((idx % self.width, idx / self.width));
+            }
+            if !report.condemned.is_empty() {
+                self.cooldown_until = record.tick + 1 + self.config.cooldown_ticks as u64;
+            }
+        }
+
+        // Chip-level link-loss detector on the per-tick fault delta.
+        let lost = record.faults.packets_dropped
+            + record.faults.flits_dropped_overflow
+            + record.faults.deliveries_failed;
+        if lost >= self.config.link_loss_threshold {
+            self.link_strikes += 1;
+        } else {
+            self.link_strikes = 0;
+        }
+        if self.link_strikes >= self.config.link_loss_trip {
+            report.link_alarm = true;
+            self.link_alarmed = true;
+            self.link_strikes = 0;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brainsim_faults::FaultStats;
+    use brainsim_telemetry::CoreActivity;
+
+    fn activity(core: u32, spikes: u32, axon_events: u32, pending: u32) -> CoreActivity {
+        CoreActivity {
+            core,
+            spikes,
+            axon_events,
+            synaptic_events: 0,
+            pending_events: pending,
+        }
+    }
+
+    fn record(tick: u64, cores: Vec<CoreActivity>) -> TickRecord {
+        TickRecord {
+            tick,
+            cores,
+            ..TickRecord::default()
+        }
+    }
+
+    fn config() -> DetectorConfig {
+        DetectorConfig {
+            silent_trip: 3,
+            stuck_trip: 3,
+            backlog_window: 3,
+            backlog_min_growth: 4,
+            link_loss_threshold: 1,
+            link_loss_trip: 2,
+            cooldown_ticks: 5,
+        }
+    }
+
+    #[test]
+    fn silent_core_condemned_after_trip_not_before() {
+        let mut m = HealthMonitor::new(config(), 2, 2);
+        for t in 0..2 {
+            let r = m.observe(&record(t, vec![activity(1, 0, 4, 0)]));
+            assert!(r.is_healthy(), "hysteresis must hold at tick {t}");
+        }
+        let r = m.observe(&record(2, vec![activity(1, 0, 4, 0)]));
+        assert_eq!(r.condemned, vec![(1, 0)]);
+        assert_eq!(m.condemned_cells(), vec![(1, 0)]);
+        // Already-condemned cells are not re-reported.
+        let r = m.observe(&record(3, vec![activity(1, 0, 4, 0)]));
+        assert!(r.condemned.is_empty());
+    }
+
+    #[test]
+    fn a_spike_resets_the_silent_streak_but_idle_holds_it() {
+        let mut m = HealthMonitor::new(config(), 2, 1);
+        m.observe(&record(0, vec![activity(0, 0, 4, 0)]));
+        m.observe(&record(1, vec![activity(0, 0, 4, 0)]));
+        // One firing tick: innocent.
+        m.observe(&record(2, vec![activity(0, 2, 4, 0)]));
+        let r = m.observe(&record(3, vec![activity(0, 0, 4, 0)]));
+        assert!(r.is_healthy());
+        // Idle (quiescent, absent from the record) holds the streak.
+        m.observe(&record(4, vec![activity(0, 0, 4, 0)]));
+        m.observe(&record(5, vec![]));
+        let r = m.observe(&record(6, vec![activity(0, 0, 4, 0)]));
+        assert_eq!(r.condemned, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn stuck_firing_detected_from_spikes_without_input() {
+        let mut m = HealthMonitor::new(config(), 2, 1);
+        for t in 0..2 {
+            assert!(m
+                .observe(&record(t, vec![activity(1, 1, 0, 0)]))
+                .is_healthy());
+        }
+        let r = m.observe(&record(2, vec![activity(1, 1, 0, 0)]));
+        assert_eq!(r.condemned, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn backlog_growth_needs_both_streak_and_magnitude() {
+        let mut m = HealthMonitor::new(config(), 1, 1);
+        // Rising for 3 ticks but total growth 3 < 4: healthy.
+        for (t, p) in [(0, 1), (1, 2), (2, 3)] {
+            assert!(m
+                .observe(&record(t, vec![activity(0, 1, 1, p)]))
+                .is_healthy());
+        }
+        // Keep rising past the magnitude bar.
+        let r = m.observe(&record(3, vec![activity(0, 1, 1, 10)]));
+        assert_eq!(r.condemned, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn cooldown_spaces_condemnation_waves() {
+        let mut m = HealthMonitor::new(config(), 2, 1);
+        // Core 0 trips at tick 2; core 1 starts its streak one tick later
+        // and would trip at tick 3 — inside the cooldown window.
+        m.observe(&record(0, vec![activity(0, 0, 4, 0)]));
+        for t in 1..3 {
+            m.observe(&record(t, vec![activity(0, 0, 4, 0), activity(1, 0, 4, 0)]));
+        }
+        assert_eq!(m.condemned_cells(), vec![(0, 0)]);
+        let r = m.observe(&record(3, vec![activity(1, 0, 4, 0)]));
+        assert!(r.condemned.is_empty(), "cooldown must suppress the wave");
+        // After the cooldown expires the still-suspicious core is taken.
+        let mut last = HealthReport::default();
+        for t in 4..10 {
+            last = m.observe(&record(t, vec![activity(1, 0, 4, 0)]));
+            if !last.condemned.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(last.condemned, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn link_alarm_trips_on_consecutive_lossy_ticks() {
+        let mut m = HealthMonitor::new(config(), 1, 1);
+        let lossy = |t| TickRecord {
+            tick: t,
+            faults: FaultStats {
+                packets_dropped: 2,
+                ..FaultStats::default()
+            },
+            ..TickRecord::default()
+        };
+        assert!(!m.observe(&lossy(0)).link_alarm);
+        assert!(m.observe(&lossy(1)).link_alarm);
+        assert!(m.link_alarmed());
+        // A clean tick resets the streak.
+        let mut m2 = HealthMonitor::new(config(), 1, 1);
+        m2.observe(&lossy(0));
+        m2.observe(&TickRecord::default());
+        assert!(!m2.observe(&lossy(2)).link_alarm);
+    }
+
+    #[test]
+    fn reset_strikes_clears_streaks_but_keeps_condemnations() {
+        let mut m = HealthMonitor::new(config(), 2, 1);
+        m.observe(&record(0, vec![activity(0, 0, 4, 0)]));
+        for t in 1..3 {
+            m.observe(&record(t, vec![activity(0, 0, 4, 0), activity(1, 0, 4, 0)]));
+        }
+        assert_eq!(m.condemned_cells(), vec![(0, 0)]);
+        m.reset_strikes();
+        // The un-condemned core's streak restarts from zero.
+        for t in 10..12 {
+            assert!(m
+                .observe(&record(t, vec![activity(1, 0, 4, 0)]))
+                .is_healthy());
+        }
+        assert_eq!(m.condemned_cells(), vec![(0, 0)]);
+    }
+}

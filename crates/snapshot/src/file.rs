@@ -9,6 +9,7 @@
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use crate::container::{verify, RestoreError};
 
@@ -67,11 +68,69 @@ fn hold_if_hooked(nth: u64) {
     }
 }
 
+/// Remaining process-wide injected write failures, seeded once from
+/// `BRAINSIM_SNAPSHOT_FAIL_WRITES` (the retry soak hook).
+static FAIL_BUDGET: OnceLock<AtomicU64> = OnceLock::new();
+
+thread_local! {
+    /// Remaining injected failures armed by [`inject_write_failures`] on
+    /// this thread — thread-local so parallel unit tests stay hermetic.
+    static LOCAL_FAIL_BUDGET: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn fail_budget() -> &'static AtomicU64 {
+    FAIL_BUDGET.get_or_init(|| {
+        AtomicU64::new(
+            std::env::var("BRAINSIM_SNAPSHOT_FAIL_WRITES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+        )
+    })
+}
+
+/// Arms the transient-failure injector for the calling thread: its next
+/// `n` atomic snapshot writes fail with a synthetic [`io::Error`] before
+/// touching the filesystem, then writes succeed again. The environment
+/// variable `BRAINSIM_SNAPSHOT_FAIL_WRITES=n` arms the same injector
+/// process-wide at startup — that is the CI soak hook; this function is
+/// the in-process equivalent for tests exercising the retry path.
+pub fn inject_write_failures(n: u64) {
+    LOCAL_FAIL_BUDGET.with(|b| b.set(n));
+}
+
+fn fail_if_armed() -> io::Result<()> {
+    let local_hit = LOCAL_FAIL_BUDGET.with(|b| {
+        let n = b.get();
+        if n > 0 {
+            b.set(n - 1);
+        }
+        n > 0
+    });
+    if !local_hit {
+        let budget = fail_budget();
+        let mut cur = budget.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return Ok(());
+            }
+            match budget.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+    Err(io::Error::other(
+        "injected snapshot write failure (BRAINSIM_SNAPSHOT_FAIL_WRITES)",
+    ))
+}
+
 /// Writes `bytes` to `path` crash-consistently: the content goes to
 /// `<path>.tmp` first, is fsynced, and only then renamed over `path`.
 /// A crash at any point leaves `path` either absent or holding its
 /// complete previous content.
 pub fn save_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    fail_if_armed()?;
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);

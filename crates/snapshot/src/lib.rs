@@ -39,6 +39,12 @@
 //! milliseconds between the temp-file fsync and the rename — the widest
 //! mid-write window. A SIGKILL landing there must (and does) leave the
 //! newest committed snapshot loadable.
+//!
+//! For the retry path, `BRAINSIM_SNAPSHOT_FAIL_WRITES=n` makes the first
+//! `n` atomic writes of the process fail with a synthetic `io::Error`
+//! ([`inject_write_failures`] is the per-thread in-process equivalent);
+//! [`CheckpointPolicy::save_with_retry`] with a [`RetryPolicy`] rides out
+//! such transients and surfaces exhaustion as a typed [`SaveError`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,5 +61,5 @@ pub use container::{
     decode_container, encode_container, verify, RestoreError, SectionId, MAGIC, VERSION,
 };
 pub use crc::crc32;
-pub use file::{load_verified, save_atomic, SnapshotIoError};
-pub use policy::CheckpointPolicy;
+pub use file::{inject_write_failures, load_verified, save_atomic, SnapshotIoError};
+pub use policy::{CheckpointPolicy, RetryPolicy, SaveError};

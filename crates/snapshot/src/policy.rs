@@ -3,8 +3,80 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use crate::file::{load_verified, save_atomic, SnapshotIoError};
+
+/// Bounded retry with capped exponential backoff for checkpoint writes.
+///
+/// A transient `io::Error` on a checkpoint write (disk-full blip, NFS
+/// hiccup, injected failure) should not abort an otherwise healthy run:
+/// [`CheckpointPolicy::save_with_retry`] re-attempts up to `attempts`
+/// times, sleeping `base × 2^(k−1)` (capped at `cap`) after the `k`-th
+/// failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    attempts: u32,
+    base: Duration,
+    cap: Duration,
+}
+
+impl RetryPolicy {
+    /// Up to `attempts` total attempts (min 1), exponential backoff from
+    /// `base`, capped at `cap`.
+    pub fn new(attempts: u32, base: Duration, cap: Duration) -> RetryPolicy {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            base,
+            cap: cap.max(base),
+        }
+    }
+
+    /// Total attempts permitted.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The backoff slept after the `failed` -th failed attempt (1-based):
+    /// `base × 2^(failed−1)`, saturating, capped at `cap`.
+    pub fn backoff_after(&self, failed: u32) -> Duration {
+        let doublings = failed.saturating_sub(1).min(32);
+        let delay = self.base.saturating_mul(1u32 << doublings);
+        delay.min(self.cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 3 attempts, 10 ms base, 500 ms cap.
+    fn default() -> Self {
+        RetryPolicy::new(3, Duration::from_millis(10), Duration::from_millis(500))
+    }
+}
+
+/// A checkpoint write that failed on every permitted attempt.
+#[derive(Debug)]
+pub struct SaveError {
+    /// Attempts made (equals the policy's budget).
+    pub attempts: u32,
+    /// The error from the final attempt.
+    pub last: io::Error,
+}
+
+impl std::fmt::Display for SaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint write failed after {} attempt(s): {}",
+            self.attempts, self.last
+        )
+    }
+}
+
+impl std::error::Error for SaveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.last)
+    }
+}
 
 /// When to checkpoint and how many checkpoints to retain.
 ///
@@ -99,6 +171,42 @@ impl CheckpointPolicy {
         Ok(path)
     }
 
+    /// [`CheckpointPolicy::save`] wrapped in a [`RetryPolicy`]: transient
+    /// write failures are retried with capped exponential backoff; only
+    /// exhausting the attempt budget surfaces, as a [`SaveError`] carrying
+    /// the attempt count and the final cause.
+    ///
+    /// # Errors
+    ///
+    /// [`SaveError`] after `retry.attempts()` consecutive failures.
+    pub fn save_with_retry(
+        &self,
+        dir: &Path,
+        tick: u64,
+        bytes: &[u8],
+        retry: &RetryPolicy,
+    ) -> Result<PathBuf, SaveError> {
+        let mut failed = 0;
+        loop {
+            match self.save(dir, tick, bytes) {
+                Ok(path) => return Ok(path),
+                Err(last) => {
+                    failed += 1;
+                    if failed >= retry.attempts() {
+                        return Err(SaveError {
+                            attempts: failed,
+                            last,
+                        });
+                    }
+                    let backoff = retry.backoff_after(failed);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+
     /// Loads the newest checkpoint in `dir` that passes container
     /// verification (magic, version, every section CRC), walking backwards
     /// past corrupt or unreadable files. Returns `None` when no checkpoint
@@ -186,6 +294,51 @@ mod tests {
         assert_eq!(tick, 10);
         assert_eq!(loaded, payload(10));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_rides_out_injected_transient_failures() {
+        let dir = tmpdir("retry-ok");
+        let p = CheckpointPolicy::new(10, 2);
+        let retry = RetryPolicy::new(3, Duration::ZERO, Duration::ZERO);
+        crate::file::inject_write_failures(2);
+        let path = p
+            .save_with_retry(&dir, 10, &payload(10), &retry)
+            .expect("third attempt succeeds");
+        assert_eq!(path, CheckpointPolicy::path_for(&dir, 10));
+        assert_eq!(load_verified(&path).expect("verifies"), payload(10));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_attempts_and_cause() {
+        let dir = tmpdir("retry-exhaust");
+        let p = CheckpointPolicy::new(10, 2);
+        let retry = RetryPolicy::new(3, Duration::ZERO, Duration::ZERO);
+        crate::file::inject_write_failures(5);
+        let err = p
+            .save_with_retry(&dir, 10, &payload(10), &retry)
+            .expect_err("budget exhausted");
+        assert_eq!(err.attempts, 3);
+        assert!(err.last.to_string().contains("injected"));
+        // Drain the leftover budget so later saves on this thread succeed.
+        crate::file::inject_write_failures(0);
+        assert!(CheckpointPolicy::list(&dir).expect("list").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let r = RetryPolicy::new(6, Duration::from_millis(10), Duration::from_millis(35));
+        assert_eq!(r.backoff_after(1), Duration::from_millis(10));
+        assert_eq!(r.backoff_after(2), Duration::from_millis(20));
+        assert_eq!(r.backoff_after(3), Duration::from_millis(35)); // capped
+        assert_eq!(r.backoff_after(6), Duration::from_millis(35));
+        // Degenerate budgets clamp to one attempt; cap never undercuts base.
+        assert_eq!(
+            RetryPolicy::new(0, Duration::ZERO, Duration::ZERO).attempts(),
+            1
+        );
     }
 
     #[test]

@@ -130,6 +130,13 @@ impl TelemetryLog {
         self.records.iter()
     }
 
+    /// The most recent retained record, or `None` while the ring is empty.
+    /// O(1); live consumers of the stream (e.g. a runtime health monitor)
+    /// read each tick's record here right after the tick completes.
+    pub fn latest(&self) -> Option<&TickRecord> {
+        self.records.back()
+    }
+
     /// Number of retained records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -201,6 +208,16 @@ mod tests {
         // The summary still covers all five records.
         assert_eq!(log.summary().ticks, 5);
         assert_eq!(log.summary().spikes, 10); // 0+1+2+3+4
+    }
+
+    #[test]
+    fn latest_tracks_the_newest_record() {
+        let mut log = TelemetryLog::new(TelemetryConfig::counters_only(2), 1);
+        assert!(log.latest().is_none());
+        for t in 0..4 {
+            log.push(record(t, t));
+            assert_eq!(log.latest().map(|r| r.tick), Some(t));
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | [`apps`] | `brainsim-apps` | classifier, edge filter bank, ITD estimator |
 //! | [`telemetry`] | `brainsim-telemetry` | per-tick probes, ring sinks, JSONL/CSV exporters |
 //! | [`snapshot`] | `brainsim-snapshot` | crash-consistent checkpoint container, codecs, retention policy |
+//! | [`recovery`] | `brainsim-recovery` | self-healing runtime: fault detection, re-placement, hot migration |
 //!
 //! ## Quickstart
 //!
@@ -86,6 +87,7 @@ pub use brainsim_energy as energy;
 pub use brainsim_faults as faults;
 pub use brainsim_neuron as neuron;
 pub use brainsim_noc as noc;
+pub use brainsim_recovery as recovery;
 pub use brainsim_snapshot as snapshot;
 pub use brainsim_snn as snn;
 pub use brainsim_telemetry as telemetry;

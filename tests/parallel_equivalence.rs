@@ -199,6 +199,78 @@ fn deterministic_pipeline_is_bit_identical_across_threads_and_scheduling() {
     }
 }
 
+/// Same drive loop as [`run`], but arming an escalating sequence of fault
+/// plans at fixed mid-run ticks instead of one plan up front: link-level
+/// chaos at `ARM_LINK`, then structural damage stacked on top at
+/// `ARM_STRUCTURAL` (structural burn is cumulative by contract, which is
+/// exactly what the escalation exercises).
+fn run_escalating(
+    seed: u32,
+    threads: usize,
+    scheduling: CoreScheduling,
+) -> (Vec<TickRecord>, EventCensus, FaultStats) {
+    const ARM_LINK: u64 = 40;
+    const ARM_STRUCTURAL: u64 = 80;
+    let mut chip = build_chip(seed, TickSemantics::Deterministic, threads, scheduling);
+    let mut stim = Lfsr::new(seed ^ 0x00C0_FFEE);
+    let mut records = Vec::with_capacity(TICKS as usize);
+    for t in 0..TICKS {
+        // Escalation schedule, keyed to the absolute tick so every thread
+        // count and scheduler arms at the same barrier.
+        if t == ARM_LINK {
+            chip.set_fault_plan(
+                &FaultPlan::new(seed as u64)
+                    .with_link_drop(0.1)
+                    .with_link_corrupt(0.1),
+            );
+        }
+        if t == ARM_STRUCTURAL {
+            chip.set_fault_plan(
+                &FaultPlan::new(seed as u64 ^ 0xDEAD)
+                    .with_link_delay(0.2, 2)
+                    .with_dead_neuron(0.1)
+                    .with_stuck_neuron(0.05),
+            );
+        }
+        if t % 50 < 30 {
+            for a in 0..FANIN {
+                if stim.bernoulli_256(48) {
+                    let x = (stim.next_u32() as usize) % GRID;
+                    let y = (stim.next_u32() as usize) % GRID;
+                    chip.inject(x, y, a, t).unwrap();
+                }
+            }
+        }
+        let s = chip.tick();
+        records.push((s.tick, s.spikes, s.outputs, s.faults));
+    }
+    (records, chip.census(), chip.fault_stats())
+}
+
+#[test]
+fn mid_run_armed_fault_plans_are_bit_identical_across_threads_and_scheduling() {
+    // The self-healing runtime arms fault plans at arbitrary tick
+    // boundaries on a running chip; this pins the contract it leans on —
+    // mid-run arming (including escalation over an already-armed plan) is
+    // as deterministic as arming at build time.
+    for seed in [0xA11CE, 0xB0B5EED] {
+        let (reference, ref_census, ref_faults) = run_escalating(seed, 1, CoreScheduling::Sweep);
+        let pre_arm_faults: u64 = reference[..40].iter().map(|r| r.3.total()).sum();
+        let post_arm_faults: u64 = reference[40..].iter().map(|r| r.3.total()).sum();
+        assert_eq!(pre_arm_faults, 0, "no faults may fire before arming");
+        assert!(post_arm_faults > 0, "escalation must actually bite");
+        for &threads in &thread_counts() {
+            for scheduling in [CoreScheduling::Sweep, CoreScheduling::Active] {
+                let (records, census, faults) = run_escalating(seed, threads, scheduling);
+                let label = format!("seed {seed:#x}, {threads} threads, {scheduling:?}");
+                assert_eq!(records, reference, "tick stream diverged: {label}");
+                assert_eq!(census, ref_census, "census diverged: {label}");
+                assert_eq!(faults, ref_faults, "fault stats diverged: {label}");
+            }
+        }
+    }
+}
+
 /// Same drive loop as [`run`], but with telemetry enabled; returns the
 /// full `TelemetryLog` (per-tick records, eviction count, run summary).
 fn run_telemetry(

@@ -1,0 +1,337 @@
+//! Differential proof of the self-healing runtime: a mid-run structural
+//! fault is detected from telemetry alone (the monitor never sees the
+//! fault plan), the logical network is re-placed around the condemned
+//! cell, the chip hot-migrates onto the repaired layout, and the run
+//! completes deterministically — bit-identical across thread counts and
+//! both core-scheduling modes. The recovered raster must beat degrading
+//! in place, and on a healthy chip the whole loop must be a no-op.
+//!
+//! The workload is a relay chain with one logical neuron per physical
+//! core (threshold 1, weight 1, continuous stimulus), so every healthy
+//! core fires every tick — the silent-core detector has zero false
+//! positives — and killing any one chain neuron silences exactly the core
+//! that hosts it while it keeps consuming axon events: the textbook
+//! silent-core signature.
+
+use brainsim::chip::CoreScheduling;
+use brainsim::compiler::{compile, CompileOptions, NetworkMap};
+use brainsim::corelet::{Corelet, LogicalNetwork, NodeRef};
+use brainsim::faults::{FaultInjector, FaultPlan};
+use brainsim::neuron::NeuronConfig;
+use brainsim::recovery::{RecoveryEvent, RecoveryPolicy, RecoveryStats, SelfHealingRunner};
+
+const TICKS: u64 = 160;
+/// Tick the fault plan is armed at, mid-run, on a warmed-up chip.
+const ARM_AT: u64 = 40;
+/// Late observation window: long after detection + migration settle.
+fn window() -> std::ops::Range<usize> {
+    100..160
+}
+const DEAD_RATE: f64 = 0.12;
+
+/// A relay chain of `n` threshold-1 neurons: input → n0 → n1 → … → out.
+/// With one packable slot per core it occupies exactly `n` cores.
+fn chain_net(n: usize) -> LogicalNetwork {
+    let mut c = Corelet::new("chain", 1);
+    let t = NeuronConfig::builder()
+        .threshold(1)
+        .build()
+        .expect("neuron config");
+    let pop = c.add_population(t, n);
+    c.connect(NodeRef::Input(0), pop[0], 1, 1).expect("connect");
+    for w in pop.windows(2) {
+        c.connect(NodeRef::Neuron(w[0]), w[1], 1, 2)
+            .expect("connect");
+    }
+    c.mark_output(pop[n - 1]).expect("output");
+    c.into_network()
+}
+
+/// One logical neuron per core (capacity `core_neurons - relay_reserve`),
+/// explicit grid so the spare-cell budget is under test control.
+fn options(grid: (usize, usize), threads: usize, scheduling: CoreScheduling) -> CompileOptions {
+    CompileOptions {
+        core_axons: 4,
+        core_neurons: 2,
+        relay_reserve: 1,
+        grid: Some(grid),
+        seed: 7,
+        threads,
+        scheduling,
+        ..CompileOptions::default()
+    }
+}
+
+/// Searches fault-plan seeds for a surgical strike: exactly one dead
+/// neuron on the whole grid, located at the occupied slot of a used cell.
+/// Every other cell — in particular every spare the repair could pick —
+/// is completely clean, so a successful migration provably restores
+/// function. The injector is used only to *construct* the scenario (and
+/// later to assert the monitor fingered the right cell); the monitor
+/// itself sees nothing but telemetry.
+fn surgical_plan(map: &NetworkMap) -> (FaultPlan, (usize, usize)) {
+    let (w, h) = map.grid;
+    for seed in 0..10_000u64 {
+        let plan = FaultPlan::new(seed).with_dead_neuron(DEAD_RATE);
+        let inj = FaultInjector::new(&plan);
+        let mut dead = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                for n in 0..2 {
+                    if inj.neuron_fault(x, y, n).is_some() {
+                        dead.push((x, y, n));
+                    }
+                }
+            }
+        }
+        if let [(x, y, 0)] = dead[..] {
+            if map.positions.contains(&(x, y)) {
+                return (plan, (x, y));
+            }
+        }
+    }
+    panic!("no surgical fault-plan seed in range");
+}
+
+/// Everything observable about one self-healing run.
+#[derive(Debug, PartialEq)]
+struct HealOutcome {
+    raster: Vec<Vec<bool>>,
+    events: Vec<RecoveryEvent>,
+    stats: RecoveryStats,
+    condemned: Vec<(usize, usize)>,
+    degraded: bool,
+    positions: Vec<(usize, usize)>,
+}
+
+/// Drives the runner with continuous stimulus, arming `plan` at
+/// [`ARM_AT`] when given.
+fn heal(
+    net: LogicalNetwork,
+    opts: &CompileOptions,
+    plan: Option<&FaultPlan>,
+    policy: RecoveryPolicy,
+) -> HealOutcome {
+    let mut runner = SelfHealingRunner::new(net, opts.clone(), policy).expect("compile");
+    let mut raster = Vec::with_capacity(TICKS as usize);
+    for t in 0..TICKS {
+        if t == ARM_AT {
+            if let Some(plan) = plan {
+                runner.arm_fault_plan(plan);
+            }
+        }
+        raster.push(runner.step(&[0]));
+    }
+    HealOutcome {
+        raster,
+        events: runner.events().to_vec(),
+        stats: runner.stats(),
+        condemned: runner.monitor().condemned_cells(),
+        degraded: runner.degraded(),
+        positions: runner.compiled().network_map().positions.clone(),
+    }
+}
+
+/// The same run without any recovery loop: plain compiled network, same
+/// stimulus, optionally the same mid-run fault plan.
+fn plain(net: &LogicalNetwork, opts: &CompileOptions, plan: Option<&FaultPlan>) -> Vec<Vec<bool>> {
+    let mut compiled = compile(net, opts).expect("compile");
+    let mut raster = Vec::with_capacity(TICKS as usize);
+    for t in 0..TICKS {
+        if t == ARM_AT {
+            if let Some(plan) = plan {
+                compiled.set_fault_plan(plan);
+            }
+        }
+        compiled.inject(0, t).expect("inject");
+        raster.push(compiled.tick());
+    }
+    raster
+}
+
+/// Ticks in [`window`] where the two rasters disagree.
+fn divergence(a: &[Vec<bool>], b: &[Vec<bool>]) -> usize {
+    window().filter(|&t| a[t] != b[t]).count()
+}
+
+#[test]
+fn recovery_restores_function_and_beats_degrading_in_place() {
+    // 6 cores on a 3x3 grid: three clean spare cells to migrate into.
+    let net = chain_net(6);
+    let opts = options((3, 3), 1, CoreScheduling::Sweep);
+    let map = compile(&net, &opts).expect("compile").network_map().clone();
+    let (plan, damaged) = surgical_plan(&map);
+
+    let reference = plain(&net, &opts, None);
+    let degraded = plain(&net, &opts, Some(&plan));
+    let healed = heal(net, &opts, Some(&plan), RecoveryPolicy::default());
+
+    // The workload is active and the injected fault actually bites.
+    assert!(
+        window().all(|t| reference[t] == vec![true]),
+        "reference chain must fire every tick in the window"
+    );
+    let div_degraded = divergence(&degraded, &reference);
+    assert!(div_degraded > 0, "the dead neuron must break the chain");
+
+    // Detection from telemetry alone fingered exactly the damaged cell,
+    // after the plan was armed, and one migration moved exactly that core
+    // to a previously free cell.
+    assert_eq!(
+        healed.stats,
+        RecoveryStats {
+            cells_condemned: 1,
+            migrations: 1,
+            cores_moved: 1,
+            failed_attempts: 0,
+            link_alarms: 0,
+        }
+    );
+    assert!(!healed.degraded);
+    assert_eq!(healed.condemned, vec![damaged]);
+    match &healed.events[..] {
+        [RecoveryEvent::Condemned { tick: ct, cells }, RecoveryEvent::Migrated { tick: mt, moves }] =>
+        {
+            assert!(*ct > ARM_AT, "condemned before the fault existed");
+            assert_eq!(mt, ct, "migration must run in the condemnation tick");
+            assert_eq!(cells, &vec![damaged]);
+            assert_eq!(moves.len(), 1);
+            assert_eq!(moves[0].from, damaged);
+            assert!(
+                !map.positions.contains(&moves[0].to),
+                "migration target must be a previously free cell"
+            );
+        }
+        other => panic!("expected condemn + migrate, got {other:?}"),
+    }
+    // The final placement is the old one with only the damaged cell swapped.
+    let moved_core = map
+        .positions
+        .iter()
+        .position(|&p| p == damaged)
+        .expect("damaged cell is used");
+    for (i, (&old, &new)) in map.positions.iter().zip(&healed.positions).enumerate() {
+        if i == moved_core {
+            assert_ne!(new, damaged);
+        } else {
+            assert_eq!(old, new, "healthy core {i} must not move");
+        }
+    }
+
+    // The healed run converges back onto the fault-free reference; the
+    // degraded run never does.
+    let div_healed = divergence(&healed.raster, &reference);
+    assert_eq!(
+        div_healed, 0,
+        "recovered chain must match the fault-free reference in the late window"
+    );
+    assert!(div_healed < div_degraded);
+}
+
+#[test]
+fn self_healing_run_is_bit_identical_across_threads_and_schedulers() {
+    let net = chain_net(6);
+    let base = options((3, 3), 1, CoreScheduling::Sweep);
+    let map = compile(&net, &base).expect("compile").network_map().clone();
+    let (plan, _) = surgical_plan(&map);
+
+    let reference = heal(net.clone(), &base, Some(&plan), RecoveryPolicy::default());
+    assert_eq!(reference.stats.migrations, 1, "scenario must recover");
+    for threads in [1, 2, 8] {
+        for scheduling in [CoreScheduling::Sweep, CoreScheduling::Active] {
+            let opts = options((3, 3), threads, scheduling);
+            let outcome = heal(net.clone(), &opts, Some(&plan), RecoveryPolicy::default());
+            assert_eq!(
+                outcome, reference,
+                "self-healing run diverged: {threads} threads, {scheduling:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_on_a_healthy_chip_is_a_no_op() {
+    let net = chain_net(6);
+    for scheduling in [CoreScheduling::Sweep, CoreScheduling::Active] {
+        let opts = options((3, 3), 1, scheduling);
+        let reference = plain(&net, &opts, None);
+        let outcome = heal(net.clone(), &opts, None, RecoveryPolicy::default());
+        assert_eq!(
+            outcome.raster, reference,
+            "the recovery loop must not perturb a healthy run ({scheduling:?})"
+        );
+        assert!(outcome.events.is_empty(), "no events on a healthy chip");
+        assert_eq!(outcome.stats, RecoveryStats::default());
+        assert!(outcome.condemned.is_empty());
+        assert!(!outcome.degraded);
+        let map = compile(&net, &opts).expect("compile").network_map().clone();
+        assert_eq!(outcome.positions, map.positions, "no core may move");
+    }
+}
+
+#[test]
+fn exhausted_retries_degrade_in_place_without_crashing() {
+    // 9 cores fill the 3x3 grid exactly: there is no spare cell, so every
+    // repair attempt fails with GridTooSmall and the runner must walk the
+    // whole ladder — capped-backoff retries, then degrade in place — while
+    // the run itself keeps ticking.
+    let net = chain_net(9);
+    let opts = options((3, 3), 1, CoreScheduling::Sweep);
+    let map = compile(&net, &opts).expect("compile").network_map().clone();
+    let (plan, damaged) = surgical_plan(&map);
+
+    let outcome = heal(net, &opts, Some(&plan), RecoveryPolicy::default());
+    assert_eq!(
+        outcome.raster.len(),
+        TICKS as usize,
+        "the run must complete"
+    );
+    assert!(outcome.degraded, "no spare cell: the runner must give up");
+    assert_eq!(outcome.condemned, vec![damaged]);
+    assert_eq!(outcome.stats.migrations, 0);
+    assert_eq!(outcome.stats.failed_attempts, 3);
+    assert_eq!(outcome.positions, map.positions, "nothing may move");
+    match &outcome.events[..] {
+        [RecoveryEvent::Condemned { tick: t0, .. }, RecoveryEvent::AttemptFailed {
+            tick: t1,
+            retry_at: r1,
+            error: e1,
+        }, RecoveryEvent::AttemptFailed {
+            tick: t2,
+            retry_at: r2,
+            ..
+        }, RecoveryEvent::DegradedInPlace { tick: t3, error }] => {
+            assert_eq!(t1, t0, "first attempt runs in the condemnation tick");
+            assert!(e1.contains("re-placement failed"), "typed ladder: {e1}");
+            // Capped exponential backoff, measured in ticks: 8 then 16.
+            assert_eq!(*r1, t1 + 8);
+            assert_eq!(*t2, *r1);
+            assert_eq!(*r2, t2 + 16);
+            assert_eq!(*t3, *r2);
+            assert!(error.contains("abandoned after 3"), "final error: {error}");
+        }
+        other => panic!("expected condemn + 2 retries + degrade, got {other:?}"),
+    }
+}
+
+#[test]
+fn migration_persists_a_checkpoint_when_configured() {
+    let net = chain_net(6);
+    let opts = options((3, 3), 1, CoreScheduling::Sweep);
+    let map = compile(&net, &opts).expect("compile").network_map().clone();
+    let (plan, _) = surgical_plan(&map);
+
+    let dir = std::env::temp_dir().join(format!("brainsim-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = RecoveryPolicy {
+        checkpoint_dir: Some(dir.clone()),
+        ..RecoveryPolicy::default()
+    };
+    let outcome = heal(net, &opts, Some(&plan), policy);
+    assert_eq!(outcome.stats.migrations, 1);
+    let saved = std::fs::read_dir(&dir)
+        .expect("checkpoint dir exists")
+        .count();
+    assert!(saved >= 1, "pre-migration checkpoint must be persisted");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
