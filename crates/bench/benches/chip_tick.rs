@@ -2,8 +2,9 @@
 //! scheduler at 1/2/4/8 threads, on a dense 8×8 workload (every core busy)
 //! and a 95%-quiescent sparse island workload (3 of 64 cores busy).
 //!
-//! `src/bin/bench_chip_tick.rs` runs the same matrix with a larger budget
-//! and writes the committed `BENCH_chip_tick.json` baseline.
+//! `src/bin/barometer.rs` sweeps the generated workload corpus (8×8 up to
+//! the full-silicon 64×64) across a wider variant matrix, proves
+//! bit-identity, and writes the committed `BENCH_barometer.jsonl` records.
 
 use brainsim_bench::{drive_random, drive_random_cores, random_chip, RandomChipSpec};
 use brainsim_chip::CoreScheduling;

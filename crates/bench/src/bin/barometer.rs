@@ -1,0 +1,195 @@
+//! The benchmark barometer: sweeps the generated TrueNorth workload
+//! corpus across the {eval strategy × scheduler × threads} matrix, proves
+//! bit-identity across every variant (differential conformance), and
+//! emits versioned JSONL records plus a ranked markdown summary. Replaces
+//! the retired hand-rolled `bench_chip_tick` path.
+//!
+//! Usage:
+//!
+//! * `barometer measure [--out FILE] [--smoke]` — sweep the corpus (and
+//!   the checkpoint/recovery ops workloads), verify conformance, write
+//!   records (default `BENCH_barometer.jsonl`) and print the ranked
+//!   summary to stderr.
+//! * `barometer check <baseline.jsonl> [--smoke]` — re-measure and compare
+//!   per (workload, variant): exits non-zero on census divergence, lost
+//!   coverage, or timing regression beyond each record's `check_factor`
+//!   (timing is advisory when the baseline came from a different host
+//!   shape — see the `cpus_mismatch` verdict field). The CI bench gate.
+//! * `barometer summary <records.jsonl>` — render the ranked markdown
+//!   summary for an existing record file (the EXPERIMENTS.md table).
+//! * `barometer pin` — run the conformance matrix over every corpus entry
+//!   and print each entry's computed checksum: the BYOB flow for pinning
+//!   a new `WorkloadDef` (paste the value into `corpus()`).
+
+use std::process::ExitCode;
+
+use brainsim_bench::corpus::{self, WorkloadDef};
+use brainsim_bench::record::{from_jsonl, to_jsonl, Host, Record};
+use brainsim_bench::{summary, sweep};
+
+fn selected(smoke: bool) -> Vec<WorkloadDef> {
+    corpus::corpus()
+        .into_iter()
+        .filter(|d| !smoke || d.smoke)
+        .collect()
+}
+
+/// Sweeps the selected corpus plus the ops workloads, verifying
+/// conformance entry by entry. Returns `None` (after reporting) if any
+/// entry fails conformance.
+fn measure_all(smoke: bool, host: Host) -> Option<Vec<Record>> {
+    let mut records = Vec::new();
+    let mut failed = false;
+    for def in selected(smoke) {
+        eprintln!(
+            "[barometer] {} ({} cores): conformance × {} variants",
+            def.name,
+            def.cores(),
+            sweep::conformance_matrix().len(),
+        );
+        match sweep::sweep_workload(&def, host) {
+            Ok(rows) => {
+                for r in &rows {
+                    eprintln!("  {:<28} {:>14.0} {}", r.variant, r.value, r.unit);
+                }
+                records.extend(rows);
+            }
+            Err(e) => {
+                eprintln!("  CONFORMANCE FAILURE: {e}");
+                failed = true;
+            }
+        }
+    }
+    let checkpoint_def = corpus::find("nemo_8x8_lo").expect("corpus has nemo_8x8_lo");
+    for r in sweep::checkpoint_records(&checkpoint_def, host)
+        .into_iter()
+        .chain(sweep::recovery_records(host))
+    {
+        eprintln!("  {:<28} {:>14.0} {}", r.variant, r.value, r.unit);
+        records.push(r);
+    }
+    (!failed).then_some(records)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let host = Host::detect();
+    match args.first().map(String::as_str) {
+        Some("measure") | None => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "BENCH_barometer.jsonl".to_string());
+            let Some(records) = measure_all(smoke, host) else {
+                return ExitCode::FAILURE;
+            };
+            if let Err(e) = std::fs::write(&out, to_jsonl(&records)) {
+                eprintln!("[barometer] cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[barometer] wrote {} records to {out}", records.len());
+            eprint!("{}", summary::render(&records));
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("usage: barometer check <baseline.jsonl> [--smoke]");
+                return ExitCode::FAILURE;
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("[barometer] cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut baseline = from_jsonl(&text);
+            if smoke {
+                let names: Vec<&str> = selected(true).iter().map(|d| d.name).collect();
+                baseline.retain(|r| {
+                    names.contains(&r.workload.as_str())
+                        || r.workload == "chip_checkpoint"
+                        || r.workload == "chip_recovery"
+                });
+            }
+            if baseline.is_empty() {
+                eprintln!(
+                    "[barometer] no schema-{} records in {path}",
+                    brainsim_bench::record::SCHEMA_VERSION
+                );
+                return ExitCode::FAILURE;
+            }
+            let Some(fresh) = measure_all(smoke, host) else {
+                return ExitCode::FAILURE;
+            };
+            let verdicts = sweep::check(&baseline, &fresh, host);
+            let mut failed = false;
+            for v in &verdicts {
+                println!("{}", v.to_line());
+                failed |= v.failing();
+            }
+            if failed {
+                eprintln!("[barometer] GATE FAILED");
+                ExitCode::FAILURE
+            } else {
+                eprintln!("[barometer] gate passed: {} verdicts", verdicts.len());
+                ExitCode::SUCCESS
+            }
+        }
+        Some("summary") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: barometer summary <records.jsonl>");
+                return ExitCode::FAILURE;
+            };
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    print!("{}", summary::render(&from_jsonl(&text)));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("[barometer] cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("pin") => {
+            // BYOB: report every entry's computed checksum so a new def's
+            // `checksum: Some(..)` can be pasted in. Conformance (variant
+            // bit-identity, non-silence) is still enforced — only the pin
+            // comparison itself is reported instead of failed.
+            let mut failed = false;
+            for def in selected(smoke) {
+                match sweep::verify_workload(&def) {
+                    Ok(v) => {
+                        println!(
+                            "{:<24} checksum: Some({:#018x})  // pinned",
+                            def.name, v.checksum
+                        );
+                    }
+                    Err(sweep::ConformanceError::Pin { computed, .. }) => {
+                        println!(
+                            "{:<24} checksum: Some({computed:#018x})  // UPDATE",
+                            def.name
+                        );
+                    }
+                    Err(e) => {
+                        println!("{:<24} FAILED: {e}", def.name);
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other}; expected measure|check|summary|pin");
+            ExitCode::FAILURE
+        }
+    }
+}

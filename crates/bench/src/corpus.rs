@@ -1,0 +1,480 @@
+//! The barometer's workload corpus: declarative, seeded TrueNorth workload
+//! definitions and their deterministic generator.
+//!
+//! Each corpus entry is a [`WorkloadDef`] — pure data: name, seed, grid
+//! dimensions, fan-out (crossbar density), the NeMo/SANA-FE-style
+//! intra-/inter-core connectivity split, drive rate, an optional fault-plan
+//! overlay, and a pinned census checksum. The generator expands a def into
+//! a [`Chip`] byte-deterministically: the same def always produces the
+//! identical network, so the corpus is data, not code, and the pinned
+//! checksum turns every entry into a cross-strategy equivalence test.
+//!
+//! The connectivity recipe follows the SANA-FE NeMo comparison script:
+//! every neuron forwards to a random axon of its **own** core with
+//! probability `intra/256` (default ≈ 80%) and to a uniformly random other
+//! core otherwise — the 80/20 split TrueNorth placement literature assumes.
+
+use brainsim_chip::{Chip, ChipBuilder, ChipConfig, CoreScheduling};
+use brainsim_core::{AxonTarget, AxonType, CoreOffset, Destination, EvalStrategy};
+use brainsim_energy::EventCensus;
+use brainsim_faults::FaultPlan;
+use brainsim_neuron::{Lfsr, NeuronConfig, Weight};
+
+/// Incremental FNV-1a over a stream of `u64` values — the checksum the
+/// conformance layer pins per corpus entry (per-tick spike counts, output
+/// rasters in deterministic order, and the final [`EventCensus`]).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts from the FNV-1a 64-bit offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one value into the running hash.
+    #[inline]
+    pub fn write(&mut self, value: u64) {
+        self.0 ^= value;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Folds every field of an event census, in declaration order.
+    pub fn write_census(&mut self, census: &EventCensus) {
+        for v in [
+            census.ticks,
+            census.cores,
+            census.synaptic_events,
+            census.neuron_updates,
+            census.spikes,
+            census.axon_events,
+            census.hops,
+            census.link_crossings,
+            census.packets_dropped,
+            census.packets_rejected,
+            census.flit_stalls,
+        ] {
+            self.write(v);
+        }
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// A deterministic fault-plan overlay a corpus entry can carry. Overlays
+/// are part of the workload definition (derived from the entry's seed), so
+/// a faulted workload is exactly as reproducible as a clean one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOverlay {
+    /// No faults: the clean workload.
+    None,
+    /// Link-level chaos: 5% packet drop + 5% payload corruption.
+    LinkChaos,
+    /// Structural damage: dead/stuck neurons and delayed links.
+    Structural,
+}
+
+/// One corpus entry: everything needed to regenerate the workload and
+/// verify any simulator variant against it. Pure data — adding a workload
+/// is adding a literal to [`corpus`] (see the BYOB section in
+/// EXPERIMENTS.md), not writing generator code.
+#[derive(Debug, Clone)]
+pub struct WorkloadDef {
+    /// Stable identifier; the `workload` field of every record.
+    pub name: &'static str,
+    /// Master seed: network structure, drive stream, and fault overlay all
+    /// derive from it.
+    pub seed: u32,
+    /// Grid width in cores.
+    pub width: usize,
+    /// Grid height in cores.
+    pub height: usize,
+    /// Axons per core.
+    pub axons: usize,
+    /// Neurons per core.
+    pub neurons: usize,
+    /// Crossbar density numerator (out of 256) — the fan-out knob: each
+    /// spike on an axon drives ≈ `density/256 × neurons` synapses.
+    pub density: u32,
+    /// Probability numerator (out of 256) that a neuron's forward edge
+    /// stays **within its own core**; the remainder targets a uniformly
+    /// random other structured core. 205/256 ≈ the canonical 80/20 split.
+    pub intra: u32,
+    /// Per-axon Bernoulli drive probability numerator (out of 256) — the
+    /// activity-rate knob.
+    pub drive_rate: u32,
+    /// When `Some(k)`, only the first `k` cores (row-major) are structured
+    /// and driven; the rest of the grid is built with empty crossbars and
+    /// disabled destinations, staying provably quiescent — the sparse
+    /// workload shape the active-core scheduler exists for. Forward edges
+    /// are confined to the island so no traffic leaks into the bulk.
+    pub island: Option<usize>,
+    /// Warm-up ticks excluded from timing (but folded into the checksum).
+    pub warmup: u64,
+    /// Measured ticks.
+    pub measure: u64,
+    /// Fault-plan overlay armed before the run.
+    pub overlay: FaultOverlay,
+    /// Whether the entry is cheap enough for the `cargo test` smoke
+    /// conformance suite (the full harness always runs every entry).
+    pub smoke: bool,
+    /// Per-workload regression threshold for the `check` gate: a variant
+    /// fails when its ns/tick exceeds the committed baseline by more than
+    /// this factor.
+    pub check_factor: f64,
+    /// Pinned FNV-1a checksum over the run's per-tick rasters and final
+    /// census. `None` only while authoring a new entry (`barometer pin`
+    /// prints the value to paste here); the harness refuses to emit
+    /// records for unpinned entries.
+    pub checksum: Option<u64>,
+}
+
+impl WorkloadDef {
+    /// Total cores on the grid.
+    pub fn cores(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Cores carrying structure and stimulus.
+    pub fn structured(&self) -> usize {
+        self.island.unwrap_or(self.cores()).min(self.cores())
+    }
+
+    /// Total ticks of a run (warm-up + measured).
+    pub fn ticks(&self) -> u64 {
+        self.warmup + self.measure
+    }
+
+    /// The fault plan this entry arms, if any (derived from the seed).
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        let seed = u64::from(self.seed) ^ 0xBA40_44E7;
+        match self.overlay {
+            FaultOverlay::None => None,
+            FaultOverlay::LinkChaos => Some(
+                FaultPlan::new(seed)
+                    .with_link_drop(0.05)
+                    .with_link_corrupt(0.05),
+            ),
+            FaultOverlay::Structural => Some(
+                FaultPlan::new(seed)
+                    .with_link_delay(0.1, 2)
+                    .with_dead_neuron(0.02)
+                    .with_stuck_neuron(0.01),
+            ),
+        }
+    }
+}
+
+/// Connectivity statistics of a generated workload, for the 80/20
+/// split invariants in `tests/properties.rs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadStats {
+    /// Programmed crossbar synapses.
+    pub synapses: u64,
+    /// Forward edges that stay within their source core.
+    pub intra_edges: u64,
+    /// Forward edges that cross to another core.
+    pub inter_edges: u64,
+    /// Neurons wired to output pads (one per structured core).
+    pub output_neurons: u64,
+}
+
+/// The uniform neuron parameterisation every corpus entry uses: a leaky
+/// threshold-24 integrator with the canonical ±4/±2 axon-type weights.
+/// Uniform and deterministic on purpose — it keeps every core eligible for
+/// the SoA/SWAR fast path *and* for the scalar references, so the corpus
+/// exercises exactly the strategy matrix the conformance layer sweeps.
+fn corpus_neuron_config() -> NeuronConfig {
+    NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(4))
+        .weight(AxonType::A1, Weight::saturating(2))
+        .weight(AxonType::A2, Weight::saturating(-2))
+        .weight(AxonType::A3, Weight::saturating(-4))
+        .threshold(24)
+        .leak(-1)
+        .leak_reversal(true)
+        .negative_threshold(0)
+        .build()
+        .expect("corpus neuron config is valid")
+}
+
+/// Expands a workload definition into a chip, byte-deterministically, and
+/// reports the connectivity statistics of the generated network.
+///
+/// `strategy`, `scheduling`, and `threads` configure the simulator variant
+/// under test; they do not participate in the structure RNG stream, so
+/// every variant of a def simulates the identical network.
+///
+/// # Panics
+///
+/// Panics if the definition is internally inconsistent (zero dimensions,
+/// island larger than the grid); corpus entries are validated by tests.
+pub fn build_workload(
+    def: &WorkloadDef,
+    strategy: EvalStrategy,
+    scheduling: CoreScheduling,
+    threads: usize,
+) -> (Chip, WorkloadStats) {
+    let mut builder = ChipBuilder::new(ChipConfig {
+        width: def.width,
+        height: def.height,
+        core_axons: def.axons,
+        core_neurons: def.neurons,
+        seed: def.seed,
+        threads,
+        scheduling,
+        ..ChipConfig::default()
+    });
+    let mut rng = Lfsr::new(def.seed);
+    let mut stats = WorkloadStats::default();
+    let config = corpus_neuron_config();
+    let structured = def.structured();
+    let words = def.neurons.div_ceil(64);
+    for index in 0..def.cores() {
+        let (x, y) = (index % def.width, index / def.width);
+        let core = builder.core_mut(x, y);
+        core.strategy(strategy);
+        if index >= structured {
+            // Outside the island: no crossbar, no destinations — the core
+            // is structurally silent and provably quiescent for the run.
+            for n in 0..def.neurons {
+                core.neuron(n, config.clone(), Destination::Disabled)
+                    .expect("neuron index in range");
+            }
+            continue;
+        }
+        for a in 0..def.axons {
+            core.axon_type(a, AxonType::from_index(a % 4).expect("index < 4"))
+                .expect("axon index in range");
+            for w in 0..words {
+                let lanes = (def.neurons - w * 64).min(64);
+                let mut bits = 0u64;
+                for b in 0..lanes {
+                    bits |= u64::from(rng.bernoulli_256(def.density)) << b;
+                }
+                core.synapse_row_word(a, w, bits)
+                    .expect("word index in range");
+                stats.synapses += u64::from(bits.count_ones());
+            }
+        }
+        for n in 0..def.neurons {
+            // Neuron 0 of every structured core exposes the raster on an
+            // output pad so the checksum observes real spike identity; the
+            // rest forward with the 80/20 intra/inter split.
+            let dest = if n == 0 {
+                stats.output_neurons += 1;
+                Destination::Output(index as u32)
+            } else {
+                let target = if structured == 1 || rng.bernoulli_256(def.intra) {
+                    stats.intra_edges += 1;
+                    index
+                } else {
+                    stats.inter_edges += 1;
+                    // Uniform over the *other* structured cores.
+                    let mut t = rng.next_u32() as usize % (structured - 1);
+                    if t >= index {
+                        t += 1;
+                    }
+                    t
+                };
+                let (tx, ty) = (target % def.width, target / def.width);
+                Destination::Axon(AxonTarget {
+                    offset: CoreOffset::new(tx as i32 - x as i32, ty as i32 - y as i32),
+                    axon: (rng.next_u32() as usize % def.axons) as u16,
+                    delay: 1 + (rng.next_u32() % 4) as u8,
+                })
+            };
+            core.neuron(n, config.clone(), dest)
+                .expect("neuron index in range");
+        }
+    }
+    let chip = builder.build().expect("corpus workload builds");
+    (chip, stats)
+}
+
+/// The committed corpus, smallest first. Scale axis: 8×8 (the legacy bench
+/// shape) through the full-silicon 64×64 / 4096-core T1 configuration.
+/// Activity axis: drive rates 16–96/256. Sparsity axis: fully driven grids
+/// vs ≥95%-quiescent islands. Fault axis: clean, link chaos, structural.
+pub fn corpus() -> Vec<WorkloadDef> {
+    let base = WorkloadDef {
+        name: "",
+        seed: 0,
+        width: 8,
+        height: 8,
+        axons: 64,
+        neurons: 64,
+        density: 32,
+        intra: 205,
+        drive_rate: 32,
+        island: None,
+        warmup: 20,
+        measure: 100,
+        overlay: FaultOverlay::None,
+        smoke: true,
+        check_factor: 1.5,
+        checksum: None,
+    };
+    vec![
+        WorkloadDef {
+            name: "nemo_8x8_lo",
+            seed: 0xA11C_E001,
+            drive_rate: 16,
+            checksum: Some(0x6c5e_0274_1c87_fafc),
+            ..base.clone()
+        },
+        WorkloadDef {
+            name: "nemo_8x8_hi",
+            seed: 0xA11C_E002,
+            drive_rate: 96,
+            checksum: Some(0x4b73_6d3e_b8e4_a0e3),
+            ..base.clone()
+        },
+        WorkloadDef {
+            name: "nemo_16x16_mid",
+            seed: 0xA11C_E003,
+            width: 16,
+            height: 16,
+            warmup: 15,
+            measure: 80,
+            check_factor: 1.6,
+            checksum: Some(0x33e2_74c1_87e0_2024),
+            ..base.clone()
+        },
+        WorkloadDef {
+            name: "nemo_16x16_linkchaos",
+            seed: 0xA11C_E004,
+            width: 16,
+            height: 16,
+            warmup: 15,
+            measure: 80,
+            overlay: FaultOverlay::LinkChaos,
+            check_factor: 1.6,
+            checksum: Some(0x28c3_eb0a_2ad6_941e),
+            ..base.clone()
+        },
+        WorkloadDef {
+            name: "nemo_32x32_sparse",
+            seed: 0xA11C_E005,
+            width: 32,
+            height: 32,
+            drive_rate: 64,
+            island: Some(64),
+            warmup: 15,
+            measure: 80,
+            check_factor: 1.6,
+            checksum: Some(0x89d6_00d8_d874_4131),
+            ..base.clone()
+        },
+        WorkloadDef {
+            // The ROADMAP's 95%-quiescent full-silicon shape: 4096 cores at
+            // the published 256×256 per-core scale, 5% of them active.
+            name: "nemo_64x64_edge",
+            seed: 0xA11C_E006,
+            width: 64,
+            height: 64,
+            axons: 256,
+            neurons: 256,
+            island: Some(205),
+            warmup: 10,
+            measure: 40,
+            smoke: false,
+            check_factor: 1.5,
+            checksum: Some(0x4520_23a6_7784_1f6f),
+            ..base.clone()
+        },
+        WorkloadDef {
+            // The full T1 configuration, every core structured and driven:
+            // 4096 cores, 1 M neurons, ~16.8 M programmed synapses.
+            name: "nemo_64x64_full",
+            seed: 0xA11C_E007,
+            width: 64,
+            height: 64,
+            axons: 256,
+            neurons: 256,
+            density: 16,
+            drive_rate: 8,
+            warmup: 5,
+            measure: 25,
+            smoke: false,
+            check_factor: 1.5,
+            checksum: Some(0x53d5_1e98_682a_6196),
+            ..base
+        },
+    ]
+}
+
+/// Looks up a corpus entry by name.
+pub fn find(name: &str) -> Option<WorkloadDef> {
+    corpus().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_are_unique_and_defs_consistent() {
+        let defs = corpus();
+        let mut names: Vec<_> = defs.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), defs.len(), "duplicate workload names");
+        for def in &defs {
+            assert!(def.cores() > 0);
+            assert!(def.structured() <= def.cores());
+            assert!(def.measure > 0, "{}: no measured ticks", def.name);
+            assert!(def.check_factor > 1.0, "{}: degenerate threshold", def.name);
+        }
+        assert!(
+            defs.iter().any(|d| d.cores() == 4096),
+            "corpus must include a full-silicon 64x64 entry"
+        );
+        assert!(
+            defs.iter().any(|d| d.smoke),
+            "corpus must have smoke entries"
+        );
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_def() {
+        let def = find("nemo_8x8_lo").unwrap();
+        let (a, sa) = build_workload(&def, EvalStrategy::Swar, CoreScheduling::Sweep, 1);
+        let (b, sb) = build_workload(&def, EvalStrategy::Swar, CoreScheduling::Sweep, 1);
+        assert_eq!(sa, sb);
+        assert_eq!(a.checkpoint().to_bytes(), b.checkpoint().to_bytes());
+    }
+
+    #[test]
+    fn island_defs_confine_structure() {
+        let def = find("nemo_32x32_sparse").unwrap();
+        let (chip, stats) = build_workload(&def, EvalStrategy::Swar, CoreScheduling::Active, 1);
+        assert_eq!(stats.output_neurons, def.structured() as u64);
+        assert!(stats.synapses > 0);
+        // Bulk cores are structurally empty.
+        let bulk = chip.core(31, 31).expect("core exists");
+        assert_eq!(bulk.crossbar().synapse_count(), 0);
+    }
+
+    #[test]
+    fn connectivity_split_tracks_intra_parameter() {
+        let def = find("nemo_16x16_mid").unwrap();
+        let (_, stats) = build_workload(&def, EvalStrategy::Swar, CoreScheduling::Sweep, 1);
+        let total = (stats.intra_edges + stats.inter_edges) as f64;
+        let intra = stats.intra_edges as f64 / total;
+        let expected = def.intra as f64 / 256.0;
+        assert!(
+            (intra - expected).abs() < 0.02,
+            "intra fraction {intra:.3} far from {expected:.3}"
+        );
+    }
+}

@@ -13,6 +13,11 @@ use brainsim_core::{AxonTarget, AxonType, CoreOffset, Destination, EvalStrategy}
 use brainsim_neuron::{Lfsr, NeuronConfig, Weight};
 use brainsim_snn::{LifParams, SnnBuilder, SnnNetwork, SnnSource};
 
+pub mod corpus;
+pub mod record;
+pub mod summary;
+pub mod sweep;
+
 /// Parameters of a random recurrent chip workload.
 #[derive(Debug, Clone, Copy)]
 pub struct RandomChipSpec {
@@ -177,7 +182,7 @@ pub fn random_chip(spec: &RandomChipSpec) -> Chip {
 /// per-axon `inject` loop would consume — then hands each 64-axon word to
 /// [`Chip::inject_word`] in one call. The mask build is branch-free, so
 /// the drive loop costs the LFSR's serial dependency and nothing else.
-fn drive_core(chip: &mut Chip, noise: &mut Lfsr, x: usize, y: usize, rate: u32, t: u64) {
+pub(crate) fn drive_core(chip: &mut Chip, noise: &mut Lfsr, x: usize, y: usize, rate: u32, t: u64) {
     let axons = chip.config().core_axons;
     for word in 0..axons.div_ceil(64) {
         let lanes = (axons - word * 64).min(64);

@@ -1,0 +1,218 @@
+//! The barometer's versioned measurement record: one JSON object per line
+//! (JSONL), one line per `(workload, variant)` measurement.
+//!
+//! The format is deliberately flat and stable — rebar-style — so records
+//! diff cleanly in review, concatenate across runs, and survive schema
+//! growth: readers ignore unknown keys, writers bump [`SCHEMA_VERSION`]
+//! only on incompatible change. Serialisation is hand-rolled (the
+//! workspace's `serde` is a no-op vendored stub); the parser is the same
+//! key-scanning style the retired `bench_chip_tick` gate used.
+
+use std::fmt::Write as _;
+
+/// Version stamped into every record line. Bump only when an existing
+/// field changes meaning; adding fields is backwards compatible.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Host facts captured with every measurement, so a baseline produced on
+/// one machine is never silently compared against another shape of host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Host {
+    /// Available hardware parallelism (`std::thread::available_parallelism`).
+    pub cpus: usize,
+    /// Operating system family (`std::env::consts::OS`).
+    pub os: &'static str,
+}
+
+impl Host {
+    /// Detects the current host.
+    pub fn detect() -> Host {
+        Host {
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            os: std::env::consts::OS,
+        }
+    }
+}
+
+/// One measurement: a workload, the simulator variant that ran it, the
+/// timing, and the conformance evidence (census checksum) that makes the
+/// timing trustworthy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Corpus workload name (or an ops workload like `chip_checkpoint`).
+    pub workload: String,
+    /// Variant label, e.g. `sweep_swar_t1` or `checkpoint_save`.
+    pub variant: String,
+    /// Unit of [`Record::value`]: `ns_per_tick` for corpus sweeps,
+    /// `ns_per_op` for ops workloads.
+    pub unit: &'static str,
+    /// The measurement, in [`Record::unit`].
+    pub value: f64,
+    /// FNV-1a checksum over the run's per-tick rasters and final census —
+    /// must match the workload's pinned checksum for the record to exist.
+    pub census_checksum: u64,
+    /// Measured ticks (or ops) behind [`Record::value`].
+    pub ticks: u64,
+    /// Cores on the simulated grid.
+    pub cores: usize,
+    /// Worker threads the variant requested.
+    pub threads: usize,
+    /// CPUs the measuring host actually had. Speedup claims divide
+    /// honestly: a `threads: 8` number from a `host_cpus: 1` box is
+    /// oversubscription, not parallel speedup.
+    pub host_cpus: usize,
+    /// Operating system family of the measuring host.
+    pub os: String,
+    /// `threads > host_cpus` at measurement time — carried in-band (not a
+    /// stderr warning) so every consumer of the record sees it.
+    pub oversubscribed: bool,
+    /// Per-workload regression threshold the `check` gate applies to this
+    /// record (ratio of fresh value to baseline value).
+    pub check_factor: f64,
+}
+
+impl Record {
+    /// Serialises the record as one JSONL line (no trailing newline),
+    /// fields in fixed order.
+    pub fn to_line(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"schema\":{SCHEMA_VERSION},\"workload\":\"{}\",\"variant\":\"{}\",\"unit\":\"{}\",\"value\":{:.1},\"census_checksum\":\"{:#018x}\",\"ticks\":{},\"cores\":{},\"threads\":{},\"host_cpus\":{},\"os\":\"{}\",\"oversubscribed\":{},\"check_factor\":{}}}",
+            self.workload,
+            self.variant,
+            self.unit,
+            self.value,
+            self.census_checksum,
+            self.ticks,
+            self.cores,
+            self.threads,
+            self.host_cpus,
+            self.os,
+            self.oversubscribed,
+            self.check_factor,
+        );
+        s
+    }
+
+    /// Parses one JSONL line. Returns `None` for blank lines, comments
+    /// (`#`), lines of a different schema version, or lines missing a
+    /// required field.
+    pub fn from_line(line: &str) -> Option<Record> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        if json_field(line, "schema")?.parse::<u32>().ok()? != SCHEMA_VERSION {
+            return None;
+        }
+        let checksum = json_field(line, "census_checksum")?;
+        let checksum = u64::from_str_radix(checksum.trim_start_matches("0x"), 16).ok()?;
+        Some(Record {
+            workload: json_field(line, "workload")?.to_string(),
+            variant: json_field(line, "variant")?.to_string(),
+            unit: match json_field(line, "unit")? {
+                "ns_per_op" => "ns_per_op",
+                _ => "ns_per_tick",
+            },
+            value: json_field(line, "value")?.parse().ok()?,
+            census_checksum: checksum,
+            ticks: json_field(line, "ticks")?.parse().ok()?,
+            cores: json_field(line, "cores")?.parse().ok()?,
+            threads: json_field(line, "threads")?.parse().ok()?,
+            host_cpus: json_field(line, "host_cpus")?.parse().ok()?,
+            os: json_field(line, "os")?.to_string(),
+            oversubscribed: json_field(line, "oversubscribed")? == "true",
+            check_factor: json_field(line, "check_factor")?.parse().ok()?,
+        })
+    }
+}
+
+/// Serialises records to JSONL (one line each, trailing newline).
+pub fn to_jsonl(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL document, skipping blanks/comments/foreign schemas.
+pub fn from_jsonl(text: &str) -> Vec<Record> {
+    text.lines().filter_map(Record::from_line).collect()
+}
+
+/// Extracts the value of `"key":` from a flat JSON line — either a bare
+/// scalar (up to the next `,`/`}`) or the body of a quoted string.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        Some(rest.split([',', '}']).next()?.trim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record {
+            workload: "nemo_8x8_lo".to_string(),
+            variant: "sweep_swar_t1".to_string(),
+            unit: "ns_per_tick",
+            value: 123456.5,
+            census_checksum: 0x0123_4567_89ab_cdef,
+            ticks: 100,
+            cores: 64,
+            threads: 1,
+            host_cpus: 1,
+            os: "linux".to_string(),
+            oversubscribed: false,
+            check_factor: 1.25,
+        }
+    }
+
+    #[test]
+    fn line_round_trips() {
+        let r = sample();
+        let parsed = Record::from_line(&r.to_line()).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_skips_noise() {
+        let records = vec![
+            sample(),
+            Record {
+                variant: "active_swar_t8".to_string(),
+                threads: 8,
+                oversubscribed: true,
+                ..sample()
+            },
+        ];
+        let text = format!("# comment\n\n{}", to_jsonl(&records));
+        assert_eq!(from_jsonl(&text), records);
+    }
+
+    #[test]
+    fn foreign_schema_lines_are_skipped() {
+        let line = sample().to_line().replace("\"schema\":1", "\"schema\":99");
+        assert!(Record::from_line(&line).is_none());
+    }
+
+    #[test]
+    fn oversubscription_is_in_band() {
+        let r = Record {
+            threads: 8,
+            host_cpus: 1,
+            oversubscribed: true,
+            ..sample()
+        };
+        assert!(r.to_line().contains("\"oversubscribed\":true"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Rebar-style ranked-summary rendering: turns a set of sweep records
+//! into the markdown tables EXPERIMENTS.md embeds — per-workload rankings
+//! (ratio to the best variant) and a cross-workload geometric-mean
+//! ranking, plus a plain table for the ops workloads.
+
+use std::fmt::Write as _;
+
+use crate::record::Record;
+
+/// Renders the full markdown summary for a record set.
+pub fn render(records: &[Record]) -> String {
+    let mut out = String::new();
+    let ticks: Vec<&Record> = records.iter().filter(|r| r.unit == "ns_per_tick").collect();
+    let ops: Vec<&Record> = records.iter().filter(|r| r.unit == "ns_per_op").collect();
+
+    if let Some(first) = records.first() {
+        let oversub = if records.iter().any(|r| r.oversubscribed) {
+            " Variants with threads > host cpus are marked oversubscribed: their \
+             numbers measure scheduling overhead, not parallel speedup."
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "Host: {} cpu(s), {}. {} records.{oversub}\n",
+            first.host_cpus,
+            first.os,
+            records.len(),
+        );
+    }
+
+    for workload in ordered_workloads(&ticks) {
+        let mut rows: Vec<&&Record> = ticks.iter().filter(|r| r.workload == workload).collect();
+        rows.sort_by(|a, b| a.value.total_cmp(&b.value));
+        let best = rows.first().map_or(1.0, |r| r.value);
+        let cores = rows.first().map_or(0, |r| r.cores);
+        let _ = writeln!(out, "### `{workload}` ({cores} cores)\n");
+        out.push_str("| rank | variant | ns/tick | vs best | oversubscribed |\n");
+        out.push_str("|---:|---|---:|---:|---|\n");
+        for (i, r) in rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "| {} | `{}` | {:.0} | {:.2}× | {} |",
+                i + 1,
+                r.variant,
+                r.value,
+                r.value / best,
+                if r.oversubscribed { "yes" } else { "" },
+            );
+        }
+        out.push('\n');
+    }
+
+    // Cross-workload ranking: geometric mean of each variant's ratio to
+    // the per-workload best, over the workloads it appears in.
+    let workloads = ordered_workloads(&ticks);
+    if workloads.len() > 1 {
+        let mut variants: Vec<String> = Vec::new();
+        for r in &ticks {
+            if !variants.contains(&r.variant) {
+                variants.push(r.variant.clone());
+            }
+        }
+        let mut ranked: Vec<(String, f64, usize)> = variants
+            .into_iter()
+            .filter_map(|variant| {
+                let mut log_sum = 0.0;
+                let mut n = 0usize;
+                for w in &workloads {
+                    let best = ticks
+                        .iter()
+                        .filter(|r| &r.workload == w)
+                        .map(|r| r.value)
+                        .fold(f64::INFINITY, f64::min);
+                    if let Some(r) = ticks
+                        .iter()
+                        .find(|r| &r.workload == w && r.variant == variant)
+                    {
+                        log_sum += (r.value / best).ln();
+                        n += 1;
+                    }
+                }
+                (n > 0).then(|| (variant, (log_sum / n as f64).exp(), n))
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out.push_str("### Cross-workload ranking (geometric mean of ratio to best)\n\n");
+        out.push_str("| rank | variant | geomean ratio | workloads |\n");
+        out.push_str("|---:|---|---:|---:|\n");
+        for (i, (variant, geo, n)) in ranked.iter().enumerate() {
+            let _ = writeln!(out, "| {} | `{variant}` | {geo:.2}× | {n} |", i + 1);
+        }
+        out.push('\n');
+    }
+
+    if !ops.is_empty() {
+        out.push_str("### Ops workloads\n\n");
+        out.push_str("| workload | variant | ns/op |\n");
+        out.push_str("|---|---|---:|\n");
+        for r in &ops {
+            let _ = writeln!(
+                out,
+                "| `{}` | `{}` | {:.0} |",
+                r.workload, r.variant, r.value
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn ordered_workloads(records: &[&Record]) -> Vec<String> {
+    let mut names = Vec::new();
+    for r in records {
+        if !names.contains(&r.workload) {
+            names.push(r.workload.clone());
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(workload: &str, variant: &str, unit: &'static str, value: f64) -> Record {
+        Record {
+            workload: workload.to_string(),
+            variant: variant.to_string(),
+            unit,
+            value,
+            census_checksum: 1,
+            ticks: 100,
+            cores: 64,
+            threads: 1,
+            host_cpus: 1,
+            os: "linux".to_string(),
+            oversubscribed: false,
+            check_factor: 1.25,
+        }
+    }
+
+    #[test]
+    fn ranks_within_and_across_workloads() {
+        let records = vec![
+            record("w1", "fast", "ns_per_tick", 100.0),
+            record("w1", "slow", "ns_per_tick", 400.0),
+            record("w2", "fast", "ns_per_tick", 200.0),
+            record("w2", "slow", "ns_per_tick", 200.0),
+            record("chip_checkpoint", "checkpoint_save", "ns_per_op", 999.0),
+        ];
+        let md = render(&records);
+        assert!(md.contains("### `w1`"));
+        assert!(md.contains("| 1 | `fast` | 100 | 1.00× |"));
+        assert!(md.contains("| 2 | `slow` | 400 | 4.00× |"));
+        // geomean(fast) = sqrt(1.0 * 1.0) = 1.0; geomean(slow) = sqrt(4 * 1) = 2
+        assert!(md.contains("| 1 | `fast` | 1.00× | 2 |"));
+        assert!(md.contains("| 2 | `slow` | 2.00× | 2 |"));
+        assert!(md.contains("| `chip_checkpoint` | `checkpoint_save` | 999 |"));
+    }
+
+    #[test]
+    fn flags_oversubscribed_rows() {
+        let mut r = record("w1", "active_swar_t8", "ns_per_tick", 100.0);
+        r.threads = 8;
+        r.oversubscribed = true;
+        let md = render(&[r]);
+        assert!(md.contains("| yes |"));
+        assert!(md.contains("oversubscribed: their"));
+    }
+}

@@ -231,6 +231,29 @@ impl CoreBuilder {
         Ok(self)
     }
 
+    /// Programs one packed 64-neuron word of an axon's crossbar row in a
+    /// single call (bit `b` of `bits` connects `axon → word * 64 + b`),
+    /// replacing whatever that word held. The bulk wiring path for
+    /// generated workloads; see [`Crossbar::set_row_word`].
+    pub fn synapse_row_word(
+        &mut self,
+        axon: usize,
+        word: usize,
+        bits: u64,
+    ) -> Result<&mut Self, CoreBuildError> {
+        if axon >= self.axons {
+            return Err(CoreBuildError::NoSuchAxon(axon));
+        }
+        let lanes = self.neurons.saturating_sub(word * 64).min(64);
+        if lanes == 0 || (lanes < 64 && bits >> lanes != 0) {
+            // Either the word is entirely past the last neuron, or a tail
+            // bit names a neuron column the core does not have.
+            return Err(CoreBuildError::NoSuchNeuron(word * 64 + lanes));
+        }
+        self.crossbar.set_row_word(axon, word, bits);
+        Ok(self)
+    }
+
     /// Seeds the core's LFSR (stochastic modes).
     pub fn seed(&mut self, seed: u32) -> &mut Self {
         self.seed = seed;

@@ -42,8 +42,9 @@
 //! ## Overhead contract
 //!
 //! Disabled telemetry costs one branch per tick on the chip's hot path
-//! (≤2 % on the dense chip-tick benchmark, recorded in
-//! `BENCH_chip_tick.json`). Enabled telemetry pays for what it records:
+//! (≤2 % on the dense chip-tick benchmark; the `*_telemetry` variants in
+//! `BENCH_barometer.jsonl` record the enabled overhead per workload).
+//! Enabled telemetry pays for what it records:
 //! per-tick counter snapshots, plus one [`CoreActivity`] per evaluated core
 //! when core detail is on.
 

@@ -443,3 +443,54 @@ fn relaxed_parallel_is_rejected_at_build() {
         brainsim::chip::ChipBuildError::RelaxedParallel
     ));
 }
+
+/// The differential matrix and the benchmark barometer share one workload
+/// source: this pulls a ≥16×16 corpus entry from the barometer's generator
+/// (rather than the ad-hoc 4×4 builder above) and proves the run checksum
+/// and census are bit-identical across every thread count, both schedulers,
+/// and the scalar reference strategy — the same contract the bench harness
+/// enforces before it trusts a timing.
+#[test]
+fn corpus_workload_is_bit_identical_across_threads_and_scheduling() {
+    use brainsim::core::EvalStrategy;
+    use brainsim_bench::corpus;
+    use brainsim_bench::sweep::{run_variant, Variant};
+
+    let mut def = corpus::find("nemo_16x16_mid").expect("corpus entry exists");
+    assert!(def.cores() >= 256, "entry must be at least 16×16");
+    // Shortened run: cross-variant identity is the property under test
+    // here; the full-length pinned-checksum run is tests/conformance.rs.
+    def.warmup = 5;
+    def.measure = 40;
+    def.checksum = None;
+
+    let reference = run_variant(
+        &def,
+        &Variant {
+            strategy: EvalStrategy::Swar,
+            scheduling: CoreScheduling::Sweep,
+            threads: 1,
+            telemetry: false,
+        },
+    );
+    assert!(reference.census.spikes > 0, "workload must be active");
+    for &threads in &thread_counts() {
+        for scheduling in [CoreScheduling::Sweep, CoreScheduling::Active] {
+            for strategy in [EvalStrategy::Swar, EvalStrategy::Sparse] {
+                let variant = Variant {
+                    strategy,
+                    scheduling,
+                    threads,
+                    telemetry: false,
+                };
+                let result = run_variant(&def, &variant);
+                let label = variant.label();
+                assert_eq!(
+                    result.checksum, reference.checksum,
+                    "checksum diverged: {label}"
+                );
+                assert_eq!(result.census, reference.census, "census diverged: {label}");
+            }
+        }
+    }
+}

@@ -612,3 +612,102 @@ fn bitmap_to_indices(bitmap: &[u64]) -> Vec<usize> {
     }
     out
 }
+
+// ---------------------------------------------------------------------------
+// Barometer corpus generator (crates/bench): determinism and the NeMo-style
+// 80/20 connectivity-split invariant. The corpus is the workload source for
+// both the benchmark barometer and the differential suites, so its generator
+// must be byte-deterministic per seed and honest about its stated topology.
+// ---------------------------------------------------------------------------
+
+use brainsim::chip::CoreScheduling;
+use brainsim_bench::corpus::{build_workload, FaultOverlay, WorkloadDef};
+use brainsim_bench::sweep::{run_variant, Variant};
+
+/// A randomized corpus-shaped definition, small enough to build and run
+/// many times per property.
+fn arb_workload_def() -> impl Strategy<Value = WorkloadDef> {
+    (
+        1u32..=u32::MAX,
+        2usize..=4,
+        2usize..=4,
+        prop_oneof![Just(16usize), Just(64)],
+        8u32..=96,
+        64u32..=230,
+        8u32..=128,
+        prop_oneof![
+            Just(FaultOverlay::None),
+            Just(FaultOverlay::LinkChaos),
+            Just(FaultOverlay::Structural)
+        ],
+    )
+        .prop_map(
+            |(seed, width, height, size, density, intra, drive_rate, overlay)| WorkloadDef {
+                name: "prop",
+                seed,
+                width,
+                height,
+                axons: size,
+                neurons: size,
+                density,
+                intra,
+                drive_rate,
+                island: None,
+                warmup: 2,
+                measure: 8,
+                overlay,
+                smoke: true,
+                check_factor: 1.25,
+                checksum: None,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The same `WorkloadDef` always expands to the byte-identical network
+    /// (checkpoint bytes) and, driven by its seeded stimulus, the identical
+    /// census checksum — the property that makes a pinned corpus entry a
+    /// meaningful cross-variant contract.
+    #[test]
+    fn corpus_generator_is_deterministic(def in arb_workload_def()) {
+        let variant = Variant {
+            strategy: EvalStrategy::Swar,
+            scheduling: CoreScheduling::Sweep,
+            threads: 1,
+            telemetry: false,
+        };
+        let (a, stats_a) = build_workload(&def, variant.strategy, variant.scheduling, 1);
+        let (b, stats_b) = build_workload(&def, variant.strategy, variant.scheduling, 1);
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(a.checkpoint().to_bytes(), b.checkpoint().to_bytes());
+        let run_a = run_variant(&def, &variant);
+        let run_b = run_variant(&def, &variant);
+        prop_assert_eq!(run_a.checksum, run_b.checksum);
+        prop_assert_eq!(run_a.census, run_b.census);
+    }
+
+    /// The generated forward edges respect the def's declared intra/inter
+    /// split: the measured intra-core fraction tracks `intra/256` (the
+    /// corpus default 205/256 ≈ 80/20), and every neuron except the one
+    /// output pad per structured core carries exactly one forward edge.
+    #[test]
+    fn corpus_connectivity_split_matches_declaration(def in arb_workload_def()) {
+        let (_, stats) =
+            build_workload(&def, EvalStrategy::Swar, CoreScheduling::Sweep, 1);
+        let cores = (def.width * def.height) as u64;
+        let edges = stats.intra_edges + stats.inter_edges;
+        prop_assert_eq!(stats.output_neurons, cores);
+        prop_assert_eq!(edges + cores, cores * def.neurons as u64);
+        let measured = stats.intra_edges as f64 / edges as f64;
+        let declared = f64::from(def.intra) / 256.0;
+        prop_assert!(
+            (measured - declared).abs() < 0.1,
+            "intra fraction {} vs declared {} over {} edges",
+            measured,
+            declared,
+            edges
+        );
+    }
+}
