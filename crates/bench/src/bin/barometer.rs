@@ -57,6 +57,29 @@ fn measure_all(smoke: bool, host: Host) -> Option<Vec<Record>> {
             Err(e) => {
                 eprintln!("  CONFORMANCE FAILURE: {e}");
                 failed = true;
+                continue;
+            }
+        }
+        if def.batch {
+            eprintln!(
+                "[barometer] {}: batched backend, lanes {:?} (lane-vs-solo differential)",
+                def.name,
+                sweep::BATCH_LANES,
+            );
+            match sweep::batch_records(&def, host) {
+                Ok(rows) => {
+                    for r in &rows {
+                        eprintln!(
+                            "  {:<28} {:>14.0} {} (per chip)",
+                            r.variant, r.value, r.unit
+                        );
+                    }
+                    records.extend(rows);
+                }
+                Err(e) => {
+                    eprintln!("  BATCH CONFORMANCE FAILURE: {e}");
+                    failed = true;
+                }
             }
         }
     }
@@ -83,6 +106,22 @@ fn main() -> ExitCode {
                 .and_then(|i| args.get(i + 1))
                 .cloned()
                 .unwrap_or_else(|| "BENCH_barometer.jsonl".to_string());
+            // Refuse to clobber a record file this build cannot even
+            // parse: a head line of a different schema version means the
+            // existing records came from an incompatible toolchain, and
+            // replacing them would silently discard that baseline.
+            if let Ok(existing) = std::fs::read_to_string(&out) {
+                let head = brainsim_bench::record::head_schema(&existing);
+                if head.is_some_and(|v| v != brainsim_bench::record::SCHEMA_VERSION) {
+                    eprintln!(
+                        "[barometer] refusing to overwrite {out}: its records are schema {}, \
+                         this barometer writes schema {} — move the file aside or migrate it",
+                        head.unwrap_or(0),
+                        brainsim_bench::record::SCHEMA_VERSION,
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
             let Some(records) = measure_all(smoke, host) else {
                 return ExitCode::FAILURE;
             };
@@ -159,9 +198,14 @@ fn main() -> ExitCode {
             // BYOB: report every entry's computed checksum so a new def's
             // `checksum: Some(..)` can be pasted in. Conformance (variant
             // bit-identity, non-silence) is still enforced — only the pin
-            // comparison itself is reported instead of failed.
+            // comparison itself is reported instead of failed. An optional
+            // name argument restricts the run to one entry.
+            let only = args.get(1).filter(|a| !a.starts_with("--"));
             let mut failed = false;
-            for def in selected(smoke) {
+            for def in selected(smoke)
+                .into_iter()
+                .filter(|d| only.is_none_or(|n| n == d.name))
+            {
                 match sweep::verify_workload(&def) {
                     Ok(v) => {
                         println!(

@@ -127,6 +127,10 @@ pub struct WorkloadDef {
     /// Whether the entry is cheap enough for the `cargo test` smoke
     /// conformance suite (the full harness always runs every entry).
     pub smoke: bool,
+    /// Whether the harness also measures this entry through the batched
+    /// many-chip backend (`ChipBatch`), emitting per-chip `batchN`
+    /// records after the lane-vs-solo differential check passes.
+    pub batch: bool,
     /// Per-workload regression threshold for the `check` gate: a variant
     /// fails when its ns/tick exceeds the committed baseline by more than
     /// this factor.
@@ -321,6 +325,7 @@ pub fn corpus() -> Vec<WorkloadDef> {
         measure: 100,
         overlay: FaultOverlay::None,
         smoke: true,
+        batch: false,
         check_factor: 1.5,
         checksum: None,
     };
@@ -336,6 +341,7 @@ pub fn corpus() -> Vec<WorkloadDef> {
             name: "nemo_8x8_hi",
             seed: 0xA11C_E002,
             drive_rate: 96,
+            batch: true,
             checksum: Some(0x4b73_6d3e_b8e4_a0e3),
             ..base.clone()
         },
@@ -376,6 +382,25 @@ pub fn corpus() -> Vec<WorkloadDef> {
             ..base.clone()
         },
         WorkloadDef {
+            // The batched-backend stress shape: full-size cores on a small
+            // grid, half-density crossbars, and near-saturating drive, so
+            // synaptic integration (the phase the lane kernel amortises
+            // across replicas) dominates the tick.
+            name: "dense_8x8",
+            seed: 0xA11C_E008,
+            axons: 256,
+            neurons: 256,
+            density: 128,
+            drive_rate: 230,
+            warmup: 5,
+            measure: 25,
+            smoke: false,
+            batch: true,
+            check_factor: 1.6,
+            checksum: Some(0xabc1_caf5_fa40_06be),
+            ..base.clone()
+        },
+        WorkloadDef {
             // The ROADMAP's 95%-quiescent full-silicon shape: 4096 cores at
             // the published 256×256 per-core scale, 5% of them active.
             name: "nemo_64x64_edge",
@@ -388,6 +413,7 @@ pub fn corpus() -> Vec<WorkloadDef> {
             warmup: 10,
             measure: 40,
             smoke: false,
+            batch: true,
             check_factor: 1.5,
             checksum: Some(0x4520_23a6_7784_1f6f),
             ..base.clone()

@@ -7,6 +7,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use brainsim_chip::{Chip, ChipBuilder, ChipConfig, CoreScheduling, TileConfig};
 use brainsim_core::{AxonTarget, AxonType, CoreOffset, Destination, EvalStrategy};
@@ -112,16 +113,16 @@ pub fn random_chip(spec: &RandomChipSpec) -> Chip {
                 // core is structurally silent and stays quiescent forever.
                 for n in 0..spec.neurons {
                     core.neuron(n, config.clone(), Destination::Disabled)
-                        .unwrap();
+                        .expect("neuron index in range");
                 }
                 continue;
             }
             for a in 0..spec.axons {
-                core.axon_type(a, AxonType::from_index(a % 4).unwrap())
-                    .unwrap();
+                core.axon_type(a, AxonType::from_index(a % 4).expect("index < 4"))
+                    .expect("axon index in range");
                 for n in 0..spec.neurons {
                     if rng.bernoulli_256(spec.density) {
-                        core.synapse(a, n, true).unwrap();
+                        core.synapse(a, n, true).expect("synapse in range");
                     }
                 }
             }
@@ -137,7 +138,7 @@ pub fn random_chip(spec: &RandomChipSpec) -> Chip {
                         delay: 1 + (rng.next_u32() % 4) as u8,
                     };
                     core.neuron(n, config.clone(), Destination::Axon(target))
-                        .unwrap();
+                        .expect("neuron index in range");
                     continue;
                 }
                 let (dx, dy) = if spec.long_range {
@@ -169,7 +170,7 @@ pub fn random_chip(spec: &RandomChipSpec) -> Chip {
                     delay: 1 + (rng.next_u32() % 4) as u8,
                 };
                 core.neuron(n, config.clone(), Destination::Axon(target))
-                    .unwrap();
+                    .expect("neuron index in range");
             }
         }
     }

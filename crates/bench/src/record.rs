@@ -143,6 +143,18 @@ pub fn from_jsonl(text: &str) -> Vec<Record> {
     text.lines().filter_map(Record::from_line).collect()
 }
 
+/// The schema version of the first record line in a JSONL document
+/// (blanks and `#` comments are skipped; `None` on an empty document or
+/// an unparsable head). `measure` refuses to replace a record file whose
+/// head schema differs from [`SCHEMA_VERSION`] — a stale-toolchain run
+/// must not silently clobber records it cannot even read.
+pub fn head_schema(text: &str) -> Option<u32> {
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| json_field(l, "schema")?.parse().ok())
+}
+
 /// Extracts the value of `"key":` from a flat JSON line — either a bare
 /// scalar (up to the next `,`/`}`) or the body of a quoted string.
 fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -203,6 +215,21 @@ mod tests {
     fn foreign_schema_lines_are_skipped() {
         let line = sample().to_line().replace("\"schema\":1", "\"schema\":99");
         assert!(Record::from_line(&line).is_none());
+    }
+
+    #[test]
+    fn head_schema_reads_first_record_line_only() {
+        let current = format!("# comment\n\n{}\n", sample().to_line());
+        assert_eq!(head_schema(&current), Some(SCHEMA_VERSION));
+        let foreign = format!(
+            "{}\n{}\n",
+            sample().to_line().replace("\"schema\":1", "\"schema\":99"),
+            sample().to_line(),
+        );
+        assert_eq!(head_schema(&foreign), Some(99));
+        assert_eq!(head_schema("# only comments\n"), None);
+        assert_eq!(head_schema(""), None);
+        assert_eq!(head_schema("{\"no\":\"schema\"}\n"), None);
     }
 
     #[test]

@@ -1,0 +1,725 @@
+//! Batched many-chip execution: [`ChipBatch`] steps N identical-topology
+//! replica chips ("lanes") through one chip-major pass per tick.
+//!
+//! ## Execution model
+//!
+//! All lanes advance in lockstep. Each tick runs every lane's prologue
+//! (telemetry pre-capture, active list, quiescence skips), then walks the
+//! core grid **core-major**: for each core position, the lanes that are
+//! active there and still true replicas (see *divergence* below) are
+//! evaluated together through the fused lane tick
+//! ([`brainsim_core::tick_uniform_lanes`]) — synaptic integration feeds
+//! one [`brainsim_core::LaneSwarKernel`] that inserts each axon row once
+//! per *distinct lane subset* rather than once per lane, and the
+//! population scan sweeps every lane's copy of a 64-neuron block before
+//! moving on. Remaining lanes fall back to the ordinary solo core tick.
+//! Each lane then routes its own spikes through the unmodified Phase B
+//! pipeline and epilogue ([`Chip::finish_tick`]).
+//!
+//! Every lane's observable behaviour — [`TickSummary`], event census,
+//! fault statistics, telemetry records, spike rasters — is bit-identical
+//! to a solo [`Chip`] run with the same seed, drive, and fault plan. The
+//! fused path only engages where that is provable; everything else takes
+//! the lane's own solo path, so divergence costs speed, never fidelity.
+//!
+//! ## Divergence
+//!
+//! The fused integration reads **one** lane's crossbar for the whole
+//! group, which is only sound while the lanes' crossbars are identical.
+//! Per-lane *synapse* faults burn into a lane's crossbar and break that;
+//! [`ChipBatch`] therefore tracks a per-lane `diverged` flag, set when a
+//! lane's applied fault plan differs from the prototype's (detected on
+//! every tick, so plans applied through [`ChipBatch::lane_mut`] are
+//! caught too). Dead / stuck-firing neurons and whole-core dropout are
+//! already excluded per core by the fusibility predicate, and link faults
+//! are pure functions of `(tick, core, neuron)` applied in per-lane
+//! Phase B — neither diverges the crossbars.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use brainsim_core::{tick_uniform_lanes, LaneSwarKernel, NeurosynapticCore};
+use brainsim_faults::FaultPlan;
+use brainsim_snapshot::RestoreError;
+
+use crate::chip::{panic_message, Chip, InjectError, TickError, TickSummary};
+use crate::config::TickSemantics;
+use crate::snapshot::Snapshot;
+
+/// Error from [`ChipBatch::new_replicas`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// The lane count must be in `1..=64` (lane sets travel as `u64`
+    /// masks inside the fused kernel).
+    LaneCount(usize),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::LaneCount(n) => {
+                write!(f, "lane count {n} out of range (must be 1..=64)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Error from [`ChipBatch::try_tick`], attributing the failure to a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchTickError {
+    /// A lane's clock disagrees with lane 0's — some lane was ticked or
+    /// restored out of lockstep through [`ChipBatch::lane_mut`].
+    OutOfStep {
+        /// The offending lane.
+        lane: usize,
+        /// That lane's next tick.
+        at: u64,
+        /// Lane 0's next tick.
+        expected: u64,
+    },
+    /// A lane's tick failed.
+    Tick {
+        /// The lane whose tick failed.
+        lane: usize,
+        /// The underlying tick error.
+        error: TickError,
+    },
+}
+
+impl fmt::Display for BatchTickError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchTickError::OutOfStep { lane, at, expected } => write!(
+                f,
+                "lane {lane} is at tick {at} but the batch is at tick {expected}"
+            ),
+            BatchTickError::Tick { lane, error } => write!(f, "lane {lane}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchTickError {}
+
+/// N identical-topology replica chips stepped in one chip-major pass; see
+/// the module docs for the execution model and divergence rules.
+#[derive(Debug, Clone)]
+pub struct ChipBatch {
+    lanes: Vec<Chip>,
+    /// Whether a lane's crossbars may differ from the replica set's (a
+    /// per-lane fault plan was applied): the lane then always takes its
+    /// solo path. Monotonic — divergence is never cleared, except by
+    /// [`ChipBatch::restore_lane`] proving crossbar identity again.
+    diverged: Vec<bool>,
+    /// The prototype's fault plan at replication time; a lane whose
+    /// retained plan differs has (potentially) burned its crossbars.
+    proto_plan: Option<FaultPlan>,
+    /// Reusable fused-integration scratch, sized to the core shape and
+    /// lane count once.
+    kernel: LaneSwarKernel,
+}
+
+impl ChipBatch {
+    /// Creates `lanes` replicas of `proto` — same grid, crossbars, neuron
+    /// parameters, tick cursor, and fault plan; per-lane drive, seeds-in-
+    /// effect (carried by the cloned cores), and subsequently applied
+    /// fault plans are free to differ.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::LaneCount`] unless `1 <= lanes <= 64`.
+    pub fn new_replicas(proto: &Chip, lanes: usize) -> Result<ChipBatch, BatchError> {
+        if !(1..=64).contains(&lanes) {
+            return Err(BatchError::LaneCount(lanes));
+        }
+        Ok(ChipBatch {
+            lanes: vec![proto.clone(); lanes],
+            diverged: vec![false; lanes],
+            proto_plan: proto.fault_plan().copied(),
+            kernel: LaneSwarKernel::new(proto.config().core_neurons, lanes),
+        })
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The next tick the batch will evaluate (lane 0's clock; all lanes
+    /// agree after every [`ChipBatch::try_tick`]).
+    pub fn now(&self) -> u64 {
+        self.lanes[0].now()
+    }
+
+    /// Read access to one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane(&self, lane: usize) -> &Chip {
+        &self.lanes[lane]
+    }
+
+    /// Mutable access to one lane — for telemetry enablement, fault-plan
+    /// arming, or direct injection. Mutations must leave the lane at the
+    /// same tick as the rest of the batch, or the next
+    /// [`ChipBatch::try_tick`] reports [`BatchTickError::OutOfStep`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_mut(&mut self, lane: usize) -> &mut Chip {
+        &mut self.lanes[lane]
+    }
+
+    /// Injects events on every set bit of `bits` — axons `word*64 + b` of
+    /// core `(x, y)` in lane `lane` — for `target_tick`: the per-lane form
+    /// of [`Chip::inject_word`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Chip::inject_word`].
+    pub fn inject_word(
+        &mut self,
+        lane: usize,
+        x: usize,
+        y: usize,
+        word: usize,
+        bits: u64,
+        target_tick: u64,
+    ) -> Result<(), InjectError> {
+        self.lanes[lane].inject_word(x, y, word, bits, target_tick)
+    }
+
+    /// Applies a fault plan to one lane (the per-lane form of
+    /// [`Chip::set_fault_plan`]), marking the lane diverged so the fused
+    /// integration never reads a burned crossbar as a replica's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn set_fault_plan_lane(&mut self, lane: usize, plan: &FaultPlan) {
+        self.lanes[lane].set_fault_plan(plan);
+        self.refresh_divergence();
+    }
+
+    /// Captures one lane's complete state as a [`Snapshot`] — the
+    /// per-lane form of [`Chip::checkpoint`]. Call between ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn checkpoint_lane(&self, lane: usize) -> Snapshot {
+        self.lanes[lane].checkpoint()
+    }
+
+    /// Replaces one lane with a chip rebuilt from `snapshot` (the
+    /// per-lane form of [`Chip::restore`]). The restored lane must match
+    /// the batch's chip configuration and clock. Its crossbars are
+    /// compared against an undiverged lane's: on a match the lane rejoins
+    /// the fused path, otherwise it is conservatively marked diverged and
+    /// runs solo (still bit-identical, just unfused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError`] from [`Chip::restore`], or
+    /// [`RestoreError::Invalid`] if the snapshot's configuration or clock
+    /// disagrees with the batch.
+    pub fn restore_lane(&mut self, lane: usize, snapshot: Snapshot) -> Result<(), RestoreError> {
+        let chip = Chip::restore(snapshot)?;
+        if chip.config() != self.lanes[0].config() {
+            return Err(RestoreError::Invalid(
+                "snapshot configuration differs from the batch's".to_string(),
+            ));
+        }
+        let expected = if self.lanes.len() > 1 && lane == 0 {
+            self.lanes[1].now()
+        } else {
+            self.lanes[0].now()
+        };
+        if chip.now() != expected {
+            return Err(RestoreError::Invalid(format!(
+                "snapshot is at tick {} but the batch is at tick {expected}",
+                chip.now()
+            )));
+        }
+        self.lanes[lane] = chip;
+        self.refresh_divergence();
+        // A restored lane rejoins fusion only if some undiverged lane
+        // vouches for its crossbars bit for bit.
+        if self.diverged[lane] {
+            return Ok(());
+        }
+        let reference = (0..self.lanes.len()).find(|&l| l != lane && !self.diverged[l]);
+        let vouched = reference.is_some_and(|r| {
+            crossbars_identical(self.lanes[lane].cores_flat(), self.lanes[r].cores_flat())
+        });
+        if !vouched && self.lanes.len() > 1 {
+            self.diverged[lane] = true;
+        }
+        Ok(())
+    }
+
+    /// Whether a lane has left the fused path for good (a per-lane fault
+    /// plan or an unvouched restore). A diverged lane still produces
+    /// bit-identical results through its solo path.
+    pub fn lane_diverged(&self, lane: usize) -> bool {
+        self.diverged[lane]
+    }
+
+    /// Marks every lane whose retained fault plan differs from the
+    /// prototype's as diverged. Runs every tick, so plans applied behind
+    /// the batch's back (through [`ChipBatch::lane_mut`]) are caught
+    /// before any fused integration could read a burned crossbar.
+    fn refresh_divergence(&mut self) {
+        for (lane, chip) in self.lanes.iter().enumerate() {
+            if !self.diverged[lane] && chip.fault_plan() != self.proto_plan.as_ref() {
+                self.diverged[lane] = true;
+            }
+        }
+    }
+
+    /// Evaluates one global tick on every lane, returning the per-lane
+    /// summaries in lane order. Each summary is bit-identical to what the
+    /// lane's solo twin would have returned.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchTickError::OutOfStep`] if the lanes' clocks disagree;
+    /// [`BatchTickError::Tick`] if a lane's evaluation failed (that lane
+    /// is poisoned, and lanes later in the walk did not complete the
+    /// tick — rebuild the batch).
+    pub fn try_tick(&mut self) -> Result<Vec<TickSummary>, BatchTickError> {
+        let t = self.lanes[0].now();
+        for (lane, chip) in self.lanes.iter().enumerate() {
+            if chip.now() != t {
+                return Err(BatchTickError::OutOfStep {
+                    lane,
+                    at: chip.now(),
+                    expected: t,
+                });
+            }
+        }
+        self.refresh_divergence();
+
+        if self.lanes[0].config().semantics == TickSemantics::Relaxed {
+            // Relaxed semantics interleaves evaluation and delivery per
+            // core — there is no fusible phase structure. Each lane takes
+            // its own solo relaxed tick.
+            return self
+                .lanes
+                .iter_mut()
+                .enumerate()
+                .map(|(lane, chip)| {
+                    chip.try_tick()
+                        .map_err(|error| BatchTickError::Tick { lane, error })
+                })
+                .collect();
+        }
+
+        // Prologue per lane: telemetry pre-capture, active list,
+        // quiescence skips.
+        let mut preludes = Vec::with_capacity(self.lanes.len());
+        for (lane, chip) in self.lanes.iter_mut().enumerate() {
+            preludes.push(
+                chip.begin_tick(t)
+                    .map_err(|error| BatchTickError::Tick { lane, error })?,
+            );
+        }
+
+        // Phase A, core-major: fuse where provable, solo elsewhere. Each
+        // lane's fired list accumulates in canonical core order because
+        // the walk ascends and each lane contributes at most one entry
+        // per core.
+        let lane_count = self.lanes.len();
+        let mut cursors = vec![0usize; lane_count];
+        let mut fired: Vec<Vec<(usize, Vec<u16>)>> = preludes
+            .iter()
+            .map(|p| Vec::with_capacity(p.active().len()))
+            .collect();
+        let cores_total = self.lanes[0].cores_flat().len();
+        let mut fusible = Vec::with_capacity(lane_count);
+        let mut solo = Vec::with_capacity(lane_count);
+        for idx in 0..cores_total {
+            fusible.clear();
+            solo.clear();
+            for lane in 0..lane_count {
+                let a = preludes[lane].active();
+                if cursors[lane] < a.len() && a[cursors[lane]] == idx {
+                    cursors[lane] += 1;
+                    if !self.diverged[lane] && self.lanes[lane].cores_flat()[idx].fusible_uniform()
+                    {
+                        fusible.push(lane);
+                    } else {
+                        solo.push(lane);
+                    }
+                }
+            }
+            if fusible.len() < 2 {
+                // A fused group of one is just a slower solo tick.
+                solo.append(&mut fusible);
+                solo.sort_unstable();
+            }
+            if !fusible.is_empty() {
+                // Disjoint `&mut` to the group members' cores at this
+                // position, peeled off the lane array in ascending order.
+                let mut refs: Vec<&mut NeurosynapticCore> = Vec::with_capacity(fusible.len());
+                let mut rest: &mut [Chip] = self.lanes.as_mut_slice();
+                let mut consumed = 0usize;
+                for &lane in &fusible {
+                    let tail = std::mem::take(&mut rest);
+                    let (_, tail) = tail.split_at_mut(lane - consumed);
+                    let (one, tail) = tail.split_at_mut(1);
+                    rest = tail;
+                    consumed = lane + 1;
+                    refs.push(&mut one[0].cores_mut()[idx]);
+                }
+                let kernel = &mut self.kernel;
+                let group = catch_unwind(AssertUnwindSafe(|| {
+                    tick_uniform_lanes(&mut refs, t, kernel)
+                }))
+                .map_err(|p| BatchTickError::Tick {
+                    lane: fusible[0],
+                    error: TickError::CorePanicked {
+                        core: idx,
+                        tick: t,
+                        message: panic_message(p),
+                    },
+                })?;
+                for (spikes, &lane) in group.into_iter().zip(&fusible) {
+                    fired[lane].push((idx, spikes));
+                }
+            }
+            for &lane in &solo {
+                let core = &mut self.lanes[lane].cores_mut()[idx];
+                let spikes = catch_unwind(AssertUnwindSafe(|| core.tick(t))).map_err(|p| {
+                    BatchTickError::Tick {
+                        lane,
+                        error: TickError::CorePanicked {
+                            core: idx,
+                            tick: t,
+                            message: panic_message(p),
+                        },
+                    }
+                })?;
+                fired[lane].push((idx, spikes));
+            }
+        }
+
+        // Phase B and epilogue per lane, through the unmodified solo tail.
+        let mut summaries = Vec::with_capacity(lane_count);
+        let mut fired = fired.into_iter();
+        for (lane, (chip, prelude)) in self.lanes.iter_mut().zip(preludes).enumerate() {
+            let lane_fired = fired.next().expect("one fired list per lane");
+            summaries.push(
+                chip.finish_tick(t, prelude, lane_fired)
+                    .map_err(|error| BatchTickError::Tick { lane, error })?,
+            );
+        }
+        Ok(summaries)
+    }
+}
+
+/// Whether two core arrays have bit-identical crossbars (row for row) —
+/// the replica property the fused integration relies on.
+fn crossbars_identical(a: &[NeurosynapticCore], b: &[NeurosynapticCore]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ca, cb)| {
+            ca.axons() == cb.axons()
+                && ca.neurons() == cb.neurons()
+                && (0..ca.axons())
+                    .all(|axon| ca.crossbar().row_words(axon) == cb.crossbar().row_words(axon))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ChipBuilder;
+    use crate::config::{ChipConfig, TickSemantics};
+    use brainsim_core::{
+        AxonTarget, AxonType, CoreOffset, Destination, Lfsr, NeuronConfig, Weight,
+    };
+
+    /// A 2×2 recurrent chip with uniform deterministic neuron parameters
+    /// (SoA/uniform eligible) and a seeded random crossbar: the shape the
+    /// fused path is built for.
+    fn uniform_chip(seed: u32) -> Chip {
+        let (axons, neurons) = (48, 40);
+        let mut b = ChipBuilder::new(ChipConfig {
+            width: 2,
+            height: 2,
+            core_axons: axons,
+            core_neurons: neurons,
+            semantics: TickSemantics::Deterministic,
+            seed,
+            ..ChipConfig::default()
+        });
+        let mut rng = Lfsr::new(seed);
+        let config = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(5))
+            .weight(AxonType::A1, Weight::saturating(-2))
+            .weight(AxonType::A2, Weight::saturating(3))
+            .weight(AxonType::A3, Weight::saturating(-1))
+            .threshold(11)
+            .leak(-1)
+            .negative_threshold(20)
+            .build()
+            .expect("uniform test config");
+        for y in 0..2 {
+            for x in 0..2 {
+                let core = b.core_mut(x, y);
+                for a in 0..axons {
+                    core.axon_type(a, AxonType::from_index(a % 4).expect("axon type"))
+                        .expect("axon type set");
+                    for n in 0..neurons {
+                        if rng.next_u32().is_multiple_of(3) {
+                            core.synapse(a, n, true).expect("synapse");
+                        }
+                    }
+                }
+                for n in 0..neurons {
+                    let dest = if n % 5 == 0 {
+                        Destination::Output(n as u32)
+                    } else {
+                        Destination::Axon(AxonTarget {
+                            offset: CoreOffset::new(1 - 2 * (x as i32), 1 - 2 * (y as i32)),
+                            axon: (rng.next_u32() as usize % axons) as u16,
+                            delay: 1 + (rng.next_u32() % 3) as u8,
+                        })
+                    };
+                    core.neuron(n, config.clone(), dest).expect("neuron");
+                }
+            }
+        }
+        b.build().expect("uniform chip builds")
+    }
+
+    /// Per-lane Bernoulli drive delivered identically to a batch lane and
+    /// its solo twin.
+    fn drive(rng: &mut Lfsr, words: usize, axons: usize) -> Vec<u64> {
+        (0..words)
+            .map(|w| {
+                let mut bits = 0u64;
+                for b in 0..64 {
+                    if w * 64 + b < axons && rng.next_u32().is_multiple_of(4) {
+                        bits |= 1 << b;
+                    }
+                }
+                bits
+            })
+            .collect()
+    }
+
+    fn assert_lane_matches_twin(batch: &ChipBatch, lane: usize, twin: &Chip) {
+        assert_eq!(batch.lane(lane).census(), twin.census());
+        assert_eq!(batch.lane(lane).fault_stats(), twin.fault_stats());
+        assert_eq!(
+            batch.checkpoint_lane(lane).to_bytes(),
+            twin.checkpoint().to_bytes(),
+            "lane {lane} checkpoint diverged from its solo twin"
+        );
+    }
+
+    #[test]
+    fn lanes_are_bit_identical_to_solo_twins() {
+        let proto = uniform_chip(0xBA7C_0001);
+        if !cfg!(feature = "force-scalar") {
+            assert!(
+                proto.cores_flat().iter().all(|c| c.fusible_uniform()),
+                "test chip must exercise the fused path"
+            );
+        }
+        let lanes = 8;
+        let mut batch = ChipBatch::new_replicas(&proto, lanes).expect("batch");
+        let mut twins: Vec<Chip> = (0..lanes).map(|_| proto.clone()).collect();
+        let axons = proto.config().core_axons;
+        let words = axons.div_ceil(64);
+        let mut rngs: Vec<Lfsr> = (0..lanes)
+            .map(|l| Lfsr::new(0x0D1E_5EEDu32 ^ (l as u32).wrapping_mul(0x9E37_79B9)))
+            .collect();
+        for t in 0..40u64 {
+            for lane in 0..lanes {
+                for (x, y) in [(0usize, 0usize), (1, 1)] {
+                    for (w, bits) in drive(&mut rngs[lane], words, axons).into_iter().enumerate() {
+                        batch
+                            .inject_word(lane, x, y, w, bits, t + 1)
+                            .expect("batch inject");
+                        twins[lane]
+                            .inject_word(x, y, w, bits, t + 1)
+                            .expect("twin inject");
+                    }
+                }
+            }
+            let summaries = batch.try_tick().expect("batch tick");
+            for (lane, twin) in twins.iter_mut().enumerate() {
+                let solo = twin.try_tick().expect("twin tick");
+                assert_eq!(summaries[lane], solo, "tick {t} lane {lane}");
+            }
+        }
+        for (lane, twin) in twins.iter().enumerate() {
+            assert_lane_matches_twin(&batch, lane, twin);
+            assert!(!batch.lane_diverged(lane));
+        }
+    }
+
+    #[test]
+    fn faulted_lane_diverges_but_stays_bit_identical() {
+        let proto = uniform_chip(0xBA7C_0002);
+        let lanes = 3;
+        let mut batch = ChipBatch::new_replicas(&proto, lanes).expect("batch");
+        let mut twins: Vec<Chip> = (0..lanes).map(|_| proto.clone()).collect();
+        // Lane 1 gets crossbar-burning synapse faults; lane 2 gets
+        // neuron/link faults (no crossbar burn, but a differing plan —
+        // conservatively diverged). Lane 0 stays a pure replica.
+        let burn = FaultPlan::new(77)
+            .with_synapse_stuck_one(0.05)
+            .with_synapse_stuck_zero(0.05);
+        let soft = FaultPlan::new(78)
+            .with_dead_neuron(0.1)
+            .with_stuck_neuron(0.02)
+            .with_link_drop(0.05);
+        batch.set_fault_plan_lane(1, &burn);
+        twins[1].set_fault_plan(&burn);
+        // Apply lane 2's plan behind the batch's back, through lane_mut:
+        // the per-tick divergence probe must still catch it.
+        batch.lane_mut(2).set_fault_plan(&soft);
+        twins[2].set_fault_plan(&soft);
+        let axons = proto.config().core_axons;
+        let words = axons.div_ceil(64);
+        let mut rngs: Vec<Lfsr> = (0..lanes).map(|l| Lfsr::new(0xFA17 + l as u32)).collect();
+        for t in 0..30u64 {
+            for lane in 0..lanes {
+                for (w, bits) in drive(&mut rngs[lane], words, axons).into_iter().enumerate() {
+                    batch
+                        .inject_word(lane, 0, 0, w, bits, t + 1)
+                        .expect("batch inject");
+                    twins[lane]
+                        .inject_word(0, 0, w, bits, t + 1)
+                        .expect("twin inject");
+                }
+            }
+            let summaries = batch.try_tick().expect("batch tick");
+            for (lane, twin) in twins.iter_mut().enumerate() {
+                assert_eq!(summaries[lane], twin.try_tick().expect("twin"), "tick {t}");
+            }
+        }
+        assert!(!batch.lane_diverged(0));
+        assert!(batch.lane_diverged(1));
+        assert!(batch.lane_diverged(2));
+        for (lane, twin) in twins.iter().enumerate() {
+            assert_lane_matches_twin(&batch, lane, twin);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip_preserves_lockstep_and_identity() {
+        let proto = uniform_chip(0xBA7C_0003);
+        let mut batch = ChipBatch::new_replicas(&proto, 4).expect("batch");
+        let mut twin = proto.clone();
+        let axons = proto.config().core_axons;
+        let words = axons.div_ceil(64);
+        let mut rng = Lfsr::new(0xC4EC_4001);
+        let mut rng_twin = Lfsr::new(0xC4EC_4001);
+        let mut step = |batch: &mut ChipBatch, twin: &mut Chip, t: u64| {
+            for (w, bits) in drive(&mut rng, words, axons).into_iter().enumerate() {
+                batch.inject_word(2, 0, 1, w, bits, t + 1).expect("inject");
+            }
+            for (w, bits) in drive(&mut rng_twin, words, axons).into_iter().enumerate() {
+                twin.inject_word(0, 1, w, bits, t + 1).expect("inject");
+            }
+            let summaries = batch.try_tick().expect("tick");
+            assert_eq!(summaries[2], twin.try_tick().expect("twin tick"));
+        };
+        for t in 0..10 {
+            step(&mut batch, &mut twin, t);
+        }
+        // Round-trip lane 2 through a snapshot mid-run: it must rejoin
+        // the fused path (crossbars vouched) and stay bit-identical.
+        let snap = batch.checkpoint_lane(2);
+        batch.restore_lane(2, snap).expect("restore");
+        assert!(!batch.lane_diverged(2));
+        for t in 10..20 {
+            step(&mut batch, &mut twin, t);
+        }
+        assert_eq!(
+            batch.checkpoint_lane(2).to_bytes(),
+            twin.checkpoint().to_bytes()
+        );
+    }
+
+    #[test]
+    fn out_of_step_lane_is_reported() {
+        let proto = uniform_chip(0xBA7C_0004);
+        let mut batch = ChipBatch::new_replicas(&proto, 3).expect("batch");
+        batch.lane_mut(1).try_tick().expect("manual lane tick");
+        match batch.try_tick() {
+            Err(BatchTickError::OutOfStep { lane, at, expected }) => {
+                assert_eq!(lane, 1);
+                assert_eq!(at, 1);
+                assert_eq!(expected, 0);
+            }
+            other => panic!("expected OutOfStep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_clock() {
+        let proto = uniform_chip(0xBA7C_0005);
+        let mut batch = ChipBatch::new_replicas(&proto, 2).expect("batch");
+        let stale = batch.checkpoint_lane(0);
+        batch.try_tick().expect("tick");
+        assert!(matches!(
+            batch.restore_lane(0, stale),
+            Err(RestoreError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn lane_count_bounds_are_enforced() {
+        let proto = uniform_chip(0xBA7C_0006);
+        assert!(matches!(
+            ChipBatch::new_replicas(&proto, 0),
+            Err(BatchError::LaneCount(0))
+        ));
+        assert!(matches!(
+            ChipBatch::new_replicas(&proto, 65),
+            Err(BatchError::LaneCount(65))
+        ));
+        assert!(ChipBatch::new_replicas(&proto, 64).is_ok());
+    }
+
+    #[test]
+    fn relaxed_semantics_falls_back_to_solo_lanes() {
+        let proto = {
+            let mut chip = uniform_chip(0xBA7C_0007);
+            // Rebuild with relaxed semantics via config override.
+            let mut cfg = *chip.config();
+            cfg.semantics = TickSemantics::Relaxed;
+            let snap = chip.checkpoint();
+            let _ = &mut chip;
+            let mut snap = snap;
+            snap.config = cfg;
+            Chip::restore(snap).expect("relaxed restore")
+        };
+        let mut batch = ChipBatch::new_replicas(&proto, 2).expect("batch");
+        let mut twin = proto.clone();
+        for t in 0..10u64 {
+            twin.inject_word(0, 0, 0, 0xF0F0, t + 1).expect("inject");
+            batch
+                .inject_word(1, 0, 0, 0, 0xF0F0, t + 1)
+                .expect("inject");
+            let summaries = batch.try_tick().expect("tick");
+            assert_eq!(summaries[1], twin.try_tick().expect("twin"));
+        }
+    }
+}

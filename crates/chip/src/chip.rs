@@ -100,7 +100,7 @@ impl std::error::Error for TickError {}
 
 /// Renders a caught panic payload as text; `&str` and `String` payloads
 /// (everything `panic!` and the `assert!` family produce) pass through.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -118,6 +118,23 @@ type Delivery = (usize, usize, u64);
 /// One Phase-A worker's result: `(core index, fired neurons)` pairs in
 /// canonical order, or the first panic observed in the shard.
 type FiredShard = Result<Vec<(usize, Vec<u16>)>, TickError>;
+
+/// Everything [`Chip::begin_tick`] captures before Phase A, handed back to
+/// [`Chip::finish_tick`] after the caller has evaluated the active cores.
+pub(crate) struct TickPrelude {
+    telemetry_on: bool,
+    census_before: EventCensus,
+    core_detail: bool,
+    active: Vec<usize>,
+    stats_before: Vec<CoreStats>,
+}
+
+impl TickPrelude {
+    /// The cores Phase A must evaluate, in canonical row-major order.
+    pub(crate) fn active(&self) -> &[usize] {
+        &self.active
+    }
+}
 
 /// The result of routing one shard of the fired list. Batches from
 /// concurrently routed shards merge deterministically: `outputs` and
@@ -342,6 +359,23 @@ impl Chip {
         y * self.config.width + x
     }
 
+    /// The flat core array in canonical row-major order, mutable — the
+    /// batched backend's Phase A hook.
+    pub(crate) fn cores_mut(&mut self) -> &mut [NeurosynapticCore] {
+        &mut self.cores
+    }
+
+    /// The fault plan applied to this chip, if any — the batched backend's
+    /// replica-divergence probe.
+    pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// The flat core array in canonical row-major order.
+    pub(crate) fn cores_flat(&self) -> &[NeurosynapticCore] {
+        &self.cores
+    }
+
     /// Read access to core `(x, y)`, or `None` if the coordinates lie
     /// outside the grid.
     pub fn core(&self, x: usize, y: usize) -> Option<&NeurosynapticCore> {
@@ -363,6 +397,14 @@ impl Chip {
     /// function of `(tick, core, neuron)`, so a mid-run arming is
     /// bit-identical across thread counts and schedulers. A benign plan is
     /// a no-op and leaves the fault-free fast path intact.
+    ///
+    /// Stacking plans: structural faults accumulate (each plan burns its
+    /// own synapses/neurons on top of what is already there), but the
+    /// link injector always reflects the *most recently applied* plan —
+    /// the same single retained plan a checkpoint records and a restore
+    /// re-arms from. A later plan without link faults therefore sheds an
+    /// earlier plan's link behavior, keeping live and restored chips
+    /// bit-identical.
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
         let injector = FaultInjector::new(plan);
         if injector.is_benign() {
@@ -373,9 +415,11 @@ impl Chip {
             let y = idx / self.config.width;
             self.cores[idx].apply_faults(&injector, x, y);
         }
-        if injector.has_link_faults() {
-            self.injector = Some(injector);
-        }
+        self.injector = if injector.has_link_faults() {
+            Some(injector)
+        } else {
+            None
+        };
         self.plan = Some(*plan);
     }
 
@@ -766,6 +810,38 @@ impl Chip {
     }
 
     fn tick_deterministic(&mut self, t: u64) -> Result<TickSummary, TickError> {
+        let prelude = self.begin_tick(t)?;
+
+        // Phase A: evaluate the active cores (on scoped threads when
+        // configured).
+        let active = &prelude.active;
+        let fired: Vec<(usize, Vec<u16>)> = if self.effective_threads > 1 && active.len() > 1 {
+            Self::evaluate_parallel(&mut self.cores, active, self.effective_threads, t)?
+        } else {
+            let mut fired = Vec::with_capacity(active.len());
+            for &idx in active {
+                let core = &mut self.cores[idx];
+                let spikes = catch_unwind(AssertUnwindSafe(|| core.tick(t))).map_err(|p| {
+                    TickError::CorePanicked {
+                        core: idx,
+                        tick: t,
+                        message: panic_message(p),
+                    }
+                })?;
+                fired.push((idx, spikes));
+            }
+            fired
+        };
+
+        self.finish_tick(t, prelude, fired)
+    }
+
+    /// The tick prologue shared by the solo pipeline and the batched
+    /// backend ([`crate::ChipBatch`]): telemetry pre-capture, the active
+    /// list, and the quiescence skips. After this, Phase A may evaluate
+    /// the active cores by any bit-identical means (threaded shards, the
+    /// serial loop, or the fused lane tick) before [`Chip::finish_tick`].
+    pub(crate) fn begin_tick(&mut self, t: u64) -> Result<TickPrelude, TickError> {
         // Telemetry pre-capture: a census snapshot (for the per-tick energy
         // delta) and per-core stat snapshots of the active cores (for
         // activity deltas). All skipped when telemetry is off.
@@ -780,34 +856,42 @@ impl Chip {
                 .telemetry
                 .as_deref()
                 .is_some_and(|l| l.config().core_detail);
-
-        // Phase A: skip the provably quiescent cores, evaluate the rest
-        // (on scoped threads when configured).
         let active = self.active_cores();
-        let cores_evaluated = active.len() as u64;
         let stats_before: Vec<CoreStats> = if core_detail {
             active.iter().map(|&i| *self.cores[i].stats()).collect()
         } else {
             Vec::new()
         };
         self.skip_inactive(&active, t)?;
-        let fired: Vec<(usize, Vec<u16>)> = if self.effective_threads > 1 && active.len() > 1 {
-            Self::evaluate_parallel(&mut self.cores, &active, self.effective_threads, t)?
-        } else {
-            let mut fired = Vec::with_capacity(active.len());
-            for &idx in &active {
-                let core = &mut self.cores[idx];
-                let spikes = catch_unwind(AssertUnwindSafe(|| core.tick(t))).map_err(|p| {
-                    TickError::CorePanicked {
-                        core: idx,
-                        tick: t,
-                        message: panic_message(p),
-                    }
-                })?;
-                fired.push((idx, spikes));
-            }
-            fired
-        };
+        Ok(TickPrelude {
+            telemetry_on,
+            census_before,
+            core_detail,
+            active,
+            stats_before,
+        })
+    }
+
+    /// The tick epilogue shared by the solo pipeline and the batched
+    /// backend: per-core activity sampling, Phase B spike routing, serial
+    /// delivery, counters, and the telemetry record — statement for
+    /// statement the tail of the solo deterministic tick, so a batched
+    /// lane's summary and telemetry are bit-identical to its solo twin's.
+    /// `fired` must be Phase A's output in canonical core order.
+    pub(crate) fn finish_tick(
+        &mut self,
+        t: u64,
+        prelude: TickPrelude,
+        fired: Vec<(usize, Vec<u16>)>,
+    ) -> Result<TickSummary, TickError> {
+        let TickPrelude {
+            telemetry_on,
+            census_before,
+            core_detail,
+            active,
+            stats_before,
+        } = prelude;
+        let cores_evaluated = active.len() as u64;
 
         // Per-core activity deltas, sampled between the phases: evaluation
         // is complete, this tick's deliveries have not yet landed.

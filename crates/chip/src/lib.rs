@@ -56,12 +56,14 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod batch;
 mod builder;
 mod chip;
 mod config;
 mod snapshot;
 pub mod trace;
 
+pub use batch::{BatchError, BatchTickError, ChipBatch};
 pub use builder::{ChipBuildError, ChipBuilder};
 pub use chip::{Chip, InjectError, TickError, TickSummary};
 pub use config::{ChipConfig, CoreScheduling, TickSemantics, TileConfig};

@@ -4,15 +4,16 @@ use std::fmt;
 
 use brainsim_faults::{FaultInjector, FaultStats, NeuronFault, StuckAt};
 use brainsim_neuron::{
-    deterministic_quiescent, deterministic_scan_uniform, deterministic_tick, AxonType,
-    DeterministicParams, Lfsr, Neuron, NeuronConfig, SCAN_FIRED, SCAN_UNSETTLED,
+    deterministic_quiescent, deterministic_scan_uniform, deterministic_scan_uniform_lanes,
+    deterministic_tick, AxonType, DeterministicParams, LaneScan, Lfsr, Neuron, NeuronConfig,
+    SCAN_FIRED, SCAN_UNSETTLED,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::crossbar::Crossbar;
 use crate::scheduler::{bitmap_indices, Scheduler, SCHEDULER_SLOTS};
 use crate::spike::{DeliverError, Destination};
-use crate::swar::SwarKernel;
+use crate::swar::{LaneSwarKernel, SwarKernel};
 
 /// Compile-time kill switch for the word-parallel paths (the `force-scalar`
 /// feature): [`EvalStrategy::Swar`] then evaluates through the scalar
@@ -743,32 +744,7 @@ impl NeurosynapticCore {
                     &soa.counts,
                     &mut soa.flags,
                 );
-                // Harvest the flag bytes eight at a time: firing is rare
-                // (the common word has no fired bytes), so one u64 test
-                // replaces eight byte branches, and the fired loop only
-                // spins on the exact set bits.
-                let fired_lanes = u64::from_ne_bytes([SCAN_FIRED; 8]);
-                let unsettled_lanes = u64::from_ne_bytes([SCAN_UNSETTLED; 8]);
-                let mut unsettled = false;
-                let words = soa.flags.chunks_exact(8);
-                let tail = words.remainder();
-                for (w, chunk) in words.enumerate() {
-                    let lanes = u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
-                    unsettled |= lanes & unsettled_lanes != 0;
-                    let mut hits = lanes & fired_lanes;
-                    while hits != 0 {
-                        let lane = hits.trailing_zeros() as usize / 8;
-                        hits &= hits - 1;
-                        fired.push((w * 8 + lane) as u16);
-                    }
-                }
-                let base = soa.flags.len() - tail.len();
-                for (index, &flag) in tail.iter().enumerate() {
-                    if flag & SCAN_FIRED != 0 {
-                        fired.push((base + index) as u16);
-                    }
-                    unsettled |= flag & SCAN_UNSETTLED != 0;
-                }
+                let unsettled = harvest_scan_flags(&soa.flags, &mut fired);
                 self.settled = axon_events == 0 && fired.is_empty() && !unsettled;
             }
             Some(soa) if strategy == EvalStrategy::Swar => {
@@ -859,6 +835,18 @@ impl NeurosynapticCore {
         fired
     }
 
+    /// Whether this core can join a fused batched-lane tick
+    /// ([`tick_uniform_lanes`]): the uniform struct-of-arrays fast path is
+    /// live (deterministic neurons, one shared scan-safe parameter block,
+    /// word-parallel strategy, no scalar override) and no fault plan
+    /// dropped the core. Dead / stuck-firing neuron faults already retire
+    /// the fast path, so a fusible core is also guaranteed to need no
+    /// per-tick fault masking.
+    #[inline]
+    pub fn fusible_uniform(&self) -> bool {
+        self.soa_live() && self.soa.as_deref().is_some_and(|soa| soa.uniform) && !self.is_dropped()
+    }
+
     /// Resets all neuron potentials, the scheduler, the tick cursor and the
     /// statistics, keeping the configuration.
     pub fn reset(&mut self) {
@@ -878,6 +866,187 @@ impl NeurosynapticCore {
             self.stats.faults = faults.structural;
         }
     }
+}
+
+/// Harvests a population scan's flag bytes eight at a time into `fired`,
+/// returning whether any neuron is unsettled. Firing is rare (the common
+/// word has no fired bytes), so one u64 test replaces eight byte branches
+/// and the fired loop only spins on the exact set bits. Shared by the solo
+/// uniform tick and the batched lane tick so both harvest identically.
+fn harvest_scan_flags(flags: &[u8], fired: &mut Vec<u16>) -> bool {
+    let fired_lanes = u64::from_ne_bytes([SCAN_FIRED; 8]);
+    let unsettled_lanes = u64::from_ne_bytes([SCAN_UNSETTLED; 8]);
+    let mut unsettled = false;
+    let words = flags.chunks_exact(8);
+    let tail = words.remainder();
+    for (w, chunk) in words.enumerate() {
+        let lanes = u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
+        unsettled |= lanes & unsettled_lanes != 0;
+        let mut hits = lanes & fired_lanes;
+        while hits != 0 {
+            let lane = hits.trailing_zeros() as usize / 8;
+            hits &= hits - 1;
+            fired.push((w * 8 + lane) as u16);
+        }
+    }
+    let base = flags.len() - tail.len();
+    for (index, &flag) in tail.iter().enumerate() {
+        if flag & SCAN_FIRED != 0 {
+            fired.push((base + index) as u16);
+        }
+        unsettled |= flag & SCAN_UNSETTLED != 0;
+    }
+    unsettled
+}
+
+/// One fused tick over the same core position of N replica lanes — the
+/// chip-major batched inner loop.
+///
+/// Every core must pass [`NeurosynapticCore::fusible_uniform`] and the
+/// lanes must be true replicas of one another at this position: identical
+/// crossbar, axon types, and (uniform) neuron parameter block. Per-lane
+/// state — scheduler contents, membrane potentials, statistics — is free
+/// to differ; that is the point of the batch. The caller owns replica
+/// integrity (synapse-fault divergence must drop a lane out of fusion).
+///
+/// Phase 1 walks the *union* of the lanes' due-axon bitmaps once and
+/// feeds each axon's per-lane activity mask to the [`LaneSwarKernel`], so
+/// a row shared by most lanes is rippled once (plus complement fixups)
+/// instead of once per lane. Phase 2 runs the batched population scan
+/// ([`deterministic_scan_uniform_lanes`]) and harvests flags with the
+/// same helper as the solo path. Each lane's outputs — fired list,
+/// statistics, settled flag, tick cursor — are bit-identical to what
+/// [`NeurosynapticCore::tick`] would have produced for that lane alone.
+///
+/// The `kernel` is reusable scratch; it must have been created with at
+/// least `cores.len()` lanes and the cores' neuron count.
+///
+/// # Panics
+///
+/// Panics if any core is not at `tick`, the cores disagree on geometry,
+/// a core is not [`NeurosynapticCore::fusible_uniform`], or the kernel is
+/// too narrow for the lane count.
+pub fn tick_uniform_lanes(
+    cores: &mut [&mut NeurosynapticCore],
+    tick: u64,
+    kernel: &mut LaneSwarKernel,
+) -> Vec<Vec<u16>> {
+    let lanes = cores.len();
+    assert!(lanes <= kernel.lanes(), "kernel too narrow for lane count");
+    let Some(first) = cores.first() else {
+        return Vec::new();
+    };
+    let axons = first.axons();
+    let neurons = first.neurons();
+    let words = first.bitmap.len();
+    let universe: u64 = if lanes == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    };
+    for core in cores.iter() {
+        assert_eq!(tick, core.now, "core evaluated out of tick order");
+        assert_eq!(core.axons(), axons, "lanes must agree on axon count");
+        assert_eq!(core.neurons(), neurons, "lanes must agree on neuron count");
+        assert!(core.fusible_uniform(), "core not fusible");
+        debug_assert!(
+            core.faults
+                .as_deref()
+                .is_none_or(|f| f.structural.neurons_dead == 0 && f.stuck.is_empty()),
+            "fusible core must carry no per-tick fault masks"
+        );
+    }
+
+    // Phase 0: drain each lane's scheduler for this tick into its bitmap.
+    for core in cores.iter_mut() {
+        core.scheduler.take_into(tick, &mut core.bitmap);
+    }
+
+    // Phase 1: one union walk over the due-axon bitmaps. Each active
+    // axon's lane mask goes to the lane kernel, which picks direct or
+    // union-complement insertion per axon; the census charges each lane
+    // exactly what its solo tick would have charged.
+    let mut axon_events = vec![0u64; lanes];
+    let mut synaptic_events = vec![0u64; lanes];
+    for w in 0..words {
+        let mut union = 0u64;
+        for core in cores.iter() {
+            union |= core.bitmap[w];
+        }
+        while union != 0 {
+            let bit = union.trailing_zeros();
+            union &= union - 1;
+            let axon = w * 64 + bit as usize;
+            let mut mask = 0u64;
+            for (lane, core) in cores.iter().enumerate() {
+                mask |= ((core.bitmap[w] >> bit) & 1) << lane;
+            }
+            let popcount = u64::from(cores[0].crossbar.row_popcount(axon));
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                axon_events[lane] += 1;
+                synaptic_events[lane] += popcount;
+            }
+            kernel.accumulate_row_lanes(
+                cores[0].axon_types[axon].index(),
+                cores[0].crossbar.row_words(axon),
+                mask,
+                universe,
+            );
+        }
+    }
+    kernel.flush_shared();
+    for (lane, core) in cores.iter_mut().enumerate() {
+        let soa = core.soa.as_deref_mut().expect("fusible core has soa");
+        kernel.flush_lane(lane, &mut soa.counts);
+    }
+
+    // Phase 2: the batched population scan, sweeping every lane's copy of
+    // a 64-neuron block before the next block.
+    let params = cores[0]
+        .soa
+        .as_deref()
+        .expect("fusible core has soa")
+        .params[0];
+    debug_assert!(
+        cores
+            .iter()
+            .all(|core| { core.soa.as_deref().expect("fusible core has soa").params[0] == params }),
+        "lanes must share the uniform parameter block"
+    );
+    let mut views: Vec<LaneScan<'_>> = cores
+        .iter_mut()
+        .map(|core| {
+            let soa = core.soa.as_deref_mut().expect("fusible core has soa");
+            LaneScan {
+                potentials: &mut soa.potentials,
+                counts: &soa.counts,
+                flags: &mut soa.flags,
+            }
+        })
+        .collect();
+    deterministic_scan_uniform_lanes(&params, &mut views);
+    drop(views);
+
+    // Epilogue per lane: harvest, settle, account — the same statements,
+    // in the same order, as the solo tick's uniform branch.
+    let mut results = Vec::with_capacity(lanes);
+    for (lane, core) in cores.iter_mut().enumerate() {
+        let mut fired = Vec::new();
+        let soa = core.soa.as_deref().expect("fusible core has soa");
+        let unsettled = harvest_scan_flags(&soa.flags, &mut fired);
+        core.settled = axon_events[lane] == 0 && fired.is_empty() && !unsettled;
+        core.stats.ticks += 1;
+        core.stats.axon_events += axon_events[lane];
+        core.stats.synaptic_events += synaptic_events[lane];
+        core.stats.neuron_updates += core.neurons.len() as u64;
+        core.stats.spikes += fired.len() as u64;
+        core.now += 1;
+        results.push(fired);
+    }
+    results
 }
 
 /// Serializable image of the fault state injected into one core, the public
@@ -1169,6 +1338,106 @@ mod tests {
         }
         b.strategy(strategy);
         b.build()
+    }
+
+    /// A uniform deterministic core with a pseudo-random crossbar, the
+    /// replica shape the batched lane tick fuses.
+    fn uniform_random_core(n: usize, seed: u64) -> NeurosynapticCore {
+        let mut b = CoreBuilder::new(n, n);
+        let cfg = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(5))
+            .weight(AxonType::A1, Weight::saturating(-2))
+            .threshold(9)
+            .leak(-1)
+            .negative_threshold(20)
+            .build()
+            .unwrap();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for a in 0..n {
+            b.axon_type(a, AxonType::from_index(a % 2).unwrap())
+                .unwrap();
+        }
+        for i in 0..n {
+            b.neuron(i, cfg.clone(), Destination::Output(i as u32))
+                .unwrap();
+        }
+        for a in 0..n {
+            for i in 0..n {
+                if next() % 3 == 0 {
+                    b.synapse(a, i, true).unwrap();
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fused_lane_tick_matches_solo_ticks_bit_identically() {
+        // N replica cores (identical wiring, per-lane event streams) run
+        // 30 ticks through the fused lane tick; their solo twins run the
+        // ordinary per-core tick. Fired lists, statistics, settled flags
+        // and final state images must all agree bit for bit.
+        if FORCE_SCALAR {
+            // The fused path refuses to engage under force-scalar
+            // (fusible_uniform is false); nothing to differentiate.
+            return;
+        }
+        for lanes in [1usize, 2, 3, 8] {
+            let n = 70; // a ragged width: one full word plus a tail
+            let mut fused: Vec<NeurosynapticCore> = (0..lanes)
+                .map(|_| uniform_random_core(n, 0xC0FFEE))
+                .collect();
+            let solo: Vec<NeurosynapticCore> = fused.to_vec();
+            let mut solo = solo;
+            let mut kernel = LaneSwarKernel::new(n, lanes);
+            let mut drive = 0x5EED_u64 ^ (lanes as u64) << 32;
+            let mut next = move || {
+                drive ^= drive << 13;
+                drive ^= drive >> 7;
+                drive ^= drive << 17;
+                drive
+            };
+            for t in 0..30u64 {
+                for lane in 0..lanes {
+                    // Per-lane Bernoulli word drive, identical to both twins.
+                    for w in 0..n.div_ceil(64) {
+                        let bits = next() & next();
+                        let width = (n - w * 64).min(64);
+                        let m = if width == 64 {
+                            u64::MAX
+                        } else {
+                            (1 << width) - 1
+                        };
+                        fused[lane].deliver_word(w, bits & m, t + 1).unwrap();
+                        solo[lane].deliver_word(w, bits & m, t + 1).unwrap();
+                    }
+                }
+                let mut refs: Vec<&mut NeurosynapticCore> = fused.iter_mut().collect();
+                let fired_fused = tick_uniform_lanes(&mut refs, t, &mut kernel);
+                for lane in 0..lanes {
+                    let fired_solo = solo[lane].tick(t);
+                    assert_eq!(
+                        fired_fused[lane], fired_solo,
+                        "lanes={lanes} lane={lane} tick={t}"
+                    );
+                }
+            }
+            for lane in 0..lanes {
+                assert_eq!(fused[lane].stats(), solo[lane].stats(), "lane {lane} stats");
+                assert_eq!(
+                    fused[lane].export_state(),
+                    solo[lane].export_state(),
+                    "lane {lane} state image"
+                );
+                assert_eq!(fused[lane].is_quiescent(), solo[lane].is_quiescent());
+            }
+        }
     }
 
     #[test]

@@ -58,13 +58,13 @@ mod spike;
 mod swar;
 
 pub use core_impl::{
-    CoreBuildError, CoreBuilder, CoreFaultsState, CoreState, CoreStateError, CoreStats,
-    EvalStrategy, NeurosynapticCore,
+    tick_uniform_lanes, CoreBuildError, CoreBuilder, CoreFaultsState, CoreState, CoreStateError,
+    CoreStats, EvalStrategy, NeurosynapticCore,
 };
 pub use crossbar::Crossbar;
 pub use scheduler::{Scheduler, SCHEDULER_SLOTS};
 pub use spike::{AxonTarget, CoreOffset, DeliverError, Destination};
-pub use swar::SwarKernel;
+pub use swar::{LaneSwarKernel, SwarKernel};
 
 // Re-export for downstream convenience: the core's axon/neuron vocabulary
 // and the fault-injection vocabulary accepted by `apply_faults`.

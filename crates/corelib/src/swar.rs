@@ -139,6 +139,187 @@ impl SwarKernel {
     }
 }
 
+/// Lane-extended bit-sliced counters: one kernel accumulating the same
+/// crossbar rows for up to 64 *lanes* (replica chips) at once, sweeping
+/// every lane of a word before moving on (the chip-major batched layout).
+///
+/// The cost model exploits that batched replicas mostly fire the *same*
+/// axons: an axon active in lane subset `m` of the fused universe `u`
+/// (`k = popcount(m)`, `L = popcount(u)`) is inserted either
+///
+/// * **directly** — once per lane in `m` (`k` ripple insertions), or
+/// * **by complement** — once into the *shared* plane stack plus once per
+///   lane in `u \ m` into that lane's *miss* stack (`1 + L - k`
+///   insertions), whichever is cheaper (`2k > L + 1` picks complement).
+///
+/// A lane's exact count is then `shared + pos - miss`. The subtraction
+/// cannot underflow: every miss insertion's row was also inserted into
+/// the shared stack, so `shared ≥ miss` pointwise, and the `u16`
+/// intermediate is bounded by `2 × axons ≤ 512`. At high drive overlap
+/// this cuts per-axon work from `O(lanes)` to `O(1)` amortised.
+#[derive(Debug, Clone)]
+pub struct LaneSwarKernel {
+    /// Words per crossbar row (`neurons.div_ceil(64)`).
+    words: usize,
+    /// Neuron columns per row (scratch is `TYPES × neurons` planar).
+    neurons: usize,
+    /// Number of lanes this kernel serves (1..=64).
+    lanes: usize,
+    /// Rows active in *every* fused lane (complement-mode insertions).
+    shared: [Vec<u64>; TYPES],
+    /// Per-lane additive stacks (direct-mode insertions).
+    pos: Vec<[Vec<u64>; TYPES]>,
+    /// Per-lane subtractive stacks (complement-mode corrections).
+    miss: Vec<[Vec<u64>; TYPES]>,
+    /// Planar flush of the shared stack, copied into each lane's counts.
+    scratch: Vec<u16>,
+}
+
+/// Carry-save ripple insertion of one row into a plane stack.
+#[inline]
+fn insert_row(planes: &mut Vec<u64>, words: usize, row: &[u64]) {
+    for (w, &bits) in row.iter().enumerate() {
+        let mut carry = bits;
+        let mut k = 0;
+        while carry != 0 {
+            let idx = k * words + w;
+            if idx >= planes.len() {
+                planes.resize((k + 1) * words, 0);
+            }
+            let sum = planes[idx] ^ carry;
+            carry &= planes[idx];
+            planes[idx] = sum;
+            k += 1;
+        }
+    }
+}
+
+/// Scatters a plane stack into a type-major planar `u16` block, adding
+/// (`ADD = true`) or subtracting, and clears the planes.
+#[inline]
+fn flush_planar_signed<const ADD: bool>(
+    planes: &mut [Vec<u64>; TYPES],
+    words: usize,
+    neurons: usize,
+    counts: &mut [u16],
+) {
+    for (ty, stack) in planes.iter_mut().enumerate() {
+        let base = ty * neurons;
+        for (k, plane) in stack.chunks_exact_mut(words).enumerate() {
+            let weight = 1u16 << k;
+            for (w, word) in plane.iter_mut().enumerate() {
+                let mut bits = std::mem::take(word);
+                while bits != 0 {
+                    let neuron = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if ADD {
+                        counts[base + neuron] += weight;
+                    } else {
+                        counts[base + neuron] -= weight;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl LaneSwarKernel {
+    /// A kernel for rows of `neurons` columns across `lanes` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= lanes <= 64` (lane sets travel as `u64` masks).
+    pub fn new(neurons: usize, lanes: usize) -> LaneSwarKernel {
+        assert!((1..=64).contains(&lanes), "lanes must be in 1..=64");
+        LaneSwarKernel {
+            words: neurons.div_ceil(64),
+            neurons,
+            lanes,
+            shared: Default::default(),
+            pos: (0..lanes).map(|_| Default::default()).collect(),
+            miss: (0..lanes).map(|_| Default::default()).collect(),
+            scratch: vec![0; neurons * TYPES],
+        }
+    }
+
+    /// Number of lanes this kernel serves.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Adds one axon row of type `ty`, active in the lanes of `mask`,
+    /// where `universe` is the set of lanes fused for this core (the
+    /// lanes that will be flushed). Chooses direct vs complement
+    /// insertion by cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not exactly `words_per_row` long, `mask` is not
+    /// a subset of `universe`, or `universe` addresses lanes beyond the
+    /// kernel's lane count.
+    #[inline]
+    pub fn accumulate_row_lanes(&mut self, ty: usize, row: &[u64], mask: u64, universe: u64) {
+        assert_eq!(row.len(), self.words, "row width mismatch");
+        assert_eq!(
+            mask & !universe,
+            0,
+            "mask must be within the fused universe"
+        );
+        if self.lanes < 64 {
+            assert_eq!(universe >> self.lanes, 0, "universe beyond lane count");
+        }
+        if mask == 0 {
+            return;
+        }
+        let k = mask.count_ones() as u64;
+        let l = universe.count_ones() as u64;
+        if 2 * k <= l + 1 {
+            // Direct: insert into each active lane's positive stack.
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                insert_row(&mut self.pos[lane][ty], self.words, row);
+            }
+        } else {
+            // Complement: one shared insert plus per-missing-lane fixups.
+            insert_row(&mut self.shared[ty], self.words, row);
+            let mut m = universe & !mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                insert_row(&mut self.miss[lane][ty], self.words, row);
+            }
+        }
+    }
+
+    /// Flushes the shared stack into the internal planar scratch. Call
+    /// once per tick, after all rows and before any [`Self::flush_lane`].
+    pub fn flush_shared(&mut self) {
+        self.scratch.fill(0);
+        flush_planar_signed::<true>(
+            &mut self.shared,
+            self.words,
+            self.neurons,
+            &mut self.scratch,
+        );
+    }
+
+    /// Materialises one lane's exact type-major planar counts
+    /// (`shared + pos - miss`) into `counts` and clears that lane's
+    /// stacks. Requires a prior [`Self::flush_shared`] this tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is not `4 × neurons` long or `lane` is out of
+    /// range.
+    pub fn flush_lane(&mut self, lane: usize, counts: &mut [u16]) {
+        counts.copy_from_slice(&self.scratch);
+        flush_planar_signed::<true>(&mut self.pos[lane], self.words, self.neurons, counts);
+        flush_planar_signed::<false>(&mut self.miss[lane], self.words, self.neurons, counts);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +465,135 @@ mod tests {
         let mut residue = vec![0u16; neurons * TYPES];
         b.flush_planar(&mut residue);
         assert!(residue.iter().all(|&c| c == 0));
+    }
+
+    /// Reference for the lane kernel: one independent solo kernel per
+    /// lane, each fed exactly the rows whose mask includes it.
+    fn lane_reference(
+        xb: &Crossbar,
+        types: &[usize],
+        events: &[(usize, u64)],
+        lanes: usize,
+    ) -> Vec<Vec<u16>> {
+        (0..lanes)
+            .map(|lane| {
+                let mut k = SwarKernel::new(xb.neurons());
+                for &(axon, mask) in events {
+                    if mask & (1 << lane) != 0 {
+                        k.accumulate_row(types[axon], xb.row_words(axon));
+                    }
+                }
+                let mut counts = vec![0u16; xb.neurons() * TYPES];
+                k.flush_planar(&mut counts);
+                counts
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_kernel_matches_independent_solo_kernels() {
+        // Random crossbar, random per-axon lane masks over varying lane
+        // counts: every lane's flushed counts must equal an independent
+        // solo kernel fed the same rows — covering both the direct and
+        // complement insertion modes (masks from sparse to near-full).
+        let mut rng = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for &lanes in &[1usize, 2, 3, 8, 13] {
+            let neurons = 130; // two words plus a two-bit tail
+            let axons = 48;
+            let mut xb = Crossbar::new(axons, neurons);
+            let types: Vec<usize> = (0..axons).map(|a| (a * 7) % TYPES).collect();
+            for a in 0..axons {
+                for n in 0..neurons {
+                    if next() % 3 == 0 {
+                        xb.set(a, n, true);
+                    }
+                }
+            }
+            let universe = if lanes == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            };
+            let events: Vec<(usize, u64)> = (0..axons)
+                .map(|a| {
+                    // Mix sparse, dense, full, and empty masks.
+                    let mask = match a % 4 {
+                        0 => next() & universe,
+                        1 => universe,
+                        2 => universe & !(1 << (next() as usize % lanes)),
+                        _ => (1 << (next() as usize % lanes)) & universe,
+                    };
+                    (a, mask)
+                })
+                .collect();
+            let mut kernel = LaneSwarKernel::new(neurons, lanes);
+            for &(axon, mask) in &events {
+                kernel.accumulate_row_lanes(types[axon], xb.row_words(axon), mask, universe);
+            }
+            kernel.flush_shared();
+            let reference = lane_reference(&xb, &types, &events, lanes);
+            let mut counts = vec![0u16; neurons * TYPES];
+            for (lane, expected) in reference.iter().enumerate() {
+                kernel.flush_lane(lane, &mut counts);
+                assert_eq!(&counts, expected, "lanes={lanes} lane={lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernel_clears_between_ticks_and_honours_partial_universes() {
+        // Tick 1 fuses lanes {0,2} only; tick 2 fuses all lanes. No
+        // residue may leak across ticks, and lanes outside the universe
+        // must never accumulate state.
+        let neurons = 70;
+        let mut xb = Crossbar::new(6, neurons);
+        for a in 0..6 {
+            for n in 0..neurons {
+                if (a + n) % 2 == 0 {
+                    xb.set(a, n, true);
+                }
+            }
+        }
+        let types = [0usize, 1, 2, 3, 0, 1];
+        let mut kernel = LaneSwarKernel::new(neurons, 3);
+
+        // Tick 1: universe {0,2}; axons 0..4 active in both, axon 4 only
+        // in lane 2 (forces a complement insert with a miss for lane 0).
+        let u1 = 0b101;
+        for (a, &ty) in types.iter().enumerate().take(4) {
+            kernel.accumulate_row_lanes(ty, xb.row_words(a), u1, u1);
+        }
+        kernel.accumulate_row_lanes(types[4], xb.row_words(4), 0b100, u1);
+        kernel.flush_shared();
+        let r1 = lane_reference(
+            &xb,
+            &types,
+            &[(0, u1), (1, u1), (2, u1), (3, u1), (4, 0b100)],
+            3,
+        );
+        let mut counts = vec![0u16; neurons * TYPES];
+        for lane in [0usize, 2] {
+            kernel.flush_lane(lane, &mut counts);
+            assert_eq!(counts, r1[lane], "tick1 lane={lane}");
+        }
+
+        // Tick 2: full universe, different activity. All three lanes
+        // must read exactly their own reference — in particular lane 1,
+        // which was outside tick 1's universe.
+        let u2 = 0b111;
+        kernel.accumulate_row_lanes(types[5], xb.row_words(5), 0b011, u2);
+        kernel.accumulate_row_lanes(types[0], xb.row_words(0), 0b110, u2);
+        kernel.flush_shared();
+        let r2 = lane_reference(&xb, &types, &[(5, 0b011), (0, 0b110)], 3);
+        for (lane, expected) in r2.iter().enumerate() {
+            kernel.flush_lane(lane, &mut counts);
+            assert_eq!(&counts, expected, "tick2 lane={lane}");
+        }
     }
 }

@@ -177,70 +177,197 @@ pub fn deterministic_scan_uniform(
     counts: &[u16],
     flags: &mut [u8],
 ) {
-    const LO: i32 = POTENTIAL_MIN;
-    const HI: i32 = POTENTIAL_MAX;
     let n = potentials.len();
     assert_eq!(counts.len(), AXON_TYPES * n, "counts must be 4 planar rows");
     assert_eq!(flags.len(), n, "one flag byte per neuron");
     debug_assert!(p.scan_safe(), "parameters out of scan range");
-    let [w0, w1, w2, w3] = p.weights;
-    // Saturating the widened thresholds back into the i32 domain preserves
-    // every comparison: a threshold above `HI` can never be crossed (v ≤
-    // HI < HI+1), and a floor at or below `LO − 1` can never be undershot.
-    let th = p.threshold.min(HI as i64 + 1) as i32;
-    let floor = p.neg_floor.max(LO as i64 - 1) as i32;
-    let leak = p.leak;
-    let reversal = p.leak_reversal;
-    let leak_zero = leak == 0;
-    let mode_abs = p.reset_mode == ResetMode::Absolute;
-    let mode_lin = p.reset_mode == ResetMode::Linear;
-    let neg_sat = p.negative_mode == NegativeThresholdMode::Saturate;
-    let reset = p.reset_potential;
-    // The scalar path computes `-(reset as i64)` and truncates to i32;
-    // wrapping negation reproduces that truncation at the i32::MIN edge.
-    let neg_reset = reset.wrapping_neg();
-    // Loop-invariant lane selectors, hoisted as all-ones/all-zero masks so
-    // the loop body is pure straight-line lane arithmetic.
-    let abs_mask = -(i32::from(mode_abs));
-    let lin_mask = -(i32::from(mode_lin));
-    let none_mask = !(abs_mask | lin_mask);
-    let reversal_mask = -(i32::from(reversal));
-    let under_value = if neg_sat { floor } else { neg_reset };
+    let consts = ScanConsts::new(p);
     let (c0, rest) = counts.split_at(n);
     let (c1, rest) = rest.split_at(n);
     let (c2, c3) = rest.split_at(n);
-    let lanes = potentials
-        .iter_mut()
-        .zip(c0)
-        .zip(c1)
-        .zip(c2)
-        .zip(c3)
-        .zip(flags.iter_mut());
-    for (((((slot, &ca), &cb), &cc), &cd), flag) in lanes {
-        let mut v = *slot;
-        // Same contribution order and per-type saturation points as the
-        // scalar `integrate_count` sequence, in lane-friendly i32.
-        v = (v + w0 * i32::from(ca)).clamp(LO, HI);
-        v = (v + w1 * i32::from(cb)).clamp(LO, HI);
-        v = (v + w2 * i32::from(cc)).clamp(LO, HI);
-        v = (v + w3 * i32::from(cd)).clamp(LO, HI);
-        // A zero leak contributes zero and the clamp is a no-op (v is
-        // already in range), so applying it unconditionally is identical
-        // to the scalar `if leak != 0` guard. Under reversal the leak is
-        // steered by sign(v); the mask select keeps both shapes branchless.
-        let s = (v.signum() & reversal_mask) | (1 & !reversal_mask);
-        v = (v + leak * s).clamp(LO, HI);
-        let fired = v >= th;
-        // When fired, th equals the exact threshold (≤ v ≤ HI), so the
-        // linear reset is exact; when not fired the value is discarded.
-        let lin = (v - th).clamp(LO, HI);
-        let v_fire = (abs_mask & reset) | (lin_mask & lin) | (none_mask & v);
-        v = if fired { v_fire } else { v };
-        v = if v < floor { under_value } else { v };
-        *slot = v;
-        let leak_fixed = leak_zero | (reversal & (v == 0));
-        let quiescent = leak_fixed & (v < th) & (v >= floor);
-        *flag = u8::from(fired) | (u8::from(!quiescent) << 1);
+    consts.scan(potentials, c0, c1, c2, c3, flags);
+}
+
+/// The loop-invariant constants of the uniform scan, hoisted once per
+/// call: saturated i32 thresholds and the branch-free lane-selector masks.
+/// Shared verbatim by the solo scan and the batched lane sweep so the two
+/// are the same update, not two implementations that happen to agree.
+struct ScanConsts {
+    w0: i32,
+    w1: i32,
+    w2: i32,
+    w3: i32,
+    th: i32,
+    floor: i32,
+    leak: i32,
+    leak_zero: bool,
+    reversal: bool,
+    abs_mask: i32,
+    lin_mask: i32,
+    none_mask: i32,
+    reversal_mask: i32,
+    under_value: i32,
+    reset: i32,
+}
+
+impl ScanConsts {
+    fn new(p: &DeterministicParams) -> ScanConsts {
+        const LO: i32 = POTENTIAL_MIN;
+        const HI: i32 = POTENTIAL_MAX;
+        let [w0, w1, w2, w3] = p.weights;
+        // Saturating the widened thresholds back into the i32 domain
+        // preserves every comparison: a threshold above `HI` can never be
+        // crossed (v ≤ HI < HI+1), and a floor at or below `LO − 1` can
+        // never be undershot.
+        let th = p.threshold.min(HI as i64 + 1) as i32;
+        let floor = p.neg_floor.max(LO as i64 - 1) as i32;
+        let leak = p.leak;
+        let reversal = p.leak_reversal;
+        let mode_abs = p.reset_mode == ResetMode::Absolute;
+        let mode_lin = p.reset_mode == ResetMode::Linear;
+        let neg_sat = p.negative_mode == NegativeThresholdMode::Saturate;
+        let reset = p.reset_potential;
+        // The scalar path computes `-(reset as i64)` and truncates to i32;
+        // wrapping negation reproduces that truncation at the i32::MIN edge.
+        let neg_reset = reset.wrapping_neg();
+        // Loop-invariant lane selectors, hoisted as all-ones/all-zero masks
+        // so the loop body is pure straight-line lane arithmetic.
+        let abs_mask = -(i32::from(mode_abs));
+        let lin_mask = -(i32::from(mode_lin));
+        ScanConsts {
+            w0,
+            w1,
+            w2,
+            w3,
+            th,
+            floor,
+            leak,
+            leak_zero: leak == 0,
+            reversal,
+            abs_mask,
+            lin_mask,
+            none_mask: !(abs_mask | lin_mask),
+            reversal_mask: -(i32::from(reversal)),
+            under_value: if neg_sat { floor } else { neg_reset },
+            reset,
+        }
+    }
+
+    /// The vectorisable inner loop over one contiguous run of neurons.
+    /// Pure per-neuron arithmetic: scanning a population in any slicing
+    /// (whole, or 64-neuron blocks interleaved across lanes) produces
+    /// bit-identical results.
+    #[inline]
+    fn scan(
+        &self,
+        potentials: &mut [i32],
+        c0: &[u16],
+        c1: &[u16],
+        c2: &[u16],
+        c3: &[u16],
+        flags: &mut [u8],
+    ) {
+        const LO: i32 = POTENTIAL_MIN;
+        const HI: i32 = POTENTIAL_MAX;
+        let lanes = potentials
+            .iter_mut()
+            .zip(c0)
+            .zip(c1)
+            .zip(c2)
+            .zip(c3)
+            .zip(flags.iter_mut());
+        for (((((slot, &ca), &cb), &cc), &cd), flag) in lanes {
+            let mut v = *slot;
+            // Same contribution order and per-type saturation points as the
+            // scalar `integrate_count` sequence, in lane-friendly i32.
+            v = (v + self.w0 * i32::from(ca)).clamp(LO, HI);
+            v = (v + self.w1 * i32::from(cb)).clamp(LO, HI);
+            v = (v + self.w2 * i32::from(cc)).clamp(LO, HI);
+            v = (v + self.w3 * i32::from(cd)).clamp(LO, HI);
+            // A zero leak contributes zero and the clamp is a no-op (v is
+            // already in range), so applying it unconditionally is identical
+            // to the scalar `if leak != 0` guard. Under reversal the leak is
+            // steered by sign(v); the mask select keeps both shapes
+            // branchless.
+            let s = (v.signum() & self.reversal_mask) | (1 & !self.reversal_mask);
+            v = (v + self.leak * s).clamp(LO, HI);
+            let fired = v >= self.th;
+            // When fired, th equals the exact threshold (≤ v ≤ HI), so the
+            // linear reset is exact; when not fired the value is discarded.
+            let lin = (v - self.th).clamp(LO, HI);
+            let v_fire =
+                (self.abs_mask & self.reset) | (self.lin_mask & lin) | (self.none_mask & v);
+            v = if fired { v_fire } else { v };
+            v = if v < self.floor { self.under_value } else { v };
+            *slot = v;
+            let leak_fixed = self.leak_zero | (self.reversal & (v == 0));
+            let quiescent = leak_fixed & (v < self.th) & (v >= self.floor);
+            *flag = u8::from(fired) | (u8::from(!quiescent) << 1);
+        }
+    }
+}
+
+/// One replica lane's state views for the batched uniform scan
+/// ([`deterministic_scan_uniform_lanes`]): the lane's membrane potentials,
+/// its type-major planar counts (`4 × n`), and its output flag bytes.
+#[derive(Debug)]
+pub struct LaneScan<'a> {
+    /// The lane's membrane potentials, updated in place.
+    pub potentials: &'a mut [i32],
+    /// The lane's planar per-type event counts (`counts[ty*n..(ty+1)*n]`).
+    pub counts: &'a [u16],
+    /// One [`SCAN_FIRED`]/[`SCAN_UNSETTLED`] flag byte per neuron, written.
+    pub flags: &'a mut [u8],
+}
+
+/// The batched-lane uniform scan: one deterministic tick over `lanes`
+/// replica populations that share a single parameter block, sweeping every
+/// lane's copy of a 64-neuron block before moving to the next block — the
+/// chip-major traversal that keeps the batch's working set of one block
+/// resident across lanes.
+///
+/// Bit-identical per lane to [`deterministic_scan_uniform`] on that lane
+/// alone: the inner loop is the same [`ScanConsts::scan`] body, and the
+/// update is pure per neuron, so block order cannot change any result.
+///
+/// # Panics
+///
+/// Panics if the lanes disagree on population size, a lane's slice lengths
+/// disagree, or (debug only) if the parameters fail
+/// [`DeterministicParams::scan_safe`].
+pub fn deterministic_scan_uniform_lanes(p: &DeterministicParams, lanes: &mut [LaneScan<'_>]) {
+    let Some(first) = lanes.first() else {
+        return;
+    };
+    let n = first.potentials.len();
+    for lane in lanes.iter() {
+        assert_eq!(lane.potentials.len(), n, "lanes must agree on population");
+        assert_eq!(
+            lane.counts.len(),
+            AXON_TYPES * n,
+            "counts must be 4 planar rows"
+        );
+        assert_eq!(lane.flags.len(), n, "one flag byte per neuron");
+    }
+    debug_assert!(p.scan_safe(), "parameters out of scan range");
+    let consts = ScanConsts::new(p);
+    let mut start = 0;
+    while start < n {
+        let end = (start + 64).min(n);
+        for lane in lanes.iter_mut() {
+            let (c0, rest) = lane.counts.split_at(n);
+            let (c1, rest) = rest.split_at(n);
+            let (c2, c3) = rest.split_at(n);
+            consts.scan(
+                &mut lane.potentials[start..end],
+                &c0[start..end],
+                &c1[start..end],
+                &c2[start..end],
+                &c3[start..end],
+                &mut lane.flags[start..end],
+            );
+        }
+        start = end;
     }
 }
 
@@ -463,6 +590,78 @@ mod tests {
             }
             deterministic_scan_uniform(&p, &mut potentials, &counts, &mut flags);
             assert_eq!(potentials, expected, "round {round} potentials");
+            assert_eq!(flags, expected_flags, "round {round} flags");
+        }
+    }
+
+    /// The batched lane sweep against the solo scan, lane by lane: with
+    /// random scan-safe parameters and per-lane random state, every lane's
+    /// potentials and flags must match an independent solo scan exactly —
+    /// across ragged population sizes that exercise partial 64-blocks.
+    #[test]
+    fn lane_sweep_matches_solo_scan_per_lane() {
+        let mut rng = Lfsr::new(0xBEEF);
+        for round in 0..50 {
+            let cfg = NeuronConfig::builder()
+                .weight(
+                    AxonType::A0,
+                    Weight::saturating(rng.next_u32() as i32 % 256),
+                )
+                .weight(
+                    AxonType::A1,
+                    Weight::saturating(-(rng.next_u32() as i32 % 256)),
+                )
+                .threshold(1 + rng.next_u32() % 10_000)
+                .leak(rng.next_u32() as i32 % 9 - 4)
+                .leak_reversal(rng.next_u32().is_multiple_of(2))
+                .reset_mode(
+                    [ResetMode::Absolute, ResetMode::Linear, ResetMode::None]
+                        [rng.next_u32() as usize % 3],
+                )
+                .negative_threshold(rng.next_u32() % 10_000)
+                .build()
+                .unwrap();
+            let p = cfg.deterministic_params().expect("deterministic");
+            let lanes_n = [1usize, 2, 3, 8][round % 4];
+            let n = 1 + rng.next_u32() as usize % 193;
+            let span = (POTENTIAL_MAX as i64 - POTENTIAL_MIN as i64 + 1) as u32;
+            let mut potentials: Vec<Vec<i32>> = (0..lanes_n)
+                .map(|_| {
+                    (0..n)
+                        .map(|_| POTENTIAL_MIN + (rng.next_u32() % span) as i32)
+                        .collect()
+                })
+                .collect();
+            let counts: Vec<Vec<u16>> = (0..lanes_n)
+                .map(|_| {
+                    (0..AXON_TYPES * n)
+                        .map(|_| (rng.next_u32() % 300) as u16)
+                        .collect()
+                })
+                .collect();
+            let mut flags: Vec<Vec<u8>> = vec![vec![0u8; n]; lanes_n];
+            let mut expected_potentials = potentials.clone();
+            let mut expected_flags = flags.clone();
+            for lane in 0..lanes_n {
+                deterministic_scan_uniform(
+                    &p,
+                    &mut expected_potentials[lane],
+                    &counts[lane],
+                    &mut expected_flags[lane],
+                );
+            }
+            let mut views: Vec<LaneScan<'_>> = potentials
+                .iter_mut()
+                .zip(&counts)
+                .zip(flags.iter_mut())
+                .map(|((potentials, counts), flags)| LaneScan {
+                    potentials,
+                    counts,
+                    flags,
+                })
+                .collect();
+            deterministic_scan_uniform_lanes(&p, &mut views);
+            assert_eq!(potentials, expected_potentials, "round {round} potentials");
             assert_eq!(flags, expected_flags, "round {round} flags");
         }
     }

@@ -657,6 +657,7 @@ fn arb_workload_def() -> impl Strategy<Value = WorkloadDef> {
                 measure: 8,
                 overlay,
                 smoke: true,
+                batch: false,
                 check_factor: 1.25,
                 checksum: None,
             },
@@ -709,5 +710,115 @@ proptest! {
             declared,
             edges
         );
+    }
+}
+
+use brainsim::chip::ChipBatch;
+use brainsim_bench::sweep::lane_drive_seed;
+
+/// One tick's Bernoulli drive words for one core, drawn in ascending axon
+/// order from `noise` — the corpus drive protocol.
+fn drive_words(noise: &mut Lfsr, axons: usize, rate: u32) -> Vec<u64> {
+    (0..axons.div_ceil(64))
+        .map(|w| {
+            let lanes = (axons - w * 64).min(64);
+            let mut bits = 0u64;
+            for b in 0..lanes {
+                bits |= u64::from(noise.bernoulli_256(rate)) << b;
+            }
+            bits
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For random corpus-shaped chips, any lane count, and any fault
+    /// overlay — plus one lane carrying an extra crossbar-burning plan of
+    /// its own — every `ChipBatch` lane is bit-identical to a solo chip
+    /// with the same seed, drive, and plans: per-tick summaries, final
+    /// census, fault statistics, and full checkpoint bytes. Midway, every
+    /// lane is round-tripped through `checkpoint_lane`/`restore_lane` and
+    /// every twin through `checkpoint`/`restore`, which must neither
+    /// break lockstep nor open any lane-vs-twin gap. (Both sides restore
+    /// because a restore re-arms the link injector from the retained —
+    /// i.e. last-applied — plan; a lane that stacked a second plan over
+    /// the overlay must shed the overlay's link faults exactly as its
+    /// solo twin does.)
+    #[test]
+    fn batched_lanes_are_bit_identical_to_solo_twins(
+        def in arb_workload_def(),
+        lanes in prop_oneof![Just(2usize), Just(3), Just(8)],
+    ) {
+        let (mut proto, _) =
+            build_workload(&def, EvalStrategy::Swar, CoreScheduling::Sweep, 1);
+        if let Some(plan) = def.fault_plan() {
+            proto.set_fault_plan(&plan);
+        }
+        let mut batch = ChipBatch::new_replicas(&proto, lanes)
+            .expect("lane count in 1..=64");
+        let mut twins: Vec<Chip> = vec![proto.clone(); lanes];
+        // The last lane additionally burns its own synapse faults — the
+        // divergence case that must fall back to the solo path unfused.
+        let extra = FaultPlan::new(u64::from(def.seed) ^ 0x0BAD_CAB1E)
+            .with_synapse_stuck_one(0.02)
+            .with_synapse_stuck_zero(0.02);
+        batch.set_fault_plan_lane(lanes - 1, &extra);
+        twins[lanes - 1].set_fault_plan(&extra);
+
+        let mut noises: Vec<Lfsr> = (0..lanes)
+            .map(|lane| Lfsr::new(lane_drive_seed(&def, lane)))
+            .collect();
+        let mut twin_noises = noises.clone();
+        for tick in 0..def.ticks() {
+            if tick == def.ticks() / 2 {
+                for (lane, twin) in twins.iter_mut().enumerate() {
+                    let snap = batch.checkpoint_lane(lane);
+                    prop_assert!(batch.restore_lane(lane, snap).is_ok());
+                    let twin_snap = twin.checkpoint();
+                    *twin = Chip::restore(twin_snap).expect("twin restores");
+                }
+            }
+            let t = batch.now();
+            for lane in 0..lanes {
+                for index in 0..def.structured() {
+                    let (x, y) = (index % def.width, index / def.width);
+                    for (w, bits) in
+                        drive_words(&mut noises[lane], def.axons, def.drive_rate)
+                            .into_iter()
+                            .enumerate()
+                    {
+                        if bits != 0 {
+                            batch.inject_word(lane, x, y, w, bits, t).expect("inject");
+                        }
+                    }
+                    for (w, bits) in
+                        drive_words(&mut twin_noises[lane], def.axons, def.drive_rate)
+                            .into_iter()
+                            .enumerate()
+                    {
+                        if bits != 0 {
+                            twins[lane].inject_word(x, y, w, bits, t).expect("inject");
+                        }
+                    }
+                }
+            }
+            let summaries = batch.try_tick().expect("batch tick");
+            for (lane, twin) in twins.iter_mut().enumerate() {
+                let solo = twin.try_tick().expect("twin tick");
+                prop_assert_eq!(&summaries[lane], &solo, "lane {} tick {}", lane, t);
+            }
+        }
+        for (lane, twin) in twins.iter().enumerate() {
+            prop_assert_eq!(batch.lane(lane).census(), twin.census());
+            prop_assert_eq!(batch.lane(lane).fault_stats(), twin.fault_stats());
+            prop_assert_eq!(
+                batch.checkpoint_lane(lane).to_bytes(),
+                twin.checkpoint().to_bytes(),
+                "lane {} full state diverged from its solo twin",
+                lane
+            );
+        }
     }
 }
