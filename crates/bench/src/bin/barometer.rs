@@ -6,15 +6,26 @@
 //!
 //! Usage:
 //!
-//! * `barometer measure [--out FILE] [--smoke]` — sweep the corpus (and
-//!   the checkpoint/recovery ops workloads), verify conformance, write
-//!   records (default `BENCH_barometer.jsonl`) and print the ranked
-//!   summary to stderr.
-//! * `barometer check <baseline.jsonl> [--smoke]` — re-measure and compare
-//!   per (workload, variant): exits non-zero on census divergence, lost
-//!   coverage, or timing regression beyond each record's `check_factor`
+//! * `barometer measure [--out FILE] [--smoke] [--only A,B] [--reps N]
+//!   [--ticks N]` — sweep the corpus (and the checkpoint/recovery ops
+//!   workloads), verify conformance, write records (default
+//!   `BENCH_barometer.jsonl`) and print the ranked summary to stderr.
+//!   `--reps` sets the best-of-N pass count per timed variant; `--ticks`
+//!   overrides every entry's measured window for quick local iteration
+//!   (the pin comparison is skipped, so such records must not be
+//!   committed as the baseline).
+//! * `barometer check <baseline.jsonl> [--smoke] [--only A,B]
+//!   [--mem-only]` — re-measure and compare per (workload, variant):
+//!   exits non-zero on census divergence, lost coverage, peak-RSS
+//!   regression, or timing regression beyond each record's `check_factor`
 //!   (timing is advisory when the baseline came from a different host
-//!   shape — see the `cpus_mismatch` verdict field). The CI bench gate.
+//!   shape — see the `cpus_mismatch` verdict field; memory never is). The
+//!   CI bench gate; `--only` restricts it to named workloads (the
+//!   memory-conformance CI leg runs just the two 64×64 full-silicon
+//!   entries). `--mem-only` makes *all* timing verdicts advisory while
+//!   still failing on census or memory divergence — for legs whose build
+//!   deliberately changes the kernel's speed (force-scalar) but must not
+//!   change its residency.
 //! * `barometer summary <records.jsonl>` — render the ranked markdown
 //!   summary for an existing record file (the EXPERIMENTS.md table).
 //! * `barometer pin` — run the conformance matrix over every corpus entry
@@ -25,32 +36,59 @@ use std::process::ExitCode;
 
 use brainsim_bench::corpus::{self, WorkloadDef};
 use brainsim_bench::record::{from_jsonl, to_jsonl, Host, Record};
+use brainsim_bench::sweep::SweepOptions;
 use brainsim_bench::{summary, sweep};
 
-fn selected(smoke: bool) -> Vec<WorkloadDef> {
+/// Workload selection shared by every subcommand: the `--smoke` subset
+/// intersected with an optional `--only` comma-separated name list.
+fn selected(smoke: bool, only: Option<&str>) -> Vec<WorkloadDef> {
+    let names: Option<Vec<&str>> = only.map(|o| o.split(',').map(str::trim).collect());
     corpus::corpus()
         .into_iter()
         .filter(|d| !smoke || d.smoke)
+        .filter(|d| names.as_ref().is_none_or(|n| n.contains(&d.name)))
         .collect()
+}
+
+/// Parses the value of a `--flag VALUE` pair.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 /// Sweeps the selected corpus plus the ops workloads, verifying
 /// conformance entry by entry. Returns `None` (after reporting) if any
-/// entry fails conformance.
-fn measure_all(smoke: bool, host: Host) -> Option<Vec<Record>> {
+/// entry fails conformance. A `--only` selection skips the ops workloads
+/// — they have no corpus names to select by.
+fn measure_all(
+    smoke: bool,
+    only: Option<&str>,
+    opts: SweepOptions,
+    host: Host,
+) -> Option<Vec<Record>> {
     let mut records = Vec::new();
     let mut failed = false;
-    for def in selected(smoke) {
+    for def in selected(smoke, only) {
         eprintln!(
             "[barometer] {} ({} cores): conformance × {} variants",
             def.name,
             def.cores(),
             sweep::conformance_matrix().len(),
         );
-        match sweep::sweep_workload(&def, host) {
+        match sweep::sweep_workload_opts(&def, host, opts) {
             Ok(rows) => {
                 for r in &rows {
-                    eprintln!("  {:<28} {:>14.0} {}", r.variant, r.value, r.unit);
+                    eprintln!(
+                        "  {:<28} {:>14.0} {}{}",
+                        r.variant,
+                        r.value,
+                        r.unit,
+                        r.peak_rss_bytes
+                            .map(|b| format!("  (peak rss {:.1} MiB)", b as f64 / (1 << 20) as f64))
+                            .unwrap_or_default(),
+                    );
                 }
                 records.extend(rows);
             }
@@ -66,7 +104,7 @@ fn measure_all(smoke: bool, host: Host) -> Option<Vec<Record>> {
                 def.name,
                 sweep::BATCH_LANES,
             );
-            match sweep::batch_records(&def, host) {
+            match sweep::batch_records_opts(&def, host, opts) {
                 Ok(rows) => {
                     for r in &rows {
                         eprintln!(
@@ -83,13 +121,15 @@ fn measure_all(smoke: bool, host: Host) -> Option<Vec<Record>> {
             }
         }
     }
-    let checkpoint_def = corpus::find("nemo_8x8_lo").expect("corpus has nemo_8x8_lo");
-    for r in sweep::checkpoint_records(&checkpoint_def, host)
-        .into_iter()
-        .chain(sweep::recovery_records(host))
-    {
-        eprintln!("  {:<28} {:>14.0} {}", r.variant, r.value, r.unit);
-        records.push(r);
+    if only.is_none() {
+        let checkpoint_def = corpus::find("nemo_8x8_lo").expect("corpus has nemo_8x8_lo");
+        for r in sweep::checkpoint_records(&checkpoint_def, host)
+            .into_iter()
+            .chain(sweep::recovery_records(host))
+        {
+            eprintln!("  {:<28} {:>14.0} {}", r.variant, r.value, r.unit);
+            records.push(r);
+        }
     }
     (!failed).then_some(records)
 }
@@ -97,22 +137,51 @@ fn measure_all(smoke: bool, host: Host) -> Option<Vec<Record>> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let only = flag_value(&args, "--only");
+    let mut opts = SweepOptions::default();
+    if let Some(reps) = flag_value(&args, "--reps") {
+        match reps.parse::<u32>() {
+            Ok(n) if n > 0 => opts.reps = n,
+            _ => {
+                eprintln!("[barometer] --reps expects a positive integer, got {reps:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(ticks) = flag_value(&args, "--ticks") {
+        match ticks.parse::<u64>() {
+            Ok(n) if n > 0 => opts.ticks = Some(n),
+            _ => {
+                eprintln!("[barometer] --ticks expects a positive integer, got {ticks:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if only.is_some() && selected(smoke, only).is_empty() {
+        eprintln!("[barometer] --only matched no corpus entries");
+        return ExitCode::FAILURE;
+    }
     let host = Host::detect();
     match args.first().map(String::as_str) {
         Some("measure") | None => {
-            let out = args
-                .iter()
-                .position(|a| a == "--out")
-                .and_then(|i| args.get(i + 1))
-                .cloned()
-                .unwrap_or_else(|| "BENCH_barometer.jsonl".to_string());
+            let out = flag_value(&args, "--out")
+                .unwrap_or("BENCH_barometer.jsonl")
+                .to_string();
+            if opts.ticks.is_some() {
+                eprintln!(
+                    "[barometer] --ticks override active: checksums are unpinned and the \
+                     records are not comparable to the committed baseline"
+                );
+            }
             // Refuse to clobber a record file this build cannot even
-            // parse: a head line of a different schema version means the
+            // parse: a head line of an unreadable schema version means the
             // existing records came from an incompatible toolchain, and
             // replacing them would silently discard that baseline.
+            // Readable older schemas (schema 1) are overwritten — that is
+            // the migration path to the current schema.
             if let Ok(existing) = std::fs::read_to_string(&out) {
                 let head = brainsim_bench::record::head_schema(&existing);
-                if head.is_some_and(|v| v != brainsim_bench::record::SCHEMA_VERSION) {
+                if head.is_some_and(|v| !brainsim_bench::record::schema_readable(v)) {
                     eprintln!(
                         "[barometer] refusing to overwrite {out}: its records are schema {}, \
                          this barometer writes schema {} — move the file aside or migrate it",
@@ -122,7 +191,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            let Some(records) = measure_all(smoke, host) else {
+            let Some(records) = measure_all(smoke, only, opts, host) else {
                 return ExitCode::FAILURE;
             };
             if let Err(e) = std::fs::write(&out, to_jsonl(&records)) {
@@ -146,29 +215,31 @@ fn main() -> ExitCode {
                 }
             };
             let mut baseline = from_jsonl(&text);
-            if smoke {
-                let names: Vec<&str> = selected(true).iter().map(|d| d.name).collect();
+            if smoke || only.is_some() {
+                let names: Vec<&str> = selected(smoke, only).iter().map(|d| d.name).collect();
                 baseline.retain(|r| {
                     names.contains(&r.workload.as_str())
-                        || r.workload == "chip_checkpoint"
-                        || r.workload == "chip_recovery"
+                        || (only.is_none()
+                            && (r.workload == "chip_checkpoint" || r.workload == "chip_recovery"))
                 });
             }
             if baseline.is_empty() {
-                eprintln!(
-                    "[barometer] no schema-{} records in {path}",
-                    brainsim_bench::record::SCHEMA_VERSION
-                );
+                eprintln!("[barometer] no readable records in {path} after selection");
                 return ExitCode::FAILURE;
             }
-            let Some(fresh) = measure_all(smoke, host) else {
+            let Some(fresh) = measure_all(smoke, only, opts, host) else {
                 return ExitCode::FAILURE;
             };
+            let mem_only = args.iter().any(|a| a == "--mem-only");
             let verdicts = sweep::check(&baseline, &fresh, host);
             let mut failed = false;
             for v in &verdicts {
                 println!("{}", v.to_line());
-                failed |= v.failing();
+                // Under --mem-only a timing regression is advisory by
+                // design (the leg's build intentionally trades speed);
+                // census and memory verdicts still gate.
+                failed |= v.failing()
+                    && !(mem_only && matches!(v.status, sweep::VerdictStatus::Regressed));
             }
             if failed {
                 eprintln!("[barometer] GATE FAILED");
@@ -200,11 +271,11 @@ fn main() -> ExitCode {
             // bit-identity, non-silence) is still enforced — only the pin
             // comparison itself is reported instead of failed. An optional
             // name argument restricts the run to one entry.
-            let only = args.get(1).filter(|a| !a.starts_with("--"));
+            let pin_only = args.get(1).filter(|a| !a.starts_with("--"));
             let mut failed = false;
-            for def in selected(smoke)
+            for def in selected(smoke, None)
                 .into_iter()
-                .filter(|d| only.is_none_or(|n| n == d.name))
+                .filter(|d| pin_only.is_none_or(|n| n == d.name))
             {
                 match sweep::verify_workload(&def) {
                     Ok(v) => {

@@ -228,6 +228,39 @@ pub fn build_workload(
     scheduling: CoreScheduling,
     threads: usize,
 ) -> (Chip, WorkloadStats) {
+    build_workload_layout(def, strategy, scheduling, threads, false)
+}
+
+/// Dense-storage twin of [`build_workload`]: the identical network drawn
+/// from the identical RNG stream, but with every storage-compression path
+/// deliberately defeated — each crossbar materialises owned words before
+/// programming (a transient set/clear leaves `Owned` zero storage instead
+/// of `Empty`), and neuron tables are written back-to-front so the
+/// uniform-front compression densifies on the first write. No core
+/// qualifies as dormant. The residency differential suites run this twin
+/// against the sparse build and require bit-identity; it is not a
+/// benchmarking variant.
+pub fn build_workload_dense(
+    def: &WorkloadDef,
+    strategy: EvalStrategy,
+    scheduling: CoreScheduling,
+    threads: usize,
+) -> (Chip, WorkloadStats) {
+    build_workload_layout(def, strategy, scheduling, threads, true)
+}
+
+/// Shared expansion behind the sparse/dense builds. `dense` must not
+/// change the structure RNG stream: destinations are always *drawn* in
+/// ascending neuron order (the corpus protocol) and only *written* in
+/// whichever order the layout demands, and the densifying crossbar
+/// touches use no randomness at all.
+fn build_workload_layout(
+    def: &WorkloadDef,
+    strategy: EvalStrategy,
+    scheduling: CoreScheduling,
+    threads: usize,
+    dense: bool,
+) -> (Chip, WorkloadStats) {
     let mut builder = ChipBuilder::new(ChipConfig {
         width: def.width,
         height: def.height,
@@ -247,12 +280,29 @@ pub fn build_workload(
         let (x, y) = (index % def.width, index / def.width);
         let core = builder.core_mut(x, y);
         core.strategy(strategy);
+        if dense {
+            // Materialise owned crossbar words up front: the set/clear
+            // pair flips one cell there and back, leaving `Owned` all-zero
+            // storage where the sparse build would keep `Empty`.
+            core.synapse(0, 0, true).expect("cell in range");
+            core.synapse(0, 0, false).expect("cell in range");
+        }
         if index >= structured {
             // Outside the island: no crossbar, no destinations — the core
             // is structurally silent and provably quiescent for the run.
-            for n in 0..def.neurons {
-                core.neuron(n, config.clone(), Destination::Disabled)
-                    .expect("neuron index in range");
+            // The dense twin programs the same table back-to-front: the
+            // first write at a non-zero index densifies it, so the core is
+            // never eligible for dormancy.
+            if dense {
+                for n in (0..def.neurons).rev() {
+                    core.neuron(n, config.clone(), Destination::Disabled)
+                        .expect("neuron index in range");
+                }
+            } else {
+                for n in 0..def.neurons {
+                    core.neuron(n, config.clone(), Destination::Disabled)
+                        .expect("neuron index in range");
+                }
             }
             continue;
         }
@@ -270,14 +320,18 @@ pub fn build_workload(
                 stats.synapses += u64::from(bits.count_ones());
             }
         }
-        for n in 0..def.neurons {
-            // Neuron 0 of every structured core exposes the raster on an
-            // output pad so the checksum observes real spike identity; the
-            // rest forward with the 80/20 intra/inter split.
-            let dest = if n == 0 {
-                stats.output_neurons += 1;
-                Destination::Output(index as u32)
-            } else {
+        // Destinations are drawn in ascending neuron order — the corpus
+        // RNG protocol — regardless of the order they are written in.
+        let dests: Vec<Destination> = (0..def.neurons)
+            .map(|n| {
+                // Neuron 0 of every structured core exposes the raster on
+                // an output pad so the checksum observes real spike
+                // identity; the rest forward with the 80/20 intra/inter
+                // split.
+                if n == 0 {
+                    stats.output_neurons += 1;
+                    return Destination::Output(index as u32);
+                }
                 let target = if structured == 1 || rng.bernoulli_256(def.intra) {
                     stats.intra_edges += 1;
                     index
@@ -296,9 +350,18 @@ pub fn build_workload(
                     axon: (rng.next_u32() as usize % def.axons) as u16,
                     delay: 1 + (rng.next_u32() % 4) as u8,
                 })
-            };
-            core.neuron(n, config.clone(), dest)
-                .expect("neuron index in range");
+            })
+            .collect();
+        if dense {
+            for n in (0..def.neurons).rev() {
+                core.neuron(n, config.clone(), dests[n])
+                    .expect("neuron index in range");
+            }
+        } else {
+            for n in 0..def.neurons {
+                core.neuron(n, config.clone(), dests[n])
+                    .expect("neuron index in range");
+            }
         }
     }
     let chip = builder.build().expect("corpus workload builds");

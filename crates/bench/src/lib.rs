@@ -15,6 +15,7 @@ use brainsim_neuron::{Lfsr, NeuronConfig, Weight};
 use brainsim_snn::{LifParams, SnnBuilder, SnnNetwork, SnnSource};
 
 pub mod corpus;
+pub mod mem;
 pub mod record;
 pub mod summary;
 pub mod sweep;
@@ -187,10 +188,7 @@ pub(crate) fn drive_core(chip: &mut Chip, noise: &mut Lfsr, x: usize, y: usize, 
     let axons = chip.config().core_axons;
     for word in 0..axons.div_ceil(64) {
         let lanes = (axons - word * 64).min(64);
-        let mut mask = 0u64;
-        for b in 0..lanes {
-            mask |= u64::from(noise.bernoulli_256(rate)) << b;
-        }
+        let mask = noise.bernoulli_mask(rate, lanes);
         if mask != 0 {
             chip.inject_word(x, y, word, mask, t).expect("axon exists");
         }

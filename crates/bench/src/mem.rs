@@ -1,0 +1,73 @@
+//! Peak-RSS measurement for the barometer's memory-residency records.
+//!
+//! The sparse-residency layout's whole claim is that quiescent silicon
+//! costs ~nothing: a 64×64 grid with a 5% island must not allocate the
+//! ~268 M synapse bits of its dense twin. The barometer proves that claim
+//! the same way it proves timing — by measuring and gating it — and the
+//! instrument is the kernel's own high-water mark: `VmHWM` from
+//! `/proc/self/status`, resettable per measurement window via
+//! `/proc/self/clear_refs` (writing `5` resets the peak counters to the
+//! current RSS). Everything here degrades to `None` off Linux or inside
+//! restricted sandboxes; records simply carry no memory fields there.
+
+use std::fs;
+
+/// Resets the process peak-RSS counter (`VmHWM`) to the current RSS, so
+/// the next [`peak_rss_bytes`] reading bounds only the work done since
+/// this call. Best-effort: a failure (non-Linux, locked-down procfs)
+/// leaves the counter monotonic, which only ever over-reports a peak.
+pub fn reset_peak_rss() {
+    let _ = fs::write("/proc/self/clear_refs", "5");
+}
+
+/// The process peak resident-set size in bytes (`VmHWM`), since process
+/// start or the last [`reset_peak_rss`]. `None` where procfs is absent.
+pub fn peak_rss_bytes() -> Option<u64> {
+    status_field("VmHWM:")
+}
+
+/// The current resident-set size in bytes (`VmRSS`). `None` where procfs
+/// is absent.
+pub fn current_rss_bytes() -> Option<u64> {
+    status_field("VmRSS:")
+}
+
+/// Parses one `kB`-denominated field out of `/proc/self/status`.
+fn status_field(field: &str) -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    let kb: u64 = line
+        .strip_prefix(field)?
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_a_large_allocation() {
+        let Some(before) = peak_rss_bytes() else {
+            return; // no procfs on this host: the helpers degrade to None
+        };
+        assert!(before > 0);
+        reset_peak_rss();
+        // Touch 32 MiB so the pages become resident, then confirm the
+        // reset counter saw them.
+        let block = vec![1u8; 32 << 20];
+        let sum: u64 = block.iter().step_by(4096).map(|&b| u64::from(b)).sum();
+        assert_eq!(sum, (32 << 20) / 4096);
+        let peak = peak_rss_bytes().expect("procfs was readable above");
+        let current = current_rss_bytes().expect("procfs was readable above");
+        assert!(peak >= current.saturating_sub(1 << 20));
+        assert!(
+            peak >= 32 << 20,
+            "peak {peak} missed the 32 MiB touch entirely"
+        );
+    }
+}

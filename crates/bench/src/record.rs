@@ -12,7 +12,21 @@ use std::fmt::Write as _;
 
 /// Version stamped into every record line. Bump only when an existing
 /// field changes meaning; adding fields is backwards compatible.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// * Schema 1: the original timing record.
+/// * Schema 2: adds the memory-residency evidence — `peak_rss_bytes`
+///   (process peak RSS over the variant's measured passes) and
+///   `bytes_per_core` (that peak amortised over simulated cores).
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Whether this build can still read records of schema `version`.
+/// Schema 1 lines parse with the schema-2 memory fields absent
+/// ([`Record::peak_rss_bytes`] = `None`), so a committed schema-1
+/// baseline keeps gating timings until it is regenerated — the `check`
+/// gate simply has no memory verdicts to add for it.
+pub fn schema_readable(version: u32) -> bool {
+    version == SCHEMA_VERSION || version == 1
+}
 
 /// Host facts captured with every measurement, so a baseline produced on
 /// one machine is never silently compared against another shape of host.
@@ -69,6 +83,16 @@ pub struct Record {
     /// Per-workload regression threshold the `check` gate applies to this
     /// record (ratio of fresh value to baseline value).
     pub check_factor: f64,
+    /// Peak resident-set size (bytes) of the measuring process across this
+    /// record's timed passes — the peak counter is reset before the first
+    /// pass (see [`crate::mem`]), so the value bounds the variant's own
+    /// working set: network build plus run. `None` on hosts without
+    /// `/proc/self/status` and on schema-1 baseline lines.
+    pub peak_rss_bytes: Option<u64>,
+    /// [`Record::peak_rss_bytes`] divided by [`Record::cores`]: the
+    /// sparse-residency headline. A quiescent-island workload must sit
+    /// orders of magnitude below the dense bytes/core of the same grid.
+    pub bytes_per_core: Option<u64>,
 }
 
 impl Record {
@@ -78,7 +102,7 @@ impl Record {
         let mut s = String::with_capacity(256);
         let _ = write!(
             s,
-            "{{\"schema\":{SCHEMA_VERSION},\"workload\":\"{}\",\"variant\":\"{}\",\"unit\":\"{}\",\"value\":{:.1},\"census_checksum\":\"{:#018x}\",\"ticks\":{},\"cores\":{},\"threads\":{},\"host_cpus\":{},\"os\":\"{}\",\"oversubscribed\":{},\"check_factor\":{}}}",
+            "{{\"schema\":{SCHEMA_VERSION},\"workload\":\"{}\",\"variant\":\"{}\",\"unit\":\"{}\",\"value\":{:.1},\"census_checksum\":\"{:#018x}\",\"ticks\":{},\"cores\":{},\"threads\":{},\"host_cpus\":{},\"os\":\"{}\",\"oversubscribed\":{},\"check_factor\":{}",
             self.workload,
             self.variant,
             self.unit,
@@ -92,18 +116,27 @@ impl Record {
             self.oversubscribed,
             self.check_factor,
         );
+        if let Some(peak) = self.peak_rss_bytes {
+            let _ = write!(s, ",\"peak_rss_bytes\":{peak}");
+        }
+        if let Some(per_core) = self.bytes_per_core {
+            let _ = write!(s, ",\"bytes_per_core\":{per_core}");
+        }
+        s.push('}');
         s
     }
 
     /// Parses one JSONL line. Returns `None` for blank lines, comments
-    /// (`#`), lines of a different schema version, or lines missing a
-    /// required field.
+    /// (`#`), lines of an unreadable schema version (see
+    /// [`schema_readable`]), or lines missing a required field. Schema-1
+    /// lines parse with the memory fields defaulted to `None` — the
+    /// migration path for a committed schema-1 baseline.
     pub fn from_line(line: &str) -> Option<Record> {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             return None;
         }
-        if json_field(line, "schema")?.parse::<u32>().ok()? != SCHEMA_VERSION {
+        if !schema_readable(json_field(line, "schema")?.parse::<u32>().ok()?) {
             return None;
         }
         let checksum = json_field(line, "census_checksum")?;
@@ -124,6 +157,8 @@ impl Record {
             os: json_field(line, "os")?.to_string(),
             oversubscribed: json_field(line, "oversubscribed")? == "true",
             check_factor: json_field(line, "check_factor")?.parse().ok()?,
+            peak_rss_bytes: json_field(line, "peak_rss_bytes").and_then(|v| v.parse().ok()),
+            bytes_per_core: json_field(line, "bytes_per_core").and_then(|v| v.parse().ok()),
         })
     }
 }
@@ -146,8 +181,11 @@ pub fn from_jsonl(text: &str) -> Vec<Record> {
 /// The schema version of the first record line in a JSONL document
 /// (blanks and `#` comments are skipped; `None` on an empty document or
 /// an unparsable head). `measure` refuses to replace a record file whose
-/// head schema differs from [`SCHEMA_VERSION`] — a stale-toolchain run
-/// must not silently clobber records it cannot even read.
+/// head schema it cannot read ([`schema_readable`]) — a stale-toolchain
+/// run must not silently clobber records it cannot even parse. Readable
+/// older schemas (currently schema 1) are fair game to overwrite: that is
+/// the migration path, a regenerating `measure` upgrades the file in
+/// place.
 pub fn head_schema(text: &str) -> Option<u32> {
     text.lines()
         .map(str::trim)
@@ -186,6 +224,8 @@ mod tests {
             os: "linux".to_string(),
             oversubscribed: false,
             check_factor: 1.25,
+            peak_rss_bytes: Some(12_345_678),
+            bytes_per_core: Some(192_901),
         }
     }
 
@@ -194,6 +234,43 @@ mod tests {
         let r = sample();
         let parsed = Record::from_line(&r.to_line()).expect("parses");
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn memory_fields_are_omitted_when_absent() {
+        let r = Record {
+            peak_rss_bytes: None,
+            bytes_per_core: None,
+            ..sample()
+        };
+        let line = r.to_line();
+        assert!(!line.contains("peak_rss_bytes"));
+        assert!(!line.contains("bytes_per_core"));
+        assert_eq!(Record::from_line(&line).expect("parses"), r);
+    }
+
+    #[test]
+    fn schema_1_baseline_lines_still_parse() {
+        // The committed pre-migration baseline: schema 1, no memory
+        // fields. It must keep parsing (timing gates survive the schema
+        // bump) with the memory fields defaulted out.
+        let line = "{\"schema\":1,\"workload\":\"nemo_8x8_lo\",\"variant\":\"sweep_swar_t1\",\
+                    \"unit\":\"ns_per_tick\",\"value\":123456.5,\
+                    \"census_checksum\":\"0x0123456789abcdef\",\"ticks\":100,\"cores\":64,\
+                    \"threads\":1,\"host_cpus\":1,\"os\":\"linux\",\"oversubscribed\":false,\
+                    \"check_factor\":1.25}";
+        let parsed = Record::from_line(line).expect("schema 1 is readable");
+        assert_eq!(
+            parsed,
+            Record {
+                peak_rss_bytes: None,
+                bytes_per_core: None,
+                ..sample()
+            }
+        );
+        assert!(schema_readable(1));
+        assert!(schema_readable(SCHEMA_VERSION));
+        assert!(!schema_readable(99));
     }
 
     #[test]
@@ -213,7 +290,8 @@ mod tests {
 
     #[test]
     fn foreign_schema_lines_are_skipped() {
-        let line = sample().to_line().replace("\"schema\":1", "\"schema\":99");
+        let line = sample().to_line().replace("\"schema\":2", "\"schema\":99");
+        assert!(line.contains("\"schema\":99"), "replacement applied");
         assert!(Record::from_line(&line).is_none());
     }
 
@@ -223,7 +301,7 @@ mod tests {
         assert_eq!(head_schema(&current), Some(SCHEMA_VERSION));
         let foreign = format!(
             "{}\n{}\n",
-            sample().to_line().replace("\"schema\":1", "\"schema\":99"),
+            sample().to_line().replace("\"schema\":2", "\"schema\":99"),
             sample().to_line(),
         );
         assert_eq!(head_schema(&foreign), Some(99));

@@ -35,12 +35,31 @@ pub fn render(records: &[Record]) -> String {
         let best = rows.first().map_or(1.0, |r| r.value);
         let cores = rows.first().map_or(0, |r| r.cores);
         let _ = writeln!(out, "### `{workload}` ({cores} cores)\n");
-        out.push_str("| rank | variant | ns/tick | vs best | oversubscribed |\n");
-        out.push_str("|---:|---|---:|---:|---|\n");
+        let with_mem = rows.iter().any(|r| r.peak_rss_bytes.is_some());
+        if with_mem {
+            out.push_str(
+                "| rank | variant | ns/tick | vs best | peak RSS | bytes/core | oversubscribed |\n",
+            );
+            out.push_str("|---:|---|---:|---:|---:|---:|---|\n");
+        } else {
+            out.push_str("| rank | variant | ns/tick | vs best | oversubscribed |\n");
+            out.push_str("|---:|---|---:|---:|---|\n");
+        }
         for (i, r) in rows.iter().enumerate() {
+            let mem = if with_mem {
+                format!(
+                    " {} | {} |",
+                    r.peak_rss_bytes
+                        .map(|b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64))
+                        .unwrap_or_default(),
+                    r.bytes_per_core.map(|b| format!("{b}")).unwrap_or_default(),
+                )
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "| {} | `{}` | {:.0} | {:.2}× | {} |",
+                "| {} | `{}` | {:.0} | {:.2}× |{mem} {} |",
                 i + 1,
                 r.variant,
                 r.value,
@@ -137,7 +156,20 @@ mod tests {
             os: "linux".to_string(),
             oversubscribed: false,
             check_factor: 1.25,
+            peak_rss_bytes: None,
+            bytes_per_core: None,
         }
+    }
+
+    #[test]
+    fn memory_columns_appear_when_measured() {
+        let mut r = record("w1", "sweep_swar_t1", "ns_per_tick", 100.0);
+        r.peak_rss_bytes = Some(10 << 20);
+        r.bytes_per_core = Some((10 << 20) / 64);
+        let md = render(&[r]);
+        assert!(md.contains("peak RSS"));
+        assert!(md.contains("10.0 MiB"));
+        assert!(md.contains(&format!("{}", (10 << 20) / 64)));
     }
 
     #[test]

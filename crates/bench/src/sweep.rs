@@ -268,6 +268,16 @@ pub struct VerifiedSweep {
 /// bit-identity + the pinned checksum. Timings inside the result are only
 /// meaningful if this returns `Ok` — which is the point.
 pub fn verify_workload(def: &WorkloadDef) -> Result<VerifiedSweep, ConformanceError> {
+    verify_workload_inner(def, true)
+}
+
+/// [`verify_workload`] with the pin comparison optional: a `--ticks`
+/// override runs a different tick count than the pinned checksum covers,
+/// so only cross-variant bit-identity and non-silence are enforceable.
+fn verify_workload_inner(
+    def: &WorkloadDef,
+    require_pin: bool,
+) -> Result<VerifiedSweep, ConformanceError> {
     let mut runs = Vec::new();
     for variant in conformance_matrix() {
         let result = run_variant(def, &variant);
@@ -289,7 +299,7 @@ pub fn verify_workload(def: &WorkloadDef) -> Result<VerifiedSweep, ConformanceEr
             });
         }
     }
-    if def.checksum != Some(reference.checksum) {
+    if require_pin && def.checksum != Some(reference.checksum) {
         return Err(ConformanceError::Pin {
             workload: def.name.to_string(),
             pinned: def.checksum,
@@ -303,23 +313,76 @@ pub fn verify_workload(def: &WorkloadDef) -> Result<VerifiedSweep, ConformanceEr
     })
 }
 
+/// Knobs for one sweep pass, settable from the barometer CLI
+/// (`measure --reps N --ticks N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Timed passes per variant ("best of N"). Pass 1 comes from the
+    /// conformance matrix; at least one fresh re-run always happens so
+    /// the peak-RSS window covers a full build + run of the variant.
+    pub reps: u32,
+    /// Overrides the def's measured tick count. A different tick count
+    /// computes a different checksum than the pinned one, so the pin
+    /// comparison is skipped (cross-variant bit-identity still gates) and
+    /// the resulting records are for local iteration, not for committing.
+    pub ticks: Option<u64>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            reps: 3,
+            ticks: None,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// The def actually run: `--ticks` replaces the measured window (and
+    /// unpins the checksum, which covers warmup + measure of the original
+    /// window).
+    pub fn effective_def(&self, def: &WorkloadDef) -> WorkloadDef {
+        match self.ticks {
+            Some(measure) => WorkloadDef {
+                measure,
+                checksum: None,
+                ..def.clone()
+            },
+            None => def.clone(),
+        }
+    }
+}
+
 /// Sweeps one corpus entry and emits its timing records — after, and only
 /// after, [`verify_workload`] proves every variant bit-identical.
 pub fn sweep_workload(def: &WorkloadDef, host: Host) -> Result<Vec<Record>, ConformanceError> {
-    let verified = verify_workload(def)?;
+    sweep_workload_opts(def, host, SweepOptions::default())
+}
+
+/// [`sweep_workload`] with explicit rep/tick overrides.
+pub fn sweep_workload_opts(
+    def: &WorkloadDef,
+    host: Host,
+    opts: SweepOptions,
+) -> Result<Vec<Record>, ConformanceError> {
+    let def = opts.effective_def(def);
+    let verified = verify_workload_inner(&def, opts.ticks.is_none())?;
     let timed = timed_variants();
     let mut records = Vec::new();
     for (variant, result) in &verified.runs {
         if !timed.contains(variant) {
             continue;
         }
-        // Best-of-three timing: re-run the timed variant twice more and
-        // keep the fastest pass. The minimum is the noise-robust estimator
-        // on a shared host — interference only ever slows a run down.
-        // Every re-run must still reproduce the verified checksum.
+        // Best-of-N timing (default 3): re-run the timed variant and keep
+        // the fastest pass. The minimum is the noise-robust estimator on a
+        // shared host — interference only ever slows a run down. Every
+        // re-run must still reproduce the verified checksum. The peak-RSS
+        // counter is reset first, so the reported peak bounds exactly the
+        // re-runs' build + run working set.
+        crate::mem::reset_peak_rss();
         let mut best = result.ns_per_tick;
-        for _ in 0..2 {
-            let rerun = run_variant(def, variant);
+        for _ in 0..opts.reps.saturating_sub(1).max(1) {
+            let rerun = run_variant(&def, variant);
             if rerun.checksum != verified.checksum {
                 return Err(ConformanceError::Diverged {
                     workload: def.name.to_string(),
@@ -330,6 +393,7 @@ pub fn sweep_workload(def: &WorkloadDef, host: Host) -> Result<Vec<Record>, Conf
             }
             best = best.min(rerun.ns_per_tick);
         }
+        let peak_rss_bytes = crate::mem::peak_rss_bytes();
         records.push(Record {
             workload: def.name.to_string(),
             variant: variant.label(),
@@ -343,6 +407,8 @@ pub fn sweep_workload(def: &WorkloadDef, host: Host) -> Result<Vec<Record>, Conf
             os: host.os.to_string(),
             oversubscribed: variant.threads > host.cpus,
             check_factor: def.check_factor,
+            peak_rss_bytes,
+            bytes_per_core: peak_rss_bytes.map(|b| b / def.cores() as u64),
         });
     }
     Ok(records)
@@ -464,6 +530,18 @@ pub fn verify_batch_workload_threads(
     lanes: usize,
     threads: usize,
 ) -> Result<BatchRunResult, ConformanceError> {
+    verify_batch_workload_inner(def, lanes, threads, true)
+}
+
+/// [`verify_batch_workload_threads`] with the lane-0 pin comparison
+/// optional (tick-count overrides unpin the checksum; the lane-vs-solo
+/// differential still gates).
+fn verify_batch_workload_inner(
+    def: &WorkloadDef,
+    lanes: usize,
+    threads: usize,
+    require_pin: bool,
+) -> Result<BatchRunResult, ConformanceError> {
     let result = run_batch_variant_threads(def, lanes, threads);
     let solo = Variant {
         strategy: EvalStrategy::Swar,
@@ -488,7 +566,7 @@ pub fn verify_batch_workload_threads(
             });
         }
     }
-    if def.checksum != Some(result.lane_checksums[0]) {
+    if require_pin && def.checksum != Some(result.lane_checksums[0]) {
         return Err(ConformanceError::Pin {
             workload: def.name.to_string(),
             pinned: def.checksum,
@@ -503,12 +581,23 @@ pub fn verify_batch_workload_threads(
 /// bit-identity at every measured lane count. Timing is best-of-three;
 /// every re-run must reproduce the verified lane checksums.
 pub fn batch_records(def: &WorkloadDef, host: Host) -> Result<Vec<Record>, ConformanceError> {
+    batch_records_opts(def, host, SweepOptions::default())
+}
+
+/// [`batch_records`] with explicit rep/tick overrides.
+pub fn batch_records_opts(
+    def: &WorkloadDef,
+    host: Host,
+    opts: SweepOptions,
+) -> Result<Vec<Record>, ConformanceError> {
+    let def = opts.effective_def(def);
     let mut records = Vec::new();
     for &lanes in BATCH_LANES {
-        let verified = verify_batch_workload(def, lanes)?;
+        let verified = verify_batch_workload_inner(&def, lanes, 1, opts.ticks.is_none())?;
+        crate::mem::reset_peak_rss();
         let mut best = verified.ns_per_tick_per_chip;
-        for _ in 0..2 {
-            let rerun = run_batch_variant(def, lanes);
+        for _ in 0..opts.reps.saturating_sub(1).max(1) {
+            let rerun = run_batch_variant(&def, lanes);
             if rerun.lane_checksums != verified.lane_checksums {
                 return Err(ConformanceError::Diverged {
                     workload: def.name.to_string(),
@@ -519,6 +608,7 @@ pub fn batch_records(def: &WorkloadDef, host: Host) -> Result<Vec<Record>, Confo
             }
             best = best.min(rerun.ns_per_tick_per_chip);
         }
+        let peak_rss_bytes = crate::mem::peak_rss_bytes();
         records.push(Record {
             workload: def.name.to_string(),
             variant: batch_label(lanes),
@@ -532,6 +622,10 @@ pub fn batch_records(def: &WorkloadDef, host: Host) -> Result<Vec<Record>, Confo
             os: host.os.to_string(),
             oversubscribed: false,
             check_factor: def.check_factor,
+            peak_rss_bytes,
+            // A batch holds `lanes` replicas: amortise the peak over the
+            // simulated cores actually resident.
+            bytes_per_core: peak_rss_bytes.map(|b| b / (def.cores() * lanes) as u64),
         });
     }
     Ok(records)
@@ -575,6 +669,10 @@ fn ops_record(
         os: host.os.to_string(),
         oversubscribed: false,
         check_factor: OPS_CHECK_FACTOR,
+        // Single-shot ops (sub-µs saves, µs restores) churn no meaningful
+        // residency of their own; memory is gated on the corpus sweeps.
+        peak_rss_bytes: None,
+        bytes_per_core: None,
     }
 }
 
@@ -813,6 +911,9 @@ pub struct Verdict {
     pub status: VerdictStatus,
     /// Fresh value / baseline value, where both exist.
     pub ratio: Option<f64>,
+    /// Fresh `peak_rss_bytes` / baseline `peak_rss_bytes`, where both
+    /// records carry the memory fields (schema-1 baselines don't yet).
+    pub mem_ratio: Option<f64>,
     /// The baseline was measured on a host with a different CPU count —
     /// carried as a field on the verdict (not a stderr warning) so timing
     /// judgements against a foreign-shaped baseline are visibly advisory.
@@ -828,6 +929,10 @@ pub enum VerdictStatus {
     New,
     /// Timing exceeded `check_factor × baseline`.
     Regressed,
+    /// Peak RSS exceeded `check_factor × baseline` — the memory-residency
+    /// gate. Unlike timing, RSS barely depends on host shape, so this
+    /// fails even against a foreign-CPU-count baseline.
+    MemoryRegressed,
     /// Census checksum differs from the baseline — a correctness failure,
     /// never advisory.
     CensusDiverged,
@@ -843,7 +948,9 @@ impl Verdict {
         match self.status {
             VerdictStatus::Ok | VerdictStatus::New => false,
             VerdictStatus::Regressed => !self.cpus_mismatch,
-            VerdictStatus::CensusDiverged | VerdictStatus::Missing => true,
+            VerdictStatus::MemoryRegressed
+            | VerdictStatus::CensusDiverged
+            | VerdictStatus::Missing => true,
         }
     }
 
@@ -853,12 +960,16 @@ impl Verdict {
             VerdictStatus::Ok => "ok",
             VerdictStatus::New => "new",
             VerdictStatus::Regressed => "regressed",
+            VerdictStatus::MemoryRegressed => "memory_regressed",
             VerdictStatus::CensusDiverged => "census_diverged",
             VerdictStatus::Missing => "missing",
         };
         let ratio = self.ratio.map_or("null".to_string(), |r| format!("{r:.3}"));
+        let mem = self
+            .mem_ratio
+            .map_or("null".to_string(), |r| format!("{r:.3}"));
         format!(
-            "{{\"workload\":\"{}\",\"variant\":\"{}\",\"status\":\"{status}\",\"ratio\":{ratio},\"cpus_mismatch\":{},\"failing\":{}}}",
+            "{{\"workload\":\"{}\",\"variant\":\"{}\",\"status\":\"{status}\",\"ratio\":{ratio},\"mem_ratio\":{mem},\"cpus_mismatch\":{},\"failing\":{}}}",
             self.workload,
             self.variant,
             self.cpus_mismatch,
@@ -884,11 +995,16 @@ pub fn check(baseline: &[Record], fresh: &[Record], host: Host) -> Vec<Verdict> 
                 variant: base.variant.clone(),
                 status: VerdictStatus::Missing,
                 ratio: None,
+                mem_ratio: None,
                 cpus_mismatch,
             });
             continue;
         };
         let ratio = new.value / base.value;
+        let mem_ratio = match (base.peak_rss_bytes, new.peak_rss_bytes) {
+            (Some(b), Some(n)) if b > 0 => Some(n as f64 / b as f64),
+            _ => None,
+        };
         let factor = if base.oversubscribed || new.oversubscribed {
             base.check_factor * OVERSUBSCRIBED_SLACK
         } else {
@@ -896,6 +1012,10 @@ pub fn check(baseline: &[Record], fresh: &[Record], host: Host) -> Vec<Verdict> 
         };
         let status = if new.census_checksum != base.census_checksum {
             VerdictStatus::CensusDiverged
+        } else if mem_ratio.is_some_and(|m| m > base.check_factor) {
+            // Residency regression: judged at the raw check_factor (RSS
+            // doesn't jitter with oversubscription the way timing does).
+            VerdictStatus::MemoryRegressed
         } else if ratio > factor {
             VerdictStatus::Regressed
         } else {
@@ -906,6 +1026,7 @@ pub fn check(baseline: &[Record], fresh: &[Record], host: Host) -> Vec<Verdict> 
             variant: base.variant.clone(),
             status,
             ratio: Some(ratio),
+            mem_ratio,
             cpus_mismatch,
         });
     }
@@ -919,6 +1040,7 @@ pub fn check(baseline: &[Record], fresh: &[Record], host: Host) -> Vec<Verdict> 
                 variant: new.variant.clone(),
                 status: VerdictStatus::New,
                 ratio: None,
+                mem_ratio: None,
                 cpus_mismatch: false,
             });
         }
@@ -944,6 +1066,8 @@ mod tests {
             os: "linux".to_string(),
             oversubscribed: false,
             check_factor: 1.25,
+            peak_rss_bytes: None,
+            bytes_per_core: None,
         }
     }
 
@@ -1057,5 +1181,53 @@ mod tests {
         assert!(!verdicts[0].failing(), "foreign-host timing is advisory");
         assert!(verdicts[0].to_line().contains("\"cpus_mismatch\":true"));
         assert!(verdicts[1].failing(), "census divergence always gates");
+    }
+
+    #[test]
+    fn memory_regression_gates_even_on_foreign_hosts() {
+        let host = Host {
+            cpus: 8,
+            os: "linux",
+        };
+        let mut base = record("w", "a", 100.0, 1, 1); // baseline from a 1-cpu box
+        base.peak_rss_bytes = Some(100 << 20);
+        base.bytes_per_core = Some((100 << 20) / 64);
+        // Timing fine, residency blown past check_factor 1.25.
+        let mut fresh = record("w", "a", 100.0, 1, 8);
+        fresh.peak_rss_bytes = Some(200 << 20);
+        fresh.bytes_per_core = Some((200 << 20) / 64);
+        let verdicts = check(&[base.clone()], &[fresh.clone()], host);
+        assert_eq!(verdicts[0].status, VerdictStatus::MemoryRegressed);
+        assert_eq!(verdicts[0].mem_ratio, Some(2.0));
+        assert!(verdicts[0].cpus_mismatch);
+        assert!(verdicts[0].failing(), "memory regression is never advisory");
+        assert!(verdicts[0].to_line().contains("\"mem_ratio\":2.000"));
+        // Within threshold: ok, ratio still reported.
+        fresh.peak_rss_bytes = Some(110 << 20);
+        let verdicts = check(&[base.clone()], &[fresh.clone()], host);
+        assert_eq!(verdicts[0].status, VerdictStatus::Ok);
+        assert!(verdicts[0].mem_ratio.is_some());
+        // A schema-1 baseline (no memory fields) yields no memory verdict.
+        base.peak_rss_bytes = None;
+        fresh.peak_rss_bytes = Some(1 << 40);
+        let verdicts = check(&[base], &[fresh], host);
+        assert_eq!(verdicts[0].status, VerdictStatus::Ok);
+        assert_eq!(verdicts[0].mem_ratio, None);
+    }
+
+    #[test]
+    fn tick_override_unpins_the_checksum() {
+        let def = crate::corpus::find("nemo_8x8_lo").expect("corpus entry");
+        let opts = SweepOptions {
+            reps: 3,
+            ticks: Some(7),
+        };
+        let eff = opts.effective_def(&def);
+        assert_eq!(eff.measure, 7);
+        assert_eq!(eff.checksum, None);
+        assert_eq!(eff.warmup, def.warmup);
+        let default = SweepOptions::default().effective_def(&def);
+        assert_eq!(default.measure, def.measure);
+        assert_eq!(default.checksum, def.checksum);
     }
 }

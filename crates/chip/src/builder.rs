@@ -130,10 +130,49 @@ impl ChipBuilder {
         if self.config.semantics == TickSemantics::Relaxed && self.config.threads > 1 {
             return Err(ChipBuildError::RelaxedParallel);
         }
-        let cores: Vec<_> = self.cores.iter().map(CoreBuilder::build).collect();
+        let mut cores: Vec<_> = self.cores.iter().map(CoreBuilder::build).collect();
         validate_wiring(&self.config, &cores)?;
+        pack_cores(&mut cores);
         Ok(Chip::from_parts(self.config, cores))
     }
+}
+
+/// Memory-layout pass over a freshly assembled core array: every
+/// programmed crossbar's words move into one shared chip-level arena, laid
+/// out in placement (row-major) order, and every core's per-tick hot
+/// vectors are reallocated in the same order
+/// ([`brainsim_core::repack_cores`]). Phase A evaluates cores in exactly
+/// this order — contiguous shards of the sorted active list — so a shard's
+/// working set becomes a forward walk over adjacent memory instead of a
+/// pointer chase across construction-order allocations. Purely physical:
+/// every bit of logical state is unchanged, and never-programmed
+/// (dormant/empty) cores contribute nothing to the arena. Shared by
+/// [`ChipBuilder::build`] and [`crate::Chip::restore`].
+pub(crate) fn pack_cores(cores: &mut [NeurosynapticCore]) {
+    let total_words: usize = cores.iter().map(|c| c.crossbar().owned_words()).sum();
+    if total_words > 0 {
+        let mut arena: Vec<u64> = Vec::with_capacity(total_words);
+        let offsets: Vec<Option<usize>> = cores
+            .iter()
+            .map(|core| {
+                let xb = core.crossbar();
+                (xb.owned_words() > 0).then(|| {
+                    let offset = arena.len();
+                    for axon in 0..xb.axons() {
+                        arena.extend_from_slice(xb.row_words(axon));
+                    }
+                    offset
+                })
+            })
+            .collect();
+        let arena: std::sync::Arc<[u64]> = arena.into();
+        for (core, offset) in cores.iter_mut().zip(offsets) {
+            if let Some(offset) = offset {
+                core.adopt_crossbar_arena(arena.clone(), offset);
+            }
+        }
+    }
+    brainsim_core::repack_cores(cores);
 }
 
 /// Validates every neuron destination of `cores` against the grid: target

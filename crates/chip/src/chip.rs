@@ -300,6 +300,15 @@ pub struct Chip {
     /// cannot run; the clamp is recorded per tick in
     /// [`brainsim_telemetry::SchedulerMeta`].
     effective_threads: usize,
+    /// The incrementally maintained active set for the deferred-skip
+    /// scheduler (sorted flat core indices). `None` forces a full
+    /// quiescence scan on the next tick — the state after construction,
+    /// restore, reset, and fault-plan application. Only consulted under
+    /// [`CoreScheduling::Active`] with deterministic semantics; quiescent
+    /// cores outside the set are left untouched (their clocks lag) and are
+    /// bulk fast-forwarded on wake, so idle silicon costs zero memory
+    /// traffic per tick instead of a header write per core.
+    active_set: Option<Vec<usize>>,
 }
 
 impl Chip {
@@ -320,6 +329,7 @@ impl Chip {
             telemetry: None,
             plan: None,
             effective_threads,
+            active_set: None,
         }
     }
 
@@ -410,6 +420,12 @@ impl Chip {
         if injector.is_benign() {
             return;
         }
+        // Fault masks are applied to exact per-core state: replay any
+        // deferred skips first, and rescan quiescence afterwards (a plan
+        // can flip either way — dropout silences a core, stuck-firing
+        // wakes one).
+        self.wake_all();
+        self.active_set = None;
         for idx in 0..self.cores.len() {
             let x = idx % self.config.width;
             let y = idx / self.config.width;
@@ -488,7 +504,26 @@ impl Chip {
             link_crossings: self.link_crossings,
             outputs_total: self.outputs_total,
             fault_stats: self.fault_stats,
-            cores: self.cores.iter().map(|c| c.export_state()).collect(),
+            cores: self
+                .cores
+                .iter()
+                .map(|c| {
+                    // Virtualise any deferred-skip lag so the image is
+                    // bit-identical to one captured under eager skipping
+                    // (a lagging core is quiescent, so only the clock and
+                    // the skip accounting differ).
+                    let mut state = c.export_state();
+                    let lag = self.now.saturating_sub(state.now);
+                    if lag > 0 {
+                        state.stats.ticks += lag;
+                        if !c.is_dropped() {
+                            state.stats.neuron_updates += lag * c.neurons() as u64;
+                        }
+                        state.now = self.now;
+                    }
+                    state
+                })
+                .collect(),
             plan: self.plan,
             telemetry: self.telemetry.as_deref().map(|log| TelemetrySnapshot {
                 config: *log.config(),
@@ -560,6 +595,7 @@ impl Chip {
             cores.push(core);
         }
         validate_wiring(&config, &cores).map_err(|e| RestoreError::Invalid(e.to_string()))?;
+        crate::builder::pack_cores(&mut cores);
 
         let mut chip = Chip::from_parts(config, cores);
         chip.now = snapshot.now;
@@ -605,7 +641,10 @@ impl Chip {
             return Err(InjectError::OffGrid(x, y));
         }
         let idx = self.index(x, y);
+        let now = self.now;
+        Self::fast_forward(&mut self.cores[idx], now);
         self.cores[idx].deliver(axon, target_tick)?;
+        self.note_woken(idx);
         Ok(())
     }
 
@@ -630,7 +669,10 @@ impl Chip {
             return Err(InjectError::OffGrid(x, y));
         }
         let idx = self.index(x, y);
+        let now = self.now;
+        Self::fast_forward(&mut self.cores[idx], now);
         self.cores[idx].deliver_word(word, bits, target_tick)?;
+        self.note_woken(idx);
         Ok(())
     }
 
@@ -666,40 +708,68 @@ impl Chip {
     /// Flat indices of the cores that must be evaluated this tick, in
     /// canonical row-major order. Under [`CoreScheduling::Sweep`] that is
     /// every core; under [`CoreScheduling::Active`] every core that is not
-    /// provably quiescent. The per-core check is O(1), so each idle core
-    /// costs O(1) per tick.
-    fn active_cores(&self) -> Vec<usize> {
+    /// provably quiescent — taken from the incrementally maintained
+    /// [`Chip::active_set`] when one is cached, so a tick over mostly-idle
+    /// silicon never reads the idle cores at all. A full scan runs only
+    /// when the cache was invalidated (construction, restore, reset,
+    /// fault-plan application).
+    ///
+    /// The cache is exact, not a heuristic: a quiescent core can only
+    /// become non-quiescent through a spike delivery, an injection, or a
+    /// fault application, and every one of those paths re-registers the
+    /// core (or invalidates the cache). A skipped tick is a provable no-op,
+    /// so deferring it cannot change any observable state.
+    fn take_active(&mut self) -> Vec<usize> {
         match self.config.scheduling {
             CoreScheduling::Sweep => (0..self.cores.len()).collect(),
-            CoreScheduling::Active => (0..self.cores.len())
-                .filter(|&i| !self.cores[i].is_quiescent())
-                .collect(),
+            CoreScheduling::Active => match self.active_set.take() {
+                Some(set) => set,
+                None => (0..self.cores.len())
+                    .filter(|&i| !self.cores[i].is_quiescent())
+                    .collect(),
+            },
         }
     }
 
-    /// Advances every core *not* in the (sorted) active list past tick `t`
-    /// without evaluating it, keeping its statistics bit-identical to a
-    /// full no-op evaluation.
-    fn skip_inactive(&mut self, active: &[usize], t: u64) -> Result<(), TickError> {
-        if active.len() == self.cores.len() {
-            return Ok(());
+    /// Whether ticks defer idle-core clock advancement (and therefore
+    /// whether lagging clocks must be virtualised by readers and
+    /// fast-forwarded on wake). Relaxed semantics keeps its own eager
+    /// per-core loop.
+    #[inline]
+    fn defers_skips(&self) -> bool {
+        self.config.scheduling == CoreScheduling::Active
+            && self.config.semantics == TickSemantics::Deterministic
+    }
+
+    /// Fast-forwards one core's clock to `target` (a provable no-op replay
+    /// of the ticks it sat out — see [`NeurosynapticCore::skip_ticks`]).
+    #[inline]
+    fn fast_forward(core: &mut NeurosynapticCore, target: u64) {
+        let behind = target.saturating_sub(core.now());
+        if behind > 0 {
+            core.skip_ticks(behind);
         }
-        let mut next = active.iter().copied().peekable();
-        for idx in 0..self.cores.len() {
-            if next.peek() == Some(&idx) {
-                next.next();
-                continue;
+    }
+
+    /// Fast-forwards every lagging core to the chip clock. Called before
+    /// operations that want exact per-core state without virtualisation
+    /// (fault-plan application, and nothing on the per-tick path).
+    fn wake_all(&mut self) {
+        let now = self.now;
+        for core in &mut self.cores {
+            Self::fast_forward(core, now);
+        }
+    }
+
+    /// Registers a core woken between ticks (injection) with the cached
+    /// active set, keeping the set sorted. No-op when the cache is
+    /// invalidated — the next tick's full scan will find the core.
+    fn note_woken(&mut self, idx: usize) {
+        if let Some(set) = self.active_set.as_mut() {
+            if let Err(pos) = set.binary_search(&idx) {
+                set.insert(pos, idx);
             }
-            let core = &mut self.cores[idx];
-            catch_unwind(AssertUnwindSafe(|| core.skip_tick(t))).map_err(|p| {
-                TickError::CorePanicked {
-                    core: idx,
-                    tick: t,
-                    message: panic_message(p),
-                }
-            })?;
         }
-        Ok(())
     }
 
     /// Phase A on scoped threads: shards are contiguous runs of the sorted
@@ -856,13 +926,13 @@ impl Chip {
                 .telemetry
                 .as_deref()
                 .is_some_and(|l| l.config().core_detail);
-        let active = self.active_cores();
+        debug_assert_eq!(t, self.now, "tick prologue out of order");
+        let active = self.take_active();
         let stats_before: Vec<CoreStats> = if core_detail {
             active.iter().map(|&i| *self.cores[i].stats()).collect()
         } else {
             Vec::new()
         };
-        self.skip_inactive(&active, t)?;
         Ok(TickPrelude {
             telemetry_on,
             census_before,
@@ -979,13 +1049,50 @@ impl Chip {
             hop_histogram,
         } = batch;
         let deliveries_count = deliveries.len() as u64;
+        let track_active = self.defers_skips();
+        let mut woken: Vec<usize> = Vec::new();
         for (tidx, axon, lead) in deliveries {
-            if self.cores[tidx].deliver(axon, t + lead).is_err() {
+            let core = &mut self.cores[tidx];
+            // A quiescent target may have sat out any number of ticks under
+            // the deferred-skip scheduler; replay them (a provable no-op)
+            // before the event lands, so its clock and accounting match a
+            // core that was eagerly skipped every tick.
+            Self::fast_forward(core, t + 1);
+            if core.deliver(axon, t + lead).is_err() {
                 // Builder-validated wiring cannot fail here, so a refused
                 // delivery is always fault-induced (bad corrupted axon, or
                 // a delay past the scheduling horizon): absorb and count.
                 faults.deliveries_failed += 1;
+            } else if track_active {
+                woken.push(tidx);
             }
+        }
+        if track_active {
+            // Next tick's active set: this tick's survivors (evaluated
+            // cores that did not settle back to quiescence) merged with
+            // every core a delivery just woke. Exact, per the argument on
+            // [`Chip::take_active`].
+            woken.sort_unstable();
+            woken.dedup();
+            let mut next = Vec::with_capacity(active.len() + woken.len());
+            let mut wi = woken.into_iter().peekable();
+            for &idx in &active {
+                while let Some(&w) = wi.peek() {
+                    if w >= idx {
+                        break;
+                    }
+                    wi.next();
+                    next.push(w);
+                }
+                if wi.peek() == Some(&idx) {
+                    wi.next();
+                    next.push(idx);
+                } else if !self.cores[idx].is_quiescent() {
+                    next.push(idx);
+                }
+            }
+            next.extend(wi);
+            self.active_set = Some(next);
         }
         self.hops += hops;
         self.link_crossings += link_crossings;
@@ -1197,11 +1304,21 @@ impl Chip {
         let mut ticks = 0;
         for core in &self.cores {
             let s = core.stats();
+            // A core the deferred-skip scheduler left untouched carries a
+            // lagging clock; charge the skipped ticks it would have
+            // accumulated under eager skipping (one no-op update per
+            // neuron per tick, none when dropped) without writing it.
+            let lag = self.now.saturating_sub(core.now());
             census.synaptic_events += s.synaptic_events;
-            census.neuron_updates += s.neuron_updates;
+            census.neuron_updates += s.neuron_updates
+                + if core.is_dropped() {
+                    0
+                } else {
+                    lag * core.neurons() as u64
+                };
             census.spikes += s.spikes;
             census.axon_events += s.axon_events;
-            ticks = ticks.max(s.ticks);
+            ticks = ticks.max(s.ticks + lag);
         }
         census.ticks = ticks;
         census
@@ -1212,6 +1329,7 @@ impl Chip {
         for core in &mut self.cores {
             core.reset();
         }
+        self.active_set = None;
         self.now = 0;
         self.hops = 0;
         self.link_crossings = 0;
@@ -1430,8 +1548,9 @@ mod tests {
             })
         ));
 
-        // And a desynced *quiescent* core fails from the skip path.
-        let mut chip = relay_chain(4, TickSemantics::Deterministic, 1);
+        // A desynced *quiescent* core still fails under Sweep scheduling
+        // (every core is evaluated, so the clock check fires)...
+        let mut chip = relay_chain_with(4, TickSemantics::Deterministic, 1, CoreScheduling::Sweep);
         chip.cores[2].tick(0);
         assert!(matches!(
             chip.try_tick(),
@@ -1441,12 +1560,22 @@ mod tests {
                 ..
             })
         ));
+
+        // ...while the deferred-skip scheduler leaves quiescent cores
+        // untouched: their clocks lag and are fast-forwarded on wake, so
+        // the same desync is absorbed once the chip clock catches up.
+        let mut chip = relay_chain(4, TickSemantics::Deterministic, 1);
+        chip.cores[2].tick(0);
+        chip.try_tick().expect("quiescent core is never touched");
+        chip.inject(0, 0, 0, chip.now()).unwrap();
+        let (outputs, _) = chip.run(5);
+        assert_eq!(outputs.len(), 1, "relay still reaches the output");
     }
 
     #[test]
     #[should_panic(expected = "panicked during tick")]
     fn tick_repanics_on_core_error() {
-        let mut chip = relay_chain(2, TickSemantics::Deterministic, 1);
+        let mut chip = relay_chain_with(2, TickSemantics::Deterministic, 1, CoreScheduling::Sweep);
         chip.cores[1].tick(0);
         chip.tick();
     }

@@ -97,6 +97,50 @@ struct CoreFaults {
     structural: FaultStats,
 }
 
+/// Parameter storage for the struct-of-arrays fast path.
+///
+/// Cores are overwhelmingly programmed with one parameter block for the
+/// whole population; storing that block once costs ~40 bytes where the
+/// per-neuron vector costs ~10 KiB on a full-size core — and, as important
+/// for the tick path, it stops a cold 10 KiB allocation from sitting
+/// between consecutive cores' hot membrane planes in memory.
+#[derive(Debug, Clone)]
+enum ParamStore {
+    /// Every neuron shares this block.
+    Uniform(DeterministicParams),
+    /// Per-neuron blocks, index-aligned with the neuron array.
+    PerNeuron(Vec<DeterministicParams>),
+}
+
+impl ParamStore {
+    /// Compresses a per-neuron vector (uniform populations collapse to one
+    /// block). `params` must be non-empty.
+    fn from_params(params: Vec<DeterministicParams>) -> ParamStore {
+        if params.windows(2).all(|pair| pair[0] == pair[1]) {
+            ParamStore::Uniform(params[0])
+        } else {
+            ParamStore::PerNeuron(params)
+        }
+    }
+
+    /// The shared block, when storage is uniform.
+    fn uniform(&self) -> Option<&DeterministicParams> {
+        match self {
+            ParamStore::Uniform(p) => Some(p),
+            ParamStore::PerNeuron(_) => None,
+        }
+    }
+
+    /// Neuron `index`'s block, whatever the storage.
+    #[inline]
+    fn get(&self, index: usize) -> &DeterministicParams {
+        match self {
+            ParamStore::Uniform(p) => p,
+            ParamStore::PerNeuron(v) => &v[index],
+        }
+    }
+}
+
 /// Struct-of-arrays state for the deterministic neuron fast path.
 ///
 /// Built once at construction time when — and only when — every neuron in
@@ -107,9 +151,8 @@ struct CoreFaults {
 /// potentials are written back into the scalar neurons.
 #[derive(Debug, Clone)]
 struct SoaFastPath {
-    /// Flattened per-neuron parameter blocks, index-aligned with the
-    /// core's neuron array.
-    params: Vec<DeterministicParams>,
+    /// Per-neuron parameter blocks (uniform populations store one).
+    params: ParamStore,
     /// Flat membrane potentials, authoritative while the fast path is live.
     potentials: Vec<i32>,
     /// True when every neuron shares one scan-safe parameter block: phase 2
@@ -152,6 +195,151 @@ impl fmt::Display for CoreBuildError {
 
 impl std::error::Error for CoreBuildError {}
 
+/// The builder's per-neuron programming table, with uniform-run
+/// compression.
+///
+/// Sparse full-silicon workloads program thousands of structurally silent
+/// cores by writing the *same* `(config, destination)` pair to every
+/// neuron in index order. The table recognises that pattern and stores the
+/// pair once — a 64×64 chip builder then holds a few hundred bytes per
+/// quiescent core instead of ~25 KiB of identical parameter blocks — and
+/// falls back to dense per-neuron vectors on the first write that breaks
+/// the run.
+#[derive(Debug, Clone)]
+enum NeuronTable {
+    /// Neurons `0..programmed` hold `front`; the rest hold the default
+    /// `back` pair (`NeuronConfig::default()`, [`Destination::Disabled`]).
+    Uniform {
+        front: Box<(NeuronConfig, Destination)>,
+        back: Box<(NeuronConfig, Destination)>,
+        programmed: usize,
+    },
+    /// Per-neuron storage.
+    Dense {
+        configs: Vec<NeuronConfig>,
+        destinations: Vec<Destination>,
+    },
+}
+
+impl NeuronTable {
+    fn new() -> NeuronTable {
+        let default = (NeuronConfig::default(), Destination::Disabled);
+        NeuronTable::Uniform {
+            front: Box::new(default.clone()),
+            back: Box::new(default),
+            programmed: 0,
+        }
+    }
+
+    /// Records one neuron programming, compressing uniform runs.
+    fn set(&mut self, index: usize, config: NeuronConfig, destination: Destination, n: usize) {
+        if let NeuronTable::Uniform {
+            front, programmed, ..
+        } = self
+        {
+            let matches_front = front.0 == config && front.1 == destination;
+            if *programmed == 0 && index == 0 {
+                **front = (config, destination);
+                *programmed = 1;
+                return;
+            }
+            if matches_front && index <= *programmed {
+                if index == *programmed {
+                    *programmed += 1;
+                }
+                return;
+            }
+            self.densify(n);
+        }
+        if let NeuronTable::Dense {
+            configs,
+            destinations,
+        } = self
+        {
+            configs[index] = config;
+            destinations[index] = destination;
+        }
+    }
+
+    /// Expands to per-neuron storage.
+    fn densify(&mut self, n: usize) {
+        if let NeuronTable::Uniform {
+            front,
+            back,
+            programmed,
+        } = self
+        {
+            let mut configs = vec![back.0.clone(); n];
+            let mut destinations = vec![back.1; n];
+            for i in 0..*programmed {
+                configs[i] = front.0.clone();
+                destinations[i] = front.1;
+            }
+            *self = NeuronTable::Dense {
+                configs,
+                destinations,
+            };
+        }
+    }
+
+    /// Neuron `index`'s parameter block.
+    fn config(&self, index: usize) -> &NeuronConfig {
+        match self {
+            NeuronTable::Uniform {
+                front,
+                back,
+                programmed,
+            } => {
+                if index < *programmed {
+                    &front.0
+                } else {
+                    &back.0
+                }
+            }
+            NeuronTable::Dense { configs, .. } => &configs[index],
+        }
+    }
+
+    /// Neuron `index`'s destination.
+    fn destination(&self, index: usize) -> Destination {
+        match self {
+            NeuronTable::Uniform {
+                front,
+                back,
+                programmed,
+            } => {
+                if index < *programmed {
+                    front.1
+                } else {
+                    back.1
+                }
+            }
+            NeuronTable::Dense { destinations, .. } => destinations[index],
+        }
+    }
+
+    /// The single `(config, destination)` pair shared by *all* `n` neurons,
+    /// if the table is provably uniform.
+    fn fully_uniform(&self, n: usize) -> Option<&(NeuronConfig, Destination)> {
+        match self {
+            NeuronTable::Uniform {
+                front,
+                back,
+                programmed,
+            } => {
+                if *programmed == n || **front == **back {
+                    Some(front)
+                } else if *programmed == 0 {
+                    Some(back)
+                } else {
+                    None
+                }
+            }
+            NeuronTable::Dense { .. } => None,
+        }
+    }
+}
+
 /// Builder for a [`NeurosynapticCore`].
 #[derive(Debug, Clone)]
 pub struct CoreBuilder {
@@ -159,8 +347,7 @@ pub struct CoreBuilder {
     neurons: usize,
     axon_types: Vec<AxonType>,
     crossbar: Crossbar,
-    configs: Vec<NeuronConfig>,
-    destinations: Vec<Destination>,
+    table: NeuronTable,
     seed: u32,
     strategy: EvalStrategy,
 }
@@ -179,8 +366,7 @@ impl CoreBuilder {
             neurons,
             axon_types: vec![AxonType::A0; axons],
             crossbar: Crossbar::new(axons, neurons),
-            configs: vec![NeuronConfig::default(); neurons],
-            destinations: vec![Destination::Disabled; neurons],
+            table: NeuronTable::new(),
             seed: 1,
             strategy: EvalStrategy::default(),
         }
@@ -210,8 +396,7 @@ impl CoreBuilder {
                 return Err(CoreBuildError::BadDelay(target.delay));
             }
         }
-        self.configs[index] = config;
-        self.destinations[index] = destination;
+        self.table.set(index, config, destination, self.neurons);
         Ok(self)
     }
 
@@ -268,22 +453,61 @@ impl CoreBuilder {
     }
 
     /// Finalises the core.
+    ///
+    /// A core whose neurons all share one `(config, destination)` pair and
+    /// rest at a zero-input fixed point is built *dormant*: a small header
+    /// holding the shared pair instead of per-neuron vectors. Dormant cores
+    /// are bit-identical in behaviour — the full state materialises on the
+    /// first tick that has work to do — but a never-spiked core on a
+    /// full-silicon chip costs hundreds of bytes, not tens of kilobytes.
     pub fn build(&self) -> NeurosynapticCore {
-        let neurons: Vec<Neuron> = self.configs.iter().cloned().map(Neuron::new).collect();
+        if let Some((config, destination)) = self
+            .table
+            .fully_uniform(self.neurons)
+            .filter(|pair| Neuron::new(pair.0.clone()).is_quiescent())
+            .cloned()
+        {
+            let fusible = config.deterministic_params().is_some_and(|p| p.scan_safe());
+            return NeurosynapticCore {
+                axon_types: self.axon_types.clone(),
+                crossbar: self.crossbar.clone(),
+                neurons: Vec::new(),
+                n_neurons: self.neurons,
+                destinations: Vec::new(),
+                scheduler: Scheduler::new(self.axons),
+                rng: Lfsr::new(self.seed),
+                strategy: self.strategy,
+                now: 0,
+                stats: CoreStats::default(),
+                counts: Vec::new(),
+                kernel: SwarKernel::new(self.neurons),
+                bitmap: vec![0u64; self.axons.div_ceil(64)],
+                soa: None,
+                dormant: Some(Box::new(DormantCore {
+                    config,
+                    destination,
+                    fusible,
+                })),
+                faults: None,
+                settled: true,
+            };
+        }
+
+        let configs: Vec<&NeuronConfig> = (0..self.neurons).map(|i| self.table.config(i)).collect();
+        let neurons: Vec<Neuron> = configs.iter().map(|&c| Neuron::new(c.clone())).collect();
         // A freshly built core rests at V = 0 everywhere; it is settled from
         // tick 0 iff every neuron is a zero-input fixed point there.
         let settled = neurons.iter().all(Neuron::is_quiescent);
         // Fast-path eligibility is decided once, here: a single stochastic
         // neuron anywhere in the core keeps the whole core on the scalar
         // phase-2 walk (the LFSR draw order is global to the core).
-        let soa = self
-            .configs
+        let soa = configs
             .iter()
-            .map(NeuronConfig::deterministic_params)
+            .map(|c| c.deterministic_params())
             .collect::<Option<Vec<_>>>()
             .map(|params| {
-                let uniform =
-                    params[0].scan_safe() && params.windows(2).all(|pair| pair[0] == pair[1]);
+                let params = ParamStore::from_params(params);
+                let uniform = params.uniform().is_some_and(|p| p.scan_safe());
                 Box::new(SoaFastPath {
                     params,
                     potentials: vec![0; self.neurons],
@@ -304,20 +528,45 @@ impl CoreBuilder {
             axon_types: self.axon_types.clone(),
             crossbar: self.crossbar.clone(),
             neurons,
-            destinations: self.destinations.clone(),
+            n_neurons: self.neurons,
+            destinations: (0..self.neurons)
+                .map(|i| self.table.destination(i))
+                .collect(),
             scheduler: Scheduler::new(self.axons),
             rng: Lfsr::new(self.seed),
             strategy: self.strategy,
             now: 0,
             stats: CoreStats::default(),
-            counts: vec![0u32; self.neurons * 4],
+            counts: Vec::new(),
             kernel: SwarKernel::new(self.neurons),
             bitmap: vec![0u64; self.axons.div_ceil(64)],
             soa,
+            dormant: None,
             faults: None,
             settled,
         }
     }
+}
+
+/// Compressed image of a core whose neurons all share one
+/// `(config, destination)` pair and rest at a zero-input fixed point.
+///
+/// While this is present the core's per-neuron vectors (`neurons`,
+/// `destinations`, `counts`, the SoA planes) are empty and unallocated;
+/// every read-side accessor answers from the shared pair, and the first
+/// tick with actual work — or any fault/state mutation — calls
+/// [`NeurosynapticCore::materialize`] to expand the full representation.
+/// Behaviour is bit-identical either way.
+#[derive(Debug, Clone)]
+struct DormantCore {
+    /// The parameter block shared by every neuron.
+    config: NeuronConfig,
+    /// The destination shared by every neuron.
+    destination: Destination,
+    /// Whether the materialised core will satisfy
+    /// [`NeurosynapticCore::fusible_uniform`] (modulo strategy), precomputed
+    /// so `ChipBatch` can take fusion decisions without materialising.
+    fusible: bool,
 }
 
 /// One neurosynaptic core; see the crate-level docs.
@@ -326,6 +575,8 @@ pub struct NeurosynapticCore {
     axon_types: Vec<AxonType>,
     crossbar: Crossbar,
     neurons: Vec<Neuron>,
+    /// Neuron count, authoritative even while `neurons` is unmaterialised.
+    n_neurons: usize,
     destinations: Vec<Destination>,
     scheduler: Scheduler,
     rng: Lfsr,
@@ -343,6 +594,10 @@ pub struct NeurosynapticCore {
     /// deterministic and no fault plan has vetoed it. Authoritative for the
     /// membrane potentials only while [`NeurosynapticCore::soa_live`].
     soa: Option<Box<SoaFastPath>>,
+    /// Compressed uniform-quiescent image; see [`DormantCore`]. Present ⇒
+    /// `neurons`/`destinations`/`counts`/`soa` are empty and `faults` is
+    /// `None`.
+    dormant: Option<Box<DormantCore>>,
     /// Injected fault state; `None` (the overwhelmingly common case) keeps
     /// the healthy tick path branch-free beyond one pointer test.
     faults: Option<Box<CoreFaults>>,
@@ -363,7 +618,34 @@ impl NeurosynapticCore {
     /// Number of neurons.
     #[inline]
     pub fn neurons(&self) -> usize {
-        self.neurons.len()
+        self.n_neurons
+    }
+
+    /// Expands a dormant core to its full per-neuron representation —
+    /// exactly the state a dense build of the same programming would have
+    /// produced. Idempotent; a no-op on already-dense cores.
+    fn materialize(&mut self) {
+        let Some(dormant) = self.dormant.take() else {
+            return;
+        };
+        let n = self.n_neurons;
+        let DormantCore {
+            config,
+            destination,
+            ..
+        } = *dormant;
+        self.soa = config.deterministic_params().map(|p| {
+            let uniform = p.scan_safe();
+            Box::new(SoaFastPath {
+                params: ParamStore::Uniform(p),
+                potentials: vec![0; n],
+                uniform,
+                counts: if uniform { vec![0; n * 4] } else { Vec::new() },
+                flags: if uniform { vec![0; n] } else { Vec::new() },
+            })
+        });
+        self.destinations = vec![destination; n];
+        self.neurons = vec![Neuron::new(config); n];
     }
 
     /// The core's current tick cursor (the next tick it will evaluate).
@@ -377,13 +659,38 @@ impl NeurosynapticCore {
         &self.crossbar
     }
 
+    /// Moves this core's crossbar words into a chip-level arena window;
+    /// see [`Crossbar::adopt_arena`]. The window must hold the crossbar's
+    /// exact bits. Used by the chip builder to lay every programmed
+    /// crossbar out contiguously in placement order.
+    pub fn adopt_crossbar_arena(&mut self, arena: std::sync::Arc<[u64]>, offset: usize) {
+        self.crossbar.adopt_arena(arena, offset);
+    }
+
     /// The spike destination of a neuron.
     pub fn destination(&self, neuron: usize) -> Destination {
+        if let Some(d) = self.dormant.as_deref() {
+            assert!(neuron < self.n_neurons, "neuron {neuron} out of range");
+            return d.destination;
+        }
         self.destinations[neuron]
+    }
+
+    /// Whether this core is still dormant (header-only residency): built
+    /// fully uniform and provably quiescent, and not yet woken by an
+    /// arriving event, fault injection, or state import. Dormancy is a
+    /// storage optimisation, never semantics — a dormant core is
+    /// observationally identical to its materialised twin.
+    pub fn is_dormant(&self) -> bool {
+        self.dormant.is_some()
     }
 
     /// The membrane potential of a neuron (for tracing and tests).
     pub fn potential(&self, neuron: usize) -> i32 {
+        if self.dormant.is_some() {
+            assert!(neuron < self.n_neurons, "neuron {neuron} out of range");
+            return 0; // dormant cores rest at V = 0 by construction
+        }
         if self.soa_live() {
             if let Some(soa) = self.soa.as_deref() {
                 return soa.potentials[neuron];
@@ -503,9 +810,26 @@ impl NeurosynapticCore {
         if !self.is_dropped() {
             // The evaluation sweep would have charged one (no-op) update per
             // neuron; a dropped core's tick charges none.
-            self.stats.neuron_updates += self.neurons.len() as u64;
+            self.stats.neuron_updates += self.n_neurons as u64;
         }
         self.now += 1;
+    }
+
+    /// Advances a quiescent core's clock by `behind` ticks in one step —
+    /// the bulk form of [`NeurosynapticCore::skip_tick`], used by the
+    /// chip's deferred-skip scheduler to fast-forward a core that was left
+    /// untouched for a stretch of globally-evaluated ticks. Accounting is
+    /// bit-identical to calling `skip_tick` `behind` times.
+    pub fn skip_ticks(&mut self, behind: u64) {
+        debug_assert!(
+            behind == 0 || self.is_quiescent(),
+            "bulk skip on a non-quiescent core"
+        );
+        self.stats.ticks += behind;
+        if !self.is_dropped() {
+            self.stats.neuron_updates += behind * self.n_neurons as u64;
+        }
+        self.now += behind;
     }
 
     /// Whether a fault plan disabled this core outright.
@@ -526,6 +850,9 @@ impl NeurosynapticCore {
         if injector.is_benign() {
             return;
         }
+        // Fault masks index per-neuron state; expand a dormant core first
+        // (this also upholds the invariant that dormant ⇒ no faults).
+        self.materialize();
         let neurons = self.neurons.len();
         let mut faults = CoreFaults {
             dropped: injector.core_dropped(x, y),
@@ -663,6 +990,23 @@ impl NeurosynapticCore {
             return Vec::new();
         }
 
+        // Settled fast exit: a zero-input fixed point with no events due
+        // this tick evaluates to exactly nothing — no state change, no LFSR
+        // draw, no spike — so charge the tick's bookkeeping and return.
+        // This is what keeps dormant cores unmaterialised (and full-grid
+        // sweeps cheap over quiescent silicon): the evaluation below would
+        // touch every per-neuron plane only to prove a no-op.
+        if self.settled
+            && self.bitmap.iter().all(|&w| w == 0)
+            && self.faults.as_deref().is_none_or(|f| f.stuck.is_empty())
+        {
+            self.stats.ticks += 1;
+            self.stats.neuron_updates += self.n_neurons as u64;
+            self.now += 1;
+            return Vec::new();
+        }
+        self.materialize();
+
         // The scalar override resolves once per tick: under `force-scalar`
         // the word-parallel strategy evaluates through the (equivalent)
         // sparse reference path and the fast path below never engages.
@@ -674,11 +1018,13 @@ impl NeurosynapticCore {
 
         // Phase 1: synaptic integration into per-neuron type counters. The
         // uniform fast path keeps its own planar counter block, so the
-        // interleaved scratch is only cleared when a path will read it.
+        // interleaved scratch (allocated on first use — most cores never
+        // take a scalar path) is only cleared when a path will read it.
         let uniform_fast =
             strategy == EvalStrategy::Swar && self.soa.as_deref().is_some_and(|soa| soa.uniform);
         if !uniform_fast {
-            self.counts.fill(0);
+            self.counts.clear();
+            self.counts.resize(self.n_neurons * 4, 0);
         }
         let mut axon_events = 0u64;
         let mut synaptic_events = 0u64;
@@ -739,7 +1085,7 @@ impl NeurosynapticCore {
                 // branch-free scan (bit-identical to the per-neuron walk by
                 // the `deterministic_scan_uniform` contract).
                 deterministic_scan_uniform(
-                    &soa.params[0],
+                    soa.params.get(0),
                     &mut soa.potentials,
                     &soa.counts,
                     &mut soa.flags,
@@ -752,15 +1098,14 @@ impl NeurosynapticCore {
                 // fixed-point test comes from the same pure parameter
                 // blocks. Bit-identical to the scalar walk by the
                 // `deterministic_tick` contract.
-                for (index, ((p, v), counts)) in soa
-                    .params
-                    .iter()
-                    .zip(soa.potentials.iter_mut())
+                for (index, (v, counts)) in soa
+                    .potentials
+                    .iter_mut()
                     .zip(self.counts.chunks_exact(4))
                     .enumerate()
                 {
                     let counts = [counts[0], counts[1], counts[2], counts[3]];
-                    let (next, fired_now) = deterministic_tick(p, *v, &counts);
+                    let (next, fired_now) = deterministic_tick(soa.params.get(index), *v, &counts);
                     *v = next;
                     if fired_now {
                         fired.push(index as u16);
@@ -769,10 +1114,10 @@ impl NeurosynapticCore {
                 self.settled = axon_events == 0
                     && fired.is_empty()
                     && soa
-                        .params
+                        .potentials
                         .iter()
-                        .zip(&soa.potentials)
-                        .all(|(p, &v)| deterministic_quiescent(p, v));
+                        .enumerate()
+                        .all(|(i, &v)| deterministic_quiescent(soa.params.get(i), v));
             }
             _ => {
                 for (index, neuron) in self.neurons.iter_mut().enumerate() {
@@ -829,7 +1174,7 @@ impl NeurosynapticCore {
         self.stats.ticks += 1;
         self.stats.axon_events += axon_events;
         self.stats.synaptic_events += synaptic_events;
-        self.stats.neuron_updates += self.neurons.len() as u64;
+        self.stats.neuron_updates += self.n_neurons as u64;
         self.stats.spikes += fired.len() as u64;
         self.now += 1;
         fired
@@ -844,7 +1189,15 @@ impl NeurosynapticCore {
     /// per-tick fault masking.
     #[inline]
     pub fn fusible_uniform(&self) -> bool {
-        self.soa_live() && self.soa.as_deref().is_some_and(|soa| soa.uniform) && !self.is_dropped()
+        if FORCE_SCALAR || self.strategy != EvalStrategy::Swar || self.is_dropped() {
+            return false;
+        }
+        match self.dormant.as_deref() {
+            // Dormant ⇒ no faults applied, so the precomputed eligibility
+            // bit is the whole answer.
+            Some(d) => d.fusible,
+            None => self.soa.as_deref().is_some_and(|soa| soa.uniform),
+        }
     }
 
     /// Resets all neuron potentials, the scheduler, the tick cursor and the
@@ -897,6 +1250,74 @@ fn harvest_scan_flags(flags: &[u8], fired: &mut Vec<u16>) -> bool {
         unsettled |= flag & SCAN_UNSETTLED != 0;
     }
     unsettled
+}
+
+/// Two-phase hot-state repack for a freshly built (or restored) chip.
+///
+/// A chip's cores are constructed one at a time, so each core's per-tick
+/// vectors — scheduler ring, due-axon bitmap, membrane/counter planes,
+/// destinations — end up interleaved with the builder's own scratch all
+/// over the heap, and the evaluation sweep pays a cache miss per plane per
+/// core. This pass reallocates those vectors in placement order: pass 1
+/// clones every core's hot vectors front to back while the originals are
+/// still alive (forcing the allocator to place the clones in fresh,
+/// adjacent memory rather than refilling scattered holes), pass 2 installs
+/// the clones and frees the originals. Every clone replaces a bit-identical
+/// original, so observable state is untouched.
+///
+/// Dormant cores carry no per-neuron vectors and contribute nothing; the
+/// scalar `neurons` array is reallocated only when it is the authoritative
+/// representation (no SoA fast path), keeping the transient footprint of
+/// pass 1 proportional to the hot state, not the total state.
+pub fn repack_cores(cores: &mut [NeurosynapticCore]) {
+    type SoaHotState = (ParamStore, Vec<i32>, Vec<u16>, Vec<u8>);
+    struct FreshHotState {
+        slots: Vec<u64>,
+        bitmap: Vec<u64>,
+        axon_types: Vec<AxonType>,
+        destinations: Vec<Destination>,
+        soa: Option<SoaHotState>,
+        neurons: Option<Vec<Neuron>>,
+    }
+    let fresh: Vec<FreshHotState> = cores
+        .iter()
+        .map(|core| FreshHotState {
+            slots: core.scheduler.clone_slots(),
+            bitmap: core.bitmap.clone(),
+            axon_types: core.axon_types.clone(),
+            destinations: core.destinations.clone(),
+            soa: core.soa.as_deref().map(|soa| {
+                (
+                    soa.params.clone(),
+                    soa.potentials.clone(),
+                    soa.counts.clone(),
+                    soa.flags.clone(),
+                )
+            }),
+            neurons: if core.soa.is_none() && !core.neurons.is_empty() {
+                Some(core.neurons.clone())
+            } else {
+                None
+            },
+        })
+        .collect();
+    for (core, f) in cores.iter_mut().zip(fresh) {
+        core.scheduler.install_slots(f.slots);
+        core.bitmap = f.bitmap;
+        core.axon_types = f.axon_types;
+        core.destinations = f.destinations;
+        if let Some((params, potentials, counts, flags)) = f.soa {
+            if let Some(soa) = core.soa.as_deref_mut() {
+                soa.params = params;
+                soa.potentials = potentials;
+                soa.counts = counts;
+                soa.flags = flags;
+            }
+        }
+        if let Some(neurons) = f.neurons {
+            core.neurons = neurons;
+        }
+    }
 }
 
 /// One fused tick over the same core position of N replica lanes — the
@@ -957,6 +1378,12 @@ pub fn tick_uniform_lanes(
         );
     }
 
+    // A dormant lane joining a fused tick has work arriving (or a sibling
+    // lane does); expand it so the lane views below see real planes.
+    for core in cores.iter_mut() {
+        core.materialize();
+    }
+
     // Phase 0: drain each lane's scheduler for this tick into its bitmap.
     for core in cores.iter_mut() {
         core.scheduler.take_into(tick, &mut core.bitmap);
@@ -1005,15 +1432,22 @@ pub fn tick_uniform_lanes(
 
     // Phase 2: the batched population scan, sweeping every lane's copy of
     // a 64-neuron block before the next block.
-    let params = cores[0]
+    let params = *cores[0]
         .soa
         .as_deref()
         .expect("fusible core has soa")
-        .params[0];
+        .params
+        .get(0);
     debug_assert!(
-        cores
-            .iter()
-            .all(|core| { core.soa.as_deref().expect("fusible core has soa").params[0] == params }),
+        cores.iter().all(|core| {
+            *core
+                .soa
+                .as_deref()
+                .expect("fusible core has soa")
+                .params
+                .get(0)
+                == params
+        }),
         "lanes must share the uniform parameter block"
     );
     let mut views: Vec<LaneScan<'_>> = cores
@@ -1041,7 +1475,7 @@ pub fn tick_uniform_lanes(
         core.stats.ticks += 1;
         core.stats.axon_events += axon_events[lane];
         core.stats.synaptic_events += synaptic_events[lane];
-        core.stats.neuron_updates += core.neurons.len() as u64;
+        core.stats.neuron_updates += core.n_neurons as u64;
         core.stats.spikes += fired.len() as u64;
         core.now += 1;
         results.push(fired);
@@ -1157,8 +1591,17 @@ impl NeurosynapticCore {
             axons,
             neurons,
             axon_types: self.axon_types.clone(),
-            configs: self.neurons.iter().map(|n| n.config().clone()).collect(),
-            destinations: self.destinations.clone(),
+            // A dormant core synthesises its per-neuron tables from the
+            // shared pair — the export is indistinguishable from that of
+            // its materialised twin.
+            configs: match self.dormant.as_deref() {
+                Some(d) => vec![d.config.clone(); neurons],
+                None => self.neurons.iter().map(|n| n.config().clone()).collect(),
+            },
+            destinations: match self.dormant.as_deref() {
+                Some(d) => vec![d.destination; neurons],
+                None => self.destinations.clone(),
+            },
             crossbar_words,
             potentials: (0..neurons).map(|n| self.potential(n)).collect(),
             scheduler_slots,
@@ -1273,6 +1716,11 @@ impl NeurosynapticCore {
                     core.scheduler.schedule_word(w, bits, s as u64);
                 }
             }
+        }
+        // Faults and nonzero potentials both live in per-neuron state a
+        // dormant core does not carry; expand before loading either.
+        if state.faults.is_some() || state.potentials.iter().any(|&v| v != 0) {
+            core.materialize();
         }
         if let Some(f) = &state.faults {
             // Mirror `apply_faults`: behavioural neuron faults veto the SoA

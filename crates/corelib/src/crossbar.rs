@@ -1,6 +1,35 @@
 //! The binary synaptic crossbar.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
+
+/// Longest all-zero row servable without backing storage: 64 words cover
+/// 4096 neuron columns, far past the 256 the architecture specifies.
+/// Crossbars wider than this (test-only shapes, if any) fall back to eager
+/// dense allocation in [`Crossbar::new`].
+static ZERO_ROW: [u64; 64] = [0; 64];
+
+/// Where a crossbar's packed words live.
+///
+/// A full-silicon chip holds 4096 crossbars of 8 KiB each (~268M potential
+/// synapses), but a sparse workload programs a few percent of them. Storage
+/// starts [`Storage::Empty`] (every row reads as zeros from a static slice),
+/// becomes [`Storage::Owned`] on the first programmed synapse, and the chip
+/// builder re-homes built cores into one contiguous [`Storage::Shared`]
+/// arena so the tick path walks packed words in placement order instead of
+/// chasing thousands of scattered `Vec` allocations. Shared storage is
+/// copy-on-write: a post-build mutation (fault burn-in, checkpoint restore)
+/// detaches the core back to an owned copy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Storage {
+    /// No backing words; all rows read as zeros.
+    Empty,
+    /// A privately owned dense matrix.
+    Owned(Vec<u64>),
+    /// A `words`-long window at `offset` into a chip-level arena.
+    Shared { arena: Arc<[u64]>, offset: usize },
+}
 
 /// A binary axon × neuron connectivity matrix, stored row-major as packed
 /// 64-bit words (one row per axon).
@@ -10,23 +39,46 @@ use serde::{Deserialize, Serialize};
 /// * dense path: "which axons drive neuron `i`?" — a column scan, and
 /// * sparse path: "which neurons does axon `j` drive?" — a row scan over
 ///   set bits.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Crossbar {
     axons: usize,
     neurons: usize,
     words_per_row: usize,
-    bits: Vec<u64>,
+    bits: Storage,
     /// Per-row set-bit counts, maintained incrementally by
     /// [`Crossbar::set`]. The SWAR kernel charges `synaptic_events` per
     /// active axon from these instead of re-popcounting the row, and
     /// [`Crossbar::synapse_count`] / [`Crossbar::density`] become O(1).
+    /// Left unallocated (empty vec ≡ all zeros) until the first synapse.
     row_counts: Vec<u32>,
     /// Total set bits (the sum of `row_counts`).
     total: u64,
 }
 
+/// Equality is logical, not representational: an [`Storage::Empty`]
+/// crossbar equals a dense all-zero one, and arena-shared storage equals an
+/// owned copy of the same bits. Checkpoint round-trips and `ChipBatch` lane
+/// comparisons rely on this.
+impl PartialEq for Crossbar {
+    fn eq(&self, other: &Crossbar) -> bool {
+        if self.axons != other.axons || self.neurons != other.neurons || self.total != other.total {
+            return false;
+        }
+        if self.total == 0 {
+            return true; // both all-zero, whatever the storage
+        }
+        (0..self.axons).all(|axon| self.row_words(axon) == other.row_words(axon))
+    }
+}
+
+impl Eq for Crossbar {}
+
 impl Crossbar {
     /// Creates an empty (all-zero) crossbar.
+    ///
+    /// No synapse words are allocated until the first [`Crossbar::set`] /
+    /// [`Crossbar::set_row_word`] call: a never-programmed core costs two
+    /// empty vecs, not `axons * words_per_row` words of zeros.
     ///
     /// # Panics
     ///
@@ -37,13 +89,72 @@ impl Crossbar {
             "crossbar dimensions must be non-zero"
         );
         let words_per_row = neurons.div_ceil(64);
+        // Rows wider than the static zero slice can't be served storage-free.
+        let bits = if words_per_row <= ZERO_ROW.len() {
+            Storage::Empty
+        } else {
+            Storage::Owned(vec![0; axons * words_per_row])
+        };
         Crossbar {
             axons,
             neurons,
             words_per_row,
-            bits: vec![0; axons * words_per_row],
-            row_counts: vec![0; axons],
+            bits,
+            row_counts: Vec::new(),
             total: 0,
+        }
+    }
+
+    /// Dense backing words, materialising and/or detaching from shared
+    /// storage first — the write half of copy-on-write.
+    fn bits_mut(&mut self) -> &mut Vec<u64> {
+        if let Storage::Owned(ref mut words) = self.bits {
+            return words;
+        }
+        let dense = match &self.bits {
+            Storage::Empty => vec![0; self.axons * self.words_per_row],
+            Storage::Shared { arena, offset } => {
+                arena[*offset..*offset + self.axons * self.words_per_row].to_vec()
+            }
+            Storage::Owned(_) => unreachable!(),
+        };
+        self.bits = Storage::Owned(dense);
+        match self.bits {
+            Storage::Owned(ref mut words) => words,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Per-row popcount cache, allocated on first mutation.
+    fn row_counts_mut(&mut self) -> &mut Vec<u32> {
+        if self.row_counts.is_empty() {
+            self.row_counts = vec![0; self.axons];
+        }
+        &mut self.row_counts
+    }
+
+    /// Re-homes the packed words into a shared arena window.
+    ///
+    /// The caller (the chip builder) must have copied this crossbar's words
+    /// to `arena[offset..offset + axons * words_per_row]` verbatim; the
+    /// crossbar then drops its private allocation and reads from the arena
+    /// until the next mutation detaches it again.
+    pub fn adopt_arena(&mut self, arena: Arc<[u64]>, offset: usize) {
+        debug_assert!(offset + self.axons * self.words_per_row <= arena.len());
+        debug_assert!(
+            (0..self.axons).all(|a| *self.row_words(a)
+                == arena[offset + a * self.words_per_row..offset + (a + 1) * self.words_per_row]),
+            "arena window must hold this crossbar's exact bits"
+        );
+        self.bits = Storage::Shared { arena, offset };
+    }
+
+    /// Number of backing words this crossbar privately owns (0 when empty
+    /// or arena-shared). The builder uses this to size the arena.
+    pub fn owned_words(&self) -> usize {
+        match &self.bits {
+            Storage::Owned(words) => words.len(),
+            _ => 0,
         }
     }
 
@@ -69,16 +180,30 @@ impl Crossbar {
         assert!(neuron < self.neurons, "neuron {neuron} out of range");
         let word = axon * self.words_per_row + neuron / 64;
         let mask = 1u64 << (neuron % 64);
+        // Clearing an already-clear bit must not materialise storage: a
+        // fault plan burning stuck-at-zero cells across a quiescent chip
+        // would otherwise densify every untouched core.
+        let current = self.word(word);
         // The popcount caches adjust only on an actual flip, so redundant
         // sets of an already-programmed cell stay idempotent.
-        if connected && self.bits[word] & mask == 0 {
-            self.bits[word] |= mask;
-            self.row_counts[axon] += 1;
+        if connected && current & mask == 0 {
+            self.bits_mut()[word] |= mask;
+            self.row_counts_mut()[axon] += 1;
             self.total += 1;
-        } else if !connected && self.bits[word] & mask != 0 {
-            self.bits[word] &= !mask;
-            self.row_counts[axon] -= 1;
+        } else if !connected && current & mask != 0 {
+            self.bits_mut()[word] &= !mask;
+            self.row_counts_mut()[axon] -= 1;
             self.total -= 1;
+        }
+    }
+
+    /// One packed word by flat index, storage-agnostic.
+    #[inline]
+    fn word(&self, index: usize) -> u64 {
+        match &self.bits {
+            Storage::Empty => 0,
+            Storage::Owned(words) => words[index],
+            Storage::Shared { arena, offset } => arena[offset + index],
         }
     }
 
@@ -101,10 +226,14 @@ impl Crossbar {
             "bits set beyond the last neuron column"
         );
         let slot = axon * self.words_per_row + word;
-        let old = self.bits[slot];
-        self.bits[slot] = bits;
-        self.row_counts[axon] -= old.count_ones();
-        self.row_counts[axon] += bits.count_ones();
+        let old = self.word(slot);
+        if old == bits {
+            return; // idempotent; in particular, zero words stay storage-free
+        }
+        self.bits_mut()[slot] = bits;
+        let counts = self.row_counts_mut();
+        counts[axon] -= old.count_ones();
+        counts[axon] += bits.count_ones();
         self.total -= u64::from(old.count_ones());
         self.total += u64::from(bits.count_ones());
     }
@@ -119,14 +248,23 @@ impl Crossbar {
         assert!(axon < self.axons, "axon {axon} out of range");
         assert!(neuron < self.neurons, "neuron {neuron} out of range");
         let word = axon * self.words_per_row + neuron / 64;
-        (self.bits[word] >> (neuron % 64)) & 1 != 0
+        (self.word(word) >> (neuron % 64)) & 1 != 0
     }
 
     /// The packed words of one axon row.
+    ///
+    /// A never-programmed crossbar serves every row from one static zero
+    /// slice — reading sparse silicon touches no heap pages at all.
     #[inline]
     pub fn row_words(&self, axon: usize) -> &[u64] {
         let start = axon * self.words_per_row;
-        &self.bits[start..start + self.words_per_row]
+        match &self.bits {
+            Storage::Empty => &ZERO_ROW[..self.words_per_row],
+            Storage::Owned(words) => &words[start..start + self.words_per_row],
+            Storage::Shared { arena, offset } => {
+                &arena[offset + start..offset + start + self.words_per_row]
+            }
+        }
     }
 
     /// Iterates over the neurons driven by `axon`.
@@ -141,7 +279,8 @@ impl Crossbar {
     /// incrementally maintained per-row popcount cache.
     #[inline]
     pub fn row_popcount(&self, axon: usize) -> u32 {
-        self.row_counts[axon]
+        assert!(axon < self.axons, "axon {axon} out of range");
+        self.row_counts.get(axon).copied().unwrap_or(0)
     }
 
     /// Number of synapses present. O(1).
@@ -271,6 +410,64 @@ mod tests {
     fn set_row_word_rejects_tail_bits() {
         let mut xb = Crossbar::new(4, 130);
         xb.set_row_word(0, 2, 0b100); // column 130 does not exist
+    }
+
+    #[test]
+    fn empty_crossbar_allocates_no_words() {
+        let xb = Crossbar::new(256, 256);
+        assert_eq!(xb.owned_words(), 0);
+        // Reads, redundant clears, and zero-word stores must all stay
+        // storage-free.
+        assert!(!xb.get(255, 255));
+        assert_eq!(xb.row_words(128), &[0u64; 4]);
+        assert_eq!(xb.row_popcount(7), 0);
+        let mut xb = xb;
+        xb.set(3, 3, false);
+        xb.set_row_word(2, 1, 0);
+        assert_eq!(xb.owned_words(), 0);
+        // The first real synapse materialises the dense matrix.
+        xb.set(3, 3, true);
+        assert_eq!(xb.owned_words(), 256 * 4);
+        assert!(xb.get(3, 3));
+    }
+
+    #[test]
+    fn empty_equals_dense_zero_and_arena_equals_owned() {
+        let empty = Crossbar::new(8, 100);
+        let mut dense = Crossbar::new(8, 100);
+        dense.set(0, 0, true);
+        dense.set(0, 0, false); // owned storage, all-zero bits
+        assert_eq!(empty, dense);
+
+        let mut owned = Crossbar::new(4, 70);
+        owned.set(1, 5, true);
+        owned.set(3, 69, true);
+        let mut shared = owned.clone();
+        let words: Arc<[u64]> = (0..4)
+            .flat_map(|a| owned.row_words(a).to_vec())
+            .collect::<Vec<_>>()
+            .into();
+        shared.adopt_arena(words, 0);
+        assert_eq!(shared.owned_words(), 0);
+        assert_eq!(owned, shared);
+        assert!(shared.get(1, 5) && shared.get(3, 69));
+        // Writing through shared storage detaches (copy-on-write) without
+        // disturbing the original.
+        let mut detached = shared.clone();
+        detached.set(0, 0, true);
+        assert!(detached.owned_words() > 0);
+        assert!(detached.get(1, 5));
+        assert_ne!(detached, owned);
+        assert_eq!(shared, owned);
+    }
+
+    #[test]
+    fn oversized_rows_fall_back_to_dense() {
+        // 65 words per row exceeds the static zero slice.
+        let xb = Crossbar::new(2, 64 * 64 + 8);
+        assert!(xb.owned_words() > 0);
+        assert!(!xb.get(1, 64 * 64 + 7));
+        assert_eq!(xb.row_words(1).len(), 65);
     }
 
     #[test]

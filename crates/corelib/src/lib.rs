@@ -58,8 +58,8 @@ mod spike;
 mod swar;
 
 pub use core_impl::{
-    tick_uniform_lanes, CoreBuildError, CoreBuilder, CoreFaultsState, CoreState, CoreStateError,
-    CoreStats, EvalStrategy, NeurosynapticCore,
+    repack_cores, tick_uniform_lanes, CoreBuildError, CoreBuilder, CoreFaultsState, CoreState,
+    CoreStateError, CoreStats, EvalStrategy, NeurosynapticCore,
 };
 pub use crossbar::Crossbar;
 pub use scheduler::{Scheduler, SCHEDULER_SLOTS};

@@ -51,6 +51,21 @@ impl Scheduler {
         self.axons
     }
 
+    /// A freshly allocated copy of the slot ring, for the chip builder's
+    /// two-phase hot-state repack (clone every core's hot vectors in
+    /// placement order, then install them via
+    /// [`Scheduler::install_slots`]).
+    pub(crate) fn clone_slots(&self) -> Vec<u64> {
+        self.slots.clone()
+    }
+
+    /// Installs a slot ring previously obtained from
+    /// [`Scheduler::clone_slots`]; the replacement must be bit-identical.
+    pub(crate) fn install_slots(&mut self, slots: Vec<u64>) {
+        debug_assert_eq!(self.slots, slots, "repack must not alter the ring");
+        self.slots = slots;
+    }
+
     /// Records an event for `axon` in the slot for tick `target_tick`.
     ///
     /// The caller is responsible for ensuring `target_tick` is within the

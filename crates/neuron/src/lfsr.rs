@@ -26,6 +26,103 @@ pub struct Lfsr {
 /// Taps for the maximal-length polynomial `x^32 + x^22 + x^2 + x + 1`.
 const TAPS: u32 = 0x8020_0003;
 
+/// One Galois step as a const fn, shared by [`Lfsr::next_u32`]'s runtime
+/// path and the compile-time jump tables below.
+const fn step(s: u32) -> u32 {
+    let lsb = s & 1;
+    (s >> 1) ^ (TAPS & lsb.wrapping_neg())
+}
+
+/// `JUMP_STATE[lo]` is `S^8(lo)` where `S` is one Galois step: the state an
+/// LFSR seeded with just the low byte `lo` reaches after eight steps.
+///
+/// The Galois step is linear over GF(2), so for any state `s`,
+/// `S^8(s) = S^8(s & 0xFF) ^ S^8(s & !0xFF)`. A state with zero low byte
+/// never fires the feedback in its first eight steps (each step's LSB is one
+/// of the original bits 0..=7, all zero), so `S^8(s & !0xFF) = s >> 8` and
+/// the full 8-step jump collapses to `(s >> 8) ^ JUMP_STATE[s & 0xFF]` —
+/// one table load per eight draws instead of eight dependent shift/xor pairs.
+const JUMP_STATE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut lo = 0usize;
+    while lo < 256 {
+        let mut s = lo as u32;
+        let mut i = 0;
+        while i < 8 {
+            s = step(s);
+            i += 1;
+        }
+        table[lo] = s;
+        lo += 1;
+    }
+    table
+};
+
+/// `JUMP_DRAWS[lo]` packs the eight intermediate draw bytes produced while
+/// jumping a state equal to just the low byte `lo`: byte `i-1` holds
+/// `S^i(lo) & 0xFF` for `i = 1..=8`. XORed with [`JUMP_HI`] this yields the
+/// exact `next_u8` stream of the scalar path, again by GF(2) linearity.
+const JUMP_DRAWS: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut lo = 0usize;
+    while lo < 256 {
+        let mut s = lo as u32;
+        let mut packed = 0u64;
+        let mut i = 0;
+        while i < 8 {
+            s = step(s);
+            packed |= ((s & 0xFF) as u64) << (8 * i);
+            i += 1;
+        }
+        table[lo] = packed;
+        lo += 1;
+    }
+    table
+};
+
+/// `JUMP_HI[b1]` packs the high-part contribution to the eight draw bytes.
+///
+/// For a state with zero low byte, step `i` just shifts: its low draw byte
+/// is bits `i..i+7` of the original state. Bits `i..=7` are zero, so only
+/// byte 1 of the state (bits 8..=15) ever reaches the draw window within
+/// eight steps; draw `i`'s byte is `(b1 << (8 - i)) & 0xFF`.
+const JUMP_HI: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut b1 = 0usize;
+    while b1 < 256 {
+        let mut packed = 0u64;
+        let mut i = 1;
+        while i <= 8 {
+            let byte = ((b1 as u32) << (8 - i)) & 0xFF;
+            packed |= (byte as u64) << (8 * (i - 1));
+            i += 1;
+        }
+        table[b1] = packed;
+        b1 += 1;
+    }
+    table
+};
+
+/// Compares each byte of `draws` against `numerator`, returning a bitmask
+/// with bit `i` set iff byte `i` is strictly less (the Bernoulli hit
+/// condition). Branch-free SWAR: split into even/odd byte lanes so each
+/// 16-bit lane has headroom for the add, steal the carry out of bit 8 as a
+/// ≥ indicator, then gather the per-byte indicator bits with a multiply.
+#[inline]
+fn byte_lt_mask(draws: u64, numerator: u32) -> u64 {
+    if numerator >= 256 {
+        return 0xFF;
+    }
+    const LO: u64 = 0x00FF_00FF_00FF_00FF;
+    const IND: u64 = 0x0080_0080_0080_0080;
+    let k = (0x100 - numerator as u64) * 0x0001_0001_0001_0001;
+    let even = draws & LO;
+    let odd = (draws >> 8) & LO;
+    let ge_even = (((even + k) >> 1) & IND) | ((((odd + k) >> 1) & IND) << 8);
+    let ge8 = ge_even.wrapping_mul(0x0002_0408_1020_4081) >> 56;
+    !ge8 & 0xFF
+}
+
 impl Lfsr {
     /// Creates an LFSR from a seed.
     ///
@@ -82,6 +179,37 @@ impl Lfsr {
     #[inline]
     pub fn bernoulli_256(&mut self, numerator: u32) -> bool {
         (self.next_u8() as u32) < numerator
+    }
+
+    /// `lanes` Bernoulli draws batched into a bitmask, bit `i` = draw `i`.
+    ///
+    /// Consumes exactly `lanes` draws from the stream and produces exactly
+    /// the mask a `bernoulli_256` loop would build in ascending bit order —
+    /// verified bit-for-bit in tests. Internally it jumps the LFSR eight
+    /// steps at a time via the precomputed GF(2) tables and compares all
+    /// eight draw bytes with one SWAR pass, turning the scalar path's eight
+    /// dependent shift/xor chains into one table load per byte of mask.
+    /// Injection-heavy benches draw one sample per axon per tick, so this
+    /// is the difference between the drive loop costing ~2 ns/draw and
+    /// disappearing into the noise.
+    #[inline]
+    pub fn bernoulli_mask(&mut self, numerator: u32, lanes: usize) -> u64 {
+        debug_assert!(lanes <= 64);
+        let mut mask = 0u64;
+        let mut lane = 0;
+        while lane + 8 <= lanes {
+            let lo = (self.state & 0xFF) as usize;
+            let b1 = ((self.state >> 8) & 0xFF) as usize;
+            let draws = JUMP_DRAWS[lo] ^ JUMP_HI[b1];
+            self.state = (self.state >> 8) ^ JUMP_STATE[lo];
+            mask |= byte_lt_mask(draws, numerator) << lane;
+            lane += 8;
+        }
+        while lane < lanes {
+            mask |= u64::from(self.bernoulli_256(numerator)) << lane;
+            lane += 1;
+        }
+        mask
     }
 
     /// The current internal state (for snapshotting).
@@ -167,6 +295,34 @@ mod tests {
         let mut rng = Lfsr::new(5);
         assert!(!(0..1000).any(|_| rng.bernoulli_256(0)));
         assert!((0..1000).all(|_| rng.bernoulli_256(256)));
+    }
+
+    #[test]
+    fn bernoulli_mask_matches_scalar_loop() {
+        // The batched path must be indistinguishable from the scalar loop:
+        // same mask bits AND same post-call LFSR state, for every lane
+        // count (full words, 8-multiples, ragged tails) and rate extremes.
+        let mut seed_rng = Lfsr::new(0xC0FF_EE01);
+        for _ in 0..200 {
+            let seed = seed_rng.next_u32();
+            for &rate in &[0u32, 1, 7, 64, 128, 255, 256, 300] {
+                for &lanes in &[0usize, 1, 7, 8, 9, 16, 37, 63, 64] {
+                    let mut fast = Lfsr::new(seed);
+                    let mut slow = Lfsr::new(seed);
+                    let got = fast.bernoulli_mask(rate, lanes);
+                    let mut want = 0u64;
+                    for b in 0..lanes {
+                        want |= u64::from(slow.bernoulli_256(rate)) << b;
+                    }
+                    assert_eq!(got, want, "seed {seed:#x} rate {rate} lanes {lanes}");
+                    assert_eq!(
+                        fast.state(),
+                        slow.state(),
+                        "state diverged: seed {seed:#x} rate {rate} lanes {lanes}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

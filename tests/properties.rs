@@ -822,3 +822,112 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sparse residency (crates/core + chip): the copy-on-write dormant-core,
+// arena-backed, quiescence-skipping memory layout is an optimisation, never
+// semantics. A chip built sparse must be bit-identical — per-tick summaries,
+// final census, fault statistics, telemetry, checkpoint bytes — to a twin of
+// the same network built with every compression path defeated, across
+// schedulers, thread counts, fault overlays, and a mid-run restore.
+// ---------------------------------------------------------------------------
+
+use brainsim_bench::corpus::build_workload_dense;
+
+/// A corpus-shaped definition with a small structured island, so the grid
+/// has genuinely dormant bulk cores for the sparse build to compress.
+fn arb_residency_def() -> impl Strategy<Value = WorkloadDef> {
+    (arb_workload_def(), 1usize..=4).prop_map(|(mut def, island)| {
+        def.island = Some(island.min(def.width * def.height));
+        def
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Sparse-resident chips are bit-identical to their densified twins.
+    /// `build_workload_dense` replays the identical RNG stream but defeats
+    /// every storage-compression path, so any observable gap between the
+    /// two runs is a residency bug, not a network difference.
+    #[test]
+    fn sparse_residency_is_bit_identical_to_dense_layout(
+        def in arb_residency_def(),
+        scheduling in prop_oneof![Just(CoreScheduling::Sweep), Just(CoreScheduling::Active)],
+        threads in prop_oneof![Just(1usize), Just(8)],
+        telemetry in any::<bool>(),
+    ) {
+        let (mut sparse, stats_s) =
+            build_workload(&def, EvalStrategy::Swar, scheduling, threads);
+        let (mut dense, stats_d) =
+            build_workload_dense(&def, EvalStrategy::Swar, scheduling, threads);
+        prop_assert_eq!(stats_s, stats_d);
+
+        // The twins genuinely differ in residency: the sparse build keeps
+        // its bulk cores dormant, the dense build materialises every core.
+        let structured = def.structured();
+        if structured < def.cores() {
+            let (x, y) = (structured % def.width, structured / def.width);
+            prop_assert!(sparse.core(x, y).unwrap().is_dormant());
+        }
+        for index in 0..def.cores() {
+            let (x, y) = (index % def.width, index / def.width);
+            prop_assert!(!dense.core(x, y).unwrap().is_dormant(), "core {}", index);
+        }
+
+        // Same logical machine before anything runs.
+        prop_assert_eq!(sparse.checkpoint().to_bytes(), dense.checkpoint().to_bytes());
+
+        if let Some(plan) = def.fault_plan() {
+            sparse.set_fault_plan(&plan);
+            dense.set_fault_plan(&plan);
+        }
+        if telemetry {
+            sparse.enable_telemetry(brainsim::telemetry::TelemetryConfig::default());
+            dense.enable_telemetry(brainsim::telemetry::TelemetryConfig::default());
+        }
+        let mut noise_s = Lfsr::new(lane_drive_seed(&def, 0));
+        let mut noise_d = noise_s.clone();
+        for tick in 0..def.ticks() {
+            if tick == def.ticks() / 2 {
+                // Mid-run: full-state equality, then restore both and keep
+                // going — the restore path must not depend on residency.
+                let snap_s = sparse.checkpoint();
+                let snap_d = dense.checkpoint();
+                prop_assert_eq!(snap_s.to_bytes(), snap_d.to_bytes());
+                sparse = Chip::restore(snap_s).expect("sparse twin restores");
+                dense = Chip::restore(snap_d).expect("dense twin restores");
+            }
+            let t = sparse.now();
+            for index in 0..structured {
+                let (x, y) = (index % def.width, index / def.width);
+                for (w, bits) in drive_words(&mut noise_s, def.axons, def.drive_rate)
+                    .into_iter()
+                    .enumerate()
+                {
+                    if bits != 0 {
+                        sparse.inject_word(x, y, w, bits, t).expect("inject");
+                    }
+                }
+                for (w, bits) in drive_words(&mut noise_d, def.axons, def.drive_rate)
+                    .into_iter()
+                    .enumerate()
+                {
+                    if bits != 0 {
+                        dense.inject_word(x, y, w, bits, t).expect("inject");
+                    }
+                }
+            }
+            let s = sparse.try_tick().expect("sparse tick");
+            let d = dense.try_tick().expect("dense tick");
+            prop_assert_eq!(&s, &d, "summaries diverged at tick {}", t);
+        }
+        prop_assert_eq!(sparse.census(), dense.census());
+        prop_assert_eq!(sparse.fault_stats(), dense.fault_stats());
+        prop_assert_eq!(
+            sparse.checkpoint().to_bytes(),
+            dense.checkpoint().to_bytes(),
+            "full state diverged between sparse and dense layouts"
+        );
+    }
+}
