@@ -358,8 +358,8 @@ fn build_workload_layout(
                     .expect("neuron index in range");
             }
         } else {
-            for n in 0..def.neurons {
-                core.neuron(n, config.clone(), dests[n])
+            for (n, &dest) in dests.iter().enumerate() {
+                core.neuron(n, config.clone(), dest)
                     .expect("neuron index in range");
             }
         }

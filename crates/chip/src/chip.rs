@@ -1324,6 +1324,42 @@ impl Chip {
         census
     }
 
+    /// Chaos-engineering hook: forces core `index` out of tick sync so the
+    /// chip's **next** evaluation of that core panics — contained by
+    /// [`Chip::try_tick`] as [`TickError::CorePanicked`], never an unwind
+    /// through the caller. Fault-campaign and serving-runtime harnesses use
+    /// this to exercise supervision paths (crash isolation, checkpoint
+    /// restart) with a deterministic, addressable failure.
+    ///
+    /// The core is first woken with a pending event so neither scheduler
+    /// can skip it, then its private clock is driven one tick past the
+    /// chip's — the same desynchronisation an internal invariant violation
+    /// would produce. After poisoning, the chip is condemned: the next
+    /// `try_tick` fails and the chip must be rebuilt or restored from a
+    /// checkpoint before further use.
+    ///
+    /// Returns `false` (and leaves the chip healthy) when `index` is out
+    /// of range.
+    pub fn chaos_desync_core(&mut self, index: usize) -> bool {
+        if index >= self.cores.len() {
+            return false;
+        }
+        let now = self.now;
+        let x = index % self.config.width;
+        let y = index / self.config.width;
+        // Park an event one tick out so the core stays provably
+        // non-quiescent (axon 0 always exists) — the deferred-skip
+        // scheduler must evaluate it and hit the clock check.
+        if self.inject(x, y, 0, now + 1).is_err() {
+            return false;
+        }
+        // Advance the core's private clock past the chip's. The evaluation
+        // itself is orderly; its spikes are deliberately not routed — the
+        // chip is condemned from here on, so the divergence is moot.
+        let _ = self.cores[index].tick(now);
+        true
+    }
+
     /// Resets all cores, the tick counter and the accounting; keeps wiring.
     pub fn reset(&mut self) {
         for core in &mut self.cores {
@@ -1341,6 +1377,99 @@ impl Chip {
         if let Some(log) = self.telemetry.as_deref_mut() {
             log.clear();
         }
+    }
+}
+
+/// The stepping seam: the scheduler-facing surface of a tick-driven chip,
+/// separated from ownership.
+///
+/// A serving runtime (`brainsim-serve`) multiplexes thousands of chips it
+/// does not own over a worker pool; its drive loop needs exactly four
+/// things — the clock, a fallible tick, burst injection, and the backlog —
+/// and nothing that would couple it to this crate's concrete [`Chip`]
+/// (construction, checkpointing, and placement stay with the owner). Any
+/// future backend (a [`crate::ChipBatch`] lane adapter, a remote proxy, a
+/// mock in a scheduler test) slots in behind this trait.
+///
+/// Contract: implementations must surface evaluation panics as
+/// [`TickError`] (never unwind through `try_tick`), and a failed tick
+/// leaves the implementation condemned — the driver must stop stepping it
+/// until the owner rebuilds or restores it.
+pub trait Steppable {
+    /// The next tick to be evaluated.
+    fn now(&self) -> u64;
+
+    /// Evaluates one tick, surfacing evaluation panics as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`TickError`] when evaluation failed; the implementation is
+    /// condemned and must not be stepped again.
+    fn try_tick(&mut self) -> Result<TickSummary, TickError>;
+
+    /// Injects one external spike (see [`Chip::inject`]).
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError`] for off-grid coordinates or a rejected delivery.
+    fn inject(
+        &mut self,
+        x: usize,
+        y: usize,
+        axon: usize,
+        target_tick: u64,
+    ) -> Result<(), InjectError>;
+
+    /// Burst-injects a word of events (see [`Chip::inject_word`]).
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError`] for off-grid coordinates or a rejected delivery.
+    fn inject_word(
+        &mut self,
+        x: usize,
+        y: usize,
+        word: usize,
+        bits: u64,
+        target_tick: u64,
+    ) -> Result<(), InjectError>;
+
+    /// Spike events still waiting in the delay schedulers (the backlog).
+    fn pending_events_total(&self) -> u64;
+}
+
+impl Steppable for Chip {
+    fn now(&self) -> u64 {
+        Chip::now(self)
+    }
+
+    fn try_tick(&mut self) -> Result<TickSummary, TickError> {
+        Chip::try_tick(self)
+    }
+
+    fn inject(
+        &mut self,
+        x: usize,
+        y: usize,
+        axon: usize,
+        target_tick: u64,
+    ) -> Result<(), InjectError> {
+        Chip::inject(self, x, y, axon, target_tick)
+    }
+
+    fn inject_word(
+        &mut self,
+        x: usize,
+        y: usize,
+        word: usize,
+        bits: u64,
+        target_tick: u64,
+    ) -> Result<(), InjectError> {
+        Chip::inject_word(self, x, y, word, bits, target_tick)
+    }
+
+    fn pending_events_total(&self) -> u64 {
+        Chip::pending_events_total(self)
     }
 }
 
@@ -2138,6 +2267,56 @@ mod tests {
             Chip::restore(zero_dim),
             Err(RestoreError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn steppable_seam_drives_a_chip_it_does_not_own() {
+        // A scheduler-shaped driver: owns nothing, sees only the trait.
+        fn drive(chip: &mut dyn Steppable, ticks: u64) -> Vec<u32> {
+            let mut outputs = Vec::new();
+            for _ in 0..ticks {
+                let summary = chip.try_tick().expect("healthy chip");
+                outputs.extend(summary.outputs);
+            }
+            outputs
+        }
+
+        let mut owned = relay_chain(3, TickSemantics::Deterministic, 1);
+        owned.inject(0, 0, 0, 0).unwrap();
+        let via_seam = drive(&mut owned, 6);
+
+        let mut reference = relay_chain(3, TickSemantics::Deterministic, 1);
+        reference.inject(0, 0, 0, 0).unwrap();
+        let (outputs, _) = reference.run(6);
+        assert_eq!(
+            via_seam,
+            outputs.iter().map(|&(_, p)| p).collect::<Vec<_>>()
+        );
+        assert_eq!(Steppable::now(&owned), 6);
+        assert_eq!(
+            Steppable::pending_events_total(&owned),
+            owned.pending_events_total()
+        );
+    }
+
+    #[test]
+    fn chaos_desync_poisons_exactly_one_tick_later() {
+        // Under both schedulers the poisoned core must fail the next tick
+        // as a typed error — including the deferred-skip scheduler, which
+        // would otherwise never touch a quiescent core.
+        for scheduling in [CoreScheduling::Active, CoreScheduling::Sweep] {
+            let mut chip = relay_chain_with(4, TickSemantics::Deterministic, 1, scheduling);
+            chip.try_tick().expect("healthy before poisoning");
+            assert!(chip.chaos_desync_core(2));
+            let err = chip.try_tick().expect_err("poisoned core must fail");
+            let TickError::CorePanicked { core, message, .. } = err;
+            assert_eq!(core, 2);
+            assert!(message.contains("out of tick order"), "got: {message}");
+        }
+        // Out-of-range index: refused, chip stays healthy.
+        let mut chip = relay_chain(2, TickSemantics::Deterministic, 1);
+        assert!(!chip.chaos_desync_core(99));
+        chip.try_tick().expect("still healthy");
     }
 
     #[test]

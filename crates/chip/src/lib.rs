@@ -65,7 +65,7 @@ pub mod trace;
 
 pub use batch::{BatchError, BatchTickError, ChipBatch};
 pub use builder::{ChipBuildError, ChipBuilder};
-pub use chip::{Chip, InjectError, TickError, TickSummary};
+pub use chip::{Chip, InjectError, Steppable, TickError, TickSummary};
 pub use config::{ChipConfig, CoreScheduling, TickSemantics, TileConfig};
 pub use snapshot::{Snapshot, TelemetrySnapshot};
 
@@ -77,5 +77,5 @@ pub use brainsim_telemetry::{TelemetryConfig, TelemetryLog, TickRecord};
 // checkpoint cadence helpers, re-exported so checkpointing callers need
 // only this crate.
 pub use brainsim_snapshot::{
-    CheckpointPolicy, RestoreError, RetryPolicy, SaveError, SnapshotIoError,
+    CheckpointPolicy, RestoreError, RetryPolicy, SaveError, SkippedCheckpoint, SnapshotIoError,
 };

@@ -55,7 +55,7 @@ pub struct Crossbar {
     total: u64,
 }
 
-/// Equality is logical, not representational: an [`Storage::Empty`]
+/// Equality is logical, not representational: an empty (zero-page)
 /// crossbar equals a dense all-zero one, and arena-shared storage equals an
 /// owned copy of the same bits. Checkpoint round-trips and `ChipBatch` lane
 /// comparisons rely on this.

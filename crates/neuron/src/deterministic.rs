@@ -327,7 +327,7 @@ pub struct LaneScan<'a> {
 /// resident across lanes.
 ///
 /// Bit-identical per lane to [`deterministic_scan_uniform`] on that lane
-/// alone: the inner loop is the same [`ScanConsts::scan`] body, and the
+/// alone: the inner loop is the same `ScanConsts::scan` body, and the
 /// update is pure per neuron, so block order cannot change any result.
 ///
 /// # Panics

@@ -1,0 +1,81 @@
+//! Capped exponential backoff, measured in abstract deterministic steps.
+
+/// A bounded capped-exponential retry ladder over an abstract step unit —
+/// ticks for the self-healing runner, scheduling rounds for a serving
+/// runtime. Measuring backoff in simulation steps instead of wall time
+/// keeps every retry schedule deterministic and replayable.
+///
+/// The ladder answers one question: after the `k`-th consecutive failure,
+/// how long until the next attempt — or is the budget exhausted?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffLadder {
+    base: u64,
+    cap: u64,
+    max_attempts: u32,
+}
+
+impl BackoffLadder {
+    /// A ladder waiting `base × 2^(k−1)` steps after the `k`-th failure
+    /// (capped at `cap`), permitting `max_attempts` attempts in total.
+    /// Degenerate inputs clamp: `base ≥ 1`, `cap ≥ base`,
+    /// `max_attempts ≥ 1`.
+    pub fn new(base: u64, cap: u64, max_attempts: u32) -> BackoffLadder {
+        let base = base.max(1);
+        BackoffLadder {
+            base,
+            cap: cap.max(base),
+            max_attempts: max_attempts.max(1),
+        }
+    }
+
+    /// Total attempts permitted before the ladder is exhausted.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Steps to wait after the `failed`-th consecutive failure (1-based):
+    /// `Some(base × 2^(failed−1))`, saturating and capped — or `None` when
+    /// the attempt budget is exhausted and the caller must escalate
+    /// (degrade in place, declare the session failed).
+    pub fn delay_after(&self, failed: u32) -> Option<u64> {
+        if failed >= self.max_attempts {
+            return None;
+        }
+        let shift = failed.saturating_sub(1).min(63);
+        Some(self.base.saturating_mul(1u64 << shift).min(self.cap))
+    }
+}
+
+impl Default for BackoffLadder {
+    /// 3 attempts, base 8 steps, cap 64 — the self-healing runner's
+    /// historical schedule.
+    fn default() -> Self {
+        BackoffLadder::new(8, 64, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_up_to_the_cap() {
+        let l = BackoffLadder::new(8, 20, 5);
+        assert_eq!(l.delay_after(1), Some(8));
+        assert_eq!(l.delay_after(2), Some(16));
+        assert_eq!(l.delay_after(3), Some(20)); // capped
+        assert_eq!(l.delay_after(4), Some(20));
+        assert_eq!(l.delay_after(5), None); // budget exhausted
+        assert_eq!(l.delay_after(99), None);
+    }
+
+    #[test]
+    fn degenerate_inputs_clamp() {
+        let l = BackoffLadder::new(0, 0, 0);
+        assert_eq!(l.max_attempts(), 1);
+        assert_eq!(l.delay_after(1), None); // one attempt, no retry
+                                            // Huge failure counts must not overflow the shift.
+        let l = BackoffLadder::new(u64::MAX, u64::MAX, u32::MAX);
+        assert_eq!(l.delay_after(70), Some(u64::MAX));
+    }
+}

@@ -39,11 +39,13 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod backoff;
 mod error;
 mod migrate;
 mod monitor;
 mod runner;
 
+pub use backoff::BackoffLadder;
 pub use error::RecoveryError;
 pub use migrate::hot_migrate;
 pub use monitor::{DetectorConfig, HealthMonitor, HealthReport};

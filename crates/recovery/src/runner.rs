@@ -9,6 +9,7 @@ use brainsim_faults::FaultPlan;
 use brainsim_snapshot::{CheckpointPolicy, RetryPolicy};
 use brainsim_telemetry::TelemetryConfig;
 
+use crate::backoff::BackoffLadder;
 use crate::error::RecoveryError;
 use crate::migrate::hot_migrate;
 use crate::monitor::{DetectorConfig, HealthMonitor};
@@ -272,29 +273,30 @@ impl SelfHealingRunner {
             Err(e) => {
                 self.failed_attempts += 1;
                 self.stats.failed_attempts += 1;
-                if self.failed_attempts >= self.policy.max_attempts {
-                    self.degraded = true;
-                    let err = RecoveryError::Exhausted {
-                        attempts: self.failed_attempts,
-                    };
-                    self.events.push(RecoveryEvent::DegradedInPlace {
-                        tick: now,
-                        error: format!("{err}: last error: {e}"),
-                    });
-                } else {
-                    let shift = (self.failed_attempts - 1).min(63);
-                    let backoff = self
-                        .policy
-                        .backoff_base_ticks
-                        .saturating_mul(1u64 << shift)
-                        .min(self.policy.backoff_cap_ticks)
-                        .max(1);
-                    self.next_attempt_at = now + backoff;
-                    self.events.push(RecoveryEvent::AttemptFailed {
-                        tick: now,
-                        error: e.to_string(),
-                        retry_at: self.next_attempt_at,
-                    });
+                let ladder = BackoffLadder::new(
+                    self.policy.backoff_base_ticks,
+                    self.policy.backoff_cap_ticks,
+                    self.policy.max_attempts,
+                );
+                match ladder.delay_after(self.failed_attempts) {
+                    None => {
+                        self.degraded = true;
+                        let err = RecoveryError::Exhausted {
+                            attempts: self.failed_attempts,
+                        };
+                        self.events.push(RecoveryEvent::DegradedInPlace {
+                            tick: now,
+                            error: format!("{err}: last error: {e}"),
+                        });
+                    }
+                    Some(backoff) => {
+                        self.next_attempt_at = now + backoff;
+                        self.events.push(RecoveryEvent::AttemptFailed {
+                            tick: now,
+                            error: e.to_string(),
+                            retry_at: self.next_attempt_at,
+                        });
+                    }
                 }
             }
         }

@@ -1,0 +1,114 @@
+//! Typed refusals: admission control and per-submit backpressure.
+
+use std::fmt;
+
+use brainsim_chip::SaveError;
+
+/// Why [`crate::Fleet::admit`] refused a tenant.
+#[derive(Debug)]
+pub enum AdmitError {
+    /// The tenant name is empty, too long, or contains characters outside
+    /// `[A-Za-z0-9_-]` (names become on-disk directory names).
+    InvalidTenant(String),
+    /// A live session already holds this name.
+    DuplicateTenant(String),
+    /// The fleet is at its admission cap.
+    FleetFull {
+        /// The configured cap.
+        max_tenants: usize,
+    },
+    /// The fleet is shutting down and admits no new tenants.
+    ShuttingDown,
+    /// The genesis checkpoint could not be written, so the session would
+    /// have no recovery floor; the tenant is not admitted.
+    Checkpoint(SaveError),
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::InvalidTenant(name) => {
+                write!(
+                    f,
+                    "invalid tenant name {name:?} (want [A-Za-z0-9_-], 1..=64 chars)"
+                )
+            }
+            AdmitError::DuplicateTenant(name) => write!(f, "tenant {name:?} already admitted"),
+            AdmitError::FleetFull { max_tenants } => {
+                write!(f, "fleet full ({max_tenants} tenants)")
+            }
+            AdmitError::ShuttingDown => write!(f, "fleet is shutting down"),
+            AdmitError::Checkpoint(e) => write!(f, "genesis checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdmitError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SaveError> for AdmitError {
+    fn from(e: SaveError) -> Self {
+        AdmitError::Checkpoint(e)
+    }
+}
+
+/// Why [`crate::Fleet::submit`] refused an injection. Every variant is
+/// backpressure the client is expected to handle: slow down, retry later,
+/// or give up on the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The fleet is shutting down; queues are draining, not filling.
+    ShuttingDown,
+    /// No live session holds this name.
+    TenantUnknown(String),
+    /// The session is quarantined for blowing its deadline budget; it is
+    /// not being ticked, so its queue is frozen too.
+    Quarantined {
+        /// First round at which the session leaves quarantine.
+        until_round: u64,
+    },
+    /// The session is terminally failed; its state was exported and it
+    /// will never tick again.
+    SessionFailed,
+    /// Fleet-wide shed-load is active: the total backlog crossed the high
+    /// watermark and has not yet drained below the low watermark.
+    Overloaded {
+        /// Queued injections across the fleet when this submit arrived.
+        backlog: usize,
+        /// The low watermark the backlog must drain to.
+        watermark: usize,
+    },
+    /// This tenant's own bounded queue is full.
+    QueueFull {
+        /// The configured per-tenant queue capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::ShuttingDown => write!(f, "fleet is shutting down"),
+            SubmitError::TenantUnknown(name) => write!(f, "unknown tenant {name:?}"),
+            SubmitError::Quarantined { until_round } => {
+                write!(f, "session quarantined until round {until_round}")
+            }
+            SubmitError::SessionFailed => write!(f, "session terminally failed"),
+            SubmitError::Overloaded { backlog, watermark } => write!(
+                f,
+                "fleet shedding load: backlog {backlog} must drain to {watermark}"
+            ),
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "tenant queue full ({capacity} entries)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}

@@ -1,0 +1,414 @@
+//! One tenant's session: a chip it owns, a bounded inject queue, a
+//! deadline lane, and the per-tenant accounting the fleet exports.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use brainsim_chip::{Chip, Steppable};
+
+use crate::config::BudgetMeter;
+
+/// One queued word injection: axons `word*64 + set bits` of core
+/// `(x, y)` receive an event for `target_tick`.
+///
+/// Commands queue until the session's chip reaches `target_tick`, are
+/// applied just before that tick evaluates (the `target == now` idiom),
+/// and are logged so crash recovery can replay them against an older
+/// checkpoint bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectCmd {
+    /// Target core column.
+    pub x: usize,
+    /// Target core row.
+    pub y: usize,
+    /// 64-axon word index within the core.
+    pub word: usize,
+    /// Set bits select axons `word*64 + bit`.
+    pub bits: u64,
+    /// The tick the events are scheduled for.
+    pub target_tick: u64,
+}
+
+/// Which service lane a session is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Full service rate (`ticks_per_round`).
+    Healthy,
+    /// Demoted rate (`degraded_ticks_per_round`) after repeated deadline
+    /// misses, or on probation after quarantine / crash recovery.
+    Degraded,
+}
+
+/// A terminal session failure: recovery exhausted its ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionFailure {
+    /// The chip tick the session died at.
+    pub tick: u64,
+    /// Recovery attempts made before giving up.
+    pub attempts: u32,
+    /// Rendered reason from the final attempt.
+    pub reason: String,
+}
+
+/// Where a session is in its lifecycle (the public view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionState {
+    /// Live in the healthy lane.
+    Running,
+    /// Live in the degraded lane.
+    Degraded,
+    /// Sitting out; not ticked until `until_round`.
+    Quarantined {
+        /// First round at which the session re-enters the degraded lane.
+        until_round: u64,
+    },
+    /// Crashed; waiting on the recovery ladder.
+    Recovering {
+        /// Failed recovery attempts so far.
+        attempts: u32,
+        /// Round of the next attempt.
+        next_attempt_round: u64,
+    },
+    /// Terminally failed; will never tick again.
+    Failed(SessionFailure),
+}
+
+/// Internal lifecycle mode (the fleet's working state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Mode {
+    Live,
+    Quarantined { until_round: u64 },
+    Recovering { next_attempt_round: u64 },
+    Failed(SessionFailure),
+}
+
+/// Per-tenant counters, exported in every report and view. All counters
+/// are cumulative over the session's life (recovery does not reset them —
+/// a restored chip replays ticks, and those replayed ticks are counted
+/// again, exactly as the work was re-done).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Ticks driven (including ticks replayed after recovery).
+    pub ticks: u64,
+    /// Spikes produced.
+    pub spikes: u64,
+    /// External output events.
+    pub outputs: u64,
+    /// Deterministic work: Σ (cores_evaluated + spikes) per tick.
+    pub cost_units: u64,
+    /// Wall nanoseconds spent inside `try_tick` for this session.
+    pub wall_nanos: u64,
+    /// Deepest the inject queue ever got.
+    pub queue_peak: u64,
+    /// Queued commands dropped because their target tick had passed.
+    pub stale_dropped: u64,
+    /// Commands the chip refused at application time (bad core/axon).
+    pub inject_rejected: u64,
+    /// Ticks that blew the per-tick budget.
+    pub deadline_misses: u64,
+    /// Healthy→Degraded lane demotions.
+    pub demotions: u64,
+    /// Degraded→Healthy lane promotions.
+    pub promotions: u64,
+    /// Times quarantined.
+    pub quarantines: u64,
+    /// Core panics contained by the supervisor.
+    pub panics: u64,
+    /// Successful crash recoveries.
+    pub recoveries: u64,
+    /// Logged injections re-queued for replay across all recoveries.
+    pub replayed_injections: u64,
+    /// Corrupt/unreadable checkpoint files skipped during restores.
+    pub corrupt_checkpoints_skipped: u64,
+    /// Checkpoint writes that exhausted their retry budget.
+    pub checkpoint_failures: u64,
+    /// Checkpoints successfully written.
+    pub checkpoints_written: u64,
+}
+
+/// The tick plan a worker executes for one session in one round.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RoundPlan {
+    pub ticks: u64,
+    pub budget: BudgetMeter,
+}
+
+/// What one worker's drive of one session produced.
+#[derive(Debug, Default)]
+pub(crate) struct DriveOutcome {
+    pub ticks_done: u64,
+    pub over_budget_ticks: u64,
+    /// Rendered panic, if the chip died mid-round. The tick did not
+    /// complete and the chip is poisoned; the supervisor must recover it.
+    pub panic: Option<String>,
+}
+
+pub(crate) struct Session {
+    pub tenant: String,
+    pub chip: Chip,
+    /// Bounded inject queue, kept sorted by `target_tick` (stable for
+    /// equal ticks, preserving submission order).
+    pub queue: VecDeque<InjectCmd>,
+    pub lane: Lane,
+    pub mode: Mode,
+    /// Consecutive rounds with ≥ 1 budget miss.
+    pub miss_streak: u32,
+    /// Consecutive rounds with zero misses.
+    pub clean_streak: u32,
+    /// Failed attempts in the *current* recovery episode.
+    pub recovery_attempts: u32,
+    /// Running FNV-1a checksum over `(tick, outputs)` — the session's
+    /// externally observable history, used by the differential tests and
+    /// carried in every checkpoint's application section.
+    pub checksum: u64,
+    /// Injections applied since the oldest retained checkpoint, in
+    /// application order; replayed on restore.
+    pub inject_log: Vec<InjectCmd>,
+    pub last_checkpoint_tick: u64,
+    pub metrics: SessionMetrics,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Folds bytes into a running 64-bit FNV-1a hash (the quickstart's fold,
+/// so serve checksums and quickstart checksums are directly comparable).
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Folds one tick's observable output into `hash`.
+pub(crate) fn fold_tick(hash: &mut u64, tick: u64, outputs: &[u32]) {
+    fnv1a(hash, &tick.to_le_bytes());
+    for port in outputs {
+        fnv1a(hash, &port.to_le_bytes());
+    }
+}
+
+impl Session {
+    pub(crate) fn new(tenant: String, chip: Chip) -> Session {
+        Session {
+            tenant,
+            chip,
+            queue: VecDeque::new(),
+            lane: Lane::Healthy,
+            mode: Mode::Live,
+            miss_streak: 0,
+            clean_streak: 0,
+            recovery_attempts: 0,
+            checksum: FNV_OFFSET,
+            inject_log: Vec::new(),
+            last_checkpoint_tick: 0,
+            metrics: SessionMetrics::default(),
+        }
+    }
+
+    /// The public view of the internal mode + lane pair.
+    pub(crate) fn state(&self) -> SessionState {
+        match &self.mode {
+            Mode::Live => match self.lane {
+                Lane::Healthy => SessionState::Running,
+                Lane::Degraded => SessionState::Degraded,
+            },
+            Mode::Quarantined { until_round } => SessionState::Quarantined {
+                until_round: *until_round,
+            },
+            Mode::Recovering { next_attempt_round } => SessionState::Recovering {
+                attempts: self.recovery_attempts,
+                next_attempt_round: *next_attempt_round,
+            },
+            Mode::Failed(failure) => SessionState::Failed(failure.clone()),
+        }
+    }
+
+    /// Inserts `cmd` keeping the queue sorted by `target_tick`, stable
+    /// for equal ticks. Capacity is the caller's concern.
+    pub(crate) fn enqueue(&mut self, cmd: InjectCmd) {
+        let at = self
+            .queue
+            .iter()
+            .rposition(|q| q.target_tick <= cmd.target_tick)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        self.queue.insert(at, cmd);
+        self.metrics.queue_peak = self.metrics.queue_peak.max(self.queue.len() as u64);
+    }
+
+    /// Drives the session's chip for one round: per tick, applies every
+    /// queued command that has come due, evaluates the tick through the
+    /// [`Steppable`] seam, folds the checksum, and meters the tick
+    /// against the plan's budget. Stops early on a contained core panic.
+    pub(crate) fn drive(&mut self, plan: &RoundPlan) -> DriveOutcome {
+        let mut out = DriveOutcome::default();
+        let Session {
+            chip,
+            queue,
+            inject_log,
+            checksum,
+            metrics,
+            ..
+        } = self;
+        let stepper: &mut dyn Steppable = chip;
+        for _ in 0..plan.ticks {
+            let now = stepper.now();
+            while queue.front().is_some_and(|front| front.target_tick <= now) {
+                let Some(cmd) = queue.pop_front() else { break };
+                if cmd.target_tick < now {
+                    metrics.stale_dropped += 1;
+                    continue;
+                }
+                match stepper.inject_word(cmd.x, cmd.y, cmd.word, cmd.bits, cmd.target_tick) {
+                    Ok(()) => inject_log.push(cmd),
+                    Err(_) => metrics.inject_rejected += 1,
+                }
+            }
+            let started = Instant::now();
+            match stepper.try_tick() {
+                Ok(summary) => {
+                    let wall = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    let cost = summary.cores_evaluated + summary.spikes;
+                    metrics.ticks += 1;
+                    metrics.spikes += summary.spikes;
+                    metrics.outputs += summary.outputs.len() as u64;
+                    metrics.cost_units += cost;
+                    metrics.wall_nanos += wall;
+                    fold_tick(checksum, summary.tick, &summary.outputs);
+                    out.ticks_done += 1;
+                    if plan.budget.exceeded(cost, wall) {
+                        out.over_budget_ticks += 1;
+                    }
+                }
+                Err(e) => {
+                    out.panic = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brainsim_chip::{ChipBuilder, ChipConfig};
+    use brainsim_core::Destination;
+    use brainsim_neuron::{AxonType, NeuronConfig, Weight};
+
+    fn relay_chip() -> Chip {
+        let mut builder = ChipBuilder::new(ChipConfig {
+            width: 1,
+            height: 1,
+            core_axons: 8,
+            core_neurons: 8,
+            ..ChipConfig::default()
+        });
+        let relay = NeuronConfig::builder()
+            .weight(AxonType::A0, Weight::saturating(1))
+            .threshold(1)
+            .build()
+            .expect("cfg");
+        builder
+            .core_mut(0, 0)
+            .neuron(0, relay, Destination::Output(7))
+            .expect("neuron");
+        builder.core_mut(0, 0).synapse(0, 0, true).expect("synapse");
+        builder.build().expect("build")
+    }
+
+    #[test]
+    fn enqueue_keeps_target_order_stably() {
+        let mut s = Session::new("t".into(), relay_chip());
+        for (word, tick) in [(3, 9), (1, 5), (2, 5), (4, 1)] {
+            s.enqueue(InjectCmd {
+                x: 0,
+                y: 0,
+                word,
+                bits: 1,
+                target_tick: tick,
+            });
+        }
+        let order: Vec<(usize, u64)> = s.queue.iter().map(|c| (c.word, c.target_tick)).collect();
+        assert_eq!(order, vec![(4, 1), (1, 5), (2, 5), (3, 9)]);
+        assert_eq!(s.metrics.queue_peak, 4);
+    }
+
+    #[test]
+    fn drive_applies_due_commands_and_drops_stale_ones() {
+        let mut s = Session::new("t".into(), relay_chip());
+        // Due at tick 1 → relay fires, output port 7 at tick 1.
+        s.enqueue(InjectCmd {
+            x: 0,
+            y: 0,
+            word: 0,
+            bits: 1,
+            target_tick: 1,
+        });
+        // Bad word index → rejected at application time.
+        s.enqueue(InjectCmd {
+            x: 0,
+            y: 0,
+            word: 99,
+            bits: 1,
+            target_tick: 1,
+        });
+        let out = s.drive(&RoundPlan {
+            ticks: 4,
+            budget: BudgetMeter::Unlimited,
+        });
+        assert_eq!(out.ticks_done, 4);
+        assert!(out.panic.is_none());
+        assert_eq!(s.metrics.outputs, 1);
+        assert_eq!(s.metrics.inject_rejected, 1);
+        assert_eq!(s.inject_log.len(), 1);
+
+        // A command whose tick already passed is dropped as stale.
+        s.enqueue(InjectCmd {
+            x: 0,
+            y: 0,
+            word: 0,
+            bits: 1,
+            target_tick: 2,
+        });
+        let _ = s.drive(&RoundPlan {
+            ticks: 1,
+            budget: BudgetMeter::Unlimited,
+        });
+        assert_eq!(s.metrics.stale_dropped, 1);
+
+        // Checksum matches an independently driven twin.
+        let mut twin = relay_chip();
+        let mut expect = FNV_OFFSET;
+        twin.inject_word(0, 0, 0, 1, 1).expect("inject");
+        for _ in 0..5 {
+            let summary = twin.tick();
+            fold_tick(&mut expect, summary.tick, &summary.outputs);
+        }
+        assert_eq!(s.checksum, expect);
+    }
+
+    #[test]
+    fn cost_budget_marks_over_budget_ticks() {
+        let mut s = Session::new("t".into(), relay_chip());
+        s.enqueue(InjectCmd {
+            x: 0,
+            y: 0,
+            word: 0,
+            bits: 1,
+            target_tick: 1,
+        });
+        // Tick 1 evaluates a core and fires: cost ≥ 2 blows a 0-unit
+        // budget; fully quiescent ticks cost 0 and pass.
+        let out = s.drive(&RoundPlan {
+            ticks: 3,
+            budget: BudgetMeter::CostUnitsPerTick(0),
+        });
+        assert_eq!(out.ticks_done, 3);
+        assert!(out.over_budget_ticks >= 1);
+        assert!(out.over_budget_ticks < 3);
+        assert!(s.metrics.cost_units > 0);
+    }
+}

@@ -62,4 +62,4 @@ pub use container::{
 };
 pub use crc::crc32;
 pub use file::{inject_write_failures, load_verified, save_atomic, SnapshotIoError};
-pub use policy::{CheckpointPolicy, RetryPolicy, SaveError};
+pub use policy::{CheckpointPolicy, NewestVerifying, RetryPolicy, SaveError, SkippedCheckpoint};

@@ -78,6 +78,28 @@ impl std::error::Error for SaveError {
     }
 }
 
+/// A checkpoint file [`CheckpointPolicy::load_newest_verifying_with_skips`]
+/// passed over on its backwards walk: newer than the winner, but damaged or
+/// unreadable. Surfacing these lets a supervisor log and meter
+/// corrupt-checkpoint events instead of silently healing past them — a
+/// checkpoint that rots on disk is an incident even when an older one
+/// saves the restore.
+#[derive(Debug)]
+pub struct SkippedCheckpoint {
+    /// The tick encoded in the skipped file's name.
+    pub tick: u64,
+    /// The skipped file.
+    pub path: PathBuf,
+    /// Why it was skipped: unreadable, or failed container verification.
+    pub error: SnapshotIoError,
+}
+
+/// The audited result of
+/// [`CheckpointPolicy::load_newest_verifying_with_skips`]: the newest
+/// verifying `(tick, bytes)` — or `None` — plus every newer checkpoint
+/// the backwards walk skipped, newest first.
+pub type NewestVerifying = (Option<(u64, Vec<u8>)>, Vec<SkippedCheckpoint>);
+
 /// When to checkpoint and how many checkpoints to retain.
 ///
 /// Retention is the corruption-recovery margin: with `keep ≥ 2`, a latest
@@ -212,15 +234,23 @@ impl CheckpointPolicy {
     /// past corrupt or unreadable files. Returns `None` when no checkpoint
     /// verifies; IO errors other than per-file read failures propagate.
     pub fn load_newest_verifying(dir: &Path) -> io::Result<Option<(u64, Vec<u8>)>> {
+        Ok(CheckpointPolicy::load_newest_verifying_with_skips(dir)?.0)
+    }
+
+    /// [`CheckpointPolicy::load_newest_verifying`] with the audit trail:
+    /// alongside the winner (or `None`), returns every newer checkpoint the
+    /// walk skipped and the [`SnapshotIoError`] that disqualified it, in
+    /// newest-first walk order. A damaged or vanished file is exactly what
+    /// fallback is for — but the caller gets to log and meter it.
+    pub fn load_newest_verifying_with_skips(dir: &Path) -> io::Result<NewestVerifying> {
+        let mut skipped = Vec::new();
         for (tick, path) in CheckpointPolicy::list(dir)?.into_iter().rev() {
             match load_verified(&path) {
-                Ok(bytes) => return Ok(Some((tick, bytes))),
-                // A damaged or vanished file is exactly what fallback is
-                // for: keep walking to the next-older checkpoint.
-                Err(SnapshotIoError::Restore(_)) | Err(SnapshotIoError::Io(_)) => continue,
+                Ok(bytes) => return Ok((Some((tick, bytes)), skipped)),
+                Err(error) => skipped.push(SkippedCheckpoint { tick, path, error }),
             }
         }
-        Ok(None)
+        Ok((None, skipped))
     }
 }
 
@@ -293,6 +323,41 @@ mod tests {
             .expect("fallback found");
         assert_eq!(tick, 10);
         assert_eq!(loaded, payload(10));
+
+        // The audited form reports the same winner plus *why* tick 20 was
+        // passed over.
+        let (found, skipped) =
+            CheckpointPolicy::load_newest_verifying_with_skips(&dir).expect("io");
+        let (tick, loaded) = found.expect("fallback found");
+        assert_eq!(tick, 10);
+        assert_eq!(loaded, payload(10));
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].tick, 20);
+        assert_eq!(skipped[0].path, newest);
+        assert!(matches!(skipped[0].error, SnapshotIoError::Restore(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_corrupt_reports_every_skip_and_no_winner() {
+        let dir = tmpdir("all-corrupt");
+        let p = CheckpointPolicy::new(10, 3);
+        for tick in [10, 20] {
+            p.save(&dir, tick, &payload(tick)).expect("save");
+            let path = CheckpointPolicy::path_for(&dir, tick);
+            let mut bytes = std::fs::read(&path).expect("read");
+            let n = bytes.len();
+            bytes[n - 1] ^= 0xFF;
+            std::fs::write(&path, &bytes).expect("damage");
+        }
+        let (found, skipped) =
+            CheckpointPolicy::load_newest_verifying_with_skips(&dir).expect("io");
+        assert!(found.is_none());
+        // Newest-first walk order.
+        assert_eq!(
+            skipped.iter().map(|s| s.tick).collect::<Vec<_>>(),
+            vec![20, 10]
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,330 @@
+//! Multi-tenant serving demo: eight tenants on one supervised fleet —
+//! six well-behaved, one hostile cost hog (quarantined by the deadline
+//! policy), one poisoned mid-run (its core panics; the supervisor
+//! restores the newest verifying checkpoint and replays its injections).
+//!
+//! Every tenant is driven to exactly `--ticks` ticks and evicted, and
+//! each prints one line:
+//!
+//! ```text
+//! tenant t0: ticks=96 checksum=0x… state=running
+//! ```
+//!
+//! The checksum folds every tick's output raster (the quickstart's
+//! FNV-1a), and the stimulus is a pure function of the tick, so the
+//! lines are a *pure function of `--ticks`*: kill this process at any
+//! instant (`kill -9`), run again with `--resume`, and the surviving
+//! tenants print the identical lines an uninterrupted run prints. The
+//! `serve-soak` CI job enforces exactly that.
+
+use std::path::PathBuf;
+
+use brainsim::chip::{Chip, ChipBuilder, ChipConfig, CoreScheduling};
+use brainsim::core::Destination;
+use brainsim::neuron::{AxonType, NeuronConfig, Weight};
+use brainsim::serve::{
+    BackoffLadder, BudgetMeter, DeadlinePolicy, Fleet, FleetEvent, InjectCmd, ServeConfig,
+    SessionState, TenantReport,
+};
+
+const HEALTHY: [(&str, u32); 6] = [
+    ("t0", 101),
+    ("t1", 102),
+    ("t2", 103),
+    ("t3", 104),
+    ("t4", 105),
+    ("t5", 106),
+];
+const HOG_SEED: u32 = 200;
+const WILD_SEED: u32 = 300;
+/// The tick at which the wild tenant's core is desynchronised.
+const POISON_TICK: u64 = 48;
+
+struct Args {
+    ticks: u64,
+    state_dir: PathBuf,
+    resume: bool,
+    workers: usize,
+    round_sleep_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ticks: 96,
+        state_dir: PathBuf::from("target/serve-demo"),
+        resume: false,
+        workers: 2,
+        round_sleep_ms: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--ticks" => args.ticks = value("--ticks")?.parse().map_err(|e| format!("{e}"))?,
+            "--state-dir" => args.state_dir = PathBuf::from(value("--state-dir")?),
+            "--resume" => args.resume = true,
+            "--workers" => {
+                args.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--round-sleep-ms" => {
+                args.round_sleep_ms = value("--round-sleep-ms")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    // Tick plans advance tenants in steps of 8 (healthy) and 2
+    // (degraded/probation); a multiple-of-8 target is hit exactly on
+    // every path, which is what makes the kill/resume lines comparable.
+    if args.ticks == 0 || !args.ticks.is_multiple_of(8) {
+        return Err("--ticks must be a positive multiple of 8".to_string());
+    }
+    Ok(args)
+}
+
+fn relay_config() -> NeuronConfig {
+    NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(1))
+        .threshold(1)
+        .build()
+        .expect("static neuron parameters")
+}
+
+/// A grid of relay cores: axon `i` of core `c` echoes to output port
+/// `c*8 + i`, so the checksum observes exactly which injections landed.
+fn echo_chip(grid: usize, seed: u32, scheduling: CoreScheduling) -> Chip {
+    let mut b = ChipBuilder::new(ChipConfig {
+        width: grid,
+        height: grid,
+        core_axons: 8,
+        core_neurons: 8,
+        seed,
+        threads: 1,
+        scheduling,
+        ..ChipConfig::default()
+    });
+    for y in 0..grid {
+        for x in 0..grid {
+            let core = (y * grid + x) as u32;
+            for i in 0..8 {
+                b.core_mut(x, y)
+                    .neuron(i, relay_config(), Destination::Output(core * 8 + i as u32))
+                    .expect("static wiring");
+                b.core_mut(x, y).synapse(i, i, true).expect("static wiring");
+            }
+        }
+    }
+    b.build().expect("static chip is valid")
+}
+
+/// The deterministic stimulus: a pure function of `(seed, tick)`, so a
+/// resumed process regenerates exactly the injections a killed one lost.
+fn stim(seed: u64, tick: u64) -> Option<InjectCmd> {
+    if tick.is_multiple_of(3) {
+        return None;
+    }
+    let mixed = (seed ^ tick).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    Some(InjectCmd {
+        x: (tick as usize) % 2,
+        y: (mixed as usize >> 8) % 2,
+        word: 0,
+        bits: (mixed & 0xFF) | 1,
+        target_tick: tick,
+    })
+}
+
+fn state_name(state: &SessionState) -> String {
+    match state {
+        SessionState::Running => "running".to_string(),
+        SessionState::Degraded => "degraded".to_string(),
+        SessionState::Quarantined { .. } => "quarantined".to_string(),
+        SessionState::Recovering { .. } => "recovering".to_string(),
+        SessionState::Failed(_) => "failed".to_string(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| {
+        eprintln!("usage error: {e}");
+        e
+    })?;
+
+    let config = ServeConfig {
+        workers: args.workers,
+        max_tenants: 8,
+        queue_capacity: 256,
+        ticks_per_round: 8,
+        degraded_ticks_per_round: 2,
+        shed_high_watermark: 100_000,
+        shed_low_watermark: 50_000,
+        deadline: DeadlinePolicy {
+            // Cost units are deterministic, so every demotion/quarantine
+            // decision replays identically across runs and worker counts.
+            budget: BudgetMeter::CostUnitsPerTick(60),
+            demote_after: 2,
+            promote_after: 4,
+            quarantine_after: 3,
+            quarantine_rounds: 6,
+        },
+        recovery: BackoffLadder::new(1, 4, 3),
+        checkpoint_every: 16,
+        checkpoint_keep: 3,
+        checkpoint_retry: Default::default(),
+    };
+    let mut fleet = Fleet::new(config, &args.state_dir);
+
+    let mut tenants: Vec<(String, u64, bool)> = Vec::new(); // (name, seed, stimulated)
+    for (name, seed) in HEALTHY {
+        tenants.push((name.to_string(), seed as u64, true));
+    }
+    tenants.push(("hog".to_string(), HOG_SEED as u64, false));
+    tenants.push(("wild".to_string(), WILD_SEED as u64, true));
+
+    for (name, seed, _) in &tenants {
+        let chip = match name.as_str() {
+            // 8×8 under full-sweep scheduling: ≥ 64 cost units every
+            // tick, permanently over the 60-unit budget — the hostile
+            // tenant the deadline policy must contain.
+            "hog" => echo_chip(8, *seed as u32, CoreScheduling::Sweep),
+            _ => echo_chip(2, *seed as u32, CoreScheduling::Active),
+        };
+        if args.resume {
+            fleet.resume(name, chip)?;
+        } else {
+            fleet.admit(name, chip)?;
+        }
+        let view = fleet.session(name).expect("admitted session");
+        eprintln!(
+            "admitted {name} at tick {}{}",
+            view.ticks,
+            if view.ticks > 0 { " (resumed)" } else { "" }
+        );
+    }
+
+    let mut upto: Vec<u64> = tenants
+        .iter()
+        .map(|(name, _, _)| fleet.session(name).map_or(0, |v| v.ticks))
+        .collect();
+    let mut poisoned = false;
+    let mut reports: Vec<TenantReport> = Vec::new();
+
+    let fuse = 64 + args.ticks * 4; // quarantine cycles make the hog slow
+    for _round in 0..fuse {
+        // Evict every tenant that has reached the target exactly — before
+        // driving, so a resumed session already at the target is not
+        // driven past it.
+        for (name, _, _) in &tenants {
+            let Some(view) = fleet.session(name) else {
+                continue;
+            };
+            if view.ticks >= args.ticks {
+                if let Some(report) = fleet.evict(name) {
+                    reports.push(report);
+                }
+            }
+        }
+        if fleet.tenants().is_empty() {
+            break;
+        }
+        // Poison the wild tenant the first time it crosses the poison
+        // tick in this process: its next driven tick panics, and the
+        // supervisor must restore + replay.
+        if !poisoned {
+            if let Some(view) = fleet.session("wild") {
+                if view.ticks >= POISON_TICK && view.ticks < args.ticks {
+                    assert!(fleet.chaos_poison_core("wild", 0));
+                    poisoned = true;
+                    eprintln!("poisoned tenant wild at tick {}", view.ticks);
+                }
+            }
+        }
+        for (i, (name, seed, stimulated)) in tenants.iter().enumerate() {
+            if !stimulated {
+                continue;
+            }
+            let Some(view) = fleet.session(name) else {
+                continue;
+            };
+            let horizon = view.ticks.saturating_add(24).min(args.ticks);
+            while upto[i] < horizon {
+                if let Some(cmd) = stim(*seed, upto[i]) {
+                    if fleet.submit(name, cmd).is_err() {
+                        break;
+                    }
+                }
+                upto[i] += 1;
+            }
+        }
+        fleet.run_round();
+        for event in fleet.drain_events() {
+            match event {
+                FleetEvent::SessionPanicked { tenant, tick, .. } => {
+                    eprintln!("contained panic: tenant {tenant} at tick {tick}");
+                }
+                FleetEvent::Recovered {
+                    tenant,
+                    from_tick,
+                    replayed,
+                    corrupt_skipped,
+                    ..
+                } => {
+                    eprintln!(
+                        "recovered: tenant {tenant} from tick {from_tick} \
+                         ({replayed} injections replayed, {corrupt_skipped} corrupt skipped)"
+                    );
+                }
+                FleetEvent::Quarantined {
+                    tenant,
+                    until_round,
+                    ..
+                } => {
+                    eprintln!("quarantined: tenant {tenant} until round {until_round}");
+                }
+                FleetEvent::SessionFailed {
+                    tenant, failure, ..
+                } => {
+                    eprintln!("FAILED: tenant {tenant}: {}", failure.reason);
+                }
+                _ => {}
+            }
+        }
+        if args.round_sleep_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(args.round_sleep_ms));
+        }
+    }
+
+    for (name, _, _) in &tenants {
+        let Some(view) = fleet.session(name) else {
+            continue;
+        };
+        if view.ticks >= args.ticks {
+            if let Some(report) = fleet.evict(name) {
+                reports.push(report);
+            }
+        }
+    }
+    // Anything still in the fleet after the fuse is a bug in the demo.
+    for name in fleet.tenants() {
+        eprintln!("warning: tenant {name} never reached tick {}", args.ticks);
+    }
+
+    reports.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    let mut total_ticks = 0u64;
+    let mut total_nanos = 0u64;
+    for report in &reports {
+        println!(
+            "tenant {}: ticks={} checksum={:#018x} state={}",
+            report.tenant,
+            report.ticks,
+            report.checksum,
+            state_name(&report.state),
+        );
+        total_ticks += report.metrics.ticks;
+        total_nanos += report.metrics.wall_nanos;
+    }
+    if let Some(mean) = total_nanos.checked_div(total_ticks) {
+        eprintln!("drove {total_ticks} tenant-ticks, mean {mean} ns/tick");
+    }
+    Ok(())
+}

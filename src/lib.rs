@@ -25,6 +25,7 @@
 //! | [`telemetry`] | `brainsim-telemetry` | per-tick probes, ring sinks, JSONL/CSV exporters |
 //! | [`snapshot`] | `brainsim-snapshot` | crash-consistent checkpoint container, codecs, retention policy |
 //! | [`recovery`] | `brainsim-recovery` | self-healing runtime: fault detection, re-placement, hot migration |
+//! | [`serve`] | `brainsim-serve` | multi-tenant serving runtime: deadlines, backpressure, crash-isolated recovery |
 //!
 //! ## Quickstart
 //!
@@ -88,6 +89,7 @@ pub use brainsim_faults as faults;
 pub use brainsim_neuron as neuron;
 pub use brainsim_noc as noc;
 pub use brainsim_recovery as recovery;
+pub use brainsim_serve as serve;
 pub use brainsim_snapshot as snapshot;
 pub use brainsim_snn as snn;
 pub use brainsim_telemetry as telemetry;

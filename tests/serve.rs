@@ -1,0 +1,831 @@
+//! Differential chaos suite for the serving runtime.
+//!
+//! The load-bearing claims, each proven differentially:
+//!
+//! 1. **Worker-count invariance** — the fleet's complete supervision
+//!    journal (demotions, quarantines, panics, recoveries, checkpoint
+//!    failures) and every tenant's final `(ticks, checksum)` are
+//!    bit-identical at `workers ∈ {1, 2, 8}`, even while one tenant's
+//!    chip is crashing and its newest checkpoint is rotting on disk.
+//! 2. **Crash isolation** — a tenant whose core panics, whose newest
+//!    checkpoint is corrupt, and whose recovery replays logged
+//!    injections ends bit-identical to a never-crashed solo twin; every
+//!    *other* tenant ends bit-identical to its own solo twin.
+//! 3. **Typed backpressure** — queue caps, fleet shed-load watermarks
+//!    (with hysteresis), admission control and shutdown all refuse with
+//!    the documented typed errors, deterministically.
+//! 4. **Terminal failure** — when every checkpoint is corrupt, the
+//!    recovery ladder climbs at the configured rounds and exhausts into
+//!    a typed `SessionState::Failed` without disturbing bystanders.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use brainsim::chip::{
+    CheckpointPolicy, Chip, ChipBuilder, ChipConfig, CoreScheduling, RetryPolicy,
+};
+use brainsim::core::Destination;
+use brainsim::neuron::{AxonType, NeuronConfig, Weight};
+use brainsim::serve::{
+    AdmitError, BackoffLadder, BudgetMeter, DeadlinePolicy, Fleet, FleetEvent, InjectCmd,
+    ServeConfig, SessionState, SubmitError,
+};
+use brainsim::snapshot::inject_write_failures;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fold_tick(hash: &mut u64, tick: u64, outputs: &[u32]) {
+    fnv1a(hash, &tick.to_le_bytes());
+    for port in outputs {
+        fnv1a(hash, &port.to_le_bytes());
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("brainsim-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn relay_config() -> NeuronConfig {
+    NeuronConfig::builder()
+        .weight(AxonType::A0, Weight::saturating(1))
+        .threshold(1)
+        .build()
+        .expect("neuron config")
+}
+
+/// A `grid`×`grid` chip of relay cores: axon `i` of core `c` drives
+/// neuron `i` straight to output port `c*8 + i`. Every spike is a pure
+/// echo of the stimulus, so checksums are an exact probe of *which*
+/// injections were applied at *which* ticks.
+fn echo_chip(grid: usize, seed: u32, scheduling: CoreScheduling) -> Chip {
+    let mut b = ChipBuilder::new(ChipConfig {
+        width: grid,
+        height: grid,
+        core_axons: 8,
+        core_neurons: 8,
+        seed,
+        threads: 1,
+        scheduling,
+        ..ChipConfig::default()
+    });
+    for y in 0..grid {
+        for x in 0..grid {
+            let core = (y * grid + x) as u32;
+            for i in 0..8 {
+                b.core_mut(x, y)
+                    .neuron(i, relay_config(), Destination::Output(core * 8 + i as u32))
+                    .expect("neuron");
+                b.core_mut(x, y).synapse(i, i, true).expect("synapse");
+            }
+        }
+    }
+    b.build().expect("build")
+}
+
+fn tenant_chip(seed: u32) -> Chip {
+    echo_chip(2, seed, CoreScheduling::Active)
+}
+
+/// The deterministic per-tenant stimulus: a pure function of
+/// `(seed, tick)`, so the fleet-side submit stream and the solo twin
+/// apply byte-identical injections.
+fn stim(seed: u64, tick: u64) -> Option<InjectCmd> {
+    if tick.is_multiple_of(3) {
+        return None;
+    }
+    let mixed = (seed ^ tick).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    Some(InjectCmd {
+        x: (tick as usize) % 2,
+        y: (mixed as usize >> 8) % 2,
+        word: 0,
+        bits: (mixed & 0xFF) | 1,
+        target_tick: tick,
+    })
+}
+
+/// Runs a fresh twin of a fleet tenant solo for `ticks` ticks and
+/// returns the checksum the fleet must have produced.
+fn solo_checksum(mut chip: Chip, seed: u64, ticks: u64, with_stim: bool) -> u64 {
+    let mut checksum = FNV_OFFSET;
+    for _ in 0..ticks {
+        let now = chip.now();
+        if with_stim {
+            if let Some(cmd) = stim(seed, now) {
+                chip.inject_word(cmd.x, cmd.y, cmd.word, cmd.bits, cmd.target_tick)
+                    .expect("twin inject");
+            }
+        }
+        let summary = chip.tick();
+        fold_tick(&mut checksum, summary.tick, &summary.outputs);
+    }
+    checksum
+}
+
+/// Submits `name`'s stimulus for every tick in `[*upto, current+24)`,
+/// advancing the monotonic high-water mark. Refusals (quarantine) leave
+/// the mark unmoved so the ticks are retried next round.
+fn top_up(fleet: &mut Fleet, name: &str, seed: u64, upto: &mut u64) {
+    let Some(view) = fleet.session(name) else {
+        return;
+    };
+    let horizon = view.ticks + 24;
+    while *upto < horizon {
+        if let Some(cmd) = stim(seed, *upto) {
+            if fleet.submit(name, cmd).is_err() {
+                return;
+            }
+        }
+        *upto += 1;
+    }
+}
+
+fn flip_last_byte(path: &std::path::Path) {
+    let mut bytes = std::fs::read(path).expect("read checkpoint");
+    let n = bytes.len();
+    bytes[n - 1] ^= 0xFF;
+    std::fs::write(path, &bytes).expect("write corrupted checkpoint");
+}
+
+fn chaos_config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        max_tenants: 8,
+        queue_capacity: 256,
+        ticks_per_round: 8,
+        degraded_ticks_per_round: 2,
+        shed_high_watermark: 100_000,
+        shed_low_watermark: 50_000,
+        deadline: DeadlinePolicy {
+            budget: BudgetMeter::CostUnitsPerTick(60),
+            demote_after: 2,
+            promote_after: 4,
+            quarantine_after: 3,
+            quarantine_rounds: 6,
+        },
+        recovery: BackoffLadder::new(1, 4, 3),
+        checkpoint_every: 16,
+        checkpoint_keep: 2,
+        checkpoint_retry: RetryPolicy::new(1, Duration::ZERO, Duration::ZERO),
+    }
+}
+
+const HEALTHY: [(&str, u64); 4] = [("t0", 11), ("t1", 22), ("t2", 33), ("t3", 44)];
+const VICTIM_SEED: u64 = 77;
+const ROUNDS: u64 = 18;
+
+/// One full chaos scenario at a given worker count: 4 healthy tenants,
+/// one hostile cost hog, one tenant that is poisoned at round 6 with its
+/// newest checkpoint corrupted, plus one injected checkpoint-write
+/// failure at round 10. Returns the complete event journal and every
+/// tenant's final `(ticks, checksum)`.
+fn run_chaos(workers: usize) -> (Vec<FleetEvent>, Vec<(String, u64, u64)>) {
+    let dir = tmpdir(&format!("chaos-w{workers}"));
+    let mut fleet = Fleet::new(chaos_config(workers), &dir);
+    for (name, seed) in HEALTHY {
+        fleet
+            .admit(name, tenant_chip(seed as u32))
+            .expect("admit healthy");
+    }
+    fleet
+        .admit("hog", echo_chip(8, 5, CoreScheduling::Sweep))
+        .expect("admit hog");
+    fleet
+        .admit("victim", tenant_chip(VICTIM_SEED as u32))
+        .expect("admit victim");
+
+    let mut upto: Vec<u64> = vec![0; HEALTHY.len() + 1];
+    for round in 0..ROUNDS {
+        if round == 6 {
+            // Rot the newest checkpoint on disk, then poison one core:
+            // the next driven tick panics and recovery must fall back
+            // past the damage.
+            let ckpt_dir = fleet.tenant_state_dir("victim");
+            let newest = CheckpointPolicy::list(&ckpt_dir)
+                .expect("list victim checkpoints")
+                .pop()
+                .expect("victim has checkpoints");
+            flip_last_byte(&newest.1);
+            assert!(fleet.chaos_poison_core("victim", 0));
+        }
+        if round == 10 {
+            // One transient write failure with a 1-attempt retry budget:
+            // the next due checkpoint write (slot order: t0, round 11)
+            // must fail without hurting the session.
+            inject_write_failures(1);
+        }
+        for (i, (name, seed)) in HEALTHY.iter().enumerate() {
+            top_up(&mut fleet, name, *seed, &mut upto[i]);
+        }
+        let n = HEALTHY.len();
+        top_up(&mut fleet, "victim", VICTIM_SEED, &mut upto[n]);
+        fleet.run_round();
+    }
+
+    // Mid-run probe: the hog must be quarantined right now, and a submit
+    // against it must say so with the round it frees up.
+    match fleet.submit(
+        "hog",
+        InjectCmd {
+            x: 0,
+            y: 0,
+            word: 0,
+            bits: 1,
+            target_tick: 10_000,
+        },
+    ) {
+        Err(SubmitError::Quarantined { until_round }) => assert!(until_round >= ROUNDS),
+        other => panic!("expected hog quarantined, got {other:?}"),
+    }
+
+    let events = fleet.drain_events();
+    let mut finals = Vec::new();
+    for name in ["t0", "t1", "t2", "t3", "hog", "victim"] {
+        let view = fleet.session(name).expect("view");
+        finals.push((name.to_string(), view.ticks, view.checksum));
+    }
+
+    // Per-tenant supervision assertions (identical at every worker
+    // count, so checked inside the scenario).
+    let victim = fleet.session("victim").expect("victim view");
+    assert_eq!(victim.metrics.panics, 1);
+    assert_eq!(victim.metrics.recoveries, 1);
+    assert!(victim.metrics.corrupt_checkpoints_skipped >= 1);
+    assert!(victim.metrics.replayed_injections >= 1);
+    assert_eq!(victim.metrics.deadline_misses, 0);
+
+    let hog = fleet.session("hog").expect("hog view");
+    assert!(hog.metrics.deadline_misses > 0);
+    assert!(hog.metrics.demotions >= 1);
+    assert!(hog.metrics.quarantines >= 1);
+    assert!(matches!(hog.state, SessionState::Quarantined { .. }));
+
+    let mut checkpoint_failures = 0;
+    for (name, _) in HEALTHY {
+        let view = fleet.session(name).expect("healthy view");
+        assert_eq!(view.metrics.deadline_misses, 0, "{name} missed a deadline");
+        assert_eq!(view.metrics.demotions, 0, "{name} was demoted");
+        assert_eq!(view.metrics.panics, 0, "{name} panicked");
+        checkpoint_failures += view.metrics.checkpoint_failures;
+    }
+    assert_eq!(
+        checkpoint_failures, 1,
+        "exactly one injected checkpoint write failure"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, FleetEvent::CheckpointFailed { .. })));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    (events, finals)
+}
+
+#[test]
+fn chaos_is_worker_count_invariant_and_crash_isolated() {
+    let (baseline_events, baseline_finals) = run_chaos(1);
+
+    // The journal must show the full story at least once.
+    for probe in [
+        "SessionPanicked",
+        "CorruptCheckpointSkipped",
+        "Recovered",
+        "Demoted",
+        "Quarantined",
+        "Unquarantined",
+        "CheckpointFailed",
+    ] {
+        assert!(
+            baseline_events
+                .iter()
+                .any(|e| format!("{e:?}").starts_with(probe)),
+            "journal is missing a {probe} event: {baseline_events:#?}"
+        );
+    }
+
+    // Worker-count invariance: identical journal, identical finals.
+    for workers in [2, 8] {
+        let (events, finals) = run_chaos(workers);
+        assert_eq!(
+            events, baseline_events,
+            "journal diverged at workers={workers}"
+        );
+        assert_eq!(
+            finals, baseline_finals,
+            "finals diverged at workers={workers}"
+        );
+    }
+
+    // Crash isolation: every tenant — including the one that panicked,
+    // lost its newest checkpoint, and replayed its inject log — ends
+    // bit-identical to a solo twin that never shared the fleet.
+    for (name, ticks, checksum) in &baseline_finals {
+        let (twin, seed, with_stim) = match name.as_str() {
+            "hog" => (echo_chip(8, 5, CoreScheduling::Sweep), 0, false),
+            "victim" => (tenant_chip(VICTIM_SEED as u32), VICTIM_SEED, true),
+            _ => {
+                let seed = HEALTHY
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .expect("known tenant")
+                    .1;
+                (tenant_chip(seed as u32), seed, true)
+            }
+        };
+        assert_eq!(
+            solo_checksum(twin, seed, *ticks, with_stim),
+            *checksum,
+            "{name} diverged from its solo twin after {ticks} ticks"
+        );
+    }
+}
+
+#[test]
+fn backpressure_is_typed_and_hysteretic() {
+    let dir = tmpdir("backpressure");
+    let config = ServeConfig {
+        workers: 2,
+        max_tenants: 2,
+        queue_capacity: 4,
+        ticks_per_round: 4,
+        degraded_ticks_per_round: 1,
+        shed_high_watermark: 6,
+        shed_low_watermark: 2,
+        deadline: DeadlinePolicy::default(),
+        checkpoint_every: 1_000,
+        ..ServeConfig::default()
+    };
+    let mut fleet = Fleet::new(config, &dir);
+    fleet.admit("a", tenant_chip(1)).expect("admit a");
+    fleet.admit("b", tenant_chip(2)).expect("admit b");
+
+    // Admission control.
+    assert!(matches!(
+        fleet.admit("a", tenant_chip(1)),
+        Err(AdmitError::DuplicateTenant(_))
+    ));
+    assert!(matches!(
+        fleet.admit("bad name", tenant_chip(3)),
+        Err(AdmitError::InvalidTenant(_))
+    ));
+    assert!(matches!(
+        fleet.admit("c", tenant_chip(3)),
+        Err(AdmitError::FleetFull { max_tenants: 2 })
+    ));
+    assert!(matches!(
+        fleet.submit(
+            "ghost",
+            InjectCmd {
+                x: 0,
+                y: 0,
+                word: 0,
+                bits: 1,
+                target_tick: 1
+            }
+        ),
+        Err(SubmitError::TenantUnknown(_))
+    ));
+
+    // Per-tenant queue bound.
+    for t in 1..=4 {
+        fleet
+            .submit(
+                "a",
+                InjectCmd {
+                    x: 0,
+                    y: 0,
+                    word: 0,
+                    bits: 1,
+                    target_tick: t,
+                },
+            )
+            .expect("within capacity");
+    }
+    assert!(matches!(
+        fleet.submit(
+            "a",
+            InjectCmd {
+                x: 0,
+                y: 0,
+                word: 0,
+                bits: 1,
+                target_tick: 9
+            }
+        ),
+        Err(SubmitError::QueueFull { capacity: 4 })
+    ));
+
+    // Fleet-wide shed-load: the 6th queued injection crosses the high
+    // watermark; further submits are refused until the backlog drains to
+    // the low watermark.
+    fleet
+        .submit(
+            "b",
+            InjectCmd {
+                x: 0,
+                y: 0,
+                word: 0,
+                bits: 1,
+                target_tick: 1,
+            },
+        )
+        .expect("5th");
+    fleet
+        .submit(
+            "b",
+            InjectCmd {
+                x: 0,
+                y: 0,
+                word: 0,
+                bits: 1,
+                target_tick: 2,
+            },
+        )
+        .expect("6th crosses the watermark");
+    assert!(fleet.shedding());
+    assert!(matches!(
+        fleet.submit(
+            "b",
+            InjectCmd {
+                x: 0,
+                y: 0,
+                word: 0,
+                bits: 1,
+                target_tick: 3
+            }
+        ),
+        Err(SubmitError::Overloaded {
+            backlog: 6,
+            watermark: 2
+        })
+    ));
+
+    // One round drains ticks 0..4: targets 1..=3 apply, target 4 stays
+    // queued (tick 4 hasn't run) → backlog 1 ≤ low watermark → shedding
+    // stops.
+    let report = fleet.run_round();
+    assert_eq!(report.backlog, 1);
+    assert!(!report.shedding);
+    fleet
+        .submit(
+            "b",
+            InjectCmd {
+                x: 0,
+                y: 0,
+                word: 0,
+                bits: 1,
+                target_tick: 6,
+            },
+        )
+        .expect("shedding stopped");
+
+    let events = fleet.drain_events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, FleetEvent::SheddingStarted { backlog: 6, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, FleetEvent::SheddingStopped { backlog: 1, .. })));
+
+    // Shutdown: no new admits or submits; reports are exported with the
+    // chips' telemetry summaries.
+    fleet.begin_shutdown();
+    assert!(matches!(
+        fleet.admit("late", tenant_chip(9)),
+        Err(AdmitError::ShuttingDown)
+    ));
+    assert!(matches!(
+        fleet.submit(
+            "a",
+            InjectCmd {
+                x: 0,
+                y: 0,
+                word: 0,
+                bits: 1,
+                target_tick: 99
+            }
+        ),
+        Err(SubmitError::ShuttingDown)
+    ));
+    let reports = fleet.shutdown();
+    assert_eq!(reports.len(), 2);
+    assert_eq!(reports[0].tenant, "a");
+    assert_eq!(reports[1].tenant, "b");
+    for report in &reports {
+        assert_eq!(report.ticks, 4);
+        let summary = report.summary.as_ref().expect("telemetry summary");
+        assert_eq!(summary.ticks, 4);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_ladder_exhausts_to_typed_failure_without_hurting_bystanders() {
+    let dir = tmpdir("ladder");
+    let config = ServeConfig {
+        workers: 2,
+        ticks_per_round: 4,
+        recovery: BackoffLadder::new(1, 2, 2),
+        checkpoint_every: 8,
+        checkpoint_keep: 2,
+        ..ServeConfig::default()
+    };
+    let mut fleet = Fleet::new(config, &dir);
+    fleet.admit("victim", tenant_chip(7)).expect("admit victim");
+    fleet.admit("buddy", tenant_chip(8)).expect("admit buddy");
+
+    let (mut v_upto, mut b_upto) = (0, 0);
+    for _ in 0..4 {
+        top_up(&mut fleet, "victim", 7, &mut v_upto);
+        top_up(&mut fleet, "buddy", 8, &mut b_upto);
+        fleet.run_round();
+    }
+
+    // Corrupt *every* retained checkpoint: recovery has nowhere to land.
+    let ckpt_dir = fleet.tenant_state_dir("victim");
+    let files = CheckpointPolicy::list(&ckpt_dir).expect("list");
+    assert!(files.len() >= 2);
+    for (_, path) in &files {
+        flip_last_byte(path);
+    }
+    assert!(fleet.chaos_poison_core("victim", 1));
+
+    // Round 4: panic + attempt 1 (fails, retry at round 5).
+    // Round 5: attempt 2 (fails) → ladder exhausted → Failed.
+    for _ in 0..2 {
+        top_up(&mut fleet, "victim", 7, &mut v_upto);
+        top_up(&mut fleet, "buddy", 8, &mut b_upto);
+        fleet.run_round();
+    }
+
+    let victim = fleet.session("victim").expect("view");
+    match &victim.state {
+        SessionState::Failed(failure) => {
+            assert_eq!(failure.attempts, 2);
+            assert!(failure.reason.contains("no verifying checkpoint"));
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert!(matches!(
+        fleet.submit(
+            "victim",
+            InjectCmd {
+                x: 0,
+                y: 0,
+                word: 0,
+                bits: 1,
+                target_tick: 999
+            }
+        ),
+        Err(SubmitError::SessionFailed)
+    ));
+    let events = fleet.drain_events();
+    assert!(events.iter().any(|e| matches!(
+        e,
+        FleetEvent::RecoveryAttemptFailed {
+            attempt: 1,
+            retry_round: 5,
+            ..
+        }
+    )));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, FleetEvent::SessionFailed { .. })));
+
+    // The bystander sailed through: bit-identical to its solo twin, with
+    // a full six rounds of service.
+    let buddy = fleet.session("buddy").expect("buddy view");
+    assert_eq!(buddy.ticks, 24);
+    assert_eq!(buddy.checksum, solo_checksum(tenant_chip(8), 8, 24, true));
+    assert_eq!(buddy.metrics.panics, 0);
+
+    // Eviction exports the terminal state; the slot is gone afterwards.
+    let report = fleet.evict("victim").expect("report");
+    assert!(matches!(report.state, SessionState::Failed(_)));
+    assert_eq!(report.metrics.panics, 1);
+    assert!(fleet.evict("victim").is_none());
+    assert!(matches!(
+        fleet.submit(
+            "victim",
+            InjectCmd {
+                x: 0,
+                y: 0,
+                word: 0,
+                bits: 1,
+                target_tick: 1
+            }
+        ),
+        Err(SubmitError::TenantUnknown(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_then_resume_continues_bit_identically() {
+    let dir = tmpdir("resume");
+    let config = ServeConfig {
+        workers: 2,
+        ticks_per_round: 4,
+        degraded_ticks_per_round: 2,
+        checkpoint_every: 8,
+        ..ServeConfig::default()
+    };
+
+    // Life 1: 20 ticks of stimulus, then an orderly shutdown (which
+    // takes a final checkpoint).
+    let mut fleet = Fleet::new(config.clone(), &dir);
+    fleet.admit("phoenix", tenant_chip(9)).expect("admit");
+    let mut upto = 0;
+    for _ in 0..5 {
+        top_up(&mut fleet, "phoenix", 9, &mut upto);
+        fleet.run_round();
+    }
+    let reports = fleet.shutdown();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].ticks, 20);
+    let parked_checksum = reports[0].checksum;
+
+    // Life 2: resume from disk. The fallback chip must NOT be used.
+    let mut fleet = Fleet::new(config, &dir);
+    fleet
+        .resume("phoenix", tenant_chip(999))
+        .expect("resume from checkpoint");
+    let view = fleet.session("phoenix").expect("view");
+    assert_eq!(view.ticks, 20);
+    assert_eq!(view.checksum, parked_checksum);
+    assert!(
+        matches!(view.state, SessionState::Degraded),
+        "resume re-enters on probation"
+    );
+    let events = fleet.drain_events();
+    assert!(events.iter().any(|e| matches!(
+        e,
+        FleetEvent::Admitted {
+            resumed_from: Some(20),
+            ..
+        }
+    )));
+
+    // Continue the stimulus; the resumed session must stay bit-identical
+    // to one uninterrupted solo run. Queued-but-unapplied injections are
+    // not persisted across shutdown (clients resubmit), so the stimulus
+    // mark rewinds to the restored tick.
+    upto = view.ticks;
+    for _ in 0..3 {
+        top_up(&mut fleet, "phoenix", 9, &mut upto);
+        fleet.run_round();
+    }
+    let view = fleet.session("phoenix").expect("view");
+    assert_eq!(view.ticks, 26);
+    assert_eq!(view.checksum, solo_checksum(tenant_chip(9), 9, 26, true));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The measured tenant class for the overhead experiment: an 8×8
+/// full-sweep echo chip, heavy enough (64 cores/tick) that real tick
+/// work swamps the session bookkeeping and the host timer's noise
+/// floor, which on this 1-CPU host sits near the 2×2 chip's ~400 ns.
+fn measured_chip(seed: u64) -> Chip {
+    echo_chip(8, seed as u32, CoreScheduling::Sweep)
+}
+
+/// Drives one fleet with the given tenants for `ticks + warmup` ticks
+/// (unlimited budget, workers = 1, checkpoints off) and returns each
+/// tenant's steady-state metered ns/tick, warmup excluded.
+fn measure_fleet(tag: &str, tenants: &[(String, u64)], ticks: u64, warmup: u64) -> Vec<u64> {
+    let dir = tmpdir(tag);
+    let mut fleet = Fleet::new(
+        ServeConfig {
+            workers: 1,
+            ticks_per_round: 64,
+            checkpoint_every: u64::MAX,
+            deadline: DeadlinePolicy {
+                budget: BudgetMeter::Unlimited,
+                ..DeadlinePolicy::default()
+            },
+            ..ServeConfig::default()
+        },
+        &dir,
+    );
+    for (name, seed) in tenants {
+        fleet.admit(name, measured_chip(*seed)).expect("admit");
+    }
+    let mut upto = vec![0u64; tenants.len()];
+    let mut warm_ns = vec![0u64; tenants.len()];
+    let mut warm_ticks = vec![0u64; tenants.len()];
+    while fleet.session(&tenants[0].0).expect("session").ticks < ticks + warmup {
+        for (i, (name, seed)) in tenants.iter().enumerate() {
+            let view = fleet.session(name).expect("session");
+            let horizon = view.ticks + 80;
+            while upto[i] < horizon {
+                if let Some(cmd) = stim(*seed, upto[i]) {
+                    fleet.submit(name, cmd).expect("submit");
+                }
+                upto[i] += 1;
+            }
+            // Snapshot the meter at the warmup boundary so the steady
+            // state is measured alone.
+            let m = view.metrics;
+            if m.ticks <= warmup {
+                warm_ns[i] = m.wall_nanos;
+                warm_ticks[i] = m.ticks;
+            }
+        }
+        fleet.run_round();
+    }
+    let out = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, (name, seed))| {
+            let view = fleet.session(name).expect("session");
+            let m = view.metrics;
+            assert_eq!(
+                view.checksum,
+                solo_checksum(measured_chip(*seed), *seed, view.ticks, true),
+                "overhead run must still be bit-identical"
+            );
+            (m.wall_nanos - warm_ns[i]) / (m.ticks - warm_ticks[i])
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// Not a CI gate — a recorded experiment (EXPERIMENTS.md § Multi-tenant
+/// serving). Measures the per-tick latency a tenant observes inside a
+/// fully loaded 8-tenant fleet against the same session hosted alone in
+/// a fleet-of-1 (identical metering, identical machinery — the ratio
+/// isolates *cross-tenant* interference, the acceptance bar, ≤ 1.5×),
+/// plus a raw `Chip::try_tick` loop as context for the fixed session
+/// bookkeeping cost. Minimum estimator over 3 reps throughout.
+///
+/// Run with: `cargo test --release --test serve -- --ignored --nocapture`
+#[test]
+#[ignore = "experiment: prints solo vs in-fleet latency for EXPERIMENTS.md"]
+fn experiment_fleet_overhead() {
+    const SEEDS: [u64; 8] = [11, 22, 33, 44, 55, 66, 77, 88];
+    const TICKS: u64 = 2048;
+    const WARMUP: u64 = 256;
+    const REPS: usize = 3;
+
+    // Context baseline: the bare chip, wall time summed over exactly
+    // the `try_tick` calls (the same probe `SessionMetrics::wall_nanos`
+    // uses), no session machinery at all.
+    let mut raw_ns = vec![u64::MAX; SEEDS.len()];
+    for _ in 0..REPS {
+        for (i, &seed) in SEEDS.iter().enumerate() {
+            let mut chip = measured_chip(seed);
+            let mut nanos = 0u64;
+            for tick in 0..TICKS + WARMUP {
+                if let Some(cmd) = stim(seed, tick) {
+                    chip.inject_word(cmd.x, cmd.y, cmd.word, cmd.bits, cmd.target_tick)
+                        .expect("solo inject");
+                }
+                let started = std::time::Instant::now();
+                chip.try_tick().expect("solo tick");
+                if tick >= WARMUP {
+                    nanos += started.elapsed().as_nanos() as u64;
+                }
+            }
+            raw_ns[i] = raw_ns[i].min(nanos / TICKS);
+        }
+    }
+
+    let tenants: Vec<(String, u64)> = SEEDS.iter().map(|&s| (format!("m{s}"), s)).collect();
+    let mut fleet1_ns = vec![u64::MAX; SEEDS.len()];
+    let mut fleet8_ns = vec![u64::MAX; SEEDS.len()];
+    for rep in 0..REPS {
+        for (i, tenant) in tenants.iter().enumerate() {
+            let ns = measure_fleet(
+                &format!("ovh1-{rep}-{i}"),
+                std::slice::from_ref(tenant),
+                TICKS,
+                WARMUP,
+            );
+            fleet1_ns[i] = fleet1_ns[i].min(ns[0]);
+        }
+        let ns = measure_fleet(&format!("ovh8-{rep}"), &tenants, TICKS, WARMUP);
+        for (slot, sample) in fleet8_ns.iter_mut().zip(ns) {
+            *slot = (*slot).min(sample);
+        }
+    }
+
+    println!("tenant  raw chip  fleet-of-1  fleet-of-8  8/1 ratio");
+    let mut worst = 0.0f64;
+    for (i, (name, _)) in tenants.iter().enumerate() {
+        let ratio = fleet8_ns[i] as f64 / fleet1_ns[i] as f64;
+        worst = worst.max(ratio);
+        println!(
+            "{name:>6}  {:>8}  {:>10}  {:>10}  {ratio:.3}",
+            raw_ns[i], fleet1_ns[i], fleet8_ns[i]
+        );
+    }
+    println!("worst cross-tenant ratio (fleet-of-8 / fleet-of-1): {worst:.3} (bar: 1.5)");
+}
